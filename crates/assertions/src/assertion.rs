@@ -1,0 +1,329 @@
+//! The full correspondence-assertion record of Fig. 3.
+//!
+//! A class assertion `S₁•A θ S₂•B` (or `S₁(A₁,…,Aₙ) → S₂•B` for
+//! derivations) carries four correspondence lists:
+//!
+//! * value correspondences of attributes **within S₁**,
+//! * value correspondences of attributes **within S₂**,
+//! * attribute correspondences **between** S₁ and S₂ (optionally with a
+//!   `with att τ Const` predicate),
+//! * aggregation-function correspondences between S₁ and S₂.
+
+use crate::ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
+use crate::spath::SPath;
+use oo_model::Value;
+use std::fmt;
+
+/// A `with att τ Const` predicate refining an attribute correspondence,
+/// e.g. `… ⊆ S₂•stock•price with time = 'March'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithPred {
+    pub attr: SPath,
+    pub tau: Tau,
+    pub constant: Value,
+}
+
+impl fmt::Display for WithPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "with {} {} {}", self.attr, self.tau, self.constant)
+    }
+}
+
+/// An attribute correspondence between the two schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrCorr {
+    pub left: SPath,
+    pub op: AttrOp,
+    pub right: SPath,
+    pub with_pred: Option<WithPred>,
+}
+
+impl AttrCorr {
+    pub fn new(left: SPath, op: AttrOp, right: SPath) -> Self {
+        AttrCorr {
+            left,
+            op,
+            right,
+            with_pred: None,
+        }
+    }
+
+    pub fn with(mut self, pred: WithPred) -> Self {
+        self.with_pred = Some(pred);
+        self
+    }
+}
+
+impl fmt::Display for AttrCorr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)?;
+        if let Some(w) = &self.with_pred {
+            write!(f, " {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An aggregation-function correspondence between the two schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCorr {
+    pub left: SPath,
+    pub op: AggOp,
+    pub right: SPath,
+}
+
+impl AggCorr {
+    pub fn new(left: SPath, op: AggOp, right: SPath) -> Self {
+        AggCorr { left, op, right }
+    }
+}
+
+impl fmt::Display for AggCorr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A value correspondence between two attributes **in the same schema**
+/// (the `parent•Pssn# ∈ brother•brothers` of Example 3). Paths here are
+/// unqualified by schema (the owning list fixes the schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueCorr {
+    pub left: oo_model::Path,
+    pub op: ValueOp,
+    pub right: oo_model::Path,
+}
+
+impl ValueCorr {
+    pub fn new(left: oo_model::Path, op: ValueOp, right: oo_model::Path) -> Self {
+        ValueCorr { left, op, right }
+    }
+}
+
+impl fmt::Display for ValueCorr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A complete class correspondence assertion (Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAssertion {
+    pub left_schema: String,
+    /// Multiple classes only for derivation assertions
+    /// (`S₁(parent, brother) → S₂•uncle`).
+    pub left_classes: Vec<String>,
+    pub op: ClassOp,
+    pub right_schema: String,
+    pub right_class: String,
+    /// Value correspondences of attributes in the left schema.
+    pub value_corrs_left: Vec<ValueCorr>,
+    /// Value correspondences of attributes in the right schema.
+    pub value_corrs_right: Vec<ValueCorr>,
+    pub attr_corrs: Vec<AttrCorr>,
+    pub agg_corrs: Vec<AggCorr>,
+}
+
+impl ClassAssertion {
+    /// A plain (non-derivation) assertion `S₁•A θ S₂•B`.
+    pub fn simple(
+        left_schema: impl Into<String>,
+        left_class: impl Into<String>,
+        op: ClassOp,
+        right_schema: impl Into<String>,
+        right_class: impl Into<String>,
+    ) -> Self {
+        ClassAssertion {
+            left_schema: left_schema.into(),
+            left_classes: vec![left_class.into()],
+            op,
+            right_schema: right_schema.into(),
+            right_class: right_class.into(),
+            value_corrs_left: Vec::new(),
+            value_corrs_right: Vec::new(),
+            attr_corrs: Vec::new(),
+            agg_corrs: Vec::new(),
+        }
+    }
+
+    /// A derivation assertion `S₁(A₁,…,Aₙ) → S₂•B`.
+    pub fn derivation<I, S>(
+        left_schema: impl Into<String>,
+        left_classes: I,
+        right_schema: impl Into<String>,
+        right_class: impl Into<String>,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ClassAssertion {
+            left_schema: left_schema.into(),
+            left_classes: left_classes.into_iter().map(Into::into).collect(),
+            op: ClassOp::Derive,
+            right_schema: right_schema.into(),
+            right_class: right_class.into(),
+            value_corrs_left: Vec::new(),
+            value_corrs_right: Vec::new(),
+            attr_corrs: Vec::new(),
+            agg_corrs: Vec::new(),
+        }
+    }
+
+    /// Builder-style additions.
+    pub fn attr_corr(mut self, corr: AttrCorr) -> Self {
+        self.attr_corrs.push(corr);
+        self
+    }
+
+    pub fn agg_corr(mut self, corr: AggCorr) -> Self {
+        self.agg_corrs.push(corr);
+        self
+    }
+
+    pub fn value_corr_left(mut self, corr: ValueCorr) -> Self {
+        self.value_corrs_left.push(corr);
+        self
+    }
+
+    pub fn value_corr_right(mut self, corr: ValueCorr) -> Self {
+        self.value_corrs_right.push(corr);
+        self
+    }
+
+    /// The single left class of a non-derivation assertion.
+    pub fn left_class(&self) -> &str {
+        &self.left_classes[0]
+    }
+
+    /// Does this assertion mention `class` (of `schema`) on either side?
+    pub fn involves(&self, schema: &str, class: &str) -> bool {
+        (self.left_schema == schema && self.left_classes.iter().any(|c| c == class))
+            || (self.right_schema == schema && self.right_class == class)
+    }
+}
+
+impl fmt::Display for ClassAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.left_classes.len() == 1 {
+            write!(
+                f,
+                "{}•{} {} {}•{}",
+                self.left_schema,
+                self.left_classes[0],
+                self.op,
+                self.right_schema,
+                self.right_class
+            )?;
+        } else {
+            write!(f, "{}(", self.left_schema)?;
+            for (i, c) in self.left_classes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, ") {} {}•{}", self.op, self.right_schema, self.right_class)?;
+        }
+        for vc in &self.value_corrs_left {
+            write!(f, "\n  value[{}]: {vc}", self.left_schema)?;
+        }
+        for vc in &self.value_corrs_right {
+            write!(f, "\n  value[{}]: {vc}", self.right_schema)?;
+        }
+        for ac in &self.attr_corrs {
+            write!(f, "\n  attr: {ac}")?;
+        }
+        for gc in &self.agg_corrs {
+            write!(f, "\n  agg: {gc}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::Path;
+
+    /// Fig. 4(a): S₁•person ≡ S₂•human with its attribute correspondences.
+    fn person_human() -> ClassAssertion {
+        ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human")
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "person", "ssn#"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "ssn#"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "person", "full_name"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "name"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "person", "city"),
+                AttrOp::ComposedInto("address".into()),
+                SPath::attr("S2", "human", "street-number"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "person", "interests"),
+                AttrOp::InclRev,
+                SPath::attr("S2", "human", "hobby"),
+            ))
+    }
+
+    #[test]
+    fn fig_4a_display() {
+        let a = person_human();
+        let d = a.to_string();
+        assert!(d.starts_with("S1•person ≡ S2•human"));
+        assert!(d.contains("S1•person•city α(address) S2•human•street-number"));
+        assert!(d.contains("S1•person•interests ⊇ S2•human•hobby"));
+    }
+
+    #[test]
+    fn example_3_derivation() {
+        // S₁(parent, brother) → S₂•uncle with value and attr correspondences.
+        let a = ClassAssertion::derivation("S1", ["parent", "brother"], "S2", "uncle")
+            .value_corr_left(ValueCorr::new(
+                Path::attr("parent", "Pssn#"),
+                ValueOp::In,
+                Path::attr("brother", "brothers"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "brother", "Bssn#"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "uncle", "Ussn#"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "parent", "children"),
+                AttrOp::InclRev,
+                SPath::attr("S2", "uncle", "niece_nephew"),
+            ));
+        let d = a.to_string();
+        assert!(d.starts_with("S1(parent, brother) → S2•uncle"));
+        assert!(d.contains("value[S1]: parent•Pssn# ∈ brother•brothers"));
+        assert!(a.involves("S1", "parent"));
+        assert!(a.involves("S1", "brother"));
+        assert!(a.involves("S2", "uncle"));
+        assert!(!a.involves("S2", "parent"));
+    }
+
+    #[test]
+    fn with_predicate_display() {
+        // §4.1: stock-in-March-April example.
+        let corr = AttrCorr::new(
+            SPath::attr("S1", "stock-in-March-April", "price-in-March"),
+            AttrOp::Incl,
+            SPath::attr("S2", "stock", "price"),
+        )
+        .with(WithPred {
+            attr: SPath::attr("S2", "stock", "time"),
+            tau: Tau::Eq,
+            constant: Value::str("March"),
+        });
+        assert_eq!(
+            corr.to_string(),
+            "S1•stock-in-March-April•price-in-March ⊆ S2•stock•price with S2•stock•time = \"March\""
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # fedoo-assertions
+//!
+//! The correspondence-assertion language of §4: the vocabulary DBAs and
+//! users use to declare how two local schemas relate, and the sole input —
+//! besides the schemas themselves — to the integration algorithm.
+//!
+//! * [`ops`] — the operator taxonomies of Tables 1–3: class assertions
+//!   (`≡ ⊆ ⊇ ∩ ∅ →`, including the paper's novel **derivation** assertion),
+//!   attribute assertions (adding `α(x)` *composed-into* and `β`
+//!   *more-specific-than*), aggregation-function assertions (adding `ℵ`
+//!   *reverse*), and intra-schema value correspondences (`= ≠ ∈ ⊇ ∩ ∅`);
+//! * [`spath`] — schema-qualified paths `S₁•Book•author•birthday`
+//!   (Definition 4.1 paths rooted in a named schema);
+//! * [`assertion`] — the full assertion record of Fig. 3: a class
+//!   correspondence plus its value/attribute/aggregation sub-correspondences
+//!   and optional `with att τ Const` predicates;
+//! * [`set`] — an indexed assertion set with the O(1) pair lookup the
+//!   integration algorithm's inner loop requires, plus consistency checks;
+//! * [`parser`] — a concrete textual syntax for assertion files;
+//! * [`decompose`] — derivation-assertion decomposition (§5, Figs. 9–10)
+//!   so that no attribute or aggregation function appears twice within one
+//!   correspondence list;
+//! * [`validate`] — schema-level validation: classes exist, paths resolve.
+
+pub mod assertion;
+pub mod decompose;
+pub mod ops;
+pub mod parser;
+pub mod set;
+pub mod spath;
+pub mod validate;
+
+pub use assertion::{AggCorr, AttrCorr, ClassAssertion, ValueCorr, WithPred};
+pub use decompose::decompose_derivation;
+pub use ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
+pub use parser::{parse_assertions, ParseError};
+pub use set::{AssertionSet, PairRelation};
+pub use spath::SPath;
+pub use validate::validate_assertions;

@@ -1,0 +1,296 @@
+//! The assertion operators of Tables 1–3 and the value-correspondence
+//! operators of §4.1.
+
+use std::fmt;
+
+/// Class correspondence assertions (Table 1): `θ ::= ≡ | ⊆ | ⊇ | ∩ | ∅ | →`.
+///
+/// `Incl` reads left-to-right (`A ⊆ B`); `InclRev` is `A ⊇ B`. `Derive` is
+/// the paper's novel derivation assertion `S₁(A₁,…,Aₙ) → S₂•B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassOp {
+    /// `≡` — RWS(A) = RWS(B) always.
+    Equiv,
+    /// `⊆` — RWS(A) ⊆ RWS(B) always.
+    Incl,
+    /// `⊇` — RWS(A) ⊇ RWS(B) always.
+    InclRev,
+    /// `∩` — RWS(A) ∩ RWS(B) ≠ ∅ sometimes.
+    Intersect,
+    /// `∅` — RWS(A) ∩ RWS(B) = ∅ always (exclusion/disjunction).
+    Disjoint,
+    /// `→` — every occurrence of B is derivable from occurrences of the
+    /// A·s under the assertion's constraints.
+    Derive,
+}
+
+impl ClassOp {
+    /// The mirrored operator seen from the other side of the assertion.
+    /// Derivation has no mirror (it is inherently directional).
+    pub fn flipped(&self) -> Option<ClassOp> {
+        match self {
+            ClassOp::Equiv => Some(ClassOp::Equiv),
+            ClassOp::Incl => Some(ClassOp::InclRev),
+            ClassOp::InclRev => Some(ClassOp::Incl),
+            ClassOp::Intersect => Some(ClassOp::Intersect),
+            ClassOp::Disjoint => Some(ClassOp::Disjoint),
+            ClassOp::Derive => None,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ClassOp::Equiv => "≡",
+            ClassOp::Incl => "⊆",
+            ClassOp::InclRev => "⊇",
+            ClassOp::Intersect => "∩",
+            ClassOp::Disjoint => "∅",
+            ClassOp::Derive => "→",
+        }
+    }
+
+    /// English name as used in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassOp::Equiv => "equivalence",
+            ClassOp::Incl | ClassOp::InclRev => "inclusion",
+            ClassOp::Intersect => "intersection",
+            ClassOp::Disjoint => "exclusion",
+            ClassOp::Derive => "derivation",
+        }
+    }
+
+    /// The complete Table 1 row set.
+    pub fn all() -> [ClassOp; 6] {
+        [
+            ClassOp::Equiv,
+            ClassOp::Incl,
+            ClassOp::InclRev,
+            ClassOp::Intersect,
+            ClassOp::Disjoint,
+            ClassOp::Derive,
+        ]
+    }
+}
+
+impl fmt::Display for ClassOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Attribute correspondence assertions (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttrOp {
+    Equiv,
+    Incl,
+    InclRev,
+    Intersect,
+    Disjoint,
+    /// `α(x)` — the two attributes combine into a new attribute named `x`
+    /// (`city α(address) street-number`).
+    ComposedInto(String),
+    /// `β` — the left attribute is more specific than the right
+    /// (`cuisine β category`).
+    MoreSpecific,
+}
+
+impl AttrOp {
+    pub fn symbol(&self) -> String {
+        match self {
+            AttrOp::Equiv => "≡".into(),
+            AttrOp::Incl => "⊆".into(),
+            AttrOp::InclRev => "⊇".into(),
+            AttrOp::Intersect => "∩".into(),
+            AttrOp::Disjoint => "∅".into(),
+            AttrOp::ComposedInto(x) => format!("α({x})"),
+            AttrOp::MoreSpecific => "β".into(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrOp::Equiv => "equivalence",
+            AttrOp::Incl | AttrOp::InclRev => "inclusion",
+            AttrOp::Intersect => "intersection",
+            AttrOp::Disjoint => "exclusion",
+            AttrOp::ComposedInto(_) => "composed-into",
+            AttrOp::MoreSpecific => "more-specific-than",
+        }
+    }
+}
+
+impl fmt::Display for AttrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.symbol())
+    }
+}
+
+/// Aggregation-function correspondence assertions (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AggOp {
+    Equiv,
+    Incl,
+    InclRev,
+    Intersect,
+    Disjoint,
+    /// `ℵ` — reverse: `g` is the reverse function of `f`
+    /// (`man•spouse ℵ woman•spouse`).
+    Reverse,
+}
+
+impl AggOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            AggOp::Equiv => "≡",
+            AggOp::Incl => "⊆",
+            AggOp::InclRev => "⊇",
+            AggOp::Intersect => "∩",
+            AggOp::Disjoint => "∅",
+            AggOp::Reverse => "ℵ",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggOp::Equiv => "equivalence",
+            AggOp::Incl | AggOp::InclRev => "inclusion",
+            AggOp::Intersect => "intersection",
+            AggOp::Disjoint => "exclusion",
+            AggOp::Reverse => "reverse",
+        }
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Value correspondences between attributes of the *same* schema (§4.1):
+/// `=`/`≠` for single-valued attributes, `∈ ⊇ ∩ ∅ =` for multi-valued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueOp {
+    Eq,
+    Ne,
+    /// `∈` — membership (`parent•Pssn# ∈ brother•brothers`).
+    In,
+    Supset,
+    Intersect,
+    Disjoint,
+}
+
+impl ValueOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ValueOp::Eq => "=",
+            ValueOp::Ne => "≠",
+            ValueOp::In => "∈",
+            ValueOp::Supset => "⊇",
+            ValueOp::Intersect => "∩",
+            ValueOp::Disjoint => "∅",
+        }
+    }
+}
+
+impl fmt::Display for ValueOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Comparison operator `τ ∈ {=, <, ≤, >, ≥, ≠}` used by `with att τ Const`
+/// predicates attached to inclusion assertions (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tau {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Tau {
+    pub fn eval(&self, left: &oo_model::Value, right: &oo_model::Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = left.cmp(right);
+        match self {
+            Tau::Eq => ord == Equal,
+            Tau::Ne => ord != Equal,
+            Tau::Lt => ord == Less,
+            Tau::Le => ord != Greater,
+            Tau::Gt => ord == Greater,
+            Tau::Ge => ord != Less,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Tau::Eq => "=",
+            Tau::Ne => "≠",
+            Tau::Lt => "<",
+            Tau::Le => "≤",
+            Tau::Gt => ">",
+            Tau::Ge => "≥",
+        }
+    }
+}
+
+impl fmt::Display for Tau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::Value;
+
+    #[test]
+    fn table_1_is_complete() {
+        // Table 1: equivalence, inclusion (2 directions), intersection,
+        // exclusion, derivation.
+        let all = ClassOp::all();
+        assert_eq!(all.len(), 6);
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            ["equivalence", "inclusion", "intersection", "exclusion", "derivation"]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn flips_are_involutive() {
+        for op in ClassOp::all() {
+            match op.flipped() {
+                Some(fl) => assert_eq!(fl.flipped(), Some(op)),
+                None => assert_eq!(op, ClassOp::Derive),
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_match_paper() {
+        assert_eq!(ClassOp::Equiv.symbol(), "≡");
+        assert_eq!(ClassOp::Derive.symbol(), "→");
+        assert_eq!(AttrOp::ComposedInto("address".into()).symbol(), "α(address)");
+        assert_eq!(AttrOp::MoreSpecific.symbol(), "β");
+        assert_eq!(AggOp::Reverse.symbol(), "ℵ");
+        assert_eq!(ValueOp::In.symbol(), "∈");
+    }
+
+    #[test]
+    fn tau_evaluates() {
+        assert!(Tau::Eq.eval(&Value::str("March"), &Value::str("March")));
+        assert!(Tau::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Tau::Ge.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(!Tau::Gt.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(Tau::Ne.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(Tau::Le.eval(&Value::Int(1), &Value::Int(2)));
+    }
+}

@@ -1,0 +1,761 @@
+//! A concrete textual syntax for correspondence assertions, so assertion
+//! sets can be authored as files (the paper assumes DBAs/users supply them).
+//!
+//! ```text
+//! // Fig. 4(a)
+//! assert S1.person == S2.human {
+//!     attr S1.person.ssn == S2.human.ssn;
+//!     attr S1.person.city compose(address) S2.human.street_number;
+//!     attr S1.person.interests >= S2.human.hobby;
+//! }
+//!
+//! // Example 3
+//! assert S1(parent, brother) -> S2.uncle {
+//!     value S1: parent.Pssn in brother.brothers;
+//!     attr S1.brother.Bssn == S2.uncle.Ussn;
+//!     attr S1.parent.children >= S2.uncle.niece_nephew;
+//! }
+//! ```
+//!
+//! Operator spellings: `==` ≡, `<=` ⊆, `>=` ⊇, `&` ∩, `!&` ∅, `->` →;
+//! attribute extras `compose(x)` α(x) and `<<` β (left more specific);
+//! aggregation extra `rev` ℵ; value ops `=`, `!=`, `in`, `>=`, `&`, `!&`.
+//! Attribute correspondences accept a trailing
+//! `with <path> <τ> <constant>` predicate. `//` starts a line comment.
+
+use crate::assertion::{AggCorr, AttrCorr, ClassAssertion, ValueCorr, WithPred};
+use crate::ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
+use crate::spath::SPath;
+use oo_model::{Path, Value};
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Real(f64),
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Real(r) => write!(f, "{r}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'#'
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Tokenize the whole input into (token, line) pairs.
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let line = self.line;
+            let c = match self.peek() {
+                Some(c) => c,
+                None => break,
+            };
+            let tok = if is_ident_start(c) {
+                let start = self.pos;
+                self.bump();
+                loop {
+                    match self.peek() {
+                        Some(c) if is_ident_continue(c) => {
+                            self.bump();
+                        }
+                        // '-' continues the identifier unless it begins '->'.
+                        Some(b'-')
+                            if self.peek2().map(is_ident_continue).unwrap_or(false) =>
+                        {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                Tok::Ident(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("ascii ident")
+                        .to_string(),
+                )
+            } else if c.is_ascii_digit() {
+                let start = self.pos;
+                let mut is_real = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.bump();
+                    } else if c == b'.'
+                        && !is_real
+                        && self.peek2().map(|d| d.is_ascii_digit()).unwrap_or(false)
+                    {
+                        is_real = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if is_real {
+                    Tok::Real(text.parse().map_err(|_| self.err("bad real literal"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| self.err("bad integer literal"))?)
+                }
+            } else if c == b'"' {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'"' {
+                        break;
+                    }
+                    self.bump();
+                }
+                if self.peek() != Some(b'"') {
+                    return Err(self.err("unterminated string"));
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid utf8 in string"))?
+                    .to_string();
+                self.bump();
+                Tok::Str(text)
+            } else {
+                // Symbols, longest first.
+                let two = |a: u8, b: u8| self.peek() == Some(a) && self.peek2() == Some(b);
+                let sym: &'static str = if two(b'=', b'=') {
+                    self.bump();
+                    self.bump();
+                    "=="
+                } else if two(b'<', b'=') {
+                    self.bump();
+                    self.bump();
+                    "<="
+                } else if two(b'>', b'=') {
+                    self.bump();
+                    self.bump();
+                    ">="
+                } else if two(b'!', b'=') {
+                    self.bump();
+                    self.bump();
+                    "!="
+                } else if two(b'!', b'&') {
+                    self.bump();
+                    self.bump();
+                    "!&"
+                } else if two(b'-', b'>') {
+                    self.bump();
+                    self.bump();
+                    "->"
+                } else if two(b'<', b'<') {
+                    self.bump();
+                    self.bump();
+                    "<<"
+                } else {
+                    let single = self.bump().expect("peeked");
+                    match single {
+                        b'{' => "{",
+                        b'}' => "}",
+                        b'(' => "(",
+                        b')' => ")",
+                        b',' => ",",
+                        b';' => ";",
+                        b':' => ":",
+                        b'.' => ".",
+                        b'&' => "&",
+                        b'=' => "=",
+                        b'<' => "<",
+                        b'>' => ">",
+                        other => {
+                            return Err(self.err(format!(
+                                "unexpected character `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                };
+                Tok::Sym(sym)
+            };
+            out.push((tok, line));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!(
+                "expected `{sym}`, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn try_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// `ident(.step)+` where the final step may be a quoted name.
+    /// Returns (first ident, remaining dotted steps, quoted?).
+    fn dotted(&mut self) -> Result<(String, Vec<String>, bool), ParseError> {
+        let first = self.ident()?;
+        let mut steps = Vec::new();
+        let mut quoted = false;
+        while self.try_sym(".") {
+            match self.bump() {
+                Some(Tok::Ident(s)) => steps.push(s),
+                Some(Tok::Str(s)) => {
+                    steps.push(s);
+                    quoted = true;
+                    break;
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected path step, found {}",
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            }
+        }
+        Ok((first, steps, quoted))
+    }
+
+    /// A schema-qualified path `S.class(.attr)*`.
+    fn spath(&mut self) -> Result<SPath, ParseError> {
+        let (schema, mut steps, quoted) = self.dotted()?;
+        if steps.is_empty() {
+            return Err(self.err("schema path needs at least `schema.class`"));
+        }
+        let class = steps.remove(0);
+        let mut path = Path::new(class, steps);
+        if quoted {
+            path = path.quoted();
+        }
+        Ok(SPath::new(schema, path))
+    }
+
+    /// An unqualified path `class.attr(.attr)*`.
+    fn upath(&mut self) -> Result<Path, ParseError> {
+        let (class, steps, quoted) = self.dotted()?;
+        if steps.is_empty() {
+            return Err(self.err("value path needs at least `class.attr`"));
+        }
+        let mut path = Path::new(class, steps);
+        if quoted {
+            path = path.quoted();
+        }
+        Ok(path)
+    }
+
+    fn constant(&mut self) -> Result<Value, ParseError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Real(r)) => Ok(Value::Real(r)),
+            Some(Tok::Ident(s)) if s == "true" => Ok(Value::Bool(true)),
+            Some(Tok::Ident(s)) if s == "false" => Ok(Value::Bool(false)),
+            other => Err(self.err(format!(
+                "expected constant, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn class_op(&mut self) -> Result<ClassOp, ParseError> {
+        let op = match self.bump() {
+            Some(Tok::Sym("==")) => ClassOp::Equiv,
+            Some(Tok::Sym("<=")) => ClassOp::Incl,
+            Some(Tok::Sym(">=")) => ClassOp::InclRev,
+            Some(Tok::Sym("&")) => ClassOp::Intersect,
+            Some(Tok::Sym("!&")) => ClassOp::Disjoint,
+            Some(Tok::Sym("->")) => ClassOp::Derive,
+            other => {
+                return Err(self.err(format!(
+                    "expected class operator (== <= >= & !& ->), found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        Ok(op)
+    }
+
+    fn attr_op(&mut self) -> Result<AttrOp, ParseError> {
+        match self.bump() {
+            Some(Tok::Sym("==")) => Ok(AttrOp::Equiv),
+            Some(Tok::Sym("<=")) => Ok(AttrOp::Incl),
+            Some(Tok::Sym(">=")) => Ok(AttrOp::InclRev),
+            Some(Tok::Sym("&")) => Ok(AttrOp::Intersect),
+            Some(Tok::Sym("!&")) => Ok(AttrOp::Disjoint),
+            Some(Tok::Sym("<<")) => Ok(AttrOp::MoreSpecific),
+            Some(Tok::Ident(s)) if s == "compose" => {
+                self.eat_sym("(")?;
+                let name = self.ident()?;
+                self.eat_sym(")")?;
+                Ok(AttrOp::ComposedInto(name))
+            }
+            other => Err(self.err(format!(
+                "expected attribute operator, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn agg_op(&mut self) -> Result<AggOp, ParseError> {
+        match self.bump() {
+            Some(Tok::Sym("==")) => Ok(AggOp::Equiv),
+            Some(Tok::Sym("<=")) => Ok(AggOp::Incl),
+            Some(Tok::Sym(">=")) => Ok(AggOp::InclRev),
+            Some(Tok::Sym("&")) => Ok(AggOp::Intersect),
+            Some(Tok::Sym("!&")) => Ok(AggOp::Disjoint),
+            Some(Tok::Ident(s)) if s == "rev" => Ok(AggOp::Reverse),
+            other => Err(self.err(format!(
+                "expected aggregation operator, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn value_op(&mut self) -> Result<ValueOp, ParseError> {
+        match self.bump() {
+            Some(Tok::Sym("=")) => Ok(ValueOp::Eq),
+            Some(Tok::Sym("!=")) => Ok(ValueOp::Ne),
+            Some(Tok::Ident(s)) if s == "in" => Ok(ValueOp::In),
+            Some(Tok::Sym(">=")) => Ok(ValueOp::Supset),
+            Some(Tok::Sym("&")) => Ok(ValueOp::Intersect),
+            Some(Tok::Sym("!&")) => Ok(ValueOp::Disjoint),
+            other => Err(self.err(format!(
+                "expected value operator (= != in >= & !&), found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn tau(&mut self) -> Result<Tau, ParseError> {
+        match self.bump() {
+            Some(Tok::Sym("=")) => Ok(Tau::Eq),
+            Some(Tok::Sym("!=")) => Ok(Tau::Ne),
+            Some(Tok::Sym("<")) => Ok(Tau::Lt),
+            Some(Tok::Sym("<=")) => Ok(Tau::Le),
+            Some(Tok::Sym(">")) => Ok(Tau::Gt),
+            Some(Tok::Sym(">=")) => Ok(Tau::Ge),
+            other => Err(self.err(format!(
+                "expected comparison, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// One `assert …` item.
+    fn assertion(&mut self) -> Result<ClassAssertion, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(kw)) if kw == "assert" => {}
+            other => {
+                return Err(self.err(format!(
+                    "expected `assert`, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        }
+        let left_schema = self.ident()?;
+        let mut assertion = if self.try_sym("(") {
+            // Derivation form: S1(c1, c2, …) -> S2.b
+            let mut classes = vec![self.ident()?];
+            while self.try_sym(",") {
+                classes.push(self.ident()?);
+            }
+            self.eat_sym(")")?;
+            self.eat_sym("->")?;
+            let right = self.spath()?;
+            let right_class = right.class_name().to_string();
+            ClassAssertion::derivation(left_schema, classes, right.schema, right_class)
+        } else {
+            self.eat_sym(".")?;
+            let left_class = self.ident()?;
+            let op = self.class_op()?;
+            let right = self.spath()?;
+            let right_class = right.class_name().to_string();
+            if op == ClassOp::Derive {
+                ClassAssertion::derivation(left_schema, [left_class], right.schema, right_class)
+            } else {
+                ClassAssertion::simple(left_schema, left_class, op, right.schema, right_class)
+            }
+        };
+        if self.try_sym(";") {
+            return Ok(assertion);
+        }
+        self.eat_sym("{")?;
+        while !self.try_sym("}") {
+            match self.bump() {
+                Some(Tok::Ident(kw)) if kw == "attr" => {
+                    let left = self.spath()?;
+                    let op = self.attr_op()?;
+                    let right = self.spath()?;
+                    let mut corr = AttrCorr::new(left, op, right);
+                    if matches!(self.peek(), Some(Tok::Ident(s)) if s == "with") {
+                        self.bump();
+                        let attr = self.spath()?;
+                        let tau = self.tau()?;
+                        let constant = self.constant()?;
+                        corr = corr.with(WithPred {
+                            attr,
+                            tau,
+                            constant,
+                        });
+                    }
+                    self.eat_sym(";")?;
+                    assertion.attr_corrs.push(corr);
+                }
+                Some(Tok::Ident(kw)) if kw == "agg" => {
+                    let left = self.spath()?;
+                    let op = self.agg_op()?;
+                    let right = self.spath()?;
+                    self.eat_sym(";")?;
+                    assertion.agg_corrs.push(AggCorr::new(left, op, right));
+                }
+                Some(Tok::Ident(kw)) if kw == "value" => {
+                    let schema = self.ident()?;
+                    self.eat_sym(":")?;
+                    let left = self.upath()?;
+                    let op = self.value_op()?;
+                    let right = self.upath()?;
+                    self.eat_sym(";")?;
+                    let corr = ValueCorr::new(left, op, right);
+                    if schema == assertion.left_schema {
+                        assertion.value_corrs_left.push(corr);
+                    } else if schema == assertion.right_schema {
+                        assertion.value_corrs_right.push(corr);
+                    } else {
+                        return Err(self.err(format!(
+                            "value correspondence schema `{schema}` is neither `{}` nor `{}`",
+                            assertion.left_schema, assertion.right_schema
+                        )));
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `attr`, `agg`, `value` or `}}`, found {}",
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            }
+        }
+        Ok(assertion)
+    }
+}
+
+/// Parse an assertion file into a list of assertions.
+pub fn parse_assertions(src: &str) -> Result<Vec<ClassAssertion>, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut parser = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while parser.peek().is_some() {
+        out.push(parser.assertion()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_4a_parses() {
+        let src = r#"
+            // Fig. 4(a)
+            assert S1.person == S2.human {
+                attr S1.person.ssn# == S2.human.ssn#;
+                attr S1.person.full_name == S2.human.name;
+                attr S1.person.city compose(address) S2.human.street-number;
+                attr S1.person.interests >= S2.human.hobby;
+            }
+        "#;
+        let asserts = parse_assertions(src).unwrap();
+        assert_eq!(asserts.len(), 1);
+        let a = &asserts[0];
+        assert_eq!(a.op, ClassOp::Equiv);
+        assert_eq!(a.left_class(), "person");
+        assert_eq!(a.right_class, "human");
+        assert_eq!(a.attr_corrs.len(), 4);
+        assert_eq!(
+            a.attr_corrs[2].op,
+            AttrOp::ComposedInto("address".to_string())
+        );
+        assert_eq!(a.attr_corrs[3].op, AttrOp::InclRev);
+        // `ssn#` and `street-number` tokenise as single identifiers.
+        assert_eq!(a.attr_corrs[0].left.member(), Some("ssn#"));
+        assert_eq!(a.attr_corrs[2].right.member(), Some("street-number"));
+    }
+
+    #[test]
+    fn example_3_derivation_parses() {
+        let src = r#"
+            assert S1(parent, brother) -> S2.uncle {
+                value S1: parent.Pssn# in brother.brothers;
+                attr S1.brother.Bssn# == S2.uncle.Ussn#;
+                attr S1.parent.children >= S2.uncle.niece_nephew;
+            }
+        "#;
+        let a = &parse_assertions(src).unwrap()[0];
+        assert_eq!(a.op, ClassOp::Derive);
+        assert_eq!(a.left_classes, vec!["parent", "brother"]);
+        assert_eq!(a.right_class, "uncle");
+        assert_eq!(a.value_corrs_left.len(), 1);
+        assert_eq!(a.value_corrs_left[0].op, ValueOp::In);
+        assert_eq!(a.attr_corrs.len(), 2);
+    }
+
+    #[test]
+    fn with_predicate_parses() {
+        let src = r#"
+            assert S1.stock-in-March-April <= S2.stock {
+                attr S1.stock-in-March-April.price-in-March <= S2.stock.price
+                    with S2.stock.time = "March";
+            }
+        "#;
+        let a = &parse_assertions(src).unwrap()[0];
+        let w = a.attr_corrs[0].with_pred.as_ref().unwrap();
+        assert_eq!(w.tau, Tau::Eq);
+        assert_eq!(w.constant, Value::str("March"));
+        assert_eq!(w.attr.member(), Some("time"));
+    }
+
+    #[test]
+    fn agg_and_reverse_parse() {
+        let src = r#"
+            assert S1.man !& S2.woman {
+                attr S1.man.ssn# == S2.woman.ssn#;
+                agg S1.man.spouse rev S2.woman.spouse;
+            }
+            assert S1.faculty & S2.student {
+                agg S1.faculty.work_in == S2.student.work_in;
+            }
+        "#;
+        let asserts = parse_assertions(src).unwrap();
+        assert_eq!(asserts[0].op, ClassOp::Disjoint);
+        assert_eq!(asserts[0].agg_corrs[0].op, AggOp::Reverse);
+        assert_eq!(asserts[1].op, ClassOp::Intersect);
+        assert_eq!(asserts[1].agg_corrs[0].op, AggOp::Equiv);
+    }
+
+    #[test]
+    fn bare_assertion_with_semicolon() {
+        let asserts = parse_assertions("assert S1.book <= S2.publication;").unwrap();
+        assert_eq!(asserts.len(), 1);
+        assert_eq!(asserts[0].op, ClassOp::Incl);
+    }
+
+    #[test]
+    fn single_class_derivation_arrow() {
+        // Fig. 6(b): S1.Book -> S2.Author (single source class).
+        let asserts = parse_assertions(
+            r#"assert S1.Book -> S2.Author {
+                attr S1.Book.ISBN == S2.Author.book.ISBN;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(asserts[0].op, ClassOp::Derive);
+        assert_eq!(asserts[0].left_classes, vec!["Book"]);
+        // nested path on the right-hand side
+        assert_eq!(asserts[0].attr_corrs[0].right.path.steps, vec!["book", "ISBN"]);
+    }
+
+    #[test]
+    fn quoted_name_path() {
+        let asserts = parse_assertions(
+            r#"assert S2.Author -> S1.Book {
+                attr S2.Author.book."title" == S1.Book."title";
+            }"#,
+        )
+        .unwrap();
+        assert!(asserts[0].attr_corrs[0].left.path.quoted);
+        assert!(asserts[0].attr_corrs[0].right.path.quoted);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_assertions("assert S1.a ==\nS2.b {\n  bogus;\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse_assertions("assert S1.a ?? S2.b;").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_assertions(r#"assert S1.a == S2.b { attr S1.a.x <= S2.b.y with S2.b.t = "ope"#).is_err());
+    }
+
+    #[test]
+    fn value_corr_schema_must_match() {
+        let err = parse_assertions(
+            r#"assert S1.a == S2.b {
+                value S9: a.x = a.y;
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("S9"));
+    }
+
+    #[test]
+    fn numeric_constants() {
+        let a = &parse_assertions(
+            r#"assert S1.a <= S2.b {
+                attr S1.a.x <= S2.b.y with S2.b.n >= 42;
+                attr S1.a.p <= S2.b.q with S2.b.r < 1.5;
+            }"#,
+        )
+        .unwrap()[0];
+        assert_eq!(a.attr_corrs[0].with_pred.as_ref().unwrap().constant, Value::Int(42));
+        assert_eq!(
+            a.attr_corrs[1].with_pred.as_ref().unwrap().constant,
+            Value::Real(1.5)
+        );
+        assert_eq!(a.attr_corrs[1].with_pred.as_ref().unwrap().tau, Tau::Lt);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let asserts = parse_assertions(
+            "// leading comment\nassert S1.a == S2.b; // trailing\n// done",
+        )
+        .unwrap();
+        assert_eq!(asserts.len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Schema-qualified paths: `S₁•Book•author•birthday` — a Definition 4.1
+//! path rooted in a named local schema.
+
+use oo_model::Path;
+use std::fmt;
+
+/// A path qualified by its schema: `schema • class • step …`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SPath {
+    pub schema: String,
+    pub path: Path,
+}
+
+impl SPath {
+    pub fn new(schema: impl Into<String>, path: Path) -> Self {
+        SPath {
+            schema: schema.into(),
+            path,
+        }
+    }
+
+    /// `SPath::attr("S1", "person", "ssn")` — the common single-step form.
+    pub fn attr(
+        schema: impl Into<String>,
+        class: impl Into<String>,
+        attr: impl Into<String>,
+    ) -> Self {
+        SPath::new(schema, Path::attr(class, attr))
+    }
+
+    /// A path naming just a class: `S₁•person`.
+    pub fn class(schema: impl Into<String>, class: impl Into<String>) -> Self {
+        SPath::new(
+            schema,
+            Path {
+                class: class.into(),
+                steps: Vec::new(),
+                quoted: false,
+            },
+        )
+    }
+
+    pub fn class_name(&self) -> &str {
+        &self.path.class
+    }
+
+    /// The final member name (attribute/aggregation), if the path has steps.
+    pub fn member(&self) -> Option<&str> {
+        self.path.steps.last().map(String::as_str)
+    }
+
+    /// Is this a plain `schema•class•member` path (single step)?
+    pub fn is_simple(&self) -> bool {
+        self.path.steps.len() == 1
+    }
+}
+
+impl fmt::Display for SPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}•{}", self.schema, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_bullets() {
+        let p = SPath::new("S1", Path::parse("Book", "author.birthday").unwrap());
+        assert_eq!(p.to_string(), "S1•Book•author•birthday");
+    }
+
+    #[test]
+    fn class_path_has_no_member() {
+        let p = SPath::class("S1", "person");
+        assert_eq!(p.to_string(), "S1•person");
+        assert_eq!(p.member(), None);
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn simple_attr_path() {
+        let p = SPath::attr("S2", "human", "ssn#");
+        assert!(p.is_simple());
+        assert_eq!(p.member(), Some("ssn#"));
+        assert_eq!(p.class_name(), "human");
+    }
+}

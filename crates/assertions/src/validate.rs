@@ -1,0 +1,238 @@
+//! Validation of assertion sets against the pair of schemas they relate:
+//! every class referenced exists, every path resolves (Definition 4.1),
+//! every correspondence's sides belong to the declared schemas.
+
+use crate::assertion::ClassAssertion;
+use crate::spath::SPath;
+use oo_model::Schema;
+use std::fmt;
+
+/// A validation problem, with the offending assertion's display form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    pub assertion: String,
+    pub problem: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`: {}", self.assertion, self.problem)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn schema_for<'a>(
+    name: &str,
+    s1: &'a Schema,
+    s2: &'a Schema,
+) -> Option<&'a Schema> {
+    if s1.name.as_str() == name {
+        Some(s1)
+    } else if s2.name.as_str() == name {
+        Some(s2)
+    } else {
+        None
+    }
+}
+
+fn check_spath(
+    p: &SPath,
+    s1: &Schema,
+    s2: &Schema,
+    errors: &mut Vec<ValidationError>,
+    owner: &str,
+) {
+    let schema = match schema_for(&p.schema, s1, s2) {
+        Some(s) => s,
+        None => {
+            errors.push(ValidationError {
+                assertion: owner.to_string(),
+                problem: format!("unknown schema `{}` in path `{p}`", p.schema),
+            });
+            return;
+        }
+    };
+    if p.path.steps.is_empty() {
+        if schema.class_named(p.class_name()).is_none() {
+            errors.push(ValidationError {
+                assertion: owner.to_string(),
+                problem: format!("unknown class `{}` in `{p}`", p.class_name()),
+            });
+        }
+        return;
+    }
+    if let Err(e) = p.path.resolve(schema) {
+        errors.push(ValidationError {
+            assertion: owner.to_string(),
+            problem: e.to_string(),
+        });
+    }
+}
+
+/// Validate a list of assertions against the two schemas they mention.
+/// Returns all problems found (empty = valid).
+pub fn validate_assertions(
+    assertions: &[ClassAssertion],
+    s1: &Schema,
+    s2: &Schema,
+) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    for a in assertions {
+        let owner = a.to_string();
+        let push = |errors: &mut Vec<ValidationError>, problem: String| {
+            errors.push(ValidationError {
+                assertion: owner.clone(),
+                problem,
+            })
+        };
+        // Class sides exist in their schemas.
+        match schema_for(&a.left_schema, s1, s2) {
+            Some(schema) => {
+                for c in &a.left_classes {
+                    if schema.class_named(c).is_none() {
+                        push(&mut errors, format!("unknown class `{c}` in schema `{}`", a.left_schema));
+                    }
+                }
+            }
+            None => push(&mut errors, format!("unknown schema `{}`", a.left_schema)),
+        }
+        match schema_for(&a.right_schema, s1, s2) {
+            Some(schema) => {
+                if schema.class_named(&a.right_class).is_none() {
+                    push(
+                        &mut errors,
+                        format!(
+                            "unknown class `{}` in schema `{}`",
+                            a.right_class, a.right_schema
+                        ),
+                    );
+                }
+            }
+            None => push(&mut errors, format!("unknown schema `{}`", a.right_schema)),
+        }
+        // Attribute / aggregation correspondences resolve.
+        for corr in &a.attr_corrs {
+            check_spath(&corr.left, s1, s2, &mut errors, &owner);
+            check_spath(&corr.right, s1, s2, &mut errors, &owner);
+            if let Some(w) = &corr.with_pred {
+                check_spath(&w.attr, s1, s2, &mut errors, &owner);
+            }
+        }
+        for corr in &a.agg_corrs {
+            check_spath(&corr.left, s1, s2, &mut errors, &owner);
+            check_spath(&corr.right, s1, s2, &mut errors, &owner);
+        }
+        // Value correspondences resolve within their own schema.
+        for (schema_name, corrs) in [
+            (&a.left_schema, &a.value_corrs_left),
+            (&a.right_schema, &a.value_corrs_right),
+        ] {
+            if let Some(schema) = schema_for(schema_name, s1, s2) {
+                for corr in corrs {
+                    for path in [&corr.left, &corr.right] {
+                        if let Err(e) = path.resolve(schema) {
+                            errors.push(ValidationError {
+                                assertion: owner.clone(),
+                                problem: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{AttrCorr, ValueCorr};
+    use crate::ops::{AttrOp, ClassOp, ValueOp};
+    use oo_model::{AttrType, Path, SchemaBuilder};
+
+    fn schemas() -> (Schema, Schema) {
+        let s1 = SchemaBuilder::new("S1")
+            .class("parent", |c| {
+                c.attr("Pssn#", AttrType::Str)
+                    .set_attr("children", AttrType::Str)
+            })
+            .class("brother", |c| {
+                c.attr("Bssn#", AttrType::Str)
+                    .set_attr("brothers", AttrType::Str)
+            })
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .class("uncle", |c| {
+                c.attr("Ussn#", AttrType::Str)
+                    .set_attr("niece_nephew", AttrType::Str)
+            })
+            .build()
+            .unwrap();
+        (s1, s2)
+    }
+
+    fn uncle_assertion() -> ClassAssertion {
+        ClassAssertion::derivation("S1", ["parent", "brother"], "S2", "uncle")
+            .value_corr_left(ValueCorr::new(
+                Path::attr("parent", "Pssn#"),
+                ValueOp::In,
+                Path::attr("brother", "brothers"),
+            ))
+            .attr_corr(AttrCorr::new(
+                SPath::attr("S1", "brother", "Bssn#"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "uncle", "Ussn#"),
+            ))
+    }
+
+    #[test]
+    fn valid_assertion_passes() {
+        let (s1, s2) = schemas();
+        assert!(validate_assertions(&[uncle_assertion()], &s1, &s2).is_empty());
+    }
+
+    #[test]
+    fn unknown_class_detected() {
+        let (s1, s2) = schemas();
+        let a = ClassAssertion::simple("S1", "ghost", ClassOp::Equiv, "S2", "uncle");
+        let errs = validate_assertions(&[a], &s1, &s2);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].problem.contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_schema_detected() {
+        let (s1, s2) = schemas();
+        let a = ClassAssertion::simple("S9", "parent", ClassOp::Equiv, "S2", "uncle");
+        let errs = validate_assertions(&[a], &s1, &s2);
+        assert!(errs.iter().any(|e| e.problem.contains("S9")));
+    }
+
+    #[test]
+    fn bad_attr_path_detected() {
+        let (s1, s2) = schemas();
+        let a = uncle_assertion().attr_corr(AttrCorr::new(
+            SPath::attr("S1", "brother", "nope"),
+            AttrOp::Equiv,
+            SPath::attr("S2", "uncle", "Ussn#"),
+        ));
+        let errs = validate_assertions(&[a], &s1, &s2);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].problem.contains("nope"));
+    }
+
+    #[test]
+    fn bad_value_path_detected() {
+        let (s1, s2) = schemas();
+        let a = uncle_assertion().value_corr_left(ValueCorr::new(
+            Path::attr("parent", "missing"),
+            ValueOp::Eq,
+            Path::attr("brother", "Bssn#"),
+        ));
+        let errs = validate_assertions(&[a], &s1, &s2);
+        assert_eq!(errs.len(), 1);
+    }
+}

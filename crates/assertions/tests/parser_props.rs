@@ -1,0 +1,91 @@
+//! Parser robustness and roundtrip properties.
+
+use assertions::{parse_assertions, AssertionSet, ClassAssertion, ClassOp};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser never panics on arbitrary ASCII input.
+    #[test]
+    fn parser_never_panics(input in "[ -~\n]{0,200}") {
+        let _ = parse_assertions(&input);
+    }
+
+    /// Simple class assertions written in the textual syntax parse back
+    /// to the same structure.
+    #[test]
+    fn simple_assertion_roundtrip(
+        c1 in "[a-z][a-z0-9_]{0,8}",
+        c2 in "[a-z][a-z0-9_]{0,8}",
+        op in 0usize..5,
+    ) {
+        let (sym, class_op) = [
+            ("==", ClassOp::Equiv),
+            ("<=", ClassOp::Incl),
+            (">=", ClassOp::InclRev),
+            ("&", ClassOp::Intersect),
+            ("!&", ClassOp::Disjoint),
+        ][op];
+        let text = format!("assert S1.{c1} {sym} S2.{c2};");
+        let parsed = parse_assertions(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].op, class_op);
+        prop_assert_eq!(parsed[0].left_class(), c1.as_str());
+        prop_assert_eq!(parsed[0].right_class.as_str(), c2.as_str());
+    }
+
+    /// The pair index answers consistently with its inputs: relation() is
+    /// the declared op from the left side and its mirror from the right.
+    #[test]
+    fn relation_lookup_consistent(op in 0usize..5, n in 1usize..6) {
+        use assertions::PairRelation;
+        let ops = [
+            ClassOp::Equiv,
+            ClassOp::Incl,
+            ClassOp::InclRev,
+            ClassOp::Intersect,
+            ClassOp::Disjoint,
+        ];
+        let class_op = ops[op];
+        let mut set = AssertionSet::new();
+        for i in 0..n {
+            set.add(ClassAssertion::simple(
+                "S1",
+                format!("a{i}"),
+                class_op,
+                "S2",
+                format!("b{i}"),
+            ))
+            .unwrap();
+        }
+        for i in 0..n {
+            let fwd = set.relation("S1", &format!("a{i}"), "S2", &format!("b{i}"));
+            let bwd = set.relation("S2", &format!("b{i}"), "S1", &format!("a{i}"));
+            match class_op {
+                ClassOp::Equiv => {
+                    prop_assert!(matches!(fwd, PairRelation::Equiv(_)));
+                    prop_assert!(matches!(bwd, PairRelation::Equiv(_)));
+                }
+                ClassOp::Incl => {
+                    prop_assert!(matches!(fwd, PairRelation::Incl(_)));
+                    prop_assert!(matches!(bwd, PairRelation::InclRev(_)));
+                }
+                ClassOp::InclRev => {
+                    prop_assert!(matches!(fwd, PairRelation::InclRev(_)));
+                    prop_assert!(matches!(bwd, PairRelation::Incl(_)));
+                }
+                ClassOp::Intersect => {
+                    prop_assert!(matches!(fwd, PairRelation::Intersect(_)));
+                    prop_assert!(matches!(bwd, PairRelation::Intersect(_)));
+                }
+                ClassOp::Disjoint => {
+                    prop_assert!(matches!(fwd, PairRelation::Disjoint(_)));
+                    prop_assert!(matches!(bwd, PairRelation::Disjoint(_)));
+                }
+                ClassOp::Derive => unreachable!(),
+            }
+            // Unrelated pairs stay unrelated.
+            let unrelated = set.relation("S1", &format!("a{i}"), "S2", "zz");
+            prop_assert!(matches!(unrelated, PairRelation::None));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! §6.1 observations 1-4: how the assertion mix changes the optimized
+//! algorithm's cost (equivalences prune hardest; intersections and missing
+//! assertions approach naive cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoo_bench::{mirrored_trees, AssertionMix};
+
+fn bench_mixes(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("assertion_mix");
+    group.sample_size(30);
+    for (name, mix) in [
+        ("all_equiv", AssertionMix::all_equiv()),
+        ("incl_heavy", AssertionMix::incl_heavy()),
+        ("intersect_heavy", AssertionMix::intersect_heavy()),
+        ("mixed", AssertionMix::mixed()),
+        ("none", AssertionMix::none()),
+    ] {
+        let pair = mirrored_trees(n, 3, mix, 42);
+        group.bench_with_input(BenchmarkId::new("optimized", name), &name, |b, _| {
+            b.iter(|| {
+                fedoo::core::optimized::schema_integration_with_trace(
+                    &pair.s1,
+                    &pair.s2,
+                    &pair.assertions,
+                    false,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &name, |b, _| {
+            b.iter(|| {
+                fedoo::core::naive::naive_with_trace(&pair.s1, &pair.s2, &pair.assertions, false)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixes);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Principle 5 machinery: decomposition + assertion-graph construction +
+//! rule generation as the schematic discrepancy widens (Example 10 with n
+//! car columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoo::assertions::decompose_derivation;
+use fedoo::core::principles::derivation::{build_assertion_graph, derive_rule};
+use fedoo::prelude::*;
+
+fn car_assertion(n: usize) -> ClassAssertion {
+    let mut a = ClassAssertion::derivation("S2", ["car2"], "S1", "car1");
+    a.attr_corrs.push(AttrCorr::new(
+        SPath::attr("S2", "car2", "time"),
+        AttrOp::Equiv,
+        SPath::attr("S1", "car1", "time"),
+    ));
+    for i in 1..=n {
+        a.attr_corrs.push(
+            AttrCorr::new(
+                SPath::attr("S2", "car2", format!("car-name{i}")),
+                AttrOp::Incl,
+                SPath::attr("S1", "car1", "price"),
+            )
+            .with(WithPred {
+                attr: SPath::attr("S1", "car1", "car-name"),
+                tau: Tau::Eq,
+                constant: Value::str(format!("car-name{i}")),
+            }),
+        );
+    }
+    a
+}
+
+fn bench_rulegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derivation_rulegen");
+    for n in [4usize, 16, 64] {
+        let a = car_assertion(n);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &n, |b, _| {
+            b.iter(|| decompose_derivation(&a))
+        });
+        let pieces = decompose_derivation(&a);
+        group.bench_with_input(BenchmarkId::new("graph_and_rule", n), &n, |b, _| {
+            b.iter(|| {
+                pieces
+                    .iter()
+                    .map(|p| {
+                        let g = build_assertion_graph(p);
+                        derive_rule(p, &g, |s, c| format!("IS({s}•{c})"))
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rulegen);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The headline benchmark (§6.3): wall-clock time of the naive vs the
+//! optimized integration algorithm over mirrored trees where every class
+//! has exactly one equivalent counterpart (the paper's analytic setting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoo_bench::{mirrored_trees, AssertionMix};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integration_scaling");
+    group.sample_size(30);
+    for n in [16usize, 32, 64, 128] {
+        let pair = mirrored_trees(n, 3, AssertionMix::all_equiv(), 42);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                fedoo::core::naive::naive_with_trace(
+                    &pair.s1,
+                    &pair.s2,
+                    &pair.assertions,
+                    false,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            b.iter(|| {
+                fedoo::core::optimized::schema_integration_with_trace(
+                    &pair.s1,
+                    &pair.s2,
+                    &pair.assertions,
+                    false,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

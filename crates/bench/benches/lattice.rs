@@ -1,0 +1,38 @@
+//! Principle 6 micro-benchmark: lcs over the Fig. 13 constraint lattice
+//! (exercised once per merged aggregation link).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedoo::prelude::Cardinality;
+use std::hint::black_box;
+
+fn bench_lattice(c: &mut Criterion) {
+    let all = Cardinality::all();
+    c.bench_function("lcs_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for a in all {
+                for x in all {
+                    let j = black_box(a).lcs(&black_box(x));
+                    acc += usize::from(j.mandatory);
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("lattice_le_closure", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for a in all {
+                for x in all {
+                    if black_box(a).le(&black_box(x)) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 2: accumulation vs balanced integration of k component schemas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoo::prelude::*;
+
+fn build_fsm(k: usize) -> Fsm {
+    let mut fsm = Fsm::new();
+    for s in 0..k {
+        let schema = SchemaBuilder::new("x")
+            .class("person", |c| c.attr("ssn", AttrType::Str))
+            .class("extra", |c| c.attr("v", AttrType::Int))
+            .empty_class("leaf")
+            .isa("leaf", "person")
+            .build()
+            .unwrap();
+        fsm.register(
+            Agent::object_oriented(format!("a{s}"), schema, InstanceStore::new()),
+            &format!("S{s}"),
+        )
+        .unwrap();
+    }
+    for s in 1..k {
+        fsm.add_assertion(ClassAssertion::simple(
+            "S0",
+            "person",
+            ClassOp::Equiv,
+            format!("S{s}"),
+            "person",
+        ));
+    }
+    fsm
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_schema");
+    group.sample_size(30);
+    for k in [2usize, 4, 8] {
+        let fsm = build_fsm(k);
+        group.bench_with_input(BenchmarkId::new("accumulation", k), &k, |b, _| {
+            b.iter(|| fsm.integrate(IntegrationStrategy::Accumulation).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("balanced", k), &k, |b, _| {
+            b.iter(|| fsm.integrate(IntegrationStrategy::Balanced).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

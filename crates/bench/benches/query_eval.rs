@@ -1,0 +1,69 @@
+//! Appendix B: federated evaluation cost as the component extensions grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedoo::deduction::federated::{AnnotatedProgram, MapProvider};
+use fedoo::prelude::*;
+
+fn program() -> AnnotatedProgram {
+    let v = Term::var;
+    let mut prog = AnnotatedProgram::new();
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        ["S2"],
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Vec::<String>::new(),
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+        ["S2"],
+    );
+    for (name, schema) in [("mother", "S1"), ("father", "S1"), ("brother", "S2")] {
+        prog.add(Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]), [schema]);
+    }
+    prog
+}
+
+fn provider(n: usize) -> MapProvider {
+    let mut p = MapProvider::new();
+    for i in 0..n {
+        p.add("S1", "mother", vec![format!("c{i}").into(), format!("m{i}").into()]);
+        p.add("S1", "father", vec![format!("c{i}").into(), format!("f{i}").into()]);
+        p.add("S2", "brother", vec![format!("m{i}").into(), format!("u{i}").into()]);
+    }
+    p
+}
+
+fn bench_query(c: &mut Criterion) {
+    let prog = program();
+    let mut group = c.benchmark_group("federated_query");
+    group.sample_size(20);
+    for n in [10usize, 100, 400] {
+        let p = provider(n);
+        group.bench_with_input(BenchmarkId::new("uncle_all", n), &n, |b, _| {
+            let q = Pred::new("uncle", [Term::var("x"), Term::var("y")]);
+            b.iter(|| prog.evaluate(&q, &p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("uncle_constant", n), &n, |b, _| {
+            let q = Pred::new("uncle", [Term::val("c0"), Term::var("y")]);
+            b.iter(|| prog.evaluate(&q, &p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

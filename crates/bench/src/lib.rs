@@ -1,0 +1,15 @@
+//! # fedoo-bench
+//!
+//! Workload generators and shared helpers for the benchmark harness.
+//!
+//! The paper's evaluation (§6.3) is analytic: under the assumption that
+//! both schemas are trees of the same height and *every class has exactly
+//! one equivalent counterpart*, the optimized algorithm checks Ω_h = O(n)
+//! pairs on average against the naive algorithm's > O(n²). [`genschema`]
+//! reproduces exactly that setting — mirrored random trees with a
+//! controllable assertion mix — so the benches and the `experiments`
+//! runner can regenerate the complexity claim empirically.
+
+pub mod genschema;
+
+pub use genschema::{mirrored_trees, random_tree, AssertionMix, GeneratedPair};

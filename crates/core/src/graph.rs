@@ -1,0 +1,166 @@
+//! The traversal view of a schema (§6.1): a graph of classes connected by
+//! is-a links, traversed top-down, with a **virtual start node** drawn above
+//! all parentless classes so every schema has a single entry point.
+
+use oo_model::{ClassName, Schema};
+
+/// A node of the traversal graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// The virtual start node (§6.1: "we construct a virtual one … and for
+    /// each of those nodes which have no parent nodes … draw a meaningless
+    /// edge from it to the virtual start node").
+    Start,
+    /// A real class.
+    Class(ClassName),
+}
+
+impl Node {
+    pub fn class(name: impl Into<ClassName>) -> Self {
+        Node::Class(name.into())
+    }
+
+    pub fn class_name(&self) -> Option<&str> {
+        match self {
+            Node::Start => None,
+            Node::Class(c) => Some(c.as_str()),
+        }
+    }
+
+    pub fn display(&self) -> &str {
+        self.class_name().unwrap_or("⟨start⟩")
+    }
+}
+
+/// A schema viewed as a rooted traversal graph.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaGraph<'a> {
+    pub schema: &'a Schema,
+}
+
+impl<'a> SchemaGraph<'a> {
+    pub fn new(schema: &'a Schema) -> Self {
+        SchemaGraph { schema }
+    }
+
+    /// The start node (always virtual; real roots hang below it).
+    pub fn start(&self) -> Node {
+        Node::Start
+    }
+
+    /// Child nodes: for the start node, the schema's roots; for a class,
+    /// its direct subclasses. Deterministic (name-sorted).
+    pub fn children(&self, node: &Node) -> Vec<Node> {
+        match node {
+            Node::Start => self
+                .schema
+                .roots()
+                .into_iter()
+                .map(Node::Class)
+                .collect(),
+            Node::Class(c) => {
+                let mut kids: Vec<&ClassName> = self.schema.children(c);
+                kids.sort();
+                kids.into_iter().map(|c| Node::Class(c.clone())).collect()
+            }
+        }
+    }
+
+    /// Sibling nodes of a class (children of its parents, or the other
+    /// roots when the class is a root).
+    pub fn siblings(&self, node: &Node) -> Vec<Node> {
+        match node {
+            Node::Start => Vec::new(),
+            Node::Class(c) => {
+                if self.schema.parents(c).is_empty() {
+                    self.schema
+                        .roots()
+                        .into_iter()
+                        .filter(|r| r != c)
+                        .map(Node::Class)
+                        .collect()
+                } else {
+                    self.schema
+                        .siblings(c)
+                        .into_iter()
+                        .map(Node::Class)
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Number of class nodes.
+    pub fn len(&self) -> usize {
+        self.schema.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.schema.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S2")
+            .empty_class("human")
+            .empty_class("employee")
+            .empty_class("student")
+            .empty_class("faculty")
+            .empty_class("island") // disconnected root
+            .isa("employee", "human")
+            .isa("student", "human")
+            .isa("faculty", "employee")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn start_children_are_roots() {
+        let s = schema();
+        let g = SchemaGraph::new(&s);
+        let kids = g.children(&g.start());
+        assert_eq!(
+            kids,
+            vec![Node::class("human"), Node::class("island")]
+        );
+    }
+
+    #[test]
+    fn class_children_sorted() {
+        let s = schema();
+        let g = SchemaGraph::new(&s);
+        assert_eq!(
+            g.children(&Node::class("human")),
+            vec![Node::class("employee"), Node::class("student")]
+        );
+        assert!(g.children(&Node::class("faculty")).is_empty());
+    }
+
+    #[test]
+    fn siblings() {
+        let s = schema();
+        let g = SchemaGraph::new(&s);
+        assert_eq!(
+            g.siblings(&Node::class("employee")),
+            vec![Node::class("student")]
+        );
+        // roots are siblings of each other
+        assert_eq!(
+            g.siblings(&Node::class("human")),
+            vec![Node::class("island")]
+        );
+        assert!(g.siblings(&g.start()).is_empty());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(Node::Start.display(), "⟨start⟩");
+        assert_eq!(Node::class("x").display(), "x");
+        assert_eq!(Node::Start.class_name(), None);
+    }
+}

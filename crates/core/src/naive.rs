@@ -1,0 +1,265 @@
+//! Algorithm **naive_schema_integration** (§6.1).
+//!
+//! A queue-controlled breadth-first expansion over pairs of nodes from the
+//! two schema graphs: each popped pair `(N₁, N₂)` is checked against the
+//! assertion set and the corresponding integration operation is performed;
+//! all pairs `(N₁ᵢ, N₂ⱼ)`, `(N₁, N₂ⱼ)` and `(N₁ᵢ, N₂)` are enqueued. With
+//! `O(n)` nodes per schema this checks `O(n²)` pairs — the baseline the
+//! optimized algorithm (§6.1's `schema_integration`) is measured against.
+
+use crate::context::Integrator;
+use crate::graph::{Node, SchemaGraph};
+use crate::integrated::{IntegratedSchema, SourceRef};
+use crate::stats::IntegrationStats;
+use crate::trace::TraceEvent;
+use crate::Result;
+use assertions::{AssertionSet, PairRelation};
+use oo_model::Schema;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The result of one integration run.
+#[derive(Debug, Clone)]
+pub struct IntegrationRun {
+    pub output: IntegratedSchema,
+    pub stats: IntegrationStats,
+    pub trace: Vec<TraceEvent>,
+    /// Declared assertions the traversal ignored (optimized algorithm
+    /// only); the paper surfaces these to the user for confirmation.
+    pub warnings: Vec<String>,
+}
+
+/// Handle one checked pair according to its assertion (shared between the
+/// naive and optimized drivers' breadth-first phase).
+pub(crate) fn handle_pair(
+    ctx: &mut Integrator<'_>,
+    c1: &str,
+    c2: &str,
+    relation: PairRelation,
+) -> Result<()> {
+    match relation {
+        PairRelation::Equiv(id) => {
+            ctx.merge_equivalent(id)?;
+        }
+        PairRelation::Incl(_) => {
+            ctx.note_inclusion(
+                SourceRef::new(ctx.s1.name.as_str(), c1),
+                SourceRef::new(ctx.s2.name.as_str(), c2),
+            );
+        }
+        PairRelation::InclRev(_) => {
+            ctx.note_inclusion(
+                SourceRef::new(ctx.s2.name.as_str(), c2),
+                SourceRef::new(ctx.s1.name.as_str(), c1),
+            );
+        }
+        PairRelation::Intersect(id) => ctx.note_intersection(id),
+        PairRelation::Disjoint(id) => ctx.note_disjoint(id),
+        PairRelation::Derivation(_) => {
+            // A pair can participate in several derivation assertions
+            // (e.g. Book → Author and Author → Book); record them all.
+            for id in ctx.assertions.derivations_between(
+                ctx.s1.name.as_str(),
+                c1,
+                ctx.s2.name.as_str(),
+                c2,
+            ) {
+                ctx.note_derivation(id);
+            }
+            for id in ctx.assertions.derivations_between(
+                ctx.s2.name.as_str(),
+                c2,
+                ctx.s1.name.as_str(),
+                c1,
+            ) {
+                ctx.note_derivation(id);
+            }
+        }
+        PairRelation::None => {}
+    }
+    Ok(())
+}
+
+pub(crate) fn relation_name(rel: &PairRelation) -> &'static str {
+    match rel {
+        PairRelation::Equiv(_) => "≡",
+        PairRelation::Incl(_) => "⊆",
+        PairRelation::InclRev(_) => "⊇",
+        PairRelation::Intersect(_) => "∩",
+        PairRelation::Disjoint(_) => "∅",
+        PairRelation::Derivation(_) => "→",
+        PairRelation::None => "no assertion",
+    }
+}
+
+/// Run the naive integration of `s1` and `s2` under `assertions`.
+pub fn naive_schema_integration(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+) -> Result<IntegrationRun> {
+    naive_with_trace(s1, s2, assertions, true)
+}
+
+/// Naive integration with optional trace collection (benchmarks disable
+/// it).
+pub fn naive_with_trace(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+    collect_trace: bool,
+) -> Result<IntegrationRun> {
+    let mut ctx = Integrator::new(s1, s2, assertions);
+    ctx.collect_trace = collect_trace;
+    let g1 = SchemaGraph::new(s1);
+    let g2 = SchemaGraph::new(s2);
+
+    let mut queue: VecDeque<(Node, Node)> = VecDeque::new();
+    let mut seen: BTreeSet<(Node, Node)> = BTreeSet::new();
+    let start = (g1.start(), g2.start());
+    seen.insert(start.clone());
+    queue.push_back(start);
+
+    while let Some((n1, n2)) = queue.pop_front() {
+        let kids1 = g1.children(&n1);
+        let kids2 = g2.children(&n2);
+        // Line 6: all pairs (N1i, N2j), (N1, N2j), (N1i, N2).
+        for k1 in &kids1 {
+            for k2 in &kids2 {
+                enqueue(&mut queue, &mut seen, &mut ctx.stats, k1.clone(), k2.clone());
+            }
+        }
+        for k2 in &kids2 {
+            enqueue(&mut queue, &mut seen, &mut ctx.stats, n1.clone(), k2.clone());
+        }
+        for k1 in &kids1 {
+            enqueue(&mut queue, &mut seen, &mut ctx.stats, k1.clone(), n2.clone());
+        }
+        // Line 7: integrate according to the assertion between N1 and N2.
+        if let (Some(c1), Some(c2)) = (n1.class_name(), n2.class_name()) {
+            ctx.stats.pairs_checked += 1;
+            let rel = ctx.relation(c1, c2);
+            ctx.push_trace(TraceEvent::PopPair {
+                left: c1.to_string(),
+                right: c2.to_string(),
+                relation: relation_name(&rel).to_string(),
+            });
+            handle_pair(&mut ctx, c1, c2, rel)?;
+        }
+    }
+    ctx.finalize()?;
+    Ok(IntegrationRun {
+        output: ctx.output,
+        stats: ctx.stats,
+        trace: ctx.trace,
+        warnings: ctx.warnings,
+    })
+}
+
+fn enqueue(
+    queue: &mut VecDeque<(Node, Node)>,
+    seen: &mut BTreeSet<(Node, Node)>,
+    stats: &mut IntegrationStats,
+    a: Node,
+    b: Node,
+) {
+    let pair = (a, b);
+    if seen.insert(pair.clone()) {
+        stats.pairs_enqueued += 1;
+        queue.push_back(pair);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assertions::{ClassAssertion, ClassOp};
+    use oo_model::SchemaBuilder;
+
+    fn mirror_schemas(n: usize) -> (Schema, Schema, AssertionSet) {
+        // Two identical chains of n classes with pairwise equivalences.
+        let mut b1 = SchemaBuilder::new("S1");
+        let mut b2 = SchemaBuilder::new("S2");
+        for i in 0..n {
+            b1 = b1.empty_class(format!("a{i}"));
+            b2 = b2.empty_class(format!("b{i}"));
+        }
+        for i in 1..n {
+            b1 = b1.isa(format!("a{i}"), format!("a{}", i - 1));
+            b2 = b2.isa(format!("b{i}"), format!("b{}", i - 1));
+        }
+        let s1 = b1.build().unwrap();
+        let s2 = b2.build().unwrap();
+        let aset = AssertionSet::build((0..n).map(|i| {
+            ClassAssertion::simple("S1", format!("a{i}"), ClassOp::Equiv, "S2", format!("b{i}"))
+        }))
+        .unwrap();
+        (s1, s2, aset)
+    }
+
+    #[test]
+    fn all_pairs_checked() {
+        let (s1, s2, aset) = mirror_schemas(5);
+        let run = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        // The naive algorithm checks every class pair: n² = 25.
+        assert_eq!(run.stats.pairs_checked, 25);
+        // All five pairs merged.
+        assert_eq!(run.stats.classes_merged, 5);
+        assert_eq!(run.output.len(), 5);
+    }
+
+    #[test]
+    fn quadratic_growth() {
+        for n in [4usize, 8, 16] {
+            let (s1, s2, aset) = mirror_schemas(n);
+            let run = naive_schema_integration(&s1, &s2, &aset).unwrap();
+            assert_eq!(run.stats.pairs_checked, (n * n) as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn isa_chain_preserved() {
+        let (s1, s2, aset) = mirror_schemas(4);
+        let run = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        assert!(run.output.has_isa("a1", "a0"));
+        assert!(run.output.has_isa("a3", "a2"));
+        assert_eq!(run.output.isa_links().count(), 3);
+    }
+
+    #[test]
+    fn forest_schemas_reachable_through_virtual_start() {
+        // Two disconnected roots per schema: the virtual start node makes
+        // every pair reachable.
+        let s1 = SchemaBuilder::new("S1")
+            .empty_class("r1")
+            .empty_class("r2")
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .empty_class("q1")
+            .empty_class("q2")
+            .build()
+            .unwrap();
+        let aset = AssertionSet::build([ClassAssertion::simple(
+            "S1",
+            "r2",
+            ClassOp::Equiv,
+            "S2",
+            "q2",
+        )])
+        .unwrap();
+        let run = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        assert_eq!(run.stats.pairs_checked, 4);
+        assert_eq!(run.stats.classes_merged, 1);
+        assert_eq!(run.output.len(), 3);
+    }
+
+    #[test]
+    fn no_assertions_copies_everything() {
+        let (s1, s2, _) = mirror_schemas(3);
+        let empty = AssertionSet::new();
+        let run = naive_schema_integration(&s1, &s2, &empty).unwrap();
+        assert_eq!(run.output.len(), 6);
+        assert_eq!(run.stats.classes_copied, 6);
+        assert_eq!(run.stats.classes_merged, 0);
+    }
+}

@@ -1,0 +1,894 @@
+//! Algorithm **schema_integration** + **path_labelling** (§6.1) — the
+//! paper's optimized integration algorithm.
+//!
+//! Breadth-first traversal over node pairs as in the naive algorithm, but:
+//!
+//! * only the diagonal child pairs `(N₁ᵢ, N₂ⱼ)` are enqueued by default;
+//!   one-sided pairs are enqueued selectively per assertion case
+//!   (observations 1–4 of §6.1);
+//! * on `N₁ ≡ N₂`, sibling pairs `(N₁, M₂ⱼ)` / `(M₁ᵢ, N₂)` are removed
+//!   from the queue (their relationships are derivable);
+//! * on `N₁ ⊆ N₂`, a **depth-first** `path_labelling` walk labels the
+//!   is-a paths under N₂ that N₁ is included in, generates the single
+//!   non-redundant is-a link of Principle 2/Fig. 8, and the label is
+//!   inherited by N₁'s subtree so all those pairs are skipped later
+//!   (line 7's label test);
+//! * on `∅` / `→`, neither one-sided family is expanded (observation 3);
+//! * on `∩` or no assertion, both families are expanded (observation 4).
+
+use crate::context::Integrator;
+use crate::graph::{Node, SchemaGraph};
+use crate::integrated::SourceRef;
+use crate::naive::{relation_name, IntegrationRun};
+use crate::trace::TraceEvent;
+use crate::Result;
+use assertions::{AssertionSet, PairRelation};
+use oo_model::Schema;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Per-side label state: own labels and inherited labels per node
+/// (the `<l₁·…·lₙ, l₁'·…·lₘ'>` pairs of §6.1).
+#[derive(Debug, Default)]
+struct LabelState {
+    labels: BTreeMap<Node, BTreeSet<u32>>,
+    inherited: BTreeMap<Node, BTreeSet<u32>>,
+}
+
+impl LabelState {
+    fn labels(&self, n: &Node) -> &BTreeSet<u32> {
+        static EMPTY: BTreeSet<u32> = BTreeSet::new();
+        self.labels.get(n).unwrap_or(&EMPTY)
+    }
+
+    fn inherited(&self, n: &Node) -> &BTreeSet<u32> {
+        static EMPTY: BTreeSet<u32> = BTreeSet::new();
+        self.inherited.get(n).unwrap_or(&EMPTY)
+    }
+
+    fn add_label(&mut self, n: Node, l: u32) {
+        self.labels.entry(n).or_default().insert(l);
+    }
+
+    fn add_inherited(&mut self, n: Node, l: u32) {
+        self.inherited.entry(n).or_default().insert(l);
+    }
+}
+
+fn intersects(a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> bool {
+    a.iter().any(|l| b.contains(l))
+}
+
+/// Ablation switches for the optimized algorithm: each optimization can
+/// be turned off independently to measure its contribution (the DESIGN.md
+/// ablation benches).
+#[derive(Debug, Clone, Copy)]
+pub struct IntegrationOptions {
+    /// Collect trace events.
+    pub collect_trace: bool,
+    /// Use labels/inherited labels + `path_labelling` (observation 2).
+    pub labels: bool,
+    /// Remove sibling pairs on equivalences (observation 1, line 10).
+    pub sibling_removal: bool,
+    /// Skip one-sided expansions for ∅ / → pairs (observation 3).
+    pub skip_disjoint_expansion: bool,
+}
+
+impl Default for IntegrationOptions {
+    fn default() -> Self {
+        IntegrationOptions {
+            collect_trace: true,
+            labels: true,
+            sibling_removal: true,
+            skip_disjoint_expansion: true,
+        }
+    }
+}
+
+/// Run the optimized integration of `s1` and `s2` under `assertions`.
+pub fn schema_integration(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+) -> Result<IntegrationRun> {
+    schema_integration_with_options(s1, s2, assertions, IntegrationOptions::default())
+}
+
+/// Optimized integration with optional trace collection.
+pub fn schema_integration_with_trace(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+    collect_trace: bool,
+) -> Result<IntegrationRun> {
+    schema_integration_with_options(
+        s1,
+        s2,
+        assertions,
+        IntegrationOptions {
+            collect_trace,
+            ..IntegrationOptions::default()
+        },
+    )
+}
+
+/// Optimized integration with explicit ablation options.
+pub fn schema_integration_with_options(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+    options: IntegrationOptions,
+) -> Result<IntegrationRun> {
+    let mut ctx = Integrator::new(s1, s2, assertions);
+    ctx.collect_trace = options.collect_trace;
+    let g1 = SchemaGraph::new(s1);
+    let g2 = SchemaGraph::new(s2);
+    let mut labels1 = LabelState::default();
+    let mut labels2 = LabelState::default();
+    let mut next_label: u32 = 0;
+
+    let mut queue: VecDeque<(Node, Node)> = VecDeque::new();
+    let mut seen: BTreeSet<(Node, Node)> = BTreeSet::new();
+    let mut cancelled: BTreeSet<(Node, Node)> = BTreeSet::new();
+    let start = (g1.start(), g2.start());
+    seen.insert(start.clone());
+    queue.push_back(start);
+
+    while let Some((n1, n2)) = queue.pop_front() {
+        if cancelled.contains(&(n1.clone(), n2.clone())) {
+            ctx.stats.pairs_removed_as_siblings += 1;
+            ctx.push_trace(TraceEvent::RemoveSiblingPair {
+                left: n1.display().to_string(),
+                right: n2.display().to_string(),
+            });
+            // §6.1 observation 3: an assertion declared between a removed
+            // pair is "strange" — the paper informs the user and asks
+            // whether it is intended. We surface the warning and honour
+            // the directly declared assertion (the post-confirmation
+            // behaviour); assertions buried deeper in the pruned subtree
+            // are warned about but not applied.
+            if let (Some(c1), Some(c2)) = (n1.class_name(), n2.class_name()) {
+                let c1 = c1.to_string();
+                let c2 = c2.to_string();
+                let rel = ctx.relation(&c1, &c2);
+                if !matches!(rel, PairRelation::None) {
+                    ctx.warnings.push(format!(
+                        "assertion between ({c1}, {c2}) was declared although the pair was                          pruned by an equivalence between relatives; applying it anyway"
+                    ));
+                    ctx.stats.pairs_checked += 1;
+                    crate::naive::handle_pair(&mut ctx, &c1, &c2, rel)?;
+                }
+                warn_ignored_subtree(&mut ctx, &g1, &g2, &n1, &n2);
+            }
+            continue;
+        }
+        let kids1 = g1.children(&n1);
+        let kids2 = g2.children(&n2);
+        // Line 6: the diagonal pairs are always enqueued.
+        for k1 in &kids1 {
+            for k2 in &kids2 {
+                enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), k2.clone());
+            }
+        }
+        let (c1, c2) = match (n1.class_name(), n2.class_name()) {
+            (Some(c1), Some(c2)) => (c1.to_string(), c2.to_string()),
+            _ => {
+                // The virtual start pair: the diagonal expansion above
+                // already seeded every root pair; one-sided pairs through
+                // the start node would leak unpruned cross pairs.
+                continue;
+            }
+        };
+        // Line 7: the label test.
+        let skip_left =
+            options.labels && intersects(labels1.inherited(&n1), labels2.labels(&n2));
+        let skip_right =
+            options.labels && intersects(labels1.labels(&n1), labels2.inherited(&n2));
+        if skip_left || skip_right {
+            ctx.stats.pairs_skipped_by_labels += 1;
+            ctx.push_trace(TraceEvent::SkipPairLabels {
+                left: c1.clone(),
+                right: c2.clone(),
+            });
+            // Lines 34-35: continue expanding on the unlabelled side.
+            if skip_left {
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+            } else {
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+            continue;
+        }
+        let rel = ctx.relation_counted(&c1, &c2, false);
+        ctx.push_trace(TraceEvent::PopPair {
+            left: c1.clone(),
+            right: c2.clone(),
+            relation: relation_name(&rel).to_string(),
+        });
+        match rel {
+            PairRelation::Equiv(id) => {
+                ctx.merge_equivalent(id)?;
+                // Line 10: remove sibling pairs from S_b.
+                if options.sibling_removal {
+                    for m2 in g2.siblings(&n2) {
+                        cancelled.insert((n1.clone(), m2));
+                    }
+                    for m1 in g1.siblings(&n1) {
+                        cancelled.insert((m1, n2.clone()));
+                    }
+                }
+            }
+            PairRelation::Incl(_) if !options.labels => {
+                // Ablation: no path_labelling — record the asserted link
+                // (transitive reduction cleans up) and expand as default.
+                ctx.note_inclusion(
+                    SourceRef::new(ctx.s1.name.as_str(), c1.as_str()),
+                    SourceRef::new(ctx.s2.name.as_str(), c2.as_str()),
+                );
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+            PairRelation::InclRev(_) if !options.labels => {
+                ctx.note_inclusion(
+                    SourceRef::new(ctx.s2.name.as_str(), c2.as_str()),
+                    SourceRef::new(ctx.s1.name.as_str(), c1.as_str()),
+                );
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+            PairRelation::Incl(_) => {
+                // Lines 11-17: depth-first labelling of N2's subgraph.
+                next_label += 1;
+                ctx.stats.labels_created += 1;
+                ctx.push_trace(TraceEvent::DfsStart {
+                    n1: c1.clone(),
+                    root: c2.clone(),
+                    label: next_label,
+                });
+                path_labelling(
+                    &mut ctx,
+                    &g2,
+                    Side::SubInS1,
+                    &n1,
+                    &n2,
+                    next_label,
+                    &mut labels2,
+                )?;
+                inherit(&mut ctx, &g1, &n1, next_label, &mut labels1);
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+            }
+            PairRelation::InclRev(_) => {
+                // Lines 18-24: symmetric case, N2 ⊆ N1.
+                next_label += 1;
+                ctx.stats.labels_created += 1;
+                ctx.push_trace(TraceEvent::DfsStart {
+                    n1: c2.clone(),
+                    root: c1.clone(),
+                    label: next_label,
+                });
+                path_labelling(
+                    &mut ctx,
+                    &g1,
+                    Side::SubInS2,
+                    &n2,
+                    &n1,
+                    next_label,
+                    &mut labels1,
+                )?;
+                inherit(&mut ctx, &g2, &n2, next_label, &mut labels2);
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+            PairRelation::Disjoint(id) => {
+                // Lines 25, observation 3: rules only, no one-sided pairs.
+                ctx.note_disjoint(id);
+                if !options.skip_disjoint_expansion {
+                    for k2 in &kids2 {
+                        enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                    }
+                    for k1 in &kids1 {
+                        enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                    }
+                }
+            }
+            PairRelation::Derivation(_) => {
+                for id in ctx
+                    .assertions
+                    .derivations_between(ctx.s1.name.as_str(), &c1, ctx.s2.name.as_str(), &c2)
+                {
+                    ctx.note_derivation(id);
+                }
+                for id in ctx
+                    .assertions
+                    .derivations_between(ctx.s2.name.as_str(), &c2, ctx.s1.name.as_str(), &c1)
+                {
+                    ctx.note_derivation(id);
+                }
+            }
+            PairRelation::Intersect(id) => {
+                // Lines 29-31, observation 4: both families expanded.
+                ctx.note_intersection(id);
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+            PairRelation::None => {
+                // Line 33 (default).
+                for k2 in &kids2 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, n1.clone(), k2.clone());
+                }
+                for k1 in &kids1 {
+                    enqueue(&mut queue, &mut seen, &mut ctx, k1.clone(), n2.clone());
+                }
+            }
+        }
+    }
+    ctx.finalize()?;
+    Ok(IntegrationRun {
+        output: ctx.output,
+        stats: ctx.stats,
+        trace: ctx.trace,
+        warnings: ctx.warnings,
+    })
+}
+
+/// Collect "strange assertion" warnings for a removed sibling pair and the
+/// subtree pairs its removal prunes.
+fn warn_ignored_subtree(
+    ctx: &mut Integrator<'_>,
+    g1: &SchemaGraph<'_>,
+    g2: &SchemaGraph<'_>,
+    n1: &Node,
+    n2: &Node,
+) {
+    let mut left: Vec<Node> = vec![n1.clone()];
+    let mut i = 0;
+    while i < left.len() {
+        let more = g1.children(&left[i]);
+        left.extend(more);
+        i += 1;
+    }
+    let mut right: Vec<Node> = vec![n2.clone()];
+    let mut i = 0;
+    while i < right.len() {
+        let more = g2.children(&right[i]);
+        right.extend(more);
+        i += 1;
+    }
+    for a in &left {
+        for b in &right {
+            if a == n1 && b == n2 {
+                continue; // the direct pair was handled above
+            }
+            if let (Some(ca), Some(cb)) = (a.class_name(), b.class_name()) {
+                if !matches!(ctx.relation(ca, cb), assertions::PairRelation::None) {
+                    ctx.warnings.push(format!(
+                        "assertion between ({ca}, {cb}) ignored: the pair was pruned by an                          equivalence between relatives; please confirm the assertion is intended"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn enqueue(
+    queue: &mut VecDeque<(Node, Node)>,
+    seen: &mut BTreeSet<(Node, Node)>,
+    ctx: &mut Integrator<'_>,
+    a: Node,
+    b: Node,
+) {
+    let pair = (a, b);
+    if seen.insert(pair.clone()) {
+        ctx.stats.pairs_enqueued += 1;
+        queue.push_back(pair);
+    }
+}
+
+/// Which schema holds the ⊆-side class (N₁ of `path_labelling`); the walk
+/// happens in the other schema.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// The sub class is in S1; the walked graph is S2.
+    SubInS1,
+    /// The sub class is in S2; the walked graph is S1.
+    SubInS2,
+}
+
+/// The `N₁ θ V` consultation, normalised so that `Incl` always means
+/// "sub ⊆ v".
+fn rel_for(ctx: &mut Integrator<'_>, side: Side, sub: &str, v: &str) -> PairRelation {
+    match side {
+        Side::SubInS1 => ctx.relation_counted(sub, v, true),
+        Side::SubInS2 => match ctx.relation_counted(v, sub, true) {
+            PairRelation::Incl(id) => PairRelation::InclRev(id),
+            PairRelation::InclRev(id) => PairRelation::Incl(id),
+            other => other,
+        },
+    }
+}
+
+/// Algorithm **path_labelling**: depth-first traversal of the subgraph
+/// rooted at `root` (in the super-side schema), labelling the nodes `V`
+/// with `sub ⊆ V` or `sub ≡ V`, merging on equivalence, and generating the
+/// single non-redundant is-a link of Fig. 8 where a path ends.
+#[allow(clippy::too_many_arguments)]
+fn path_labelling(
+    ctx: &mut Integrator<'_>,
+    graph: &SchemaGraph<'_>,
+    side: Side,
+    sub_node: &Node,
+    root: &Node,
+    label: u32,
+    state: &mut LabelState,
+) -> Result<()> {
+    let sub = sub_node.class_name().expect("sub is a class").to_string();
+    let mut visited: BTreeSet<Node> = BTreeSet::new();
+    visit(
+        ctx, graph, side, &sub, root, None, label, state, &mut visited,
+    )
+}
+
+/// Record the pending `is_a(IS(sub), IS(target))` request with the correct
+/// schema sides.
+fn note_link(ctx: &mut Integrator<'_>, side: Side, sub: &str, target: &str) {
+    let (sub_ref, sup_ref) = match side {
+        Side::SubInS1 => (
+            SourceRef::new(ctx.s1.name.as_str(), sub),
+            SourceRef::new(ctx.s2.name.as_str(), target),
+        ),
+        Side::SubInS2 => (
+            SourceRef::new(ctx.s2.name.as_str(), sub),
+            SourceRef::new(ctx.s1.name.as_str(), target),
+        ),
+    };
+    ctx.note_inclusion(sub_ref, sup_ref);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visit(
+    ctx: &mut Integrator<'_>,
+    graph: &SchemaGraph<'_>,
+    side: Side,
+    sub: &str,
+    v: &Node,
+    nearest_incl: Option<&str>,
+    label: u32,
+    state: &mut LabelState,
+    visited: &mut BTreeSet<Node>,
+) -> Result<()> {
+    if !visited.insert(v.clone()) {
+        return Ok(());
+    }
+    let vc = match v.class_name() {
+        Some(c) => c.to_string(),
+        None => return Ok(()),
+    };
+    let rel = rel_for(ctx, side, sub, &vc);
+    ctx.push_trace(TraceEvent::DfsPop {
+        node: vc.clone(),
+        relation: relation_name(&rel).to_string(),
+    });
+    match rel {
+        PairRelation::Equiv(id) => {
+            // Lines 10-12: label, merge, stop searching this path.
+            state.add_label(v.clone(), label);
+            ctx.stats.nodes_labelled += 1;
+            ctx.push_trace(TraceEvent::Labelled {
+                node: vc,
+                label,
+            });
+            ctx.merge_equivalent(id)?;
+        }
+        PairRelation::Incl(_) => {
+            // Lines 6-9: label and go deeper.
+            state.add_label(v.clone(), label);
+            ctx.stats.nodes_labelled += 1;
+            ctx.push_trace(TraceEvent::Labelled {
+                node: vc.clone(),
+                label,
+            });
+            let kids = graph.children(v);
+            if kids.is_empty() {
+                // Deepest ⊆ node on this path: the Fig. 8 link target.
+                note_link(ctx, side, sub, &vc);
+                ctx.push_trace(TraceEvent::IsaInserted {
+                    sub: sub.to_string(),
+                    sup: vc,
+                });
+            } else {
+                let mut any_deeper = false;
+                for k in kids {
+                    let before = ctx.stats.dfs_checks;
+                    visit(ctx, graph, side, sub, &k, Some(&vc), label, state, visited)?;
+                    let _ = before;
+                    // A child path that labelled or linked deeper handles
+                    // its own target; a child that terminated immediately
+                    // recorded the link at this node via `nearest_incl`.
+                    any_deeper = true;
+                }
+                let _ = any_deeper;
+            }
+        }
+        PairRelation::InclRev(_)
+        | PairRelation::Disjoint(_)
+        | PairRelation::Derivation(_) => {
+            // Lines 13-18: θ ∈ {→, ∅, ⊇}: the path ends here; backtrack to
+            // the first non-* ancestor and insert the is-a link there.
+            if let Some(target) = nearest_incl {
+                note_link(ctx, side, sub, target);
+                ctx.push_trace(TraceEvent::IsaInserted {
+                    sub: sub.to_string(),
+                    sup: target.to_string(),
+                });
+            }
+            // The rule-generating assertions are still recorded (the
+            // breadth-first phase may never check this pair again).
+            match rel {
+                PairRelation::Disjoint(id) => ctx.note_disjoint(id),
+                PairRelation::Derivation(_) => {
+                    let (s1c, s2c) = match side {
+                        Side::SubInS1 => (sub, vc.as_str()),
+                        Side::SubInS2 => (vc.as_str(), sub),
+                    };
+                    for id in ctx.assertions.derivations_between(
+                        ctx.s1.name.as_str(),
+                        s1c,
+                        ctx.s2.name.as_str(),
+                        s2c,
+                    ) {
+                        ctx.note_derivation(id);
+                    }
+                    for id in ctx.assertions.derivations_between(
+                        ctx.s2.name.as_str(),
+                        s2c,
+                        ctx.s1.name.as_str(),
+                        s1c,
+                    ) {
+                        ctx.note_derivation(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        PairRelation::Intersect(id) => {
+            // Not in the paper's line-13 set: treated like the default,
+            // but the intersection rules are recorded.
+            ctx.note_intersection(id);
+            ctx.push_trace(TraceEvent::Starred { node: vc.clone() });
+            descend_or_link(ctx, graph, side, sub, v, nearest_incl, label, state, visited)?;
+        }
+        PairRelation::None => {
+            // Lines 19-25 (default): mark with * and go deeper; at a leaf,
+            // backtrack to the first non-* node and link there.
+            ctx.push_trace(TraceEvent::Starred { node: vc.clone() });
+            descend_or_link(ctx, graph, side, sub, v, nearest_incl, label, state, visited)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend_or_link(
+    ctx: &mut Integrator<'_>,
+    graph: &SchemaGraph<'_>,
+    side: Side,
+    sub: &str,
+    v: &Node,
+    nearest_incl: Option<&str>,
+    label: u32,
+    state: &mut LabelState,
+    visited: &mut BTreeSet<Node>,
+) -> Result<()> {
+    let kids = graph.children(v);
+    if kids.is_empty() {
+        if let Some(target) = nearest_incl {
+            note_link(ctx, side, sub, target);
+            ctx.push_trace(TraceEvent::IsaInserted {
+                sub: sub.to_string(),
+                sup: target.to_string(),
+            });
+        }
+    } else {
+        for k in kids {
+            visit(ctx, graph, side, sub, &k, nearest_incl, label, state, visited)?;
+        }
+    }
+    Ok(())
+}
+
+/// Propagate an inherited label to a node and its whole subtree
+/// (lines 12-15 / 19-22: `inherited-labels(N) := …·l'`, transferred to all
+/// child nodes).
+fn inherit(
+    ctx: &mut Integrator<'_>,
+    graph: &SchemaGraph<'_>,
+    node: &Node,
+    label: u32,
+    state: &mut LabelState,
+) {
+    ctx.push_trace(TraceEvent::InheritedLabels {
+        root: node.display().to_string(),
+        label,
+    });
+    let mut queue = vec![node.clone()];
+    let mut seen = BTreeSet::new();
+    while let Some(n) = queue.pop() {
+        if !seen.insert(n.clone()) {
+            continue;
+        }
+        state.add_inherited(n.clone(), label);
+        for k in graph.children(&n) {
+            queue.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_schema_integration;
+    use assertions::{ClassAssertion, ClassOp};
+    use oo_model::SchemaBuilder;
+
+    /// The Fig. 18 schemas of Appendix A / Example 12.
+    pub(crate) fn fig_18() -> (Schema, Schema, AssertionSet) {
+        let s1 = SchemaBuilder::new("S1")
+            .empty_class("person")
+            .empty_class("student")
+            .empty_class("lecturer")
+            .empty_class("teaching_assistant")
+            .isa("student", "person")
+            .isa("lecturer", "person")
+            .isa("teaching_assistant", "lecturer")
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .empty_class("human")
+            .empty_class("employee")
+            .empty_class("faculty")
+            .empty_class("professor")
+            .empty_class("student")
+            .isa("employee", "human")
+            .isa("student", "human")
+            .isa("faculty", "employee")
+            .isa("professor", "faculty")
+            .build()
+            .unwrap();
+        let aset = AssertionSet::build([
+            ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human"),
+            ClassAssertion::simple("S1", "lecturer", ClassOp::Incl, "S2", "employee"),
+            ClassAssertion::simple("S1", "lecturer", ClassOp::Incl, "S2", "faculty"),
+            ClassAssertion::simple("S1", "teaching_assistant", ClassOp::Incl, "S2", "employee"),
+            ClassAssertion::simple("S1", "teaching_assistant", ClassOp::Incl, "S2", "faculty"),
+            ClassAssertion::simple("S1", "student", ClassOp::Intersect, "S2", "faculty"),
+        ])
+        .unwrap();
+        (s1, s2, aset)
+    }
+
+    #[test]
+    fn example_12_integration_shape() {
+        let (s1, s2, aset) = fig_18();
+        let run = schema_integration(&s1, &s2, &aset).unwrap();
+        // person/human merged.
+        assert_eq!(run.output.is("S1", "person"), Some("person"));
+        assert_eq!(run.output.is("S2", "human"), Some("person"));
+        // lecturer ⊆ faculty: exactly one generated link to the deepest
+        // applicable superclass (not to employee).
+        assert!(run.output.has_isa("lecturer", "faculty"));
+        assert!(!run.output.has_isa("lecturer", "employee"));
+        // student ∩ faculty: three virtual classes and three rules.
+        assert!(run.output.class("student_faculty").is_some());
+        assert_eq!(run.stats.rules_generated, 3);
+        // the intersection's complement classes exist
+        assert!(run.output.class("student_").is_some());
+        assert!(run.output.class("faculty_").is_some());
+    }
+
+    #[test]
+    fn optimized_checks_fewer_pairs_than_naive() {
+        let (s1, s2, aset) = fig_18();
+        let naive = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        let optimized = schema_integration(&s1, &s2, &aset).unwrap();
+        assert!(
+            optimized.stats.total_checks() < naive.stats.pairs_checked,
+            "optimized {} !< naive {}",
+            optimized.stats.total_checks(),
+            naive.stats.pairs_checked
+        );
+    }
+
+    #[test]
+    fn same_final_schema_as_naive() {
+        let (s1, s2, aset) = fig_18();
+        let naive = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        let optimized = schema_integration(&s1, &s2, &aset).unwrap();
+        // Same classes.
+        let nc: Vec<&str> = naive.output.classes().map(|c| c.name.as_str()).collect();
+        let oc: Vec<&str> = optimized.output.classes().map(|c| c.name.as_str()).collect();
+        let mut nc2 = nc.clone();
+        let mut oc2 = oc.clone();
+        nc2.sort();
+        oc2.sort();
+        assert_eq!(nc2, oc2);
+        // Same is-a links.
+        let nl: BTreeSet<_> = naive.output.isa_links().cloned().collect();
+        let ol: BTreeSet<_> = optimized.output.isa_links().cloned().collect();
+        assert_eq!(nl, ol);
+        // Same number of rules.
+        assert_eq!(naive.output.rules.len(), optimized.output.rules.len());
+    }
+
+    #[test]
+    fn equivalence_prunes_sibling_pairs() {
+        // Fig. 15-style: one ≡ at the roots; the (N1, N2-children) and
+        // (N1-children, N2) pairs are never checked.
+        let s1 = SchemaBuilder::new("S1")
+            .empty_class("N1")
+            .empty_class("a")
+            .empty_class("b")
+            .isa("a", "N1")
+            .isa("b", "N1")
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .empty_class("N2")
+            .empty_class("x")
+            .empty_class("y")
+            .isa("x", "N2")
+            .isa("y", "N2")
+            .build()
+            .unwrap();
+        let aset = AssertionSet::build([ClassAssertion::simple(
+            "S1", "N1", ClassOp::Equiv, "S2", "N2",
+        )])
+        .unwrap();
+        let run = schema_integration(&s1, &s2, &aset).unwrap();
+        // Checked: (N1,N2) + the 4 diagonal child pairs = 5.
+        assert_eq!(run.stats.pairs_checked, 5);
+        let naive = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        assert_eq!(naive.stats.pairs_checked, 9);
+    }
+
+    #[test]
+    fn labels_prune_inclusion_subtrees() {
+        // lecturer ⊆ employee with employee → faculty → professor chain:
+        // teaching_assistant (child of lecturer) inherits the label and is
+        // never checked against the labelled chain.
+        let (s1, s2, aset) = fig_18();
+        let run = schema_integration(&s1, &s2, &aset).unwrap();
+        assert!(run.stats.pairs_skipped_by_labels > 0);
+        // No checked pair involves teaching_assistant vs faculty.
+        for e in &run.trace {
+            if let TraceEvent::PopPair { left, right, .. } = e {
+                assert!(
+                    !(left == "teaching_assistant" && right == "faculty"),
+                    "labelled pair was checked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_pairs_not_expanded() {
+        // S1(parent, brother) → S2(uncle): old-brother (child of brother)
+        // vs uncle is not checked (observation 3).
+        let s1 = SchemaBuilder::new("S1")
+            .empty_class("parent")
+            .empty_class("brother")
+            .empty_class("old_brother")
+            .isa("old_brother", "brother")
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .empty_class("uncle")
+            .empty_class("rich_uncle")
+            .isa("rich_uncle", "uncle")
+            .build()
+            .unwrap();
+        let aset = AssertionSet::build([ClassAssertion::derivation(
+            "S1",
+            ["parent", "brother"],
+            "S2",
+            "uncle",
+        )])
+        .unwrap();
+        let run = schema_integration(&s1, &s2, &aset).unwrap();
+        for e in &run.trace {
+            if let TraceEvent::PopPair { left, right, .. } = e {
+                assert!(
+                    !(left == "old_brother" && right == "uncle"),
+                    "(old_brother, uncle) should not be checked"
+                );
+            }
+        }
+        // The derivation rule is generated exactly once.
+        assert_eq!(run.stats.rules_generated, 1);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::naive::naive_schema_integration;
+
+    /// Every ablation variant produces the same integrated schema — the
+    /// options only change traversal cost, never the result.
+    #[test]
+    fn ablation_variants_agree_on_output() {
+        let (s1, s2, aset) = super::tests::fig_18();
+        let baseline = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        let variants = [
+            IntegrationOptions::default(),
+            IntegrationOptions { labels: false, ..Default::default() },
+            IntegrationOptions { sibling_removal: false, ..Default::default() },
+            IntegrationOptions { skip_disjoint_expansion: false, ..Default::default() },
+            IntegrationOptions {
+                collect_trace: true,
+                labels: false,
+                sibling_removal: false,
+                skip_disjoint_expansion: false,
+            },
+        ];
+        let mut base_names: Vec<&str> =
+            baseline.output.classes().map(|c| c.name.as_str()).collect();
+        base_names.sort();
+        for opts in variants {
+            let run = schema_integration_with_options(&s1, &s2, &aset, opts).unwrap();
+            let mut names: Vec<&str> = run.output.classes().map(|c| c.name.as_str()).collect();
+            names.sort();
+            assert_eq!(names, base_names, "{opts:?}");
+            let bl: std::collections::BTreeSet<_> =
+                baseline.output.isa_links().cloned().collect();
+            let ol: std::collections::BTreeSet<_> = run.output.isa_links().cloned().collect();
+            assert_eq!(bl, ol, "{opts:?}");
+            assert_eq!(run.output.rules.len(), baseline.output.rules.len(), "{opts:?}");
+        }
+    }
+
+    /// Turning every optimization off approaches the naive check count;
+    /// the full configuration stays at the optimized count.
+    #[test]
+    fn ablation_costs_are_ordered()  {
+        let (s1, s2, aset) = super::tests::fig_18();
+        let full = schema_integration_with_options(
+            &s1,
+            &s2,
+            &aset,
+            IntegrationOptions { collect_trace: false, ..Default::default() },
+        )
+        .unwrap();
+        let none = schema_integration_with_options(
+            &s1,
+            &s2,
+            &aset,
+            IntegrationOptions {
+                collect_trace: false,
+                labels: false,
+                sibling_removal: false,
+                skip_disjoint_expansion: false,
+            },
+        )
+        .unwrap();
+        assert!(full.stats.total_checks() <= none.stats.total_checks());
+        let naive = naive_schema_integration(&s1, &s2, &aset).unwrap();
+        assert!(none.stats.total_checks() <= naive.stats.pairs_checked);
+    }
+}

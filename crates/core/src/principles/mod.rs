@@ -1,0 +1,17 @@
+//! The six integration principles of §5.
+//!
+//! | Principle | Assertion | Module | Output |
+//! |-----------|-----------|--------|--------|
+//! | 1 | `≡` equivalence | [`equivalence`] | merged class with case-analysed attributes |
+//! | 2 | `⊆`/`⊇` inclusion | [`inclusion`] | non-redundant is-a links |
+//! | 3 | `∩` intersection | [`intersection`] | virtual classes `IS_AB`, `IS_A−`, `IS_B−` + rules |
+//! | 4 | `∅` exclusion | [`disjoint`] | complement rules (+ reverse-aggregation rules) |
+//! | 5 | `→` derivation | [`derivation`] | assertion graph → reverse substitutions → rules |
+//! | 6 | links | [`links`] | is-a/aggregation link integration, constraint `lcs` |
+
+pub mod derivation;
+pub mod disjoint;
+pub mod equivalence;
+pub mod inclusion;
+pub mod intersection;
+pub mod links;

@@ -1,0 +1,117 @@
+//! Instrumented accounting for the integration algorithms.
+//!
+//! §6.3's claim — the optimized algorithm checks Ω_h = O(n) pairs on
+//! average against the naive algorithm's > O(n²) — is a claim about *pair
+//! checks*, so the counters live in the engine itself and every experiment
+//! reads them from here.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters collected during one integration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrationStats {
+    /// Pairs popped from the breadth-first queue and actually checked
+    /// against the assertion set.
+    pub pairs_checked: u64,
+    /// Pairs popped but skipped thanks to label pruning (line 7 / lines
+    /// 34-35 of `schema_integration`).
+    pub pairs_skipped_by_labels: u64,
+    /// Pairs removed from the queue by the equivalence sibling rule
+    /// (line 10).
+    pub pairs_removed_as_siblings: u64,
+    /// Pairs enqueued in total.
+    pub pairs_enqueued: u64,
+    /// Assertion-set consultations during depth-first `path_labelling`.
+    pub dfs_checks: u64,
+    /// Labels allocated by `path_labelling`.
+    pub labels_created: u64,
+    /// Nodes that received a label.
+    pub nodes_labelled: u64,
+    /// Classes merged by equivalence (Principle 1).
+    pub classes_merged: u64,
+    /// Classes copied by default strategy 1.
+    pub classes_copied: u64,
+    /// Virtual classes created (Principles 3–5).
+    pub virtual_classes: u64,
+    /// Rules generated (Principles 3–5).
+    pub rules_generated: u64,
+    /// is-a links inserted (before reduction).
+    pub isa_links_inserted: u64,
+    /// is-a links removed as redundant (Principle 6 / §6.2).
+    pub isa_links_removed: u64,
+}
+
+impl IntegrationStats {
+    pub fn new() -> Self {
+        IntegrationStats::default()
+    }
+
+    /// Total assertion-set consultations: the cost measure of §6.3.
+    pub fn total_checks(&self) -> u64 {
+        self.pairs_checked + self.dfs_checks
+    }
+}
+
+impl AddAssign for IntegrationStats {
+    fn add_assign(&mut self, o: Self) {
+        self.pairs_checked += o.pairs_checked;
+        self.pairs_skipped_by_labels += o.pairs_skipped_by_labels;
+        self.pairs_removed_as_siblings += o.pairs_removed_as_siblings;
+        self.pairs_enqueued += o.pairs_enqueued;
+        self.dfs_checks += o.dfs_checks;
+        self.labels_created += o.labels_created;
+        self.nodes_labelled += o.nodes_labelled;
+        self.classes_merged += o.classes_merged;
+        self.classes_copied += o.classes_copied;
+        self.virtual_classes += o.virtual_classes;
+        self.rules_generated += o.rules_generated;
+        self.isa_links_inserted += o.isa_links_inserted;
+        self.isa_links_removed += o.isa_links_removed;
+    }
+}
+
+impl fmt::Display for IntegrationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pairs checked:            {}", self.pairs_checked)?;
+        writeln!(f, "pairs skipped by labels:  {}", self.pairs_skipped_by_labels)?;
+        writeln!(f, "sibling pairs removed:    {}", self.pairs_removed_as_siblings)?;
+        writeln!(f, "pairs enqueued:           {}", self.pairs_enqueued)?;
+        writeln!(f, "DFS checks:               {}", self.dfs_checks)?;
+        writeln!(f, "labels created:           {}", self.labels_created)?;
+        writeln!(f, "nodes labelled:           {}", self.nodes_labelled)?;
+        writeln!(f, "classes merged:           {}", self.classes_merged)?;
+        writeln!(f, "classes copied:           {}", self.classes_copied)?;
+        writeln!(f, "virtual classes:          {}", self.virtual_classes)?;
+        writeln!(f, "rules generated:          {}", self.rules_generated)?;
+        writeln!(f, "is-a links inserted:      {}", self.isa_links_inserted)?;
+        write!(f, "is-a links removed:       {}", self.isa_links_removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_addition() {
+        let mut a = IntegrationStats::new();
+        a.pairs_checked = 10;
+        a.dfs_checks = 5;
+        assert_eq!(a.total_checks(), 15);
+        let mut b = IntegrationStats::new();
+        b.pairs_checked = 1;
+        b.labels_created = 2;
+        a += b;
+        assert_eq!(a.pairs_checked, 11);
+        assert_eq!(a.labels_created, 2);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = IntegrationStats::new().to_string();
+        for key in ["pairs checked", "DFS checks", "labels created", "rules generated"] {
+            assert!(s.contains(key), "{key} missing");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Trace events: the step-by-step account of an integration run, in the
+//! style of the Appendix A sample trace (pop/check steps, `S_b`/`S_d`
+//! state changes, labellings, merges, link and rule generation).
+
+use std::fmt;
+
+/// One step of the integration process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A pair was popped from the breadth-first queue `S_b` and checked.
+    PopPair { left: String, right: String, relation: String },
+    /// A pair was popped but skipped due to label pruning.
+    SkipPairLabels { left: String, right: String },
+    /// A pair was removed by the equivalence sibling rule (line 10).
+    RemoveSiblingPair { left: String, right: String },
+    /// Classes merged into an integrated class (Principle 1).
+    Merged { left: String, right: String, name: String },
+    /// `path_labelling` started for `N₁ ⊆ N₂` with a fresh label.
+    DfsStart { n1: String, root: String, label: u32 },
+    /// A node was popped from the depth-first stack `S_d` and checked.
+    DfsPop { node: String, relation: String },
+    /// A node received a label.
+    Labelled { node: String, label: u32 },
+    /// A node was marked `*` (no assertion).
+    Starred { node: String },
+    /// An is-a link was inserted into the integrated schema.
+    IsaInserted { sub: String, sup: String },
+    /// An is-a link was removed as redundant (§6.2).
+    IsaRemoved { sub: String, sup: String },
+    /// A class was copied by default strategy 1.
+    Copied { source: String, name: String },
+    /// A virtual class was created (Principles 3–5).
+    VirtualClass { name: String },
+    /// A rule was generated.
+    RuleGenerated { rule: String },
+    /// Inherited labels propagated to a subtree.
+    InheritedLabels { root: String, label: u32 },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::PopPair { left, right, relation } => {
+                write!(f, "pop ({left}, {right}): {relation}")
+            }
+            TraceEvent::SkipPairLabels { left, right } => {
+                write!(f, "skip ({left}, {right}) by labels")
+            }
+            TraceEvent::RemoveSiblingPair { left, right } => {
+                write!(f, "remove sibling pair ({left}, {right})")
+            }
+            TraceEvent::Merged { left, right, name } => {
+                write!(f, "merge({left}, {right}) → {name}")
+            }
+            TraceEvent::DfsStart { n1, root, label } => {
+                write!(f, "path_labelling({n1}, ⊆, subgraph of {root}) with label {label}")
+            }
+            TraceEvent::DfsPop { node, relation } => write!(f, "  dfs pop {node}: {relation}"),
+            TraceEvent::Labelled { node, label } => write!(f, "  label {node} with {label}"),
+            TraceEvent::Starred { node } => write!(f, "  mark {node} with *"),
+            TraceEvent::IsaInserted { sub, sup } => write!(f, "insert is_a({sub}, {sup})"),
+            TraceEvent::IsaRemoved { sub, sup } => write!(f, "remove is_a({sub}, {sup})"),
+            TraceEvent::Copied { source, name } => write!(f, "copy {source} → {name}"),
+            TraceEvent::VirtualClass { name } => write!(f, "virtual class {name}"),
+            TraceEvent::RuleGenerated { rule } => write!(f, "rule: {rule}"),
+            TraceEvent::InheritedLabels { root, label } => {
+                write!(f, "inherit label {label} below {root}")
+            }
+        }
+    }
+}
+
+/// Pretty-print a trace, one numbered step per line.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&format!("{:>4}. {e}\n", i + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            TraceEvent::PopPair {
+                left: "person".into(),
+                right: "human".into(),
+                relation: "≡".into()
+            }
+            .to_string(),
+            "pop (person, human): ≡"
+        );
+        assert_eq!(
+            TraceEvent::Merged {
+                left: "person".into(),
+                right: "human".into(),
+                name: "person".into()
+            }
+            .to_string(),
+            "merge(person, human) → person"
+        );
+    }
+
+    #[test]
+    fn render_numbers_steps() {
+        let t = render_trace(&[
+            TraceEvent::Starred { node: "professor".into() },
+            TraceEvent::IsaInserted { sub: "lecturer".into(), sup: "faculty".into() },
+        ]);
+        assert!(t.contains("mark professor with *"));
+        assert!(t.starts_with("   1."));
+        assert!(t.contains("   2. insert is_a(lecturer, faculty)"));
+    }
+}

@@ -1,0 +1,536 @@
+//! Bottom-up evaluation of stratified rule programs over a fact database.
+//!
+//! Facts come in the two shapes of §2: ground complex O-terms (stored per
+//! class) and ground ordinary predicates (stored per name). Evaluation
+//! saturates stratum by stratum to a fixpoint, handling negation by
+//! stratified complement and built-in comparisons as filters.
+//!
+//! This is the engine that makes the integrated schema's *virtual* classes
+//! and rules (Principles 3–5) queryable without materialising anything in
+//! the component databases — autonomy is preserved because all inference
+//! happens at this abstract level (§1, Appendix B).
+
+use crate::safety::check_rule;
+use crate::strata::stratify;
+use crate::subst::Subst;
+use crate::term::{Literal, NameRef, OTermPat, Rule, Term};
+use crate::unify::{unify_oterm_pattern, unify_terms};
+use oo_model::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    Unsafe(String),
+    NotStratifiable(String),
+    /// A literal shape the evaluator does not execute (e.g. attribute-name
+    /// variables, disjunctive heads). Such rules are representational.
+    Unsupported(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unsafe(s) => write!(f, "unsafe rule: {s}"),
+            EvalError::NotStratifiable(s) => write!(f, "{s}"),
+            EvalError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The fact database: ground O-terms per class, ground tuples per predicate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FactDb {
+    oterms: BTreeMap<String, BTreeSet<OTermPat>>,
+    preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
+}
+
+impl FactDb {
+    pub fn new() -> Self {
+        FactDb::default()
+    }
+
+    /// Insert a ground O-term fact. Returns true if new.
+    pub fn insert_oterm(&mut self, fact: OTermPat) -> bool {
+        let class = fact
+            .class
+            .as_name()
+            .expect("O-term facts have concrete classes")
+            .to_string();
+        self.oterms.entry(class).or_default().insert(fact)
+    }
+
+    /// Insert a ground predicate fact. Returns true if new.
+    pub fn insert_pred(&mut self, name: impl Into<String>, tuple: Vec<Value>) -> bool {
+        self.preds.entry(name.into()).or_default().insert(tuple)
+    }
+
+    pub fn oterms_of(&self, class: &str) -> impl Iterator<Item = &OTermPat> {
+        self.oterms.get(class).into_iter().flatten()
+    }
+
+    pub fn tuples_of(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
+        self.preds.get(pred).into_iter().flatten()
+    }
+
+    pub fn len(&self) -> usize {
+        self.oterms.values().map(BTreeSet::len).sum::<usize>()
+            + self.preds.values().map(BTreeSet::len).sum::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All substitutions under which `lit` (a positive O-term or predicate
+    /// pattern) matches a fact, extending `base`.
+    fn matches(&self, lit: &Literal, base: &Subst) -> Vec<Subst> {
+        let mut out = Vec::new();
+        match lit {
+            Literal::OTerm(pat) => {
+                let classes: Vec<&String> = match &pat.class {
+                    NameRef::Name(n) => self.oterms.keys().filter(|k| *k == n).collect(),
+                    // Class variables range over every stored class.
+                    NameRef::Var(_) => self.oterms.keys().collect(),
+                };
+                for class in classes {
+                    let concrete = OTermPat {
+                        object: pat.object.clone(),
+                        class: NameRef::Name(class.clone()),
+                        bindings: pat.bindings.clone(),
+                    };
+                    for fact in self.oterms.get(class).into_iter().flatten() {
+                        let mut s = base.clone();
+                        if unify_oterm_pattern(&concrete, fact, &mut s) {
+                            // A class variable also binds to the class name,
+                            // so schematic-discrepancy rules can carry it.
+                            if let NameRef::Var(v) = &pat.class {
+                                if !unify_terms(
+                                    &Term::Var(v.clone()),
+                                    &Term::Val(Value::Str(class.clone())),
+                                    &mut s,
+                                ) {
+                                    continue;
+                                }
+                            }
+                            out.push(s);
+                        }
+                    }
+                }
+            }
+            Literal::Pred(p) => {
+                for tuple in self.tuples_of(&p.name) {
+                    if tuple.len() != p.args.len() {
+                        continue;
+                    }
+                    let mut s = base.clone();
+                    if p.args
+                        .iter()
+                        .zip(tuple)
+                        .all(|(a, v)| unify_terms(a, &Term::Val(v.clone()), &mut s))
+                    {
+                        out.push(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Does any fact match the (ground) literal?
+    fn holds(&self, lit: &Literal, s: &Subst) -> bool {
+        !self.matches(lit, s).is_empty()
+    }
+
+    /// Query: all substitutions that satisfy a conjunctive body of
+    /// literals, in left-to-right join order.
+    pub fn query(&self, body: &[Literal]) -> Vec<Subst> {
+        let mut states = vec![Subst::new()];
+        for lit in body {
+            let mut next = Vec::new();
+            for s in &states {
+                match lit {
+                    Literal::Cmp { left, op, right } => {
+                        let (l, r) = (s.value_of(left), s.value_of(right));
+                        if let (Some(l), Some(r)) = (l, r) {
+                            if op.eval(&l, &r) {
+                                next.push(s.clone());
+                            }
+                        }
+                    }
+                    Literal::Neg(inner) => {
+                        if !self.holds(inner, s) {
+                            next.push(s.clone());
+                        }
+                    }
+                    positive => next.extend(self.matches(positive, s)),
+                }
+            }
+            states = next;
+        }
+        states
+    }
+}
+
+/// A rule program with an evaluation entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Executable rules: single, concrete head. Disjunctive rules are
+    /// representational (Principle 4) and are skipped with a check that the
+    /// caller asked for that via `allow_disjunctive`.
+    fn executable(&self, allow_disjunctive: bool) -> Result<Vec<&Rule>, EvalError> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if r.heads.len() != 1 {
+                if allow_disjunctive {
+                    continue;
+                }
+                return Err(EvalError::Unsupported(format!(
+                    "disjunctive head in `{r}`"
+                )));
+            }
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// Saturate `db` with all derivable facts. Checks safety and
+    /// stratification first. Disjunctive rules are skipped (they carry
+    /// integrated-schema semantics but are not executable).
+    pub fn evaluate(&self, db: &mut FactDb) -> Result<(), EvalError> {
+        let rules = self.executable(true)?;
+        for r in &rules {
+            check_rule(r).map_err(|e| EvalError::Unsafe(e.to_string()))?;
+        }
+        let strata = stratify(&self.rules).map_err(EvalError::NotStratifiable)?;
+        for stratum in &strata {
+            // Fixpoint iteration within the stratum.
+            loop {
+                let mut new_facts: Vec<Literal> = Vec::new();
+                for rule in &rules {
+                    let head = rule.heads.first().expect("single head");
+                    let head_rel = match head.relation() {
+                        Some(r) => r,
+                        None => continue,
+                    };
+                    if !stratum.contains(head_rel) {
+                        continue;
+                    }
+                    for s in db.query(&rule.body) {
+                        new_facts.push(s.apply(head));
+                    }
+                }
+                let mut changed = false;
+                for fact in new_facts {
+                    changed |= insert_ground(db, &fact)?;
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Insert a derived ground literal into the database.
+fn insert_ground(db: &mut FactDb, lit: &Literal) -> Result<bool, EvalError> {
+    match lit {
+        Literal::OTerm(o) => {
+            if o.object.is_var()
+                || o.class.as_name().is_none()
+                || o.bindings.iter().any(|b| b.term.is_var())
+            {
+                return Err(EvalError::Unsupported(format!(
+                    "derived non-ground O-term `{o}`"
+                )));
+            }
+            Ok(db.insert_oterm(o.clone()))
+        }
+        Literal::Pred(p) => {
+            let tuple: Option<Vec<Value>> =
+                p.args.iter().map(|a| a.as_val().cloned()).collect();
+            match tuple {
+                Some(t) => Ok(db.insert_pred(p.name.clone(), t)),
+                None => Err(EvalError::Unsupported(format!(
+                    "derived non-ground predicate `{p}`"
+                ))),
+            }
+        }
+        other => Err(EvalError::Unsupported(format!(
+            "literal `{other}` cannot be derived"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+
+    fn ot(obj: Term, class: &str) -> OTermPat {
+        OTermPat::new(obj, class)
+    }
+
+    #[test]
+    fn simple_derivation() {
+        // parent(x,y) ⇐ mother(x,y); parent(x,y) ⇐ father(x,y)  (Appendix B)
+        let prog = Program::new(vec![
+            Rule::new(
+                Literal::pred("parent", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("mother", [Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Literal::pred("parent", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("father", [Term::var("x"), Term::var("y")])],
+            ),
+        ]);
+        let mut db = FactDb::new();
+        db.insert_pred("mother", vec!["john".into(), "mary".into()]);
+        db.insert_pred("father", vec!["john".into(), "peter".into()]);
+        prog.evaluate(&mut db).unwrap();
+        assert_eq!(db.tuples_of("parent").count(), 2);
+    }
+
+    #[test]
+    fn uncle_join() {
+        // uncle(x,y) ⇐ parent(x,z), brother(z,y)  (Appendix B rule 3)
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("uncle", [Term::var("x"), Term::var("y")]),
+            vec![
+                Literal::pred("parent", [Term::var("x"), Term::var("z")]),
+                Literal::pred("brother", [Term::var("z"), Term::var("y")]),
+            ],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_pred("parent", vec!["john".into(), "mary".into()]);
+        db.insert_pred("brother", vec!["mary".into(), "bob".into()]);
+        db.insert_pred("brother", vec!["sue".into(), "tim".into()]);
+        prog.evaluate(&mut db).unwrap();
+        let uncles: Vec<_> = db.tuples_of("uncle").collect();
+        assert_eq!(uncles, vec![&vec![Value::str("john"), Value::str("bob")]]);
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        // ancestor via positive recursion.
+        let prog = Program::new(vec![
+            Rule::new(
+                Literal::pred("anc", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("par", [Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Literal::pred("anc", [Term::var("x"), Term::var("z")]),
+                vec![
+                    Literal::pred("par", [Term::var("x"), Term::var("y")]),
+                    Literal::pred("anc", [Term::var("y"), Term::var("z")]),
+                ],
+            ),
+        ]);
+        let mut db = FactDb::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.insert_pred("par", vec![a.into(), b.into()]);
+        }
+        prog.evaluate(&mut db).unwrap();
+        assert_eq!(db.tuples_of("anc").count(), 6); // 3 + 2 + 1
+    }
+
+    #[test]
+    fn oterm_rule_derivation() {
+        // <x: IS_AB> ⇐ <x: A>, <y: B>, y = x   (Principle 3)
+        let prog = Program::new(vec![Rule::new(
+            Literal::oterm(ot(Term::var("x"), "IS_AB")),
+            vec![
+                Literal::oterm(ot(Term::var("x"), "A")),
+                Literal::oterm(ot(Term::var("y"), "B")),
+                Literal::cmp(Term::var("y"), CmpOp::Eq, Term::var("x")),
+            ],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_oterm(ot(Term::val("o1"), "A"));
+        db.insert_oterm(ot(Term::val("o2"), "A"));
+        db.insert_oterm(ot(Term::val("o1"), "B"));
+        prog.evaluate(&mut db).unwrap();
+        let derived: Vec<_> = db.oterms_of("IS_AB").collect();
+        assert_eq!(derived.len(), 1);
+        assert_eq!(derived[0].object, Term::val("o1"));
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        // <x: A−> ⇐ <x: A>, ¬<x: IS_AB> with IS_AB from the intersection.
+        let prog = Program::new(vec![
+            Rule::new(
+                Literal::oterm(ot(Term::var("x"), "IS_AB")),
+                vec![
+                    Literal::oterm(ot(Term::var("x"), "A")),
+                    Literal::oterm(ot(Term::var("x"), "B")),
+                ],
+            ),
+            Rule::new(
+                Literal::oterm(ot(Term::var("x"), "A-")),
+                vec![
+                    Literal::oterm(ot(Term::var("x"), "A")),
+                    Literal::neg(Literal::oterm(ot(Term::var("x"), "IS_AB"))),
+                ],
+            ),
+        ]);
+        let mut db = FactDb::new();
+        db.insert_oterm(ot(Term::val("o1"), "A"));
+        db.insert_oterm(ot(Term::val("o2"), "A"));
+        db.insert_oterm(ot(Term::val("o2"), "B"));
+        prog.evaluate(&mut db).unwrap();
+        let minus: Vec<_> = db.oterms_of("A-").collect();
+        assert_eq!(minus.len(), 1);
+        assert_eq!(minus[0].object, Term::val("o1"));
+    }
+
+    #[test]
+    fn oterm_attribute_join() {
+        // §2's manager rule derives Empl O-terms from Dept O-terms.
+        let prog = Program::new(vec![Rule::new(
+            Literal::oterm(
+                ot(Term::var("o1"), "Empl")
+                    .bind("e_name", Term::var("x"))
+                    .bind("work_in", Term::var("o2")),
+            ),
+            vec![Literal::oterm(
+                ot(Term::var("o2"), "Dept")
+                    .bind("d_name", Term::var("x"))
+                    .bind("manager", Term::var("o1")),
+            )],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_oterm(
+            ot(Term::val("d1"), "Dept")
+                .bind("d_name", Term::val("CS"))
+                .bind("manager", Term::val("e9")),
+        );
+        prog.evaluate(&mut db).unwrap();
+        let empl: Vec<_> = db.oterms_of("Empl").collect();
+        assert_eq!(empl.len(), 1);
+        assert_eq!(empl[0].object, Term::val("e9"));
+        assert_eq!(empl[0].binding("e_name"), Some(&Term::val("CS")));
+        assert_eq!(empl[0].binding("work_in"), Some(&Term::val("d1")));
+    }
+
+    #[test]
+    fn cmp_filters() {
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("big", [Term::var("x")]),
+            vec![
+                Literal::pred("n", [Term::var("x")]),
+                Literal::cmp(Term::var("x"), CmpOp::Gt, Term::val(10i64)),
+            ],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_pred("n", vec![Value::Int(5)]);
+        db.insert_pred("n", vec![Value::Int(15)]);
+        prog.evaluate(&mut db).unwrap();
+        assert_eq!(db.tuples_of("big").count(), 1);
+    }
+
+    #[test]
+    fn membership_filter() {
+        // in-op: x ∈ s, the `parent•Pssn# ∈ brother•brothers` shape.
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("linked", [Term::var("p"), Term::var("b")]),
+            vec![
+                Literal::pred("parent_ssn", [Term::var("p"), Term::var("x")]),
+                Literal::pred("brothers_of", [Term::var("b"), Term::var("s")]),
+                Literal::cmp(Term::var("x"), CmpOp::In, Term::var("s")),
+            ],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_pred("parent_ssn", vec!["p1".into(), "123".into()]);
+        db.insert_pred(
+            "brothers_of",
+            vec!["b1".into(), Value::str_set(["123", "456"])],
+        );
+        db.insert_pred("brothers_of", vec!["b2".into(), Value::str_set(["999"])]);
+        prog.evaluate(&mut db).unwrap();
+        let linked: Vec<_> = db.tuples_of("linked").collect();
+        assert_eq!(linked.len(), 1);
+        assert_eq!(linked[0][1], Value::str("b1"));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("h", [Term::var("x")]),
+            vec![Literal::pred("p", [Term::var("y")])],
+        )]);
+        assert!(matches!(
+            prog.evaluate(&mut FactDb::new()),
+            Err(EvalError::Unsafe(_))
+        ));
+    }
+
+    #[test]
+    fn unstratifiable_rejected() {
+        let prog = Program::new(vec![
+            Rule::new(
+                Literal::pred("p", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("q", [Term::var("x")])),
+                ],
+            ),
+            Rule::new(
+                Literal::pred("q", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("p", [Term::var("x")])),
+                ],
+            ),
+        ]);
+        assert!(matches!(
+            prog.evaluate(&mut FactDb::new()),
+            Err(EvalError::NotStratifiable(_))
+        ));
+    }
+
+    #[test]
+    fn disjunctive_rules_are_skipped_not_fatal() {
+        let prog = Program::new(vec![Rule::disjunctive(
+            vec![
+                Literal::oterm(ot(Term::var("x"), "B1")),
+                Literal::oterm(ot(Term::var("x"), "B2")),
+            ],
+            vec![Literal::oterm(ot(Term::var("x"), "A"))],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_oterm(ot(Term::val("o1"), "A"));
+        prog.evaluate(&mut db).unwrap();
+        assert_eq!(db.oterms_of("B1").count(), 0);
+    }
+
+    #[test]
+    fn class_variable_ranges_over_classes() {
+        // member(c) ⇐ <x: ?C> — counts instances of every class. We encode
+        // the head as pred to keep it ground.
+        let mut pat = ot(Term::var("x"), "ignored");
+        pat.class = NameRef::Var("C".into());
+        let mut db = FactDb::new();
+        db.insert_oterm(ot(Term::val("o1"), "A"));
+        db.insert_oterm(ot(Term::val("o2"), "B"));
+        let matches = db.query(&[Literal::OTerm(pat)]);
+        assert_eq!(matches.len(), 2);
+    }
+}

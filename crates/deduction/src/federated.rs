@@ -1,0 +1,503 @@
+//! The federated rule-evaluation algorithm of **Appendix B**.
+//!
+//! In the integrated schema, each head predicate `q` is annotated with the
+//! set of component schemas `S` that contain `q` as a concept, and each
+//! body predicate `p` with the set of rules `R` whose head is `p`:
+//!
+//! ```text
+//! (1) parent^{S2}(x,y) ⇐ mother^{}(x,y)
+//! (2) parent^{S2}(x,y) ⇐ father^{}(x,y)
+//! (3) uncle^{S3}(x,y)  ⇐ parent^{1,2}(x,z), brother^{}(z,y)
+//! (4) mother^{S1}(x,y) ⇐
+//! (5) father^{S1}(x,y) ⇐
+//! (6) brother^{S2}(x,y) ⇐
+//! ```
+//!
+//! `evaluation(q, Q)` unions, for each rule with head `q`: the answers to
+//! `q` obtained locally from each schema in `S`, with the join (⋈) of the
+//! recursively evaluated body predicates. Basic predicates are rules with
+//! empty bodies whose answers come entirely from their schemas' extents.
+//!
+//! As in the paper, constants appearing in the query are propagated into
+//! the evaluation (the final `filter_by_query` step applies them; providers
+//! may also use them to restrict local scans).
+
+use crate::term::{CmpOp, Literal, Pred, Rule, Term};
+use oo_model::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Supplies local answers: all ground tuples for predicate `pred` that the
+/// component schema `schema` can produce from its extension.
+pub trait ExtentProvider {
+    fn local_tuples(&self, schema: &str, pred: &str, arity: usize) -> Vec<Vec<Value>>;
+}
+
+/// A provider backed by an in-memory map, convenient for tests and for the
+/// federation layer to assemble.
+#[derive(Debug, Clone, Default)]
+pub struct MapProvider {
+    /// (schema, predicate) → tuples.
+    map: BTreeMap<(String, String), Vec<Vec<Value>>>,
+}
+
+impl MapProvider {
+    pub fn new() -> Self {
+        MapProvider::default()
+    }
+
+    pub fn add(
+        &mut self,
+        schema: impl Into<String>,
+        pred: impl Into<String>,
+        tuple: Vec<Value>,
+    ) {
+        self.map
+            .entry((schema.into(), pred.into()))
+            .or_default()
+            .push(tuple);
+    }
+}
+
+impl ExtentProvider for MapProvider {
+    fn local_tuples(&self, schema: &str, pred: &str, arity: usize) -> Vec<Vec<Value>> {
+        self.map
+            .get(&(schema.to_string(), pred.to_string()))
+            .map(|ts| {
+                ts.iter()
+                    .filter(|t| t.len() == arity)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// One rule with its Appendix-B annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedRule {
+    pub rule: Rule,
+    /// `q^{S}`: schemas containing the head predicate as a concept.
+    pub head_schemas: BTreeSet<String>,
+}
+
+/// An annotated program: rules plus the head-predicate index that realises
+/// the `p^{R}` body annotation.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedProgram {
+    rules: Vec<AnnotatedRule>,
+    /// predicate name → indices of rules whose head is that predicate.
+    by_head: BTreeMap<String, Vec<usize>>,
+}
+
+/// Federated-evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// Appendix B's algorithm is presented for non-recursive programs; we
+    /// detect recursion rather than looping forever.
+    Recursive(String),
+    /// Unknown predicate: no rule and no schema annotation mentions it.
+    UnknownPredicate(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::Recursive(p) => {
+                write!(f, "federated evaluation requires a non-recursive program; `{p}` is recursive (use the bottom-up engine instead)")
+            }
+            FedError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            FedError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl AnnotatedProgram {
+    pub fn new() -> Self {
+        AnnotatedProgram::default()
+    }
+
+    /// Add a rule annotated with the schemas containing its head concept.
+    /// Basic predicates are added as body-less rules (`mother^{S1}(x,y) ⇐`).
+    pub fn add<I, S>(&mut self, rule: Rule, head_schemas: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let idx = self.rules.len();
+        if let Some(head) = rule.heads.first() {
+            if let Some(name) = head.relation() {
+                self.by_head.entry(name.to_string()).or_default().push(idx);
+            }
+        }
+        self.rules.push(AnnotatedRule {
+            rule,
+            head_schemas: head_schemas.into_iter().map(Into::into).collect(),
+        });
+    }
+
+    pub fn rules(&self) -> &[AnnotatedRule] {
+        &self.rules
+    }
+
+    /// Appendix B's `evaluation(q, Q)`.
+    pub fn evaluate(
+        &self,
+        query: &Pred,
+        provider: &dyn ExtentProvider,
+    ) -> Result<BTreeSet<Vec<Value>>, FedError> {
+        let mut in_progress = BTreeSet::new();
+        let result = self.eval_pred(&query.name, query.args.len(), provider, &mut in_progress)?;
+        Ok(filter_by_query(result, query))
+    }
+
+    /// Evaluate one predicate: union over all rules with this head of
+    /// (local answers ∪ body join).
+    fn eval_pred(
+        &self,
+        name: &str,
+        arity: usize,
+        provider: &dyn ExtentProvider,
+        in_progress: &mut BTreeSet<String>,
+    ) -> Result<BTreeSet<Vec<Value>>, FedError> {
+        if !in_progress.insert(name.to_string()) {
+            return Err(FedError::Recursive(name.to_string()));
+        }
+        let rule_ids = self
+            .by_head
+            .get(name)
+            .ok_or_else(|| FedError::UnknownPredicate(name.to_string()))?;
+        let mut result: BTreeSet<Vec<Value>> = BTreeSet::new();
+        for &idx in rule_ids {
+            let ar = &self.rules[idx];
+            // temp := ∪_{s ∈ S} results of evaluating q against s
+            for s in &ar.head_schemas {
+                result.extend(provider.local_tuples(s, name, arity));
+            }
+            // temp' := temp_1 ⋈ … ⋈ temp_n, projected onto the head args.
+            if !ar.rule.body.is_empty() {
+                result.extend(self.eval_body(&ar.rule, provider, in_progress)?);
+            }
+        }
+        in_progress.remove(name);
+        Ok(result)
+    }
+
+    /// Join the recursively evaluated body predicates of `rule` and project
+    /// onto the head arguments.
+    fn eval_body(
+        &self,
+        rule: &Rule,
+        provider: &dyn ExtentProvider,
+        in_progress: &mut BTreeSet<String>,
+    ) -> Result<BTreeSet<Vec<Value>>, FedError> {
+        let head = rule
+            .heads
+            .first()
+            .ok_or_else(|| FedError::Unsupported("headless rule".into()))?;
+        let head_pred = match head {
+            Literal::Pred(p) => p,
+            other => {
+                return Err(FedError::Unsupported(format!(
+                    "federated evaluation is defined over predicates, got `{other}`"
+                )))
+            }
+        };
+        // Each environment maps variable → value; start with one empty env.
+        let mut envs: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
+        for lit in &rule.body {
+            match lit {
+                Literal::Pred(p) => {
+                    let tuples =
+                        self.eval_pred(&p.name, p.args.len(), provider, in_progress)?;
+                    let mut next = Vec::new();
+                    for env in &envs {
+                        for tuple in &tuples {
+                            if let Some(extended) = extend_env(env, &p.args, tuple) {
+                                next.push(extended);
+                            }
+                        }
+                    }
+                    envs = next;
+                }
+                Literal::Cmp { left, op, right } => {
+                    envs.retain(|env| eval_cmp(env, left, *op, right));
+                }
+                other => {
+                    return Err(FedError::Unsupported(format!(
+                        "literal `{other}` in federated rule body"
+                    )))
+                }
+            }
+        }
+        // Project onto head arguments.
+        let mut out = BTreeSet::new();
+        for env in envs {
+            let tuple: Option<Vec<Value>> = head_pred
+                .args
+                .iter()
+                .map(|a| match a {
+                    Term::Val(v) => Some(v.clone()),
+                    Term::Var(v) => env.get(v).cloned(),
+                })
+                .collect();
+            if let Some(t) = tuple {
+                out.insert(t);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Extend `env` by matching `args` against a ground `tuple`; `None` on
+/// conflict.
+fn extend_env(
+    env: &BTreeMap<String, Value>,
+    args: &[Term],
+    tuple: &[Value],
+) -> Option<BTreeMap<String, Value>> {
+    if args.len() != tuple.len() {
+        return None;
+    }
+    let mut out = env.clone();
+    for (a, v) in args.iter().zip(tuple) {
+        match a {
+            Term::Val(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(name) => match out.get(name) {
+                Some(existing) if existing != v => return None,
+                Some(_) => {}
+                None => {
+                    out.insert(name.clone(), v.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+fn eval_cmp(env: &BTreeMap<String, Value>, left: &Term, op: CmpOp, right: &Term) -> bool {
+    let resolve = |t: &Term| -> Option<Value> {
+        match t {
+            Term::Val(v) => Some(v.clone()),
+            Term::Var(v) => env.get(v).cloned(),
+        }
+    };
+    match (resolve(left), resolve(right)) {
+        (Some(l), Some(r)) => op.eval(&l, &r),
+        _ => false,
+    }
+}
+
+/// Constant propagation from the query: keep only tuples agreeing with the
+/// query's constant arguments (`?-uncle(John, y)` keeps tuples whose first
+/// component is `John`).
+fn filter_by_query(tuples: BTreeSet<Vec<Value>>, query: &Pred) -> BTreeSet<Vec<Value>> {
+    tuples
+        .into_iter()
+        .filter(|t| {
+            t.len() == query.args.len()
+                && query.args.iter().zip(t).all(|(a, v)| match a {
+                    Term::Val(c) => c == v,
+                    Term::Var(_) => true,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the exact Appendix B program:
+    /// rules (1)-(6) over schemas S1 (mother, father) and S2
+    /// (parent, brother, uncle — here uncle's source schema is called S2 in
+    /// the running text; the appendix calls it S3 for the integrated one).
+    fn appendix_b_program() -> AnnotatedProgram {
+        let mut prog = AnnotatedProgram::new();
+        let v = |s: &str| Term::var(s);
+        // (1) parent(x,y) ⇐ mother(x,y)
+        prog.add(
+            Rule::new(
+                Literal::pred("parent", [v("x"), v("y")]),
+                vec![Literal::pred("mother", [v("x"), v("y")])],
+            ),
+            ["S2"],
+        );
+        // (2) parent(x,y) ⇐ father(x,y)
+        prog.add(
+            Rule::new(
+                Literal::pred("parent", [v("x"), v("y")]),
+                vec![Literal::pred("father", [v("x"), v("y")])],
+            ),
+            Vec::<String>::new(),
+        );
+        // (3) uncle(x,y) ⇐ parent(x,z), brother(z,y)
+        prog.add(
+            Rule::new(
+                Literal::pred("uncle", [v("x"), v("y")]),
+                vec![
+                    Literal::pred("parent", [v("x"), v("z")]),
+                    Literal::pred("brother", [v("z"), v("y")]),
+                ],
+            ),
+            ["S2"],
+        );
+        // (4)-(6) basic predicates as body-less rules.
+        prog.add(
+            Rule::new(Literal::pred("mother", [v("x"), v("y")]), vec![]),
+            ["S1"],
+        );
+        prog.add(
+            Rule::new(Literal::pred("father", [v("x"), v("y")]), vec![]),
+            ["S1"],
+        );
+        prog.add(
+            Rule::new(Literal::pred("brother", [v("x"), v("y")]), vec![]),
+            ["S2"],
+        );
+        prog
+    }
+
+    fn provider() -> MapProvider {
+        let mut p = MapProvider::new();
+        // S1 extension
+        p.add("S1", "mother", vec!["John".into(), "Mary".into()]);
+        p.add("S1", "father", vec!["John".into(), "Jim".into()]);
+        p.add("S1", "mother", vec!["Sue".into(), "Ann".into()]);
+        // S2 extension
+        p.add("S2", "brother", vec!["Mary".into(), "Bob".into()]);
+        p.add("S2", "brother", vec!["Jim".into(), "Tom".into()]);
+        // S2 also stores some parent and uncle facts directly.
+        p.add("S2", "parent", vec!["Lee".into(), "Kim".into()]);
+        p.add("S2", "uncle", vec!["Zed".into(), "Rob".into()]);
+        p
+    }
+
+    #[test]
+    fn appendix_b_uncle_query() {
+        let prog = appendix_b_program();
+        let p = provider();
+        // ?- uncle(John, y)
+        let q = Pred::new("uncle", [Term::val("John"), Term::var("y")]);
+        let result = prog.evaluate(&q, &p).unwrap();
+        // John's parents: Mary (mother), Jim (father). Brothers: Mary→Bob,
+        // Jim→Tom. So uncles of John are Bob and Tom.
+        let expected: BTreeSet<Vec<Value>> = [
+            vec![Value::str("John"), Value::str("Bob")],
+            vec![Value::str("John"), Value::str("Tom")],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn local_answers_unioned_with_derived() {
+        let prog = appendix_b_program();
+        let p = provider();
+        // Unconstrained uncle query also returns S2's stored uncle fact.
+        let q = Pred::new("uncle", [Term::var("x"), Term::var("y")]);
+        let result = prog.evaluate(&q, &p).unwrap();
+        assert!(result.contains(&vec![Value::str("Zed"), Value::str("Rob")]));
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn parent_unions_mother_father_and_local() {
+        let prog = appendix_b_program();
+        let p = provider();
+        let q = Pred::new("parent", [Term::var("x"), Term::var("y")]);
+        let result = prog.evaluate(&q, &p).unwrap();
+        // 2 mothers + 1 father + 1 locally stored parent
+        assert_eq!(result.len(), 4);
+        assert!(result.contains(&vec![Value::str("Lee"), Value::str("Kim")]));
+    }
+
+    #[test]
+    fn constant_propagation_filters() {
+        let prog = appendix_b_program();
+        let p = provider();
+        let q = Pred::new("parent", [Term::val("Sue"), Term::var("y")]);
+        let result = prog.evaluate(&q, &p).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&vec![Value::str("Sue"), Value::str("Ann")]));
+    }
+
+    #[test]
+    fn unknown_predicate_errors() {
+        let prog = appendix_b_program();
+        let q = Pred::new("ghost", [Term::var("x")]);
+        assert!(matches!(
+            prog.evaluate(&q, &provider()),
+            Err(FedError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut prog = AnnotatedProgram::new();
+        prog.add(
+            Rule::new(
+                Literal::pred("anc", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("anc", [Term::var("x"), Term::var("y")])],
+            ),
+            ["S1"],
+        );
+        let q = Pred::new("anc", [Term::var("x"), Term::var("y")]);
+        assert!(matches!(
+            prog.evaluate(&q, &MapProvider::new()),
+            Err(FedError::Recursive(_))
+        ));
+    }
+
+    #[test]
+    fn cmp_literal_filters_join() {
+        let mut prog = AnnotatedProgram::new();
+        prog.add(
+            Rule::new(
+                Literal::pred("rich", [Term::var("x")]),
+                vec![
+                    Literal::pred("salary", [Term::var("x"), Term::var("s")]),
+                    Literal::cmp(Term::var("s"), CmpOp::Gt, Term::val(100i64)),
+                ],
+            ),
+            Vec::<String>::new(),
+        );
+        prog.add(
+            Rule::new(Literal::pred("salary", [Term::var("x"), Term::var("s")]), vec![]),
+            ["S1"],
+        );
+        let mut p = MapProvider::new();
+        p.add("S1", "salary", vec!["a".into(), Value::Int(50)]);
+        p.add("S1", "salary", vec!["b".into(), Value::Int(150)]);
+        let result = prog
+            .evaluate(&Pred::new("rich", [Term::var("x")]), &p)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&vec![Value::str("b")]));
+    }
+
+    #[test]
+    fn shared_schema_duplicates_unioned_once() {
+        // The same tuple arriving from two schemas appears once (set
+        // semantics of RWS union).
+        let mut prog = AnnotatedProgram::new();
+        prog.add(
+            Rule::new(Literal::pred("p", [Term::var("x")]), vec![]),
+            ["S1", "S2"],
+        );
+        let mut prov = MapProvider::new();
+        prov.add("S1", "p", vec!["v".into()]);
+        prov.add("S2", "p", vec!["v".into()]);
+        let result = prog
+            .evaluate(&Pred::new("p", [Term::var("x")]), &prov)
+            .unwrap();
+        assert_eq!(result.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fedoo-deduction
+//!
+//! The deduction capability that makes the integrated schema
+//! "deduction-like" (§2, §5, Appendix B of Chen, *Integrating Heterogeneous
+//! OO Schemas*).
+//!
+//! The object model of §2 extends predicate calculus with **O-terms**:
+//! `<o: C | a₁:v₁, …>` (complex O-terms) and `<C : C'>` (typing O-terms).
+//! Derivation rules are implicitly universally quantified clauses
+//! `γ₁ & … & γⱼ ⇐ τ₁ & … & τₖ` whose literals are O-terms or ordinary
+//! first-order predicates. This crate provides:
+//!
+//! * [`term`] — terms, O-term patterns, literals, rules (with multi-head
+//!   disjunctive rules allowed representationally, per Principle 4);
+//! * [`subst`] — substitutions and the paper's **reverse substitutions**
+//!   (Definitions 5.1–5.3) with composition;
+//! * [`unify`] — unification of terms, predicates and O-terms;
+//! * [`safety`] — range-restriction / safety / allowedness checks that §5
+//!   requires of generated rules ("*the generated rules should be checked to
+//!   see whether they are well-defined, safe, … and allowed in the presence
+//!   of negated body predicates*");
+//! * [`strata`] — predicate-dependency stratification for negation;
+//! * [`eval`] — bottom-up semi-naive evaluation over a fact database;
+//! * [`federated`] — the annotated, recursive `evaluation(q, Q)` algorithm
+//!   of Appendix B, which unions local answers from each component schema
+//!   with joins of recursively evaluated body predicates.
+
+pub mod eval;
+pub mod federated;
+pub mod safety;
+pub mod strata;
+pub mod subst;
+pub mod term;
+pub mod unify;
+
+pub use eval::{FactDb, Program};
+pub use federated::{AnnotatedProgram, ExtentProvider};
+pub use safety::{check_rule, SafetyError};
+pub use strata::stratify;
+pub use subst::{ReverseSubst, Subst};
+pub use term::{CmpOp, Literal, OTermPat, Pred, Rule, Term};

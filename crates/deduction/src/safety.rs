@@ -1,0 +1,250 @@
+//! Rule safety checks.
+//!
+//! §5 (after Example 11): "*As in a deductive database, the generated rules
+//! should be checked to see whether they are well-defined, safe, or domain
+//! independent and allowed in the presence of negated body predicates.*"
+//!
+//! We implement the standard syntactic approximations:
+//!
+//! * **range restriction / safety** — every variable of the head occurs in
+//!   a positive, non-built-in body literal (facts must be ground);
+//! * **allowedness** — every variable occurring in a negated body literal
+//!   or in a built-in comparison also occurs in a positive body literal;
+//! * **well-definedness** — literal shapes are sane (e.g. a comparison's
+//!   operands are not both unbindable).
+
+use crate::term::{Literal, Rule};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A safety violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyError {
+    /// A head variable does not occur in any positive body literal.
+    UnsafeHeadVar { var: String, rule: String },
+    /// A variable of a negated literal is not bound positively.
+    NotAllowed { var: String, rule: String },
+    /// A variable of a built-in comparison is not bound positively.
+    UnboundBuiltin { var: String, rule: String },
+    /// A fact (empty body) contains variables.
+    NonGroundFact { var: String, rule: String },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::UnsafeHeadVar { var, rule } => {
+                write!(f, "unsafe rule: head variable `{var}` not range-restricted in `{rule}`")
+            }
+            SafetyError::NotAllowed { var, rule } => write!(
+                f,
+                "not allowed: variable `{var}` occurs only under negation in `{rule}`"
+            ),
+            SafetyError::UnboundBuiltin { var, rule } => write!(
+                f,
+                "unbound built-in operand `{var}` in `{rule}`"
+            ),
+            SafetyError::NonGroundFact { var, rule } => {
+                write!(f, "fact contains variable `{var}`: `{rule}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Variables bound by the positive, non-built-in part of the body.
+fn positive_vars(rule: &Rule) -> BTreeSet<String> {
+    rule.body
+        .iter()
+        .filter(|l| !l.is_negative() && !matches!(l, Literal::Cmp { .. }))
+        .flat_map(|l| l.vars())
+        .collect()
+}
+
+/// Check one rule for safety, allowedness and groundness of facts.
+pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
+    let rule_str = rule.to_string();
+    if rule.is_fact() {
+        if let Some(var) = rule.head_vars().into_iter().next() {
+            return Err(SafetyError::NonGroundFact {
+                var,
+                rule: rule_str,
+            });
+        }
+        return Ok(());
+    }
+    let pos = positive_vars(rule);
+    // Equality built-ins with one side positive-bound can bind the other:
+    // compute the closure of variables derivable through `=` chains.
+    let mut bound = pos.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for lit in &rule.body {
+            if let Literal::Cmp {
+                left,
+                op: crate::term::CmpOp::Eq,
+                right,
+            } = lit
+            {
+                match (left.as_var(), right.as_var()) {
+                    (Some(l), Some(r)) => {
+                        if bound.contains(l) && bound.insert(r.to_string()) {
+                            changed = true;
+                        }
+                        if bound.contains(r) && bound.insert(l.to_string()) {
+                            changed = true;
+                        }
+                    }
+                    (Some(l), None) => {
+                        if bound.insert(l.to_string()) {
+                            changed = true;
+                        }
+                    }
+                    (None, Some(r)) => {
+                        if bound.insert(r.to_string()) {
+                            changed = true;
+                        }
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+    for var in rule.head_vars() {
+        if !bound.contains(&var) {
+            return Err(SafetyError::UnsafeHeadVar {
+                var,
+                rule: rule_str,
+            });
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Neg(inner) => {
+                for var in inner.vars() {
+                    if !bound.contains(&var) {
+                        return Err(SafetyError::NotAllowed {
+                            var,
+                            rule: rule_str,
+                        });
+                    }
+                }
+            }
+            Literal::Cmp { left, right, .. } => {
+                for t in [left, right] {
+                    if let Some(v) = t.as_var() {
+                        if !bound.contains(v) {
+                            return Err(SafetyError::UnboundBuiltin {
+                                var: v.to_string(),
+                                rule: rule_str,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{CmpOp, Literal, OTermPat, Term};
+
+    fn ot(obj: &str, class: &str) -> Literal {
+        Literal::oterm(OTermPat::new(Term::var(obj), class))
+    }
+
+    #[test]
+    fn safe_rule_passes() {
+        // <x: IS_AB> ⇐ <x: A>, <y: B>, y = x   (Principle 3's first rule)
+        let r = Rule::new(
+            ot("x", "IS_AB"),
+            vec![
+                ot("x", "A"),
+                ot("y", "B"),
+                Literal::cmp(Term::var("y"), CmpOp::Eq, Term::var("x")),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn negation_allowed_when_bound() {
+        // <x: IS_A−> ⇐ <x: A>, ¬<x: IS_AB>
+        let r = Rule::new(
+            ot("x", "IS_A-"),
+            vec![ot("x", "A"), Literal::neg(ot("x", "IS_AB"))],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn unsafe_head_var_detected() {
+        let r = Rule::new(ot("x", "H"), vec![ot("y", "B")]);
+        assert!(matches!(
+            check_rule(&r),
+            Err(SafetyError::UnsafeHeadVar { .. })
+        ));
+    }
+
+    #[test]
+    fn negation_only_var_rejected() {
+        let r = Rule::new(ot("x", "H"), vec![ot("x", "B"), Literal::neg(ot("z", "C"))]);
+        assert!(matches!(check_rule(&r), Err(SafetyError::NotAllowed { .. })));
+    }
+
+    #[test]
+    fn equality_chain_binds_head_var() {
+        // h(x) ⇐ p(y), x = y   — x is bound through the equality.
+        let r = Rule::new(
+            Literal::pred("h", [Term::var("x")]),
+            vec![
+                Literal::pred("p", [Term::var("y")]),
+                Literal::cmp(Term::var("x"), CmpOp::Eq, Term::var("y")),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn equality_to_constant_binds() {
+        // h(x) ⇐ p(y), x = 3
+        let r = Rule::new(
+            Literal::pred("h", [Term::var("x")]),
+            vec![
+                Literal::pred("p", [Term::var("y")]),
+                Literal::cmp(Term::var("x"), CmpOp::Eq, Term::val(3i64)),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn non_eq_builtin_does_not_bind() {
+        // h(x) ⇐ p(y), x < y — `<` cannot generate x.
+        let r = Rule::new(
+            Literal::pred("h", [Term::var("x")]),
+            vec![
+                Literal::pred("p", [Term::var("y")]),
+                Literal::cmp(Term::var("x"), CmpOp::Lt, Term::var("y")),
+            ],
+        );
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn facts_must_be_ground() {
+        let ground = Rule::new(Literal::pred("p", [Term::val(1i64)]), vec![]);
+        assert!(check_rule(&ground).is_ok());
+        let open = Rule::new(Literal::pred("p", [Term::var("x")]), vec![]);
+        assert!(matches!(
+            check_rule(&open),
+            Err(SafetyError::NonGroundFact { .. })
+        ));
+    }
+}

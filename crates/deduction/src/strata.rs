@@ -1,0 +1,187 @@
+//! Stratification of rule programs with negation.
+//!
+//! The virtual-class rules of Principle 3/4 use negation
+//! (`<x: IS_A−> ⇐ <x: A>, ¬<x: IS_AB>`); bottom-up evaluation requires the
+//! program to be stratified: no predicate may depend on itself through a
+//! negative edge. `stratify` returns predicates grouped into evaluation
+//! strata (lowest first) or an error naming a predicate on a negative
+//! cycle.
+
+use crate::term::Rule;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Dependency edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Polarity {
+    Positive,
+    Negative,
+}
+
+/// Compute strata for the program's intensional predicates.
+///
+/// Returns the list of strata, each a set of predicate names, lowest first.
+/// Extensional predicates (those never at a rule head) are placed in
+/// stratum 0 alongside any head predicates with no negative dependencies.
+pub fn stratify(rules: &[Rule]) -> Result<Vec<BTreeSet<String>>, String> {
+    // Collect all predicate names and dependency edges head → body-pred.
+    let mut preds: BTreeSet<String> = BTreeSet::new();
+    let mut edges: Vec<(String, String, Polarity)> = Vec::new();
+    for rule in rules {
+        for head in &rule.heads {
+            let h = match head.relation() {
+                Some(h) => h.to_string(),
+                None => continue,
+            };
+            preds.insert(h.clone());
+            for lit in &rule.body {
+                let polarity = if lit.is_negative() {
+                    Polarity::Negative
+                } else {
+                    Polarity::Positive
+                };
+                if let Some(b) = lit.relation() {
+                    preds.insert(b.to_string());
+                    edges.push((h.clone(), b.to_string(), polarity));
+                }
+            }
+        }
+    }
+
+    // Standard iterative stratum assignment:
+    //   stratum(h) ≥ stratum(b)        for positive h ← b
+    //   stratum(h) ≥ stratum(b) + 1    for negative h ← ¬b
+    let mut stratum: BTreeMap<String, usize> = preds.iter().map(|p| (p.clone(), 0)).collect();
+    let n = preds.len().max(1);
+    for round in 0..=n {
+        let mut changed = false;
+        for (h, b, pol) in &edges {
+            let need = match pol {
+                Polarity::Positive => stratum[b],
+                Polarity::Negative => stratum[b] + 1,
+            };
+            if stratum[h] < need {
+                stratum.insert(h.clone(), need);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n {
+            // A stratum exceeded the predicate count: negative cycle.
+            let culprit = stratum
+                .iter()
+                .max_by_key(|(_, s)| **s)
+                .map(|(p, _)| p.clone())
+                .unwrap_or_default();
+            return Err(format!(
+                "program is not stratifiable: predicate `{culprit}` depends on itself through negation"
+            ));
+        }
+    }
+
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); max + 1];
+    for (p, s) in stratum {
+        out[s].insert(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Literal, OTermPat, Term};
+
+    fn ot(obj: &str, class: &str) -> Literal {
+        Literal::oterm(OTermPat::new(Term::var(obj), class))
+    }
+
+    #[test]
+    fn principle_3_rules_stratify() {
+        // IS_AB in stratum 0; IS_A−, IS_B− above it (negative dependency).
+        let rules = vec![
+            Rule::new(ot("x", "IS_AB"), vec![ot("x", "A"), ot("y", "B")]),
+            Rule::new(ot("x", "IS_A-"), vec![ot("x", "A"), Literal::neg(ot("x", "IS_AB"))]),
+            Rule::new(ot("x", "IS_B-"), vec![ot("x", "B"), Literal::neg(ot("x", "IS_AB"))]),
+        ];
+        let strata = stratify(&rules).unwrap();
+        let level = |p: &str| strata.iter().position(|s| s.contains(p)).unwrap();
+        assert!(level("IS_AB") < level("IS_A-"));
+        assert!(level("IS_AB") < level("IS_B-"));
+        assert_eq!(level("A"), 0);
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        // ancestor(x,z) ⇐ parent(x,y), ancestor(y,z)
+        let rules = vec![
+            Rule::new(
+                Literal::pred("ancestor", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("parent", [Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Literal::pred("ancestor", [Term::var("x"), Term::var("z")]),
+                vec![
+                    Literal::pred("parent", [Term::var("x"), Term::var("y")]),
+                    Literal::pred("ancestor", [Term::var("y"), Term::var("z")]),
+                ],
+            ),
+        ];
+        let strata = stratify(&rules).unwrap();
+        assert_eq!(strata.len(), 1);
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        // p ⇐ ¬q; q ⇐ ¬p
+        let rules = vec![
+            Rule::new(
+                Literal::pred("p", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("q", [Term::var("x")])),
+                ],
+            ),
+            Rule::new(
+                Literal::pred("q", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("p", [Term::var("x")])),
+                ],
+            ),
+        ];
+        assert!(stratify(&rules).is_err());
+    }
+
+    #[test]
+    fn multi_level_strata() {
+        // r depends negatively on q which depends negatively on p.
+        let rules = vec![
+            Rule::new(
+                Literal::pred("q", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("p", [Term::var("x")])),
+                ],
+            ),
+            Rule::new(
+                Literal::pred("r", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::neg(Literal::pred("q", [Term::var("x")])),
+                ],
+            ),
+        ];
+        let strata = stratify(&rules).unwrap();
+        assert_eq!(strata.len(), 3);
+        assert!(strata[0].contains("p") && strata[0].contains("d"));
+        assert!(strata[1].contains("q"));
+        assert!(strata[2].contains("r"));
+    }
+
+    #[test]
+    fn empty_program() {
+        assert_eq!(stratify(&[]).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Substitutions and **reverse substitutions** (Definitions 5.1–5.3).
+//!
+//! A (forward) substitution instantiates variables — the usual notion from
+//! logic programming [Lloyd 87]. The paper's rule-*generation* process runs
+//! the other way: a **reverse substitution** `θ = {c₁/x₁, …, cₙ/xₙ}`
+//! replaces constants *or variables* `cᵢ` with variables `xᵢ`, and is
+//! produced from the connected components and hyperedges of an assertion
+//! graph (Principle 5). Composition `θδ` is Definition 5.3.
+
+use crate::term::{AttrBinding, Literal, NameRef, OTermPat, Pred, Rule, Term};
+use oo_model::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A forward substitution: variable name → term.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<String, Term>,
+}
+
+impl Subst {
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    pub fn bind(&mut self, var: impl Into<String>, term: Term) {
+        self.map.insert(var.into(), term);
+    }
+
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    pub fn contains(&self, var: &str) -> bool {
+        self.map.contains_key(var)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Resolve a term through the substitution (transitively, for
+    /// var→var chains).
+    pub fn resolve(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => match self.map.get(v) {
+                Some(next) if next != t => self.resolve(next),
+                _ => t.clone(),
+            },
+            Term::Val(_) => t.clone(),
+        }
+    }
+
+    /// Resolve to a concrete value if fully ground.
+    pub fn value_of(&self, t: &Term) -> Option<Value> {
+        match self.resolve(t) {
+            Term::Val(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Apply to a literal, producing a (possibly still non-ground) literal.
+    pub fn apply(&self, lit: &Literal) -> Literal {
+        match lit {
+            Literal::OTerm(o) => Literal::OTerm(self.apply_oterm(o)),
+            Literal::Pred(p) => Literal::Pred(Pred::new(
+                p.name.clone(),
+                p.args.iter().map(|a| self.resolve(a)),
+            )),
+            Literal::Cmp { left, op, right } => Literal::Cmp {
+                left: self.resolve(left),
+                op: *op,
+                right: self.resolve(right),
+            },
+            Literal::Neg(inner) => Literal::Neg(Box::new(self.apply(inner))),
+        }
+    }
+
+    pub fn apply_oterm(&self, o: &OTermPat) -> OTermPat {
+        OTermPat {
+            object: self.resolve(&o.object),
+            class: o.class.clone(),
+            bindings: o
+                .bindings
+                .iter()
+                .map(|b| AttrBinding {
+                    name: b.name.clone(),
+                    term: self.resolve(&b.term),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One binding `c/x` of a reverse substitution: replace `c` with variable
+/// `x`. `c` is a constant or a variable (Definition 5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevBinding {
+    pub from: Term,
+    pub to_var: String,
+}
+
+/// A reverse substitution `θ = {c₁/x₁, …, cₙ/xₙ}` (Definition 5.1): the
+/// `cᵢ` are distinct; applying θ simultaneously replaces each occurrence of
+/// `cᵢ` with `xᵢ` (Definition 5.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReverseSubst {
+    bindings: Vec<RevBinding>,
+}
+
+impl ReverseSubst {
+    pub fn new() -> Self {
+        ReverseSubst::default()
+    }
+
+    /// Build from `(from, to_var)` pairs. Duplicate `from`s are rejected.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (Term, String)>,
+    {
+        let mut out = ReverseSubst::new();
+        for (from, to_var) in pairs {
+            out.push(from, to_var)?;
+        }
+        Ok(out)
+    }
+
+    /// Add a binding `from/to_var`; the `from`s must stay distinct.
+    pub fn push(&mut self, from: Term, to_var: impl Into<String>) -> Result<(), String> {
+        if self.bindings.iter().any(|b| b.from == from) {
+            return Err(format!("duplicate binding source `{from}`"));
+        }
+        self.bindings.push(RevBinding {
+            from,
+            to_var: to_var.into(),
+        });
+        Ok(())
+    }
+
+    pub fn bindings(&self) -> &[RevBinding] {
+        &self.bindings
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Apply to a term: simultaneous replacement (Definition 5.2).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        for b in &self.bindings {
+            if &b.from == t {
+                return Term::Var(b.to_var.clone());
+            }
+        }
+        t.clone()
+    }
+
+    /// Apply to a name position: a binding whose source is a variable of
+    /// the same name also renames attribute-name variables.
+    fn apply_name(&self, n: &NameRef) -> NameRef {
+        if let NameRef::Var(v) = n {
+            for b in &self.bindings {
+                if b.from == Term::Var(v.clone()) {
+                    return NameRef::Var(b.to_var.clone());
+                }
+            }
+        }
+        n.clone()
+    }
+
+    /// Apply to an O-term (Definition 5.2): `Bθ`.
+    pub fn apply_oterm(&self, o: &OTermPat) -> OTermPat {
+        OTermPat {
+            object: self.apply_term(&o.object),
+            class: self.apply_name(&o.class),
+            bindings: o
+                .bindings
+                .iter()
+                .map(|b| AttrBinding {
+                    name: self.apply_name(&b.name),
+                    term: self.apply_term(&b.term),
+                })
+                .collect(),
+        }
+    }
+
+    /// Apply to a literal.
+    pub fn apply(&self, lit: &Literal) -> Literal {
+        match lit {
+            Literal::OTerm(o) => Literal::OTerm(self.apply_oterm(o)),
+            Literal::Pred(p) => Literal::Pred(Pred::new(
+                p.name.clone(),
+                p.args.iter().map(|a| self.apply_term(a)),
+            )),
+            Literal::Cmp { left, op, right } => Literal::Cmp {
+                left: self.apply_term(left),
+                op: *op,
+                right: self.apply_term(right),
+            },
+            Literal::Neg(inner) => Literal::Neg(Box::new(self.apply(inner))),
+        }
+    }
+
+    /// Apply to a whole rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            heads: r.heads.iter().map(|h| self.apply(h)).collect(),
+            body: r.body.iter().map(|l| self.apply(l)).collect(),
+        }
+    }
+
+    /// Composition `θδ` (Definition 5.3): from
+    /// `{c₁/x₁δ, …, cₙ/xₙδ, d₁/y₁, …, dₘ/yₘ}` delete any `cᵢ/xᵢδ` with
+    /// `cᵢ = xᵢδ` and any `dⱼ/yⱼ` with `dⱼ ∈ {c₁, …, cₙ}`.
+    pub fn compose(&self, delta: &ReverseSubst) -> ReverseSubst {
+        let mut out = ReverseSubst::new();
+        for b in &self.bindings {
+            // xᵢδ: apply δ to the *target variable* of the binding.
+            let target = delta.apply_term(&Term::Var(b.to_var.clone()));
+            if b.from == target {
+                continue; // delete identity bindings
+            }
+            let to_var = match target {
+                Term::Var(v) => v,
+                // δ can only map to variables, so this cannot happen;
+                // keep the original target defensively.
+                Term::Val(_) => b.to_var.clone(),
+            };
+            // sources are distinct within self, so push cannot fail
+            out.push(b.from.clone(), to_var).expect("distinct sources");
+        }
+        for d in &delta.bindings {
+            if self.bindings.iter().any(|b| b.from == d.from) {
+                continue; // dⱼ ∈ {c₁, …, cₙ}: deleted
+            }
+            if out.bindings.iter().any(|b| b.from == d.from) {
+                continue;
+            }
+            out.push(d.from.clone(), d.to_var.clone())
+                .expect("checked above");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ReverseSubst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", b.from, b.to_var)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_resolve_chains() {
+        let mut s = Subst::new();
+        s.bind("x", Term::var("y"));
+        s.bind("y", Term::val(3i64));
+        assert_eq!(s.resolve(&Term::var("x")), Term::val(3i64));
+        assert_eq!(s.value_of(&Term::var("x")), Some(Value::Int(3)));
+        assert_eq!(s.value_of(&Term::var("z")), None);
+    }
+
+    #[test]
+    fn forward_apply_literal() {
+        let mut s = Subst::new();
+        s.bind("x", Term::val("Ann"));
+        let lit = Literal::pred("p", [Term::var("x"), Term::var("y")]);
+        assert_eq!(s.apply(&lit).to_string(), "p(\"Ann\", y)");
+    }
+
+    /// Definition 5.2's worked example:
+    /// B = <o1: IS(S2•uncle) | Ussn#: x, niece_nephew: y>, θ = {x/x2, y/x3}
+    /// ⇒ Bθ = <o1: IS(S2•uncle) | Ussn#: x2, niece_nephew: x3>.
+    #[test]
+    fn paper_example_reverse_application() {
+        let b = OTermPat::new(Term::var("o1"), "IS(S2•uncle)")
+            .bind("Ussn#", Term::var("x"))
+            .bind("niece_nephew", Term::var("y"));
+        let theta = ReverseSubst::from_pairs([
+            (Term::var("x"), "x2".to_string()),
+            (Term::var("y"), "x3".to_string()),
+        ])
+        .unwrap();
+        let bt = theta.apply_oterm(&b);
+        assert_eq!(
+            bt.to_string(),
+            "<o1: IS(S2•uncle) | Ussn#: x2, niece_nephew: x3>"
+        );
+    }
+
+    #[test]
+    fn constants_can_be_reversed() {
+        // Example 10: δ = {car-name/y3} replaces the *constant* car-name.
+        let delta =
+            ReverseSubst::from_pairs([(Term::val("car-name1"), "y3".to_string())]).unwrap();
+        let lit = Literal::cmp(Term::var("y2"), crate::term::CmpOp::Eq, Term::val("car-name1"));
+        assert_eq!(delta.apply(&lit).to_string(), "y2 = y3");
+    }
+
+    #[test]
+    fn duplicate_sources_rejected() {
+        let mut theta = ReverseSubst::new();
+        theta.push(Term::var("x"), "a").unwrap();
+        assert!(theta.push(Term::var("x"), "b").is_err());
+    }
+
+    #[test]
+    fn composition_definition_5_3() {
+        // θ = {z/x1, w/x1}, δ = {x1/y}
+        // θδ = {z/y, w/y, x1/y}? Definition: compose θδ =
+        //   {c_i/(x_i δ)} ∪ {d_j/y_j | d_j ∉ {c_i}}
+        let theta = ReverseSubst::from_pairs([
+            (Term::var("z"), "x1".to_string()),
+            (Term::var("w"), "x1".to_string()),
+        ])
+        .unwrap();
+        let delta = ReverseSubst::from_pairs([(Term::var("x1"), "y".to_string())]).unwrap();
+        let composed = theta.compose(&delta);
+        // z ↦ y, w ↦ y, and x1/y survives since x1 ∉ {z, w}.
+        assert_eq!(composed.apply_term(&Term::var("z")), Term::var("y"));
+        assert_eq!(composed.apply_term(&Term::var("w")), Term::var("y"));
+        assert_eq!(composed.apply_term(&Term::var("x1")), Term::var("y"));
+    }
+
+    #[test]
+    fn composition_deletes_identity_bindings() {
+        // θ = {x/y}, δ = {y/x}: x/(yδ) = x/x is identity → deleted;
+        // y/x is kept since y ∉ {x}.
+        let theta = ReverseSubst::from_pairs([(Term::var("x"), "y".to_string())]).unwrap();
+        let delta = ReverseSubst::from_pairs([(Term::var("y"), "x".to_string())]).unwrap();
+        let composed = theta.compose(&delta);
+        assert_eq!(composed.bindings().len(), 1);
+        assert_eq!(composed.apply_term(&Term::var("y")), Term::var("x"));
+        assert_eq!(composed.apply_term(&Term::var("x")), Term::var("x"));
+    }
+
+    #[test]
+    fn composition_deletes_shadowed_delta_bindings() {
+        // θ = {c/x}, δ = {c/z}: d₁ = c ∈ {c} → the δ binding is deleted.
+        let theta = ReverseSubst::from_pairs([(Term::val(1i64), "x".to_string())]).unwrap();
+        let delta = ReverseSubst::from_pairs([(Term::val(1i64), "z".to_string())]).unwrap();
+        let composed = theta.compose(&delta);
+        assert_eq!(composed.apply_term(&Term::val(1i64)), Term::var("x"));
+        assert_eq!(composed.bindings().len(), 1);
+    }
+
+    #[test]
+    fn sequential_application_equals_composition() {
+        // Applying θ then δ coincides with applying θδ on terms covered by θ.
+        let theta = ReverseSubst::from_pairs([
+            (Term::var("z"), "x1".to_string()),
+            (Term::var("w"), "x1".to_string()),
+        ])
+        .unwrap();
+        let delta = ReverseSubst::from_pairs([(Term::var("x1"), "y".to_string())]).unwrap();
+        let composed = theta.compose(&delta);
+        for t in [Term::var("z"), Term::var("w"), Term::var("x1"), Term::var("q")] {
+            let sequential = delta.apply_term(&theta.apply_term(&t));
+            assert_eq!(composed.apply_term(&t), sequential, "term {t}");
+        }
+    }
+
+    #[test]
+    fn apply_rule_reverses_everything() {
+        let rule = Rule::new(
+            Literal::oterm(OTermPat::new(Term::var("o"), "C").bind("a", Term::var("v"))),
+            vec![Literal::pred("p", [Term::var("v")])],
+        );
+        let theta = ReverseSubst::from_pairs([(Term::var("v"), "x1".to_string())]).unwrap();
+        let out = theta.apply_rule(&rule);
+        assert_eq!(out.to_string(), "<o: C | a: x1> ⇐ p(x1)");
+    }
+}

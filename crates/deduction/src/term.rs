@@ -1,0 +1,494 @@
+//! Terms, O-term patterns, literals and rules (§2).
+//!
+//! A rule like the paper's
+//!
+//! ```text
+//! <o1: Empl | e_name: x, work_in: o2> ⇐ <o2: Dept | d_name: y, manager: o1>
+//! ```
+//!
+//! is a [`Rule`] whose head and body literals are [`Literal::OTerm`]
+//! patterns. Variables may stand for object identifiers, attribute values —
+//! and, per §2, even class names or attribute names (see
+//! [`OTermPat::class`] / [`AttrBinding`], which admit variables), which is
+//! how schematic discrepancies (Example 5) are declared.
+
+use oo_model::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable or a constant value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    Var(String),
+    Val(Value),
+}
+
+impl Term {
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    pub fn val(v: impl Into<Value>) -> Self {
+        Term::Val(v.into())
+    }
+
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Val(_) => None,
+        }
+    }
+
+    pub fn as_val(&self) -> Option<&Value> {
+        match self {
+            Term::Val(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Val(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A name position that may itself be a variable (class names and attribute
+/// names are first-class in the paper's higher-order O-terms).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NameRef {
+    Name(String),
+    Var(String),
+}
+
+impl NameRef {
+    pub fn name(s: impl Into<String>) -> Self {
+        NameRef::Name(s.into())
+    }
+
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            NameRef::Name(n) => Some(n),
+            NameRef::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NameRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameRef::Name(n) => write!(f, "{n}"),
+            NameRef::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// One attribute (or aggregation-function) descriptor inside an O-term:
+/// `a: t`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrBinding {
+    pub name: NameRef,
+    pub term: Term,
+}
+
+impl AttrBinding {
+    pub fn new(name: impl Into<String>, term: Term) -> Self {
+        AttrBinding {
+            name: NameRef::name(name),
+            term,
+        }
+    }
+}
+
+/// A complex O-term pattern `<o: C | a₁:t₁, …, aₖ:tₖ>`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OTermPat {
+    /// The object position `o` (variable or OID constant).
+    pub object: Term,
+    /// The class position `C` (usually a name; may be a variable).
+    pub class: NameRef,
+    /// Attribute descriptors mentioned by the pattern (partial: an O-term
+    /// need not mention every attribute of the class).
+    pub bindings: Vec<AttrBinding>,
+}
+
+impl OTermPat {
+    pub fn new(object: Term, class: impl Into<String>) -> Self {
+        OTermPat {
+            object,
+            class: NameRef::name(class),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Builder-style attribute descriptor.
+    pub fn bind(mut self, attr: impl Into<String>, term: Term) -> Self {
+        self.bindings.push(AttrBinding::new(attr, term));
+        self
+    }
+
+    pub fn binding(&self, attr: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|b| b.name.as_name() == Some(attr))
+            .map(|b| &b.term)
+    }
+
+    /// All variables in this pattern (object, class, names, terms).
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        if let Term::Var(v) = &self.object {
+            out.insert(v.clone());
+        }
+        if let NameRef::Var(v) = &self.class {
+            out.insert(v.clone());
+        }
+        for b in &self.bindings {
+            if let NameRef::Var(v) = &b.name {
+                out.insert(v.clone());
+            }
+            if let Term::Var(v) = &b.term {
+                out.insert(v.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for OTermPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}: {}", self.object, self.class)?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            write!(f, "{} {}: {}", if i == 0 { " |" } else { "," }, b.name, b.term)?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// An ordinary first-order predicate `p(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred {
+    pub name: String,
+    pub args: Vec<Term>,
+}
+
+impl Pred {
+    pub fn new<I>(name: impl Into<String>, args: I) -> Self
+    where
+        I: IntoIterator<Item = Term>,
+    {
+        Pred {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    pub fn vars(&self) -> BTreeSet<String> {
+        self.args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison / membership operators usable as built-in body literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Set membership `∈` (used by value correspondences such as
+    /// `parent•Pssn# ∈ brother•brothers`).
+    In,
+}
+
+impl CmpOp {
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+            CmpOp::In => right.contains(left),
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+            CmpOp::In => "∈",
+        }
+    }
+}
+
+/// A literal: an O-term, a predicate, a built-in comparison, or a negated
+/// literal (`¬<x: IS_A−>` in Principle 3's virtual-class rules).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Literal {
+    OTerm(OTermPat),
+    Pred(Pred),
+    Cmp {
+        left: Term,
+        op: CmpOp,
+        right: Term,
+    },
+    Neg(Box<Literal>),
+}
+
+impl Literal {
+    pub fn oterm(pat: OTermPat) -> Self {
+        Literal::OTerm(pat)
+    }
+
+    pub fn pred<I>(name: impl Into<String>, args: I) -> Self
+    where
+        I: IntoIterator<Item = Term>,
+    {
+        Literal::Pred(Pred::new(name, args))
+    }
+
+    pub fn cmp(left: Term, op: CmpOp, right: Term) -> Self {
+        Literal::Cmp { left, op, right }
+    }
+
+    pub fn neg(inner: Literal) -> Self {
+        Literal::Neg(Box::new(inner))
+    }
+
+    /// The "relation name" this literal refers to, if any: the class of an
+    /// O-term or the predicate name (negation looks through).
+    pub fn relation(&self) -> Option<&str> {
+        match self {
+            Literal::OTerm(o) => o.class.as_name(),
+            Literal::Pred(p) => Some(&p.name),
+            Literal::Cmp { .. } => None,
+            Literal::Neg(inner) => inner.relation(),
+        }
+    }
+
+    /// Is this literal negated?
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+
+    /// All variables occurring in the literal.
+    pub fn vars(&self) -> BTreeSet<String> {
+        match self {
+            Literal::OTerm(o) => o.vars(),
+            Literal::Pred(p) => p.vars(),
+            Literal::Cmp { left, right, .. } => {
+                let mut out = BTreeSet::new();
+                if let Term::Var(v) = left {
+                    out.insert(v.clone());
+                }
+                if let Term::Var(v) = right {
+                    out.insert(v.clone());
+                }
+                out
+            }
+            Literal::Neg(inner) => inner.vars(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::OTerm(o) => write!(f, "{o}"),
+            Literal::Pred(p) => write!(f, "{p}"),
+            Literal::Cmp { left, op, right } => write!(f, "{left} {} {right}", op.symbol()),
+            Literal::Neg(inner) => write!(f, "¬{inner}"),
+        }
+    }
+}
+
+/// A derivation rule `γ₁ & … & γⱼ ⇐ τ₁ & … & τₖ`.
+///
+/// Multiple heads encode the disjunctive rules Principle 4 constructs
+/// (`<x:B₁> ∨ … ∨ <x:Bₘ> ⇐ …`); the evaluator only executes single-head
+/// rules, the disjunctive ones remain declarative documentation of the
+/// integrated semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub heads: Vec<Literal>,
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    pub fn new(head: Literal, body: Vec<Literal>) -> Self {
+        Rule {
+            heads: vec![head],
+            body,
+        }
+    }
+
+    pub fn disjunctive(heads: Vec<Literal>, body: Vec<Literal>) -> Self {
+        Rule { heads, body }
+    }
+
+    /// The single head, when the rule is definite.
+    pub fn head(&self) -> Option<&Literal> {
+        if self.heads.len() == 1 {
+            self.heads.first()
+        } else {
+            None
+        }
+    }
+
+    /// A fact is a rule with an empty body (Appendix B represents basic
+    /// predicates this way).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    pub fn head_vars(&self) -> BTreeSet<String> {
+        self.heads.iter().flat_map(|h| h.vars()).collect()
+    }
+
+    pub fn body_vars(&self) -> BTreeSet<String> {
+        self.body.iter().flat_map(|l| l.vars()).collect()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, h) in self.heads.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        if !self.body.is_empty() {
+            write!(f, " ⇐ ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §2 example rule: department managers work in the department they
+    /// manage.
+    fn manager_rule() -> Rule {
+        Rule::new(
+            Literal::oterm(
+                OTermPat::new(Term::var("o1"), "Empl")
+                    .bind("e_name", Term::var("x"))
+                    .bind("work_in", Term::var("o2")),
+            ),
+            vec![Literal::oterm(
+                OTermPat::new(Term::var("o2"), "Dept")
+                    .bind("d_name", Term::var("y"))
+                    .bind("manager", Term::var("o1")),
+            )],
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(
+            manager_rule().to_string(),
+            "<o1: Empl | e_name: x, work_in: o2> ⇐ <o2: Dept | d_name: y, manager: o1>"
+        );
+    }
+
+    #[test]
+    fn vars_collected() {
+        let r = manager_rule();
+        let hv = r.head_vars();
+        assert!(hv.contains("o1") && hv.contains("x") && hv.contains("o2"));
+        let bv = r.body_vars();
+        assert!(bv.contains("y") && bv.contains("o1"));
+    }
+
+    #[test]
+    fn oterm_binding_lookup() {
+        let o = OTermPat::new(Term::var("o"), "C").bind("a", Term::val(1i64));
+        assert_eq!(o.binding("a"), Some(&Term::val(1i64)));
+        assert_eq!(o.binding("b"), None);
+    }
+
+    #[test]
+    fn cmp_ops() {
+        use oo_model::Value;
+        assert!(CmpOp::In.eval(&Value::str("x"), &Value::str_set(["x", "y"])));
+        assert!(!CmpOp::In.eval(&Value::str("z"), &Value::str_set(["x"])));
+        assert!(CmpOp::Le.eval(&Value::Int(1), &Value::Int(1)));
+        assert!(CmpOp::Ne.eval(&Value::Int(1), &Value::Int(2)));
+    }
+
+    #[test]
+    fn negation_and_relation() {
+        let lit = Literal::neg(Literal::pred("p", [Term::var("x")]));
+        assert!(lit.is_negative());
+        assert_eq!(lit.relation(), Some("p"));
+        assert_eq!(lit.to_string(), "¬p(x)");
+    }
+
+    #[test]
+    fn disjunctive_heads_display() {
+        let r = Rule::disjunctive(
+            vec![
+                Literal::oterm(OTermPat::new(Term::var("x"), "B1")),
+                Literal::oterm(OTermPat::new(Term::var("x"), "B2")),
+            ],
+            vec![Literal::oterm(OTermPat::new(Term::var("x"), "A"))],
+        );
+        assert_eq!(r.head(), None);
+        assert_eq!(r.to_string(), "<x: B1> ∨ <x: B2> ⇐ <x: A>");
+    }
+
+    #[test]
+    fn fact_detection() {
+        let f = Rule::new(Literal::pred("mother", [Term::var("x"), Term::var("y")]), vec![]);
+        assert!(f.is_fact());
+        assert!(!manager_rule().is_fact());
+    }
+
+    #[test]
+    fn class_variable_allowed() {
+        // Schematic-discrepancy support: class position can be a variable.
+        let mut pat = OTermPat::new(Term::var("o"), "ignored");
+        pat.class = NameRef::Var("C".into());
+        assert!(pat.vars().contains("C"));
+        assert_eq!(pat.to_string(), "<o: ?C>");
+    }
+}

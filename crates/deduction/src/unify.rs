@@ -1,0 +1,175 @@
+//! Unification of terms, predicates and O-term patterns against ground
+//! facts and against each other — the matching machinery behind rule
+//! evaluation.
+
+use crate::subst::Subst;
+use crate::term::{Literal, OTermPat, Pred, Term};
+use oo_model::Value;
+
+/// Unify two terms under an existing substitution, extending it in place.
+/// Returns `false` (leaving `s` possibly partially extended — callers clone
+/// first) when the terms cannot be unified.
+pub fn unify_terms(a: &Term, b: &Term, s: &mut Subst) -> bool {
+    let ra = s.resolve(a);
+    let rb = s.resolve(b);
+    match (&ra, &rb) {
+        (Term::Val(x), Term::Val(y)) => x == y,
+        (Term::Var(v), _) => {
+            if ra == rb {
+                true
+            } else {
+                s.bind(v.clone(), rb);
+                true
+            }
+        }
+        (_, Term::Var(v)) => {
+            s.bind(v.clone(), ra);
+            true
+        }
+    }
+}
+
+/// Unify a term against a concrete value.
+pub fn unify_with_value(t: &Term, v: &Value, s: &mut Subst) -> bool {
+    unify_terms(t, &Term::Val(v.clone()), s)
+}
+
+/// Unify two predicates (same name, same arity, pairwise-unifiable args).
+pub fn unify_preds(a: &Pred, b: &Pred, s: &mut Subst) -> bool {
+    if a.name != b.name || a.args.len() != b.args.len() {
+        return false;
+    }
+    a.args
+        .iter()
+        .zip(&b.args)
+        .all(|(x, y)| unify_terms(x, y, s))
+}
+
+/// Unify an O-term *pattern* against another O-term whose bindings are a
+/// superset (the fact side): every binding mentioned by `pat` must unify
+/// with the corresponding binding of `fact`; `fact` may carry more.
+/// Class names must match textually (class variables are resolved by the
+/// caller before matching).
+pub fn unify_oterm_pattern(pat: &OTermPat, fact: &OTermPat, s: &mut Subst) -> bool {
+    match (pat.class.as_name(), fact.class.as_name()) {
+        (Some(a), Some(b)) if a == b => {}
+        _ => return false,
+    }
+    if !unify_terms(&pat.object, &fact.object, s) {
+        return false;
+    }
+    for b in &pat.bindings {
+        let name = match b.name.as_name() {
+            Some(n) => n,
+            None => return false, // name variables resolved by the caller
+        };
+        match fact.binding(name) {
+            Some(ft) => {
+                if !unify_terms(&b.term, ft, s) {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Unify two literals of the same shape.
+pub fn unify_literal(a: &Literal, b: &Literal, s: &mut Subst) -> bool {
+    match (a, b) {
+        (Literal::Pred(p), Literal::Pred(q)) => unify_preds(p, q, s),
+        (Literal::OTerm(p), Literal::OTerm(q)) => unify_oterm_pattern(p, q, s),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_binds_to_value() {
+        let mut s = Subst::new();
+        assert!(unify_terms(&Term::var("x"), &Term::val(5i64), &mut s));
+        assert_eq!(s.value_of(&Term::var("x")), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn conflicting_values_fail() {
+        let mut s = Subst::new();
+        assert!(unify_terms(&Term::var("x"), &Term::val(1i64), &mut s));
+        assert!(!unify_terms(&Term::var("x"), &Term::val(2i64), &mut s));
+    }
+
+    #[test]
+    fn var_var_aliasing() {
+        let mut s = Subst::new();
+        assert!(unify_terms(&Term::var("x"), &Term::var("y"), &mut s));
+        assert!(unify_terms(&Term::var("y"), &Term::val("v"), &mut s));
+        assert_eq!(s.value_of(&Term::var("x")), Some(Value::str("v")));
+    }
+
+    #[test]
+    fn self_unification_no_infinite_loop() {
+        let mut s = Subst::new();
+        assert!(unify_terms(&Term::var("x"), &Term::var("x"), &mut s));
+        assert_eq!(s.resolve(&Term::var("x")), Term::var("x"));
+    }
+
+    #[test]
+    fn preds_unify_by_name_and_arity() {
+        let mut s = Subst::new();
+        let a = Pred::new("p", [Term::var("x"), Term::val(1i64)]);
+        let b = Pred::new("p", [Term::val("a"), Term::val(1i64)]);
+        assert!(unify_preds(&a, &b, &mut s));
+        assert_eq!(s.value_of(&Term::var("x")), Some(Value::str("a")));
+
+        let c = Pred::new("q", [Term::var("x")]);
+        assert!(!unify_preds(&a, &c, &mut Subst::new()));
+        let d = Pred::new("p", [Term::var("x")]);
+        assert!(!unify_preds(&a, &d, &mut Subst::new()));
+    }
+
+    #[test]
+    fn oterm_pattern_matches_superset_fact() {
+        let pat = OTermPat::new(Term::var("o"), "person").bind("name", Term::var("n"));
+        let fact = OTermPat::new(Term::val("oid1"), "person")
+            .bind("name", Term::val("Ann"))
+            .bind("age", Term::val(30i64));
+        let mut s = Subst::new();
+        assert!(unify_oterm_pattern(&pat, &fact, &mut s));
+        assert_eq!(s.value_of(&Term::var("n")), Some(Value::str("Ann")));
+        assert_eq!(s.value_of(&Term::var("o")), Some(Value::str("oid1")));
+    }
+
+    #[test]
+    fn oterm_pattern_missing_binding_fails() {
+        let pat = OTermPat::new(Term::var("o"), "person").bind("ghost", Term::var("g"));
+        let fact = OTermPat::new(Term::val("oid1"), "person").bind("name", Term::val("Ann"));
+        assert!(!unify_oterm_pattern(&pat, &fact, &mut Subst::new()));
+    }
+
+    #[test]
+    fn oterm_class_mismatch_fails() {
+        let pat = OTermPat::new(Term::var("o"), "person");
+        let fact = OTermPat::new(Term::val("oid1"), "animal");
+        assert!(!unify_oterm_pattern(&pat, &fact, &mut Subst::new()));
+    }
+
+    #[test]
+    fn shared_variable_join_constraint() {
+        // <o: C | a: x, b: x> only matches facts where a = b.
+        let pat = OTermPat::new(Term::var("o"), "C")
+            .bind("a", Term::var("x"))
+            .bind("b", Term::var("x"));
+        let good = OTermPat::new(Term::val("1"), "C")
+            .bind("a", Term::val(7i64))
+            .bind("b", Term::val(7i64));
+        let bad = OTermPat::new(Term::val("2"), "C")
+            .bind("a", Term::val(7i64))
+            .bind("b", Term::val(8i64));
+        assert!(unify_oterm_pattern(&pat, &good, &mut Subst::new()));
+        assert!(!unify_oterm_pattern(&pat, &bad, &mut Subst::new()));
+    }
+}

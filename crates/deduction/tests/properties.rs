@@ -1,0 +1,102 @@
+//! Property tests for the deduction substrate: the reverse-substitution
+//! composition law (Definition 5.3) and evaluation invariants.
+
+use deduction::{Literal, Pred, Program, ReverseSubst, Rule, Term};
+use oo_model::Value;
+use proptest::prelude::*;
+
+/// Strategy: a reverse substitution over a small variable/constant pool.
+fn rev_subst_strategy() -> impl Strategy<Value = ReverseSubst> {
+    proptest::collection::btree_map(0u8..6, 0u8..6, 0..4).prop_map(|m| {
+        ReverseSubst::from_pairs(m.into_iter().map(|(from, to)| {
+            let from = if from < 3 {
+                Term::var(format!("v{from}"))
+            } else {
+                Term::val(Value::Int(from as i64))
+            };
+            (from, format!("x{to}"))
+        }))
+        .expect("btree_map keys are distinct")
+    })
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..6).prop_map(|v| Term::var(format!("v{v}"))),
+        (0u8..6).prop_map(|v| Term::var(format!("x{v}"))),
+        (0i64..6).prop_map(|i| Term::val(Value::Int(i))),
+    ]
+}
+
+proptest! {
+    /// Definition 5.3: applying θ then δ equals applying the composition
+    /// θδ, on every term.
+    #[test]
+    fn composition_law(
+        theta in rev_subst_strategy(),
+        delta in rev_subst_strategy(),
+        t in term_strategy(),
+    ) {
+        let sequential = delta.apply_term(&theta.apply_term(&t));
+        let composed = theta.compose(&delta).apply_term(&t);
+        prop_assert_eq!(composed, sequential);
+    }
+
+    /// Composition with the empty substitution is identity.
+    #[test]
+    fn empty_is_identity(theta in rev_subst_strategy(), t in term_strategy()) {
+        let empty = ReverseSubst::new();
+        prop_assert_eq!(theta.compose(&empty).apply_term(&t), theta.apply_term(&t));
+        prop_assert_eq!(empty.compose(&theta).apply_term(&t), theta.apply_term(&t));
+    }
+
+    /// Bottom-up evaluation is monotone: adding facts never removes
+    /// derived tuples.
+    #[test]
+    fn evaluation_monotone(extra in proptest::collection::vec((0i64..5, 0i64..5), 0..6)) {
+        let program = Program::new(vec![Rule::new(
+            Literal::Pred(Pred::new("q", [Term::var("x"), Term::var("y")])),
+            vec![Literal::Pred(Pred::new("p", [Term::var("x"), Term::var("y")]))],
+        )]);
+        let mut small = deduction::FactDb::new();
+        small.insert_pred("p", vec![Value::Int(0), Value::Int(0)]);
+        program.evaluate(&mut small).unwrap();
+        let small_q: std::collections::BTreeSet<_> =
+            small.tuples_of("q").cloned().collect();
+
+        let mut big = deduction::FactDb::new();
+        big.insert_pred("p", vec![Value::Int(0), Value::Int(0)]);
+        for (a, b) in extra {
+            big.insert_pred("p", vec![Value::Int(a), Value::Int(b)]);
+        }
+        program.evaluate(&mut big).unwrap();
+        let big_q: std::collections::BTreeSet<_> = big.tuples_of("q").cloned().collect();
+        prop_assert!(small_q.is_subset(&big_q));
+    }
+
+    /// Evaluation is idempotent: a second run adds nothing.
+    #[test]
+    fn evaluation_idempotent(facts in proptest::collection::vec((0i64..5, 0i64..5), 1..6)) {
+        let program = Program::new(vec![
+            Rule::new(
+                Literal::Pred(Pred::new("anc", [Term::var("x"), Term::var("y")])),
+                vec![Literal::Pred(Pred::new("par", [Term::var("x"), Term::var("y")]))],
+            ),
+            Rule::new(
+                Literal::Pred(Pred::new("anc", [Term::var("x"), Term::var("z")])),
+                vec![
+                    Literal::Pred(Pred::new("par", [Term::var("x"), Term::var("y")])),
+                    Literal::Pred(Pred::new("anc", [Term::var("y"), Term::var("z")])),
+                ],
+            ),
+        ]);
+        let mut db = deduction::FactDb::new();
+        for (a, b) in facts {
+            db.insert_pred("par", vec![Value::Int(a), Value::Int(b)]);
+        }
+        program.evaluate(&mut db).unwrap();
+        let after_one = db.len();
+        program.evaluate(&mut db).unwrap();
+        prop_assert_eq!(db.len(), after_one);
+    }
+}

@@ -1,0 +1,107 @@
+//! FSM-agents: local system management (§3).
+//!
+//! An agent hosts one component database — a relational system whose schema
+//! is transformed to OO on export (reference \[6\]'s rules, implemented in
+//! `fedoo-transform`), or a natively object-oriented store — and serves its
+//! exported schema and extents to the FSM.
+
+use crate::Result;
+use oo_model::{InstanceStore, Schema};
+use relational::Database;
+
+/// The component database an agent hosts.
+#[derive(Debug, Clone)]
+pub enum ComponentSource {
+    /// A relational database; transformed on export.
+    Relational(Database),
+    /// A native OO component (schema + instances).
+    ObjectOriented { schema: Schema, store: InstanceStore },
+}
+
+/// An FSM-agent.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    pub name: String,
+    pub source: ComponentSource,
+}
+
+impl Agent {
+    /// An agent over a relational component.
+    pub fn relational(name: impl Into<String>, db: Database) -> Self {
+        Agent {
+            name: name.into(),
+            source: ComponentSource::Relational(db),
+        }
+    }
+
+    /// An agent over a native OO component.
+    pub fn object_oriented(
+        name: impl Into<String>,
+        schema: Schema,
+        store: InstanceStore,
+    ) -> Self {
+        Agent {
+            name: name.into(),
+            source: ComponentSource::ObjectOriented { schema, store },
+        }
+    }
+
+    /// Export the component as an OO schema named `schema_name`, with its
+    /// instance store (relational components are transformed per §3).
+    pub fn export(&self, schema_name: &str) -> Result<(Schema, InstanceStore)> {
+        match &self.source {
+            ComponentSource::Relational(db) => {
+                let t = transform::transform(&self.name, db, schema_name)?;
+                Ok((t.schema, t.store))
+            }
+            ComponentSource::ObjectOriented { schema, store } => {
+                let mut renamed = schema.clone();
+                renamed.name = oo_model::SchemaName::new(schema_name);
+                Ok((renamed, store.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::{AttrType, SchemaBuilder};
+    use relational::{ColumnDef, ColumnType, RelSchema};
+
+    #[test]
+    fn relational_agent_exports_transformed_schema() {
+        let mut db = Database::new("informix", "DB1");
+        db.create_table(
+            RelSchema::new(
+                "person",
+                vec![ColumnDef::new("ssn", ColumnType::Str)],
+                ["ssn"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("person", vec!["123".into()]).unwrap();
+        let agent = Agent::relational("FSM-agent1", db);
+        let (schema, store) = agent.export("S1").unwrap();
+        assert_eq!(schema.name.as_str(), "S1");
+        assert!(schema.class_named("person").is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn oo_agent_exports_renamed_schema() {
+        let schema = SchemaBuilder::new("local")
+            .class("book", |c| c.attr("isbn", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut store = InstanceStore::new();
+        store
+            .create(&schema, "book", |o| o.with_attr("isbn", "i1"))
+            .unwrap();
+        let agent = Agent::object_oriented("FSM-agent2", schema, store);
+        let (schema, store) = agent.export("S2").unwrap();
+        assert_eq!(schema.name.as_str(), "S2");
+        assert_eq!(store.len(), 1);
+    }
+}

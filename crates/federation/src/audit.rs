@@ -1,0 +1,384 @@
+//! Assertion auditing: check that the *declared* real-world-state
+//! semantics of §4.1 actually hold on the component data.
+//!
+//! The paper defines assertions by RWS conditions
+//! (`S₁•A ≡ S₂•B iff RWS(A) = RWS(B) always holds`, …) but trusts the DBA
+//! to declare them correctly. This module closes the loop: given the
+//! components' extents and the meta-registry's object pairing, it verifies
+//!
+//! * `≡` — every A object is paired with a B object and vice versa;
+//! * `⊆` / `⊇` — the subset side's objects are all paired;
+//! * `∅` — no A object is paired with any B object;
+//! * `∩` — reports the overlap size (the assertion claims it is sometimes
+//!   non-empty, so an empty overlap is a notice, not a violation);
+//! * attribute inclusions with `with att τ Const` — the left value set is
+//!   contained in the right value set restricted by the predicate.
+//!
+//! Findings are advisory: integration proceeds regardless (autonomy), but
+//! a DBA can run the audit before committing an assertion set.
+
+use crate::mapping::MetaRegistry;
+use assertions::{AttrOp, ClassAssertion, ClassOp};
+use oo_model::{InstanceStore, Object, Schema, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Severity of an audit finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The data contradicts the declared assertion.
+    Violation,
+    /// Worth looking at, not a contradiction.
+    Notice,
+}
+
+/// One audit finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub severity: Severity,
+    pub assertion: String,
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Violation => "VIOLATION",
+            Severity::Notice => "notice",
+        };
+        write!(f, "[{tag}] {}: {}", self.assertion, self.detail)
+    }
+}
+
+fn find_component<'a>(
+    components: &'a [(Schema, InstanceStore)],
+    name: &str,
+) -> Option<&'a (Schema, InstanceStore)> {
+    components.iter().find(|(s, _)| s.name.as_str() == name)
+}
+
+fn extent<'a>(
+    components: &'a [(Schema, InstanceStore)],
+    schema: &str,
+    class: &str,
+) -> Vec<&'a Object> {
+    find_component(components, schema)
+        .map(|(s, store)| store.extent(s, &class.into()))
+        .unwrap_or_default()
+}
+
+/// Is `obj` paired with any object of the target extent?
+fn paired_into(meta: &MetaRegistry, obj: &Object, targets: &[&Object]) -> bool {
+    targets
+        .iter()
+        .any(|t| meta.pairing.are_paired(&obj.oid, &t.oid))
+}
+
+/// Audit one class assertion against the live extents.
+pub fn audit_assertion(
+    a: &ClassAssertion,
+    components: &[(Schema, InstanceStore)],
+    meta: &MetaRegistry,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let name = a.to_string().lines().next().unwrap_or_default().to_string();
+    let left = extent(components, &a.left_schema, a.left_class());
+    let right = extent(components, &a.right_schema, &a.right_class);
+    let push = |findings: &mut Vec<Finding>, severity, detail: String| {
+        findings.push(Finding {
+            severity,
+            assertion: name.clone(),
+            detail,
+        })
+    };
+    match a.op {
+        ClassOp::Equiv => {
+            let unpaired_left =
+                left.iter().filter(|o| !paired_into(meta, o, &right)).count();
+            let unpaired_right =
+                right.iter().filter(|o| !paired_into(meta, o, &left)).count();
+            if unpaired_left > 0 || unpaired_right > 0 {
+                push(
+                    &mut findings,
+                    Severity::Violation,
+                    format!(
+                        "≡ requires matching populations, but {unpaired_left} left and \
+                         {unpaired_right} right object(s) have no counterpart"
+                    ),
+                );
+            }
+        }
+        ClassOp::Incl => {
+            let unpaired = left.iter().filter(|o| !paired_into(meta, o, &right)).count();
+            if unpaired > 0 {
+                push(
+                    &mut findings,
+                    Severity::Violation,
+                    format!("⊆ requires RWS({}) ⊆ RWS({}), but {unpaired} left object(s) have no counterpart", a.left_class(), a.right_class),
+                );
+            }
+        }
+        ClassOp::InclRev => {
+            let unpaired = right.iter().filter(|o| !paired_into(meta, o, &left)).count();
+            if unpaired > 0 {
+                push(
+                    &mut findings,
+                    Severity::Violation,
+                    format!("⊇ requires RWS({}) ⊇ RWS({}), but {unpaired} right object(s) have no counterpart", a.left_class(), a.right_class),
+                );
+            }
+        }
+        ClassOp::Disjoint => {
+            let overlap = left.iter().filter(|o| paired_into(meta, o, &right)).count();
+            if overlap > 0 {
+                push(
+                    &mut findings,
+                    Severity::Violation,
+                    format!("∅ requires an empty intersection, but {overlap} object(s) are paired across the classes"),
+                );
+            }
+        }
+        ClassOp::Intersect => {
+            let overlap = left.iter().filter(|o| paired_into(meta, o, &right)).count();
+            if overlap == 0 {
+                push(
+                    &mut findings,
+                    Severity::Notice,
+                    "∩ claims a sometimes-non-empty intersection; currently empty".to_string(),
+                );
+            }
+        }
+        ClassOp::Derive => {
+            // Derivations are generative — nothing to falsify extensionally
+            // without evaluating the rule; report coverage as a notice.
+            if right.is_empty() && !left.is_empty() {
+                push(
+                    &mut findings,
+                    Severity::Notice,
+                    "→ target extent is empty; derived instances exist only virtually"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    // Attribute inclusions (with optional `with` predicate): value subset.
+    for corr in &a.attr_corrs {
+        if !matches!(corr.op, AttrOp::Incl | AttrOp::InclRev) {
+            continue;
+        }
+        let (sub, sup) = match corr.op {
+            AttrOp::Incl => (&corr.left, &corr.right),
+            _ => (&corr.right, &corr.left),
+        };
+        let (Some(sub_attr), Some(sup_attr)) = (sub.member(), sup.member()) else {
+            continue;
+        };
+        let sub_vals: BTreeSet<Value> = extent(components, &sub.schema, sub.class_name())
+            .iter()
+            .map(|o| o.attr(sub_attr))
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect();
+        let sup_objects = extent(components, &sup.schema, sup.class_name());
+        let sup_vals: BTreeSet<Value> = sup_objects
+            .iter()
+            .filter(|o| match &corr.with_pred {
+                Some(w) => {
+                    let attr = w.attr.member().unwrap_or_default();
+                    w.tau.eval(o.attr(attr), &w.constant)
+                }
+                None => true,
+            })
+            .map(|o| o.attr(sup_attr))
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect();
+        let missing: Vec<&Value> = sub_vals.iter().filter(|v| !sup_vals.contains(v)).collect();
+        if !missing.is_empty() {
+            findings.push(Finding {
+                severity: Severity::Violation,
+                assertion: name.clone(),
+                detail: format!(
+                    "attribute inclusion `{corr}` fails for {} value(s), e.g. {}",
+                    missing.len(),
+                    missing[0]
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Audit a whole assertion list.
+pub fn audit(
+    assertions: &[ClassAssertion],
+    components: &[(Schema, InstanceStore)],
+    meta: &MetaRegistry,
+) -> Vec<Finding> {
+    assertions
+        .iter()
+        .flat_map(|a| audit_assertion(a, components, meta))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assertions::{AttrCorr, SPath, Tau, WithPred};
+    use oo_model::{AttrType, SchemaBuilder};
+
+    fn components() -> Vec<(Schema, InstanceStore)> {
+        let s1 = SchemaBuilder::new("S1")
+            .class("person", |c| c.attr("ssn", AttrType::Str))
+            .class("stockA", |c| {
+                c.attr("name", AttrType::Str).attr("price-in-March", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "person", |o| o.with_attr("ssn", "1")).unwrap();
+        st1.create(&s1, "person", |o| o.with_attr("ssn", "2")).unwrap();
+        st1.create(&s1, "stockA", |o| {
+            o.with_attr("name", "IBM").with_attr("price-in-March", 100i64)
+        })
+        .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .class("human", |c| c.attr("ssn", AttrType::Str))
+            .class("stock", |c| {
+                c.attr("time", AttrType::Str)
+                    .attr("name", AttrType::Str)
+                    .attr("price", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st2 = InstanceStore::new();
+        st2.create(&s2, "human", |o| o.with_attr("ssn", "1")).unwrap();
+        st2.create(&s2, "stock", |o| {
+            o.with_attr("time", "March")
+                .with_attr("name", "IBM")
+                .with_attr("price", 100i64)
+        })
+        .unwrap();
+        st2.create(&s2, "stock", |o| {
+            o.with_attr("time", "April")
+                .with_attr("name", "IBM")
+                .with_attr("price", 999i64)
+        })
+        .unwrap();
+        vec![(s1, st1), (s2, st2)]
+    }
+
+    fn paired_meta(components: &[(Schema, InstanceStore)]) -> MetaRegistry {
+        let mut meta = MetaRegistry::new();
+        let (s1, st1) = &components[0];
+        let (s2, st2) = &components[1];
+        meta.pairing.pair_by_key(
+            st1.extent(s1, &"person".into()),
+            "ssn",
+            st2.extent(s2, &"human".into()),
+            "ssn",
+        );
+        meta
+    }
+
+    #[test]
+    fn equivalence_violation_on_population_mismatch() {
+        let comps = components();
+        let meta = paired_meta(&comps);
+        // person has 2 objects, human has 1 → ≡ violated.
+        let a = ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human");
+        let findings = audit_assertion(&a, &comps, &meta);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Violation);
+        assert!(findings[0].detail.contains("1 left"));
+    }
+
+    #[test]
+    fn inclusion_direction_matters() {
+        let comps = components();
+        let meta = paired_meta(&comps);
+        // human ⊆ person holds (the single human is paired)…
+        let ok = ClassAssertion::simple("S2", "human", ClassOp::Incl, "S1", "person");
+        assert!(audit_assertion(&ok, &comps, &meta).is_empty());
+        // …person ⊆ human does not (ssn 2 has no counterpart).
+        let bad = ClassAssertion::simple("S1", "person", ClassOp::Incl, "S2", "human");
+        let findings = audit_assertion(&bad, &comps, &meta);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Violation);
+    }
+
+    #[test]
+    fn disjoint_violated_by_pairing() {
+        let comps = components();
+        let meta = paired_meta(&comps);
+        let a = ClassAssertion::simple("S1", "person", ClassOp::Disjoint, "S2", "human");
+        let findings = audit_assertion(&a, &comps, &meta);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("paired"));
+    }
+
+    #[test]
+    fn empty_intersection_is_a_notice() {
+        let comps = components();
+        let meta = MetaRegistry::new(); // no pairings at all
+        let a = ClassAssertion::simple("S1", "person", ClassOp::Intersect, "S2", "human");
+        let findings = audit_assertion(&a, &comps, &meta);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Notice);
+    }
+
+    #[test]
+    fn with_predicate_value_inclusion() {
+        let comps = components();
+        let meta = MetaRegistry::new();
+        // price-in-March ⊆ stock.price with time = 'March': holds (100).
+        let ok = ClassAssertion::simple("S1", "stockA", ClassOp::Incl, "S2", "stock").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "stockA", "price-in-March"),
+                AttrOp::Incl,
+                SPath::attr("S2", "stock", "price"),
+            )
+            .with(WithPred {
+                attr: SPath::attr("S2", "stock", "time"),
+                tau: Tau::Eq,
+                constant: Value::str("March"),
+            }),
+        );
+        let findings: Vec<_> = audit_assertion(&ok, &comps, &meta)
+            .into_iter()
+            .filter(|f| f.detail.contains("attribute inclusion"))
+            .collect();
+        assert!(findings.is_empty(), "{findings:?}");
+        // …but with time = 'April' the March price 100 is missing.
+        let bad = ClassAssertion::simple("S1", "stockA", ClassOp::Incl, "S2", "stock").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "stockA", "price-in-March"),
+                AttrOp::Incl,
+                SPath::attr("S2", "stock", "price"),
+            )
+            .with(WithPred {
+                attr: SPath::attr("S2", "stock", "time"),
+                tau: Tau::Eq,
+                constant: Value::str("April"),
+            }),
+        );
+        let findings: Vec<_> = audit_assertion(&bad, &comps, &meta)
+            .into_iter()
+            .filter(|f| f.detail.contains("attribute inclusion"))
+            .collect();
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn audit_whole_list() {
+        let comps = components();
+        let meta = paired_meta(&comps);
+        let list = [
+            ClassAssertion::simple("S2", "human", ClassOp::Incl, "S1", "person"),
+            ClassAssertion::simple("S1", "person", ClassOp::Disjoint, "S2", "human"),
+        ];
+        let findings = audit(&list, &comps, &meta);
+        assert_eq!(findings.len(), 1); // only the disjoint violation
+        assert!(findings[0].to_string().starts_with("[VIOLATION]"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The FSM-client layer (§3): the application-facing query suite.
+//!
+//! A client holds the built global schema and the materialised federation
+//! state, and exposes convenience queries over global classes — the user
+//! never touches component databases directly, which is how autonomy is
+//! preserved.
+
+use crate::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use crate::query::FederationDb;
+use crate::Result;
+use deduction::{Literal, OTermPat, Subst, Term};
+use oo_model::{InstanceStore, Oid, Schema, Value};
+
+/// An FSM client bound to one built federation.
+pub struct FsmClient {
+    pub global: GlobalSchema,
+    pub db: FederationDb,
+    components: Vec<(Schema, InstanceStore)>,
+}
+
+impl FsmClient {
+    /// Build the global schema with `strategy` and materialise the
+    /// federation state.
+    pub fn connect(fsm: &Fsm, strategy: IntegrationStrategy) -> Result<Self> {
+        let global = fsm.integrate(strategy)?;
+        let components: Vec<(Schema, InstanceStore)> = fsm
+            .components()
+            .iter()
+            .map(|c| (c.schema.clone(), c.store.clone()))
+            .collect();
+        let db = FederationDb::build(&global, &components, &fsm.meta)?;
+        Ok(FsmClient {
+            global,
+            db,
+            components,
+        })
+    }
+
+    /// The exported components (schema, store) pairs.
+    pub fn components(&self) -> &[(Schema, InstanceStore)] {
+        &self.components
+    }
+
+    /// All instances of a global class (including rule-derived virtual
+    /// membership).
+    pub fn instances_of(&mut self, class: &str) -> Result<Vec<Oid>> {
+        self.db.instances_of(class)
+    }
+
+    /// The values of one attribute over a global class.
+    pub fn attr_values(&mut self, class: &str, attr: &str) -> Result<Vec<Value>> {
+        let results = self.db.query(&[Literal::OTerm(
+            OTermPat::new(Term::var("o"), class).bind(attr, Term::var("v")),
+        )])?;
+        let mut out: Vec<Value> = results
+            .iter()
+            .filter_map(|s| s.value_of(&Term::var("v")))
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Run an arbitrary conjunctive query.
+    pub fn ask(&mut self, body: &[Literal]) -> Result<Vec<Subst>> {
+        self.db.query(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use assertions::{AttrCorr, AttrOp, ClassAssertion, ClassOp, SPath};
+    use oo_model::{AttrType, SchemaBuilder};
+
+    fn fsm() -> Fsm {
+        let s1 = SchemaBuilder::new("x")
+            .class("book", |c| c.attr("title", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "book", |o| o.with_attr("title", "Logic")).unwrap();
+        let s2 = SchemaBuilder::new("x")
+            .class("publication", |c| c.attr("title", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut st2 = InstanceStore::new();
+        st2.create(&s2, "publication", |o| o.with_attr("title", "Databases"))
+            .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
+        fsm.add_assertion(
+            ClassAssertion::simple("S1", "book", ClassOp::Equiv, "S2", "publication").attr_corr(
+                AttrCorr::new(
+                    SPath::attr("S1", "book", "title"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "publication", "title"),
+                ),
+            ),
+        );
+        fsm
+    }
+
+    #[test]
+    fn client_queries_merged_class() {
+        let f = fsm();
+        let mut client = FsmClient::connect(&f, IntegrationStrategy::Accumulation).unwrap();
+        let g = client
+            .global
+            .global_class("S1", "book")
+            .unwrap()
+            .to_string();
+        assert_eq!(client.instances_of(&g).unwrap().len(), 2);
+        let titles = client.attr_values(&g, "title").unwrap();
+        assert_eq!(
+            titles,
+            vec![Value::str("Databases"), Value::str("Logic")]
+        );
+    }
+
+    #[test]
+    fn ask_conjunctive() {
+        let f = fsm();
+        let mut client = FsmClient::connect(&f, IntegrationStrategy::Accumulation).unwrap();
+        let g = client
+            .global
+            .global_class("S1", "book")
+            .unwrap()
+            .to_string();
+        let results = client
+            .ask(&[Literal::OTerm(
+                OTermPat::new(Term::var("o"), g.as_str()).bind("title", Term::val("Logic")),
+            )])
+            .unwrap();
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,669 @@
+//! The **Federated System Manager** (§3): agent registration, assertion
+//! management and global-schema construction.
+//!
+//! More than two components are integrated by repeated pairwise
+//! integration, either **accumulating** one component at a time
+//! (Fig. 2(a)) or pairing components **balanced-tree** style (Fig. 2(b)).
+//! After every step, the assertions that mention already-integrated
+//! classes are *lifted* through the step's `IS(·)` provenance, and the
+//! previously generated rules have their class names renamed the same way,
+//! so the final global schema's rules refer to final class names.
+
+use crate::agent::Agent;
+use crate::mapping::MetaRegistry;
+use crate::{FedError, Result};
+use assertions::{AssertionSet, ClassAssertion};
+use deduction::term::NameRef;
+use deduction::{Literal, Rule};
+use fedoo_core::{naive, optimized, IntegratedSchema, IntegrationStats};
+use oo_model::{InstanceStore, Schema};
+use std::collections::BTreeMap;
+
+/// A registered component: the agent plus its exported schema and store.
+#[derive(Debug, Clone)]
+pub struct RegisteredComponent {
+    pub agent_name: String,
+    pub schema: Schema,
+    pub store: InstanceStore,
+}
+
+/// Multi-schema integration strategy (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrationStrategy {
+    /// Fig. 2(a): fold components into the running integrated schema.
+    Accumulation,
+    /// Fig. 2(b): integrate pairs, then pairs of results, and so on.
+    Balanced,
+}
+
+/// Which pairwise algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    Naive,
+    Optimized,
+}
+
+/// The global schema produced by the FSM.
+#[derive(Debug, Clone)]
+pub struct GlobalSchema {
+    pub integrated: IntegratedSchema,
+    /// (original schema name, original class) → global class name.
+    pub origin: BTreeMap<(String, String), String>,
+    /// Rules accumulated across all steps, renamed to final class names.
+    pub rules: Vec<Rule>,
+    pub total_stats: IntegrationStats,
+    pub steps: usize,
+    /// "Strange assertion" warnings collected across all steps (§6.1
+    /// observation 3).
+    pub warnings: Vec<String>,
+}
+
+impl GlobalSchema {
+    /// The global class representing `class` of the original `schema`.
+    pub fn global_class(&self, schema: &str, class: &str) -> Option<&str> {
+        self.origin
+            .get(&(schema.to_string(), class.to_string()))
+            .map(String::as_str)
+    }
+}
+
+/// The FSM.
+#[derive(Debug, Default)]
+pub struct Fsm {
+    components: Vec<RegisteredComponent>,
+    assertions: Vec<ClassAssertion>,
+    pub meta: MetaRegistry,
+    pub algorithm: Option<Algorithm>,
+}
+
+impl Fsm {
+    pub fn new() -> Self {
+        Fsm::default()
+    }
+
+    /// Register an agent; its component is exported as `schema_name`.
+    pub fn register(&mut self, agent: Agent, schema_name: &str) -> Result<()> {
+        if self
+            .components
+            .iter()
+            .any(|c| c.schema.name.as_str() == schema_name)
+        {
+            return Err(FedError::Unknown(format!(
+                "schema name `{schema_name}` already registered"
+            )));
+        }
+        let (schema, store) = agent.export(schema_name)?;
+        self.components.push(RegisteredComponent {
+            agent_name: agent.name,
+            schema,
+            store,
+        });
+        Ok(())
+    }
+
+    pub fn add_assertion(&mut self, assertion: ClassAssertion) {
+        self.assertions.push(assertion);
+    }
+
+    /// Parse assertions from the textual syntax and add them, after
+    /// validating against the registered schemas they mention.
+    pub fn add_assertions_text(&mut self, text: &str) -> Result<usize> {
+        let parsed =
+            assertions::parse_assertions(text).map_err(|e| FedError::Assertion(e.to_string()))?;
+        for a in &parsed {
+            let ls = self.schema_named(&a.left_schema)?;
+            let rs = self.schema_named(&a.right_schema)?;
+            let problems = assertions::validate_assertions(std::slice::from_ref(a), ls, rs);
+            if let Some(p) = problems.first() {
+                return Err(FedError::Assertion(p.to_string()));
+            }
+        }
+        let n = parsed.len();
+        self.assertions.extend(parsed);
+        Ok(n)
+    }
+
+    pub fn components(&self) -> &[RegisteredComponent] {
+        &self.components
+    }
+
+    pub fn assertions(&self) -> &[ClassAssertion] {
+        &self.assertions
+    }
+
+    fn schema_named(&self, name: &str) -> Result<&Schema> {
+        self.components
+            .iter()
+            .map(|c| &c.schema)
+            .find(|s| s.name.as_str() == name)
+            .ok_or_else(|| FedError::Unknown(format!("schema `{name}` is not registered")))
+    }
+
+    /// Build the global schema with the given strategy (optimized pairwise
+    /// algorithm unless overridden via [`Fsm::algorithm`]).
+    pub fn integrate(&self, strategy: IntegrationStrategy) -> Result<GlobalSchema> {
+        if self.components.is_empty() {
+            return Err(FedError::Unknown("no components registered".into()));
+        }
+        let algorithm = self.algorithm.unwrap_or(Algorithm::Optimized);
+        // Working set: (schema, origin map for it, rules referring to it).
+        let mut work: Vec<(Schema, BTreeMap<(String, String), String>, Vec<Rule>)> = self
+            .components
+            .iter()
+            .map(|c| {
+                let mut origin = BTreeMap::new();
+                for class in c.schema.class_names() {
+                    origin.insert(
+                        (c.schema.name.as_str().to_string(), class.as_str().to_string()),
+                        class.as_str().to_string(),
+                    );
+                }
+                (c.schema.clone(), origin, Vec::new())
+            })
+            .collect();
+        let mut total_stats = IntegrationStats::new();
+        let mut warnings: Vec<String> = Vec::new();
+        let mut steps = 0usize;
+        let mut step_id = 0usize;
+        let mut last_integrated: Option<IntegratedSchema> = None;
+        // Intermediate integrated schemas by their working name (IS1, IS2,
+        // …), for flattening attribute origins at the end.
+        let mut intermediates: BTreeMap<String, IntegratedSchema> = BTreeMap::new();
+
+        while work.len() > 1 {
+            let mut next: Vec<(Schema, BTreeMap<(String, String), String>, Vec<Rule>)> =
+                Vec::new();
+            match strategy {
+                IntegrationStrategy::Accumulation => {
+                    // Fold the second component into the first; carry the
+                    // rest into the next round unchanged.
+                    let right = work.remove(1);
+                    let left = work.remove(0);
+                    let (merged, is, ws) =
+                        self.integrate_step(left, right, &mut step_id, algorithm, &mut total_stats)?;
+                    warnings.extend(ws);
+                    steps += 1;
+                    intermediates.insert(merged.0.name.as_str().to_string(), is.clone());
+                    last_integrated = Some(is);
+                    next.push(merged);
+                    next.extend(work.drain(..));
+                }
+                IntegrationStrategy::Balanced => {
+                    let mut iter = work.drain(..).collect::<Vec<_>>().into_iter();
+                    while let Some(left) = iter.next() {
+                        match iter.next() {
+                            Some(right) => {
+                                let (merged, is, ws) = self.integrate_step(
+                                    left,
+                                    right,
+                                    &mut step_id,
+                                    algorithm,
+                                    &mut total_stats,
+                                )?;
+                                warnings.extend(ws);
+                                steps += 1;
+                                intermediates
+                                    .insert(merged.0.name.as_str().to_string(), is.clone());
+                                last_integrated = Some(is);
+                                next.push(merged);
+                            }
+                            None => next.push(left),
+                        }
+                    }
+                }
+            }
+            work = next;
+        }
+        let (final_schema, origin, rules) = work.pop().expect("one remains");
+        let mut integrated = match last_integrated {
+            Some(is) => is,
+            None => {
+                // Single component: integrate against an empty schema to
+                // produce a copy-only integrated schema.
+                let empty = Schema::new("∅");
+                let aset = AssertionSet::new();
+                let run = match algorithm {
+                    Algorithm::Naive => {
+                        naive::naive_with_trace(&final_schema, &empty, &aset, false)?
+                    }
+                    Algorithm::Optimized => optimized::schema_integration_with_trace(
+                        &final_schema,
+                        &empty,
+                        &aset,
+                        false,
+                    )?,
+                };
+                total_stats += run.stats;
+                run.output
+            }
+        };
+        flatten_attr_origins(&mut integrated, &intermediates);
+        Ok(GlobalSchema {
+            integrated,
+            origin,
+            rules,
+            total_stats,
+            steps,
+            warnings,
+        })
+    }
+
+    /// One pairwise integration step.
+    #[allow(clippy::type_complexity)]
+    fn integrate_step(
+        &self,
+        left: (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
+        right: (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
+        step_id: &mut usize,
+        algorithm: Algorithm,
+        total_stats: &mut IntegrationStats,
+    ) -> Result<(
+        (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
+        IntegratedSchema,
+        Vec<String>,
+    )> {
+        let (ls, lorigin, lrules) = left;
+        let (rs, rorigin, rrules) = right;
+        let lifted = lift_assertions(&self.assertions, &ls, &lorigin, &rs, &rorigin);
+        let aset = AssertionSet::build(lifted)
+            .map_err(|e| FedError::Assertion(e.to_string()))?;
+        let run = match algorithm {
+            Algorithm::Naive => naive::naive_with_trace(&ls, &rs, &aset, false)?,
+            Algorithm::Optimized => {
+                optimized::schema_integration_with_trace(&ls, &rs, &aset, false)?
+            }
+        };
+        *total_stats += run.stats;
+        *step_id += 1;
+        let new_name = format!("IS{step_id}");
+        let merged_schema = run.output.to_schema(&new_name)?;
+        // New origin map: chase previous origins through this step's IS(·).
+        let mut origin = BTreeMap::new();
+        for (key, current) in lorigin {
+            if let Some(g) = run.output.is(ls.name.as_str(), &current) {
+                origin.insert(key, g.to_string());
+            }
+        }
+        for (key, current) in rorigin {
+            if let Some(g) = run.output.is(rs.name.as_str(), &current) {
+                origin.insert(key, g.to_string());
+            }
+        }
+        // Virtual classes created by this step map to themselves already.
+        // Rename carried rules, then append this step's rules.
+        let mut rules = Vec::new();
+        for rule in lrules {
+            rules.push(rename_rule(&rule, |c| {
+                run.output
+                    .is(ls.name.as_str(), c)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| c.to_string())
+            }));
+        }
+        for rule in rrules {
+            rules.push(rename_rule(&rule, |c| {
+                run.output
+                    .is(rs.name.as_str(), c)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| c.to_string())
+            }));
+        }
+        rules.extend(run.output.rules.iter().cloned());
+        Ok(((merged_schema, origin, rules), run.output, run.warnings))
+    }
+}
+
+/// Lift assertions into the current pair's name space: each side's
+/// (schema, class) is chased through the origin maps; assertions whose two
+/// sides do not fall into the two current schemas (one each) are skipped.
+fn lift_assertions(
+    assertions: &[ClassAssertion],
+    left: &Schema,
+    lorigin: &BTreeMap<(String, String), String>,
+    right: &Schema,
+    rorigin: &BTreeMap<(String, String), String>,
+) -> Vec<ClassAssertion> {
+    let locate = |schema: &str, class: &str| -> Option<(bool, String)> {
+        let key = (schema.to_string(), class.to_string());
+        if let Some(name) = lorigin.get(&key) {
+            return Some((true, name.clone()));
+        }
+        rorigin.get(&key).map(|name| (false, name.clone()))
+    };
+    let mut out = Vec::new();
+    'next: for a in assertions {
+        // All left classes must land in one current schema...
+        let mut left_side: Option<bool> = None;
+        let mut left_classes = Vec::new();
+        for c in &a.left_classes {
+            match locate(&a.left_schema, c) {
+                Some((side, name)) => {
+                    if *left_side.get_or_insert(side) != side {
+                        continue 'next;
+                    }
+                    left_classes.push(name);
+                }
+                None => continue 'next,
+            }
+        }
+        // ...and the right class in the other.
+        let (right_side, right_class) = match locate(&a.right_schema, &a.right_class) {
+            Some(x) => x,
+            None => continue,
+        };
+        let left_side = match left_side {
+            Some(s) => s,
+            None => continue,
+        };
+        if left_side == right_side {
+            continue; // both sides already inside one schema
+        }
+        let mut lifted = a.clone();
+        lifted.left_schema = if left_side { left.name.as_str() } else { right.name.as_str() }.to_string();
+        lifted.left_classes = left_classes;
+        lifted.right_schema =
+            if right_side { left.name.as_str() } else { right.name.as_str() }.to_string();
+        lifted.right_class = right_class;
+        // Rename classes inside correspondences too.
+        for corr in &mut lifted.attr_corrs {
+            for p in [&mut corr.left, &mut corr.right] {
+                if let Some((side, name)) = locate(&p.schema, &p.path.class.clone()) {
+                    p.path.class = name;
+                    p.schema =
+                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                }
+            }
+            if let Some(w) = &mut corr.with_pred {
+                if let Some((side, name)) = locate(&w.attr.schema, &w.attr.path.class.clone()) {
+                    w.attr.path.class = name;
+                    w.attr.schema =
+                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                }
+            }
+        }
+        for corr in &mut lifted.agg_corrs {
+            for p in [&mut corr.left, &mut corr.right] {
+                if let Some((side, name)) = locate(&p.schema, &p.path.class.clone()) {
+                    p.path.class = name;
+                    p.schema =
+                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                }
+            }
+        }
+        let lifted_left_schema = lifted.left_schema.clone();
+        let lifted_right_schema = lifted.right_schema.clone();
+        for (corrs, schema_name) in [
+            (&mut lifted.value_corrs_left, &lifted_left_schema),
+            (&mut lifted.value_corrs_right, &lifted_right_schema),
+        ] {
+            let orig = if schema_name == left.name.as_str() {
+                lorigin
+            } else {
+                rorigin
+            };
+            for corr in corrs.iter_mut() {
+                for p in [&mut corr.left, &mut corr.right] {
+                    // Find any origin entry whose value matches this class
+                    // under the original schema of the assertion.
+                    let key = (a.left_schema.clone(), p.class.clone());
+                    let key2 = (a.right_schema.clone(), p.class.clone());
+                    if let Some(name) = orig.get(&key).or_else(|| orig.get(&key2)) {
+                        p.class = name.clone();
+                    }
+                }
+            }
+        }
+        out.push(lifted);
+    }
+    out
+}
+
+/// Recursively expand a source attribute through intermediate integrated
+/// schemas down to the original components' attributes.
+fn expand_source(
+    src: &fedoo_core::integrated::SourceAttr,
+    intermediates: &BTreeMap<String, IntegratedSchema>,
+    out: &mut Vec<fedoo_core::integrated::SourceAttr>,
+) {
+    if let Some(is) = intermediates.get(&src.schema) {
+        if let Some(class) = is.class(&src.class) {
+            if let Some(origin) = class.attr_origins.get(&src.attr) {
+                for s in origin.sources() {
+                    expand_source(s, intermediates, out);
+                }
+                return;
+            }
+        }
+    }
+    if !out.contains(src) {
+        out.push(src.clone());
+    }
+}
+
+/// After multi-step integration, attribute origins in the final schema may
+/// reference intermediate schemas (IS1, IS2, …). Flatten them down to the
+/// original components so the query layer can materialise values.
+fn flatten_attr_origins(
+    is: &mut IntegratedSchema,
+    intermediates: &BTreeMap<String, IntegratedSchema>,
+) {
+    use fedoo_core::AttrOrigin;
+    if intermediates.is_empty() {
+        return;
+    }
+    let expand = |src: &fedoo_core::integrated::SourceAttr| {
+        let mut out = Vec::new();
+        expand_source(src, intermediates, &mut out);
+        out
+    };
+    for class in is.classes_mut() {
+        for origin in class.attr_origins.values_mut() {
+            *origin = match origin {
+                AttrOrigin::Copied(a) => {
+                    let e = expand(a);
+                    if e.len() == 1 {
+                        AttrOrigin::Copied(e.into_iter().next().expect("len 1"))
+                    } else {
+                        AttrOrigin::Union(e)
+                    }
+                }
+                AttrOrigin::MoreSpecific(a) => {
+                    let e = expand(a);
+                    if e.len() == 1 {
+                        AttrOrigin::MoreSpecific(e.into_iter().next().expect("len 1"))
+                    } else {
+                        AttrOrigin::Union(e)
+                    }
+                }
+                AttrOrigin::Union(list) => {
+                    let mut e = Vec::new();
+                    for a in list.iter() {
+                        for leaf in expand(a) {
+                            if !e.contains(&leaf) {
+                                e.push(leaf);
+                            }
+                        }
+                    }
+                    AttrOrigin::Union(e)
+                }
+                // Binary cross-schema recipes: keep the first leaf of each
+                // side (these operators are defined over two concrete
+                // component attributes; deeper chains are approximated).
+                AttrOrigin::Concat(a, b) => AttrOrigin::Concat(
+                    expand(a).into_iter().next().unwrap_or_else(|| a.clone()),
+                    expand(b).into_iter().next().unwrap_or_else(|| b.clone()),
+                ),
+                AttrOrigin::IntersectionCommon(a, b, k) => AttrOrigin::IntersectionCommon(
+                    expand(a).into_iter().next().unwrap_or_else(|| a.clone()),
+                    expand(b).into_iter().next().unwrap_or_else(|| b.clone()),
+                    k.clone(),
+                ),
+                AttrOrigin::IntersectionLeftOnly(a, b) => AttrOrigin::IntersectionLeftOnly(
+                    expand(a).into_iter().next().unwrap_or_else(|| a.clone()),
+                    expand(b).into_iter().next().unwrap_or_else(|| b.clone()),
+                ),
+                AttrOrigin::IntersectionRightOnly(a, b) => AttrOrigin::IntersectionRightOnly(
+                    expand(a).into_iter().next().unwrap_or_else(|| a.clone()),
+                    expand(b).into_iter().next().unwrap_or_else(|| b.clone()),
+                ),
+            };
+        }
+    }
+}
+
+/// Rename every O-term class name in a rule through `f`.
+pub fn rename_rule(rule: &Rule, mut f: impl FnMut(&str) -> String) -> Rule {
+    fn rename_lit(l: &Literal, f: &mut impl FnMut(&str) -> String) -> Literal {
+        match l {
+            Literal::OTerm(o) => {
+                let mut o = o.clone();
+                if let NameRef::Name(n) = &o.class {
+                    o.class = NameRef::Name(f(n));
+                }
+                Literal::OTerm(o)
+            }
+            Literal::Neg(inner) => Literal::Neg(Box::new(rename_lit(inner, f))),
+            other => other.clone(),
+        }
+    }
+    Rule {
+        heads: rule.heads.iter().map(|h| rename_lit(h, &mut f)).collect(),
+        body: rule.body.iter().map(|b| rename_lit(b, &mut f)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assertions::ClassOp;
+    use oo_model::{AttrType, SchemaBuilder};
+
+    fn oo_agent(name: &str, schema: Schema) -> Agent {
+        Agent::object_oriented(name, schema, InstanceStore::new())
+    }
+
+    fn three_schema_fsm() -> Fsm {
+        let s1 = SchemaBuilder::new("x")
+            .class("person", |c| c.attr("ssn", AttrType::Str))
+            .build()
+            .unwrap();
+        let s2 = SchemaBuilder::new("x")
+            .class("human", |c| c.attr("ssn", AttrType::Str))
+            .build()
+            .unwrap();
+        let s3 = SchemaBuilder::new("x")
+            .class("individual", |c| c.attr("ssn", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(oo_agent("a1", s1), "S1").unwrap();
+        fsm.register(oo_agent("a2", s2), "S2").unwrap();
+        fsm.register(oo_agent("a3", s3), "S3").unwrap();
+        fsm.add_assertion(ClassAssertion::simple(
+            "S1", "person", ClassOp::Equiv, "S2", "human",
+        ));
+        fsm.add_assertion(ClassAssertion::simple(
+            "S1",
+            "person",
+            ClassOp::Equiv,
+            "S3",
+            "individual",
+        ));
+        fsm
+    }
+
+    #[test]
+    fn accumulation_merges_all_three() {
+        let fsm = three_schema_fsm();
+        let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        assert_eq!(global.steps, 2);
+        // All three map to one global class.
+        let g1 = global.global_class("S1", "person").unwrap();
+        assert_eq!(global.global_class("S2", "human"), Some(g1));
+        assert_eq!(global.global_class("S3", "individual"), Some(g1));
+        assert_eq!(global.integrated.len(), 1);
+    }
+
+    #[test]
+    fn balanced_merges_all_three() {
+        let fsm = three_schema_fsm();
+        let global = fsm.integrate(IntegrationStrategy::Balanced).unwrap();
+        let g1 = global.global_class("S1", "person").unwrap();
+        assert_eq!(global.global_class("S3", "individual"), Some(g1));
+        assert_eq!(global.integrated.len(), 1);
+    }
+
+    #[test]
+    fn strategies_agree_on_final_classes() {
+        let fsm = three_schema_fsm();
+        let acc = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        let bal = fsm.integrate(IntegrationStrategy::Balanced).unwrap();
+        assert_eq!(acc.integrated.len(), bal.integrated.len());
+    }
+
+    #[test]
+    fn duplicate_schema_name_rejected() {
+        let s = SchemaBuilder::new("x").empty_class("a").build().unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(oo_agent("a1", s.clone()), "S1").unwrap();
+        assert!(fsm.register(oo_agent("a2", s), "S1").is_err());
+    }
+
+    #[test]
+    fn single_component_global_schema() {
+        let s = SchemaBuilder::new("x")
+            .class("a", |c| c.attr("v", AttrType::Int))
+            .build()
+            .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(oo_agent("a1", s), "S1").unwrap();
+        let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        assert_eq!(global.steps, 0);
+        assert_eq!(global.integrated.len(), 1);
+        assert_eq!(global.global_class("S1", "a"), Some("a"));
+    }
+
+    #[test]
+    fn naive_algorithm_through_fsm() {
+        let mut fsm = three_schema_fsm();
+        fsm.algorithm = Some(super::Algorithm::Naive);
+        let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        assert_eq!(global.integrated.len(), 1);
+        // Naive checks more pairs than the optimized default.
+        let mut fsm2 = three_schema_fsm();
+        fsm2.algorithm = Some(super::Algorithm::Optimized);
+        let opt = fsm2.integrate(IntegrationStrategy::Accumulation).unwrap();
+        assert!(global.total_stats.total_checks() >= opt.total_stats.total_checks());
+    }
+
+    #[test]
+    fn empty_fsm_errors() {
+        let fsm = Fsm::new();
+        assert!(fsm.integrate(IntegrationStrategy::Accumulation).is_err());
+    }
+
+    #[test]
+    fn assertions_text_validated_against_schemas() {
+        let mut fsm = three_schema_fsm();
+        assert!(fsm
+            .add_assertions_text("assert S1.ghost == S2.human;")
+            .is_err());
+        assert!(fsm
+            .add_assertions_text("assert S2.human <= S3.individual;")
+            .is_ok());
+    }
+
+    #[test]
+    fn rename_rule_renames_oterm_classes() {
+        use deduction::{OTermPat, Term};
+        let r = Rule::new(
+            Literal::oterm(OTermPat::new(Term::var("x"), "old")),
+            vec![Literal::neg(Literal::oterm(OTermPat::new(
+                Term::var("x"),
+                "old2",
+            )))],
+        );
+        let renamed = rename_rule(&r, |c| format!("{c}_new"));
+        assert_eq!(renamed.to_string(), "<x: old_new> ⇐ ¬<x: old2_new>");
+    }
+}

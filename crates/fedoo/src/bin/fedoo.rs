@@ -1,0 +1,123 @@
+//! The `fedoo` command-line tool: integrate schema files with an assertion
+//! file, the way a DBA would drive the system.
+//!
+//! ```text
+//! fedoo integrate <s1.schema> <s2.schema> <assertions.fca> [--naive] [--trace] [--quiet]
+//! fedoo check     <s1.schema> <s2.schema> <assertions.fca>
+//! fedoo show      <schema-file>
+//! ```
+//!
+//! Schema files use the `oo_model::parse` syntax; assertion files use the
+//! `assertions::parser` syntax (see the module docs / README).
+
+use fedoo::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  fedoo integrate <s1> <s2> <assertions> [--naive] [--trace] [--quiet]\n  \
+     fedoo check <s1> <s2> <assertions>\n  fedoo show <schema>"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "integrate" => integrate(&args[1..]),
+        "check" => check(&args[1..]),
+        "show" => show(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn load_inputs(args: &[String]) -> Result<(Schema, Schema, AssertionSet), String> {
+    let [p1, p2, pa] = args else {
+        return Err(usage());
+    };
+    let s1 = fedoo::model::parse_schema(&read(p1)?).map_err(|e| format!("{p1}: {e}"))?;
+    let s2 = fedoo::model::parse_schema(&read(p2)?).map_err(|e| format!("{p2}: {e}"))?;
+    let parsed = parse_assertions(&read(pa)?).map_err(|e| format!("{pa}: {e}"))?;
+    let problems = fedoo::assertions::validate_assertions(&parsed, &s1, &s2);
+    if !problems.is_empty() {
+        let mut msg = format!("{} assertion problem(s):\n", problems.len());
+        for p in &problems {
+            msg.push_str(&format!("  {p}\n"));
+        }
+        return Err(msg);
+    }
+    let set = AssertionSet::build(parsed).map_err(|e| e.to_string())?;
+    Ok((s1, s2, set))
+}
+
+fn integrate(args: &[String]) -> Result<(), String> {
+    let files: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let naive = args.iter().any(|a| a == "--naive");
+    let trace = args.iter().any(|a| a == "--trace");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let (s1, s2, set) = load_inputs(&files)?;
+    let run = if naive {
+        naive_schema_integration(&s1, &s2, &set)
+    } else {
+        schema_integration(&s1, &s2, &set)
+    }
+    .map_err(|e| e.to_string())?;
+    if trace {
+        println!("=== trace ===");
+        print!("{}", fedoo::core::trace::render_trace(&run.trace));
+        println!();
+    }
+    if !quiet {
+        println!("=== integrated schema ===");
+        println!("{}", run.output);
+        println!();
+    }
+    println!("=== statistics ({}) ===", if naive { "naive" } else { "optimized" });
+    println!("{}", run.stats);
+    if !run.warnings.is_empty() {
+        println!("\n=== warnings ===");
+        for w in &run.warnings {
+            println!("  ⚠ {w}");
+        }
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let (s1, s2, set) = load_inputs(args)?;
+    println!(
+        "ok: {} classes in {}, {} classes in {}, {} assertions validated",
+        s1.len(),
+        s1.name,
+        s2.len(),
+        s2.name,
+        set.len()
+    );
+    Ok(())
+}
+
+fn show(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(usage());
+    };
+    let schema = fedoo::model::parse_schema(&read(path)?).map_err(|e| e.to_string())?;
+    println!("{schema}");
+    Ok(())
+}

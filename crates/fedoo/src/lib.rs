@@ -1,0 +1,96 @@
+//! # fedoo — Integrating Heterogeneous OO Schemas
+//!
+//! A complete implementation of Chen, *"Integrating Heterogeneous OO
+//! Schemas"* (ICDE '99 / JISE 16:555–591, 2000): a federated database
+//! system that integrates independently developed object-oriented schemas
+//! into one **deduction-like global schema**, driven by correspondence
+//! assertions — including the paper's novel **derivation assertion** — and
+//! the optimized `schema_integration` algorithm whose assertion-aware
+//! pruning brings the average number of pair checks from > O(n²) down to
+//! O(n).
+//!
+//! This crate is the facade: it re-exports the whole workspace under one
+//! name and hosts the runnable examples and cross-crate tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fedoo::prelude::*;
+//!
+//! // Two local OO schemas…
+//! let s1 = SchemaBuilder::new("S1")
+//!     .class("person", |c| c.attr("ssn", AttrType::Str))
+//!     .build()
+//!     .unwrap();
+//! let s2 = SchemaBuilder::new("S2")
+//!     .class("human", |c| c.attr("ssn", AttrType::Str))
+//!     .build()
+//!     .unwrap();
+//! // …one correspondence assertion (textual syntax)…
+//! let asserts = parse_assertions(
+//!     "assert S1.person == S2.human { attr S1.person.ssn == S2.human.ssn; }",
+//! )
+//! .unwrap();
+//! let set = AssertionSet::build(asserts).unwrap();
+//! // …and one call to the paper's optimized integration algorithm.
+//! let run = schema_integration(&s1, &s2, &set).unwrap();
+//! assert_eq!(run.output.is("S1", "person"), run.output.is("S2", "human"));
+//! ```
+//!
+//! ## Layer map
+//!
+//! | Module | Crate | Paper section |
+//! |--------|-------|---------------|
+//! | [`model`] | `fedoo-oo-model` | §2 object model, Fig. 13 lattice |
+//! | [`relational`] | `fedoo-relational` | §3 component databases |
+//! | [`transform`] | `fedoo-transform` | §3 schema translation |
+//! | [`assertions`] | `fedoo-assertions` | §4 assertion language |
+//! | [`deduction`] | `fedoo-deduction` | §2 rules, Appendix B evaluation |
+//! | [`core`] | `fedoo-core` | §5 principles, §6 algorithms |
+//! | [`federation`] | `fedoo-federation` | §3 FSM architecture |
+
+pub use assertions;
+pub use deduction;
+pub use federation;
+pub use fedoo_core as core;
+pub use oo_model as model;
+pub use relational;
+pub use transform;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use assertions::{
+        parse_assertions, AggCorr, AggOp, AssertionSet, AttrCorr, AttrOp, ClassAssertion,
+        ClassOp, SPath, Tau, ValueCorr, ValueOp, WithPred,
+    };
+    pub use deduction::{CmpOp, Literal, OTermPat, Pred, Program, Rule, Term};
+    pub use federation::{
+        Agent, DataMapping, FederationDb, Fsm, FsmClient, IntegrationStrategy, MetaRegistry,
+    };
+    pub use fedoo_core::{
+        naive_schema_integration, schema_integration, IntegratedSchema, IntegrationStats,
+    };
+    pub use oo_model::{
+        AttrType, Cardinality, Class, ClassType, Date, InstanceStore, Object, Oid, Path, Schema,
+        SchemaBuilder, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compile_together() {
+        let s = SchemaBuilder::new("S1").empty_class("a").build().unwrap();
+        assert_eq!(s.len(), 1);
+        let set = AssertionSet::new();
+        let run = schema_integration(
+            &s,
+            &SchemaBuilder::new("S2").empty_class("b").build().unwrap(),
+            &set,
+        )
+        .unwrap();
+        assert_eq!(run.output.len(), 2);
+    }
+}

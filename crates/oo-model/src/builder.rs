@@ -1,0 +1,207 @@
+//! Fluent schema construction.
+//!
+//! ```
+//! use oo_model::{SchemaBuilder, AttrType, Cardinality};
+//!
+//! let schema = SchemaBuilder::new("S1")
+//!     .class("person", |c| c.attr("ssn", AttrType::Str).attr("name", AttrType::Str))
+//!     .class("student", |c| c.attr("gpa", AttrType::Real))
+//!     .class("dept", |c| c.attr("dname", AttrType::Str))
+//!     .class("empl", |c| c.agg("work_in", "dept", Cardinality::M_ONE))
+//!     .isa("student", "person")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(schema.len(), 4);
+//! ```
+
+use crate::cardinality::Cardinality;
+use crate::class::{AggDef, AttrDef, AttrType, Class, ClassName, ClassType};
+use crate::error::ModelError;
+use crate::schema::{Schema, SchemaName};
+
+/// Builder for one class's type.
+#[derive(Debug, Default)]
+pub struct ClassBuilder {
+    ty: ClassType,
+    error: Option<ModelError>,
+}
+
+impl ClassBuilder {
+    /// Add a typed attribute.
+    pub fn attr(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.ty.push_attribute(AttrDef::new(name, ty)) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Add a nested complex attribute built with a sub-builder.
+    pub fn nested<F>(mut self, name: impl Into<String>, f: F) -> Self
+    where
+        F: FnOnce(ClassBuilder) -> ClassBuilder,
+    {
+        if self.error.is_none() {
+            let inner = f(ClassBuilder::default());
+            match inner.finish() {
+                Ok(ty) => {
+                    if let Err(e) = self
+                        .ty
+                        .push_attribute(AttrDef::new(name, AttrType::Nested(Box::new(ty))))
+                    {
+                        self.error = Some(e);
+                    }
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+        self
+    }
+
+    /// Add a multi-valued attribute `{ty}`.
+    pub fn set_attr(self, name: impl Into<String>, elem: AttrType) -> Self {
+        self.attr(name, AttrType::Set(Box::new(elem)))
+    }
+
+    /// Add an aggregation function toward `range` with constraint `cc`.
+    pub fn agg(
+        mut self,
+        name: impl Into<String>,
+        range: impl Into<ClassName>,
+        cc: Cardinality,
+    ) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.ty.push_aggregation(AggDef::new(name, range, cc)) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    fn finish(self) -> Result<ClassType, ModelError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.ty),
+        }
+    }
+}
+
+/// Builder for a whole schema; errors are deferred to [`SchemaBuilder::build`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: SchemaName,
+    classes: Vec<(ClassName, Result<ClassType, ModelError>)>,
+    isa: Vec<(ClassName, ClassName)>,
+}
+
+impl SchemaBuilder {
+    pub fn new(name: impl Into<SchemaName>) -> Self {
+        SchemaBuilder {
+            name: name.into(),
+            classes: Vec::new(),
+            isa: Vec::new(),
+        }
+    }
+
+    /// Define a class via a closure over [`ClassBuilder`].
+    pub fn class<F>(mut self, name: impl Into<ClassName>, f: F) -> Self
+    where
+        F: FnOnce(ClassBuilder) -> ClassBuilder,
+    {
+        let ty = f(ClassBuilder::default()).finish();
+        self.classes.push((name.into(), ty));
+        self
+    }
+
+    /// Define an attribute-less class.
+    pub fn empty_class(mut self, name: impl Into<ClassName>) -> Self {
+        self.classes.push((name.into(), Ok(ClassType::new())));
+        self
+    }
+
+    /// Declare `is_a(sub, super)`.
+    pub fn isa(mut self, sub: impl Into<ClassName>, sup: impl Into<ClassName>) -> Self {
+        self.isa.push((sub.into(), sup.into()));
+        self
+    }
+
+    /// Assemble and validate the schema.
+    pub fn build(self) -> Result<Schema, ModelError> {
+        let mut schema = Schema::new(self.name);
+        for (name, ty) in self.classes {
+            schema.add_class(Class::new(name, ty?))?;
+        }
+        for (sub, sup) in self.isa {
+            schema.add_isa(sub, sup)?;
+        }
+        schema.validate()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_schema() {
+        let s = SchemaBuilder::new("S2")
+            .class("human", |c| c.attr("ssn", AttrType::Str))
+            .class("employee", |c| c.attr("salary", AttrType::Int))
+            .isa("employee", "human")
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.is_subclass_of(&"employee".into(), &"human".into()));
+    }
+
+    #[test]
+    fn class_error_surfaces_at_build() {
+        let err = SchemaBuilder::new("S")
+            .class("c", |c| c.attr("a", AttrType::Str).attr("a", AttrType::Int))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Duplicate(_)));
+    }
+
+    #[test]
+    fn isa_error_surfaces_at_build() {
+        let err = SchemaBuilder::new("S")
+            .empty_class("a")
+            .isa("a", "ghost")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownClass(_)));
+    }
+
+    #[test]
+    fn nested_builder() {
+        let s = SchemaBuilder::new("S1")
+            .class("Book", |c| {
+                c.attr("ISBN", AttrType::Str).nested("author", |a| {
+                    a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                })
+            })
+            .build()
+            .unwrap();
+        let book = s.class_named("Book").unwrap();
+        assert!(matches!(
+            book.ty.attribute("author").unwrap().ty,
+            AttrType::Nested(_)
+        ));
+    }
+
+    #[test]
+    fn set_attr_builds_multivalued() {
+        let s = SchemaBuilder::new("S")
+            .class("person", |c| c.set_attr("interests", AttrType::Str))
+            .build()
+            .unwrap();
+        let p = s.class_named("person").unwrap();
+        assert_eq!(
+            p.ty.attribute("interests").unwrap().ty,
+            AttrType::Set(Box::new(AttrType::Str))
+        );
+    }
+}

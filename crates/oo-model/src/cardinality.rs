@@ -1,0 +1,260 @@
+//! Cardinality constraints on aggregation functions and the **constraint
+//! lattice** of Fig. 13, used by Principle 6 to resolve constraint conflicts
+//! when two aggregation links are integrated.
+//!
+//! The base constraints are `[1:1]`, `[1:n]`, `[m:1]`, `[m:n]` (§2). The
+//! extended lattice of Fig. 13(b) adds *mandatory* participation, e.g.
+//! `[md_n:1]` ("mandatory n to 1"). Conflict resolution replaces two local
+//! constraints with their **least common super-node** (`lcs`): the paper's
+//! bottom-up relaxation strategy — loosen as little as possible.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One side of a cardinality constraint: exactly one partner or many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    One,
+    Many,
+}
+
+impl Side {
+    /// Join in the two-point lattice `One ≤ Many`.
+    fn join(self, other: Side) -> Side {
+        if self == Side::Many || other == Side::Many {
+            Side::Many
+        } else {
+            Side::One
+        }
+    }
+}
+
+/// A cardinality constraint `[left : right]`, optionally *mandatory*
+/// (total participation of the domain class, written `md_` in Fig. 13(b)).
+///
+/// The lattice order is component-wise: `One ≤ Many` on each side, and
+/// `mandatory ≤ optional` (a mandatory constraint is *tighter*; relaxation
+/// moves upward toward optional `[m:n]`, the lattice top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cardinality {
+    pub left: Side,
+    pub right: Side,
+    pub mandatory: bool,
+}
+
+impl Cardinality {
+    pub const ONE_ONE: Cardinality = Cardinality::new(Side::One, Side::One);
+    pub const ONE_N: Cardinality = Cardinality::new(Side::One, Side::Many);
+    pub const M_ONE: Cardinality = Cardinality::new(Side::Many, Side::One);
+    pub const M_N: Cardinality = Cardinality::new(Side::Many, Side::Many);
+
+    /// A non-mandatory constraint.
+    pub const fn new(left: Side, right: Side) -> Self {
+        Cardinality {
+            left,
+            right,
+            mandatory: false,
+        }
+    }
+
+    /// The mandatory (total-participation) variant of this constraint.
+    pub const fn mandatory(self) -> Self {
+        Cardinality {
+            mandatory: true,
+            ..self
+        }
+    }
+
+    /// Lattice order: `self ≤ other` iff `other` is a relaxation of `self`.
+    pub fn le(&self, other: &Cardinality) -> bool {
+        self.left <= other.left
+            && self.right <= other.right
+            // mandatory (true) is below optional (false)
+            && (self.mandatory || !other.mandatory)
+    }
+
+    /// **Least common super-node** of two constraints (Fig. 13): the unique
+    /// least constraint that relaxes both. A node is its own `lcs`.
+    ///
+    /// Examples from the paper: `lcs([1:m],[n:1]) = [n:m]`,
+    /// `lcs([1:1],[n:1]) = [n:1]`.
+    pub fn lcs(&self, other: &Cardinality) -> Cardinality {
+        Cardinality {
+            left: self.left.join(other.left),
+            right: self.right.join(other.right),
+            mandatory: self.mandatory && other.mandatory,
+        }
+    }
+
+    /// All eight nodes of the extended lattice (Fig. 13(b)), bottom-up.
+    pub fn all() -> [Cardinality; 8] {
+        let b = [
+            Cardinality::ONE_ONE,
+            Cardinality::ONE_N,
+            Cardinality::M_ONE,
+            Cardinality::M_N,
+        ];
+        [
+            b[0].mandatory(),
+            b[1].mandatory(),
+            b[2].mandatory(),
+            b[3].mandatory(),
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+        ]
+    }
+
+    /// The maximum number of range objects a single domain object may map
+    /// to, if bounded (`[_:1]` constraints bound it at 1).
+    pub fn max_targets(&self) -> Option<usize> {
+        match self.right {
+            Side::One => Some(1),
+            Side::Many => None,
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = match self.left {
+            Side::One => "1",
+            Side::Many => "m",
+        };
+        let r = match self.right {
+            Side::One => "1",
+            Side::Many => "n",
+        };
+        if self.mandatory {
+            write!(f, "[md_{l}:{r}]")
+        } else {
+            write!(f, "[{l}:{r}]")
+        }
+    }
+}
+
+impl FromStr for Cardinality {
+    type Err = String;
+
+    /// Parse `[1:1]`, `[1:n]`, `[m:1]`, `[m:n]` and the `md_`-prefixed
+    /// mandatory forms. `n` and `m` are interchangeable "many" markers.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("cardinality must be bracketed: `{s}`"))?;
+        let (mandatory, inner) = match inner.strip_prefix("md_") {
+            Some(rest) => (true, rest),
+            None => (false, inner),
+        };
+        let (l, r) = inner
+            .split_once(':')
+            .ok_or_else(|| format!("cardinality must be `l:r`: `{s}`"))?;
+        let side = |t: &str| match t.trim() {
+            "1" => Ok(Side::One),
+            "n" | "m" => Ok(Side::Many),
+            other => Err(format!("bad cardinality side `{other}` in `{s}`")),
+        };
+        let mut cc = Cardinality::new(side(l)?, side(r)?);
+        if mandatory {
+            cc = cc.mandatory();
+        }
+        Ok(cc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lcs_examples() {
+        // "[n:m] is lcs([1:m],[n:1]) while [n:1] is lcs([1:1],[n:1])"
+        assert_eq!(Cardinality::ONE_N.lcs(&Cardinality::M_ONE), Cardinality::M_N);
+        assert_eq!(
+            Cardinality::ONE_ONE.lcs(&Cardinality::M_ONE),
+            Cardinality::M_ONE
+        );
+    }
+
+    #[test]
+    fn node_is_its_own_lcs() {
+        for cc in Cardinality::all() {
+            assert_eq!(cc.lcs(&cc), cc);
+        }
+    }
+
+    #[test]
+    fn lcs_is_commutative_and_upper_bound() {
+        for a in Cardinality::all() {
+            for b in Cardinality::all() {
+                let j = a.lcs(&b);
+                assert_eq!(j, b.lcs(&a));
+                assert!(a.le(&j), "{a} ≤ {j}");
+                assert!(b.le(&j), "{b} ≤ {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn lcs_is_least_upper_bound() {
+        // For every common upper bound u of (a, b), lcs(a,b) ≤ u.
+        for a in Cardinality::all() {
+            for b in Cardinality::all() {
+                let j = a.lcs(&b);
+                for u in Cardinality::all() {
+                    if a.le(&u) && b.le(&u) {
+                        assert!(j.le(&u), "lcs({a},{b})={j} should be ≤ {u}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lcs_is_associative() {
+        for a in Cardinality::all() {
+            for b in Cardinality::all() {
+                for c in Cardinality::all() {
+                    assert_eq!(a.lcs(&b).lcs(&c), a.lcs(&b.lcs(&c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mandatory_relaxes_to_optional() {
+        let md = Cardinality::M_ONE.mandatory();
+        assert_eq!(md.lcs(&Cardinality::M_ONE), Cardinality::M_ONE);
+        assert!(md.le(&Cardinality::M_ONE));
+        assert!(!Cardinality::M_ONE.le(&md));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for cc in Cardinality::all() {
+            let s = cc.to_string();
+            assert_eq!(s.parse::<Cardinality>().unwrap(), cc, "{s}");
+        }
+        assert_eq!("[m:1]".parse::<Cardinality>().unwrap(), Cardinality::M_ONE);
+        assert_eq!("[n:1]".parse::<Cardinality>().unwrap(), Cardinality::M_ONE);
+        assert_eq!(
+            "[md_n:1]".parse::<Cardinality>().unwrap(),
+            Cardinality::M_ONE.mandatory()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "1:1", "[1-1]", "[x:1]", "[1:y]", "[md:1]"] {
+            assert!(s.parse::<Cardinality>().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn max_targets() {
+        assert_eq!(Cardinality::M_ONE.max_targets(), Some(1));
+        assert_eq!(Cardinality::M_N.max_targets(), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! A minimal calendar date, the `date` primitive of the object model (§2).
+//!
+//! The paper's type system lists `date` among the primitive attribute types.
+//! We implement a small proleptic-Gregorian date with total ordering and
+//! ISO-8601 (`YYYY-MM-DD`) parsing/formatting — enough for attribute values,
+//! comparisons in `with att τ Const` predicates, and data mappings.
+
+use crate::error::ModelError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month/day ranges (leap years included).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, ModelError> {
+        if !(1..=12).contains(&month) {
+            return Err(ModelError::BadDate(format!("{year}-{month:02}-{day:02}")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(ModelError::BadDate(format!("{year}-{month:02}-{day:02}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since 0000-03-01 (a convenient internal epoch); used for
+    /// arithmetic and property tests.
+    pub fn day_number(&self) -> i64 {
+        // Shift so the year starts in March; standard civil-date algorithm.
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
+        let era = y.div_euclid(400);
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ModelError::BadDate(s.to_string());
+        let mut it = s.splitn(3, '-');
+        let y = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::new(y, m, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_dates() {
+        assert!(Date::new(1999, 2, 28).is_ok());
+        assert!(Date::new(2000, 2, 29).is_ok()); // leap (divisible by 400)
+        assert!(Date::new(1996, 2, 29).is_ok()); // leap
+    }
+
+    #[test]
+    fn invalid_dates() {
+        assert!(Date::new(1999, 2, 29).is_err());
+        assert!(Date::new(1900, 2, 29).is_err()); // not leap (divisible by 100)
+        assert!(Date::new(1999, 13, 1).is_err());
+        assert!(Date::new(1999, 0, 1).is_err());
+        assert!(Date::new(1999, 4, 31).is_err());
+        assert!(Date::new(1999, 4, 0).is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::new(1999, 4, 1).unwrap();
+        let b = Date::new(1999, 12, 17).unwrap();
+        let c = Date::new(2000, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn roundtrip_parse_display() {
+        for s in ["1998-12-17", "2000-02-29", "0001-01-01"] {
+            let d: Date = s.parse().unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("1999".parse::<Date>().is_err());
+        assert!("1999-1".parse::<Date>().is_err());
+        assert!("a-b-c".parse::<Date>().is_err());
+        assert!("1999-02-30".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn day_number_is_monotone_across_month_boundary() {
+        let d1 = Date::new(1999, 1, 31).unwrap();
+        let d2 = Date::new(1999, 2, 1).unwrap();
+        assert_eq!(d1.day_number() + 1, d2.day_number());
+    }
+
+    #[test]
+    fn day_number_across_leap_february() {
+        let d1 = Date::new(2000, 2, 28).unwrap();
+        let d2 = Date::new(2000, 3, 1).unwrap();
+        assert_eq!(d1.day_number() + 2, d2.day_number());
+    }
+}

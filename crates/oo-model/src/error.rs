@@ -1,0 +1,71 @@
+//! Error type shared by the object-model crate.
+
+use std::fmt;
+
+/// Errors raised while building or manipulating schemas and instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A class referenced by an is-a link, aggregation function or nested
+    /// attribute type does not exist in the schema.
+    UnknownClass(String),
+    /// An attribute or aggregation-function name does not exist on a class.
+    UnknownMember { class: String, member: String },
+    /// A duplicate class, attribute or aggregation-function definition.
+    Duplicate(String),
+    /// The is-a hierarchy contains a cycle through the named class.
+    IsaCycle(String),
+    /// A value does not conform to the declared attribute type.
+    TypeMismatch {
+        class: String,
+        attr: String,
+        expected: String,
+        got: String,
+    },
+    /// A path (Definition 4.1) could not be resolved.
+    BadPath { path: String, reason: String },
+    /// A malformed OID string.
+    BadOid(String),
+    /// A malformed date.
+    BadDate(String),
+    /// A cardinality constraint was violated when linking objects.
+    CardinalityViolation {
+        class: String,
+        agg: String,
+        detail: String,
+    },
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            ModelError::UnknownMember { class, member } => {
+                write!(f, "class `{class}` has no attribute or aggregation `{member}`")
+            }
+            ModelError::Duplicate(d) => write!(f, "duplicate definition `{d}`"),
+            ModelError::IsaCycle(c) => write!(f, "is-a cycle through class `{c}`"),
+            ModelError::TypeMismatch {
+                class,
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on `{class}.{attr}`: expected {expected}, got {got}"
+            ),
+            ModelError::BadPath { path, reason } => {
+                write!(f, "cannot resolve path `{path}`: {reason}")
+            }
+            ModelError::BadOid(s) => write!(f, "malformed OID `{s}`"),
+            ModelError::BadDate(s) => write!(f, "malformed date `{s}`"),
+            ModelError::CardinalityViolation { class, agg, detail } => {
+                write!(f, "cardinality violation on `{class}.{agg}`: {detail}")
+            }
+            ModelError::Invalid(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

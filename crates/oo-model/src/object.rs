@@ -1,0 +1,127 @@
+//! Complex O-term instances (§2):
+//! `<o: C | a₁:v₁, …, aₗ:vₗ, agg₁, …, aggₖ>`.
+//!
+//! An [`Object`] carries its OID, class, attribute values and aggregation
+//! instances (OID references into range-class extents).
+
+use crate::class::ClassName;
+use crate::oid::Oid;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An instance of a class: the complex O-term of §2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    pub oid: Oid,
+    pub class: ClassName,
+    attrs: BTreeMap<String, Value>,
+    aggs: BTreeMap<String, Vec<Oid>>,
+}
+
+impl Object {
+    pub fn new(oid: Oid, class: impl Into<ClassName>) -> Self {
+        Object {
+            oid,
+            class: class.into(),
+            attrs: BTreeMap::new(),
+            aggs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute assignment.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Builder-style aggregation-instance assignment (appends one target).
+    pub fn with_agg(mut self, name: impl Into<String>, target: Oid) -> Self {
+        self.aggs.entry(name.into()).or_default().push(target);
+        self
+    }
+
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.attrs.insert(name.into(), value.into());
+    }
+
+    pub fn add_agg(&mut self, name: impl Into<String>, target: Oid) {
+        self.aggs.entry(name.into()).or_default().push(target);
+    }
+
+    /// Attribute value, `Null` when absent (the store validates presence
+    /// against the class type on insert, so absence means "not yet set").
+    pub fn attr(&self, name: &str) -> &Value {
+        self.attrs.get(name).unwrap_or(&Value::Null)
+    }
+
+    pub fn attr_opt(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    pub fn attrs(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.attrs.iter()
+    }
+
+    /// The targets of one aggregation function applied to this object.
+    pub fn agg(&self, name: &str) -> &[Oid] {
+        self.aggs.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn aggs(&self) -> impl Iterator<Item = (&String, &Vec<Oid>)> {
+        self.aggs.iter()
+    }
+}
+
+impl fmt::Display for Object {
+    /// Paper notation: `<id_1: Article | title: "...", Published_in: AI_Tool_91>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}: {}", self.oid, self.class)?;
+        let mut first = true;
+        for (k, v) in &self.attrs {
+            write!(f, "{} {k}: {v}", if first { " |" } else { "," })?;
+            first = false;
+        }
+        for (k, targets) in &self.aggs {
+            for t in targets {
+                write!(f, "{} {k}: {t}", if first { " |" } else { "," })?;
+                first = false;
+            }
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read() {
+        let o = Object::new(Oid::local("Article", 1), "Article")
+            .with_attr("title", "improving path-consistence algorithm")
+            .with_attr("author_name", "John")
+            .with_agg("Published_in", Oid::local("Proceedings", 7));
+        assert_eq!(
+            o.attr("title"),
+            &Value::str("improving path-consistence algorithm")
+        );
+        assert_eq!(o.attr("missing"), &Value::Null);
+        assert_eq!(o.agg("Published_in"), &[Oid::local("Proceedings", 7)]);
+        assert!(o.agg("nope").is_empty());
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let o = Object::new(Oid::local("Article", 1), "Article").with_attr("title", "T");
+        assert_eq!(o.to_string(), "<@Article.1: Article | title: \"T\">");
+    }
+
+    #[test]
+    fn multiple_agg_targets_accumulate() {
+        let mut o = Object::new(Oid::local("parent", 1), "parent");
+        o.add_agg("children", Oid::local("person", 2));
+        o.add_agg("children", Oid::local("person", 3));
+        assert_eq!(o.agg("children").len(), 2);
+    }
+}

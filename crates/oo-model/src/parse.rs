@@ -1,0 +1,429 @@
+//! A textual schema format, so component schemas can live in files and be
+//! fed to the CLI. The syntax mirrors the paper's `type(C) = <…>` notation:
+//!
+//! ```text
+//! schema S1 {
+//!     class person <ssn#: string, full_name: string, interests: {string}>
+//!     class dept <dname: string>
+//!     class empl <ename: string, work_in: dept with [m:1]>
+//!     class Book <ISBN: string, author: <name: string, birthday: date>>
+//!     is_a(empl, person)
+//! }
+//! ```
+//!
+//! Primitives: `boolean integer real character string date`. `{T}` is a
+//! multi-valued attribute, `<…>` a nested complex type, and
+//! `name: Class with [cc]` an aggregation function with its cardinality
+//! constraint (`[1:1] [1:n] [m:1] [m:n]`, optionally `md_`-prefixed).
+//! `//` starts a line comment.
+
+use crate::cardinality::Cardinality;
+use crate::class::{AggDef, AttrDef, AttrType, Class, ClassType};
+use crate::error::ModelError;
+use crate::schema::Schema;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaParseError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(src: &'a str) -> Self {
+        P {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SchemaParseError {
+        SchemaParseError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), SchemaParseError> {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                c as char,
+                self.peek().map(|b| (b as char).to_string()).unwrap_or_else(|| "eof".into())
+            )))
+        }
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SchemaParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'#' {
+                self.bump();
+            } else if c == b'-'
+                && self
+                    .src
+                    .get(self.pos + 1)
+                    .map(|d| d.is_ascii_alphanumeric() || *d == b'_')
+                    .unwrap_or(false)
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SchemaParseError> {
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{got}`")))
+        }
+    }
+
+    /// `<a: T, …>` — a class type.
+    fn class_type(&mut self) -> Result<ClassType, SchemaParseError> {
+        self.eat(b'<')?;
+        let mut ty = ClassType::new();
+        if self.try_eat(b'>') {
+            return Ok(ty);
+        }
+        loop {
+            let name = self.ident()?;
+            self.eat(b':')?;
+            self.member(&mut ty, name)?;
+            if self.try_eat(b'>') {
+                break;
+            }
+            self.eat(b',')?;
+        }
+        Ok(ty)
+    }
+
+    /// One member: primitive / `{T}` / nested `<…>` / aggregation
+    /// `Class with [cc]`.
+    fn member(&mut self, ty: &mut ClassType, name: String) -> Result<(), SchemaParseError> {
+        self.skip_trivia();
+        let line = self.line;
+        let attr_ty = match self.peek() {
+            Some(b'<') => AttrType::Nested(Box::new(self.class_type()?)),
+            Some(b'{') => {
+                self.bump();
+                let inner = match self.peek_after_trivia() {
+                    Some(b'<') => AttrType::Nested(Box::new(self.class_type()?)),
+                    _ => self.primitive()?,
+                };
+                self.eat(b'}')?;
+                AttrType::Set(Box::new(inner))
+            }
+            _ => {
+                let word = self.ident()?;
+                if let Some(prim) = primitive_of(&word) {
+                    prim
+                } else {
+                    // A class name ⇒ aggregation function, `with [cc]`.
+                    self.keyword("with").map_err(|_| SchemaParseError {
+                        line,
+                        message: format!(
+                            "`{word}` is not a primitive type; aggregation functions need \
+                             `with [cc]`"
+                        ),
+                    })?;
+                    let cc = self.cardinality()?;
+                    ty.push_aggregation(AggDef::new(name, word, cc))
+                        .map_err(|e| SchemaParseError {
+                            line,
+                            message: e.to_string(),
+                        })?;
+                    return Ok(());
+                }
+            }
+        };
+        ty.push_attribute(AttrDef::new(name, attr_ty))
+            .map_err(|e| SchemaParseError {
+                line,
+                message: e.to_string(),
+            })
+    }
+
+    fn peek_after_trivia(&mut self) -> Option<u8> {
+        self.skip_trivia();
+        self.peek()
+    }
+
+    fn primitive(&mut self) -> Result<AttrType, SchemaParseError> {
+        let word = self.ident()?;
+        primitive_of(&word).ok_or_else(|| self.err(format!("unknown primitive type `{word}`")))
+    }
+
+    fn cardinality(&mut self) -> Result<Cardinality, SchemaParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        if self.peek() != Some(b'[') {
+            return Err(self.err("expected cardinality `[…]`"));
+        }
+        while let Some(c) = self.bump() {
+            if c == b']' {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        text.parse().map_err(|e: String| self.err(e))
+    }
+}
+
+fn primitive_of(word: &str) -> Option<AttrType> {
+    match word {
+        "boolean" | "bool" => Some(AttrType::Bool),
+        "integer" | "int" => Some(AttrType::Int),
+        "real" => Some(AttrType::Real),
+        "character" | "char" => Some(AttrType::Char),
+        "string" => Some(AttrType::Str),
+        "date" => Some(AttrType::Date),
+        _ => None,
+    }
+}
+
+/// Parse one `schema NAME { … }` block.
+pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
+    let mut p = P::new(src);
+    p.keyword("schema")?;
+    let name = p.ident()?;
+    p.eat(b'{')?;
+    let mut schema = Schema::new(name.as_str());
+    let mut isa: Vec<(String, String)> = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.try_eat(b'}') {
+            break;
+        }
+        let line = p.line;
+        let kw = p.ident()?;
+        match kw.as_str() {
+            "class" => {
+                let cname = p.ident()?;
+                let ty = p.class_type()?;
+                schema
+                    .add_class(Class::new(cname.as_str(), ty))
+                    .map_err(|e| SchemaParseError {
+                        line,
+                        message: e.to_string(),
+                    })?;
+            }
+            "is_a" => {
+                p.eat(b'(')?;
+                let sub = p.ident()?;
+                p.eat(b',')?;
+                let sup = p.ident()?;
+                p.eat(b')')?;
+                isa.push((sub, sup));
+            }
+            other => {
+                return Err(SchemaParseError {
+                    line,
+                    message: format!("expected `class`, `is_a` or `}}`, found `{other}`"),
+                })
+            }
+        }
+    }
+    for (sub, sup) in isa {
+        schema
+            .add_isa(sub.as_str(), sup.as_str())
+            .map_err(|e: ModelError| SchemaParseError {
+                line: 0,
+                message: e.to_string(),
+            })?;
+    }
+    schema.validate().map_err(|e| SchemaParseError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIVERSITY: &str = r#"
+        // Fig. 18(a), S2 side
+        schema S2 {
+            class human <ssn#: string, name: string>
+            class employee <salary: integer>
+            class faculty <rank: string>
+            class professor <chair: string>
+            class student <gpa: real>
+            is_a(employee, human)
+            is_a(student, human)
+            is_a(faculty, employee)
+            is_a(professor, faculty)
+        }
+    "#;
+
+    #[test]
+    fn parses_classes_and_links() {
+        let s = parse_schema(UNIVERSITY).unwrap();
+        assert_eq!(s.name.as_str(), "S2");
+        assert_eq!(s.len(), 5);
+        assert!(s.is_subclass_of(&"professor".into(), &"human".into()));
+        assert_eq!(
+            s.class_named("employee").unwrap().ty.attribute("salary").unwrap().ty,
+            AttrType::Int
+        );
+    }
+
+    #[test]
+    fn aggregation_with_cardinality() {
+        let s = parse_schema(
+            r#"schema S1 {
+                class dept <dname: string>
+                class empl <ename: string, work_in: dept with [m:1]>
+            }"#,
+        )
+        .unwrap();
+        let empl = s.class_named("empl").unwrap();
+        let agg = empl.ty.aggregation("work_in").unwrap();
+        assert_eq!(agg.range.as_str(), "dept");
+        assert_eq!(agg.cc, Cardinality::M_ONE);
+    }
+
+    #[test]
+    fn nested_and_set_types() {
+        let s = parse_schema(
+            r#"schema S1 {
+                class Book <ISBN: string, author: <name: string, birthday: date>, tags: {string}>
+            }"#,
+        )
+        .unwrap();
+        let book = s.class_named("Book").unwrap();
+        assert!(matches!(
+            book.ty.attribute("author").unwrap().ty,
+            AttrType::Nested(_)
+        ));
+        assert_eq!(
+            book.ty.attribute("tags").unwrap().ty,
+            AttrType::Set(Box::new(AttrType::Str))
+        );
+    }
+
+    #[test]
+    fn mandatory_cardinality() {
+        let s = parse_schema(
+            r#"schema S1 {
+                class a <x: string>
+                class b <f: a with [md_m:1]>
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.class_named("b").unwrap().ty.aggregation("f").unwrap().cc,
+            Cardinality::M_ONE.mandatory()
+        );
+    }
+
+    #[test]
+    fn empty_type_allowed() {
+        let s = parse_schema("schema S { class a <> }").unwrap();
+        assert_eq!(s.class_named("a").unwrap().ty.attributes.len(), 0);
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse_schema("schema S {\n  class a <x: bogus>\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = parse_schema("schema S {\n  klass a <>\n}").unwrap_err();
+        assert!(err.message.contains("klass"));
+    }
+
+    #[test]
+    fn dangling_isa_rejected() {
+        assert!(parse_schema("schema S { class a <> is_a(a, ghost) }").is_err());
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        assert!(parse_schema("schema S { class a <> class a <> }").is_err());
+    }
+
+    #[test]
+    fn hash_and_dash_idents() {
+        let s = parse_schema(
+            "schema S1 { class stock-in-March-April <stock-name: string, price-in-March: integer> }",
+        )
+        .unwrap();
+        assert!(s.class_named("stock-in-March-April").is_some());
+    }
+}

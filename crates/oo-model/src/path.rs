@@ -1,0 +1,308 @@
+//! Paths per **Definition 4.1**: `C•a_i•a_ij•…•b` where each step descends
+//! into a nested attribute type, and the final step `b` is either a plain
+//! attribute (denoting its *values*) or a quoted name `"a"` (denoting the
+//! attribute/aggregation *name itself* — Example 1's
+//! `Author•book•"title"`).
+
+use crate::class::{AttrType, ClassType};
+use crate::error::ModelError;
+use crate::schema::Schema;
+use std::fmt;
+
+/// What a path's final step resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathTarget {
+    /// The values of an attribute of the given type.
+    AttributeValues(AttrType),
+    /// The range of an aggregation function (a class name as string).
+    AggregationRange(String),
+    /// The *name* of an attribute or aggregation function (quoted form).
+    MemberName(String),
+}
+
+/// A path rooted at a class: `class•step₁•…•stepₖ`, optionally with the last
+/// step quoted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path {
+    pub class: String,
+    pub steps: Vec<String>,
+    /// True when the final step is the quoted `"name"` form.
+    pub quoted: bool,
+}
+
+impl Path {
+    pub fn new(class: impl Into<String>, steps: Vec<String>) -> Self {
+        Path {
+            class: class.into(),
+            steps,
+            quoted: false,
+        }
+    }
+
+    /// Build from `class` and dotted steps, e.g. `attr("Book", "author.name")`.
+    pub fn parse(class: impl Into<String>, dotted: &str) -> Result<Self, ModelError> {
+        let class = class.into();
+        let mut steps = Vec::new();
+        let mut quoted = false;
+        let parts: Vec<&str> = dotted.split('.').collect();
+        if dotted.is_empty() || parts.iter().any(|p| p.is_empty()) {
+            return Err(ModelError::BadPath {
+                path: format!("{class}.{dotted}"),
+                reason: "empty step".into(),
+            });
+        }
+        for (i, part) in parts.iter().enumerate() {
+            let last = i + 1 == parts.len();
+            if let Some(name) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+                if !last {
+                    return Err(ModelError::BadPath {
+                        path: format!("{class}.{dotted}"),
+                        reason: "quoted step must be final".into(),
+                    });
+                }
+                steps.push(name.to_string());
+                quoted = true;
+            } else {
+                steps.push(part.to_string());
+            }
+        }
+        Ok(Path {
+            class,
+            steps,
+            quoted,
+        })
+    }
+
+    /// Single-step convenience: `Path::attr("person", "ssn")`.
+    pub fn attr(class: impl Into<String>, attr: impl Into<String>) -> Self {
+        Path::new(class, vec![attr.into()])
+    }
+
+    /// Quoted variant of the final step.
+    pub fn quoted(mut self) -> Self {
+        self.quoted = true;
+        self
+    }
+
+    /// The final step name.
+    pub fn leaf(&self) -> &str {
+        self.steps.last().map(|s| s.as_str()).unwrap_or(&self.class)
+    }
+
+    /// Resolve this path against a schema (Definition 4.1): walk nested
+    /// attribute types step by step; the final step may also name an
+    /// aggregation function.
+    pub fn resolve(&self, schema: &Schema) -> Result<PathTarget, ModelError> {
+        let class = schema
+            .class_named(&self.class)
+            .ok_or_else(|| ModelError::UnknownClass(self.class.clone()))?;
+        if self.steps.is_empty() {
+            return Err(ModelError::BadPath {
+                path: self.to_string(),
+                reason: "path has no steps".into(),
+            });
+        }
+        self.resolve_in(&class.ty, schema, 0)
+    }
+
+    fn resolve_in(
+        &self,
+        ty: &ClassType,
+        schema: &Schema,
+        idx: usize,
+    ) -> Result<PathTarget, ModelError> {
+        let step = &self.steps[idx];
+        let last = idx + 1 == self.steps.len();
+        if last && self.quoted {
+            if ty.has_member(step) {
+                return Ok(PathTarget::MemberName(step.clone()));
+            }
+            return Err(self.unknown_member(step));
+        }
+        if let Some(attr) = ty.attribute(step) {
+            if last {
+                return Ok(PathTarget::AttributeValues(attr.ty.clone()));
+            }
+            match &attr.ty {
+                AttrType::Nested(inner) => self.resolve_in(inner, schema, idx + 1),
+                AttrType::Set(elem) => match elem.as_ref() {
+                    AttrType::Nested(inner) => self.resolve_in(inner, schema, idx + 1),
+                    _ => Err(ModelError::BadPath {
+                        path: self.to_string(),
+                        reason: format!("step `{step}` is not a complex attribute"),
+                    }),
+                },
+                _ => Err(ModelError::BadPath {
+                    path: self.to_string(),
+                    reason: format!("step `{step}` is not a complex attribute"),
+                }),
+            }
+        } else if let Some(agg) = ty.aggregation(step) {
+            if last {
+                return Ok(PathTarget::AggregationRange(agg.range.0.clone()));
+            }
+            // Continue resolution inside the range class.
+            let range = schema
+                .class(&agg.range)
+                .ok_or_else(|| ModelError::UnknownClass(agg.range.0.clone()))?;
+            self.resolve_in(&range.ty, schema, idx + 1)
+        } else {
+            Err(self.unknown_member(step))
+        }
+    }
+
+    fn unknown_member(&self, step: &str) -> ModelError {
+        ModelError::BadPath {
+            path: self.to_string(),
+            reason: format!("no attribute or aggregation `{step}`"),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    /// Paper notation with bullets: `Book•author•birthday`,
+    /// `Author•book•"title"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.class)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            let last = i + 1 == self.steps.len();
+            if last && self.quoted {
+                write!(f, "•\"{s}\"")?;
+            } else {
+                write!(f, "•{s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{AttrDef, Class};
+
+    fn book_schema() -> Schema {
+        // type(Book) = <ISBN: string, title: string,
+        //               author: <name: string, birthday: date>>   (§4.1)
+        let mut author = ClassType::new();
+        author
+            .push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        author
+            .push_attribute(AttrDef::new("birthday", AttrType::Date))
+            .unwrap();
+        let mut book = ClassType::new();
+        book.push_attribute(AttrDef::new("ISBN", AttrType::Str)).unwrap();
+        book.push_attribute(AttrDef::new("title", AttrType::Str)).unwrap();
+        book.push_attribute(AttrDef::new("author", AttrType::Nested(Box::new(author))))
+            .unwrap();
+        let mut s = Schema::new("S1");
+        s.add_class(Class::new("Book", book)).unwrap();
+        s
+    }
+
+    #[test]
+    fn example_1_value_path() {
+        // Book•author•birthday refers to the values of birthday.
+        let p = Path::parse("Book", "author.birthday").unwrap();
+        assert_eq!(
+            p.resolve(&book_schema()).unwrap(),
+            PathTarget::AttributeValues(AttrType::Date)
+        );
+        assert_eq!(p.to_string(), "Book•author•birthday");
+    }
+
+    #[test]
+    fn example_1_quoted_name_path() {
+        // Author•book•"title" refers to the string "title" itself; here we
+        // test the analogous Book•author•"name".
+        let p = Path::parse("Book", "author.\"name\"").unwrap();
+        assert_eq!(
+            p.resolve(&book_schema()).unwrap(),
+            PathTarget::MemberName("name".into())
+        );
+        assert_eq!(p.to_string(), "Book•author•\"name\"");
+    }
+
+    #[test]
+    fn top_level_attribute() {
+        let p = Path::attr("Book", "ISBN");
+        assert_eq!(
+            p.resolve(&book_schema()).unwrap(),
+            PathTarget::AttributeValues(AttrType::Str)
+        );
+    }
+
+    #[test]
+    fn aggregation_path_resolves_through_range_class() {
+        use crate::cardinality::Cardinality;
+        let mut s = book_schema();
+        let mut proc_ty = ClassType::new();
+        proc_ty
+            .push_attribute(AttrDef::new("year", AttrType::Int))
+            .unwrap();
+        s.add_class(Class::new("Proceedings", proc_ty)).unwrap();
+        let mut art = ClassType::new();
+        art.push_aggregation(crate::class::AggDef::new(
+            "Published_in",
+            "Proceedings",
+            Cardinality::M_ONE,
+        ))
+        .unwrap();
+        s.add_class(Class::new("Article", art)).unwrap();
+
+        let agg = Path::attr("Article", "Published_in");
+        assert_eq!(
+            agg.resolve(&s).unwrap(),
+            PathTarget::AggregationRange("Proceedings".into())
+        );
+        let through = Path::parse("Article", "Published_in.year").unwrap();
+        assert_eq!(
+            through.resolve(&s).unwrap(),
+            PathTarget::AttributeValues(AttrType::Int)
+        );
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let s = book_schema();
+        assert!(Path::attr("Ghost", "x").resolve(&s).is_err());
+        assert!(Path::attr("Book", "ghost").resolve(&s).is_err());
+        // descending through a primitive
+        assert!(Path::parse("Book", "title.x").unwrap().resolve(&s).is_err());
+        // quoted step must be final
+        assert!(Path::parse("Book", "\"author\".name").is_err());
+        // empty steps
+        assert!(Path::parse("Book", "").is_err());
+        assert!(Path::parse("Book", "a..b").is_err());
+    }
+
+    #[test]
+    fn quoted_unknown_member_rejected() {
+        let s = book_schema();
+        let p = Path::parse("Book", "\"ghost\"").unwrap();
+        assert!(p.resolve(&s).is_err());
+    }
+
+    #[test]
+    fn set_of_nested_descends() {
+        let mut inner = ClassType::new();
+        inner
+            .push_attribute(AttrDef::new("isbn", AttrType::Str))
+            .unwrap();
+        let mut author = ClassType::new();
+        author
+            .push_attribute(AttrDef::new(
+                "books",
+                AttrType::Set(Box::new(AttrType::Nested(Box::new(inner)))),
+            ))
+            .unwrap();
+        let mut s = Schema::new("S");
+        s.add_class(Class::new("Author", author)).unwrap();
+        let p = Path::parse("Author", "books.isbn").unwrap();
+        assert_eq!(
+            p.resolve(&s).unwrap(),
+            PathTarget::AttributeValues(AttrType::Str)
+        );
+    }
+}

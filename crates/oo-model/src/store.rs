@@ -1,0 +1,284 @@
+//! An in-memory, inheritance-aware instance store.
+//!
+//! This is the stand-in for the *Ontos* platform (§2): it stores complex
+//! O-terms, supports class extents that respect the is-a hierarchy
+//! (`{<o:C>} ⊆ {<o':C'>}` whenever `<C : C'>`), applies aggregation
+//! functions, and type-checks attribute values against class types on
+//! insert.
+
+use crate::class::ClassName;
+use crate::error::ModelError;
+use crate::object::Object;
+use crate::oid::Oid;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Instance store for one schema.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceStore {
+    objects: BTreeMap<Oid, Object>,
+    by_class: BTreeMap<ClassName, BTreeSet<Oid>>,
+    next_local: BTreeMap<ClassName, u64>,
+}
+
+impl InstanceStore {
+    pub fn new() -> Self {
+        InstanceStore::default()
+    }
+
+    /// Insert an object after validating its class and attribute types
+    /// against `schema`. Aggregation-function cardinalities on the "many
+    /// targets" side are enforced ( `[_:1]` ⇒ at most one target).
+    pub fn insert(&mut self, schema: &Schema, obj: Object) -> Result<(), ModelError> {
+        let class = schema
+            .class(&obj.class)
+            .ok_or_else(|| ModelError::UnknownClass(obj.class.0.clone()))?;
+        let attrs = schema.all_attributes(&obj.class);
+        for (name, value) in obj.attrs() {
+            let def = attrs
+                .iter()
+                .find(|a| &a.name == name)
+                .ok_or_else(|| ModelError::UnknownMember {
+                    class: obj.class.0.clone(),
+                    member: name.clone(),
+                })?;
+            if !def.ty.admits(value) {
+                return Err(ModelError::TypeMismatch {
+                    class: obj.class.0.clone(),
+                    attr: name.clone(),
+                    expected: def.ty.describe(),
+                    got: value.type_name().to_string(),
+                });
+            }
+        }
+        let aggs = schema.all_aggregations(&obj.class);
+        for (name, targets) in obj.aggs() {
+            let def = aggs
+                .iter()
+                .find(|g| &g.name == name)
+                .ok_or_else(|| ModelError::UnknownMember {
+                    class: obj.class.0.clone(),
+                    member: name.clone(),
+                })?;
+            if let Some(max) = def.cc.max_targets() {
+                if targets.len() > max {
+                    return Err(ModelError::CardinalityViolation {
+                        class: obj.class.0.clone(),
+                        agg: name.clone(),
+                        detail: format!("{} targets exceed {}", targets.len(), def.cc),
+                    });
+                }
+            }
+        }
+        if self.objects.contains_key(&obj.oid) {
+            return Err(ModelError::Duplicate(obj.oid.to_string()));
+        }
+        self.by_class
+            .entry(class.name.clone())
+            .or_default()
+            .insert(obj.oid.clone());
+        self.objects.insert(obj.oid.clone(), obj);
+        Ok(())
+    }
+
+    /// Allocate a fresh local OID for `class` and insert the object built by
+    /// `f`. Convenient for tests and examples.
+    pub fn create<F>(&mut self, schema: &Schema, class: &str, f: F) -> Result<Oid, ModelError>
+    where
+        F: FnOnce(Object) -> Object,
+    {
+        let cname = ClassName::new(class);
+        let n = self.next_local.entry(cname.clone()).or_insert(0);
+        *n += 1;
+        let oid = Oid::local(class, *n);
+        let obj = f(Object::new(oid.clone(), cname));
+        self.insert(schema, obj)?;
+        Ok(oid)
+    }
+
+    pub fn get(&self, oid: &Oid) -> Option<&Object> {
+        self.objects.get(oid)
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values()
+    }
+
+    /// Objects whose *declared* class is exactly `class`.
+    pub fn direct_extent(&self, class: &ClassName) -> Vec<&Object> {
+        self.by_class
+            .get(class)
+            .map(|oids| oids.iter().filter_map(|o| self.objects.get(o)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The full extent of `class`: instances of the class and of all its
+    /// subclasses (the subclass semantics of the typing O-term, §2).
+    pub fn extent(&self, schema: &Schema, class: &ClassName) -> Vec<&Object> {
+        let mut classes: Vec<ClassName> = vec![class.clone()];
+        classes.extend(schema.descendants(class));
+        classes.sort();
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.direct_extent(&c));
+        }
+        out
+    }
+
+    /// Apply aggregation function `agg` to the object `oid`, returning the
+    /// referenced objects.
+    pub fn apply_agg(&self, oid: &Oid, agg: &str) -> Vec<&Object> {
+        self.objects
+            .get(oid)
+            .map(|o| {
+                o.agg(agg)
+                    .iter()
+                    .filter_map(|t| self.objects.get(t))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The `value_set(att)` of §5: the largest non-null subset of the
+    /// attribute's domain w.r.t. the current database state, over the full
+    /// extent of `class`.
+    pub fn value_set(&self, schema: &Schema, class: &ClassName, attr: &str) -> BTreeSet<Value> {
+        self.extent(schema, class)
+            .into_iter()
+            .map(|o| o.attr(attr))
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::cardinality::Cardinality;
+    use crate::class::AttrType;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S1")
+            .class("person", |c| c.attr("name", AttrType::Str))
+            .class("student", |c| c.attr("gpa", AttrType::Real))
+            .class("dept", |c| c.attr("dname", AttrType::Str))
+            .class("empl", |c| {
+                c.attr("ename", AttrType::Str)
+                    .agg("work_in", "dept", Cardinality::M_ONE)
+            })
+            .isa("student", "person")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let oid = store
+            .create(&s, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
+        assert_eq!(store.get(&oid).unwrap().attr("name"), &Value::str("Ann"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn type_checking_on_insert() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let err = store
+            .create(&s, "person", |o| o.with_attr("name", 42i64))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        let err = store
+            .create(&s, "person", |o| o.with_attr("ghost", "x"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownMember { .. }));
+        assert!(store
+            .create(&s, "nosuch", |o| o)
+            .is_err());
+    }
+
+    #[test]
+    fn inherited_attribute_accepted_on_subclass() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        store
+            .create(&s, "student", |o| o.with_attr("name", "Bob").with_attr("gpa", 3.5))
+            .unwrap();
+    }
+
+    #[test]
+    fn extent_respects_inheritance() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        store.create(&s, "person", |o| o.with_attr("name", "Ann")).unwrap();
+        store.create(&s, "student", |o| o.with_attr("name", "Bob")).unwrap();
+        assert_eq!(store.direct_extent(&"person".into()).len(), 1);
+        assert_eq!(store.extent(&s, &"person".into()).len(), 2);
+        assert_eq!(store.extent(&s, &"student".into()).len(), 1);
+    }
+
+    #[test]
+    fn aggregation_application() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let d = store
+            .create(&s, "dept", |o| o.with_attr("dname", "CS"))
+            .unwrap();
+        let e = store
+            .create(&s, "empl", |o| o.with_attr("ename", "Eve").with_agg("work_in", d.clone()))
+            .unwrap();
+        let targets = store.apply_agg(&e, "work_in");
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].attr("dname"), &Value::str("CS"));
+    }
+
+    #[test]
+    fn cardinality_enforced() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let d1 = store.create(&s, "dept", |o| o.with_attr("dname", "A")).unwrap();
+        let d2 = store.create(&s, "dept", |o| o.with_attr("dname", "B")).unwrap();
+        // work_in is [m:1]: a second target violates the constraint.
+        let err = store
+            .create(&s, "empl", |o| {
+                o.with_agg("work_in", d1.clone()).with_agg("work_in", d2.clone())
+            })
+            .unwrap_err();
+        assert!(matches!(err, ModelError::CardinalityViolation { .. }));
+    }
+
+    #[test]
+    fn value_set_skips_nulls() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        store.create(&s, "person", |o| o.with_attr("name", "Ann")).unwrap();
+        store.create(&s, "person", |o| o).unwrap(); // name unset → Null
+        let vs = store.value_set(&s, &"person".into(), "name");
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_oid_rejected() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let obj = Object::new(Oid::local("person", 1), "person");
+        store.insert(&s, obj.clone()).unwrap();
+        assert!(matches!(
+            store.insert(&s, obj),
+            Err(ModelError::Duplicate(_))
+        ));
+    }
+}

@@ -1,0 +1,313 @@
+//! The primitive value domain of the object model (§2):
+//! `{boolean, integer, real, character, string, date}`, plus OID references
+//! (returned by aggregation functions), `Null` (produced e.g. by the
+//! `concatenation` function of Principle 1 when no data mapping connects two
+//! objects), and finite sets for multi-valued attributes (Example 6 uses
+//! `interests: {string}`).
+
+use crate::datetime::Date;
+use crate::oid::Oid;
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A runtime value.
+///
+/// `Value` is totally ordered (reals via `f64::total_cmp`) so that values can
+/// live in `BTreeSet`s — the representation used for attribute `value_set`s
+/// throughout the integration principles.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Bool(bool),
+    Int(i64),
+    Real(f64),
+    Char(char),
+    Str(String),
+    Date(Date),
+    Oid(Oid),
+    /// Finite set, for multi-valued attributes such as `brother.brothers`.
+    Set(BTreeSet<Value>),
+    /// Missing / inapplicable value.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for a set of strings.
+    pub fn str_set<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Value::Set(items.into_iter().map(|s| Value::Str(s.into())).collect())
+    }
+
+    /// Name of this value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Real(_) => "real",
+            Value::Char(_) => "character",
+            Value::Str(_) => "string",
+            Value::Date(_) => "date",
+            Value::Oid(_) => "oid",
+            Value::Set(_) => "set",
+            Value::Null => "null",
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Set membership test (`∈` of the value-correspondence assertions).
+    /// A non-set right-hand side is treated as the singleton set.
+    pub fn contains(&self, member: &Value) -> bool {
+        match self {
+            Value::Set(s) => s.contains(member),
+            other => other == member,
+        }
+    }
+
+    /// View this value as a set: a `Set` yields its members, `Null` the
+    /// empty set, anything else the singleton. Used by the `∈ / ⊇ / ∩ / ∅`
+    /// value-correspondence operators.
+    pub fn as_set(&self) -> BTreeSet<Value> {
+        match self {
+            Value::Set(s) => s.clone(),
+            Value::Null => BTreeSet::new(),
+            other => std::iter::once(other.clone()).collect(),
+        }
+    }
+
+    /// Numeric view, when the value is `Int` or `Real`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+fn discriminant_rank(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 0,
+        Value::Int(_) => 1,
+        Value::Real(_) => 2,
+        Value::Char(_) => 3,
+        Value::Str(_) => 4,
+        Value::Date(_) => 5,
+        Value::Oid(_) => 6,
+        Value::Set(_) => 7,
+        Value::Null => 8,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Real(a), Real(b)) => a.total_cmp(b),
+            // Cross-numeric comparison so `1` and `1.0` compare sensibly.
+            (Int(a), Real(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Real(a), Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
+            (Char(a), Char(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Oid(a), Oid(b)) => a.cmp(b),
+            (Set(a), Set(b)) => a.cmp(b),
+            (Null, Null) => Ordering::Equal,
+            (a, b) => discriminant_rank(a).cmp(&discriminant_rank(b)),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        discriminant_rank(self).hash(state);
+        match self {
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Real(r) => r.to_bits().hash(state),
+            Value::Char(c) => c.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Date(d) => d.hash(state),
+            Value::Oid(o) => o.hash(state),
+            Value::Set(s) => {
+                for v in s {
+                    v.hash(state);
+                }
+            }
+            Value::Null => {}
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Char(c) => write!(f, "'{c}'"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Null => write!(f, "Null"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+
+impl From<Oid> for Value {
+    fn from(o: Oid) -> Self {
+        Value::Oid(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Real(1.5) < Value::Real(2.5));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total_and_consistent() {
+        let vs = [
+            Value::Bool(true),
+            Value::Int(3),
+            Value::Real(2.0),
+            Value::Char('x'),
+            Value::str("s"),
+            Value::Null,
+        ];
+        for a in &vs {
+            for b in &vs {
+                // antisymmetry of the total order
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sets_work_in_btreeset() {
+        let mut s = BTreeSet::new();
+        s.insert(Value::str_set(["a", "b"]));
+        s.insert(Value::str_set(["a", "b"]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn contains_handles_sets_and_scalars() {
+        let set = Value::str_set(["x", "y"]);
+        assert!(set.contains(&Value::str("x")));
+        assert!(!set.contains(&Value::str("z")));
+        assert!(Value::Int(5).contains(&Value::Int(5)));
+        assert!(!Value::Int(5).contains(&Value::Int(6)));
+    }
+
+    #[test]
+    fn as_set_views() {
+        assert!(Value::Null.as_set().is_empty());
+        assert_eq!(Value::Int(1).as_set().len(), 1);
+        assert_eq!(Value::str_set(["a", "b", "a"]).as_set().len(), 2);
+    }
+
+    #[test]
+    fn nan_is_ordered_not_poisonous() {
+        // total_cmp puts NaN after all finite reals; equality is reflexive.
+        let nan = Value::Real(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Real(1.0) < nan);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Char('c').to_string(), "'c'");
+        assert_eq!(Value::str_set(["b", "a"]).to_string(), "{\"a\", \"b\"}");
+        assert_eq!(Value::Null.to_string(), "Null");
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Real(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the object-model substrate: total order of values,
+//! date arithmetic, cardinality lattice laws, OID/schema-text roundtrips.
+
+use oo_model::{parse_schema, Cardinality, Date, Oid, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Real),
+        any::<char>().prop_filter("ascii", |c| c.is_ascii()).prop_map(Value::Char),
+        "[a-z]{0,8}".prop_map(Value::str),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    /// Value's Ord is antisymmetric and transitive (BTreeSet soundness).
+    #[test]
+    fn value_order_is_total(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Dates roundtrip through display/parse and day_number preserves order.
+    #[test]
+    fn date_roundtrip_and_monotone(
+        y1 in 1i32..3000, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 1i32..3000, m2 in 1u8..=12, d2 in 1u8..=28,
+    ) {
+        let a = Date::new(y1, m1, d1).unwrap();
+        let b = Date::new(y2, m2, d2).unwrap();
+        let reparsed: Date = a.to_string().parse().unwrap();
+        prop_assert_eq!(a, reparsed);
+        prop_assert_eq!(a < b, a.day_number() < b.day_number());
+    }
+
+    /// Federated OIDs roundtrip as long as the parts are dot-free.
+    #[test]
+    fn oid_roundtrip(
+        agent in "[a-zA-Z][a-zA-Z0-9-]{0,8}",
+        dbms in "[a-z]{1,8}",
+        db in "[a-zA-Z]{1,8}",
+        rel in "[a-z-]{1,8}",
+        n in 0u64..1_000_000,
+    ) {
+        prop_assume!(!rel.starts_with('-') && !rel.ends_with('-'));
+        let oid = Oid::federated(&agent, &dbms, &db, &rel, n);
+        let reparsed: Oid = oid.to_string().parse().unwrap();
+        prop_assert_eq!(oid, reparsed);
+    }
+
+    /// lcs is idempotent, commutative and monotone in the lattice order.
+    #[test]
+    fn lattice_laws(i in 0usize..8, j in 0usize..8, k in 0usize..8) {
+        let all = Cardinality::all();
+        let (a, b, c) = (all[i], all[j], all[k]);
+        prop_assert_eq!(a.lcs(&a), a);
+        prop_assert_eq!(a.lcs(&b), b.lcs(&a));
+        if a.le(&b) {
+            prop_assert!(a.lcs(&c).le(&b.lcs(&c)));
+        }
+    }
+}
+
+// Schema display → parse roundtrip on a generated schema shape.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn schema_text_roundtrip(n in 1usize..8, parents in proptest::collection::vec(0usize..8, 0..7)) {
+        use oo_model::{AttrType, SchemaBuilder};
+        let mut b = SchemaBuilder::new("S");
+        for i in 0..n {
+            b = b.class(format!("c{i}"), |c| c.attr("v", AttrType::Str));
+        }
+        for (i, p) in parents.iter().enumerate().take(n.saturating_sub(1)) {
+            let child = i + 1;
+            b = b.isa(format!("c{child}"), format!("c{}", p % child));
+        }
+        let schema = b.build().unwrap();
+        let text = schema.to_string();
+        let reparsed = parse_schema(&text).unwrap();
+        prop_assert_eq!(schema, reparsed);
+    }
+}

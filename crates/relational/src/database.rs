@@ -1,0 +1,214 @@
+//! A component database: a named collection of tables under one DBMS name,
+//! as installed at an FSM-agent (§3).
+
+use crate::schema::RelSchema;
+use crate::table::{Row, Table};
+use crate::RelError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named database containing tables, hosted by some DBMS.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// Database system name, e.g. `informix` (used in federated OIDs).
+    pub dbms: String,
+    /// Database name, e.g. `PatientDB`.
+    pub name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new(dbms: impl Into<String>, name: impl Into<String>) -> Self {
+        Database {
+            dbms: dbms.into(),
+            name: name.into(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Create a table from a relation schema.
+    pub fn create_table(&mut self, schema: RelSchema) -> Result<(), RelError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(RelError::Duplicate(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Insert a row into the named table; returns the tuple number.
+    pub fn insert(&mut self, relation: &str, row: Row) -> Result<u64, RelError> {
+        self.tables
+            .get_mut(relation)
+            .ok_or_else(|| RelError::UnknownRelation(relation.to_string()))?
+            .insert(row)
+    }
+
+    pub fn table(&self, relation: &str) -> Result<&Table, RelError> {
+        self.tables
+            .get(relation)
+            .ok_or_else(|| RelError::UnknownRelation(relation.to_string()))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Check referential integrity of all foreign keys.
+    pub fn check_foreign_keys(&self) -> Result<(), RelError> {
+        for table in self.tables.values() {
+            for fk in &table.schema.foreign_keys {
+                let target = self.tables.get(&fk.target).ok_or_else(|| {
+                    RelError::BadForeignKey {
+                        relation: table.schema.name.clone(),
+                        detail: format!("target relation `{}` missing", fk.target),
+                    }
+                })?;
+                let idxs: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .filter_map(|c| table.schema.column_index(c))
+                    .collect();
+                for (n, row) in table.scan() {
+                    let vals: Vec<_> = idxs.iter().map(|i| row[*i].clone()).collect();
+                    if vals.iter().any(|v| v.is_null()) {
+                        continue; // null FK = unset reference
+                    }
+                    if target.lookup_key(&vals).is_none() {
+                        return Err(RelError::BadForeignKey {
+                            relation: table.schema.name.clone(),
+                            detail: format!(
+                                "tuple #{n} references missing {}({vals:?})",
+                                fk.target
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database {}.{} {{", self.dbms, self.name)?;
+        for t in self.tables.values() {
+            writeln!(f, "  {}", t.schema)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType, ForeignKey};
+    use oo_model::Value;
+
+    fn hospital() -> Database {
+        let mut db = Database::new("informix", "PatientDB");
+        db.create_table(
+            RelSchema::new(
+                "wards",
+                vec![
+                    ColumnDef::new("wid", ColumnType::Str),
+                    ColumnDef::new("floor", ColumnType::Int),
+                ],
+                ["wid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            RelSchema::new(
+                "patient-records",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("name", ColumnType::Str),
+                    ColumnDef::new("ward", ColumnType::Str),
+                ],
+                ["id"],
+            )
+            .unwrap()
+            .with_foreign_key(ForeignKey::new(["ward"], "wards"))
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_read() {
+        let mut db = hospital();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        let n = db
+            .insert(
+                "patient-records",
+                vec![Value::Int(5), "Ann".into(), "W1".into()],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            db.table("patient-records").unwrap().value(n, "name").unwrap(),
+            &Value::str("Ann")
+        );
+    }
+
+    #[test]
+    fn unknown_relation() {
+        let mut db = hospital();
+        assert!(db.insert("ghost", vec![]).is_err());
+        assert!(db.table("ghost").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = hospital();
+        let dup = RelSchema::new("wards", vec![], Vec::<String>::new()).unwrap();
+        assert!(matches!(db.create_table(dup), Err(RelError::Duplicate(_))));
+    }
+
+    #[test]
+    fn fk_integrity_ok_and_violated() {
+        let mut db = hospital();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        db.insert(
+            "patient-records",
+            vec![Value::Int(1), "Ann".into(), "W1".into()],
+        )
+        .unwrap();
+        assert!(db.check_foreign_keys().is_ok());
+        db.insert(
+            "patient-records",
+            vec![Value::Int(2), "Bob".into(), "W9".into()],
+        )
+        .unwrap();
+        assert!(matches!(
+            db.check_foreign_keys(),
+            Err(RelError::BadForeignKey { .. })
+        ));
+    }
+
+    #[test]
+    fn null_fk_tolerated() {
+        let mut db = hospital();
+        db.insert(
+            "patient-records",
+            vec![Value::Int(1), "Ann".into(), Value::Null],
+        )
+        .unwrap();
+        assert!(db.check_foreign_keys().is_ok());
+    }
+}

@@ -1,0 +1,74 @@
+//! # fedoo-relational
+//!
+//! A small relational database engine — the component-database substrate of
+//! the federation (§3 of the paper). FSM-agents host local databases in
+//! "Informix-style" relational systems; this crate provides the equivalent:
+//! relation schemas with primary and foreign keys, tables of typed tuples,
+//! and the handful of operations the federation needs (scan, select,
+//! project, natural join, key lookup, tuple numbering for federated OID
+//! assignment).
+//!
+//! The engine is deliberately minimal: the paper's agents never run general
+//! SQL, they enumerate tuples of exported relations and answer selections —
+//! exactly the surface implemented here.
+
+pub mod database;
+pub mod query;
+pub mod schema;
+pub mod table;
+
+pub use database::Database;
+pub use query::{natural_join, project, select, Predicate};
+pub use schema::{ColumnDef, ColumnType, ForeignKey, RelSchema};
+pub use table::{Row, Table};
+
+use std::fmt;
+
+/// Errors from the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    UnknownRelation(String),
+    UnknownColumn { relation: String, column: String },
+    Arity { relation: String, expected: usize, got: usize },
+    TypeMismatch { relation: String, column: String, expected: String, got: String },
+    DuplicateKey { relation: String, key: String },
+    Duplicate(String),
+    BadForeignKey { relation: String, detail: String },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelError::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            RelError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(f, "relation `{relation}` expects {expected} values, got {got}"),
+            RelError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on `{relation}.{column}`: expected {expected}, got {got}"
+            ),
+            RelError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in `{relation}`")
+            }
+            RelError::Duplicate(d) => write!(f, "duplicate definition `{d}`"),
+            RelError::BadForeignKey { relation, detail } => {
+                write!(f, "bad foreign key on `{relation}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,281 @@
+//! Minimal query operators over tables: selection, projection, natural
+//! join. These back the FSM-agents' local query processing (§3) and the
+//! `with att τ Const` predicates of attribute assertions.
+
+use crate::table::{Row, Table};
+use crate::RelError;
+use oo_model::Value;
+use std::cmp::Ordering;
+
+/// Comparison operator `τ ∈ {=, ≠, <, ≤, >, ≥}` (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        let ord = left.cmp(right);
+        match self {
+            Cmp::Eq => ord == Ordering::Equal,
+            Cmp::Ne => ord != Ordering::Equal,
+            Cmp::Lt => ord == Ordering::Less,
+            Cmp::Le => ord != Ordering::Greater,
+            Cmp::Gt => ord == Ordering::Greater,
+            Cmp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Cmp::Eq => "=",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        }
+    }
+}
+
+impl std::str::FromStr for Cmp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "=" | "==" => Ok(Cmp::Eq),
+            "!=" | "<>" => Ok(Cmp::Ne),
+            "<" => Ok(Cmp::Lt),
+            "<=" => Ok(Cmp::Le),
+            ">" => Ok(Cmp::Gt),
+            ">=" => Ok(Cmp::Ge),
+            other => Err(format!("unknown comparison `{other}`")),
+        }
+    }
+}
+
+/// A selection predicate: `column τ constant`.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    pub column: String,
+    pub cmp: Cmp,
+    pub constant: Value,
+}
+
+impl Predicate {
+    pub fn new(column: impl Into<String>, cmp: Cmp, constant: impl Into<Value>) -> Self {
+        Predicate {
+            column: column.into(),
+            cmp,
+            constant: constant.into(),
+        }
+    }
+}
+
+/// σ: rows of `table` satisfying all `preds`, with their tuple numbers.
+pub fn select<'a>(
+    table: &'a Table,
+    preds: &[Predicate],
+) -> Result<Vec<(u64, &'a Row)>, RelError> {
+    let idxs: Vec<(usize, &Predicate)> = preds
+        .iter()
+        .map(|p| {
+            table
+                .schema
+                .column_index(&p.column)
+                .map(|i| (i, p))
+                .ok_or_else(|| RelError::UnknownColumn {
+                    relation: table.schema.name.clone(),
+                    column: p.column.clone(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(table
+        .scan()
+        .filter(|(_, row)| idxs.iter().all(|(i, p)| p.cmp.eval(&row[*i], &p.constant)))
+        .collect())
+}
+
+/// π: project rows onto the named columns.
+pub fn project(table: &Table, columns: &[&str]) -> Result<Vec<Row>, RelError> {
+    let idxs: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            table
+                .schema
+                .column_index(c)
+                .ok_or_else(|| RelError::UnknownColumn {
+                    relation: table.schema.name.clone(),
+                    column: c.to_string(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(table
+        .scan()
+        .map(|(_, row)| idxs.iter().map(|i| row[*i].clone()).collect())
+        .collect())
+}
+
+/// ⋈: natural join on the columns the two schemas share. Returns the
+/// combined schema column names and the joined rows (shared columns once).
+pub fn natural_join(left: &Table, right: &Table) -> (Vec<String>, Vec<Row>) {
+    let shared: Vec<(usize, usize, String)> = left
+        .schema
+        .columns
+        .iter()
+        .enumerate()
+        .filter_map(|(li, lc)| {
+            right
+                .schema
+                .column_index(&lc.name)
+                .map(|ri| (li, ri, lc.name.clone()))
+        })
+        .collect();
+    let mut out_cols: Vec<String> = left.schema.columns.iter().map(|c| c.name.clone()).collect();
+    for c in &right.schema.columns {
+        if !out_cols.contains(&c.name) {
+            out_cols.push(c.name.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    for (_, lrow) in left.scan() {
+        for (_, rrow) in right.scan() {
+            if shared.iter().all(|(li, ri, _)| lrow[*li] == rrow[*ri]) {
+                let mut combined = lrow.clone();
+                for (ri, c) in right.schema.columns.iter().enumerate() {
+                    if !left.schema.columns.iter().any(|lc| lc.name == c.name) {
+                        combined.push(rrow[ri].clone());
+                    }
+                }
+                rows.push(combined);
+            }
+        }
+    }
+    (out_cols, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType, RelSchema};
+
+    fn stock_table() -> Table {
+        let mut t = Table::new(
+            RelSchema::new(
+                "stock",
+                vec![
+                    ColumnDef::new("time", ColumnType::Str),
+                    ColumnDef::new("stock-name", ColumnType::Str),
+                    ColumnDef::new("price", ColumnType::Int),
+                ],
+                ["time", "stock-name"],
+            )
+            .unwrap(),
+        );
+        for (m, s, p) in [
+            ("March", "IBM", 100),
+            ("March", "SAP", 55),
+            ("April", "IBM", 110),
+            ("April", "SAP", 50),
+        ] {
+            t.insert(vec![m.into(), s.into(), Value::Int(p)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        // The paper's `price ⊆ stock.price with time = 'March'` selection.
+        let t = stock_table();
+        let rows = select(&t, &[Predicate::new("time", Cmp::Eq, "March")]).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = select(
+            &t,
+            &[
+                Predicate::new("time", Cmp::Eq, "March"),
+                Predicate::new("price", Cmp::Gt, Value::Int(60)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Value::str("IBM"));
+    }
+
+    #[test]
+    fn select_unknown_column_errors() {
+        let t = stock_table();
+        assert!(select(&t, &[Predicate::new("ghost", Cmp::Eq, 1i64)]).is_err());
+    }
+
+    #[test]
+    fn project_columns() {
+        let t = stock_table();
+        let rows = project(&t, &["stock-name", "price"]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![Value::str("IBM"), Value::Int(100)]);
+        assert!(project(&t, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn all_comparison_operators() {
+        let one = Value::Int(1);
+        let two = Value::Int(2);
+        assert!(Cmp::Eq.eval(&one, &one));
+        assert!(Cmp::Ne.eval(&one, &two));
+        assert!(Cmp::Lt.eval(&one, &two));
+        assert!(Cmp::Le.eval(&one, &one));
+        assert!(Cmp::Gt.eval(&two, &one));
+        assert!(Cmp::Ge.eval(&two, &two));
+        assert!(!Cmp::Lt.eval(&two, &one));
+    }
+
+    #[test]
+    fn cmp_parses() {
+        assert_eq!("<=".parse::<Cmp>().unwrap(), Cmp::Le);
+        assert_eq!("<>".parse::<Cmp>().unwrap(), Cmp::Ne);
+        assert!("~".parse::<Cmp>().is_err());
+    }
+
+    #[test]
+    fn natural_join_on_shared_column() {
+        let mut names = Table::new(
+            RelSchema::new(
+                "companies",
+                vec![
+                    ColumnDef::new("stock-name", ColumnType::Str),
+                    ColumnDef::new("hq", ColumnType::Str),
+                ],
+                ["stock-name"],
+            )
+            .unwrap(),
+        );
+        names
+            .insert(vec!["IBM".into(), "Armonk".into()])
+            .unwrap();
+        let t = stock_table();
+        let (cols, rows) = natural_join(&t, &names);
+        assert_eq!(cols, vec!["time", "stock-name", "price", "hq"]);
+        assert_eq!(rows.len(), 2); // IBM appears in March and April
+        assert!(rows.iter().all(|r| r[1] == Value::str("IBM")));
+    }
+
+    #[test]
+    fn join_with_no_shared_columns_is_cross_product() {
+        let mut a = Table::new(
+            RelSchema::new("a", vec![ColumnDef::new("x", ColumnType::Int)], ["x"]).unwrap(),
+        );
+        let mut b = Table::new(
+            RelSchema::new("b", vec![ColumnDef::new("y", ColumnType::Int)], ["y"]).unwrap(),
+        );
+        a.insert(vec![Value::Int(1)]).unwrap();
+        a.insert(vec![Value::Int(2)]).unwrap();
+        b.insert(vec![Value::Int(3)]).unwrap();
+        let (_, rows) = natural_join(&a, &b);
+        assert_eq!(rows.len(), 2);
+    }
+}

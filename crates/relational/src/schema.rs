@@ -1,0 +1,273 @@
+//! Relation schemas: typed columns, a primary key, and foreign keys.
+//!
+//! Foreign keys are what the relational→OO transformation (ref \[6\] of the
+//! paper) turns into aggregation functions, and shared primary keys into
+//! is-a links.
+
+use crate::RelError;
+use oo_model::Value;
+use std::fmt;
+
+/// Column types supported by component databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Bool,
+    Int,
+    Real,
+    Char,
+    Str,
+    Date,
+}
+
+impl ColumnType {
+    /// Does `v` conform to this column type (`Null` always conforms)?
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (ColumnType::Bool, Value::Bool(_)) => true,
+            (ColumnType::Int, Value::Int(_)) => true,
+            (ColumnType::Real, Value::Real(_) | Value::Int(_)) => true,
+            (ColumnType::Char, Value::Char(_)) => true,
+            (ColumnType::Str, Value::Str(_)) => true,
+            (ColumnType::Date, Value::Date(_)) => true,
+            _ => false,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColumnType::Bool => "boolean",
+            ColumnType::Int => "integer",
+            ColumnType::Real => "real",
+            ColumnType::Char => "character",
+            ColumnType::Str => "string",
+            ColumnType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A foreign key: local columns referencing the primary key of `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub columns: Vec<String>,
+    pub target: String,
+}
+
+impl ForeignKey {
+    pub fn new<I, S>(columns: I, target: impl Into<String>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ForeignKey {
+            columns: columns.into_iter().map(Into::into).collect(),
+            target: target.into(),
+        }
+    }
+}
+
+/// The schema of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub primary_key: Vec<String>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl RelSchema {
+    /// Construct and sanity-check a relation schema.
+    pub fn new<I, S>(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: I,
+    ) -> Result<Self, RelError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let name = name.into();
+        let primary_key: Vec<String> = primary_key.into_iter().map(Into::into).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &columns {
+            if !seen.insert(&c.name) {
+                return Err(RelError::Duplicate(format!("{name}.{}", c.name)));
+            }
+        }
+        for k in &primary_key {
+            if !columns.iter().any(|c| &c.name == k) {
+                return Err(RelError::UnknownColumn {
+                    relation: name,
+                    column: k.clone(),
+                });
+            }
+        }
+        Ok(RelSchema {
+            name,
+            columns,
+            primary_key,
+            foreign_keys: Vec::new(),
+        })
+    }
+
+    /// Attach a foreign key (validated against local columns; the target
+    /// relation is validated at the database level).
+    pub fn with_foreign_key(mut self, fk: ForeignKey) -> Result<Self, RelError> {
+        for c in &fk.columns {
+            if self.column_index(c).is_none() {
+                return Err(RelError::UnknownColumn {
+                    relation: self.name.clone(),
+                    column: c.clone(),
+                });
+            }
+        }
+        if fk.columns.is_empty() {
+            return Err(RelError::BadForeignKey {
+                relation: self.name.clone(),
+                detail: "empty column list".into(),
+            });
+        }
+        self.foreign_keys.push(fk);
+        Ok(self)
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Is `cols` exactly the primary key (order-insensitive)?
+    pub fn is_primary_key(&self, cols: &[String]) -> bool {
+        let mut a: Vec<&String> = cols.iter().collect();
+        let mut b: Vec<&String> = self.primary_key.iter().collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let pk = if self.primary_key.contains(&c.name) {
+                "*"
+            } else {
+                ""
+            };
+            write!(f, "{pk}{}: {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patients() -> RelSchema {
+        RelSchema::new(
+            "patient-records",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("ward", ColumnType::Str),
+            ],
+            ["id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let s = patients();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("name"), Some(1));
+        assert!(s.column("ghost").is_none());
+        assert!(s.is_primary_key(&["id".to_string()]));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = RelSchema::new(
+            "r",
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Str),
+            ],
+            Vec::<String>::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelError::Duplicate(_)));
+    }
+
+    #[test]
+    fn pk_must_exist() {
+        let err = RelSchema::new("r", vec![ColumnDef::new("a", ColumnType::Int)], ["b"]).unwrap_err();
+        assert!(matches!(err, RelError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn foreign_key_validation() {
+        let s = patients();
+        assert!(s
+            .clone()
+            .with_foreign_key(ForeignKey::new(["ward"], "wards"))
+            .is_ok());
+        assert!(s
+            .clone()
+            .with_foreign_key(ForeignKey::new(["ghost"], "wards"))
+            .is_err());
+        assert!(s
+            .with_foreign_key(ForeignKey::new(Vec::<String>::new(), "wards"))
+            .is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            patients().to_string(),
+            "patient-records(*id: integer, name: string, ward: string)"
+        );
+    }
+
+    #[test]
+    fn column_types_admit() {
+        assert!(ColumnType::Int.admits(&Value::Int(1)));
+        assert!(ColumnType::Int.admits(&Value::Null));
+        assert!(!ColumnType::Int.admits(&Value::str("x")));
+        assert!(ColumnType::Real.admits(&Value::Int(1)));
+    }
+}

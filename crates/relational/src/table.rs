@@ -1,0 +1,253 @@
+//! Tables: typed rows with primary-key enforcement and the stable tuple
+//! numbering that federated OID assignment (§3) relies on.
+
+use crate::schema::RelSchema;
+use crate::RelError;
+use oo_model::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A row (tuple) of values, positionally matching the relation's columns.
+pub type Row = Vec<Value>;
+
+/// A table: a relation schema plus its rows.
+///
+/// Rows keep their insertion number forever (1-based, per the paper's
+/// "number the tuples of a relation in the normal way") so federated OIDs
+/// stay stable even if other tuples are deleted.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: RelSchema,
+    rows: BTreeMap<u64, Row>,
+    next_number: u64,
+}
+
+impl Table {
+    pub fn new(schema: RelSchema) -> Self {
+        Table {
+            rows: BTreeMap::new(),
+            next_number: 1,
+            schema,
+        }
+    }
+
+    /// Insert a row, enforcing arity, column types and primary-key
+    /// uniqueness. Returns the tuple number.
+    pub fn insert(&mut self, row: Row) -> Result<u64, RelError> {
+        if row.len() != self.schema.arity() {
+            return Err(RelError::Arity {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in self.schema.columns.iter().zip(&row) {
+            if !col.ty.admits(v) {
+                return Err(RelError::TypeMismatch {
+                    relation: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty.name().to_string(),
+                    got: v.type_name().to_string(),
+                });
+            }
+        }
+        if !self.schema.primary_key.is_empty() {
+            let key = self.key_of(&row);
+            if self.rows.values().any(|r| self.key_of(r) == key) {
+                return Err(RelError::DuplicateKey {
+                    relation: self.schema.name.clone(),
+                    key: format!("{key:?}"),
+                });
+            }
+        }
+        let n = self.next_number;
+        self.next_number += 1;
+        self.rows.insert(n, row);
+        Ok(n)
+    }
+
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.schema
+            .primary_key
+            .iter()
+            .filter_map(|k| self.schema.column_index(k))
+            .map(|i| row[i].clone())
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(tuple_number, row)` in tuple-number order.
+    pub fn scan(&self) -> impl Iterator<Item = (u64, &Row)> {
+        self.rows.iter().map(|(n, r)| (*n, r))
+    }
+
+    /// The row with the given tuple number.
+    pub fn row(&self, number: u64) -> Option<&Row> {
+        self.rows.get(&number)
+    }
+
+    /// Value of `column` in the numbered row.
+    pub fn value(&self, number: u64, column: &str) -> Result<&Value, RelError> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelError::UnknownColumn {
+                relation: self.schema.name.clone(),
+                column: column.to_string(),
+            })?;
+        self.rows
+            .get(&number)
+            .map(|r| &r[idx])
+            .ok_or_else(|| RelError::UnknownRelation(format!("{}#{}", self.schema.name, number)))
+    }
+
+    /// Find the tuple number whose primary key equals `key`.
+    pub fn lookup_key(&self, key: &[Value]) -> Option<u64> {
+        if self.schema.primary_key.is_empty() {
+            return None;
+        }
+        self.rows
+            .iter()
+            .find(|(_, r)| self.key_of(r) == key)
+            .map(|(n, _)| *n)
+    }
+
+    /// Find the tuple number whose named columns equal `values`
+    /// (used to resolve foreign keys during transformation).
+    pub fn lookup(&self, columns: &[String], values: &[Value]) -> Option<u64> {
+        let idxs: Vec<usize> = columns
+            .iter()
+            .filter_map(|c| self.schema.column_index(c))
+            .collect();
+        if idxs.len() != columns.len() {
+            return None;
+        }
+        self.rows
+            .iter()
+            .find(|(_, r)| idxs.iter().zip(values).all(|(i, v)| &r[*i] == v))
+            .map(|(n, _)| *n)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (n, row) in self.scan() {
+            write!(f, "  #{n}: (")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn table() -> Table {
+        Table::new(
+            RelSchema::new(
+                "stock",
+                vec![
+                    ColumnDef::new("time", ColumnType::Str),
+                    ColumnDef::new("stock-name", ColumnType::Str),
+                    ColumnDef::new("price", ColumnType::Int),
+                ],
+                ["time", "stock-name"],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_scan_and_number() {
+        let mut t = table();
+        let n1 = t
+            .insert(vec!["March".into(), "IBM".into(), Value::Int(100)])
+            .unwrap();
+        let n2 = t
+            .insert(vec!["April".into(), "IBM".into(), Value::Int(110)])
+            .unwrap();
+        assert_eq!((n1, n2), (1, 2));
+        assert_eq!(t.len(), 2);
+        let rows: Vec<u64> = t.scan().map(|(n, _)| n).collect();
+        assert_eq!(rows, vec![1, 2]);
+    }
+
+    #[test]
+    fn arity_and_type_enforced() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(vec!["March".into()]),
+            Err(RelError::Arity { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec!["March".into(), "IBM".into(), "oops".into()]),
+            Err(RelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut t = table();
+        t.insert(vec!["March".into(), "IBM".into(), Value::Int(100)])
+            .unwrap();
+        assert!(matches!(
+            t.insert(vec!["March".into(), "IBM".into(), Value::Int(999)]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        // different key is fine
+        t.insert(vec!["March".into(), "SAP".into(), Value::Int(50)])
+            .unwrap();
+    }
+
+    #[test]
+    fn value_access() {
+        let mut t = table();
+        let n = t
+            .insert(vec!["March".into(), "IBM".into(), Value::Int(100)])
+            .unwrap();
+        assert_eq!(t.value(n, "price").unwrap(), &Value::Int(100));
+        assert!(t.value(n, "ghost").is_err());
+        assert!(t.value(99, "price").is_err());
+    }
+
+    #[test]
+    fn key_lookup() {
+        let mut t = table();
+        let n = t
+            .insert(vec!["March".into(), "IBM".into(), Value::Int(100)])
+            .unwrap();
+        assert_eq!(
+            t.lookup_key(&["March".into(), "IBM".into()]),
+            Some(n)
+        );
+        assert_eq!(t.lookup_key(&["May".into(), "IBM".into()]), None);
+        assert_eq!(
+            t.lookup(&["stock-name".into()], &["IBM".into()]),
+            Some(n)
+        );
+        assert_eq!(t.lookup(&["ghost".into()], &["IBM".into()]), None);
+    }
+
+    #[test]
+    fn null_admitted_everywhere() {
+        let mut t = table();
+        t.insert(vec!["May".into(), "X".into(), Value::Null]).unwrap();
+    }
+}

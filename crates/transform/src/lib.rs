@@ -1,0 +1,382 @@
+//! # fedoo-transform
+//!
+//! Rule-based transformation of a relational component database into an
+//! object-oriented schema plus instances — the schema-translation step the
+//! FSM-agents perform before integration (§3 of the paper; the rule-based
+//! strategy is the authors' companion work, reference \[6\]).
+//!
+//! Transformation rules:
+//!
+//! * **T1 — relation → class**: every relation becomes a class; columns
+//!   become typed attributes.
+//! * **T2 — foreign key → aggregation function**: a foreign key referencing
+//!   the primary key of another relation becomes an aggregation function
+//!   toward that relation's class, named `ref_<target>`, with cardinality
+//!   `[m:1]`. The foreign-key columns are dropped from the attribute list.
+//! * **T3 — shared primary key → is-a**: a relation whose primary key is
+//!   also a foreign key to another relation becomes a subclass of that
+//!   relation (the standard vertical-partitioning encoding); the key
+//!   columns stay (they are the identity).
+//! * **T4 — tuple → object**: each tuple becomes an object identified by
+//!   the federated OID `<agent>.<dbms>.<db>.<relation>.<n>` (§3), its
+//!   foreign-key values resolved to target OIDs as aggregation instances.
+
+pub mod report;
+
+use oo_model::{
+    AggDef, AttrDef, AttrType, Cardinality, Class, ClassType, InstanceStore, ModelError, Object,
+    Oid, Schema,
+};
+use relational::{ColumnType, Database};
+pub use report::{AppliedRule, TransformReport};
+
+use std::fmt;
+
+/// Transformation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    Model(ModelError),
+    Relational(String),
+    /// A foreign key references a tuple that does not exist.
+    DanglingReference { relation: String, tuple: u64, target: String },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Model(e) => write!(f, "{e}"),
+            TransformError::Relational(e) => write!(f, "{e}"),
+            TransformError::DanglingReference {
+                relation,
+                tuple,
+                target,
+            } => write!(
+                f,
+                "tuple #{tuple} of `{relation}` references a missing `{target}` tuple"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<ModelError> for TransformError {
+    fn from(e: ModelError) -> Self {
+        TransformError::Model(e)
+    }
+}
+
+fn column_to_attr_type(ty: ColumnType) -> AttrType {
+    match ty {
+        ColumnType::Bool => AttrType::Bool,
+        ColumnType::Int => AttrType::Int,
+        ColumnType::Real => AttrType::Real,
+        ColumnType::Char => AttrType::Char,
+        ColumnType::Str => AttrType::Str,
+        ColumnType::Date => AttrType::Date,
+    }
+}
+
+/// The output of a transformation: OO schema, instances, and the rule
+/// application report.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    pub schema: Schema,
+    pub store: InstanceStore,
+    pub report: TransformReport,
+}
+
+/// Transform a relational database hosted at `agent` into an OO schema
+/// named `schema_name`, with federated OIDs.
+pub fn transform(
+    agent: &str,
+    db: &Database,
+    schema_name: &str,
+) -> Result<Transformed, TransformError> {
+    let mut schema = Schema::new(schema_name);
+    let mut report = TransformReport::new();
+
+    // T1-T3: relation schemas → classes, FKs → aggregations/is-a.
+    let mut isa_links: Vec<(String, String)> = Vec::new();
+    for table in db.tables() {
+        let rel = &table.schema;
+        let mut ty = ClassType::new();
+        // Which columns are consumed by foreign keys?
+        let mut fk_columns: Vec<&str> = Vec::new();
+        for fk in &rel.foreign_keys {
+            if rel.is_primary_key(&fk.columns) {
+                // T3: subclass encoding; key columns stay as identity.
+                isa_links.push((rel.name.clone(), fk.target.clone()));
+                report.push(AppliedRule::SharedKeyIsa {
+                    sub: rel.name.clone(),
+                    sup: fk.target.clone(),
+                });
+                continue;
+            }
+            fk_columns.extend(fk.columns.iter().map(String::as_str));
+            let agg_name = format!("ref_{}", fk.target);
+            ty.push_aggregation(AggDef::new(
+                agg_name.clone(),
+                fk.target.as_str(),
+                Cardinality::M_ONE,
+            ))?;
+            report.push(AppliedRule::ForeignKeyAggregation {
+                relation: rel.name.clone(),
+                agg: agg_name,
+                target: fk.target.clone(),
+            });
+        }
+        for col in &rel.columns {
+            if fk_columns.contains(&col.name.as_str()) {
+                continue;
+            }
+            ty.push_attribute(AttrDef::new(col.name.clone(), column_to_attr_type(col.ty)))?;
+        }
+        schema.add_class(Class::new(rel.name.as_str(), ty))?;
+        report.push(AppliedRule::RelationClass {
+            relation: rel.name.clone(),
+        });
+    }
+    for (sub, sup) in isa_links {
+        schema.add_isa(sub.as_str(), sup.as_str())?;
+    }
+    schema.validate()?;
+
+    // T4: tuples → objects with federated OIDs.
+    let mut store = InstanceStore::new();
+    for table in db.tables() {
+        let rel = &table.schema;
+        let class = schema
+            .class_named(&rel.name)
+            .expect("class created above")
+            .clone();
+        for (n, row) in table.scan() {
+            let oid = Oid::federated(agent, &db.dbms, &db.name, &rel.name, n);
+            let mut obj = Object::new(oid, rel.name.as_str());
+            for attr in &class.ty.attributes {
+                if let Some(idx) = rel.column_index(&attr.name) {
+                    obj.set_attr(attr.name.clone(), row[idx].clone());
+                }
+            }
+            for fk in &rel.foreign_keys {
+                if rel.is_primary_key(&fk.columns) {
+                    continue; // is-a encoding, no aggregation instance
+                }
+                let values: Vec<oo_model::Value> = fk
+                    .columns
+                    .iter()
+                    .filter_map(|c| rel.column_index(c))
+                    .map(|i| row[i].clone())
+                    .collect();
+                if values.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                let target = db
+                    .table(&fk.target)
+                    .map_err(|e| TransformError::Relational(e.to_string()))?;
+                let target_n = target.lookup_key(&values).ok_or_else(|| {
+                    TransformError::DanglingReference {
+                        relation: rel.name.clone(),
+                        tuple: n,
+                        target: fk.target.clone(),
+                    }
+                })?;
+                let target_oid = Oid::federated(agent, &db.dbms, &db.name, &fk.target, target_n);
+                obj.add_agg(format!("ref_{}", fk.target), target_oid);
+            }
+            store.insert(&schema, obj)?;
+            report.tuples += 1;
+        }
+    }
+    Ok(Transformed {
+        schema,
+        store,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::Value;
+    use relational::{ColumnDef, ForeignKey, RelSchema};
+
+    fn hospital() -> Database {
+        let mut db = Database::new("informix", "PatientDB");
+        db.create_table(
+            RelSchema::new(
+                "wards",
+                vec![
+                    ColumnDef::new("wid", ColumnType::Str),
+                    ColumnDef::new("floor", ColumnType::Int),
+                ],
+                ["wid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            RelSchema::new(
+                "patient-records",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::new("name", ColumnType::Str),
+                    ColumnDef::new("ward", ColumnType::Str),
+                ],
+                ["id"],
+            )
+            .unwrap()
+            .with_foreign_key(ForeignKey::new(["ward"], "wards"))
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        db.insert(
+            "patient-records",
+            vec![Value::Int(5), "Ann".into(), "W1".into()],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn t1_relations_become_classes() {
+        let t = transform("FSM-agent1", &hospital(), "S1").unwrap();
+        assert!(t.schema.class_named("wards").is_some());
+        assert!(t.schema.class_named("patient-records").is_some());
+    }
+
+    #[test]
+    fn t2_fk_becomes_aggregation() {
+        let t = transform("FSM-agent1", &hospital(), "S1").unwrap();
+        let patients = t.schema.class_named("patient-records").unwrap();
+        let agg = patients.ty.aggregation("ref_wards").unwrap();
+        assert_eq!(agg.range.as_str(), "wards");
+        assert_eq!(agg.cc, Cardinality::M_ONE);
+        // the fk column is consumed
+        assert!(patients.ty.attribute("ward").is_none());
+        assert!(patients.ty.attribute("name").is_some());
+    }
+
+    #[test]
+    fn t3_shared_pk_becomes_isa() {
+        let mut db = Database::new("informix", "UniDB");
+        db.create_table(
+            RelSchema::new(
+                "person",
+                vec![
+                    ColumnDef::new("ssn", ColumnType::Str),
+                    ColumnDef::new("name", ColumnType::Str),
+                ],
+                ["ssn"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            RelSchema::new(
+                "student",
+                vec![
+                    ColumnDef::new("ssn", ColumnType::Str),
+                    ColumnDef::new("gpa", ColumnType::Real),
+                ],
+                ["ssn"],
+            )
+            .unwrap()
+            .with_foreign_key(ForeignKey::new(["ssn"], "person"))
+            .unwrap(),
+        )
+        .unwrap();
+        let t = transform("a1", &db, "S1").unwrap();
+        assert!(t
+            .schema
+            .is_subclass_of(&"student".into(), &"person".into()));
+        // is-a keeps the key attribute
+        assert!(t
+            .schema
+            .class_named("student")
+            .unwrap()
+            .ty
+            .attribute("ssn")
+            .is_some());
+    }
+
+    #[test]
+    fn t4_tuples_become_objects_with_federated_oids() {
+        let t = transform("FSM-agent1", &hospital(), "S1").unwrap();
+        let oid: Oid = "FSM-agent1.informix.PatientDB.patient-records.1"
+            .parse()
+            .unwrap();
+        let obj = t.store.get(&oid).expect("patient object");
+        assert_eq!(obj.attr("name"), &Value::str("Ann"));
+        // aggregation instance resolves to the ward's OID
+        let ward_oid: Oid = "FSM-agent1.informix.PatientDB.wards.1".parse().unwrap();
+        assert_eq!(obj.agg("ref_wards"), &[ward_oid.clone()]);
+        assert!(t.store.get(&ward_oid).is_some());
+        assert_eq!(t.report.tuples, 2);
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let mut db = hospital();
+        db.insert(
+            "patient-records",
+            vec![Value::Int(6), "Bob".into(), "W9".into()],
+        )
+        .unwrap();
+        let err = transform("a1", &db, "S1").unwrap_err();
+        assert!(matches!(err, TransformError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn null_fk_skipped() {
+        let mut db = hospital();
+        db.insert(
+            "patient-records",
+            vec![Value::Int(6), "Bob".into(), Value::Null],
+        )
+        .unwrap();
+        let t = transform("a1", &db, "S1").unwrap();
+        let oid: Oid = "a1.informix.PatientDB.patient-records.2".parse().unwrap();
+        assert!(t.store.get(&oid).unwrap().agg("ref_wards").is_empty());
+    }
+
+    #[test]
+    fn report_lists_rules() {
+        let t = transform("a1", &hospital(), "S1").unwrap();
+        let text = t.report.to_string();
+        assert!(text.contains("relation `wards` → class"));
+        assert!(text.contains("aggregation `ref_wards`"));
+    }
+
+    #[test]
+    fn instances_respect_isa_extent() {
+        let mut db = Database::new("ifx", "UniDB");
+        db.create_table(
+            RelSchema::new(
+                "person",
+                vec![ColumnDef::new("ssn", ColumnType::Str)],
+                ["ssn"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            RelSchema::new(
+                "student",
+                vec![ColumnDef::new("ssn", ColumnType::Str)],
+                ["ssn"],
+            )
+            .unwrap()
+            .with_foreign_key(ForeignKey::new(["ssn"], "person"))
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("person", vec!["p1".into()]).unwrap();
+        db.insert("student", vec!["s1".into()]).unwrap();
+        let t = transform("a1", &db, "S1").unwrap();
+        // extent(person) includes the student instance
+        assert_eq!(t.store.extent(&t.schema, &"person".into()).len(), 2);
+        assert_eq!(t.store.direct_extent(&"person".into()).len(), 1);
+    }
+}

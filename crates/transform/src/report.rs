@@ -1,0 +1,88 @@
+//! Transformation report: which rules fired, for audit and tests.
+
+use std::fmt;
+
+/// One applied transformation rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppliedRule {
+    /// T1: a relation became a class.
+    RelationClass { relation: String },
+    /// T2: a foreign key became an aggregation function.
+    ForeignKeyAggregation {
+        relation: String,
+        agg: String,
+        target: String,
+    },
+    /// T3: a shared primary key became an is-a link.
+    SharedKeyIsa { sub: String, sup: String },
+}
+
+impl fmt::Display for AppliedRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppliedRule::RelationClass { relation } => {
+                write!(f, "T1: relation `{relation}` → class `{relation}`")
+            }
+            AppliedRule::ForeignKeyAggregation {
+                relation,
+                agg,
+                target,
+            } => write!(
+                f,
+                "T2: `{relation}` foreign key → aggregation `{agg}` → `{target}`"
+            ),
+            AppliedRule::SharedKeyIsa { sub, sup } => {
+                write!(f, "T3: shared key → is_a({sub}, {sup})")
+            }
+        }
+    }
+}
+
+/// The full transformation report.
+#[derive(Debug, Clone, Default)]
+pub struct TransformReport {
+    pub rules: Vec<AppliedRule>,
+    /// Number of tuples converted to objects (T4 applications).
+    pub tuples: u64,
+}
+
+impl TransformReport {
+    pub fn new() -> Self {
+        TransformReport::default()
+    }
+
+    pub fn push(&mut self, rule: AppliedRule) {
+        self.rules.push(rule);
+    }
+}
+
+impl fmt::Display for TransformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "T4: {} tuples → objects", self.tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let mut rep = TransformReport::new();
+        rep.push(AppliedRule::RelationClass {
+            relation: "wards".into(),
+        });
+        rep.push(AppliedRule::SharedKeyIsa {
+            sub: "student".into(),
+            sup: "person".into(),
+        });
+        rep.tuples = 3;
+        let s = rep.to_string();
+        assert!(s.contains("T1: relation `wards`"));
+        assert!(s.contains("is_a(student, person)"));
+        assert!(s.contains("3 tuples"));
+    }
+}

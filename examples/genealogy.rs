@@ -1,0 +1,108 @@
+//! Genealogy: the paper's running motivation (Examples 3 & 9, Appendix B).
+//!
+//! Schema S1 knows `parent` and `brother`; S2 knows `uncle`. The derivation
+//! assertion `S1(parent, brother) → S2•uncle` lets a query about uncles
+//! take S1 into account — the integration generates the derivation rule,
+//! and the federated evaluation of Appendix B answers `?-uncle(John, y)`
+//! across both components.
+//!
+//! Run with `cargo run -p fedoo --example genealogy`.
+
+use fedoo::deduction::federated::{AnnotatedProgram, MapProvider};
+use fedoo::prelude::*;
+
+fn main() {
+    // ── Fig. 5's two simplified schemas ─────────────────────────────────
+    let s1 = SchemaBuilder::new("S1")
+        .class("parent", |c| {
+            c.attr("Pssn#", AttrType::Str)
+                .set_attr("children", AttrType::Str)
+        })
+        .class("brother", |c| {
+            c.attr("Bssn#", AttrType::Str)
+                .set_attr("brothers", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .class("uncle", |c| {
+            c.attr("Ussn#", AttrType::Str)
+                .set_attr("niece_nephew", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+
+    // ── The derivation assertion of Example 3 ───────────────────────────
+    let text = r#"
+        assert S1(parent, brother) -> S2.uncle {
+            value S1: parent.Pssn# in brother.brothers;
+            attr S1.brother.Bssn# == S2.uncle.Ussn#;
+            attr S1.parent.children >= S2.uncle.niece_nephew;
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    println!("=== Derivation assertion ===\n{}\n", set.iter().next().unwrap());
+
+    // ── The assertion graph of Fig. 11(a) ───────────────────────────────
+    let assertion = set.iter().next().unwrap();
+    let graph = fedoo::core::principles::derivation::build_assertion_graph(assertion);
+    println!("=== Assertion graph (Fig. 11(a)) ===\n{}", graph.render());
+
+    // ── Integration generates the Example 9 rule ────────────────────────
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    println!("=== Generated rules ===");
+    for rule in &run.output.rules {
+        println!("{rule}");
+    }
+
+    // ── Appendix B: federated evaluation of ?-uncle(John, y) ────────────
+    // Annotated program: rules (1)-(6) of the appendix.
+    let v = Term::var;
+    let mut prog = AnnotatedProgram::new();
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        ["S2"],
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Vec::<String>::new(),
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+        ["S2"],
+    );
+    for (name, schema) in [("mother", "S1"), ("father", "S1"), ("brother", "S2")] {
+        prog.add(
+            Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]),
+            [schema],
+        );
+    }
+    // Component extensions.
+    let mut provider = MapProvider::new();
+    provider.add("S1", "mother", vec!["John".into(), "Mary".into()]);
+    provider.add("S1", "father", vec!["John".into(), "Jim".into()]);
+    provider.add("S2", "brother", vec!["Mary".into(), "Bob".into()]);
+    provider.add("S2", "brother", vec!["Jim".into(), "Tom".into()]);
+    provider.add("S2", "uncle", vec!["Sue".into(), "Max".into()]);
+
+    let query = Pred::new("uncle", [Term::val("John"), Term::var("y")]);
+    let answers = prog.evaluate(&query, &provider).unwrap();
+    println!("\n=== ?-uncle(John, y) ===");
+    for t in &answers {
+        println!("uncle({}, {})", t[0], t[1]);
+    }
+    assert_eq!(answers.len(), 2, "Bob and Tom are John's uncles");
+    println!("\nok.");
+}

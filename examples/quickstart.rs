@@ -1,0 +1,84 @@
+//! Quickstart: integrate two small OO schemas (the Fig. 4(a) person/human
+//! correspondence), inspect the merged class, and query the federation.
+//!
+//! Run with `cargo run -p fedoo --example quickstart`.
+
+use fedoo::prelude::*;
+
+fn main() {
+    // ── Two local schemas ───────────────────────────────────────────────
+    let s1 = SchemaBuilder::new("S1")
+        .class("person", |c| {
+            c.attr("ssn#", AttrType::Str)
+                .attr("full_name", AttrType::Str)
+                .attr("city", AttrType::Str)
+                .set_attr("interests", AttrType::Str)
+        })
+        .build()
+        .expect("S1 builds");
+    let s2 = SchemaBuilder::new("S2")
+        .class("human", |c| {
+            c.attr("ssn#", AttrType::Str)
+                .attr("name", AttrType::Str)
+                .attr("street-number", AttrType::Str)
+                .set_attr("hobby", AttrType::Str)
+        })
+        .build()
+        .expect("S2 builds");
+    println!("=== Local schemas ===\n{s1}\n{s2}\n");
+
+    // ── The Fig. 4(a) assertion, in the textual syntax ──────────────────
+    let text = r#"
+        assert S1.person == S2.human {
+            attr S1.person.ssn# == S2.human.ssn#;
+            attr S1.person.full_name == S2.human.name;
+            attr S1.person.city compose(address) S2.human.street-number;
+            attr S1.person.interests >= S2.human.hobby;
+        }
+    "#;
+    let parsed = parse_assertions(text).expect("assertions parse");
+    println!("=== Assertions ===");
+    for a in &parsed {
+        println!("{a}\n");
+    }
+    let set = AssertionSet::build(parsed).expect("consistent assertion set");
+
+    // ── Integrate with the paper's optimized algorithm ──────────────────
+    let run = schema_integration(&s1, &s2, &set).expect("integration succeeds");
+    println!("=== Integrated schema ===\n{}\n", run.output);
+    println!("=== Statistics ===\n{}\n", run.stats);
+
+    // Example 6's merged type:
+    let person = run.output.class("person").expect("merged person exists");
+    println!("type(person) = {}", person.type_display());
+
+    // ── Query through the federation ────────────────────────────────────
+    let mut store1 = InstanceStore::new();
+    store1
+        .create(&s1, "person", |o| {
+            o.with_attr("ssn#", "123")
+                .with_attr("full_name", "Ann Smith")
+                .with_attr("city", "Darmstadt")
+        })
+        .unwrap();
+    let mut store2 = InstanceStore::new();
+    store2
+        .create(&s2, "human", |o| {
+            o.with_attr("ssn#", "456")
+                .with_attr("name", "Bob Jones")
+                .with_attr("street-number", "Dolivostr. 15")
+        })
+        .unwrap();
+
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("FSM-agent1", s1, store1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("FSM-agent2", s2, store2), "S2")
+        .unwrap();
+    fsm.add_assertions_text(text).unwrap();
+    let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let names = client.attr_values("person", "full_name").unwrap();
+    println!("\nglobal query: person.full_name = {names:?}");
+    assert_eq!(names.len(), 2);
+    println!("\nok.");
+}

@@ -1,0 +1,117 @@
+//! Stock market & cars: schematic discrepancies (Example 5 / Figs. 7, 9,
+//! 10, 11(b)) and `with att τ Const` inclusion assertions (§4.1's
+//! stock-in-March-April example).
+//!
+//! In S1, `car₁` stores one instance per month *and car*; in S2, `car₂`
+//! has one *attribute per car* — an attribute value in one database is an
+//! attribute name in the other. The derivation assertion with a
+//! quoted-name correspondence captures this, decomposition splits it per
+//! column, and rule generation produces Example 10's rules with the
+//! hyperedge predicate `y₂ = car-name₁`.
+//!
+//! Run with `cargo run -p fedoo --example stockmarket`.
+
+use fedoo::assertions::decompose_derivation;
+use fedoo::core::principles::derivation::{build_assertion_graph, derive_rule};
+use fedoo::prelude::*;
+
+fn main() {
+    // ── Example 5's two schemas ─────────────────────────────────────────
+    let n_cars = 3;
+    let s1 = SchemaBuilder::new("S1")
+        .class("car1", |c| {
+            c.attr("time", AttrType::Str)
+                .attr("car-name", AttrType::Str)
+                .attr("price", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut b2 = SchemaBuilder::new("S2");
+    b2 = b2.class("car2", |mut c| {
+        c = c.attr("time", AttrType::Str);
+        for i in 1..=n_cars {
+            c = c.attr(format!("car-name{i}"), AttrType::Int);
+        }
+        c
+    });
+    let s2 = b2.build().unwrap();
+    println!("=== Example 5: schematic discrepancy ===\n{s1}\n{s2}\n");
+
+    // ── Fig. 7(b): S2•car2 → S1•car1 with per-column with-predicates ────
+    let mut a = ClassAssertion::derivation("S2", ["car2"], "S1", "car1");
+    a.attr_corrs.push(AttrCorr::new(
+        SPath::attr("S2", "car2", "time"),
+        AttrOp::Equiv,
+        SPath::attr("S1", "car1", "time"),
+    ));
+    for i in 1..=n_cars {
+        a.attr_corrs.push(
+            AttrCorr::new(
+                SPath::attr("S2", "car2", format!("car-name{i}")),
+                AttrOp::Incl,
+                SPath::attr("S1", "car1", "price"),
+            )
+            .with(WithPred {
+                attr: SPath::attr("S1", "car1", "car-name"),
+                tau: Tau::Eq,
+                constant: Value::str(format!("car-name{i}")),
+            }),
+        );
+    }
+    println!("=== Fig. 7(b) assertion ===\n{a}\n");
+
+    // ── Fig. 10: decomposition, one piece per column ────────────────────
+    let pieces = decompose_derivation(&a);
+    println!("=== Fig. 10: {} decomposed assertions ===", pieces.len());
+    for p in &pieces {
+        println!("{p}\n");
+    }
+    assert_eq!(pieces.len(), n_cars);
+
+    // ── Fig. 11(b) graphs and Example 10 rules ──────────────────────────
+    println!("=== Example 10: generated rules ===");
+    for piece in &pieces {
+        let graph = build_assertion_graph(piece);
+        let rule = derive_rule(piece, &graph, |s, c| format!("IS({s}•{c})"));
+        println!("{rule}");
+    }
+
+    // ── §4.1: the stock / stock-in-March-April with-predicates ──────────
+    let stock1 = SchemaBuilder::new("S1")
+        .class("stock-in-March-April", |c| {
+            c.attr("stock-name", AttrType::Str)
+                .attr("price-in-March", AttrType::Int)
+                .attr("price-in-April", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let stock2 = SchemaBuilder::new("S2")
+        .class("stock", |c| {
+            c.attr("time", AttrType::Str)
+                .attr("stock-name", AttrType::Str)
+                .attr("price", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let text = r#"
+        assert S1.stock-in-March-April <= S2.stock {
+            attr S1.stock-in-March-April.price-in-March <= S2.stock.price
+                with S2.stock.time = "March";
+            attr S1.stock-in-March-April.price-in-April <= S2.stock.price
+                with S2.stock.time = "April";
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    println!("\n=== §4.1 stock assertions ===");
+    for x in set.iter() {
+        println!("{x}");
+    }
+    let run = schema_integration(&stock1, &stock2, &set).unwrap();
+    // The inclusion generates a single is-a link.
+    assert!(run.output.has_isa("stock-in-March-April", "stock"));
+    println!(
+        "\nis-a links: {:?}",
+        run.output.isa_links().collect::<Vec<_>>()
+    );
+    println!("\nok.");
+}

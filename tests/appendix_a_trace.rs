@@ -1,0 +1,225 @@
+//! Reproduction of the Appendix A sample integration (Example 12):
+//! the step-by-step behaviour of `schema_integration` + `path_labelling`
+//! over the Fig. 18 schemas, checked against the paper's trace.
+
+use fedoo::core::trace::TraceEvent;
+use fedoo::prelude::*;
+
+fn fig_18() -> (Schema, Schema, AssertionSet) {
+    let s1 = SchemaBuilder::new("S1")
+        .empty_class("person")
+        .empty_class("student")
+        .empty_class("lecturer")
+        .empty_class("teaching_assistant")
+        .isa("student", "person")
+        .isa("lecturer", "person")
+        .isa("teaching_assistant", "lecturer")
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .empty_class("human")
+        .empty_class("employee")
+        .empty_class("faculty")
+        .empty_class("professor")
+        .empty_class("student")
+        .isa("employee", "human")
+        .isa("student", "human")
+        .isa("faculty", "employee")
+        .isa("professor", "faculty")
+        .build()
+        .unwrap();
+    let set = AssertionSet::build(
+        parse_assertions(
+            r#"
+            assert S1.person == S2.human;
+            assert S1.lecturer <= S2.employee;
+            assert S1.lecturer <= S2.faculty;
+            assert S1.teaching_assistant <= S2.employee;
+            assert S1.teaching_assistant <= S2.faculty;
+            assert S1.student & S2.faculty;
+        "#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    (s1, s2, set)
+}
+
+/// Step 1 of the trace: (person, human) is popped first and merged.
+#[test]
+fn step_1_person_human_merged_first() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    let first_pop = run
+        .trace
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::PopPair { left, right, relation } => {
+                Some((left.clone(), right.clone(), relation.clone()))
+            }
+            _ => None,
+        })
+        .expect("at least one pair popped");
+    assert_eq!(first_pop, ("person".into(), "human".into(), "≡".into()));
+    assert!(run
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Merged { name, .. } if name == "person")));
+}
+
+/// Step 3 of the trace: lecturer ⊆ employee triggers path_labelling, which
+/// labels employee and faculty, stars professor, and generates exactly
+/// is_a(lecturer, faculty).
+#[test]
+fn step_3_path_labelling_behaviour() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    // DFS started for lecturer under employee.
+    assert!(run.trace.iter().any(
+        |e| matches!(e, TraceEvent::DfsStart { n1, root, .. } if n1 == "lecturer" && root == "employee")
+    ));
+    // employee and faculty labelled…
+    for node in ["employee", "faculty"] {
+        assert!(
+            run.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Labelled { node: n, .. } if n == node)),
+            "{node} should be labelled"
+        );
+    }
+    // …professor starred (no assertion with lecturer)…
+    assert!(run
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Starred { node } if node == "professor")));
+    // …and the single link is is_a(lecturer, faculty).
+    assert!(run.output.has_isa("lecturer", "faculty"));
+    assert!(!run.output.has_isa("lecturer", "employee"));
+    assert!(!run.output.has_isa("teaching_assistant", "employee"));
+}
+
+/// Step 4: student ∩ faculty generates the three virtual-class rules of
+/// the trace.
+#[test]
+fn step_4_intersection_rules() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    let rules: Vec<String> = run.output.rules.iter().map(|r| r.to_string()).collect();
+    assert_eq!(rules.len(), 3);
+    // The trace's rules (with our IS naming): student_faculty is the
+    // intersection class over the copied student (S1) and faculty (S2).
+    assert!(rules.iter().any(|r| r.contains("student_faculty") && r.contains("y = x")));
+    assert!(rules.iter().any(|r| r.contains("¬<x: student_faculty>")));
+}
+
+/// Step 5: teaching_assistant inherits lecturer's label, so its pairs with
+/// the labelled faculty/employee chain are skipped, not checked.
+#[test]
+fn step_5_label_inheritance_skips_pairs() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    assert!(run.stats.pairs_skipped_by_labels > 0);
+    for e in &run.trace {
+        if let TraceEvent::PopPair { left, right, .. } = e {
+            assert!(
+                !(left == "teaching_assistant" && (right == "faculty" || right == "employee")),
+                "({left}, {right}) should have been label-skipped"
+            );
+        }
+    }
+}
+
+/// Observation 1 (trace feature 1): after person ≡ human, pairs like
+/// (student, human) and (person, employee) are not checked.
+#[test]
+fn observation_1_no_cross_root_checks() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    for e in &run.trace {
+        if let TraceEvent::PopPair { left, right, .. } = e {
+            assert!(
+                !(left == "person" && right != "human"),
+                "(person, {right}) should not be checked"
+            );
+            assert!(
+                !(right == "human" && left != "person"),
+                "({left}, human) should not be checked"
+            );
+        }
+    }
+}
+
+/// The integrated schema matches Fig. 18(c) structurally.
+#[test]
+fn fig_18c_structure() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    // person (merged), employee, faculty, professor, both students,
+    // lecturer, teaching_assistant, + 3 virtual classes.
+    let class_names: Vec<&str> = run.output.classes().map(|c| c.name.as_str()).collect();
+    for expected in [
+        "person",
+        "employee",
+        "faculty",
+        "professor",
+        "lecturer",
+        "teaching_assistant",
+        "student",
+        "student_2",
+        "student_faculty",
+    ] {
+        assert!(
+            class_names.contains(&expected),
+            "missing class {expected} in {class_names:?}"
+        );
+    }
+    // is-a links: all local ones (mapped) plus the generated one. The
+    // local lecturer → person link is *removed* by §6.2: it is implied by
+    // the longer path lecturer → faculty → employee → person (Fig. 12(b)).
+    assert!(run.output.has_isa("employee", "person"));
+    assert!(run.output.has_isa("faculty", "employee"));
+    assert!(run.output.has_isa("professor", "faculty"));
+    assert!(run.output.has_isa("teaching_assistant", "lecturer"));
+    assert!(run.output.has_isa("lecturer", "faculty"));
+    assert!(!run.output.has_isa("lecturer", "person"));
+    assert!(run.output.has_isa_path("lecturer", "person"));
+}
+
+/// Trace feature 3: the pairs covered by labels are never re-checked and
+/// the corresponding depth-first searches are avoided (only two labels are
+/// created: lecturer⊆employee's; teaching_assistant's checks are skipped).
+#[test]
+fn labels_avoid_repeated_dfs() {
+    let (s1, s2, set) = fig_18();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    // One DFS for lecturer ⊆ employee; teaching_assistant never triggers
+    // its own DFS against the same chain.
+    let dfs_starts: Vec<String> = run
+        .trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::DfsStart { n1, .. } => Some(n1.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(dfs_starts, vec!["lecturer".to_string()]);
+}
+
+/// The naive and optimized algorithms produce the same integrated schema,
+/// with the optimized checking strictly fewer pairs.
+#[test]
+fn same_output_fewer_checks() {
+    let (s1, s2, set) = fig_18();
+    let naive = naive_schema_integration(&s1, &s2, &set).unwrap();
+    let optimized = schema_integration(&s1, &s2, &set).unwrap();
+    let mut nc: Vec<&str> = naive.output.classes().map(|c| c.name.as_str()).collect();
+    let mut oc: Vec<&str> = optimized.output.classes().map(|c| c.name.as_str()).collect();
+    nc.sort();
+    oc.sort();
+    assert_eq!(nc, oc);
+    assert_eq!(
+        naive.output.isa_links().collect::<Vec<_>>(),
+        optimized.output.isa_links().collect::<Vec<_>>()
+    );
+    assert!(optimized.stats.total_checks() < naive.stats.pairs_checked);
+}

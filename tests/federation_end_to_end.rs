@@ -1,0 +1,217 @@
+//! End-to-end federation tests: relational components at FSM-agents,
+//! transformation on export, integration, and global queries (§3 + §5 +
+//! Appendix B combined).
+
+use fedoo::prelude::*;
+use fedoo::relational::{ColumnDef, ColumnType, Database, RelSchema};
+
+/// Build a relational hospital database for agent 1.
+fn hospital_db() -> Database {
+    let mut db = Database::new("informix", "PatientDB");
+    db.create_table(
+        RelSchema::new(
+            "patients",
+            vec![
+                ColumnDef::new("ssn", ColumnType::Str),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+            ["ssn"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.insert("patients", vec!["111".into(), "Ann".into()]).unwrap();
+    db.insert("patients", vec!["222".into(), "Bob".into()]).unwrap();
+    db
+}
+
+/// Build an OO staff database for agent 2.
+fn staff_component() -> (Schema, InstanceStore) {
+    let schema = SchemaBuilder::new("x")
+        .class("staff", |c| {
+            c.attr("ssn", AttrType::Str).attr("full_name", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let mut store = InstanceStore::new();
+    store
+        .create(&schema, "staff", |o| {
+            o.with_attr("ssn", "333").with_attr("full_name", "Cey")
+        })
+        .unwrap();
+    (schema, store)
+}
+
+#[test]
+fn relational_and_oo_components_integrate() {
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::relational("FSM-agent1", hospital_db()), "S1")
+        .unwrap();
+    let (schema, store) = staff_component();
+    fsm.register(Agent::object_oriented("FSM-agent2", schema, store), "S2")
+        .unwrap();
+    fsm.add_assertions_text(
+        r#"assert S1.patients & S2.staff {
+            attr S1.patients.ssn == S2.staff.ssn;
+            attr S1.patients.name == S2.staff.full_name;
+        }"#,
+    )
+    .unwrap();
+    let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    // Both component classes survive, plus the intersection virtuals.
+    let g_patients = client.global.global_class("S1", "patients").unwrap().to_string();
+    let g_staff = client.global.global_class("S2", "staff").unwrap().to_string();
+    assert_ne!(g_patients, g_staff);
+    assert!(client.global.integrated.class("patients_staff").is_some());
+    // Relational tuples are queryable as objects with federated OIDs.
+    let patients = client.instances_of(&g_patients).unwrap();
+    assert_eq!(patients.len(), 2);
+    assert!(patients[0].to_string().starts_with("FSM-agent1.informix.PatientDB.patients."));
+    let names = client.attr_values(&g_patients, "name").unwrap();
+    assert_eq!(names, vec![Value::str("Ann"), Value::str("Bob")]);
+}
+
+#[test]
+fn equivalence_federation_unions_extents() {
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::relational("FSM-agent1", hospital_db()), "S1")
+        .unwrap();
+    let (schema, store) = staff_component();
+    fsm.register(Agent::object_oriented("FSM-agent2", schema, store), "S2")
+        .unwrap();
+    fsm.add_assertions_text(
+        r#"assert S1.patients == S2.staff {
+            attr S1.patients.ssn == S2.staff.ssn;
+            attr S1.patients.name == S2.staff.full_name;
+        }"#,
+    )
+    .unwrap();
+    let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let g = client.global.global_class("S1", "patients").unwrap().to_string();
+    assert_eq!(client.global.global_class("S2", "staff"), Some(g.as_str()));
+    // The union extent has all three people, names merged under one attr.
+    assert_eq!(client.instances_of(&g).unwrap().len(), 3);
+    let names = client.attr_values(&g, "name").unwrap();
+    assert_eq!(
+        names,
+        vec![Value::str("Ann"), Value::str("Bob"), Value::str("Cey")]
+    );
+}
+
+#[test]
+fn three_way_accumulation_preserves_queries() {
+    // Three components, chained equivalences; the global schema unifies
+    // all three extents.
+    let mk = |class: &str, attr: &str, name: &str| {
+        let schema = SchemaBuilder::new("x")
+            .class(class, |c| c.attr(attr, AttrType::Str))
+            .build()
+            .unwrap();
+        let mut store = InstanceStore::new();
+        let owned_attr = attr.to_string();
+        let owned_name = name.to_string();
+        store
+            .create(&schema, class, move |o| o.with_attr(owned_attr, owned_name))
+            .unwrap();
+        (schema, store)
+    };
+    let mut fsm = Fsm::new();
+    let (s, st) = mk("person", "name", "Ann");
+    fsm.register(Agent::object_oriented("a1", s, st), "S1").unwrap();
+    let (s, st) = mk("human", "hname", "Bob");
+    fsm.register(Agent::object_oriented("a2", s, st), "S2").unwrap();
+    let (s, st) = mk("individual", "iname", "Cey");
+    fsm.register(Agent::object_oriented("a3", s, st), "S3").unwrap();
+    fsm.add_assertions_text(
+        r#"
+        assert S1.person == S2.human { attr S1.person.name == S2.human.hname; }
+        assert S1.person == S3.individual { attr S1.person.name == S3.individual.iname; }
+        "#,
+    )
+    .unwrap();
+    for strategy in [IntegrationStrategy::Accumulation, IntegrationStrategy::Balanced] {
+        let mut client = FsmClient::connect(&fsm, strategy).unwrap();
+        let g = client.global.global_class("S3", "individual").unwrap().to_string();
+        assert_eq!(client.global.global_class("S1", "person"), Some(g.as_str()));
+        let names = client.attr_values(&g, "name").unwrap();
+        assert_eq!(
+            names,
+            vec![Value::str("Ann"), Value::str("Bob"), Value::str("Cey")],
+            "{strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn data_mapping_converts_units() {
+    // S1 stores heights in inches, S2 in cm; the linear mapping y = 2.54x
+    // normalises S1's values into the integrated attribute.
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| c.attr("height", AttrType::Int))
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    st1.create(&s1, "person", |o| o.with_attr("height", 70i64)).unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| c.attr("height_cm", AttrType::Real))
+        .build()
+        .unwrap();
+    let mut st2 = InstanceStore::new();
+    st2.create(&s2, "human", |o| o.with_attr("height_cm", 180.0)).unwrap();
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2").unwrap();
+    fsm.add_assertions_text(
+        "assert S1.person == S2.human { attr S1.person.height == S2.human.height_cm; }",
+    )
+    .unwrap();
+    fsm.meta
+        .set_mapping("person", "height", "S1", DataMapping::Linear { a: 2.54, b: 0.0 });
+    let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let heights = client.attr_values("person", "height").unwrap();
+    assert_eq!(heights, vec![Value::Real(177.8), Value::Real(180.0)]);
+}
+
+#[test]
+fn disjoint_rule_completes_extents() {
+    // person ≡ human; man ∅ woman under them. The Principle 4 rule infers
+    // that any person who is not a man is a woman.
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| c.attr("name", AttrType::Str))
+        .class("man", |c| c.attr("name", AttrType::Str))
+        .isa("man", "person")
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    st1.create(&s1, "person", |o| o.with_attr("name", "Pat")).unwrap();
+    st1.create(&s1, "man", |o| o.with_attr("name", "Max")).unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| c.attr("name", AttrType::Str))
+        .class("woman", |c| c.attr("name", AttrType::Str))
+        .isa("woman", "human")
+        .build()
+        .unwrap();
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
+    fsm.register(
+        Agent::object_oriented("a2", s2, InstanceStore::new()),
+        "S2",
+    )
+    .unwrap();
+    fsm.add_assertions_text(
+        r#"
+        assert S1.person == S2.human { attr S1.person.name == S2.human.name; }
+        assert S1.man !& S2.woman;
+        "#,
+    )
+    .unwrap();
+    let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    // Pat (person, not man) is derived to be a woman; Max is not.
+    // Note: extents are direct (non-inheriting) in the fact base, so the
+    // man object must also be registered under person for the rule body;
+    // the materialisation handles this via the is-a-aware extent… here we
+    // check the rule fired for the direct person instance.
+    let women = client.instances_of("woman").unwrap();
+    assert_eq!(women.len(), 1);
+    assert_eq!(women[0], Oid::local("person", 1));
+}

@@ -1,0 +1,341 @@
+//! Cross-crate tests reproducing the paper's worked examples end to end
+//! (Examples 1–11), going through the public facade API.
+
+use fedoo::assertions::decompose_derivation;
+use fedoo::core::principles::derivation::{build_assertion_graph, derive_rule};
+use fedoo::prelude::*;
+
+/// Example 1: value paths vs quoted name paths (Definition 4.1).
+#[test]
+fn example_1_paths() {
+    let s1 = SchemaBuilder::new("S1")
+        .class("Book", |c| {
+            c.attr("ISBN", AttrType::Str).nested("author", |a| {
+                a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+            })
+        })
+        .build()
+        .unwrap();
+    let value_path = Path::parse("Book", "author.birthday").unwrap();
+    assert!(matches!(
+        value_path.resolve(&s1).unwrap(),
+        fedoo::model::path::PathTarget::AttributeValues(AttrType::Date)
+    ));
+    let name_path = Path::parse("Book", "author.\"name\"").unwrap();
+    assert!(matches!(
+        name_path.resolve(&s1).unwrap(),
+        fedoo::model::path::PathTarget::MemberName(_)
+    ));
+}
+
+/// Example 2 / Fig. 4: the four basic assertion kinds parse and index.
+#[test]
+fn example_2_four_assertions() {
+    let text = r#"
+        assert S1.person == S2.human;
+        assert S1.book <= S2.publication;
+        assert S1.faculty & S2.student;
+        assert S1.man !& S2.woman;
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    assert_eq!(set.len(), 4);
+    use fedoo::assertions::PairRelation;
+    assert!(matches!(
+        set.relation("S1", "person", "S2", "human"),
+        PairRelation::Equiv(_)
+    ));
+    assert!(matches!(
+        set.relation("S2", "publication", "S1", "book"),
+        PairRelation::InclRev(_)
+    ));
+    assert!(matches!(
+        set.relation("S1", "faculty", "S2", "student"),
+        PairRelation::Intersect(_)
+    ));
+    assert!(matches!(
+        set.relation("S1", "man", "S2", "woman"),
+        PairRelation::Disjoint(_)
+    ));
+}
+
+/// Examples 3 & 9: the uncle derivation — graph components and rule.
+#[test]
+fn examples_3_and_9_uncle() {
+    let text = r#"
+        assert S1(parent, brother) -> S2.uncle {
+            value S1: parent.Pssn# in brother.brothers;
+            attr S1.brother.Bssn# == S2.uncle.Ussn#;
+            attr S1.parent.children >= S2.uncle.niece_nephew;
+        }
+    "#;
+    let a = parse_assertions(text).unwrap().remove(0);
+    let g = build_assertion_graph(&a);
+    // Six nodes, three components (Fig. 11(a)).
+    assert_eq!(g.nodes.len(), 6);
+    let distinct: std::collections::BTreeSet<&String> = g.component_var.iter().collect();
+    assert_eq!(distinct.len(), 3);
+    let rule = derive_rule(&a, &g, |s, c| format!("IS({s}•{c})"));
+    fedoo::deduction::check_rule(&rule).unwrap();
+    let text = rule.to_string();
+    assert!(text.contains("IS(S2•uncle)"));
+    assert!(text.contains("IS(S1•parent)"));
+    assert!(text.contains("IS(S1•brother)"));
+}
+
+/// Example 9's rule actually derives uncles from parent/brother facts.
+#[test]
+fn example_9_rule_is_executable() {
+    let s1 = SchemaBuilder::new("S1")
+        .class("parent", |c| {
+            c.attr("Pssn#", AttrType::Str)
+                .set_attr("children", AttrType::Str)
+        })
+        .class("brother", |c| {
+            c.attr("Bssn#", AttrType::Str)
+                .set_attr("brothers", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .class("uncle", |c| {
+            c.attr("Ussn#", AttrType::Str)
+                .set_attr("niece_nephew", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let text = r#"
+        assert S1(parent, brother) -> S2.uncle {
+            value S1: parent.Pssn# in brother.brothers;
+            attr S1.brother.Bssn# == S2.uncle.Ussn#;
+            attr S1.parent.children >= S2.uncle.niece_nephew;
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    assert_eq!(run.output.rules.len(), 1);
+
+    // Facts: Mary (ssn p1) is a parent of John; Bob (ssn b1) has Mary's
+    // ssn among his brothers' ssns — so Bob is John's uncle.
+    let mut facts = fedoo::deduction::FactDb::new();
+    facts.insert_oterm(
+        OTermPat::new(Term::val(Value::Oid(Oid::local("parent", 1))), "parent")
+            .bind("Pssn#", Term::val("p1"))
+            .bind("children", Term::val(Value::str_set(["John"]))),
+    );
+    facts.insert_oterm(
+        OTermPat::new(Term::val(Value::Oid(Oid::local("brother", 1))), "brother")
+            .bind("Bssn#", Term::val("b1"))
+            .bind("brothers", Term::val(Value::str_set(["p1", "x9"]))),
+    );
+    let mut program = Program::default();
+    for r in &run.output.rules {
+        program.push(r.clone());
+    }
+    program.evaluate(&mut facts).unwrap();
+    let uncles: Vec<_> = facts.oterms_of("uncle").collect();
+    assert_eq!(uncles.len(), 1);
+    assert_eq!(uncles[0].binding("Ussn#"), Some(&Term::val("b1")));
+    assert_eq!(
+        uncles[0].binding("niece_nephew"),
+        Some(&Term::val(Value::str_set(["John"])))
+    );
+}
+
+/// Example 6: the merged person type from Fig. 4(a).
+#[test]
+fn example_6_merged_type() {
+    let s1 = SchemaBuilder::new("S1")
+        .class("person", |c| {
+            c.attr("ssn#", AttrType::Str)
+                .attr("full_name", AttrType::Str)
+                .attr("city", AttrType::Str)
+                .set_attr("interests", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .class("human", |c| {
+            c.attr("ssn#", AttrType::Str)
+                .attr("name", AttrType::Str)
+                .attr("street-number", AttrType::Str)
+                .set_attr("hobby", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let text = r#"
+        assert S1.person == S2.human {
+            attr S1.person.ssn# == S2.human.ssn#;
+            attr S1.person.full_name == S2.human.name;
+            attr S1.person.city compose(address) S2.human.street-number;
+            attr S1.person.interests >= S2.human.hobby;
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    let person = run.output.class("person").unwrap();
+    // Example 6: <ssn#: string, name: string, interests: {string}, address: …>
+    assert!(person.attribute("ssn#").is_some());
+    assert!(person.attribute("full_name").is_some());
+    assert_eq!(
+        person.attribute("interests").unwrap().ty,
+        AttrType::Set(Box::new(AttrType::Str))
+    );
+    assert!(person.attribute("address").is_some());
+    assert!(person.attribute("city").is_none());
+    assert_eq!(run.output.len(), 1);
+}
+
+/// Example 7: only one is-a link for chained inclusion targets.
+#[test]
+fn example_7_single_isa_link() {
+    let s1 = SchemaBuilder::new("S1")
+        .empty_class("professor")
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .empty_class("human")
+        .empty_class("employee")
+        .isa("employee", "human")
+        .build()
+        .unwrap();
+    let set = AssertionSet::build(
+        parse_assertions(
+            "assert S1.professor <= S2.human;\nassert S1.professor <= S2.employee;",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    assert!(run.output.has_isa("professor", "employee"));
+    assert!(!run.output.has_isa("professor", "human"));
+}
+
+/// Example 8: the intersection rules for faculty ∩ student.
+#[test]
+fn example_8_intersection_rules() {
+    let s1 = SchemaBuilder::new("S1")
+        .class("faculty", |c| {
+            c.attr("fssn#", AttrType::Str)
+                .attr("name", AttrType::Str)
+                .attr("income", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .class("student", |c| {
+            c.attr("ssn#", AttrType::Str)
+                .attr("name", AttrType::Str)
+                .attr("study_support", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let text = r#"
+        assert S1.faculty & S2.student {
+            attr S1.faculty.fssn# == S2.student.ssn#;
+            attr S1.faculty.name == S2.student.name;
+            attr S1.faculty.income & S2.student.study_support;
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    let rules: Vec<String> = run.output.rules.iter().map(|r| r.to_string()).collect();
+    assert_eq!(rules.len(), 3);
+    assert!(rules
+        .iter()
+        .any(|r| r.contains("faculty_student") && r.contains("y = x")));
+    // Example 8's income_study_support AIF attribute exists on IS_AB.
+    let ab = run.output.class("faculty_student").unwrap();
+    assert!(ab.attribute("income_study_support").is_some());
+}
+
+/// Example 10: per-column rules for the car schematic discrepancy.
+#[test]
+fn example_10_car_rules() {
+    let mut a = ClassAssertion::derivation("S2", ["car2"], "S1", "car1");
+    a.attr_corrs.push(AttrCorr::new(
+        SPath::attr("S2", "car2", "time"),
+        AttrOp::Equiv,
+        SPath::attr("S1", "car1", "time"),
+    ));
+    for i in 1..=4 {
+        a.attr_corrs.push(
+            AttrCorr::new(
+                SPath::attr("S2", "car2", format!("car-name{i}")),
+                AttrOp::Incl,
+                SPath::attr("S1", "car1", "price"),
+            )
+            .with(WithPred {
+                attr: SPath::attr("S1", "car1", "car-name"),
+                tau: Tau::Eq,
+                constant: Value::str(format!("car-name{i}")),
+            }),
+        );
+    }
+    let pieces = decompose_derivation(&a);
+    assert_eq!(pieces.len(), 4);
+    for (i, piece) in pieces.iter().enumerate() {
+        let g = build_assertion_graph(piece);
+        let rule = derive_rule(piece, &g, |s, c| format!("IS({s}•{c})"));
+        let text = rule.to_string();
+        assert!(
+            text.contains(&format!("= \"car-name{}\"", i + 1)),
+            "{text}"
+        );
+        fedoo::deduction::check_rule(&rule).unwrap();
+    }
+}
+
+/// Example 11: Book/Author rules in both directions.
+#[test]
+fn example_11_book_author_rules() {
+    let s1 = SchemaBuilder::new("S1")
+        .class("Book", |c| {
+            c.attr("ISBN", AttrType::Str)
+                .attr("title", AttrType::Str)
+                .nested("author", |a| {
+                    a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                })
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("S2")
+        .class("Author", |c| {
+            c.attr("name", AttrType::Str)
+                .attr("birthday", AttrType::Date)
+                .nested("book", |b| {
+                    b.attr("ISBN", AttrType::Str).attr("title", AttrType::Str)
+                })
+        })
+        .build()
+        .unwrap();
+    let text = r#"
+        assert S1.Book -> S2.Author {
+            attr S1.Book.ISBN == S2.Author.book.ISBN;
+            attr S1.Book.title == S2.Author.book.title;
+        }
+        assert S2.Author -> S1.Book {
+            attr S2.Author.name == S1.Book.author.name;
+            attr S2.Author.birthday == S1.Book.author.birthday;
+        }
+    "#;
+    let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    assert_eq!(run.output.rules.len(), 2);
+    let texts: Vec<String> = run.output.rules.iter().map(|r| r.to_string()).collect();
+    assert!(texts.iter().any(|t| t.contains("book.ISBN")));
+    assert!(texts.iter().any(|t| t.contains("author.name")));
+}
+
+/// Tables 1-3: the operator taxonomies are complete.
+#[test]
+fn tables_1_2_3_taxonomies() {
+    // Table 1: 5 distinct names over 6 operators.
+    let names: std::collections::BTreeSet<&str> =
+        ClassOp::all().iter().map(|o| o.name()).collect();
+    assert_eq!(names.len(), 5);
+    // Table 2 adds composed-into and more-specific-than.
+    assert_eq!(AttrOp::ComposedInto("x".into()).name(), "composed-into");
+    assert_eq!(AttrOp::MoreSpecific.name(), "more-specific-than");
+    // Table 3 adds reverse.
+    assert_eq!(AggOp::Reverse.name(), "reverse");
+}

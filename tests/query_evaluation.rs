@@ -1,0 +1,201 @@
+//! Appendix B reproduced end to end: annotated rules, federated
+//! evaluation over agents, constant propagation — plus the bottom-up
+//! engine evaluating the same program.
+
+use fedoo::deduction::federated::AnnotatedProgram;
+use fedoo::federation::AgentProvider;
+use fedoo::prelude::*;
+
+fn v(s: &str) -> Term {
+    Term::var(s)
+}
+
+/// The Appendix B rule set (1)-(6).
+fn appendix_b_program() -> AnnotatedProgram {
+    let mut prog = AnnotatedProgram::new();
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        ["S2"],
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Vec::<String>::new(),
+    );
+    prog.add(
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+        ["S2"],
+    );
+    for (name, schema) in [("mother", "S1"), ("father", "S1"), ("brother", "S2")] {
+        prog.add(
+            Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]),
+            [schema],
+        );
+    }
+    prog
+}
+
+/// Components whose extents back the basic predicates; classes are named
+/// after the predicates with attributes in argument order.
+fn components() -> Vec<(Schema, InstanceStore)> {
+    let s1 = SchemaBuilder::new("S1")
+        .class("mother", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("father", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    st1.create(&s1, "mother", |o| {
+        o.with_attr("child", "John").with_attr("who", "Mary")
+    })
+    .unwrap();
+    st1.create(&s1, "father", |o| {
+        o.with_attr("child", "John").with_attr("who", "Jim")
+    })
+    .unwrap();
+    st1.create(&s1, "mother", |o| {
+        o.with_attr("child", "Sue").with_attr("who", "Ann")
+    })
+    .unwrap();
+
+    let s2 = SchemaBuilder::new("S2")
+        .class("brother", |c| {
+            c.attr("of", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("parent", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("uncle", |c| {
+            c.attr("of", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .build()
+        .unwrap();
+    let mut st2 = InstanceStore::new();
+    st2.create(&s2, "brother", |o| {
+        o.with_attr("of", "Mary").with_attr("who", "Bob")
+    })
+    .unwrap();
+    st2.create(&s2, "brother", |o| {
+        o.with_attr("of", "Jim").with_attr("who", "Tom")
+    })
+    .unwrap();
+    st2.create(&s2, "uncle", |o| {
+        o.with_attr("of", "Zed").with_attr("who", "Rob")
+    })
+    .unwrap();
+
+    vec![(s1, st1), (s2, st2)]
+}
+
+#[test]
+fn uncle_query_over_live_agents() {
+    let comps = components();
+    let provider = AgentProvider::new(&comps);
+    let prog = appendix_b_program();
+    let q = Pred::new("uncle", [Term::val("John"), Term::var("y")]);
+    let result = prog.evaluate(&q, &provider).unwrap();
+    let uncles: Vec<String> = result
+        .iter()
+        .map(|t| match &t[1] {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+        .collect();
+    assert_eq!(uncles, vec!["Bob".to_string(), "Tom".to_string()]);
+}
+
+#[test]
+fn stored_uncles_union_with_derived() {
+    let comps = components();
+    let provider = AgentProvider::new(&comps);
+    let prog = appendix_b_program();
+    let q = Pred::new("uncle", [Term::var("x"), Term::var("y")]);
+    let result = prog.evaluate(&q, &provider).unwrap();
+    // Derived: (John,Bob), (John,Tom). Stored in S2: (Zed,Rob).
+    assert_eq!(result.len(), 3);
+    assert!(result.contains(&vec![Value::str("Zed"), Value::str("Rob")]));
+}
+
+#[test]
+fn constant_propagation_restricts_results() {
+    let comps = components();
+    let provider = AgentProvider::new(&comps);
+    let prog = appendix_b_program();
+    let q = Pred::new("parent", [Term::val("Sue"), Term::var("y")]);
+    let result = prog.evaluate(&q, &provider).unwrap();
+    assert_eq!(result.len(), 1);
+    assert!(result.contains(&vec![Value::str("Sue"), Value::str("Ann")]));
+}
+
+/// The same program evaluated bottom-up agrees with the federated
+/// algorithm.
+#[test]
+fn bottom_up_agrees_with_federated() {
+    let comps = components();
+    // Load extents into a FactDb as predicate tuples.
+    let mut db = fedoo::deduction::FactDb::new();
+    let provider = AgentProvider::new(&comps);
+    use fedoo::deduction::ExtentProvider;
+    for (schema, pred) in [("S1", "mother"), ("S1", "father"), ("S2", "brother"), ("S2", "parent"), ("S2", "uncle")] {
+        for t in provider.local_tuples(schema, pred, 2) {
+            db.insert_pred(pred, t);
+        }
+    }
+    let program = Program::new(vec![
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+    ]);
+    program.evaluate(&mut db).unwrap();
+    let bottom_up: std::collections::BTreeSet<Vec<Value>> =
+        db.tuples_of("uncle").cloned().collect();
+    let federated = appendix_b_program()
+        .evaluate(&Pred::new("uncle", [v("x"), v("y")]), &provider)
+        .unwrap();
+    assert_eq!(bottom_up, federated);
+}
+
+/// Inheritance-aware extents: a subclass's instances answer queries about
+/// the superclass predicate.
+#[test]
+fn subclass_instances_visible_through_provider() {
+    let s = SchemaBuilder::new("S1")
+        .class("person", |c| c.attr("name", AttrType::Str))
+        .class("student", |c| c.attr("name", AttrType::Str))
+        .isa("student", "person")
+        .build()
+        .unwrap();
+    let mut st = InstanceStore::new();
+    st.create(&s, "student", |o| o.with_attr("name", "Ann")).unwrap();
+    let comps = vec![(s, st)];
+    let provider = AgentProvider::new(&comps);
+    use fedoo::deduction::ExtentProvider;
+    let tuples = provider.local_tuples("S1", "person", 1);
+    assert_eq!(tuples, vec![vec![Value::str("Ann")]]);
+}

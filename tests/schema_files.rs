@@ -1,0 +1,34 @@
+//! File-based workflow: the schema/assertion files under `testdata/`
+//! drive the same pipeline the `fedoo` CLI uses.
+
+use fedoo::prelude::*;
+
+fn testdata(name: &str) -> String {
+    let path = format!("{}/../../testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn university_files_integrate() {
+    let s1 = fedoo::model::parse_schema(&testdata("university_s1.schema")).unwrap();
+    let s2 = fedoo::model::parse_schema(&testdata("university_s2.schema")).unwrap();
+    let parsed = parse_assertions(&testdata("university.fca")).unwrap();
+    assert!(fedoo::assertions::validate_assertions(&parsed, &s1, &s2).is_empty());
+    let set = AssertionSet::build(parsed).unwrap();
+    let run = schema_integration(&s1, &s2, &set).unwrap();
+    // The Fig. 18(c) shape, loaded from files.
+    assert_eq!(run.output.is("S1", "person"), run.output.is("S2", "human"));
+    assert!(run.output.has_isa("lecturer", "faculty"));
+    assert!(run.output.class("student_faculty").is_some());
+    assert_eq!(run.output.rules.len(), 3);
+    // Attribute correspondence from the file merged ssn#.
+    let person = run.output.class("person").unwrap();
+    assert!(person.attribute("ssn#").is_some());
+}
+
+#[test]
+fn schema_display_reparses() {
+    let s1 = fedoo::model::parse_schema(&testdata("university_s1.schema")).unwrap();
+    let reparsed = fedoo::model::parse_schema(&s1.to_string()).unwrap();
+    assert_eq!(s1, reparsed);
+}
