@@ -223,7 +223,11 @@ impl fmt::Display for ClassAssertion {
                 }
                 write!(f, "{c}")?;
             }
-            write!(f, ") {} {}•{}", self.op, self.right_schema, self.right_class)?;
+            write!(
+                f,
+                ") {} {}•{}",
+                self.op, self.right_schema, self.right_class
+            )?;
         }
         for vc in &self.value_corrs_left {
             write!(f, "\n  value[{}]: {vc}", self.left_schema)?;

@@ -41,10 +41,7 @@ where
 
 /// Distribute items into groups so that no key repeats within a group.
 /// `shared` items (all keys unique overall) go into every group.
-fn distribute<T: Clone>(
-    items: &[T],
-    keys: impl Fn(&T) -> [String; 2],
-) -> (Vec<T>, Vec<Vec<T>>) {
+fn distribute<T: Clone>(items: &[T], keys: impl Fn(&T) -> [String; 2]) -> (Vec<T>, Vec<Vec<T>>) {
     let counts = occurrence_counts(items, &keys);
     let mut base = Vec::new();
     let mut groups: Vec<(Vec<T>, Vec<String>)> = Vec::new();
@@ -83,8 +80,7 @@ pub fn decompose_derivation(a: &ClassAssertion) -> Vec<ClassAssertion> {
         // Nothing repeats beyond a single group: at most one decomposition.
         let mut out = a.clone();
         out.attr_corrs = attr_base;
-        out.attr_corrs
-            .extend(attr_groups.into_iter().flatten());
+        out.attr_corrs.extend(attr_groups.into_iter().flatten());
         out.agg_corrs = agg_base;
         out.agg_corrs.extend(agg_groups.into_iter().flatten());
         return vec![out];
@@ -148,10 +144,7 @@ mod tests {
         assert!(pieces.len() >= n);
         for p in &pieces {
             // time ≡ time is replicated into every piece
-            assert!(p
-                .attr_corrs
-                .iter()
-                .any(|c| c.left.member() == Some("time")));
+            assert!(p.attr_corrs.iter().any(|c| c.left.member() == Some("time")));
             // within a piece, no attribute path repeats
             let mut seen = std::collections::BTreeSet::new();
             for c in &p.attr_corrs {

@@ -258,9 +258,15 @@ mod tests {
         let names: std::collections::BTreeSet<&str> = all.iter().map(|o| o.name()).collect();
         assert_eq!(
             names,
-            ["equivalence", "inclusion", "intersection", "exclusion", "derivation"]
-                .into_iter()
-                .collect()
+            [
+                "equivalence",
+                "inclusion",
+                "intersection",
+                "exclusion",
+                "derivation"
+            ]
+            .into_iter()
+            .collect()
         );
     }
 
@@ -278,7 +284,10 @@ mod tests {
     fn symbols_match_paper() {
         assert_eq!(ClassOp::Equiv.symbol(), "≡");
         assert_eq!(ClassOp::Derive.symbol(), "→");
-        assert_eq!(AttrOp::ComposedInto("address".into()).symbol(), "α(address)");
+        assert_eq!(
+            AttrOp::ComposedInto("address".into()).symbol(),
+            "α(address)"
+        );
         assert_eq!(AttrOp::MoreSpecific.symbol(), "β");
         assert_eq!(AggOp::Reverse.symbol(), "ℵ");
         assert_eq!(ValueOp::In.symbol(), "∈");

@@ -150,9 +150,7 @@ impl<'a> Lexer<'a> {
                             self.bump();
                         }
                         // '-' continues the identifier unless it begins '->'.
-                        Some(b'-')
-                            if self.peek2().map(is_ident_continue).unwrap_or(false) =>
-                        {
+                        Some(b'-') if self.peek2().map(is_ident_continue).unwrap_or(false) => {
                             self.bump();
                         }
                         _ => break,
@@ -249,10 +247,9 @@ impl<'a> Lexer<'a> {
                         b'<' => "<",
                         b'>' => ">",
                         other => {
-                            return Err(self.err(format!(
-                                "unexpected character `{}`",
-                                other as char
-                            )))
+                            return Err(
+                                self.err(format!("unexpected character `{}`", other as char))
+                            )
                         }
                     }
                 };
@@ -305,7 +302,9 @@ impl Parser {
             }
             other => Err(self.err(format!(
                 "expected `{sym}`, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -324,7 +323,9 @@ impl Parser {
             Some(Tok::Ident(s)) => Ok(s),
             other => Err(self.err(format!(
                 "expected identifier, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -392,7 +393,9 @@ impl Parser {
             Some(Tok::Ident(s)) if s == "false" => Ok(Value::Bool(false)),
             other => Err(self.err(format!(
                 "expected constant, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -408,7 +411,9 @@ impl Parser {
             other => {
                 return Err(self.err(format!(
                     "expected class operator (== <= >= & !& ->), found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -431,7 +436,9 @@ impl Parser {
             }
             other => Err(self.err(format!(
                 "expected attribute operator, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -446,7 +453,9 @@ impl Parser {
             Some(Tok::Ident(s)) if s == "rev" => Ok(AggOp::Reverse),
             other => Err(self.err(format!(
                 "expected aggregation operator, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -461,7 +470,9 @@ impl Parser {
             Some(Tok::Sym("!&")) => Ok(ValueOp::Disjoint),
             other => Err(self.err(format!(
                 "expected value operator (= != in >= & !&), found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -476,7 +487,9 @@ impl Parser {
             Some(Tok::Sym(">=")) => Ok(Tau::Ge),
             other => Err(self.err(format!(
                 "expected comparison, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -488,7 +501,9 @@ impl Parser {
             other => {
                 return Err(self.err(format!(
                     "expected `assert`, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         }
@@ -694,7 +709,10 @@ mod tests {
         assert_eq!(asserts[0].op, ClassOp::Derive);
         assert_eq!(asserts[0].left_classes, vec!["Book"]);
         // nested path on the right-hand side
-        assert_eq!(asserts[0].attr_corrs[0].right.path.steps, vec!["book", "ISBN"]);
+        assert_eq!(
+            asserts[0].attr_corrs[0].right.path.steps,
+            vec!["book", "ISBN"]
+        );
     }
 
     #[test]
@@ -719,7 +737,10 @@ mod tests {
 
     #[test]
     fn unterminated_string_rejected() {
-        assert!(parse_assertions(r#"assert S1.a == S2.b { attr S1.a.x <= S2.b.y with S2.b.t = "ope"#).is_err());
+        assert!(parse_assertions(
+            r#"assert S1.a == S2.b { attr S1.a.x <= S2.b.y with S2.b.t = "ope"#
+        )
+        .is_err());
     }
 
     #[test]
@@ -742,7 +763,10 @@ mod tests {
             }"#,
         )
         .unwrap()[0];
-        assert_eq!(a.attr_corrs[0].with_pred.as_ref().unwrap().constant, Value::Int(42));
+        assert_eq!(
+            a.attr_corrs[0].with_pred.as_ref().unwrap().constant,
+            Value::Int(42)
+        );
         assert_eq!(
             a.attr_corrs[1].with_pred.as_ref().unwrap().constant,
             Value::Real(1.5)
@@ -752,10 +776,9 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        let asserts = parse_assertions(
-            "// leading comment\nassert S1.a == S2.b; // trailing\n// done",
-        )
-        .unwrap();
+        let asserts =
+            parse_assertions("// leading comment\nassert S1.a == S2.b; // trailing\n// done")
+                .unwrap();
         assert_eq!(asserts.len(), 1);
     }
 }

@@ -49,7 +49,11 @@ impl PairRelation {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SetError {
     /// Two assertions relate the same class pair.
-    Conflicting { pair: String, first: String, second: String },
+    Conflicting {
+        pair: String,
+        first: String,
+        second: String,
+    },
     /// An assertion relates a class to itself within one schema.
     SelfAssertion(String),
 }
@@ -57,7 +61,11 @@ pub enum SetError {
 impl fmt::Display for SetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SetError::Conflicting { pair, first, second } => write!(
+            SetError::Conflicting {
+                pair,
+                first,
+                second,
+            } => write!(
                 f,
                 "conflicting assertions for {pair}: `{first}` vs `{second}`"
             ),
@@ -104,9 +112,7 @@ impl AssertionSet {
 
     /// Add one assertion.
     pub fn add(&mut self, a: ClassAssertion) -> Result<(), SetError> {
-        if a.left_schema == a.right_schema
-            && a.left_classes.iter().any(|c| c == &a.right_class)
-        {
+        if a.left_schema == a.right_schema && a.left_classes.iter().any(|c| c == &a.right_class) {
             return Err(SetError::SelfAssertion(a.to_string()));
         }
         let id = self.assertions.len();
@@ -348,14 +354,9 @@ mod tests {
 
     #[test]
     fn self_assertion_rejected() {
-        let err = AssertionSet::build([ClassAssertion::simple(
-            "S1",
-            "a",
-            ClassOp::Equiv,
-            "S1",
-            "a",
-        )])
-        .unwrap_err();
+        let err =
+            AssertionSet::build([ClassAssertion::simple("S1", "a", ClassOp::Equiv, "S1", "a")])
+                .unwrap_err();
         assert!(matches!(err, SetError::SelfAssertion(_)));
     }
 

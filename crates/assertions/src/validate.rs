@@ -22,11 +22,7 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
-fn schema_for<'a>(
-    name: &str,
-    s1: &'a Schema,
-    s2: &'a Schema,
-) -> Option<&'a Schema> {
+fn schema_for<'a>(name: &str, s1: &'a Schema, s2: &'a Schema) -> Option<&'a Schema> {
     if s1.name.as_str() == name {
         Some(s1)
     } else if s2.name.as_str() == name {
@@ -91,7 +87,10 @@ pub fn validate_assertions(
             Some(schema) => {
                 for c in &a.left_classes {
                     if schema.class_named(c).is_none() {
-                        push(&mut errors, format!("unknown class `{c}` in schema `{}`", a.left_schema));
+                        push(
+                            &mut errors,
+                            format!("unknown class `{c}` in schema `{}`", a.left_schema),
+                        );
                     }
                 }
             }

@@ -12,13 +12,8 @@ fn bench_scaling(c: &mut Criterion) {
         let pair = mirrored_trees(n, 3, AssertionMix::all_equiv(), 42);
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| {
-                fedoo::core::naive::naive_with_trace(
-                    &pair.s1,
-                    &pair.s2,
-                    &pair.assertions,
-                    false,
-                )
-                .unwrap()
+                fedoo::core::naive::naive_with_trace(&pair.s1, &pair.s2, &pair.assertions, false)
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {

@@ -1,7 +1,11 @@
-//! Fig. 2: accumulation vs balanced integration of k component schemas.
+//! Fig. 2: accumulation vs balanced integration of k component schemas,
+//! and sequential vs parallel execution of one balanced reduction round
+//! (k independent pairwise integrations).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedoo::prelude::*;
+use fedoo_bench::genschema::{mirrored_trees, AssertionMix};
+use fedoo_bench::parallel::integrate_pairs;
 
 fn build_fsm(k: usize) -> Fsm {
     let mut fsm = Fsm::new();
@@ -46,5 +50,22 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies);
+fn bench_pairwise_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_driver");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        let pairs: Vec<_> = (0..k)
+            .map(|i| mirrored_trees(48, 3, AssertionMix::all_equiv(), 7000 + i as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| integrate_pairs(&pairs, false).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", k), &k, |b, _| {
+            b.iter(|| integrate_pairs(&pairs, true).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_pairwise_parallel);
 criterion_main!(benches);

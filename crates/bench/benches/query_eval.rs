@@ -1,8 +1,12 @@
-//! Appendix B: federated evaluation cost as the component extensions grow.
+//! Appendix B: federated evaluation cost as the component extensions grow —
+//! plus a naive vs semi-naive saturation comparison over the same family
+//! rules, snapshotted to `BENCH_query_eval.json` for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedoo::deduction::federated::{AnnotatedProgram, MapProvider};
+use fedoo::deduction::FactDb;
 use fedoo::prelude::*;
+use std::time::{Duration, Instant};
 
 fn program() -> AnnotatedProgram {
     let v = Term::var;
@@ -32,7 +36,10 @@ fn program() -> AnnotatedProgram {
         ["S2"],
     );
     for (name, schema) in [("mother", "S1"), ("father", "S1"), ("brother", "S2")] {
-        prog.add(Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]), [schema]);
+        prog.add(
+            Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]),
+            [schema],
+        );
     }
     prog
 }
@@ -40,9 +47,21 @@ fn program() -> AnnotatedProgram {
 fn provider(n: usize) -> MapProvider {
     let mut p = MapProvider::new();
     for i in 0..n {
-        p.add("S1", "mother", vec![format!("c{i}").into(), format!("m{i}").into()]);
-        p.add("S1", "father", vec![format!("c{i}").into(), format!("f{i}").into()]);
-        p.add("S2", "brother", vec![format!("m{i}").into(), format!("u{i}").into()]);
+        p.add(
+            "S1",
+            "mother",
+            vec![format!("c{i}").into(), format!("m{i}").into()],
+        );
+        p.add(
+            "S1",
+            "father",
+            vec![format!("c{i}").into(), format!("f{i}").into()],
+        );
+        p.add(
+            "S2",
+            "brother",
+            vec![format!("m{i}").into(), format!("u{i}").into()],
+        );
     }
     p
 }
@@ -65,5 +84,107 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query);
+/// The saturation workload: the Appendix-B family rules (two unions and a
+/// join) over extents of `n` tuples each.
+fn saturation_program() -> Program {
+    let v = Term::var;
+    Program::new(vec![
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+    ])
+}
+
+fn saturation_db(n: usize) -> FactDb {
+    let mut db = FactDb::new();
+    for i in 0..n {
+        db.insert_pred(
+            "mother",
+            vec![format!("c{i}").into(), format!("m{i}").into()],
+        );
+        db.insert_pred(
+            "father",
+            vec![format!("c{i}").into(), format!("f{i}").into()],
+        );
+        db.insert_pred(
+            "brother",
+            vec![format!("m{i}").into(), format!("u{i}").into()],
+        );
+    }
+    db
+}
+
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_nanos()
+}
+
+/// Head-to-head saturation: naive (scan-based re-firing) vs semi-naive
+/// (indexed, delta-driven) at several extent sizes; writes the snapshot
+/// JSON next to the workspace root.
+fn bench_strategies(_c: &mut Criterion) {
+    let program = saturation_program();
+    let mut rows = Vec::new();
+    for &n in &[100usize, 400, 1600] {
+        let base = saturation_db(n);
+        // Fewer reps for the big naive runs; the spread between strategies
+        // dwarfs sample noise.
+        let reps = if n >= 1600 { 3 } else { 7 };
+        let expect = 2 * n; // parent = mother ∪ father
+        let naive_ns = median_ns(reps, || {
+            let mut db = base.clone();
+            program.evaluate_with(&mut db, EvalStrategy::Naive).unwrap();
+            assert!(db.tuples_of("parent").count() >= expect);
+        });
+        let semi_ns = median_ns(reps, || {
+            let mut db = base.clone();
+            program
+                .evaluate_with(&mut db, EvalStrategy::SemiNaive)
+                .unwrap();
+            assert!(db.tuples_of("parent").count() >= expect);
+        });
+        let speedup = naive_ns as f64 / semi_ns.max(1) as f64;
+        println!(
+            "saturation/n={n}: naive {naive_ns} ns, semi-naive {semi_ns} ns, speedup {speedup:.1}x"
+        );
+        rows.push((n, naive_ns, semi_ns, speedup));
+    }
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(n, naive, semi, speedup)| {
+            format!(
+                "    {{\"extent\": {n}, \"naive_ns\": {naive}, \"semi_naive_ns\": {semi}, \"speedup\": {speedup:.2}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"query_eval\",\n  \"workload\": \"appendix_b_family_saturation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_eval.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_query, bench_strategies);
 criterion_main!(benches);

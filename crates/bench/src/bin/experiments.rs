@@ -147,10 +147,8 @@ fn e3_redundant_isa() {
         .build()
         .unwrap();
     let set = AssertionSet::build(
-        parse_assertions(
-            "assert S1.professor <= S2.human;\nassert S1.professor <= S2.employee;",
-        )
-        .unwrap(),
+        parse_assertions("assert S1.professor <= S2.human;\nassert S1.professor <= S2.employee;")
+            .unwrap(),
     )
     .unwrap();
     let run = schema_integration(&s1, &s2, &set).unwrap();
@@ -226,7 +224,8 @@ fn e6_book_author() {
             c.attr("ISBN", AttrType::Str)
                 .attr("title", AttrType::Str)
                 .nested("author", |x| {
-                    x.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                    x.attr("name", AttrType::Str)
+                        .attr("birthday", AttrType::Date)
                 })
         })
         .build()
@@ -347,7 +346,10 @@ fn e8_complexity_sweep() {
 
 /// E9 — Fig. 13: the constraint lattices and their lcs tables.
 fn e9_constraint_lattice() {
-    header("E9", "Fig. 13: cardinality-constraint lattices (lcs tables)");
+    header(
+        "E9",
+        "Fig. 13: cardinality-constraint lattices (lcs tables)",
+    );
     let base = [
         Cardinality::ONE_ONE,
         Cardinality::ONE_N,
@@ -387,28 +389,49 @@ fn e9_constraint_lattice() {
 
 /// E10 — Appendix B: the federated uncle query over live agents.
 fn e10_federated_query() {
-    header("E10", "Appendix B: federated evaluation of ?-uncle(John, y)");
+    header(
+        "E10",
+        "Appendix B: federated evaluation of ?-uncle(John, y)",
+    );
     let s1 = SchemaBuilder::new("S1")
-        .class("mother", |c| c.attr("child", AttrType::Str).attr("who", AttrType::Str))
-        .class("father", |c| c.attr("child", AttrType::Str).attr("who", AttrType::Str))
+        .class("mother", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("father", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
         .build()
         .unwrap();
     let mut st1 = InstanceStore::new();
-    st1.create(&s1, "mother", |o| o.with_attr("child", "John").with_attr("who", "Mary"))
-        .unwrap();
-    st1.create(&s1, "father", |o| o.with_attr("child", "John").with_attr("who", "Jim"))
-        .unwrap();
+    st1.create(&s1, "mother", |o| {
+        o.with_attr("child", "John").with_attr("who", "Mary")
+    })
+    .unwrap();
+    st1.create(&s1, "father", |o| {
+        o.with_attr("child", "John").with_attr("who", "Jim")
+    })
+    .unwrap();
     let s2 = SchemaBuilder::new("S2")
-        .class("brother", |c| c.attr("of", AttrType::Str).attr("who", AttrType::Str))
-        .class("parent", |c| c.attr("child", AttrType::Str).attr("who", AttrType::Str))
-        .class("uncle", |c| c.attr("of", AttrType::Str).attr("who", AttrType::Str))
+        .class("brother", |c| {
+            c.attr("of", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("parent", |c| {
+            c.attr("child", AttrType::Str).attr("who", AttrType::Str)
+        })
+        .class("uncle", |c| {
+            c.attr("of", AttrType::Str).attr("who", AttrType::Str)
+        })
         .build()
         .unwrap();
     let mut st2 = InstanceStore::new();
-    st2.create(&s2, "brother", |o| o.with_attr("of", "Mary").with_attr("who", "Bob"))
-        .unwrap();
-    st2.create(&s2, "brother", |o| o.with_attr("of", "Jim").with_attr("who", "Tom"))
-        .unwrap();
+    st2.create(&s2, "brother", |o| {
+        o.with_attr("of", "Mary").with_attr("who", "Bob")
+    })
+    .unwrap();
+    st2.create(&s2, "brother", |o| {
+        o.with_attr("of", "Jim").with_attr("who", "Tom")
+    })
+    .unwrap();
     let comps = vec![(s1, st1), (s2, st2)];
     let provider = AgentProvider::new(&comps);
     let v = Term::var;
@@ -438,7 +461,10 @@ fn e10_federated_query() {
         ["S2"],
     );
     for (name, schema) in [("mother", "S1"), ("father", "S1"), ("brother", "S2")] {
-        prog.add(Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]), [schema]);
+        prog.add(
+            Rule::new(Literal::pred(name, [v("x"), v("y")]), vec![]),
+            [schema],
+        );
     }
     println!("\nannotated rules:");
     for ar in prog.rules() {
@@ -454,7 +480,10 @@ fn e10_federated_query() {
 
 /// E11 — Fig. 2: accumulation vs balanced multi-schema integration.
 fn e11_multi_schema_strategies() {
-    header("E11", "Fig. 2: accumulation vs balanced integration of k schemas");
+    header(
+        "E11",
+        "Fig. 2: accumulation vs balanced integration of k schemas",
+    );
     println!(
         "\n{:>4} | {:>12} {:>8} | {:>12} {:>8} | same classes?",
         "k", "acc checks", "steps", "bal checks", "steps"
@@ -476,7 +505,11 @@ fn e11_multi_schema_strategies() {
         }
         for s in 1..k {
             fsm.add_assertion(ClassAssertion::simple(
-                "S0", "person", ClassOp::Equiv, format!("S{s}"), "person",
+                "S0",
+                "person",
+                ClassOp::Equiv,
+                format!("S{s}"),
+                "person",
             ));
         }
         let acc = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
@@ -496,7 +529,10 @@ fn e11_multi_schema_strategies() {
 /// E12 — §6.1 observations 1-4: pair checks under different assertion
 /// mixes.
 fn e12_assertion_mix() {
-    header("E12", "§6.1 observations: pair checks by assertion mix (n = 64)");
+    header(
+        "E12",
+        "§6.1 observations: pair checks by assertion mix (n = 64)",
+    );
     let n = 64;
     println!(
         "\n{:<18} | {:>10} | {:>10} | {:>9} | {:>8}",
@@ -539,7 +575,10 @@ fn e12_assertion_mix() {
 /// E13 — ablation: which of the optimized algorithm's tricks buys what.
 fn e13_ablation() {
     use fedoo::core::{schema_integration_with_options, IntegrationOptions};
-    header("E13", "ablation: contribution of each optimization (n = 64)");
+    header(
+        "E13",
+        "ablation: contribution of each optimization (n = 64)",
+    );
     let n = 64;
     println!(
         "\n{:<28} | {:>10} {:>10} | {:>10} {:>10}",
@@ -547,10 +586,20 @@ fn e13_ablation() {
     );
     println!("{}", "-".repeat(78));
     let variants: [(&str, IntegrationOptions); 5] = [
-        ("full (paper)", IntegrationOptions { collect_trace: false, ..Default::default() }),
+        (
+            "full (paper)",
+            IntegrationOptions {
+                collect_trace: false,
+                ..Default::default()
+            },
+        ),
         (
             "no labels",
-            IntegrationOptions { collect_trace: false, labels: false, ..Default::default() },
+            IntegrationOptions {
+                collect_trace: false,
+                labels: false,
+                ..Default::default()
+            },
         ),
         (
             "no sibling removal",

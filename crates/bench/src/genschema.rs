@@ -5,9 +5,7 @@
 //! and an assertion set drawn from `mix`: each mirrored class pair gets
 //! ≡ / ⊆ / ∩ / ∅ / nothing with the given weights.
 
-use fedoo::prelude::{
-    AssertionSet, AttrType, ClassAssertion, ClassOp, Schema, SchemaBuilder,
-};
+use fedoo::prelude::{AssertionSet, AttrType, ClassAssertion, ClassOp, Schema, SchemaBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,7 +87,11 @@ pub fn random_tree(n: usize, d: usize, rng: &mut StdRng) -> Vec<usize> {
     for i in 1..n {
         let window = (i / d.max(1)).max(1);
         let lo = i.saturating_sub(window * d.max(1)).min(i - 1);
-        let parent = if lo == i - 1 { lo } else { rng.gen_range(lo..i) };
+        let parent = if lo == i - 1 {
+            lo
+        } else {
+            rng.gen_range(lo..i)
+        };
         parents.push(parent);
     }
     parents
@@ -222,13 +224,9 @@ mod complexity_tests {
     fn headline_complexity_shape() {
         for n in [8usize, 32, 96] {
             let pair = mirrored_trees(n, 3, AssertionMix::all_equiv(), 42);
-            let naive = fedoo::core::naive::naive_with_trace(
-                &pair.s1,
-                &pair.s2,
-                &pair.assertions,
-                false,
-            )
-            .unwrap();
+            let naive =
+                fedoo::core::naive::naive_with_trace(&pair.s1, &pair.s2, &pair.assertions, false)
+                    .unwrap();
             let optimized = fedoo::core::optimized::schema_integration_with_trace(
                 &pair.s1,
                 &pair.s2,

@@ -11,5 +11,7 @@
 //! runner can regenerate the complexity claim empirically.
 
 pub mod genschema;
+pub mod parallel;
 
 pub use genschema::{mirrored_trees, random_tree, AssertionMix, GeneratedPair};
+pub use parallel::{integrate_pairs, PairOutcome};

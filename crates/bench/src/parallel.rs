@@ -1,0 +1,87 @@
+//! Parallel pairwise schema integration: the multi-schema driver.
+//!
+//! A federation of 2k component schemas integrates as k independent
+//! pairwise `schema_integration` runs per reduction round (the balanced
+//! strategy of Fig. 2). The runs share nothing — each reads its own two
+//! schemas and assertion set — so they fan out across cores with `rayon`.
+//! This is the driver the `multi_schema` bench uses to compare sequential
+//! and parallel execution of one reduction round.
+
+use crate::genschema::GeneratedPair;
+use fedoo::core::{schema_integration, IntegrationStats};
+use rayon::prelude::*;
+
+/// Result of integrating one schema pair.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Classes in the integrated schema.
+    pub classes: usize,
+    pub stats: IntegrationStats,
+}
+
+/// Below this many pairs the thread fan-out costs more than it saves.
+const PAR_PAIR_THRESHOLD: usize = 2;
+
+/// Integrate every pair, in input order. With `parallel` set and enough
+/// pairs to amortise the threads, the pairwise runs execute concurrently;
+/// results keep input order either way, so the two modes are
+/// interchangeable.
+pub fn integrate_pairs(
+    pairs: &[GeneratedPair],
+    parallel: bool,
+) -> Result<Vec<PairOutcome>, String> {
+    let run = |p: &GeneratedPair| -> Result<PairOutcome, String> {
+        let run = schema_integration(&p.s1, &p.s2, &p.assertions).map_err(|e| e.to_string())?;
+        Ok(PairOutcome {
+            classes: run.output.len(),
+            stats: run.stats,
+        })
+    };
+    if parallel && pairs.len() >= PAR_PAIR_THRESHOLD {
+        pairs.par_iter().map(run).collect()
+    } else {
+        pairs.iter().map(run).collect()
+    }
+}
+
+/// Sum the per-pair integration counters.
+pub fn total_stats(outcomes: &[PairOutcome]) -> IntegrationStats {
+    let mut total = IntegrationStats::new();
+    for o in outcomes {
+        total += o.stats;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genschema::{mirrored_trees, AssertionMix};
+
+    fn pairs(k: usize) -> Vec<GeneratedPair> {
+        (0..k)
+            .map(|i| mirrored_trees(20, 3, AssertionMix::all_equiv(), 1000 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ps = pairs(4);
+        let seq = integrate_pairs(&ps, false).unwrap();
+        let par = integrate_pairs(&ps, true).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.classes, p.classes);
+            assert_eq!(s.stats, p.stats);
+        }
+        assert_eq!(total_stats(&seq), total_stats(&par));
+    }
+
+    #[test]
+    fn single_pair_stays_sequential() {
+        let ps = pairs(1);
+        let out = integrate_pairs(&ps, true).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].classes > 0);
+    }
+}

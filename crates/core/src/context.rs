@@ -228,10 +228,16 @@ impl<'a> Integrator<'a> {
     /// Finalise the integrated schema (see module docs for the order).
     pub fn finalize(&mut self) -> Result<()> {
         // 1. defaults: copy everything not merged.
-        let s1_classes: Vec<String> =
-            self.s1.class_names().map(|c| c.as_str().to_string()).collect();
-        let s2_classes: Vec<String> =
-            self.s2.class_names().map(|c| c.as_str().to_string()).collect();
+        let s1_classes: Vec<String> = self
+            .s1
+            .class_names()
+            .map(|c| c.as_str().to_string())
+            .collect();
+        let s2_classes: Vec<String> = self
+            .s2
+            .class_names()
+            .map(|c| c.as_str().to_string())
+            .collect();
         for c in &s1_classes {
             self.copy_class(self.s1, c)?;
         }

@@ -52,12 +52,7 @@ impl<'a> SchemaGraph<'a> {
     /// its direct subclasses. Deterministic (name-sorted).
     pub fn children(&self, node: &Node) -> Vec<Node> {
         match node {
-            Node::Start => self
-                .schema
-                .roots()
-                .into_iter()
-                .map(Node::Class)
-                .collect(),
+            Node::Start => self.schema.roots().into_iter().map(Node::Class).collect(),
             Node::Class(c) => {
                 let mut kids: Vec<&ClassName> = self.schema.children(c);
                 kids.sort();
@@ -124,10 +119,7 @@ mod tests {
         let s = schema();
         let g = SchemaGraph::new(&s);
         let kids = g.children(&g.start());
-        assert_eq!(
-            kids,
-            vec![Node::class("human"), Node::class("island")]
-        );
+        assert_eq!(kids, vec![Node::class("human"), Node::class("island")]);
     }
 
     #[test]

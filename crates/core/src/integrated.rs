@@ -499,7 +499,12 @@ mod tests {
         let a = SourceAttr::new("S1", "c", "x");
         let b = SourceAttr::new("S2", "d", "y");
         assert_eq!(AttrOrigin::Copied(a.clone()).sources().len(), 1);
-        assert_eq!(AttrOrigin::Union(vec![a.clone(), b.clone()]).sources().len(), 2);
+        assert_eq!(
+            AttrOrigin::Union(vec![a.clone(), b.clone()])
+                .sources()
+                .len(),
+            2
+        );
         assert_eq!(
             AttrOrigin::IntersectionCommon(a, b, AifKind::Average)
                 .sources()

@@ -36,7 +36,7 @@ pub use graph::{Node, SchemaGraph};
 pub use integrated::{AifKind, AttrOrigin, ISAgg, ISClass, IntegratedSchema, SourceRef};
 pub use naive::naive_schema_integration;
 pub use optimized::{schema_integration, schema_integration_with_options, IntegrationOptions};
-pub use stats::IntegrationStats;
+pub use stats::{EvalStats, EvalStrategy, IntegrationStats, PipelineStats};
 pub use trace::TraceEvent;
 
 use std::fmt;

@@ -125,14 +125,32 @@ pub fn naive_with_trace(
         // Line 6: all pairs (N1i, N2j), (N1, N2j), (N1i, N2).
         for k1 in &kids1 {
             for k2 in &kids2 {
-                enqueue(&mut queue, &mut seen, &mut ctx.stats, k1.clone(), k2.clone());
+                enqueue(
+                    &mut queue,
+                    &mut seen,
+                    &mut ctx.stats,
+                    k1.clone(),
+                    k2.clone(),
+                );
             }
         }
         for k2 in &kids2 {
-            enqueue(&mut queue, &mut seen, &mut ctx.stats, n1.clone(), k2.clone());
+            enqueue(
+                &mut queue,
+                &mut seen,
+                &mut ctx.stats,
+                n1.clone(),
+                k2.clone(),
+            );
         }
         for k1 in &kids1 {
-            enqueue(&mut queue, &mut seen, &mut ctx.stats, k1.clone(), n2.clone());
+            enqueue(
+                &mut queue,
+                &mut seen,
+                &mut ctx.stats,
+                k1.clone(),
+                n2.clone(),
+            );
         }
         // Line 7: integrate according to the assertion between N1 and N2.
         if let (Some(c1), Some(c2)) = (n1.class_name(), n2.class_name()) {

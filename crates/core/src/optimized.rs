@@ -179,10 +179,8 @@ pub fn schema_integration_with_options(
             }
         };
         // Line 7: the label test.
-        let skip_left =
-            options.labels && intersects(labels1.inherited(&n1), labels2.labels(&n2));
-        let skip_right =
-            options.labels && intersects(labels1.labels(&n1), labels2.inherited(&n2));
+        let skip_left = options.labels && intersects(labels1.inherited(&n1), labels2.labels(&n2));
+        let skip_right = options.labels && intersects(labels1.labels(&n1), labels2.inherited(&n2));
         if skip_left || skip_right {
             ctx.stats.pairs_skipped_by_labels += 1;
             ctx.push_trace(TraceEvent::SkipPairLabels {
@@ -305,16 +303,20 @@ pub fn schema_integration_with_options(
                 }
             }
             PairRelation::Derivation(_) => {
-                for id in ctx
-                    .assertions
-                    .derivations_between(ctx.s1.name.as_str(), &c1, ctx.s2.name.as_str(), &c2)
-                {
+                for id in ctx.assertions.derivations_between(
+                    ctx.s1.name.as_str(),
+                    &c1,
+                    ctx.s2.name.as_str(),
+                    &c2,
+                ) {
                     ctx.note_derivation(id);
                 }
-                for id in ctx
-                    .assertions
-                    .derivations_between(ctx.s2.name.as_str(), &c2, ctx.s1.name.as_str(), &c1)
-                {
+                for id in ctx.assertions.derivations_between(
+                    ctx.s2.name.as_str(),
+                    &c2,
+                    ctx.s1.name.as_str(),
+                    &c1,
+                ) {
                     ctx.note_derivation(id);
                 }
             }
@@ -441,7 +443,15 @@ fn path_labelling(
     let sub = sub_node.class_name().expect("sub is a class").to_string();
     let mut visited: BTreeSet<Node> = BTreeSet::new();
     visit(
-        ctx, graph, side, &sub, root, None, label, state, &mut visited,
+        ctx,
+        graph,
+        side,
+        &sub,
+        root,
+        None,
+        label,
+        state,
+        &mut visited,
     )
 }
 
@@ -490,10 +500,7 @@ fn visit(
             // Lines 10-12: label, merge, stop searching this path.
             state.add_label(v.clone(), label);
             ctx.stats.nodes_labelled += 1;
-            ctx.push_trace(TraceEvent::Labelled {
-                node: vc,
-                label,
-            });
+            ctx.push_trace(TraceEvent::Labelled { node: vc, label });
             ctx.merge_equivalent(id)?;
         }
         PairRelation::Incl(_) => {
@@ -526,9 +533,7 @@ fn visit(
                 let _ = any_deeper;
             }
         }
-        PairRelation::InclRev(_)
-        | PairRelation::Disjoint(_)
-        | PairRelation::Derivation(_) => {
+        PairRelation::InclRev(_) | PairRelation::Disjoint(_) | PairRelation::Derivation(_) => {
             // Lines 13-18: θ ∈ {→, ∅, ⊇}: the path ends here; backtrack to
             // the first non-* ancestor and insert the is-a link there.
             if let Some(target) = nearest_incl {
@@ -572,13 +577,33 @@ fn visit(
             // but the intersection rules are recorded.
             ctx.note_intersection(id);
             ctx.push_trace(TraceEvent::Starred { node: vc.clone() });
-            descend_or_link(ctx, graph, side, sub, v, nearest_incl, label, state, visited)?;
+            descend_or_link(
+                ctx,
+                graph,
+                side,
+                sub,
+                v,
+                nearest_incl,
+                label,
+                state,
+                visited,
+            )?;
         }
         PairRelation::None => {
             // Lines 19-25 (default): mark with * and go deeper; at a leaf,
             // backtrack to the first non-* node and link there.
             ctx.push_trace(TraceEvent::Starred { node: vc.clone() });
-            descend_or_link(ctx, graph, side, sub, v, nearest_incl, label, state, visited)?;
+            descend_or_link(
+                ctx,
+                graph,
+                side,
+                sub,
+                v,
+                nearest_incl,
+                label,
+                state,
+                visited,
+            )?;
         }
     }
     Ok(())
@@ -607,7 +632,17 @@ fn descend_or_link(
         }
     } else {
         for k in kids {
-            visit(ctx, graph, side, sub, &k, nearest_incl, label, state, visited)?;
+            visit(
+                ctx,
+                graph,
+                side,
+                sub,
+                &k,
+                nearest_incl,
+                label,
+                state,
+                visited,
+            )?;
         }
     }
     Ok(())
@@ -722,7 +757,11 @@ mod tests {
         let optimized = schema_integration(&s1, &s2, &aset).unwrap();
         // Same classes.
         let nc: Vec<&str> = naive.output.classes().map(|c| c.name.as_str()).collect();
-        let oc: Vec<&str> = optimized.output.classes().map(|c| c.name.as_str()).collect();
+        let oc: Vec<&str> = optimized
+            .output
+            .classes()
+            .map(|c| c.name.as_str())
+            .collect();
         let mut nc2 = nc.clone();
         let mut oc2 = oc.clone();
         nc2.sort();
@@ -757,7 +796,11 @@ mod tests {
             .build()
             .unwrap();
         let aset = AssertionSet::build([ClassAssertion::simple(
-            "S1", "N1", ClassOp::Equiv, "S2", "N2",
+            "S1",
+            "N1",
+            ClassOp::Equiv,
+            "S2",
+            "N2",
         )])
         .unwrap();
         let run = schema_integration(&s1, &s2, &aset).unwrap();
@@ -837,9 +880,18 @@ mod ablation_tests {
         let baseline = naive_schema_integration(&s1, &s2, &aset).unwrap();
         let variants = [
             IntegrationOptions::default(),
-            IntegrationOptions { labels: false, ..Default::default() },
-            IntegrationOptions { sibling_removal: false, ..Default::default() },
-            IntegrationOptions { skip_disjoint_expansion: false, ..Default::default() },
+            IntegrationOptions {
+                labels: false,
+                ..Default::default()
+            },
+            IntegrationOptions {
+                sibling_removal: false,
+                ..Default::default()
+            },
+            IntegrationOptions {
+                skip_disjoint_expansion: false,
+                ..Default::default()
+            },
             IntegrationOptions {
                 collect_trace: true,
                 labels: false,
@@ -855,24 +907,30 @@ mod ablation_tests {
             let mut names: Vec<&str> = run.output.classes().map(|c| c.name.as_str()).collect();
             names.sort();
             assert_eq!(names, base_names, "{opts:?}");
-            let bl: std::collections::BTreeSet<_> =
-                baseline.output.isa_links().cloned().collect();
+            let bl: std::collections::BTreeSet<_> = baseline.output.isa_links().cloned().collect();
             let ol: std::collections::BTreeSet<_> = run.output.isa_links().cloned().collect();
             assert_eq!(bl, ol, "{opts:?}");
-            assert_eq!(run.output.rules.len(), baseline.output.rules.len(), "{opts:?}");
+            assert_eq!(
+                run.output.rules.len(),
+                baseline.output.rules.len(),
+                "{opts:?}"
+            );
         }
     }
 
     /// Turning every optimization off approaches the naive check count;
     /// the full configuration stays at the optimized count.
     #[test]
-    fn ablation_costs_are_ordered()  {
+    fn ablation_costs_are_ordered() {
         let (s1, s2, aset) = super::tests::fig_18();
         let full = schema_integration_with_options(
             &s1,
             &s2,
             &aset,
-            IntegrationOptions { collect_trace: false, ..Default::default() },
+            IntegrationOptions {
+                collect_trace: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let none = schema_integration_with_options(

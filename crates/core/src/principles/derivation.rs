@@ -402,7 +402,10 @@ mod tests {
                 .unwrap_or_else(|| panic!("{schema}.{class}.{attr} not a node"));
             g.component_var[i].clone()
         };
-        assert_eq!(var("S1", "parent", "Pssn#"), var("S1", "brother", "brothers"));
+        assert_eq!(
+            var("S1", "parent", "Pssn#"),
+            var("S1", "brother", "brothers")
+        );
         assert_eq!(var("S1", "brother", "Bssn#"), var("S2", "uncle", "Ussn#"));
         assert_eq!(
             var("S1", "parent", "children"),
@@ -432,9 +435,11 @@ mod tests {
         // Ussn# shares its component variable with brother's Bssn#, and
         // niece_nephew with parent's children (Fig. 11(a)).
         let var_after = |label: &str| {
-            let i = text.find(label).unwrap_or_else(|| panic!("{label} in {text}"));
+            let i = text
+                .find(label)
+                .unwrap_or_else(|| panic!("{label} in {text}"));
             text[i + label.len()..]
-                .split(|c: char| c == ',' || c == '>')
+                .split([',', '>'])
                 .next()
                 .unwrap()
                 .trim()
@@ -537,10 +542,12 @@ mod tests {
     fn apply_records_rules_and_trace() {
         let s1 = SchemaBuilder::new("S1")
             .class("parent", |c| {
-                c.attr("Pssn#", AttrType::Str).set_attr("children", AttrType::Str)
+                c.attr("Pssn#", AttrType::Str)
+                    .set_attr("children", AttrType::Str)
             })
             .class("brother", |c| {
-                c.attr("Bssn#", AttrType::Str).set_attr("brothers", AttrType::Str)
+                c.attr("Bssn#", AttrType::Str)
+                    .set_attr("brothers", AttrType::Str)
             })
             .build()
             .unwrap();

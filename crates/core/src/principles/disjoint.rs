@@ -86,10 +86,7 @@ pub fn apply_all(ctx: &mut Integrator<'_>, ids: &BTreeSet<usize>) -> Result<()> 
         let mut body = vec![Literal::oterm(OTermPat::new(x.clone(), parent.as_str()))];
         for a in &a_classes {
             if let Some(is_a) = ctx.output.is(ctx.s1.name.as_str(), a) {
-                body.push(Literal::neg(Literal::oterm(OTermPat::new(
-                    x.clone(),
-                    is_a,
-                ))));
+                body.push(Literal::neg(Literal::oterm(OTermPat::new(x.clone(), is_a))));
             }
         }
         if heads.is_empty() {
@@ -196,7 +193,10 @@ mod tests {
     #[test]
     fn no_rule_without_merged_parents() {
         let s1 = SchemaBuilder::new("S1").empty_class("man").build().unwrap();
-        let s2 = SchemaBuilder::new("S2").empty_class("woman").build().unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .empty_class("woman")
+            .build()
+            .unwrap();
         let aset = AssertionSet::build([ClassAssertion::simple(
             "S1",
             "man",
@@ -217,12 +217,16 @@ mod tests {
     fn reverse_agg_rules_generated() {
         let s1 = SchemaBuilder::new("S1")
             .empty_class("woman_stub")
-            .class("man", |c| c.agg("spouse", "woman_stub", Cardinality::ONE_ONE))
+            .class("man", |c| {
+                c.agg("spouse", "woman_stub", Cardinality::ONE_ONE)
+            })
             .build()
             .unwrap();
         let s2 = SchemaBuilder::new("S2")
             .empty_class("man_stub")
-            .class("woman", |c| c.agg("spouse", "man_stub", Cardinality::ONE_ONE))
+            .class("woman", |c| {
+                c.agg("spouse", "man_stub", Cardinality::ONE_ONE)
+            })
             .build()
             .unwrap();
         let aset = AssertionSet::build([ClassAssertion::simple(

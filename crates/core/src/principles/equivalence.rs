@@ -19,7 +19,7 @@
 use crate::context::Integrator;
 use crate::integrated::{AifKind, AttrOrigin, ISAgg, ISClass, SourceAttr, SourceRef};
 use crate::{IntegrationError, Result};
-use assertions::{AttrCorr, AttrOp, AggCorr, AggOp, ClassAssertion, PairRelation, SPath};
+use assertions::{AggCorr, AggOp, AttrCorr, AttrOp, ClassAssertion, PairRelation, SPath};
 use oo_model::{AttrDef, AttrType, Schema};
 use std::collections::BTreeSet;
 
@@ -68,11 +68,7 @@ fn attr_type(schema: &Schema, path: &SPath) -> Result<AttrType> {
 }
 
 fn src(p: &SPath) -> SourceAttr {
-    SourceAttr::new(
-        p.schema.clone(),
-        p.class_name(),
-        p.path.steps.join("."),
-    )
+    SourceAttr::new(p.schema.clone(), p.class_name(), p.path.steps.join("."))
 }
 
 /// Push `attr` with `origin` into `class`, freshening the name on clash.
@@ -80,9 +76,7 @@ fn push_attr(class: &mut ISClass, mut attr: AttrDef, origin: AttrOrigin) {
     while class.attribute(&attr.name).is_some() {
         attr.name.push_str("_2");
     }
-    class
-        .attr_origins
-        .insert(attr.name.clone(), origin);
+    class.attr_origins.insert(attr.name.clone(), origin);
     class.attrs.push(attr);
 }
 
@@ -94,7 +88,10 @@ pub(crate) fn merge_attrs(
     a: &ClassAssertion,
     out: &mut ISClass,
 ) -> Result<()> {
-    let (ls, rs) = (schema_by_name(ctx, &a.left_schema)?, schema_by_name(ctx, &a.right_schema)?);
+    let (ls, rs) = (
+        schema_by_name(ctx, &a.left_schema)?,
+        schema_by_name(ctx, &a.right_schema)?,
+    );
     let mut covered_left: BTreeSet<String> = BTreeSet::new();
     let mut covered_right: BTreeSet<String> = BTreeSet::new();
     for corr in &a.attr_corrs {
@@ -159,16 +156,10 @@ pub(crate) fn merge_attrs(
                 // one; after orientation that is the side the original
                 // `corr.left` named.
                 let specific = &corr.left;
-                let ty = attr_type(
-                    schema_by_name(ctx, &specific.schema)?,
-                    specific,
-                )?;
+                let ty = attr_type(schema_by_name(ctx, &specific.schema)?, specific)?;
                 push_attr(
                     out,
-                    AttrDef::new(
-                        specific.member().unwrap_or(specific.class_name()),
-                        ty,
-                    ),
+                    AttrDef::new(specific.member().unwrap_or(specific.class_name()), ty),
                     AttrOrigin::MoreSpecific(src(specific)),
                 );
             }
@@ -227,13 +218,10 @@ fn orient_agg(corr: &AggCorr, a: &ClassAssertion) -> Result<(SPath, AggOp, SPath
     }
 }
 
-fn agg_def<'s>(
-    schema: &'s Schema,
-    path: &SPath,
-) -> Result<&'s oo_model::AggDef> {
-    let class = schema.class_named(path.class_name()).ok_or_else(|| {
-        IntegrationError::BadAssertion(format!("no class {}", path.class_name()))
-    })?;
+fn agg_def<'s>(schema: &'s Schema, path: &SPath) -> Result<&'s oo_model::AggDef> {
+    let class = schema
+        .class_named(path.class_name())
+        .ok_or_else(|| IntegrationError::BadAssertion(format!("no class {}", path.class_name())))?;
     let member = path
         .member()
         .ok_or_else(|| IntegrationError::BadAssertion(format!("`{path}` names no member")))?;
@@ -256,7 +244,10 @@ pub(crate) fn merge_aggs(
     a: &ClassAssertion,
     out: &mut ISClass,
 ) -> Result<()> {
-    let (ls, rs) = (schema_by_name(ctx, &a.left_schema)?, schema_by_name(ctx, &a.right_schema)?);
+    let (ls, rs) = (
+        schema_by_name(ctx, &a.left_schema)?,
+        schema_by_name(ctx, &a.right_schema)?,
+    );
     let mut covered_left: BTreeSet<String> = BTreeSet::new();
     let mut covered_right: BTreeSet<String> = BTreeSet::new();
     for corr in &a.agg_corrs {
@@ -281,10 +272,7 @@ pub(crate) fn merge_aggs(
                     out,
                     ISAgg {
                         name: rdef.name.clone(),
-                        range_source: SourceRef::new(
-                            a.right_schema.clone(),
-                            rdef.range.as_str(),
-                        ),
+                        range_source: SourceRef::new(a.right_schema.clone(), rdef.range.as_str()),
                         range: None,
                         cc: rdef.cc,
                     },
@@ -299,10 +287,8 @@ pub(crate) fn merge_aggs(
                     &a.right_schema,
                     rdef.range.as_str(),
                 );
-                let ranges_related = matches!(
-                    rel,
-                    PairRelation::Equiv(_) | PairRelation::Intersect(_)
-                );
+                let ranges_related =
+                    matches!(rel, PairRelation::Equiv(_) | PairRelation::Intersect(_));
                 if ranges_related {
                     push_agg(
                         out,
@@ -348,7 +334,12 @@ pub(crate) fn merge_aggs(
     }
     // Default accumulation of unasserted aggregation functions.
     for (schema_name, schema, class_name, covered) in [
-        (&a.left_schema, ls, a.left_class().to_string(), &covered_left),
+        (
+            &a.left_schema,
+            ls,
+            a.left_class().to_string(),
+            &covered_left,
+        ),
         (&a.right_schema, rs, a.right_class.clone(), &covered_right),
     ] {
         let class = schema
@@ -434,8 +425,7 @@ pub fn absorb(
         let mine_src = src(&mine);
         for origin in is_class.attr_origins.values_mut() {
             if origin.sources().iter().any(|s| **s == other_src) {
-                let mut leaves: Vec<SourceAttr> =
-                    origin.sources().into_iter().cloned().collect();
+                let mut leaves: Vec<SourceAttr> = origin.sources().into_iter().cloned().collect();
                 if !leaves.contains(&mine_src) {
                     leaves.push(mine_src.clone());
                 }
@@ -598,12 +588,13 @@ mod tests {
             .class("student", |c| c.attr("study_support", AttrType::Int))
             .build()
             .unwrap();
-        let a = ClassAssertion::simple("S1", "faculty", ClassOp::Equiv, "S2", "student")
-            .attr_corr(AttrCorr::new(
+        let a = ClassAssertion::simple("S1", "faculty", ClassOp::Equiv, "S2", "student").attr_corr(
+            AttrCorr::new(
                 SPath::attr("S1", "faculty", "income"),
                 AttrOp::Intersect,
                 SPath::attr("S2", "student", "study_support"),
-            ));
+            ),
+        );
         let aset = AssertionSet::build([a]).unwrap();
         let mut ctx = Integrator::new(&s1, &s2, &aset);
         ctx.merge_equivalent(0).unwrap();
@@ -622,7 +613,9 @@ mod tests {
         use assertions::{AggCorr, AggOp, SPath};
         let s1 = SchemaBuilder::new("S1")
             .empty_class("dept1")
-            .class("faculty", |c| c.agg("work_in", "dept1", Cardinality::ONE_ONE))
+            .class("faculty", |c| {
+                c.agg("work_in", "dept1", Cardinality::ONE_ONE)
+            })
             .build()
             .unwrap();
         let s2 = SchemaBuilder::new("S2")
@@ -630,12 +623,13 @@ mod tests {
             .class("student", |c| c.agg("work_in", "dept2", Cardinality::M_ONE))
             .build()
             .unwrap();
-        let a = ClassAssertion::simple("S1", "faculty", ClassOp::Equiv, "S2", "student")
-            .agg_corr(AggCorr::new(
+        let a = ClassAssertion::simple("S1", "faculty", ClassOp::Equiv, "S2", "student").agg_corr(
+            AggCorr::new(
                 SPath::attr("S1", "faculty", "work_in"),
                 AggOp::Equiv,
                 SPath::attr("S2", "student", "work_in"),
-            ));
+            ),
+        );
         let ranges = ClassAssertion::simple("S1", "dept1", ClassOp::Equiv, "S2", "dept2");
         let aset = AssertionSet::build([a, ranges]).unwrap();
         let mut ctx = Integrator::new(&s1, &s2, &aset);
@@ -659,13 +653,12 @@ mod tests {
             .class("b", |c| c.agg("g", "dept2", Cardinality::M_ONE))
             .build()
             .unwrap();
-        let a = ClassAssertion::simple("S1", "a", ClassOp::Equiv, "S2", "b").agg_corr(
-            AggCorr::new(
+        let a =
+            ClassAssertion::simple("S1", "a", ClassOp::Equiv, "S2", "b").agg_corr(AggCorr::new(
                 SPath::attr("S1", "a", "f"),
                 AggOp::Equiv,
                 SPath::attr("S2", "b", "g"),
-            ),
-        );
+            ));
         let aset = AssertionSet::build([a]).unwrap();
         let mut ctx = Integrator::new(&s1, &s2, &aset);
         ctx.merge_equivalent(0).unwrap();

@@ -25,10 +25,7 @@ use oo_model::{ClassName, Schema};
 /// Given `A ⊆ targets…` (all in `sup_schema`), choose the most specific
 /// targets per Fig. 8: drop any target that is a (transitive) superclass of
 /// another target.
-pub fn most_specific_targets(
-    sup_schema: &Schema,
-    targets: &[ClassName],
-) -> Vec<ClassName> {
+pub fn most_specific_targets(sup_schema: &Schema, targets: &[ClassName]) -> Vec<ClassName> {
     targets
         .iter()
         .filter(|t| {
@@ -130,9 +127,10 @@ mod tests {
             .isa("B4", "B3")
             .build()
             .unwrap();
-        let aset = AssertionSet::build((1..=4).map(|i| {
-            ClassAssertion::simple("S1", "A", ClassOp::Incl, "S2", format!("B{i}"))
-        }))
+        let aset = AssertionSet::build(
+            (1..=4)
+                .map(|i| ClassAssertion::simple("S1", "A", ClassOp::Incl, "S2", format!("B{i}"))),
+        )
         .unwrap();
         let links = minimal_links(&aset, &s1, "A", &s2);
         assert_eq!(links.len(), 1);

@@ -21,7 +21,13 @@ use crate::{IntegrationError, Result};
 use deduction::{CmpOp, Literal, OTermPat, Rule, Term};
 
 /// Build the membership rules for `IS_AB`, `IS_A−` and `IS_B−`.
-pub fn membership_rules(is_a: &str, is_b: &str, is_ab: &str, a_minus: &str, b_minus: &str) -> [Rule; 3] {
+pub fn membership_rules(
+    is_a: &str,
+    is_b: &str,
+    is_ab: &str,
+    a_minus: &str,
+    b_minus: &str,
+) -> [Rule; 3] {
     let x = Term::var("x");
     let y = Term::var("y");
     [
@@ -61,16 +67,12 @@ pub fn apply(ctx: &mut Integrator<'_>, assertion_id: usize) -> Result<()> {
     let is_a = ctx
         .output
         .is(&a.left_schema, a.left_class())
-        .ok_or_else(|| {
-            IntegrationError::Internal(format!("IS({}) missing", a.left_class()))
-        })?
+        .ok_or_else(|| IntegrationError::Internal(format!("IS({}) missing", a.left_class())))?
         .to_string();
     let is_b = ctx
         .output
         .is(&a.right_schema, &a.right_class)
-        .ok_or_else(|| {
-            IntegrationError::Internal(format!("IS({}) missing", a.right_class))
-        })?
+        .ok_or_else(|| IntegrationError::Internal(format!("IS({}) missing", a.right_class)))?
         .to_string();
     let ab_name = ctx
         .output
@@ -168,12 +170,11 @@ mod tests {
 
         // The three membership rules.
         let rules: Vec<String> = ctx.output.rules.iter().map(|r| r.to_string()).collect();
-        assert!(rules
-            .contains(&"<x: faculty_student> ⇐ <x: faculty>, <y: student>, y = x".to_string()));
-        assert!(rules
-            .contains(&"<x: faculty_> ⇐ <x: faculty>, ¬<x: faculty_student>".to_string()));
-        assert!(rules
-            .contains(&"<x: student_> ⇐ <x: student>, ¬<x: faculty_student>".to_string()));
+        assert!(
+            rules.contains(&"<x: faculty_student> ⇐ <x: faculty>, <y: student>, y = x".to_string())
+        );
+        assert!(rules.contains(&"<x: faculty_> ⇐ <x: faculty>, ¬<x: faculty_student>".to_string()));
+        assert!(rules.contains(&"<x: student_> ⇐ <x: student>, ¬<x: faculty_student>".to_string()));
     }
 
     #[test]
@@ -182,6 +183,6 @@ mod tests {
         for r in &rules {
             deduction::check_rule(r).unwrap();
         }
-        deduction::stratify(&rules.to_vec()).unwrap();
+        deduction::stratify(rules.as_ref()).unwrap();
     }
 }

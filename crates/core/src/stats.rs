@@ -8,6 +8,11 @@
 use std::fmt;
 use std::ops::AddAssign;
 
+// Rule-evaluation counters (fired rules, delta skips, index probes, extent
+// scans) live next to the engine in `deduction`; re-exported here so
+// experiments read every counter through one stats module.
+pub use deduction::{EvalStats, EvalStrategy};
+
 /// Counters collected during one integration run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IntegrationStats {
@@ -74,8 +79,16 @@ impl AddAssign for IntegrationStats {
 impl fmt::Display for IntegrationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "pairs checked:            {}", self.pairs_checked)?;
-        writeln!(f, "pairs skipped by labels:  {}", self.pairs_skipped_by_labels)?;
-        writeln!(f, "sibling pairs removed:    {}", self.pairs_removed_as_siblings)?;
+        writeln!(
+            f,
+            "pairs skipped by labels:  {}",
+            self.pairs_skipped_by_labels
+        )?;
+        writeln!(
+            f,
+            "sibling pairs removed:    {}",
+            self.pairs_removed_as_siblings
+        )?;
         writeln!(f, "pairs enqueued:           {}", self.pairs_enqueued)?;
         writeln!(f, "DFS checks:               {}", self.dfs_checks)?;
         writeln!(f, "labels created:           {}", self.labels_created)?;
@@ -86,6 +99,26 @@ impl fmt::Display for IntegrationStats {
         writeln!(f, "rules generated:          {}", self.rules_generated)?;
         writeln!(f, "is-a links inserted:      {}", self.isa_links_inserted)?;
         write!(f, "is-a links removed:       {}", self.isa_links_removed)
+    }
+}
+
+/// Combined accounting for an integrate-then-saturate pipeline run:
+/// schema-integration pair checks (§6.3) plus rule-evaluation work from
+/// saturating the integrated fact base.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    pub integration: IntegrationStats,
+    /// Present once the fact base has been saturated.
+    pub evaluation: Option<EvalStats>,
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.integration)?;
+        match &self.evaluation {
+            Some(e) => write!(f, "evaluation:               {e}"),
+            None => write!(f, "evaluation:               not run"),
+        }
     }
 }
 
@@ -110,8 +143,23 @@ mod tests {
     #[test]
     fn display_mentions_every_counter() {
         let s = IntegrationStats::new().to_string();
-        for key in ["pairs checked", "DFS checks", "labels created", "rules generated"] {
+        for key in [
+            "pairs checked",
+            "DFS checks",
+            "labels created",
+            "rules generated",
+        ] {
             assert!(s.contains(key), "{key} missing");
         }
+    }
+
+    #[test]
+    fn pipeline_stats_display_covers_both_phases() {
+        let mut p = PipelineStats::default();
+        assert!(p.to_string().contains("not run"));
+        p.evaluation = Some(EvalStats::default());
+        let s = p.to_string();
+        assert!(s.contains("pairs checked"));
+        assert!(s.contains("iterations"));
     }
 }

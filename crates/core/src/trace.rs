@@ -8,15 +8,27 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A pair was popped from the breadth-first queue `S_b` and checked.
-    PopPair { left: String, right: String, relation: String },
+    PopPair {
+        left: String,
+        right: String,
+        relation: String,
+    },
     /// A pair was popped but skipped due to label pruning.
     SkipPairLabels { left: String, right: String },
     /// A pair was removed by the equivalence sibling rule (line 10).
     RemoveSiblingPair { left: String, right: String },
     /// Classes merged into an integrated class (Principle 1).
-    Merged { left: String, right: String, name: String },
+    Merged {
+        left: String,
+        right: String,
+        name: String,
+    },
     /// `path_labelling` started for `N₁ ⊆ N₂` with a fresh label.
-    DfsStart { n1: String, root: String, label: u32 },
+    DfsStart {
+        n1: String,
+        root: String,
+        label: u32,
+    },
     /// A node was popped from the depth-first stack `S_d` and checked.
     DfsPop { node: String, relation: String },
     /// A node received a label.
@@ -40,7 +52,11 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::PopPair { left, right, relation } => {
+            TraceEvent::PopPair {
+                left,
+                right,
+                relation,
+            } => {
                 write!(f, "pop ({left}, {right}): {relation}")
             }
             TraceEvent::SkipPairLabels { left, right } => {
@@ -53,7 +69,10 @@ impl fmt::Display for TraceEvent {
                 write!(f, "merge({left}, {right}) → {name}")
             }
             TraceEvent::DfsStart { n1, root, label } => {
-                write!(f, "path_labelling({n1}, ⊆, subgraph of {root}) with label {label}")
+                write!(
+                    f,
+                    "path_labelling({n1}, ⊆, subgraph of {root}) with label {label}"
+                )
             }
             TraceEvent::DfsPop { node, relation } => write!(f, "  dfs pop {node}: {relation}"),
             TraceEvent::Labelled { node, label } => write!(f, "  label {node} with {label}"),
@@ -108,8 +127,13 @@ mod tests {
     #[test]
     fn render_numbers_steps() {
         let t = render_trace(&[
-            TraceEvent::Starred { node: "professor".into() },
-            TraceEvent::IsaInserted { sub: "lecturer".into(), sup: "faculty".into() },
+            TraceEvent::Starred {
+                node: "professor".into(),
+            },
+            TraceEvent::IsaInserted {
+                sub: "lecturer".into(),
+                sup: "faculty".into(),
+            },
         ]);
         assert!(t.contains("mark professor with *"));
         assert!(t.starts_with("   1."));

@@ -9,6 +9,36 @@
 //! and rules (Principles 3–5) queryable without materialising anything in
 //! the component databases — autonomy is preserved because all inference
 //! happens at this abstract level (§1, Appendix B).
+//!
+//! # Evaluation pipeline
+//!
+//! Two strategies are available behind [`EvalStrategy`]:
+//!
+//! * [`EvalStrategy::Naive`] — the reference engine: every iteration
+//!   re-fires every rule of the stratum with strict left-to-right joins and
+//!   linear extent scans. Kept as the baseline for differential testing and
+//!   benchmarking.
+//! * [`EvalStrategy::SemiNaive`] (default) — delta-driven firing with
+//!   indexed joins:
+//!   - each extent keeps its facts in insertion order plus a first-argument
+//!     index (`predicate → first column value → positions`, `class →
+//!     object → positions`), so a body literal whose first argument is
+//!     ground under the current substitution *probes* instead of scanning;
+//!   - per stratum, after one full round, only the facts derived in the
+//!     previous round (the **delta window**, a pair of per-relation
+//!     watermarks over the insertion-order vectors) can produce new
+//!     matches, so each rule is re-fired once per body literal that reads a
+//!     changed relation, with that literal restricted to the window.
+//!     Rules with no body literal in the delta are skipped entirely;
+//!   - a greedy planner orders each body: comparisons and negations run as
+//!     soon as their variables are bound, and among positive literals the
+//!     one with the cheapest estimated extent (probe-aware) runs first;
+//!   - independent rule firings within an iteration run in parallel
+//!     (`rayon`) once the database is large enough to pay for the threads.
+//!
+//! Both strategies produce identical [`FactDb`] contents (`FactDb`
+//! equality ignores insertion order); the `differential` integration test
+//! checks this on random stratified programs.
 
 use crate::safety::check_rule;
 use crate::strata::stratify;
@@ -16,8 +46,10 @@ use crate::subst::Subst;
 use crate::term::{Literal, NameRef, OTermPat, Rule, Term};
 use crate::unify::{unify_oterm_pattern, unify_terms};
 use oo_model::Value;
+use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Evaluation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,12 +73,208 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// The fact database: ground O-terms per class, ground tuples per predicate.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct FactDb {
-    oterms: BTreeMap<String, BTreeSet<OTermPat>>,
-    preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
+/// Which fixpoint engine [`Program::evaluate_with`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Re-fire every rule against the full database each iteration, with
+    /// left-to-right joins and linear scans. The reference semantics.
+    Naive,
+    /// Delta-driven firing over indexed extents with greedy join ordering.
+    #[default]
+    SemiNaive,
 }
+
+impl fmt::Display for EvalStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalStrategy::Naive => write!(f, "naive"),
+            EvalStrategy::SemiNaive => write!(f, "semi-naive"),
+        }
+    }
+}
+
+/// Work counters from one [`Program::evaluate_with`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    pub strategy: EvalStrategy,
+    /// Fixpoint rounds summed over all strata.
+    pub iterations: u64,
+    /// Rule-body evaluations actually executed (one per delta position in
+    /// semi-naive rounds after the first).
+    pub rules_fired: u64,
+    /// Rule firings skipped because no body relation changed in the delta.
+    pub rules_skipped_no_delta: u64,
+    /// Facts newly added to the database.
+    pub facts_derived: u64,
+    /// Index probes performed by body matching.
+    pub index_probes: u64,
+    /// Full or windowed extent scans performed by body matching.
+    pub extent_scans: u64,
+}
+
+impl EvalStats {
+    fn new(strategy: EvalStrategy) -> Self {
+        EvalStats {
+            strategy,
+            ..EvalStats::default()
+        }
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} iterations, {} fired, {} skipped (no delta), {} derived, {} probes, {} scans",
+            self.strategy,
+            self.iterations,
+            self.rules_fired,
+            self.rules_skipped_no_delta,
+            self.facts_derived,
+            self.index_probes,
+            self.extent_scans
+        )
+    }
+}
+
+/// Ground tuples of one predicate: insertion-ordered with a set for dedup
+/// and a first-column index for probing.
+#[derive(Debug, Default, Clone)]
+struct PredExtent {
+    tuples: Vec<Vec<Value>>,
+    set: BTreeSet<Vec<Value>>,
+    by_first: BTreeMap<Value, Vec<u32>>,
+}
+
+impl PredExtent {
+    fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        if !self.set.insert(tuple.clone()) {
+            return false;
+        }
+        let pos = self.tuples.len() as u32;
+        if let Some(first) = tuple.first() {
+            self.by_first.entry(first.clone()).or_default().push(pos);
+        }
+        self.tuples.push(tuple);
+        true
+    }
+}
+
+/// Ground O-terms of one class: insertion-ordered with a set for dedup and
+/// an object-identity index. Facts whose object term is not a plain value
+/// (a degenerate but storable shape) fall into the unindexed bucket and are
+/// checked on every probe.
+#[derive(Debug, Default, Clone)]
+struct ClassExtent {
+    facts: Vec<OTermPat>,
+    set: BTreeSet<OTermPat>,
+    by_object: BTreeMap<Value, Vec<u32>>,
+    unindexed: Vec<u32>,
+}
+
+impl ClassExtent {
+    fn insert(&mut self, fact: OTermPat) -> bool {
+        if !self.set.insert(fact.clone()) {
+            return false;
+        }
+        let pos = self.facts.len() as u32;
+        match fact.object.as_val() {
+            Some(v) => self.by_object.entry(v.clone()).or_default().push(pos),
+            None => self.unindexed.push(pos),
+        }
+        self.facts.push(fact);
+        true
+    }
+}
+
+/// Per-relation extent sizes at a point in time; a pair of watermarks
+/// brackets a semi-naive delta window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Watermark {
+    oterms: BTreeMap<String, usize>,
+    preds: BTreeMap<String, usize>,
+}
+
+impl Watermark {
+    fn class_len(&self, class: &str) -> usize {
+        self.oterms.get(class).copied().unwrap_or(0)
+    }
+
+    fn pred_len(&self, pred: &str) -> usize {
+        self.preds.get(pred).copied().unwrap_or(0)
+    }
+}
+
+/// The window a positive literal ranges over: the whole extent, or the
+/// slice between two watermarks (the delta literal in semi-naive rounds).
+#[derive(Clone, Copy)]
+enum Window<'a> {
+    Full,
+    Delta(&'a Watermark, &'a Watermark),
+}
+
+impl Window<'_> {
+    fn class_range(&self, class: &str, len: usize) -> (usize, usize) {
+        match self {
+            Window::Full => (0, len),
+            Window::Delta(from, to) => (from.class_len(class), to.class_len(class).min(len)),
+        }
+    }
+
+    fn pred_range(&self, pred: &str, len: usize) -> (usize, usize) {
+        match self {
+            Window::Full => (0, len),
+            Window::Delta(from, to) => (from.pred_len(pred), to.pred_len(pred).min(len)),
+        }
+    }
+}
+
+/// The fact database: ground O-terms per class, ground tuples per predicate.
+///
+/// Equality and the `oterms_of` / `tuples_of` iterators are
+/// insertion-order-insensitive (they go through the per-extent sorted
+/// sets), so two databases saturated by different strategies compare equal
+/// when they hold the same facts.
+#[derive(Debug, Default)]
+pub struct FactDb {
+    oterms: BTreeMap<String, ClassExtent>,
+    preds: BTreeMap<String, PredExtent>,
+    // Work counters, relaxed: they keep `&self` matching cheap and the
+    // database `Sync` for parallel rule firing; exact cross-thread ordering
+    // of increments is irrelevant.
+    probes: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl Clone for FactDb {
+    fn clone(&self) -> Self {
+        FactDb {
+            oterms: self.oterms.clone(),
+            preds: self.preds.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for FactDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.oterms.len() == other.oterms.len()
+            && self.preds.len() == other.preds.len()
+            && self
+                .oterms
+                .iter()
+                .zip(&other.oterms)
+                .all(|((ka, a), (kb, b))| ka == kb && a.set == b.set)
+            && self
+                .preds
+                .iter()
+                .zip(&other.preds)
+                .all(|((ka, a), (kb, b))| ka == kb && a.set == b.set)
+    }
+}
+
+impl Eq for FactDb {}
 
 impl FactDb {
     pub fn new() -> Self {
@@ -68,33 +296,215 @@ impl FactDb {
         self.preds.entry(name.into()).or_default().insert(tuple)
     }
 
+    /// O-term facts of a class, in sorted (insertion-order-independent)
+    /// order.
     pub fn oterms_of(&self, class: &str) -> impl Iterator<Item = &OTermPat> {
-        self.oterms.get(class).into_iter().flatten()
+        self.oterms
+            .get(class)
+            .into_iter()
+            .flat_map(|e| e.set.iter())
     }
 
+    /// Tuples of a predicate, in sorted (insertion-order-independent)
+    /// order.
     pub fn tuples_of(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
-        self.preds.get(pred).into_iter().flatten()
+        self.preds.get(pred).into_iter().flat_map(|e| e.set.iter())
     }
 
     pub fn len(&self) -> usize {
-        self.oterms.values().map(BTreeSet::len).sum::<usize>()
-            + self.preds.values().map(BTreeSet::len).sum::<usize>()
+        self.oterms.values().map(|e| e.facts.len()).sum::<usize>()
+            + self.preds.values().map(|e| e.tuples.len()).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// All substitutions under which `lit` (a positive O-term or predicate
-    /// pattern) matches a fact, extending `base`.
-    fn matches(&self, lit: &Literal, base: &Subst) -> Vec<Subst> {
-        let mut out = Vec::new();
+    /// Index probes performed so far (monotonic work counter).
+    pub fn index_probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Extent scans performed so far (monotonic work counter).
+    pub fn extent_scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    fn watermark(&self) -> Watermark {
+        Watermark {
+            oterms: self
+                .oterms
+                .iter()
+                .map(|(k, e)| (k.clone(), e.facts.len()))
+                .collect(),
+            preds: self
+                .preds
+                .iter()
+                .map(|(k, e)| (k.clone(), e.tuples.len()))
+                .collect(),
+        }
+    }
+
+    /// Unify `pat` (with a concrete class already substituted in) against
+    /// one stored fact, extending `base`; pushes the extended substitution.
+    fn unify_oterm_fact(
+        pat: &OTermPat,
+        class: &str,
+        class_var: Option<&str>,
+        fact: &OTermPat,
+        base: &Subst,
+        out: &mut Vec<Subst>,
+    ) {
+        let mut s = base.clone();
+        if unify_oterm_pattern(pat, fact, &mut s) {
+            // A class variable also binds to the class name, so
+            // schematic-discrepancy rules can carry it.
+            if let Some(v) = class_var {
+                if !unify_terms(
+                    &Term::Var(v.to_string()),
+                    &Term::Val(Value::Str(class.to_string())),
+                    &mut s,
+                ) {
+                    return;
+                }
+            }
+            out.push(s);
+        }
+    }
+
+    /// Matches for a positive O-term literal within one class extent,
+    /// probing the object index when the pattern's object is ground under
+    /// `base`.
+    fn match_oterm_in_class(
+        &self,
+        pat: &OTermPat,
+        class: &str,
+        ext: &ClassExtent,
+        window: Window<'_>,
+        base: &Subst,
+        out: &mut Vec<Subst>,
+    ) {
+        let (start, end) = window.class_range(class, ext.facts.len());
+        if start >= end {
+            return;
+        }
+        let class_var = match &pat.class {
+            NameRef::Var(v) => Some(v.as_str()),
+            NameRef::Name(_) => None,
+        };
+        let concrete = OTermPat {
+            object: pat.object.clone(),
+            class: NameRef::Name(class.to_string()),
+            bindings: pat.bindings.clone(),
+        };
+        if let Some(obj) = base.value_of(&pat.object) {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            let in_window = |positions: &[u32]| {
+                positions
+                    .iter()
+                    .map(|&p| p as usize)
+                    .filter(|&p| p >= start && p < end)
+                    .collect::<Vec<_>>()
+            };
+            for p in ext
+                .by_object
+                .get(&obj)
+                .map(|v| in_window(v))
+                .unwrap_or_default()
+            {
+                Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
+            }
+            // Facts with non-value objects are not in the index but may
+            // still unify.
+            for p in in_window(&ext.unindexed) {
+                Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
+            }
+        } else {
+            self.scans.fetch_add(1, Ordering::Relaxed);
+            for fact in &ext.facts[start..end] {
+                Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
+            }
+        }
+    }
+
+    /// All substitutions under which a positive literal matches a fact in
+    /// `window`, extending `base`. Probes the first-argument index when the
+    /// probe key is ground under `base`; scans the window otherwise.
+    fn match_positive(
+        &self,
+        lit: &Literal,
+        base: &Subst,
+        window: Window<'_>,
+        out: &mut Vec<Subst>,
+    ) {
+        match lit {
+            Literal::OTerm(pat) => match &pat.class {
+                NameRef::Name(n) => {
+                    if let Some(ext) = self.oterms.get(n) {
+                        self.match_oterm_in_class(pat, n, ext, window, base, out);
+                    }
+                }
+                // Class variables range over every stored class.
+                NameRef::Var(_) => {
+                    for (class, ext) in &self.oterms {
+                        self.match_oterm_in_class(pat, class, ext, window, base, out);
+                    }
+                }
+            },
+            Literal::Pred(p) => {
+                let Some(ext) = self.preds.get(&p.name) else {
+                    return;
+                };
+                let (start, end) = window.pred_range(&p.name, ext.tuples.len());
+                if start >= end {
+                    return;
+                }
+                let unify_tuple = |tuple: &Vec<Value>, out: &mut Vec<Subst>| {
+                    if tuple.len() != p.args.len() {
+                        return;
+                    }
+                    let mut s = base.clone();
+                    if p.args
+                        .iter()
+                        .zip(tuple)
+                        .all(|(a, v)| unify_terms(a, &Term::Val(v.clone()), &mut s))
+                    {
+                        out.push(s);
+                    }
+                };
+                let key = p.args.first().and_then(|t| base.value_of(t));
+                if let Some(key) = key {
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    for &pos in ext.by_first.get(&key).into_iter().flatten() {
+                        let pos = pos as usize;
+                        if pos >= start && pos < end {
+                            unify_tuple(&ext.tuples[pos], out);
+                        }
+                    }
+                } else {
+                    self.scans.fetch_add(1, Ordering::Relaxed);
+                    for tuple in &ext.tuples[start..end] {
+                        unify_tuple(tuple, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Linear-scan matching with no index use: the naive baseline's cost
+    /// model (and semantics), equivalent to `match_positive` over the full
+    /// window.
+    fn match_scan(&self, lit: &Literal, base: &Subst, out: &mut Vec<Subst>) {
         match lit {
             Literal::OTerm(pat) => {
                 let classes: Vec<&String> = match &pat.class {
                     NameRef::Name(n) => self.oterms.keys().filter(|k| *k == n).collect(),
-                    // Class variables range over every stored class.
                     NameRef::Var(_) => self.oterms.keys().collect(),
+                };
+                let class_var = match &pat.class {
+                    NameRef::Var(v) => Some(v.as_str()),
+                    NameRef::Name(_) => None,
                 };
                 for class in classes {
                     let concrete = OTermPat {
@@ -102,27 +512,15 @@ impl FactDb {
                         class: NameRef::Name(class.clone()),
                         bindings: pat.bindings.clone(),
                     };
-                    for fact in self.oterms.get(class).into_iter().flatten() {
-                        let mut s = base.clone();
-                        if unify_oterm_pattern(&concrete, fact, &mut s) {
-                            // A class variable also binds to the class name,
-                            // so schematic-discrepancy rules can carry it.
-                            if let NameRef::Var(v) = &pat.class {
-                                if !unify_terms(
-                                    &Term::Var(v.clone()),
-                                    &Term::Val(Value::Str(class.clone())),
-                                    &mut s,
-                                ) {
-                                    continue;
-                                }
-                            }
-                            out.push(s);
-                        }
+                    self.scans.fetch_add(1, Ordering::Relaxed);
+                    for fact in self.oterms.get(class).into_iter().flat_map(|e| &e.facts) {
+                        Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
                     }
                 }
             }
             Literal::Pred(p) => {
-                for tuple in self.tuples_of(&p.name) {
+                self.scans.fetch_add(1, Ordering::Relaxed);
+                for tuple in self.preds.get(&p.name).into_iter().flat_map(|e| &e.tuples) {
                     if tuple.len() != p.args.len() {
                         continue;
                     }
@@ -138,17 +536,240 @@ impl FactDb {
             }
             _ => {}
         }
-        out
     }
 
-    /// Does any fact match the (ground) literal?
-    fn holds(&self, lit: &Literal, s: &Subst) -> bool {
-        !self.matches(lit, s).is_empty()
+    /// Does any fact match the literal under `s`? Early-exits on the first
+    /// match without materialising substitution vectors, probing the index
+    /// when possible.
+    fn exists(&self, lit: &Literal, s: &Subst) -> bool {
+        match lit {
+            Literal::OTerm(pat) => {
+                let classes: Vec<&String> = match &pat.class {
+                    NameRef::Name(n) => self.oterms.keys().filter(|k| *k == n).collect(),
+                    NameRef::Var(_) => self.oterms.keys().collect(),
+                };
+                for class in classes {
+                    let Some(ext) = self.oterms.get(class) else {
+                        continue;
+                    };
+                    let concrete = OTermPat {
+                        object: pat.object.clone(),
+                        class: NameRef::Name(class.clone()),
+                        bindings: pat.bindings.clone(),
+                    };
+                    let unifies = |fact: &OTermPat| {
+                        let mut probe = s.clone();
+                        unify_oterm_pattern(&concrete, fact, &mut probe)
+                            && match &pat.class {
+                                NameRef::Var(v) => unify_terms(
+                                    &Term::Var(v.clone()),
+                                    &Term::Val(Value::Str(class.clone())),
+                                    &mut probe,
+                                ),
+                                NameRef::Name(_) => true,
+                            }
+                    };
+                    let hit = if let Some(obj) = s.value_of(&pat.object) {
+                        self.probes.fetch_add(1, Ordering::Relaxed);
+                        ext.by_object
+                            .get(&obj)
+                            .into_iter()
+                            .flatten()
+                            .chain(&ext.unindexed)
+                            .any(|&p| unifies(&ext.facts[p as usize]))
+                    } else {
+                        self.scans.fetch_add(1, Ordering::Relaxed);
+                        ext.facts.iter().any(unifies)
+                    };
+                    if hit {
+                        return true;
+                    }
+                }
+                false
+            }
+            Literal::Pred(p) => {
+                let Some(ext) = self.preds.get(&p.name) else {
+                    return false;
+                };
+                let unifies = |tuple: &Vec<Value>| {
+                    tuple.len() == p.args.len() && {
+                        let mut probe = s.clone();
+                        p.args
+                            .iter()
+                            .zip(tuple)
+                            .all(|(a, v)| unify_terms(a, &Term::Val(v.clone()), &mut probe))
+                    }
+                };
+                match p.args.first().and_then(|t| s.value_of(t)) {
+                    Some(key) => {
+                        self.probes.fetch_add(1, Ordering::Relaxed);
+                        ext.by_first
+                            .get(&key)
+                            .into_iter()
+                            .flatten()
+                            .any(|&pos| unifies(&ext.tuples[pos as usize]))
+                    }
+                    None => {
+                        self.scans.fetch_add(1, Ordering::Relaxed);
+                        ext.tuples.iter().any(unifies)
+                    }
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Estimated cost of placing a positive literal next, given the set of
+    /// already-bound variables: extent size, divided by the number of
+    /// distinct index keys when the literal's probe key will be ground.
+    fn estimate_cost(&self, lit: &Literal, bound: &BTreeSet<String>) -> u64 {
+        let probeable = |t: &Term| match t {
+            Term::Val(_) => true,
+            Term::Var(v) => bound.contains(v),
+        };
+        match lit {
+            Literal::Pred(p) => {
+                let Some(ext) = self.preds.get(&p.name) else {
+                    return 0;
+                };
+                let n = ext.tuples.len() as u64;
+                match p.args.first() {
+                    Some(t) if probeable(t) => n / (ext.by_first.len().max(1) as u64),
+                    _ => n,
+                }
+            }
+            Literal::OTerm(pat) => match pat.class.as_name() {
+                Some(c) => {
+                    let Some(ext) = self.oterms.get(c) else {
+                        return 0;
+                    };
+                    let n = ext.facts.len() as u64;
+                    if probeable(&pat.object) {
+                        n / (ext.by_object.len().max(1) as u64) + ext.unindexed.len() as u64
+                    } else {
+                        n
+                    }
+                }
+                // Class variables range over everything.
+                None => self.oterms.values().map(|e| e.facts.len() as u64).sum(),
+            },
+            // Filters are placed by boundness, never by cost.
+            _ => u64::MAX,
+        }
+    }
+
+    /// Greedy join order for a conjunctive body: filters (comparisons,
+    /// negations) run as soon as their variables are bound, and the
+    /// cheapest positive literal runs first otherwise. `forced_first` pins
+    /// the semi-naive delta literal to the front. Returns `None` when some
+    /// filter's variables can never be bound — callers fall back to the
+    /// original left-to-right order, which reproduces the reference
+    /// semantics for such degenerate bodies.
+    fn plan_order(&self, body: &[Literal], forced_first: Option<usize>) -> Option<Vec<usize>> {
+        let is_filter = |l: &Literal| matches!(l, Literal::Cmp { .. } | Literal::Neg(_));
+        let mut order = Vec::with_capacity(body.len());
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        let mut remaining: Vec<usize> = (0..body.len()).collect();
+        if let Some(f) = forced_first {
+            order.push(f);
+            bound.extend(body[f].vars());
+            remaining.retain(|&i| i != f);
+        }
+        while !remaining.is_empty() {
+            if let Some(k) = remaining
+                .iter()
+                .position(|&i| is_filter(&body[i]) && body[i].vars().is_subset(&bound))
+            {
+                order.push(remaining.remove(k));
+                continue;
+            }
+            let best = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| !is_filter(&body[i]))
+                .min_by_key(|&(_, &i)| self.estimate_cost(&body[i], &bound))
+                .map(|(k, _)| k)?;
+            let i = remaining.remove(best);
+            bound.extend(body[i].vars());
+            order.push(i);
+        }
+        Some(order)
+    }
+
+    /// Evaluate `body` in the given literal order; the literal at
+    /// `delta_pos` (a position in `body`, not in `order`) is restricted to
+    /// `window`.
+    fn run_ordered(
+        &self,
+        body: &[Literal],
+        order: &[usize],
+        delta_pos: Option<usize>,
+        window: Window<'_>,
+    ) -> Vec<Subst> {
+        let mut states = vec![Subst::new()];
+        for &i in order {
+            if states.is_empty() {
+                break;
+            }
+            let lit = &body[i];
+            let mut next = Vec::new();
+            match lit {
+                Literal::Cmp { left, op, right } => {
+                    for s in states {
+                        let (l, r) = (s.value_of(left), s.value_of(right));
+                        if let (Some(l), Some(r)) = (l, r) {
+                            if op.eval(&l, &r) {
+                                next.push(s);
+                            }
+                        }
+                    }
+                }
+                Literal::Neg(inner) => {
+                    for s in states {
+                        if !self.exists(inner, &s) {
+                            next.push(s);
+                        }
+                    }
+                }
+                positive => {
+                    let w = if delta_pos == Some(i) {
+                        window
+                    } else {
+                        Window::Full
+                    };
+                    for s in &states {
+                        self.match_positive(positive, s, w, &mut next);
+                    }
+                }
+            }
+            states = next;
+        }
+        states
     }
 
     /// Query: all substitutions that satisfy a conjunctive body of
-    /// literals, in left-to-right join order.
+    /// literals, using indexed joins in greedy order (comparisons and
+    /// negations deferred until their variables are bound).
     pub fn query(&self, body: &[Literal]) -> Vec<Subst> {
+        match self.plan_order(body, None) {
+            Some(order) => self.run_ordered(body, &order, None, Window::Full),
+            None => self.query_scan(body),
+        }
+    }
+
+    /// Delta-restricted query: literal `delta_pos` ranges only over the
+    /// window; used by semi-naive rounds.
+    fn query_delta(&self, body: &[Literal], delta_pos: usize, window: Window<'_>) -> Vec<Subst> {
+        let order = self
+            .plan_order(body, Some(delta_pos))
+            .unwrap_or_else(|| (0..body.len()).collect());
+        self.run_ordered(body, &order, Some(delta_pos), window)
+    }
+
+    /// Reference query: strict left-to-right joins with linear scans (the
+    /// seed engine's behaviour). Negations still early-exit via `exists`
+    /// (which degrades to a scan for unbound patterns).
+    fn query_scan(&self, body: &[Literal]) -> Vec<Subst> {
         let mut states = vec![Subst::new()];
         for lit in body {
             let mut next = Vec::new();
@@ -163,11 +784,11 @@ impl FactDb {
                         }
                     }
                     Literal::Neg(inner) => {
-                        if !self.holds(inner, s) {
+                        if !self.exists(inner, s) {
                             next.push(s.clone());
                         }
                     }
-                    positive => next.extend(self.matches(positive, s)),
+                    positive => self.match_scan(positive, s, &mut next),
                 }
             }
             states = next;
@@ -175,6 +796,52 @@ impl FactDb {
         states
     }
 }
+
+/// What a positive body literal reads, for delta-change detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DeltaKey {
+    Pred(String),
+    Class(String),
+    /// A class-variable O-term reads every class.
+    AnyClass,
+    /// Filters never carry a delta.
+    None,
+}
+
+impl DeltaKey {
+    fn of(lit: &Literal) -> Self {
+        match lit {
+            Literal::Pred(p) => DeltaKey::Pred(p.name.clone()),
+            Literal::OTerm(o) => match o.class.as_name() {
+                Some(c) => DeltaKey::Class(c.to_string()),
+                None => DeltaKey::AnyClass,
+            },
+            _ => DeltaKey::None,
+        }
+    }
+
+    /// Did the relation this key reads grow between the two watermarks?
+    fn grew(&self, from: &Watermark, to: &Watermark) -> bool {
+        match self {
+            DeltaKey::Pred(n) => to.pred_len(n) > from.pred_len(n),
+            DeltaKey::Class(c) => to.class_len(c) > from.class_len(c),
+            DeltaKey::AnyClass => to.oterms.iter().any(|(c, &len)| len > from.class_len(c)),
+            DeltaKey::None => false,
+        }
+    }
+}
+
+/// A single-head rule compiled for stratum evaluation.
+struct CompiledRule<'a> {
+    head: &'a Literal,
+    body: &'a [Literal],
+    /// Delta key per body literal (parallel to `body`).
+    delta_keys: Vec<DeltaKey>,
+}
+
+/// Only parallelise an iteration's rule firings when the database is big
+/// enough that the joins dominate thread startup.
+const PAR_FACT_THRESHOLD: usize = 512;
 
 /// A rule program with an evaluation entry point.
 #[derive(Debug, Clone, Default)]
@@ -201,52 +868,197 @@ impl Program {
                 if allow_disjunctive {
                     continue;
                 }
-                return Err(EvalError::Unsupported(format!(
-                    "disjunctive head in `{r}`"
-                )));
+                return Err(EvalError::Unsupported(format!("disjunctive head in `{r}`")));
             }
             out.push(r);
         }
         Ok(out)
     }
 
-    /// Saturate `db` with all derivable facts. Checks safety and
-    /// stratification first. Disjunctive rules are skipped (they carry
-    /// integrated-schema semantics but are not executable).
+    /// Saturate `db` with all derivable facts under the default strategy.
+    /// Checks safety and stratification first. Disjunctive rules are
+    /// skipped (they carry integrated-schema semantics but are not
+    /// executable).
     pub fn evaluate(&self, db: &mut FactDb) -> Result<(), EvalError> {
+        self.evaluate_with(db, EvalStrategy::default()).map(|_| ())
+    }
+
+    /// Saturate `db` under an explicit [`EvalStrategy`], returning work
+    /// counters. Both strategies derive the same facts; see the module
+    /// docs.
+    pub fn evaluate_with(
+        &self,
+        db: &mut FactDb,
+        strategy: EvalStrategy,
+    ) -> Result<EvalStats, EvalError> {
         let rules = self.executable(true)?;
         for r in &rules {
             check_rule(r).map_err(|e| EvalError::Unsafe(e.to_string()))?;
         }
         let strata = stratify(&self.rules).map_err(EvalError::NotStratifiable)?;
-        for stratum in &strata {
-            // Fixpoint iteration within the stratum.
-            loop {
-                let mut new_facts: Vec<Literal> = Vec::new();
-                for rule in &rules {
-                    let head = rule.heads.first().expect("single head");
-                    let head_rel = match head.relation() {
-                        Some(r) => r,
-                        None => continue,
-                    };
-                    if !stratum.contains(head_rel) {
-                        continue;
-                    }
-                    for s in db.query(&rule.body) {
-                        new_facts.push(s.apply(head));
-                    }
+
+        // Per-stratum rule lists, compiled once instead of re-filtering
+        // every iteration. Rules whose head has no relation (not derivable)
+        // are dropped, matching `insert_ground`'s reachable cases.
+        let stratum_rules: Vec<Vec<CompiledRule<'_>>> = strata
+            .iter()
+            .map(|stratum| {
+                rules
+                    .iter()
+                    .filter_map(|rule| {
+                        let head = rule.heads.first().expect("single head");
+                        let head_rel = head.relation()?;
+                        if !stratum.contains(head_rel) {
+                            return None;
+                        }
+                        Some(CompiledRule {
+                            head,
+                            body: &rule.body,
+                            delta_keys: rule.body.iter().map(DeltaKey::of).collect(),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut stats = EvalStats::new(strategy);
+        let probes0 = db.index_probes();
+        let scans0 = db.extent_scans();
+        for stratum in &stratum_rules {
+            match strategy {
+                EvalStrategy::Naive => Self::saturate_naive(db, stratum, &mut stats)?,
+                EvalStrategy::SemiNaive => Self::saturate_semi_naive(db, stratum, &mut stats)?,
+            }
+        }
+        stats.index_probes = db.index_probes() - probes0;
+        stats.extent_scans = db.extent_scans() - scans0;
+        Ok(stats)
+    }
+
+    /// Reference fixpoint: every round fires every rule of the stratum
+    /// against the whole database with scan-based left-to-right joins.
+    fn saturate_naive(
+        db: &mut FactDb,
+        stratum: &[CompiledRule<'_>],
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        loop {
+            stats.iterations += 1;
+            let mut new_facts: Vec<Literal> = Vec::new();
+            for rule in stratum {
+                stats.rules_fired += 1;
+                for s in db.query_scan(rule.body) {
+                    new_facts.push(s.apply(rule.head));
                 }
-                let mut changed = false;
-                for fact in new_facts {
-                    changed |= insert_ground(db, &fact)?;
+            }
+            let mut changed = false;
+            for fact in new_facts {
+                if insert_ground(db, &fact)? {
+                    stats.facts_derived += 1;
+                    changed = true;
                 }
-                if !changed {
-                    break;
-                }
+            }
+            if !changed {
+                break;
             }
         }
         Ok(())
     }
+
+    /// Semi-naive fixpoint: one full round, then delta-driven rounds where
+    /// each rule fires once per body literal whose relation changed, with
+    /// that literal restricted to the facts derived in the previous round.
+    fn saturate_semi_naive(
+        db: &mut FactDb,
+        stratum: &[CompiledRule<'_>],
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        // Round 0: full evaluation of every rule (this also fires facts and
+        // rules with filter-only bodies, which never re-fire afterwards).
+        stats.iterations += 1;
+        let firings: Vec<(&CompiledRule<'_>, Option<usize>)> =
+            stratum.iter().map(|r| (r, None)).collect();
+        let new_facts = fire(db, &firings, Window::Full, stats);
+        let mut from = db.watermark();
+        let mut changed = false;
+        for fact in new_facts {
+            if insert_ground(db, &fact)? {
+                stats.facts_derived += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        let mut to = db.watermark();
+
+        // Delta rounds: [from, to) is the previous round's output.
+        loop {
+            stats.iterations += 1;
+            let mut firings: Vec<(&CompiledRule<'_>, Option<usize>)> = Vec::new();
+            for rule in stratum {
+                let mut fired = false;
+                for (i, key) in rule.delta_keys.iter().enumerate() {
+                    // Negated literals read lower strata only (stratified),
+                    // which cannot change here; filters carry no delta.
+                    if rule.body[i].is_negative() {
+                        continue;
+                    }
+                    if key.grew(&from, &to) {
+                        firings.push((rule, Some(i)));
+                        fired = true;
+                    }
+                }
+                if !fired {
+                    stats.rules_skipped_no_delta += 1;
+                }
+            }
+            if firings.is_empty() {
+                break;
+            }
+            let window = Window::Delta(&from, &to);
+            let new_facts = fire(db, &firings, window, stats);
+            let before_insert = db.watermark();
+            let mut changed = false;
+            for fact in new_facts {
+                if insert_ground(db, &fact)? {
+                    stats.facts_derived += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            from = before_insert;
+            to = db.watermark();
+        }
+        Ok(())
+    }
+}
+
+/// Execute a batch of rule firings read-only against `db`, returning the
+/// instantiated head literals. Firings are independent, so they run in
+/// parallel when the database is large enough to amortise the threads.
+fn fire(
+    db: &FactDb,
+    firings: &[(&CompiledRule<'_>, Option<usize>)],
+    window: Window<'_>,
+    stats: &mut EvalStats,
+) -> Vec<Literal> {
+    stats.rules_fired += firings.len() as u64;
+    let run = |(rule, delta_pos): &(&CompiledRule<'_>, Option<usize>)| -> Vec<Literal> {
+        let substs = match delta_pos {
+            Some(i) => db.query_delta(rule.body, *i, window),
+            None => db.query(rule.body),
+        };
+        substs.into_iter().map(|s| s.apply(rule.head)).collect()
+    };
+    let per_firing: Vec<Vec<Literal>> = if firings.len() > 1 && db.len() >= PAR_FACT_THRESHOLD {
+        firings.par_iter().map(run).collect()
+    } else {
+        firings.iter().map(run).collect()
+    };
+    per_firing.into_iter().flatten().collect()
 }
 
 /// Insert a derived ground literal into the database.
@@ -264,8 +1076,7 @@ fn insert_ground(db: &mut FactDb, lit: &Literal) -> Result<bool, EvalError> {
             Ok(db.insert_oterm(o.clone()))
         }
         Literal::Pred(p) => {
-            let tuple: Option<Vec<Value>> =
-                p.args.iter().map(|a| a.as_val().cloned()).collect();
+            let tuple: Option<Vec<Value>> = p.args.iter().map(|a| a.as_val().cloned()).collect();
             match tuple {
                 Some(t) => Ok(db.insert_pred(p.name.clone(), t)),
                 None => Err(EvalError::Unsupported(format!(
@@ -288,6 +1099,18 @@ mod tests {
         OTermPat::new(obj, class)
     }
 
+    /// Run a program under both strategies and assert the results agree;
+    /// returns the semi-naive database.
+    fn eval_both(prog: &Program, db: &FactDb) -> FactDb {
+        let mut naive = db.clone();
+        let mut semi = db.clone();
+        prog.evaluate_with(&mut naive, EvalStrategy::Naive).unwrap();
+        prog.evaluate_with(&mut semi, EvalStrategy::SemiNaive)
+            .unwrap();
+        assert_eq!(naive, semi, "strategies diverged");
+        semi
+    }
+
     #[test]
     fn simple_derivation() {
         // parent(x,y) ⇐ mother(x,y); parent(x,y) ⇐ father(x,y)  (Appendix B)
@@ -304,7 +1127,7 @@ mod tests {
         let mut db = FactDb::new();
         db.insert_pred("mother", vec!["john".into(), "mary".into()]);
         db.insert_pred("father", vec!["john".into(), "peter".into()]);
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         assert_eq!(db.tuples_of("parent").count(), 2);
     }
 
@@ -322,7 +1145,7 @@ mod tests {
         db.insert_pred("parent", vec!["john".into(), "mary".into()]);
         db.insert_pred("brother", vec!["mary".into(), "bob".into()]);
         db.insert_pred("brother", vec!["sue".into(), "tim".into()]);
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         let uncles: Vec<_> = db.tuples_of("uncle").collect();
         assert_eq!(uncles, vec![&vec![Value::str("john"), Value::str("bob")]]);
     }
@@ -347,7 +1170,7 @@ mod tests {
         for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
             db.insert_pred("par", vec![a.into(), b.into()]);
         }
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         assert_eq!(db.tuples_of("anc").count(), 6); // 3 + 2 + 1
     }
 
@@ -366,7 +1189,7 @@ mod tests {
         db.insert_oterm(ot(Term::val("o1"), "A"));
         db.insert_oterm(ot(Term::val("o2"), "A"));
         db.insert_oterm(ot(Term::val("o1"), "B"));
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         let derived: Vec<_> = db.oterms_of("IS_AB").collect();
         assert_eq!(derived.len(), 1);
         assert_eq!(derived[0].object, Term::val("o1"));
@@ -395,7 +1218,7 @@ mod tests {
         db.insert_oterm(ot(Term::val("o1"), "A"));
         db.insert_oterm(ot(Term::val("o2"), "A"));
         db.insert_oterm(ot(Term::val("o2"), "B"));
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         let minus: Vec<_> = db.oterms_of("A-").collect();
         assert_eq!(minus.len(), 1);
         assert_eq!(minus[0].object, Term::val("o1"));
@@ -422,7 +1245,7 @@ mod tests {
                 .bind("d_name", Term::val("CS"))
                 .bind("manager", Term::val("e9")),
         );
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         let empl: Vec<_> = db.oterms_of("Empl").collect();
         assert_eq!(empl.len(), 1);
         assert_eq!(empl[0].object, Term::val("e9"));
@@ -442,7 +1265,7 @@ mod tests {
         let mut db = FactDb::new();
         db.insert_pred("n", vec![Value::Int(5)]);
         db.insert_pred("n", vec![Value::Int(15)]);
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         assert_eq!(db.tuples_of("big").count(), 1);
     }
 
@@ -464,7 +1287,7 @@ mod tests {
             vec!["b1".into(), Value::str_set(["123", "456"])],
         );
         db.insert_pred("brothers_of", vec!["b2".into(), Value::str_set(["999"])]);
-        prog.evaluate(&mut db).unwrap();
+        let db = eval_both(&prog, &db);
         let linked: Vec<_> = db.tuples_of("linked").collect();
         assert_eq!(linked.len(), 1);
         assert_eq!(linked[0][1], Value::str("b1"));
@@ -532,5 +1355,112 @@ mod tests {
         db.insert_oterm(ot(Term::val("o2"), "B"));
         let matches = db.query(&[Literal::OTerm(pat)]);
         assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn indexed_query_probes_instead_of_scanning() {
+        let mut db = FactDb::new();
+        for i in 0..100i64 {
+            db.insert_pred("edge", vec![Value::Int(i), Value::Int(i + 1)]);
+        }
+        // Bound first argument → probe, not scan.
+        let before = db.index_probes();
+        let subs = db.query(&[Literal::pred("edge", [Term::val(5i64), Term::var("y")])]);
+        assert_eq!(subs.len(), 1);
+        assert!(db.index_probes() > before);
+
+        // Join: the second literal's first arg is bound by the first, so it
+        // probes once per left-hand match instead of scanning the extent.
+        let scans_before = db.extent_scans();
+        let probes_before = db.index_probes();
+        let subs = db.query(&[
+            Literal::pred("edge", [Term::val(3i64), Term::var("y")]),
+            Literal::pred("edge", [Term::var("y"), Term::var("z")]),
+        ]);
+        assert_eq!(subs.len(), 1);
+        assert!(db.index_probes() >= probes_before + 2);
+        assert_eq!(db.extent_scans(), scans_before);
+    }
+
+    #[test]
+    fn planner_defers_filters_and_reorders_joins() {
+        let mut db = FactDb::new();
+        for i in 0..50i64 {
+            db.insert_pred("big_rel", vec![Value::Int(i)]);
+        }
+        db.insert_pred("small_rel", vec![Value::Int(7)]);
+        // Filter written first, large relation before small one: the
+        // planner should still produce the single joined answer.
+        let subs = db.query(&[
+            Literal::cmp(Term::var("x"), CmpOp::Gt, Term::val(5i64)),
+            Literal::pred("big_rel", [Term::var("x")]),
+            Literal::pred("small_rel", [Term::var("x")]),
+        ]);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].value_of(&Term::var("x")), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn semi_naive_skips_rules_outside_delta() {
+        // Two independent derivations: once `only_a` saturates, the rule
+        // for `only_b` must not keep re-firing.
+        let prog = Program::new(vec![
+            Rule::new(
+                Literal::pred("ta", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("ea", [Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Literal::pred("ta", [Term::var("x"), Term::var("z")]),
+                vec![
+                    Literal::pred("ta", [Term::var("x"), Term::var("y")]),
+                    Literal::pred("ea", [Term::var("y"), Term::var("z")]),
+                ],
+            ),
+            Rule::new(
+                Literal::pred("tb", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("eb", [Term::var("x"), Term::var("y")])],
+            ),
+        ]);
+        let mut db = FactDb::new();
+        for i in 0..10i64 {
+            db.insert_pred("ea", vec![Value::Int(i), Value::Int(i + 1)]);
+        }
+        db.insert_pred("eb", vec![Value::Int(0), Value::Int(1)]);
+        let stats = prog
+            .evaluate_with(&mut db, EvalStrategy::SemiNaive)
+            .unwrap();
+        assert_eq!(db.tuples_of("ta").count(), 55); // 10+9+…+1
+        assert_eq!(db.tuples_of("tb").count(), 1);
+        assert!(stats.rules_skipped_no_delta > 0, "{stats}");
+        assert!(stats.facts_derived == 56, "{stats}");
+    }
+
+    #[test]
+    fn stats_report_work() {
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("p", [Term::var("x")]),
+            vec![Literal::pred("e", [Term::var("x")])],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_pred("e", vec![Value::Int(1)]);
+        let stats = prog.evaluate_with(&mut db, EvalStrategy::Naive).unwrap();
+        assert_eq!(stats.strategy, EvalStrategy::Naive);
+        assert_eq!(stats.facts_derived, 1);
+        assert!(stats.iterations >= 2); // derive round + empty fixpoint round
+        assert!(stats.extent_scans > 0);
+        assert_eq!(stats.index_probes, 0); // naive never probes
+    }
+
+    #[test]
+    fn factdb_equality_ignores_insertion_order() {
+        let mut a = FactDb::new();
+        a.insert_pred("p", vec![Value::Int(1)]);
+        a.insert_pred("p", vec![Value::Int(2)]);
+        let mut b = FactDb::new();
+        b.insert_pred("p", vec![Value::Int(2)]);
+        b.insert_pred("p", vec![Value::Int(1)]);
+        assert_eq!(a, b);
+        b.insert_pred("p", vec![Value::Int(3)]);
+        assert_ne!(a, b);
     }
 }

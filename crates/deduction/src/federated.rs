@@ -45,12 +45,7 @@ impl MapProvider {
         MapProvider::default()
     }
 
-    pub fn add(
-        &mut self,
-        schema: impl Into<String>,
-        pred: impl Into<String>,
-        tuple: Vec<Value>,
-    ) {
+    pub fn add(&mut self, schema: impl Into<String>, pred: impl Into<String>, tuple: Vec<Value>) {
         self.map
             .entry((schema.into(), pred.into()))
             .or_default()
@@ -62,12 +57,7 @@ impl ExtentProvider for MapProvider {
     fn local_tuples(&self, schema: &str, pred: &str, arity: usize) -> Vec<Vec<Value>> {
         self.map
             .get(&(schema.to_string(), pred.to_string()))
-            .map(|ts| {
-                ts.iter()
-                    .filter(|t| t.len() == arity)
-                    .cloned()
-                    .collect()
-            })
+            .map(|ts| ts.iter().filter(|t| t.len() == arity).cloned().collect())
             .unwrap_or_default()
     }
 }
@@ -210,8 +200,7 @@ impl AnnotatedProgram {
         for lit in &rule.body {
             match lit {
                 Literal::Pred(p) => {
-                    let tuples =
-                        self.eval_pred(&p.name, p.args.len(), provider, in_progress)?;
+                    let tuples = self.eval_pred(&p.name, p.args.len(), provider, in_progress)?;
                     let mut next = Vec::new();
                     for env in &envs {
                         for tuple in &tuples {
@@ -470,7 +459,10 @@ mod tests {
             Vec::<String>::new(),
         );
         prog.add(
-            Rule::new(Literal::pred("salary", [Term::var("x"), Term::var("s")]), vec![]),
+            Rule::new(
+                Literal::pred("salary", [Term::var("x"), Term::var("s")]),
+                vec![],
+            ),
             ["S1"],
         );
         let mut p = MapProvider::new();

@@ -20,7 +20,9 @@
 //!   see whether they are well-defined, safe, … and allowed in the presence
 //!   of negated body predicates*");
 //! * [`strata`] — predicate-dependency stratification for negation;
-//! * [`eval`] — bottom-up semi-naive evaluation over a fact database;
+//! * [`eval`] — bottom-up evaluation over an indexed fact database, with
+//!   naive and semi-naive (delta-driven) fixpoint strategies behind
+//!   [`EvalStrategy`];
 //! * [`federated`] — the annotated, recursive `evaluation(q, Q)` algorithm
 //!   of Appendix B, which unions local answers from each component schema
 //!   with joins of recursively evaluated body predicates.
@@ -33,7 +35,7 @@ pub mod subst;
 pub mod term;
 pub mod unify;
 
-pub use eval::{FactDb, Program};
+pub use eval::{EvalError, EvalStats, EvalStrategy, FactDb, Program};
 pub use federated::{AnnotatedProgram, ExtentProvider};
 pub use safety::{check_rule, SafetyError};
 pub use strata::stratify;

@@ -34,16 +34,18 @@ impl fmt::Display for SafetyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SafetyError::UnsafeHeadVar { var, rule } => {
-                write!(f, "unsafe rule: head variable `{var}` not range-restricted in `{rule}`")
+                write!(
+                    f,
+                    "unsafe rule: head variable `{var}` not range-restricted in `{rule}`"
+                )
             }
             SafetyError::NotAllowed { var, rule } => write!(
                 f,
                 "not allowed: variable `{var}` occurs only under negation in `{rule}`"
             ),
-            SafetyError::UnboundBuiltin { var, rule } => write!(
-                f,
-                "unbound built-in operand `{var}` in `{rule}`"
-            ),
+            SafetyError::UnboundBuiltin { var, rule } => {
+                write!(f, "unbound built-in operand `{var}` in `{rule}`")
+            }
             SafetyError::NonGroundFact { var, rule } => {
                 write!(f, "fact contains variable `{var}`: `{rule}`")
             }
@@ -195,7 +197,10 @@ mod tests {
     #[test]
     fn negation_only_var_rejected() {
         let r = Rule::new(ot("x", "H"), vec![ot("x", "B"), Literal::neg(ot("z", "C"))]);
-        assert!(matches!(check_rule(&r), Err(SafetyError::NotAllowed { .. })));
+        assert!(matches!(
+            check_rule(&r),
+            Err(SafetyError::NotAllowed { .. })
+        ));
     }
 
     #[test]

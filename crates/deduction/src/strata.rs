@@ -102,8 +102,14 @@ mod tests {
         // IS_AB in stratum 0; IS_A−, IS_B− above it (negative dependency).
         let rules = vec![
             Rule::new(ot("x", "IS_AB"), vec![ot("x", "A"), ot("y", "B")]),
-            Rule::new(ot("x", "IS_A-"), vec![ot("x", "A"), Literal::neg(ot("x", "IS_AB"))]),
-            Rule::new(ot("x", "IS_B-"), vec![ot("x", "B"), Literal::neg(ot("x", "IS_AB"))]),
+            Rule::new(
+                ot("x", "IS_A-"),
+                vec![ot("x", "A"), Literal::neg(ot("x", "IS_AB"))],
+            ),
+            Rule::new(
+                ot("x", "IS_B-"),
+                vec![ot("x", "B"), Literal::neg(ot("x", "IS_AB"))],
+            ),
         ];
         let strata = stratify(&rules).unwrap();
         let level = |p: &str| strata.iter().position(|s| s.contains(p)).unwrap();

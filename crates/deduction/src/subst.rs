@@ -318,9 +318,12 @@ mod tests {
     #[test]
     fn constants_can_be_reversed() {
         // Example 10: δ = {car-name/y3} replaces the *constant* car-name.
-        let delta =
-            ReverseSubst::from_pairs([(Term::val("car-name1"), "y3".to_string())]).unwrap();
-        let lit = Literal::cmp(Term::var("y2"), crate::term::CmpOp::Eq, Term::val("car-name1"));
+        let delta = ReverseSubst::from_pairs([(Term::val("car-name1"), "y3".to_string())]).unwrap();
+        let lit = Literal::cmp(
+            Term::var("y2"),
+            crate::term::CmpOp::Eq,
+            Term::val("car-name1"),
+        );
         assert_eq!(delta.apply(&lit).to_string(), "y2 = y3");
     }
 
@@ -381,7 +384,12 @@ mod tests {
         .unwrap();
         let delta = ReverseSubst::from_pairs([(Term::var("x1"), "y".to_string())]).unwrap();
         let composed = theta.compose(&delta);
-        for t in [Term::var("z"), Term::var("w"), Term::var("x1"), Term::var("q")] {
+        for t in [
+            Term::var("z"),
+            Term::var("w"),
+            Term::var("x1"),
+            Term::var("q"),
+        ] {
             let sequential = delta.apply_term(&theta.apply_term(&t));
             assert_eq!(composed.apply_term(&t), sequential, "term {t}");
         }

@@ -166,7 +166,13 @@ impl fmt::Display for OTermPat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<{}: {}", self.object, self.class)?;
         for (i, b) in self.bindings.iter().enumerate() {
-            write!(f, "{} {}: {}", if i == 0 { " |" } else { "," }, b.name, b.term)?;
+            write!(
+                f,
+                "{} {}: {}",
+                if i == 0 { " |" } else { "," },
+                b.name,
+                b.term
+            )?;
         }
         write!(f, ">")
     }
@@ -257,11 +263,7 @@ impl CmpOp {
 pub enum Literal {
     OTerm(OTermPat),
     Pred(Pred),
-    Cmp {
-        left: Term,
-        op: CmpOp,
-        right: Term,
-    },
+    Cmp { left: Term, op: CmpOp, right: Term },
     Neg(Box<Literal>),
 }
 
@@ -281,6 +283,9 @@ impl Literal {
         Literal::Cmp { left, op, right }
     }
 
+    // An associated constructor, not a unary-minus; the name mirrors the
+    // `¬` of the rule language rather than `std::ops::Neg`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(inner: Literal) -> Self {
         Literal::Neg(Box::new(inner))
     }
@@ -478,7 +483,10 @@ mod tests {
 
     #[test]
     fn fact_detection() {
-        let f = Rule::new(Literal::pred("mother", [Term::var("x"), Term::var("y")]), vec![]);
+        let f = Rule::new(
+            Literal::pred("mother", [Term::var("x"), Term::var("y")]),
+            vec![],
+        );
         assert!(f.is_fact());
         assert!(!manager_rule().is_fact());
     }

@@ -15,7 +15,10 @@ pub enum ComponentSource {
     /// A relational database; transformed on export.
     Relational(Database),
     /// A native OO component (schema + instances).
-    ObjectOriented { schema: Schema, store: InstanceStore },
+    ObjectOriented {
+        schema: Schema,
+        store: InstanceStore,
+    },
 }
 
 /// An FSM-agent.
@@ -35,11 +38,7 @@ impl Agent {
     }
 
     /// An agent over a native OO component.
-    pub fn object_oriented(
-        name: impl Into<String>,
-        schema: Schema,
-        store: InstanceStore,
-    ) -> Self {
+    pub fn object_oriented(name: impl Into<String>, schema: Schema, store: InstanceStore) -> Self {
         Agent {
             name: name.into(),
             source: ComponentSource::ObjectOriented { schema, store },

@@ -93,10 +93,14 @@ pub fn audit_assertion(
     };
     match a.op {
         ClassOp::Equiv => {
-            let unpaired_left =
-                left.iter().filter(|o| !paired_into(meta, o, &right)).count();
-            let unpaired_right =
-                right.iter().filter(|o| !paired_into(meta, o, &left)).count();
+            let unpaired_left = left
+                .iter()
+                .filter(|o| !paired_into(meta, o, &right))
+                .count();
+            let unpaired_right = right
+                .iter()
+                .filter(|o| !paired_into(meta, o, &left))
+                .count();
             if unpaired_left > 0 || unpaired_right > 0 {
                 push(
                     &mut findings,
@@ -109,7 +113,10 @@ pub fn audit_assertion(
             }
         }
         ClassOp::Incl => {
-            let unpaired = left.iter().filter(|o| !paired_into(meta, o, &right)).count();
+            let unpaired = left
+                .iter()
+                .filter(|o| !paired_into(meta, o, &right))
+                .count();
             if unpaired > 0 {
                 push(
                     &mut findings,
@@ -119,7 +126,10 @@ pub fn audit_assertion(
             }
         }
         ClassOp::InclRev => {
-            let unpaired = right.iter().filter(|o| !paired_into(meta, o, &left)).count();
+            let unpaired = right
+                .iter()
+                .filter(|o| !paired_into(meta, o, &left))
+                .count();
             if unpaired > 0 {
                 push(
                     &mut findings,
@@ -155,8 +165,7 @@ pub fn audit_assertion(
                 push(
                     &mut findings,
                     Severity::Notice,
-                    "→ target extent is empty; derived instances exist only virtually"
-                        .to_string(),
+                    "→ target extent is empty; derived instances exist only virtually".to_string(),
                 );
             }
         }
@@ -231,15 +240,19 @@ mod tests {
         let s1 = SchemaBuilder::new("S1")
             .class("person", |c| c.attr("ssn", AttrType::Str))
             .class("stockA", |c| {
-                c.attr("name", AttrType::Str).attr("price-in-March", AttrType::Int)
+                c.attr("name", AttrType::Str)
+                    .attr("price-in-March", AttrType::Int)
             })
             .build()
             .unwrap();
         let mut st1 = InstanceStore::new();
-        st1.create(&s1, "person", |o| o.with_attr("ssn", "1")).unwrap();
-        st1.create(&s1, "person", |o| o.with_attr("ssn", "2")).unwrap();
+        st1.create(&s1, "person", |o| o.with_attr("ssn", "1"))
+            .unwrap();
+        st1.create(&s1, "person", |o| o.with_attr("ssn", "2"))
+            .unwrap();
         st1.create(&s1, "stockA", |o| {
-            o.with_attr("name", "IBM").with_attr("price-in-March", 100i64)
+            o.with_attr("name", "IBM")
+                .with_attr("price-in-March", 100i64)
         })
         .unwrap();
         let s2 = SchemaBuilder::new("S2")
@@ -252,7 +265,8 @@ mod tests {
             .build()
             .unwrap();
         let mut st2 = InstanceStore::new();
-        st2.create(&s2, "human", |o| o.with_attr("ssn", "1")).unwrap();
+        st2.create(&s2, "human", |o| o.with_attr("ssn", "1"))
+            .unwrap();
         st2.create(&s2, "stock", |o| {
             o.with_attr("time", "March")
                 .with_attr("name", "IBM")

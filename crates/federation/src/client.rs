@@ -80,7 +80,8 @@ mod tests {
             .build()
             .unwrap();
         let mut st1 = InstanceStore::new();
-        st1.create(&s1, "book", |o| o.with_attr("title", "Logic")).unwrap();
+        st1.create(&s1, "book", |o| o.with_attr("title", "Logic"))
+            .unwrap();
         let s2 = SchemaBuilder::new("x")
             .class("publication", |c| c.attr("title", AttrType::Str))
             .build()
@@ -116,10 +117,7 @@ mod tests {
             .to_string();
         assert_eq!(client.instances_of(&g).unwrap().len(), 2);
         let titles = client.attr_values(&g, "title").unwrap();
-        assert_eq!(
-            titles,
-            vec![Value::str("Databases"), Value::str("Logic")]
-        );
+        assert_eq!(titles, vec![Value::str("Databases"), Value::str("Logic")]);
     }
 
     #[test]

@@ -19,6 +19,11 @@ use fedoo_core::{naive, optimized, IntegratedSchema, IntegrationStats};
 use oo_model::{InstanceStore, Schema};
 use std::collections::BTreeMap;
 
+/// One entry of the integration working set: an intermediate schema, the
+/// `(component, class) → intermediate class` origin map accumulated for
+/// it, and the derivation rules referring to it.
+type WorkItem = (Schema, BTreeMap<(String, String), String>, Vec<Rule>);
+
 /// A registered component: the agent plus its exported schema and store.
 #[derive(Debug, Clone)]
 pub struct RegisteredComponent {
@@ -147,14 +152,17 @@ impl Fsm {
         }
         let algorithm = self.algorithm.unwrap_or(Algorithm::Optimized);
         // Working set: (schema, origin map for it, rules referring to it).
-        let mut work: Vec<(Schema, BTreeMap<(String, String), String>, Vec<Rule>)> = self
+        let mut work: Vec<WorkItem> = self
             .components
             .iter()
             .map(|c| {
                 let mut origin = BTreeMap::new();
                 for class in c.schema.class_names() {
                     origin.insert(
-                        (c.schema.name.as_str().to_string(), class.as_str().to_string()),
+                        (
+                            c.schema.name.as_str().to_string(),
+                            class.as_str().to_string(),
+                        ),
                         class.as_str().to_string(),
                     );
                 }
@@ -171,25 +179,29 @@ impl Fsm {
         let mut intermediates: BTreeMap<String, IntegratedSchema> = BTreeMap::new();
 
         while work.len() > 1 {
-            let mut next: Vec<(Schema, BTreeMap<(String, String), String>, Vec<Rule>)> =
-                Vec::new();
+            let mut next: Vec<WorkItem> = Vec::new();
             match strategy {
                 IntegrationStrategy::Accumulation => {
                     // Fold the second component into the first; carry the
                     // rest into the next round unchanged.
                     let right = work.remove(1);
                     let left = work.remove(0);
-                    let (merged, is, ws) =
-                        self.integrate_step(left, right, &mut step_id, algorithm, &mut total_stats)?;
+                    let (merged, is, ws) = self.integrate_step(
+                        left,
+                        right,
+                        &mut step_id,
+                        algorithm,
+                        &mut total_stats,
+                    )?;
                     warnings.extend(ws);
                     steps += 1;
                     intermediates.insert(merged.0.name.as_str().to_string(), is.clone());
                     last_integrated = Some(is);
                     next.push(merged);
-                    next.extend(work.drain(..));
+                    next.append(&mut work);
                 }
                 IntegrationStrategy::Balanced => {
-                    let mut iter = work.drain(..).collect::<Vec<_>>().into_iter();
+                    let mut iter = std::mem::take(&mut work).into_iter();
                     while let Some(left) = iter.next() {
                         match iter.next() {
                             Some(right) => {
@@ -249,24 +261,18 @@ impl Fsm {
     }
 
     /// One pairwise integration step.
-    #[allow(clippy::type_complexity)]
     fn integrate_step(
         &self,
-        left: (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
-        right: (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
+        left: WorkItem,
+        right: WorkItem,
         step_id: &mut usize,
         algorithm: Algorithm,
         total_stats: &mut IntegrationStats,
-    ) -> Result<(
-        (Schema, BTreeMap<(String, String), String>, Vec<Rule>),
-        IntegratedSchema,
-        Vec<String>,
-    )> {
+    ) -> Result<(WorkItem, IntegratedSchema, Vec<String>)> {
         let (ls, lorigin, lrules) = left;
         let (rs, rorigin, rrules) = right;
         let lifted = lift_assertions(&self.assertions, &ls, &lorigin, &rs, &rorigin);
-        let aset = AssertionSet::build(lifted)
-            .map_err(|e| FedError::Assertion(e.to_string()))?;
+        let aset = AssertionSet::build(lifted).map_err(|e| FedError::Assertion(e.to_string()))?;
         let run = match algorithm {
             Algorithm::Naive => naive::naive_with_trace(&ls, &rs, &aset, false)?,
             Algorithm::Optimized => {
@@ -359,25 +365,42 @@ fn lift_assertions(
             continue; // both sides already inside one schema
         }
         let mut lifted = a.clone();
-        lifted.left_schema = if left_side { left.name.as_str() } else { right.name.as_str() }.to_string();
+        lifted.left_schema = if left_side {
+            left.name.as_str()
+        } else {
+            right.name.as_str()
+        }
+        .to_string();
         lifted.left_classes = left_classes;
-        lifted.right_schema =
-            if right_side { left.name.as_str() } else { right.name.as_str() }.to_string();
+        lifted.right_schema = if right_side {
+            left.name.as_str()
+        } else {
+            right.name.as_str()
+        }
+        .to_string();
         lifted.right_class = right_class;
         // Rename classes inside correspondences too.
         for corr in &mut lifted.attr_corrs {
             for p in [&mut corr.left, &mut corr.right] {
                 if let Some((side, name)) = locate(&p.schema, &p.path.class.clone()) {
                     p.path.class = name;
-                    p.schema =
-                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                    p.schema = if side {
+                        left.name.as_str()
+                    } else {
+                        right.name.as_str()
+                    }
+                    .to_string();
                 }
             }
             if let Some(w) = &mut corr.with_pred {
                 if let Some((side, name)) = locate(&w.attr.schema, &w.attr.path.class.clone()) {
                     w.attr.path.class = name;
-                    w.attr.schema =
-                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                    w.attr.schema = if side {
+                        left.name.as_str()
+                    } else {
+                        right.name.as_str()
+                    }
+                    .to_string();
                 }
             }
         }
@@ -385,8 +408,12 @@ fn lift_assertions(
             for p in [&mut corr.left, &mut corr.right] {
                 if let Some((side, name)) = locate(&p.schema, &p.path.class.clone()) {
                     p.path.class = name;
-                    p.schema =
-                        if side { left.name.as_str() } else { right.name.as_str() }.to_string();
+                    p.schema = if side {
+                        left.name.as_str()
+                    } else {
+                        right.name.as_str()
+                    }
+                    .to_string();
                 }
             }
         }
@@ -560,7 +587,11 @@ mod tests {
         fsm.register(oo_agent("a2", s2), "S2").unwrap();
         fsm.register(oo_agent("a3", s3), "S3").unwrap();
         fsm.add_assertion(ClassAssertion::simple(
-            "S1", "person", ClassOp::Equiv, "S2", "human",
+            "S1",
+            "person",
+            ClassOp::Equiv,
+            "S2",
+            "human",
         ));
         fsm.add_assertion(ClassAssertion::simple(
             "S1",

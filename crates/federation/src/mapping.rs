@@ -236,10 +236,7 @@ mod tests {
             m.to_integrated(&Value::str("x")),
             Some((Value::str("x"), 1.0))
         );
-        assert_eq!(
-            m.to_component(&Value::Int(5)),
-            Some((Value::Int(5), 1.0))
-        );
+        assert_eq!(m.to_component(&Value::Int(5)), Some((Value::Int(5), 1.0)));
     }
 
     #[test]
@@ -298,7 +295,12 @@ mod tests {
     #[test]
     fn registry_lookup_and_default() {
         let mut reg = MetaRegistry::new();
-        reg.set_mapping("person", "height", "S2", DataMapping::Linear { a: 2.54, b: 0.0 });
+        reg.set_mapping(
+            "person",
+            "height",
+            "S2",
+            DataMapping::Linear { a: 2.54, b: 0.0 },
+        );
         assert!(matches!(
             reg.mapping("person", "height", "S2"),
             DataMapping::Linear { .. }

@@ -14,7 +14,9 @@
 use crate::fsm::GlobalSchema;
 use crate::mapping::{aif_average, concatenation, MetaRegistry};
 use crate::{FedError, Result};
-use deduction::{ExtentProvider, FactDb, Literal, OTermPat, Program, Rule, Subst, Term};
+use deduction::{
+    EvalStats, EvalStrategy, ExtentProvider, FactDb, Literal, OTermPat, Program, Rule, Subst, Term,
+};
 use fedoo_core::{AifKind, AttrOrigin};
 use oo_model::{InstanceStore, Object, Oid, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,6 +30,8 @@ pub struct FederationDb {
     /// Rules kept for documentation only (disjunctive or unsafe).
     pub representational_rules: Vec<Rule>,
     saturated: bool,
+    /// Work counters from the saturation run, if one has happened.
+    last_eval_stats: Option<EvalStats>,
 }
 
 impl FederationDb {
@@ -74,12 +78,11 @@ impl FederationDb {
         let mut facts = FactDb::new();
         for (schema, store) in components {
             for obj in store.iter() {
-                let global_class = match global
-                    .global_class(schema.name.as_str(), obj.class.as_str())
-                {
-                    Some(g) => g.to_string(),
-                    None => continue,
-                };
+                let global_class =
+                    match global.global_class(schema.name.as_str(), obj.class.as_str()) {
+                        Some(g) => g.to_string(),
+                        None => continue,
+                    };
                 let is_class = global
                     .integrated
                     .class(&global_class)
@@ -123,8 +126,7 @@ impl FederationDb {
         let mut program = Program::default();
         let mut representational = Vec::new();
         for rule in &global.rules {
-            let executable =
-                rule.heads.len() == 1 && deduction::check_rule(rule).is_ok();
+            let executable = rule.heads.len() == 1 && deduction::check_rule(rule).is_ok();
             if executable {
                 program.push(rule.clone());
             } else {
@@ -136,19 +138,35 @@ impl FederationDb {
             program,
             representational_rules: representational,
             saturated: false,
+            last_eval_stats: None,
         })
     }
 
-    /// Saturate the fact base with all derivable facts (idempotent).
+    /// Saturate the fact base with all derivable facts under the default
+    /// strategy (idempotent).
     pub fn saturate(&mut self) -> Result<()> {
+        self.saturate_with(EvalStrategy::default())
+    }
+
+    /// Saturate under an explicit evaluation strategy (idempotent — a
+    /// later call with a different strategy is a no-op, since the fact
+    /// base is already complete).
+    pub fn saturate_with(&mut self, strategy: EvalStrategy) -> Result<()> {
         if self.saturated {
             return Ok(());
         }
-        self.program
-            .evaluate(&mut self.facts)
+        let stats = self
+            .program
+            .evaluate_with(&mut self.facts, strategy)
             .map_err(|e| FedError::Eval(e.to_string()))?;
+        self.last_eval_stats = Some(stats);
         self.saturated = true;
         Ok(())
+    }
+
+    /// Work counters from the saturation run, if one has happened.
+    pub fn eval_stats(&self) -> Option<&EvalStats> {
+        self.last_eval_stats.as_ref()
     }
 
     /// Query a conjunctive body of literals; saturates first.
@@ -244,7 +262,11 @@ fn integrated_value(
                 return Some(Value::Null);
             }
             // Keep the declared orientation for the AIF arguments.
-            let (left, right) = if matches(a) { (x.clone(), y) } else { (y, x.clone()) };
+            let (left, right) = if matches(a) {
+                (x.clone(), y)
+            } else {
+                (y, x.clone())
+            };
             let combined = match kind {
                 AifKind::Average => aif_average(&left, &right),
                 AifKind::LeftWins => left,
@@ -362,7 +384,8 @@ mod tests {
             .unwrap();
         let mut st2 = InstanceStore::new();
         st2.create(&s2, "student", |o| {
-            o.with_attr("ssn", "123").with_attr("study_support", 1000i64)
+            o.with_attr("ssn", "123")
+                .with_attr("study_support", 1000i64)
         })
         .unwrap();
         st2.create(&s2, "student", |o| {
@@ -461,13 +484,15 @@ mod tests {
             .build()
             .unwrap();
         let mut st1 = InstanceStore::new();
-        st1.create(&s1, "person", |o| o.with_attr("name", "Ann")).unwrap();
+        st1.create(&s1, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
         let s2 = SchemaBuilder::new("x")
             .class("human", |c| c.attr("hname", AttrType::Str))
             .build()
             .unwrap();
         let mut st2 = InstanceStore::new();
-        st2.create(&s2, "human", |o| o.with_attr("hname", "Bob")).unwrap();
+        st2.create(&s2, "human", |o| o.with_attr("hname", "Bob"))
+            .unwrap();
         let mut fsm = Fsm::new();
         fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
             .unwrap();
@@ -539,7 +564,9 @@ mod origin_tests {
     /// Two paired persons across schemas, with city/street α(address).
     fn concat_federation() -> (Fsm, Vec<(Schema, InstanceStore)>) {
         let s1 = SchemaBuilder::new("x")
-            .class("person", |c| c.attr("ssn", AttrType::Str).attr("city", AttrType::Str))
+            .class("person", |c| {
+                c.attr("ssn", AttrType::Str).attr("city", AttrType::Str)
+            })
             .build()
             .unwrap();
         let mut st1 = InstanceStore::new();
@@ -559,8 +586,10 @@ mod origin_tests {
         })
         .unwrap();
         let mut fsm = Fsm::new();
-        fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
-        fsm.register(Agent::object_oriented("a2", s2, st2), "S2").unwrap();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
         fsm.add_assertion(
             ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human")
                 .attr_corr(AttrCorr::new(
@@ -610,7 +639,10 @@ mod origin_tests {
             .iter()
             .filter_map(|s| s.value_of(&Term::var("a")))
             .collect();
-        assert!(values.contains(&Value::str("Darmstadt Dolivostr. 15")), "{values:?}");
+        assert!(
+            values.contains(&Value::str("Darmstadt Dolivostr. 15")),
+            "{values:?}"
+        );
     }
 
     #[test]
@@ -625,7 +657,8 @@ mod origin_tests {
         let f1 = st1
             .create(&s1, "faculty", |o| o.with_attr("income", 3000i64))
             .unwrap();
-        st1.create(&s1, "faculty", |o| o.with_attr("income", 1000i64)).unwrap();
+        st1.create(&s1, "faculty", |o| o.with_attr("income", 1000i64))
+            .unwrap();
         let s2 = SchemaBuilder::new("x")
             .class("student", |c| c.attr("study_support", AttrType::Int))
             .build()
@@ -635,15 +668,18 @@ mod origin_tests {
             .create(&s2, "student", |o| o.with_attr("study_support", 1000i64))
             .unwrap();
         let mut fsm = Fsm::new();
-        fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
-        fsm.register(Agent::object_oriented("a2", s2, st2), "S2").unwrap();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
         fsm.add_assertion(
-            ClassAssertion::simple("S1", "faculty", ClassOp::Intersect, "S2", "student")
-                .attr_corr(AttrCorr::new(
+            ClassAssertion::simple("S1", "faculty", ClassOp::Intersect, "S2", "student").attr_corr(
+                AttrCorr::new(
                     SPath::attr("S1", "faculty", "income"),
                     AttrOp::Intersect,
                     SPath::attr("S2", "student", "study_support"),
-                )),
+                ),
+            ),
         );
         fsm.meta.pairing.pair(f1.clone(), s1oid);
         let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
@@ -662,8 +698,7 @@ mod origin_tests {
         let mut db = FederationDb::build(&global, &components, &fsm.meta).unwrap();
         let left_only: Vec<Value> = db
             .query(&[Literal::OTerm(
-                OTermPat::new(Term::var("o"), "faculty_student")
-                    .bind("income_", Term::var("v")),
+                OTermPat::new(Term::var("o"), "faculty_student").bind("income_", Term::var("v")),
             )])
             .unwrap()
             .iter()

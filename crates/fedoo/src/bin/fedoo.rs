@@ -68,7 +68,11 @@ fn load_inputs(args: &[String]) -> Result<(Schema, Schema, AssertionSet), String
 }
 
 fn integrate(args: &[String]) -> Result<(), String> {
-    let files: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let files: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let naive = args.iter().any(|a| a == "--naive");
     let trace = args.iter().any(|a| a == "--trace");
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -89,7 +93,10 @@ fn integrate(args: &[String]) -> Result<(), String> {
         println!("{}", run.output);
         println!();
     }
-    println!("=== statistics ({}) ===", if naive { "naive" } else { "optimized" });
+    println!(
+        "=== statistics ({}) ===",
+        if naive { "naive" } else { "optimized" }
+    );
     println!("{}", run.stats);
     if !run.warnings.is_empty() {
         println!("\n=== warnings ===");

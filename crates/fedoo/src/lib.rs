@@ -60,10 +60,12 @@ pub use transform;
 /// The common imports for applications.
 pub mod prelude {
     pub use assertions::{
-        parse_assertions, AggCorr, AggOp, AssertionSet, AttrCorr, AttrOp, ClassAssertion,
-        ClassOp, SPath, Tau, ValueCorr, ValueOp, WithPred,
+        parse_assertions, AggCorr, AggOp, AssertionSet, AttrCorr, AttrOp, ClassAssertion, ClassOp,
+        SPath, Tau, ValueCorr, ValueOp, WithPred,
     };
-    pub use deduction::{CmpOp, Literal, OTermPat, Pred, Program, Rule, Term};
+    pub use deduction::{
+        CmpOp, EvalStats, EvalStrategy, Literal, OTermPat, Pred, Program, Rule, Term,
+    };
     pub use federation::{
         Agent, DataMapping, FederationDb, Fsm, FsmClient, IntegrationStrategy, MetaRegistry,
     };

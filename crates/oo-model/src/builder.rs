@@ -180,7 +180,8 @@ mod tests {
         let s = SchemaBuilder::new("S1")
             .class("Book", |c| {
                 c.attr("ISBN", AttrType::Str).nested("author", |a| {
-                    a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                    a.attr("name", AttrType::Str)
+                        .attr("birthday", AttrType::Date)
                 })
             })
             .build()

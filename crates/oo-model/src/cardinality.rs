@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn paper_lcs_examples() {
         // "[n:m] is lcs([1:m],[n:1]) while [n:1] is lcs([1:1],[n:1])"
-        assert_eq!(Cardinality::ONE_N.lcs(&Cardinality::M_ONE), Cardinality::M_N);
+        assert_eq!(
+            Cardinality::ONE_N.lcs(&Cardinality::M_ONE),
+            Cardinality::M_N
+        );
         assert_eq!(
             Cardinality::ONE_ONE.lcs(&Cardinality::M_ONE),
             Cardinality::M_ONE

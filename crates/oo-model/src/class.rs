@@ -223,7 +223,8 @@ mod tests {
 
     fn article_type() -> ClassType {
         let mut ty = ClassType::new();
-        ty.push_attribute(AttrDef::new("title", AttrType::Str)).unwrap();
+        ty.push_attribute(AttrDef::new("title", AttrType::Str))
+            .unwrap();
         ty.push_attribute(AttrDef::new("author_name", AttrType::Str))
             .unwrap();
         ty.push_aggregation(AggDef::new(
@@ -289,7 +290,8 @@ mod tests {
             .push_attribute(AttrDef::new("birthday", AttrType::Date))
             .unwrap();
         let mut book = ClassType::new();
-        book.push_attribute(AttrDef::new("ISBN", AttrType::Str)).unwrap();
+        book.push_attribute(AttrDef::new("ISBN", AttrType::Str))
+            .unwrap();
         book.push_attribute(AttrDef::new("author", AttrType::Nested(Box::new(author))))
             .unwrap();
         assert_eq!(

@@ -42,7 +42,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
             ModelError::UnknownMember { class, member } => {
-                write!(f, "class `{class}` has no attribute or aggregation `{member}`")
+                write!(
+                    f,
+                    "class `{class}` has no attribute or aggregation `{member}`"
+                )
             }
             ModelError::Duplicate(d) => write!(f, "duplicate definition `{d}`"),
             ModelError::IsaCycle(c) => write!(f, "is-a cycle through class `{c}`"),

@@ -31,7 +31,11 @@ pub struct SchemaParseError {
 
 impl std::fmt::Display for SchemaParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "schema parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "schema parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -100,7 +104,9 @@ impl<'a> P<'a> {
             Err(self.err(format!(
                 "expected `{}`, found `{}`",
                 c as char,
-                self.peek().map(|b| (b as char).to_string()).unwrap_or_else(|| "eof".into())
+                self.peek()
+                    .map(|b| (b as char).to_string())
+                    .unwrap_or_else(|| "eof".into())
             )))
         }
     }
@@ -125,15 +131,13 @@ impl<'a> P<'a> {
             _ => return Err(self.err("expected identifier")),
         }
         while let Some(c) = self.peek() {
-            if c.is_ascii_alphanumeric() || c == b'_' || c == b'#' {
-                self.bump();
-            } else if c == b'-'
+            let hyphen_joins = c == b'-'
                 && self
                     .src
                     .get(self.pos + 1)
                     .map(|d| d.is_ascii_alphanumeric() || *d == b'_')
-                    .unwrap_or(false)
-            {
+                    .unwrap_or(false);
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'#' || hyphen_joins {
                 self.bump();
             } else {
                 break;
@@ -339,7 +343,12 @@ mod tests {
         assert_eq!(s.len(), 5);
         assert!(s.is_subclass_of(&"professor".into(), &"human".into()));
         assert_eq!(
-            s.class_named("employee").unwrap().ty.attribute("salary").unwrap().ty,
+            s.class_named("employee")
+                .unwrap()
+                .ty
+                .attribute("salary")
+                .unwrap()
+                .ty,
             AttrType::Int
         );
     }

@@ -192,8 +192,10 @@ mod tests {
             .push_attribute(AttrDef::new("birthday", AttrType::Date))
             .unwrap();
         let mut book = ClassType::new();
-        book.push_attribute(AttrDef::new("ISBN", AttrType::Str)).unwrap();
-        book.push_attribute(AttrDef::new("title", AttrType::Str)).unwrap();
+        book.push_attribute(AttrDef::new("ISBN", AttrType::Str))
+            .unwrap();
+        book.push_attribute(AttrDef::new("title", AttrType::Str))
+            .unwrap();
         book.push_attribute(AttrDef::new("author", AttrType::Nested(Box::new(author))))
             .unwrap();
         let mut s = Schema::new("S1");

@@ -289,8 +289,7 @@ impl Schema {
             }
         }
         // Kahn's algorithm over is-a edges to detect cycles.
-        let mut indeg: BTreeMap<&ClassName, usize> =
-            self.classes.keys().map(|c| (c, 0)).collect();
+        let mut indeg: BTreeMap<&ClassName, usize> = self.classes.keys().map(|c| (c, 0)).collect();
         for (_, sup) in &self.isa {
             *indeg.get_mut(sup).expect("validated above") += 1;
         }
@@ -346,7 +345,8 @@ mod tests {
         let mut s = Schema::new("S2");
         for name in ["human", "employee", "faculty", "professor", "student"] {
             let mut ty = ClassType::new();
-            ty.push_attribute(AttrDef::new("name", AttrType::Str)).unwrap();
+            ty.push_attribute(AttrDef::new("name", AttrType::Str))
+                .unwrap();
             s.add_class(Class::new(name, ty)).unwrap();
         }
         s.add_isa("employee", "human").unwrap();
@@ -458,10 +458,12 @@ mod tests {
     fn inherited_attributes() {
         let mut s = Schema::new("S");
         let mut base = ClassType::new();
-        base.push_attribute(AttrDef::new("name", AttrType::Str)).unwrap();
+        base.push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
         s.add_class(Class::new("person", base)).unwrap();
         let mut sub = ClassType::new();
-        sub.push_attribute(AttrDef::new("salary", AttrType::Int)).unwrap();
+        sub.push_attribute(AttrDef::new("salary", AttrType::Int))
+            .unwrap();
         s.add_class(Class::new("employee", sub)).unwrap();
         s.add_isa("employee", "person").unwrap();
         let attrs = s.all_attributes(&"employee".into());
@@ -473,10 +475,12 @@ mod tests {
     fn override_shadows_inherited() {
         let mut s = Schema::new("S");
         let mut base = ClassType::new();
-        base.push_attribute(AttrDef::new("id", AttrType::Str)).unwrap();
+        base.push_attribute(AttrDef::new("id", AttrType::Str))
+            .unwrap();
         s.add_class(Class::new("a", base)).unwrap();
         let mut sub = ClassType::new();
-        sub.push_attribute(AttrDef::new("id", AttrType::Int)).unwrap();
+        sub.push_attribute(AttrDef::new("id", AttrType::Int))
+            .unwrap();
         s.add_class(Class::new("b", sub)).unwrap();
         s.add_isa("b", "a").unwrap();
         let attrs = s.all_attributes(&"b".into());

@@ -36,13 +36,12 @@ impl InstanceStore {
             .ok_or_else(|| ModelError::UnknownClass(obj.class.0.clone()))?;
         let attrs = schema.all_attributes(&obj.class);
         for (name, value) in obj.attrs() {
-            let def = attrs
-                .iter()
-                .find(|a| &a.name == name)
-                .ok_or_else(|| ModelError::UnknownMember {
+            let def = attrs.iter().find(|a| &a.name == name).ok_or_else(|| {
+                ModelError::UnknownMember {
                     class: obj.class.0.clone(),
                     member: name.clone(),
-                })?;
+                }
+            })?;
             if !def.ty.admits(value) {
                 return Err(ModelError::TypeMismatch {
                     class: obj.class.0.clone(),
@@ -54,13 +53,13 @@ impl InstanceStore {
         }
         let aggs = schema.all_aggregations(&obj.class);
         for (name, targets) in obj.aggs() {
-            let def = aggs
-                .iter()
-                .find(|g| &g.name == name)
-                .ok_or_else(|| ModelError::UnknownMember {
-                    class: obj.class.0.clone(),
-                    member: name.clone(),
-                })?;
+            let def =
+                aggs.iter()
+                    .find(|g| &g.name == name)
+                    .ok_or_else(|| ModelError::UnknownMember {
+                        class: obj.class.0.clone(),
+                        member: name.clone(),
+                    })?;
             if let Some(max) = def.cc.max_targets() {
                 if targets.len() > max {
                     return Err(ModelError::CardinalityViolation {
@@ -205,9 +204,7 @@ mod tests {
             .create(&s, "person", |o| o.with_attr("ghost", "x"))
             .unwrap_err();
         assert!(matches!(err, ModelError::UnknownMember { .. }));
-        assert!(store
-            .create(&s, "nosuch", |o| o)
-            .is_err());
+        assert!(store.create(&s, "nosuch", |o| o).is_err());
     }
 
     #[test]
@@ -215,7 +212,9 @@ mod tests {
         let s = schema();
         let mut store = InstanceStore::new();
         store
-            .create(&s, "student", |o| o.with_attr("name", "Bob").with_attr("gpa", 3.5))
+            .create(&s, "student", |o| {
+                o.with_attr("name", "Bob").with_attr("gpa", 3.5)
+            })
             .unwrap();
     }
 
@@ -223,8 +222,12 @@ mod tests {
     fn extent_respects_inheritance() {
         let s = schema();
         let mut store = InstanceStore::new();
-        store.create(&s, "person", |o| o.with_attr("name", "Ann")).unwrap();
-        store.create(&s, "student", |o| o.with_attr("name", "Bob")).unwrap();
+        store
+            .create(&s, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
+        store
+            .create(&s, "student", |o| o.with_attr("name", "Bob"))
+            .unwrap();
         assert_eq!(store.direct_extent(&"person".into()).len(), 1);
         assert_eq!(store.extent(&s, &"person".into()).len(), 2);
         assert_eq!(store.extent(&s, &"student".into()).len(), 1);
@@ -238,7 +241,9 @@ mod tests {
             .create(&s, "dept", |o| o.with_attr("dname", "CS"))
             .unwrap();
         let e = store
-            .create(&s, "empl", |o| o.with_attr("ename", "Eve").with_agg("work_in", d.clone()))
+            .create(&s, "empl", |o| {
+                o.with_attr("ename", "Eve").with_agg("work_in", d.clone())
+            })
             .unwrap();
         let targets = store.apply_agg(&e, "work_in");
         assert_eq!(targets.len(), 1);
@@ -249,12 +254,17 @@ mod tests {
     fn cardinality_enforced() {
         let s = schema();
         let mut store = InstanceStore::new();
-        let d1 = store.create(&s, "dept", |o| o.with_attr("dname", "A")).unwrap();
-        let d2 = store.create(&s, "dept", |o| o.with_attr("dname", "B")).unwrap();
+        let d1 = store
+            .create(&s, "dept", |o| o.with_attr("dname", "A"))
+            .unwrap();
+        let d2 = store
+            .create(&s, "dept", |o| o.with_attr("dname", "B"))
+            .unwrap();
         // work_in is [m:1]: a second target violates the constraint.
         let err = store
             .create(&s, "empl", |o| {
-                o.with_agg("work_in", d1.clone()).with_agg("work_in", d2.clone())
+                o.with_agg("work_in", d1.clone())
+                    .with_agg("work_in", d2.clone())
             })
             .unwrap_err();
         assert!(matches!(err, ModelError::CardinalityViolation { .. }));
@@ -264,7 +274,9 @@ mod tests {
     fn value_set_skips_nulls() {
         let s = schema();
         let mut store = InstanceStore::new();
-        store.create(&s, "person", |o| o.with_attr("name", "Ann")).unwrap();
+        store
+            .create(&s, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
         store.create(&s, "person", |o| o).unwrap(); // name unset → Null
         let vs = store.value_set(&s, &"person".into(), "name");
         assert_eq!(vs.len(), 1);

@@ -9,7 +9,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         any::<f64>().prop_map(Value::Real),
-        any::<char>().prop_filter("ascii", |c| c.is_ascii()).prop_map(Value::Char),
+        any::<char>()
+            .prop_filter("ascii", |c| c.is_ascii())
+            .prop_map(Value::Char),
         "[a-z]{0,8}".prop_map(Value::str),
         Just(Value::Null),
     ]

@@ -69,12 +69,13 @@ impl Database {
     pub fn check_foreign_keys(&self) -> Result<(), RelError> {
         for table in self.tables.values() {
             for fk in &table.schema.foreign_keys {
-                let target = self.tables.get(&fk.target).ok_or_else(|| {
-                    RelError::BadForeignKey {
-                        relation: table.schema.name.clone(),
-                        detail: format!("target relation `{}` missing", fk.target),
-                    }
-                })?;
+                let target =
+                    self.tables
+                        .get(&fk.target)
+                        .ok_or_else(|| RelError::BadForeignKey {
+                            relation: table.schema.name.clone(),
+                            detail: format!("target relation `{}` missing", fk.target),
+                        })?;
                 let idxs: Vec<usize> = fk
                     .columns
                     .iter()
@@ -152,7 +153,8 @@ mod tests {
     #[test]
     fn create_insert_read() {
         let mut db = hospital();
-        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)])
+            .unwrap();
         let n = db
             .insert(
                 "patient-records",
@@ -161,7 +163,10 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1);
         assert_eq!(
-            db.table("patient-records").unwrap().value(n, "name").unwrap(),
+            db.table("patient-records")
+                .unwrap()
+                .value(n, "name")
+                .unwrap(),
             &Value::str("Ann")
         );
     }
@@ -183,7 +188,8 @@ mod tests {
     #[test]
     fn fk_integrity_ok_and_violated() {
         let mut db = hospital();
-        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)])
+            .unwrap();
         db.insert(
             "patient-records",
             vec![Value::Int(1), "Ann".into(), "W1".into()],

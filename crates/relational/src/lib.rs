@@ -28,12 +28,30 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RelError {
     UnknownRelation(String),
-    UnknownColumn { relation: String, column: String },
-    Arity { relation: String, expected: usize, got: usize },
-    TypeMismatch { relation: String, column: String, expected: String, got: String },
-    DuplicateKey { relation: String, key: String },
+    UnknownColumn {
+        relation: String,
+        column: String,
+    },
+    Arity {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        relation: String,
+        column: String,
+        expected: String,
+        got: String,
+    },
+    DuplicateKey {
+        relation: String,
+        key: String,
+    },
     Duplicate(String),
-    BadForeignKey { relation: String, detail: String },
+    BadForeignKey {
+        relation: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -47,7 +65,10 @@ impl fmt::Display for RelError {
                 relation,
                 expected,
                 got,
-            } => write!(f, "relation `{relation}` expects {expected} values, got {got}"),
+            } => write!(
+                f,
+                "relation `{relation}` expects {expected} values, got {got}"
+            ),
             RelError::TypeMismatch {
                 relation,
                 column,

@@ -78,10 +78,7 @@ impl Predicate {
 }
 
 /// σ: rows of `table` satisfying all `preds`, with their tuple numbers.
-pub fn select<'a>(
-    table: &'a Table,
-    preds: &[Predicate],
-) -> Result<Vec<(u64, &'a Row)>, RelError> {
+pub fn select<'a>(table: &'a Table, preds: &[Predicate]) -> Result<Vec<(u64, &'a Row)>, RelError> {
     let idxs: Vec<(usize, &Predicate)> = preds
         .iter()
         .map(|p| {
@@ -254,9 +251,7 @@ mod tests {
             )
             .unwrap(),
         );
-        names
-            .insert(vec!["IBM".into(), "Armonk".into()])
-            .unwrap();
+        names.insert(vec!["IBM".into(), "Armonk".into()]).unwrap();
         let t = stock_table();
         let (cols, rows) = natural_join(&t, &names);
         assert_eq!(cols, vec!["time", "stock-name", "price", "hq"]);

@@ -22,16 +22,16 @@ pub enum ColumnType {
 impl ColumnType {
     /// Does `v` conform to this column type (`Null` always conforms)?
     pub fn admits(&self, v: &Value) -> bool {
-        match (self, v) {
-            (_, Value::Null) => true,
-            (ColumnType::Bool, Value::Bool(_)) => true,
-            (ColumnType::Int, Value::Int(_)) => true,
-            (ColumnType::Real, Value::Real(_) | Value::Int(_)) => true,
-            (ColumnType::Char, Value::Char(_)) => true,
-            (ColumnType::Str, Value::Str(_)) => true,
-            (ColumnType::Date, Value::Date(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Real, Value::Real(_) | Value::Int(_))
+                | (ColumnType::Char, Value::Char(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
     }
 
     pub fn name(&self) -> &'static str {
@@ -235,7 +235,8 @@ mod tests {
 
     #[test]
     fn pk_must_exist() {
-        let err = RelSchema::new("r", vec![ColumnDef::new("a", ColumnType::Int)], ["b"]).unwrap_err();
+        let err =
+            RelSchema::new("r", vec![ColumnDef::new("a", ColumnType::Int)], ["b"]).unwrap_err();
         assert!(matches!(err, RelError::UnknownColumn { .. }));
     }
 

@@ -233,21 +233,16 @@ mod tests {
         let n = t
             .insert(vec!["March".into(), "IBM".into(), Value::Int(100)])
             .unwrap();
-        assert_eq!(
-            t.lookup_key(&["March".into(), "IBM".into()]),
-            Some(n)
-        );
+        assert_eq!(t.lookup_key(&["March".into(), "IBM".into()]), Some(n));
         assert_eq!(t.lookup_key(&["May".into(), "IBM".into()]), None);
-        assert_eq!(
-            t.lookup(&["stock-name".into()], &["IBM".into()]),
-            Some(n)
-        );
+        assert_eq!(t.lookup(&["stock-name".into()], &["IBM".into()]), Some(n));
         assert_eq!(t.lookup(&["ghost".into()], &["IBM".into()]), None);
     }
 
     #[test]
     fn null_admitted_everywhere() {
         let mut t = table();
-        t.insert(vec!["May".into(), "X".into(), Value::Null]).unwrap();
+        t.insert(vec!["May".into(), "X".into(), Value::Null])
+            .unwrap();
     }
 }

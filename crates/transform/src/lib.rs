@@ -38,7 +38,11 @@ pub enum TransformError {
     Model(ModelError),
     Relational(String),
     /// A foreign key references a tuple that does not exist.
-    DanglingReference { relation: String, tuple: u64, target: String },
+    DanglingReference {
+        relation: String,
+        tuple: u64,
+        target: String,
+    },
 }
 
 impl fmt::Display for TransformError {
@@ -230,7 +234,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.insert("wards", vec!["W1".into(), Value::Int(2)]).unwrap();
+        db.insert("wards", vec!["W1".into(), Value::Int(2)])
+            .unwrap();
         db.insert(
             "patient-records",
             vec![Value::Int(5), "Ann".into(), "W1".into()],
@@ -288,9 +293,7 @@ mod tests {
         )
         .unwrap();
         let t = transform("a1", &db, "S1").unwrap();
-        assert!(t
-            .schema
-            .is_subclass_of(&"student".into(), &"person".into()));
+        assert!(t.schema.is_subclass_of(&"student".into(), &"person".into()));
         // is-a keeps the key attribute
         assert!(t
             .schema
@@ -311,7 +314,7 @@ mod tests {
         assert_eq!(obj.attr("name"), &Value::str("Ann"));
         // aggregation instance resolves to the ward's OID
         let ward_oid: Oid = "FSM-agent1.informix.PatientDB.wards.1".parse().unwrap();
-        assert_eq!(obj.agg("ref_wards"), &[ward_oid.clone()]);
+        assert_eq!(obj.agg("ref_wards"), std::slice::from_ref(&ward_oid));
         assert!(t.store.get(&ward_oid).is_some());
         assert_eq!(t.report.tuples, 2);
     }

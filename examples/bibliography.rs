@@ -18,7 +18,8 @@ fn main() {
             c.attr("ISBN", AttrType::Str)
                 .attr("title", AttrType::Str)
                 .nested("author", |a| {
-                    a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                    a.attr("name", AttrType::Str)
+                        .attr("birthday", AttrType::Date)
                 })
         })
         .build()
@@ -38,8 +39,14 @@ fn main() {
     // Definition 4.1 paths, value form and quoted name form (Example 1).
     let value_path = Path::parse("Book", "author.birthday").unwrap();
     let name_path = Path::parse("Author", "book.\"title\"").unwrap();
-    println!("value path: {value_path} → {:?}", value_path.resolve(&s1).unwrap());
-    println!("name  path: {name_path} → {:?}\n", name_path.resolve(&s2).unwrap());
+    println!(
+        "value path: {value_path} → {:?}",
+        value_path.resolve(&s1).unwrap()
+    );
+    println!(
+        "name  path: {name_path} → {:?}\n",
+        name_path.resolve(&s2).unwrap()
+    );
 
     // Fig. 6(b) and (c): the two derivation assertions.
     let text = r#"

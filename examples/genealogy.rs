@@ -41,7 +41,10 @@ fn main() {
         }
     "#;
     let set = AssertionSet::build(parse_assertions(text).unwrap()).unwrap();
-    println!("=== Derivation assertion ===\n{}\n", set.iter().next().unwrap());
+    println!(
+        "=== Derivation assertion ===\n{}\n",
+        set.iter().next().unwrap()
+    );
 
     // ── The assertion graph of Fig. 11(a) ───────────────────────────────
     let assertion = set.iter().next().unwrap();

@@ -1,0 +1,619 @@
+//! Offline stand-in for the parts of crates.io `proptest` this workspace
+//! uses: the [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//! range / tuple / string-pattern strategies, `any::<T>()`, the
+//! `collection::{vec, btree_map}` builders, and the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted for an
+//! air-gapped build:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs in
+//!   scope, it is not minimised;
+//! * **deterministic RNG** — each test derives its seed from the test name
+//!   (override with `PROPTEST_SEED=<u64>`), so failures reproduce exactly;
+//! * string strategies accept the small regex subset the workspace uses:
+//!   concatenations of literal characters and `[...]` classes with an
+//!   optional `{n}` / `{m,n}` repetition.
+
+pub mod test_runner {
+    /// Run configuration; `ProptestConfig` in the prelude.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// splitmix64, seeded from the test name for reproducibility.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.parse::<u64>() {
+                    return TestRng { state: seed };
+                }
+            }
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (must be > 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. The real crate's `Strategy` produces shrinkable
+    /// value trees; this stand-in generates values directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 10000 candidates", self.reason)
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Object-safe view used by [`Union`] (`prop_oneof!`). Not intended
+    /// for direct use; blanket-implemented for every [`Strategy`].
+    #[doc(hidden)]
+    pub trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed strategies of one value type.
+    pub struct Union<V> {
+        options: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    /// Boxing helper for the `prop_oneof!` macro (hides the private trait).
+    pub fn union_option<S: Strategy + 'static>(s: S) -> Box<dyn DynStrategy<S::Value>> {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate_dyn(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+        A, B, C, D, E, F
+    ));
+
+    /// `&'static str` as a strategy: the regex subset described in the
+    /// crate docs, producing `String`s.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = atom.min_rep
+                    + if atom.max_rep > atom.min_rep {
+                        rng.below((atom.max_rep - atom.min_rep + 1) as u64) as usize
+                    } else {
+                        0
+                    };
+                for _ in 0..n {
+                    let i = rng.below(atom.chars.len() as u64) as usize;
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    struct PatternAtom {
+        chars: Vec<char>,
+        min_rep: usize,
+        max_rep: usize,
+    }
+
+    /// Parse a concatenation of `[class]` / literal-char atoms, each with an
+    /// optional `{n}` / `{m,n}` repetition.
+    fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern `{pat}`"));
+                let inner = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(inner, pat)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (min_rep, max_rep) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern `{pat}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(PatternAtom {
+                chars: set,
+                min_rep,
+                max_rep,
+            });
+        }
+        atoms
+    }
+
+    fn expand_class(inner: &[char], pat: &str) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut j = 0;
+        while j < inner.len() {
+            if j + 2 < inner.len() && inner[j + 1] == '-' {
+                let (lo, hi) = (inner[j], inner[j + 2]);
+                assert!(lo <= hi, "bad range {lo}-{hi} in pattern `{pat}`");
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                j += 3;
+            } else {
+                out.push(inner[j]);
+                j += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class in pattern `{pat}`");
+        out
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub struct ArbitraryStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Default for ArbitraryStrategy<T> {
+        fn default() -> Self {
+            ArbitraryStrategy {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! impl_arbitrary {
+        ($t:ty, |$rng:ident| $gen:expr) => {
+            impl Strategy for ArbitraryStrategy<$t> {
+                type Value = $t;
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = ArbitraryStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    ArbitraryStrategy::default()
+                }
+            }
+        };
+    }
+
+    impl_arbitrary!(bool, |rng| rng.next_u64() & 1 == 1);
+    impl_arbitrary!(u8, |rng| rng.next_u64() as u8);
+    impl_arbitrary!(u16, |rng| rng.next_u64() as u16);
+    impl_arbitrary!(u32, |rng| rng.next_u64() as u32);
+    impl_arbitrary!(u64, |rng| rng.next_u64());
+    impl_arbitrary!(usize, |rng| rng.next_u64() as usize);
+    impl_arbitrary!(i32, |rng| rng.next_u64() as i32);
+    impl_arbitrary!(i64, |rng| rng.next_u64() as i64);
+    // Any bit pattern: `Value`'s order uses `total_cmp`, which is total
+    // even over NaN, so the full domain is fair game.
+    impl_arbitrary!(f64, |rng| f64::from_bits(rng.next_u64()));
+    // Half the draws are ASCII: the real crate's char strategy also favors
+    // simple ranges, and downstream `prop_filter(is_ascii)` would otherwise
+    // reject ~8700:1.
+    impl_arbitrary!(char, |rng| if rng.next_u64() & 1 == 0 {
+        (rng.next_u64() % 0x80) as u8 as char
+    } else {
+        loop {
+            let c = (rng.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(c) {
+                break c;
+            }
+        }
+    });
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            // Duplicate keys collapse, matching the map's set semantics;
+            // the count is therefore an upper bound, as in the real crate.
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run each embedded `#[test] fn name(args in strategies) { body }` over
+/// `Config::cases` generated inputs. No shrinking: the panic message of a
+/// failing assertion is the diagnostic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // An immediate closure so `prop_assume!` can `return`
+                    // to skip just this case.
+                    (move || { $body })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @with_config ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Uniform choice between the listed strategies (all must share one value
+/// type). Weighted arms are not supported by the stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_option($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::from_name("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::strategy::Strategy::generate(&"[a-zA-Z][a-zA-Z0-9-]{0,8}", &mut rng);
+            assert!(!t.is_empty() && t.len() <= 9);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+
+            let u = crate::strategy::Strategy::generate(&"[ -~\n]{0,200}", &mut rng);
+            assert!(u.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_machinery_works(
+            x in 0u8..10,
+            v in crate::collection::vec(0i64..5, 0..4),
+            s in prop_oneof![Just(1u8), (2u8..4).prop_map(|n| n)],
+        ) {
+            prop_assume!(x < 250);
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4, "len was {}", v.len());
+            prop_assert_ne!(s, 0);
+            prop_assert_eq!(s < 4, true);
+        }
+    }
+}

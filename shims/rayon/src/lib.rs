@@ -1,0 +1,288 @@
+//! Offline stand-in for the parts of crates.io `rayon` this workspace
+//! uses: `par_iter()` on slices and `Vec`s with `map(..).collect()`, and
+//! `rayon::join`.
+//!
+//! Execution model: the input is split into one contiguous chunk per
+//! available core and each chunk is mapped on its own scoped thread
+//! (`std::thread::scope`), so there is no work stealing and no global
+//! thread pool — a fair trade for an air-gapped build. Output order
+//! matches input order, as with the real crate's indexed parallel
+//! iterators. Inputs smaller than one item per thread just run on fewer
+//! threads; empty inputs spawn nothing.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads() < 2 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace relies on:
+/// `map` followed by `collect`, plus `for_each`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Drain the iterator into an ordered `Vec`, mapping chunks in
+    /// parallel. Implementations define only this; adapters build on it.
+    fn drive_map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.drive_map(&f);
+    }
+
+    fn collect<C: FromParVec<Self::Item>>(self) -> C {
+        C::from_par_vec(self.drive_map(|x| x))
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParVec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParVec<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParVec<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive_map<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        self.inner.drive_map(move |item| g(f(item)))
+    }
+}
+
+/// Map an owned Vec chunk-per-thread, preserving order.
+fn chunked_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = threads().min(items.len());
+    if n_threads < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(n_threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(n_threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        parts.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| scope.spawn(|| part.into_iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive_map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        let n_threads = threads().min(self.items.len());
+        if n_threads < 2 {
+            return self.items.iter().map(f).collect();
+        }
+        let chunk = self.items.len().div_ceil(n_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(self.items.len());
+            for h in handles {
+                out.extend(h.join().expect("rayon worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive_map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        chunked_map_owned(self.items, f)
+    }
+}
+
+/// `by_ref.par_iter()`, as on slices and `Vec` references.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// `vec.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+
+        let owned: Vec<u64> = input.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, (1..=10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_result_short_circuits_to_err() {
+        let input: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = input.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u64>, String> = input
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -54,9 +54,11 @@ fn step_1_person_human_merged_first() {
         .trace
         .iter()
         .find_map(|e| match e {
-            TraceEvent::PopPair { left, right, relation } => {
-                Some((left.clone(), right.clone(), relation.clone()))
-            }
+            TraceEvent::PopPair {
+                left,
+                right,
+                relation,
+            } => Some((left.clone(), right.clone(), relation.clone())),
             _ => None,
         })
         .expect("at least one pair popped");
@@ -108,7 +110,9 @@ fn step_4_intersection_rules() {
     assert_eq!(rules.len(), 3);
     // The trace's rules (with our IS naming): student_faculty is the
     // intersection class over the copied student (S1) and faculty (S2).
-    assert!(rules.iter().any(|r| r.contains("student_faculty") && r.contains("y = x")));
+    assert!(rules
+        .iter()
+        .any(|r| r.contains("student_faculty") && r.contains("y = x")));
     assert!(rules.iter().any(|r| r.contains("¬<x: student_faculty>")));
 }
 
@@ -213,7 +217,11 @@ fn same_output_fewer_checks() {
     let naive = naive_schema_integration(&s1, &s2, &set).unwrap();
     let optimized = schema_integration(&s1, &s2, &set).unwrap();
     let mut nc: Vec<&str> = naive.output.classes().map(|c| c.name.as_str()).collect();
-    let mut oc: Vec<&str> = optimized.output.classes().map(|c| c.name.as_str()).collect();
+    let mut oc: Vec<&str> = optimized
+        .output
+        .classes()
+        .map(|c| c.name.as_str())
+        .collect();
     nc.sort();
     oc.sort();
     assert_eq!(nc, oc);

@@ -20,8 +20,10 @@ fn hospital_db() -> Database {
         .unwrap(),
     )
     .unwrap();
-    db.insert("patients", vec!["111".into(), "Ann".into()]).unwrap();
-    db.insert("patients", vec!["222".into(), "Bob".into()]).unwrap();
+    db.insert("patients", vec!["111".into(), "Ann".into()])
+        .unwrap();
+    db.insert("patients", vec!["222".into(), "Bob".into()])
+        .unwrap();
     db
 }
 
@@ -29,7 +31,8 @@ fn hospital_db() -> Database {
 fn staff_component() -> (Schema, InstanceStore) {
     let schema = SchemaBuilder::new("x")
         .class("staff", |c| {
-            c.attr("ssn", AttrType::Str).attr("full_name", AttrType::Str)
+            c.attr("ssn", AttrType::Str)
+                .attr("full_name", AttrType::Str)
         })
         .build()
         .unwrap();
@@ -59,14 +62,24 @@ fn relational_and_oo_components_integrate() {
     .unwrap();
     let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     // Both component classes survive, plus the intersection virtuals.
-    let g_patients = client.global.global_class("S1", "patients").unwrap().to_string();
-    let g_staff = client.global.global_class("S2", "staff").unwrap().to_string();
+    let g_patients = client
+        .global
+        .global_class("S1", "patients")
+        .unwrap()
+        .to_string();
+    let g_staff = client
+        .global
+        .global_class("S2", "staff")
+        .unwrap()
+        .to_string();
     assert_ne!(g_patients, g_staff);
     assert!(client.global.integrated.class("patients_staff").is_some());
     // Relational tuples are queryable as objects with federated OIDs.
     let patients = client.instances_of(&g_patients).unwrap();
     assert_eq!(patients.len(), 2);
-    assert!(patients[0].to_string().starts_with("FSM-agent1.informix.PatientDB.patients."));
+    assert!(patients[0]
+        .to_string()
+        .starts_with("FSM-agent1.informix.PatientDB.patients."));
     let names = client.attr_values(&g_patients, "name").unwrap();
     assert_eq!(names, vec![Value::str("Ann"), Value::str("Bob")]);
 }
@@ -87,7 +100,11 @@ fn equivalence_federation_unions_extents() {
     )
     .unwrap();
     let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
-    let g = client.global.global_class("S1", "patients").unwrap().to_string();
+    let g = client
+        .global
+        .global_class("S1", "patients")
+        .unwrap()
+        .to_string();
     assert_eq!(client.global.global_class("S2", "staff"), Some(g.as_str()));
     // The union extent has all three people, names merged under one attr.
     assert_eq!(client.instances_of(&g).unwrap().len(), 3);
@@ -117,11 +134,14 @@ fn three_way_accumulation_preserves_queries() {
     };
     let mut fsm = Fsm::new();
     let (s, st) = mk("person", "name", "Ann");
-    fsm.register(Agent::object_oriented("a1", s, st), "S1").unwrap();
+    fsm.register(Agent::object_oriented("a1", s, st), "S1")
+        .unwrap();
     let (s, st) = mk("human", "hname", "Bob");
-    fsm.register(Agent::object_oriented("a2", s, st), "S2").unwrap();
+    fsm.register(Agent::object_oriented("a2", s, st), "S2")
+        .unwrap();
     let (s, st) = mk("individual", "iname", "Cey");
-    fsm.register(Agent::object_oriented("a3", s, st), "S3").unwrap();
+    fsm.register(Agent::object_oriented("a3", s, st), "S3")
+        .unwrap();
     fsm.add_assertions_text(
         r#"
         assert S1.person == S2.human { attr S1.person.name == S2.human.hname; }
@@ -129,9 +149,16 @@ fn three_way_accumulation_preserves_queries() {
         "#,
     )
     .unwrap();
-    for strategy in [IntegrationStrategy::Accumulation, IntegrationStrategy::Balanced] {
+    for strategy in [
+        IntegrationStrategy::Accumulation,
+        IntegrationStrategy::Balanced,
+    ] {
         let mut client = FsmClient::connect(&fsm, strategy).unwrap();
-        let g = client.global.global_class("S3", "individual").unwrap().to_string();
+        let g = client
+            .global
+            .global_class("S3", "individual")
+            .unwrap()
+            .to_string();
         assert_eq!(client.global.global_class("S1", "person"), Some(g.as_str()));
         let names = client.attr_values(&g, "name").unwrap();
         assert_eq!(
@@ -151,22 +178,30 @@ fn data_mapping_converts_units() {
         .build()
         .unwrap();
     let mut st1 = InstanceStore::new();
-    st1.create(&s1, "person", |o| o.with_attr("height", 70i64)).unwrap();
+    st1.create(&s1, "person", |o| o.with_attr("height", 70i64))
+        .unwrap();
     let s2 = SchemaBuilder::new("x")
         .class("human", |c| c.attr("height_cm", AttrType::Real))
         .build()
         .unwrap();
     let mut st2 = InstanceStore::new();
-    st2.create(&s2, "human", |o| o.with_attr("height_cm", 180.0)).unwrap();
+    st2.create(&s2, "human", |o| o.with_attr("height_cm", 180.0))
+        .unwrap();
     let mut fsm = Fsm::new();
-    fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
-    fsm.register(Agent::object_oriented("a2", s2, st2), "S2").unwrap();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+        .unwrap();
     fsm.add_assertions_text(
         "assert S1.person == S2.human { attr S1.person.height == S2.human.height_cm; }",
     )
     .unwrap();
-    fsm.meta
-        .set_mapping("person", "height", "S1", DataMapping::Linear { a: 2.54, b: 0.0 });
+    fsm.meta.set_mapping(
+        "person",
+        "height",
+        "S1",
+        DataMapping::Linear { a: 2.54, b: 0.0 },
+    );
     let mut client = FsmClient::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     let heights = client.attr_values("person", "height").unwrap();
     assert_eq!(heights, vec![Value::Real(177.8), Value::Real(180.0)]);
@@ -183,8 +218,10 @@ fn disjoint_rule_completes_extents() {
         .build()
         .unwrap();
     let mut st1 = InstanceStore::new();
-    st1.create(&s1, "person", |o| o.with_attr("name", "Pat")).unwrap();
-    st1.create(&s1, "man", |o| o.with_attr("name", "Max")).unwrap();
+    st1.create(&s1, "person", |o| o.with_attr("name", "Pat"))
+        .unwrap();
+    st1.create(&s1, "man", |o| o.with_attr("name", "Max"))
+        .unwrap();
     let s2 = SchemaBuilder::new("x")
         .class("human", |c| c.attr("name", AttrType::Str))
         .class("woman", |c| c.attr("name", AttrType::Str))
@@ -192,12 +229,10 @@ fn disjoint_rule_completes_extents() {
         .build()
         .unwrap();
     let mut fsm = Fsm::new();
-    fsm.register(Agent::object_oriented("a1", s1, st1), "S1").unwrap();
-    fsm.register(
-        Agent::object_oriented("a2", s2, InstanceStore::new()),
-        "S2",
-    )
-    .unwrap();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, InstanceStore::new()), "S2")
+        .unwrap();
     fsm.add_assertions_text(
         r#"
         assert S1.person == S2.human { attr S1.person.name == S2.human.name; }

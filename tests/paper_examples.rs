@@ -11,7 +11,8 @@ fn example_1_paths() {
     let s1 = SchemaBuilder::new("S1")
         .class("Book", |c| {
             c.attr("ISBN", AttrType::Str).nested("author", |a| {
-                a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                a.attr("name", AttrType::Str)
+                    .attr("birthday", AttrType::Date)
             })
         })
         .build()
@@ -199,10 +200,8 @@ fn example_7_single_isa_link() {
         .build()
         .unwrap();
     let set = AssertionSet::build(
-        parse_assertions(
-            "assert S1.professor <= S2.human;\nassert S1.professor <= S2.employee;",
-        )
-        .unwrap(),
+        parse_assertions("assert S1.professor <= S2.human;\nassert S1.professor <= S2.employee;")
+            .unwrap(),
     )
     .unwrap();
     let run = schema_integration(&s1, &s2, &set).unwrap();
@@ -277,10 +276,7 @@ fn example_10_car_rules() {
         let g = build_assertion_graph(piece);
         let rule = derive_rule(piece, &g, |s, c| format!("IS({s}•{c})"));
         let text = rule.to_string();
-        assert!(
-            text.contains(&format!("= \"car-name{}\"", i + 1)),
-            "{text}"
-        );
+        assert!(text.contains(&format!("= \"car-name{}\"", i + 1)), "{text}");
         fedoo::deduction::check_rule(&rule).unwrap();
     }
 }
@@ -293,7 +289,8 @@ fn example_11_book_author_rules() {
             c.attr("ISBN", AttrType::Str)
                 .attr("title", AttrType::Str)
                 .nested("author", |a| {
-                    a.attr("name", AttrType::Str).attr("birthday", AttrType::Date)
+                    a.attr("name", AttrType::Str)
+                        .attr("birthday", AttrType::Date)
                 })
         })
         .build()
@@ -330,8 +327,7 @@ fn example_11_book_author_rules() {
 #[test]
 fn tables_1_2_3_taxonomies() {
     // Table 1: 5 distinct names over 6 operators.
-    let names: std::collections::BTreeSet<&str> =
-        ClassOp::all().iter().map(|o| o.name()).collect();
+    let names: std::collections::BTreeSet<&str> = ClassOp::all().iter().map(|o| o.name()).collect();
     assert_eq!(names.len(), 5);
     // Table 2 adds composed-into and more-specific-than.
     assert_eq!(AttrOp::ComposedInto("x".into()).name(), "composed-into");

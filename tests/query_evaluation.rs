@@ -150,7 +150,13 @@ fn bottom_up_agrees_with_federated() {
     let mut db = fedoo::deduction::FactDb::new();
     let provider = AgentProvider::new(&comps);
     use fedoo::deduction::ExtentProvider;
-    for (schema, pred) in [("S1", "mother"), ("S1", "father"), ("S2", "brother"), ("S2", "parent"), ("S2", "uncle")] {
+    for (schema, pred) in [
+        ("S1", "mother"),
+        ("S1", "father"),
+        ("S2", "brother"),
+        ("S2", "parent"),
+        ("S2", "uncle"),
+    ] {
         for t in provider.local_tuples(schema, pred, 2) {
             db.insert_pred(pred, t);
         }
@@ -192,7 +198,8 @@ fn subclass_instances_visible_through_provider() {
         .build()
         .unwrap();
     let mut st = InstanceStore::new();
-    st.create(&s, "student", |o| o.with_attr("name", "Ann")).unwrap();
+    st.create(&s, "student", |o| o.with_attr("name", "Ann"))
+        .unwrap();
     let comps = vec![(s, st)];
     let provider = AgentProvider::new(&comps);
     use fedoo::deduction::ExtentProvider;
