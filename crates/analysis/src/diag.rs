@@ -1,0 +1,567 @@
+//! The diagnostics framework: stable codes, severities, spans, renderers.
+//!
+//! Every problem any pass can report is a [`Diagnostic`] carrying a stable
+//! [`Code`] (`FD0xxx`, rustc-style), a [`Severity`], a human message, an
+//! optional *subject* (the rule / assertion / class the problem is about)
+//! and an optional byte-offset [`Span`] into the source the subject was
+//! parsed from. A [`Report`] collects diagnostics across passes and renders
+//! them for humans or as deterministic JSON (for golden files and CI).
+
+use assertions::Span;
+use std::fmt;
+
+/// How severe a diagnostic is. `Deny` blocks integration (unless the
+/// caller opts out via the escape hatch), `Warn` is surfaced but does not
+/// block, `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. `FD01xx` — program analysis, `FD02xx` —
+/// assertion-set consistency, `FD03xx` — schema lints. The numeric codes
+/// are a public contract: tools may match on them, so variants are never
+/// renumbered, only appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// FD0101 — a head variable is not range-restricted.
+    UnsafeHeadVar,
+    /// FD0102 — a variable occurs only under negation.
+    NegationOnlyVar,
+    /// FD0103 — a built-in comparison operand is never bound.
+    UnboundBuiltin,
+    /// FD0104 — a fact (empty-body rule) contains variables.
+    NonGroundFact,
+    /// FD0105 — a predicate is used in a body but defined nowhere.
+    UnreachablePredicate,
+    /// FD0106 — a predicate is defined but never used nor exported.
+    UnusedPredicate,
+    /// FD0107 — two rules are syntactically identical (up to literal order).
+    DuplicateRule,
+    /// FD0108 — a rule's body strictly extends another rule with the same
+    /// head: the wider rule derives nothing new.
+    SubsumedRule,
+    /// FD0109 — one predicate name is used with different arities.
+    ArityMismatch,
+    /// FD0110 — an O-term mentions a member its class does not have, or
+    /// binds a constant the member's declared type does not admit.
+    UnknownMember,
+    /// FD0201 — equivalence/inclusion closure connects two classes that an
+    /// exclusion assertion declares disjoint.
+    ContradictoryAssertions,
+    /// FD0202 — derivation assertions form a cycle.
+    DerivationCycle,
+    /// FD0203 — an equivalence's aggregation correspondence declares
+    /// incomparable cardinality constraints: the `lcs` relaxation discards
+    /// both declared bounds.
+    CardinalityConflict,
+    /// FD0204 — two assertions claim the same class pair, or an assertion
+    /// relates a class to itself.
+    ConflictingPair,
+    /// FD0205 — an assertion path does not resolve against the schemas.
+    UnresolvedPath,
+    /// FD0301 — the is-a graph has a cycle.
+    IsaCycle,
+    /// FD0302 — a class with no members, no is-a links and no incoming
+    /// aggregation: nothing can reach or populate it meaningfully.
+    DeadClass,
+    /// FD0303 — an aggregation function whose target class has an empty
+    /// extent in every component.
+    EmptyAggTarget,
+}
+
+impl Code {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::UnsafeHeadVar => "FD0101",
+            Code::NegationOnlyVar => "FD0102",
+            Code::UnboundBuiltin => "FD0103",
+            Code::NonGroundFact => "FD0104",
+            Code::UnreachablePredicate => "FD0105",
+            Code::UnusedPredicate => "FD0106",
+            Code::DuplicateRule => "FD0107",
+            Code::SubsumedRule => "FD0108",
+            Code::ArityMismatch => "FD0109",
+            Code::UnknownMember => "FD0110",
+            Code::ContradictoryAssertions => "FD0201",
+            Code::DerivationCycle => "FD0202",
+            Code::CardinalityConflict => "FD0203",
+            Code::ConflictingPair => "FD0204",
+            Code::UnresolvedPath => "FD0205",
+            Code::IsaCycle => "FD0301",
+            Code::DeadClass => "FD0302",
+            Code::EmptyAggTarget => "FD0303",
+        }
+    }
+
+    /// The default severity of this code. Derivation cycles are only a
+    /// warning: the paper's Fig. 6 legitimately derives `Book` from
+    /// `Author` *and* `Author` from `Book`.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::UnsafeHeadVar
+            | Code::NegationOnlyVar
+            | Code::UnboundBuiltin
+            | Code::NonGroundFact
+            | Code::ArityMismatch
+            | Code::UnknownMember
+            | Code::ContradictoryAssertions
+            | Code::CardinalityConflict
+            | Code::ConflictingPair
+            | Code::UnresolvedPath
+            | Code::IsaCycle => Severity::Deny,
+            Code::UnreachablePredicate
+            | Code::DuplicateRule
+            | Code::DerivationCycle
+            | Code::DeadClass
+            | Code::EmptyAggTarget => Severity::Warn,
+            Code::UnusedPredicate | Code::SubsumedRule => Severity::Info,
+        }
+    }
+
+    /// Short human title, as shown in `--explain`-style listings.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Code::UnsafeHeadVar => "unsafe rule (head variable not range-restricted)",
+            Code::NegationOnlyVar => "variable occurs only under negation",
+            Code::UnboundBuiltin => "unbound built-in operand",
+            Code::NonGroundFact => "non-ground fact",
+            Code::UnreachablePredicate => "unreachable predicate",
+            Code::UnusedPredicate => "unused predicate",
+            Code::DuplicateRule => "duplicate rule",
+            Code::SubsumedRule => "subsumed rule",
+            Code::ArityMismatch => "predicate arity mismatch",
+            Code::UnknownMember => "unknown or ill-typed class member",
+            Code::ContradictoryAssertions => "contradictory assertions",
+            Code::DerivationCycle => "derivation-assertion cycle",
+            Code::CardinalityConflict => "cardinality-constraint contradiction",
+            Code::ConflictingPair => "conflicting assertions on a class pair",
+            Code::UnresolvedPath => "unresolved path",
+            Code::IsaCycle => "is-a cycle",
+            Code::DeadClass => "dead class",
+            Code::EmptyAggTarget => "aggregation target never populated",
+        }
+    }
+
+    /// Every code, in numeric order.
+    pub fn all() -> [Code; 18] {
+        [
+            Code::UnsafeHeadVar,
+            Code::NegationOnlyVar,
+            Code::UnboundBuiltin,
+            Code::NonGroundFact,
+            Code::UnreachablePredicate,
+            Code::UnusedPredicate,
+            Code::DuplicateRule,
+            Code::SubsumedRule,
+            Code::ArityMismatch,
+            Code::UnknownMember,
+            Code::ContradictoryAssertions,
+            Code::DerivationCycle,
+            Code::CardinalityConflict,
+            Code::ConflictingPair,
+            Code::UnresolvedPath,
+            Code::IsaCycle,
+            Code::DeadClass,
+            Code::EmptyAggTarget,
+        ]
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One reported problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    pub message: String,
+    /// What the problem is about: a rule, assertion or class display form.
+    /// Multi-line display forms are compressed to their first line when
+    /// rendered.
+    pub subject: Option<String>,
+    /// Source bytes, when the subject was parsed from text.
+    pub span: Option<Span>,
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            subject: None,
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn with_subject(mut self, subject: impl Into<String>) -> Self {
+        self.subject = Some(subject.into());
+        self
+    }
+
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    fn subject_head(&self) -> Option<&str> {
+        self.subject
+            .as_deref()
+            .and_then(|s| s.lines().next())
+            .filter(|s| !s.is_empty())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(subject) = self.subject_head() {
+            write!(f, "\n  --> {subject}")?;
+            if let Some(span) = self.span {
+                write!(f, " ({span})")?;
+            }
+        }
+        for note in &self.notes {
+            write!(f, "\n  = note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Timing and severity counts of one analysis run, recorded into
+/// `PipelineStats` by the integration pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisStats {
+    /// Wall time of the analysis, microseconds.
+    pub micros: u64,
+    pub deny: u32,
+    pub warn: u32,
+    pub info: u32,
+}
+
+impl AnalysisStats {
+    pub fn total(&self) -> u32 {
+        self.deny + self.warn + self.info
+    }
+}
+
+impl fmt::Display for AnalysisStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} deny / {} warn / {} info in {} µs",
+            self.deny, self.warn, self.info, self.micros
+        )
+    }
+}
+
+/// An ordered collection of diagnostics, merged across passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorb another report's diagnostics.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn has_deny(&self) -> bool {
+        self.iter().any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Diagnostics of one severity.
+    pub fn with_severity(&self, sev: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.iter().filter(move |d| d.severity == sev)
+    }
+
+    /// `(deny, warn, info)` counts.
+    pub fn counts(&self) -> (u32, u32, u32) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Deny => c.0 += 1,
+                Severity::Warn => c.1 += 1,
+                Severity::Info => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Stats record for this report.
+    pub fn stats(&self, micros: u64) -> AnalysisStats {
+        let (deny, warn, info) = self.counts();
+        AnalysisStats {
+            micros,
+            deny,
+            warn,
+            info,
+        }
+    }
+
+    /// Deterministic order: most severe first, then by code, subject,
+    /// message and span position.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.subject.cmp(&b.subject))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.span.cmp(&b.span))
+        });
+    }
+
+    /// Sorted copy, for rendering.
+    pub fn sorted(&self) -> Report {
+        let mut r = self.clone();
+        r.sort();
+        r
+    }
+
+    /// The rustc-style human rendering, ending with a summary line.
+    pub fn render_human(&self) -> String {
+        let sorted = self.sorted();
+        let mut out = String::new();
+        for d in sorted.iter() {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let (deny, warn, info) = self.counts();
+        out.push_str(&format!(
+            "analysis: {deny} deny, {warn} warn, {info} info\n"
+        ));
+        out
+    }
+
+    /// Deterministic pretty-printed JSON (stable key order, sorted
+    /// diagnostics) — the format golden files and the CI lint job compare.
+    pub fn render_json(&self) -> String {
+        let (deny, warn, info) = self.counts();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"summary\": {{ \"deny\": {deny}, \"warn\": {warn}, \"info\": {info} }},\n"
+        ));
+        out.push_str("  \"diagnostics\": [");
+        let sorted = self.sorted();
+        for (i, d) in sorted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"code\": \"{}\",\n", d.code));
+            out.push_str(&format!("      \"severity\": \"{}\",\n", d.severity));
+            out.push_str(&format!("      \"message\": {}", json_string(&d.message)));
+            if let Some(subject) = d.subject_head() {
+                out.push_str(&format!(",\n      \"subject\": {}", json_string(subject)));
+            }
+            if let Some(span) = d.span {
+                out.push_str(&format!(
+                    ",\n      \"span\": {{ \"start\": {}, \"end\": {}, \"line\": {} }}",
+                    span.start, span.end, span.line
+                ));
+            }
+            if !d.notes.is_empty() {
+                out.push_str(",\n      \"notes\": [");
+                for (j, n) in d.notes.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_string(n));
+                }
+                out.push(']');
+            }
+            out.push_str("\n    }");
+        }
+        if !sorted.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+/// Escape a string as a JSON string literal (no external serializer in the
+/// air-gapped build).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup);
+        assert_eq!(Code::UnsafeHeadVar.as_str(), "FD0101");
+        assert_eq!(Code::ContradictoryAssertions.as_str(), "FD0201");
+        assert_eq!(Code::IsaCycle.as_str(), "FD0301");
+    }
+
+    #[test]
+    fn severity_ordering_puts_deny_on_top() {
+        assert!(Severity::Deny > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::UnusedPredicate, "info one"));
+        r.push(Diagnostic::new(Code::UnsafeHeadVar, "deny one"));
+        r.push(Diagnostic::new(Code::DuplicateRule, "warn one"));
+        let sorted = r.sorted();
+        let sevs: Vec<Severity> = sorted.iter().map(|d| d.severity).collect();
+        assert_eq!(sevs, vec![Severity::Deny, Severity::Warn, Severity::Info]);
+    }
+
+    #[test]
+    fn human_rendering_shape() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(
+                Code::UnsafeHeadVar,
+                "head variable `x` not range-restricted",
+            )
+            .with_subject("<x: H> ⇐ <y: B>")
+            .with_note("bind `x` in a positive body literal"),
+        );
+        let text = r.render_human();
+        assert!(text.contains("deny[FD0101]: head variable `x` not range-restricted"));
+        assert!(text.contains("--> <x: H> ⇐ <y: B>"));
+        assert!(text.contains("= note: bind `x`"));
+        assert!(text.contains("analysis: 1 deny, 0 warn, 0 info"));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_escaped() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::DuplicateRule, "duplicate of rule #0")
+                .with_subject("p(x) ⇐ q(x)\n  second line dropped"),
+        );
+        r.push(Diagnostic::new(Code::UnknownMember, "no member `a\"b`"));
+        let json = r.render_json();
+        assert!(json.contains("\"summary\": { \"deny\": 1, \"warn\": 1, \"info\": 0 }"));
+        // Deny sorts before warn regardless of push order.
+        let deny_pos = json.find("FD0110").unwrap();
+        let warn_pos = json.find("FD0107").unwrap();
+        assert!(deny_pos < warn_pos);
+        assert!(json.contains("\\\"b`\""));
+        // Only the first subject line is emitted.
+        assert!(!json.contains("second line"));
+        assert_eq!(json, r.render_json());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report::new();
+        assert_eq!(
+            r.render_json(),
+            "{\n  \"summary\": { \"deny\": 0, \"warn\": 0, \"info\": 0 },\n  \"diagnostics\": []\n}\n"
+        );
+        assert!(!r.has_deny());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::IsaCycle, "cycle"));
+        r.push(Diagnostic::new(Code::DeadClass, "dead"));
+        let s = r.stats(42);
+        assert_eq!(
+            s,
+            AnalysisStats {
+                micros: 42,
+                deny: 1,
+                warn: 1,
+                info: 0
+            }
+        );
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.to_string(), "1 deny / 1 warn / 0 info in 42 µs");
+    }
+
+    #[test]
+    fn span_round_trips_into_json() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::UnresolvedPath, "no path").with_span(Some(Span::new(3, 10, 2))),
+        );
+        let json = r.render_json();
+        assert!(json.contains("\"span\": { \"start\": 3, \"end\": 10, \"line\": 2 }"));
+    }
+}

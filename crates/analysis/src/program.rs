@@ -1,0 +1,480 @@
+//! Program analysis: the predicate-dependency pass over a rule set.
+//!
+//! Safety/allowedness (FD0101–FD0104) delegates to the collecting checker
+//! in `deduction::safety` — that crate stays the safety kernel because the
+//! dependency direction is `analysis → deduction`. On top of it this pass
+//! builds a predicate dependency graph and reports:
+//!
+//! * **FD0105** unreachable predicates (used in a body, defined nowhere —
+//!   neither by a rule head nor by a schema class extent);
+//! * **FD0106** unused predicates (defined by a head, never consumed and
+//!   not a schema class, i.e. not part of the exported extent);
+//! * **FD0107** duplicate rules (identical up to literal order);
+//! * **FD0108** subsumed rules (same head, strictly wider body);
+//! * **FD0109** arity mismatches of first-order predicates;
+//! * **FD0110** O-term members unknown to (or ill-typed for) the schema
+//!   class they pattern-match.
+//!
+//! All of it runs in one sweep and reports **every** violation — the
+//! fail-fast behaviour of `deduction::check_rule` is what this pass
+//! replaces for diagnostics purposes.
+//!
+//! Multi-head (disjunctive) rules are exempt from the safety checks: per
+//! Principle 4 they are representational, never executed. They still
+//! participate in the dependency graph and duplicate detection.
+
+use crate::diag::{Code, Diagnostic, Report};
+use deduction::term::{Literal, Rule};
+use deduction::{check_rule_all, SafetyError};
+use oo_model::{ClassName, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Strip negation to reach the underlying literal.
+fn strip_neg(lit: &Literal) -> &Literal {
+    match lit {
+        Literal::Neg(inner) => strip_neg(inner),
+        other => other,
+    }
+}
+
+/// First line of a rule's display form (assertion-derived rules are single
+/// line already; defensive for future multi-line displays).
+fn subject(rule: &Rule) -> String {
+    rule.to_string()
+}
+
+fn safety_diag(err: SafetyError) -> Diagnostic {
+    match err {
+        SafetyError::UnsafeHeadVar { var, rule } => Diagnostic::new(
+            Code::UnsafeHeadVar,
+            format!("head variable `{var}` is not range-restricted"),
+        )
+        .with_subject(rule)
+        .with_note(format!(
+            "bind `{var}` in a positive, non-built-in body literal"
+        )),
+        SafetyError::NotAllowed { var, rule } => Diagnostic::new(
+            Code::NegationOnlyVar,
+            format!("variable `{var}` occurs only under negation"),
+        )
+        .with_subject(rule),
+        SafetyError::UnboundBuiltin { var, rule } => Diagnostic::new(
+            Code::UnboundBuiltin,
+            format!("built-in comparison operand `{var}` is never bound"),
+        )
+        .with_subject(rule),
+        SafetyError::NonGroundFact { var, rule } => Diagnostic::new(
+            Code::NonGroundFact,
+            format!("fact contains variable `{var}`"),
+        )
+        .with_subject(rule),
+    }
+}
+
+/// Analyze a rule program against zero or more known schemas.
+///
+/// Schema class names count as *base* relations: they are defined (their
+/// extents exist) and exported (rules deriving them feed the integrated
+/// schema), so they are exempt from FD0105/FD0106.
+pub fn analyze_program(rules: &[Rule], schemas: &[&Schema]) -> Report {
+    let mut report = Report::new();
+
+    let base: BTreeSet<&str> = schemas
+        .iter()
+        .flat_map(|s| s.class_names().map(ClassName::as_str))
+        .collect();
+
+    // FD0101..FD0104 — safety kernel, single-head rules only.
+    for rule in rules {
+        if rule.heads.len() == 1 {
+            for err in check_rule_all(rule) {
+                report.push(safety_diag(err));
+            }
+        }
+    }
+
+    // Dependency graph: which relation names are defined by heads, which
+    // are consumed by bodies, and by which rules.
+    let mut defined: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut used: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        for head in &rule.heads {
+            if let Some(name) = strip_neg(head).relation() {
+                defined.entry(name).or_default().push(i);
+            }
+        }
+        for lit in &rule.body {
+            if let Some(name) = strip_neg(lit).relation() {
+                used.entry(name).or_default().push(i);
+            }
+        }
+    }
+
+    // FD0105 — used but never defined (and not a base extent).
+    for (name, users) in &used {
+        if !defined.contains_key(name) && !base.contains(name) {
+            let mut d = Diagnostic::new(
+                Code::UnreachablePredicate,
+                format!("predicate `{name}` is used but never defined"),
+            )
+            .with_subject(subject(&rules[users[0]]));
+            if users.len() > 1 {
+                d = d.with_note(format!("used by {} rules", users.len()));
+            }
+            d = d.with_note("its body literals can never be satisfied".to_string());
+            report.push(d);
+        }
+    }
+
+    // FD0106 — defined but never consumed and not exported via a schema.
+    for (name, definers) in &defined {
+        if !used.contains_key(name) && !base.contains(name) {
+            report.push(
+                Diagnostic::new(
+                    Code::UnusedPredicate,
+                    format!("predicate `{name}` is defined but never used"),
+                )
+                .with_subject(subject(&rules[definers[0]]))
+                .with_note("not a schema class, so its extent is not exported".to_string()),
+            );
+        }
+    }
+
+    // FD0107 — duplicate rules: identical head/body literal multisets.
+    let mut seen: BTreeMap<(Vec<String>, Vec<String>), usize> = BTreeMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let mut heads: Vec<String> = rule.heads.iter().map(|l| l.to_string()).collect();
+        let mut body: Vec<String> = rule.body.iter().map(|l| l.to_string()).collect();
+        heads.sort();
+        body.sort();
+        match seen.get(&(heads.clone(), body.clone())) {
+            Some(&first) => report.push(
+                Diagnostic::new(
+                    Code::DuplicateRule,
+                    format!("rule #{i} duplicates rule #{first}"),
+                )
+                .with_subject(subject(rule)),
+            ),
+            None => {
+                seen.insert((heads, body), i);
+            }
+        }
+    }
+
+    // FD0108 — subsumption among single-head rules with the same head: if
+    // body(a) ⊊ body(b), rule b derives nothing a does not already derive.
+    // (Syntactic: variable renamings are not chased.)
+    let singles: Vec<(usize, String, BTreeSet<String>)> = rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.heads.len() == 1 && !r.body.is_empty())
+        .map(|(i, r)| {
+            (
+                i,
+                r.heads[0].to_string(),
+                r.body.iter().map(|l| l.to_string()).collect(),
+            )
+        })
+        .collect();
+    for (bi, bhead, bbody) in &singles {
+        for (ai, ahead, abody) in &singles {
+            if ai != bi && ahead == bhead && abody.is_subset(bbody) && abody.len() < bbody.len() {
+                report.push(
+                    Diagnostic::new(
+                        Code::SubsumedRule,
+                        format!("rule #{bi} is subsumed by the narrower rule #{ai}"),
+                    )
+                    .with_subject(subject(&rules[*bi]))
+                    .with_note(format!("rule #{ai}: {}", subject(&rules[*ai]))),
+                );
+                break; // one subsumption witness per rule is enough
+            }
+        }
+    }
+
+    // FD0109 — arity consistency of first-order predicates.
+    let mut arities: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    let mut arity_witness: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        for lit in rule.heads.iter().chain(rule.body.iter()) {
+            if let Literal::Pred(p) = strip_neg(lit) {
+                arities.entry(&p.name).or_default().insert(p.args.len());
+                arity_witness.entry(&p.name).or_insert(i);
+            }
+        }
+    }
+    for (name, seen_arities) in &arities {
+        if seen_arities.len() > 1 {
+            let list: Vec<String> = seen_arities.iter().map(|a| a.to_string()).collect();
+            report.push(
+                Diagnostic::new(
+                    Code::ArityMismatch,
+                    format!(
+                        "predicate `{name}` is used with {} different arities: {}",
+                        seen_arities.len(),
+                        list.join(", ")
+                    ),
+                )
+                .with_subject(subject(&rules[arity_witness[name]])),
+            );
+        }
+    }
+
+    // FD0110 — O-term member existence and constant typing vs schemas.
+    for rule in rules {
+        for lit in rule.heads.iter().chain(rule.body.iter()) {
+            if let Literal::OTerm(o) = strip_neg(lit) {
+                check_oterm_members(o, rule, schemas, &mut report);
+            }
+        }
+    }
+
+    report
+}
+
+/// Validate one O-term pattern's attribute bindings against every schema
+/// that knows its class. A class unknown to all schemas is *not* an error:
+/// integration rules routinely pattern-match virtual classes that only
+/// exist in the integrated schema.
+fn check_oterm_members(
+    o: &deduction::term::OTermPat,
+    rule: &Rule,
+    schemas: &[&Schema],
+    report: &mut Report,
+) {
+    let class = match o.class.as_name() {
+        Some(c) => c,
+        None => return, // class position is a variable (Example 5)
+    };
+    let cn = ClassName::new(class);
+    let owners: Vec<&&Schema> = schemas.iter().filter(|s| s.contains(&cn)).collect();
+    if owners.is_empty() {
+        return;
+    }
+    for b in &o.bindings {
+        let attr = match b.name.as_name() {
+            Some(a) => a,
+            None => continue, // attribute position is a variable
+        };
+        let attr_defs: Vec<_> = owners
+            .iter()
+            .flat_map(|s| s.all_attributes(&cn))
+            .filter(|a| a.name == attr)
+            .collect();
+        let is_agg = owners
+            .iter()
+            .any(|s| s.all_aggregations(&cn).iter().any(|g| g.name == attr));
+        if attr_defs.is_empty() && !is_agg {
+            report.push(
+                Diagnostic::new(
+                    Code::UnknownMember,
+                    format!("class `{class}` has no attribute or aggregation `{attr}`"),
+                )
+                .with_subject(subject(rule)),
+            );
+            continue;
+        }
+        if let deduction::term::Term::Val(v) = &b.term {
+            if !attr_defs.is_empty() && !attr_defs.iter().any(|a| a.ty.admits(v)) {
+                let types: Vec<String> = attr_defs.iter().map(|a| a.ty.describe()).collect();
+                report.push(
+                    Diagnostic::new(
+                        Code::UnknownMember,
+                        format!(
+                            "value `{v}` is not admissible for `{class}.{attr}` of type {}",
+                            types.join(" / ")
+                        ),
+                    )
+                    .with_subject(subject(rule)),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deduction::term::{CmpOp, OTermPat, Term};
+    use oo_model::{AttrDef, AttrType, Class, ClassType};
+
+    fn ot(obj: &str, class: &str) -> Literal {
+        Literal::oterm(OTermPat::new(Term::var(obj), class))
+    }
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.sorted().iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn schema_with_person() -> Schema {
+        let mut s = Schema::new("S1");
+        let mut ty = ClassType::new();
+        ty.push_attribute(AttrDef::new("age", AttrType::Int))
+            .unwrap();
+        s.add_class(Class::new("person", ty)).unwrap();
+        s
+    }
+
+    #[test]
+    fn clean_program_yields_empty_report() {
+        let s = schema_with_person();
+        let rules = vec![Rule::new(
+            ot("x", "adult"),
+            vec![
+                Literal::oterm(OTermPat::new(Term::var("x"), "person").bind("age", Term::var("a"))),
+                Literal::cmp(Term::var("a"), CmpOp::Ge, Term::val(18i64)),
+            ],
+        )];
+        // `adult` is unused and not exported: expect exactly the FD0106 info.
+        let r = analyze_program(&rules, &[&s]);
+        assert_eq!(codes(&r), vec!["FD0106"]);
+        // With `adult` exported (present as a schema class) the report is clean.
+        let mut s2 = Schema::new("G");
+        s2.add_class(Class::new("adult", ClassType::new())).unwrap();
+        let r = analyze_program(&rules, &[&s, &s2]);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn safety_violations_surface_with_codes() {
+        // h(x, w) ⇐ p(y), ¬q(z), y < u — 4 violations, 3 distinct codes.
+        let r = Rule::new(
+            Literal::pred("h", [Term::var("x"), Term::var("w")]),
+            vec![
+                Literal::pred("p", [Term::var("y")]),
+                Literal::neg(Literal::pred("q", [Term::var("z")])),
+                Literal::cmp(Term::var("y"), CmpOp::Lt, Term::var("u")),
+            ],
+        );
+        let report = analyze_program(&[r], &[]);
+        let c = codes(&report);
+        assert_eq!(c.iter().filter(|c| **c == "FD0101").count(), 2);
+        assert!(c.contains(&"FD0102"));
+        assert!(c.contains(&"FD0103"));
+    }
+
+    #[test]
+    fn non_ground_fact_detected() {
+        let fact = Rule::new(Literal::pred("p", [Term::var("x")]), vec![]);
+        let report = analyze_program(&[fact], &[]);
+        assert!(codes(&report).contains(&"FD0104"));
+    }
+
+    #[test]
+    fn unreachable_predicate_warned_once() {
+        let rules = vec![
+            Rule::new(ot("x", "a"), vec![ot("x", "ghost")]),
+            Rule::new(ot("x", "b"), vec![ot("x", "ghost"), ot("x", "a")]),
+        ];
+        let report = analyze_program(&rules, &[]);
+        let unreachable: Vec<_> = report
+            .iter()
+            .filter(|d| d.code == Code::UnreachablePredicate)
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert!(unreachable[0].message.contains("`ghost`"));
+        // `b` is defined-but-unused (FD0106); `a` is consumed by rule 2.
+        assert!(report
+            .iter()
+            .any(|d| d.code == Code::UnusedPredicate && d.message.contains("`b`")));
+        assert!(!report
+            .iter()
+            .any(|d| d.code == Code::UnusedPredicate && d.message.contains("`a`")));
+    }
+
+    #[test]
+    fn duplicate_rule_detected_up_to_literal_order() {
+        let r1 = Rule::new(ot("x", "h"), vec![ot("x", "p"), ot("x", "q")]);
+        let r2 = Rule::new(ot("x", "h"), vec![ot("x", "q"), ot("x", "p")]);
+        let report = analyze_program(&[r1, r2], &[]);
+        assert!(report
+            .iter()
+            .any(|d| d.code == Code::DuplicateRule && d.message.contains("rule #1")));
+    }
+
+    #[test]
+    fn subsumed_rule_detected() {
+        let narrow = Rule::new(ot("x", "h"), vec![ot("x", "p")]);
+        let wide = Rule::new(ot("x", "h"), vec![ot("x", "p"), ot("x", "q")]);
+        let report = analyze_program(&[narrow, wide], &[]);
+        let subsumed: Vec<_> = report
+            .iter()
+            .filter(|d| d.code == Code::SubsumedRule)
+            .collect();
+        assert_eq!(subsumed.len(), 1);
+        assert!(subsumed[0].message.contains("rule #1 is subsumed"));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let rules = vec![
+            Rule::new(
+                Literal::pred("h", [Term::var("x")]),
+                vec![Literal::pred("p", [Term::var("x")])],
+            ),
+            Rule::new(
+                Literal::pred("g", [Term::var("x")]),
+                vec![Literal::pred("p", [Term::var("x"), Term::var("y")])],
+            ),
+        ];
+        let report = analyze_program(&rules, &[]);
+        assert!(report
+            .iter()
+            .any(|d| d.code == Code::ArityMismatch && d.message.contains("`p`")));
+    }
+
+    #[test]
+    fn unknown_member_and_type_mismatch_detected() {
+        let s = schema_with_person();
+        let bad_member = Rule::new(
+            ot("x", "out"),
+            vec![Literal::oterm(
+                OTermPat::new(Term::var("x"), "person").bind("salary", Term::var("v")),
+            )],
+        );
+        let bad_type = Rule::new(
+            ot("x", "out"),
+            vec![Literal::oterm(
+                OTermPat::new(Term::var("x"), "person").bind("age", Term::val("forty")),
+            )],
+        );
+        let report = analyze_program(&[bad_member, bad_type], &[&s]);
+        let members: Vec<_> = report
+            .iter()
+            .filter(|d| d.code == Code::UnknownMember)
+            .collect();
+        assert_eq!(members.len(), 2);
+        assert!(members.iter().any(|d| d.message.contains("`salary`")));
+        assert!(members
+            .iter()
+            .any(|d| d.message.contains("not admissible") && d.message.contains("integer")));
+    }
+
+    #[test]
+    fn unknown_class_is_not_an_error() {
+        // Virtual classes of the integrated schema are fair game.
+        let s = schema_with_person();
+        let r = Rule::new(
+            ot("x", "out"),
+            vec![Literal::oterm(
+                OTermPat::new(Term::var("x"), "IS_AB").bind("anything", Term::var("v")),
+            )],
+        );
+        let report = analyze_program(&[r], &[&s]);
+        assert!(!report.iter().any(|d| d.code == Code::UnknownMember));
+    }
+
+    #[test]
+    fn multi_head_rules_skip_safety_but_join_graph() {
+        // Disjunctive: <x:B1> ∨ <x:B2> ⇐ <x:A> — heads define b1/b2.
+        let disj = Rule::disjunctive(vec![ot("x", "b1"), ot("x", "b2")], vec![ot("x", "a")]);
+        let consumer = Rule::new(ot("x", "c"), vec![ot("x", "b1"), ot("x", "b2")]);
+        let base = Rule::new(ot("x", "a"), vec![ot("x", "c")]);
+        let report = analyze_program(&[disj, consumer, base], &[]);
+        assert!(
+            !report.iter().any(|d| d.severity == crate::Severity::Deny),
+            "{}",
+            report.render_human()
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! A small concrete syntax for rule programs, so `fedoo lint --rules`
+//! can analyze `.rules` fixture files without going through assertion
+//! decomposition.
+//!
+//! ```text
+//! // comments run to end of line
+//! adult(X) :- <X: person | age: A>, A >= 18.
+//! minor(X) :- <X: person>, not adult(X).
+//! root(1).                      // a ground fact
+//! <X: b1> | <X: b2> :- <X: a>. // disjunctive (representational) rule
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables
+//! (Prolog convention); everything else is a constant symbol. Inside an
+//! O-term `<obj: class | attr: term, …>` the class and attribute positions
+//! admit variables too (the paper's higher-order discrepancies,
+//! Example 5). Comparison operators: `= != < <= > >=`.
+
+use deduction::term::{AttrBinding, CmpOp, Literal, NameRef, OTermPat, Pred, Rule, Term};
+use oo_model::Value;
+use std::fmt;
+
+/// A parse failure, with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulesParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for RulesParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RulesParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> RulesParseError {
+        RulesParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, RulesParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                        if self.src[self.pos] == b'\n' {
+                            return Err(self.error("unterminated string"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string"));
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?;
+                    out.push((Tok::Str(s.to_string()), self.line));
+                    self.pos += 1;
+                }
+                c if c.is_ascii_digit() || (c == '-' && self.peek_digit_at(self.pos + 1)) => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("bad integer `{text}`")))?;
+                    out.push((Tok::Int(n), self.line));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len() {
+                        let b = self.src[self.pos] as char;
+                        if b.is_alphanumeric() || b == '_' || b == '-' || b == '\'' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    out.push((Tok::Ident(text.to_string()), self.line));
+                }
+                _ => {
+                    // Multi-character symbols first.
+                    let rest = &self.src[self.pos..];
+                    let sym = [":-", "<=", ">=", "!="]
+                        .into_iter()
+                        .find(|s| rest.starts_with(s.as_bytes()));
+                    if let Some(s) = sym {
+                        out.push((Tok::Sym(s), self.line));
+                        self.pos += s.len();
+                    } else {
+                        let single = match c {
+                            '(' => "(",
+                            ')' => ")",
+                            ',' => ",",
+                            '.' => ".",
+                            ':' => ":",
+                            '<' => "<",
+                            '>' => ">",
+                            '|' => "|",
+                            '=' => "=",
+                            _ => return Err(self.error(format!("unexpected character `{c}`"))),
+                        };
+                        out.push((Tok::Sym(single), self.line));
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek_digit_at(&self, i: usize) -> bool {
+        self.src.get(i).is_some_and(|b| b.is_ascii_digit())
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn error(&self, message: impl Into<String>) -> RulesParseError {
+        RulesParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if let Some(Tok::Sym(t)) = self.peek() {
+            if *t == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), RulesParseError> {
+        match self.next() {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => Err(self.error(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, RulesParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Prolog convention: leading uppercase or `_` is a variable.
+    fn is_var(name: &str) -> bool {
+        name.chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase() || c == '_')
+    }
+
+    fn term(&mut self) -> Result<Term, RulesParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if Self::is_var(&s) => Ok(Term::var(s)),
+            Some(Tok::Ident(s)) => Ok(Term::val(Value::str(s))),
+            Some(Tok::Int(n)) => Ok(Term::val(n)),
+            Some(Tok::Str(s)) => Ok(Term::val(Value::str(s))),
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn name_ref(&mut self) -> Result<NameRef, RulesParseError> {
+        let name = self.ident()?;
+        if Self::is_var(&name) {
+            Ok(NameRef::Var(name))
+        } else {
+            Ok(NameRef::Name(name))
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("!=") => CmpOp::Ne,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// `<obj: class | attr: term, …>` — the `|` part optional.
+    fn oterm(&mut self) -> Result<Literal, RulesParseError> {
+        self.expect_sym("<")?;
+        let object = self.term()?;
+        self.expect_sym(":")?;
+        let class = self.name_ref()?;
+        let mut pat = OTermPat {
+            object,
+            class,
+            bindings: Vec::new(),
+        };
+        if self.eat_sym("|") {
+            loop {
+                let name = self.name_ref()?;
+                self.expect_sym(":")?;
+                let term = self.term()?;
+                pat.bindings.push(AttrBinding { name, term });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(">")?;
+        Ok(Literal::OTerm(pat))
+    }
+
+    fn literal(&mut self) -> Result<Literal, RulesParseError> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "not" {
+                self.pos += 1;
+                return Ok(Literal::neg(self.literal()?));
+            }
+        }
+        if self.peek() == Some(&Tok::Sym("<")) {
+            return self.oterm();
+        }
+        // Either a predicate `p(t, …)` or a bare comparison `t op t`.
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::Sym("(")) {
+                self.pos += 2;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::Sym(")")) {
+                    loop {
+                        args.push(self.term()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym(")")?;
+                return Ok(Literal::Pred(Pred { name, args }));
+            }
+        }
+        let left = self.term()?;
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| self.error("expected comparison operator"))?;
+        let right = self.term()?;
+        Ok(Literal::Cmp { left, op, right })
+    }
+
+    fn rule(&mut self) -> Result<Rule, RulesParseError> {
+        let mut heads = vec![self.literal()?];
+        while self.eat_sym("|") {
+            heads.push(self.literal()?);
+        }
+        let mut body = Vec::new();
+        if self.eat_sym(":-") {
+            loop {
+                body.push(self.literal()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(".")?;
+        Ok(Rule { heads, body })
+    }
+}
+
+/// Parse a `.rules` program.
+pub fn parse_rules(src: &str) -> Result<Vec<Rule>, RulesParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut parser = Parser { toks, pos: 0 };
+    let mut rules = Vec::new();
+    while parser.peek().is_some() {
+        rules.push(parser.rule()?);
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_predicates_facts_and_comparisons() {
+        let rules =
+            parse_rules("// a comment\nadult(X) :- person(X, A), A >= 18.\nroot(1).\n").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].to_string(), "adult(X) ⇐ person(X, A), A ≥ 18");
+        assert!(rules[1].is_fact());
+        assert_eq!(rules[1].to_string(), "root(1)");
+    }
+
+    #[test]
+    fn parses_oterms_and_negation() {
+        let rules =
+            parse_rules("minor(X) :- <X: person | age: A>, not adult(X), A < 18.\n").unwrap();
+        assert_eq!(
+            rules[0].to_string(),
+            "minor(X) ⇐ <X: person | age: A>, ¬adult(X), A < 18"
+        );
+    }
+
+    #[test]
+    fn parses_disjunctive_heads() {
+        let rules = parse_rules("<X: b1> | <X: b2> :- <X: a>.\n").unwrap();
+        assert_eq!(rules[0].heads.len(), 2);
+        assert_eq!(rules[0].to_string(), "<X: b1> ∨ <X: b2> ⇐ <X: a>");
+    }
+
+    #[test]
+    fn variable_class_and_attr_positions() {
+        let rules = parse_rules("any(O) :- <O: C | A: V>.\n").unwrap();
+        match &rules[0].body[0] {
+            Literal::OTerm(o) => {
+                assert_eq!(o.class, NameRef::Var("C".into()));
+                assert_eq!(o.bindings[0].name, NameRef::Var("A".into()));
+            }
+            other => panic!("expected O-term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_and_negative_int_constants() {
+        let rules = parse_rules("p(X) :- q(X, \"hi\"), r(X, -3).\n").unwrap();
+        assert_eq!(rules[0].to_string(), "p(X) ⇐ q(X, \"hi\"), r(X, -3)");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_rules("ok(X) :- p(X).\nbroken(X :- p(X).\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_rules("p(\"oops).\n").is_err());
+    }
+}

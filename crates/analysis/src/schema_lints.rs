@@ -1,0 +1,238 @@
+//! Schema lints (FD03xx).
+//!
+//! * **FD0301** — is-a cycles. `Schema::add_isa` refuses to create them,
+//!   but schemas arriving through [`oo_model::parse_schema_lenient`] (or
+//!   assembled with `add_isa_unchecked`) can carry them; integration's
+//!   subclass walks would not terminate meaningfully.
+//! * **FD0302** — dead classes: no attributes, no aggregations, no is-a
+//!   links in either direction and never the range of an aggregation —
+//!   nothing relates the class to the rest of the schema.
+//! * **FD0303** — aggregation functions whose target class has an empty
+//!   extent (requires an [`InstanceStore`]): every application of the
+//!   function is necessarily empty, so either the data is missing or the
+//!   link is vestigial.
+
+use crate::diag::{Code, Diagnostic, Report};
+use oo_model::{ClassName, InstanceStore, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Structural lints that need only the schema.
+pub fn analyze_schema(schema: &Schema) -> Report {
+    let mut report = Report::new();
+    let sname = schema.name.as_str();
+
+    // --- FD0301: is-a cycles (iterative DFS, white/grey/black). ---
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (sub, sup) in schema.isa_links() {
+        adj.entry(sub.as_str()).or_default().push(sup.as_str());
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut in_reported_cycle: BTreeSet<String> = BTreeSet::new();
+    for &start in adj.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // Path-tracking DFS: small schemas, clarity over asymptotics.
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        while let Some((at, path)) = stack.pop() {
+            for &next in adj.get(at).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if let Some(pos) = path.iter().position(|&p| p == next) {
+                    let cycle = &path[pos..];
+                    // Report each cycle once (any member already reported
+                    // suppresses re-discovery from another start).
+                    if cycle.iter().any(|c| in_reported_cycle.contains(*c)) {
+                        continue;
+                    }
+                    for c in cycle {
+                        in_reported_cycle.insert((*c).to_string());
+                    }
+                    let mut names: Vec<&str> = cycle.to_vec();
+                    names.push(next);
+                    report.push(
+                        Diagnostic::new(
+                            Code::IsaCycle,
+                            format!("is-a cycle in schema `{sname}`: {}", names.join(" is_a ")),
+                        )
+                        .with_subject(format!("{sname}•{}", cycle[0]))
+                        .with_note(
+                            "subclass/superclass walks over this hierarchy do not terminate"
+                                .to_string(),
+                        ),
+                    );
+                } else {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+            done.insert(at);
+        }
+    }
+
+    // --- FD0302: dead classes. ---
+    let mut isa_touched: BTreeSet<&str> = BTreeSet::new();
+    for (sub, sup) in schema.isa_links() {
+        isa_touched.insert(sub.as_str());
+        isa_touched.insert(sup.as_str());
+    }
+    let mut agg_targets: BTreeSet<&str> = BTreeSet::new();
+    for class in schema.classes() {
+        for agg in &class.ty.aggregations {
+            agg_targets.insert(agg.range.as_str());
+        }
+    }
+    for class in schema.classes() {
+        let name = class.name.as_str();
+        if class.ty.attributes.is_empty()
+            && class.ty.aggregations.is_empty()
+            && !isa_touched.contains(name)
+            && !agg_targets.contains(name)
+        {
+            report.push(
+                Diagnostic::new(
+                    Code::DeadClass,
+                    format!("class `{name}` in schema `{sname}` is dead"),
+                )
+                .with_subject(format!("{sname}•{name}"))
+                .with_note(
+                    "no members, no is-a links, and never the range of an aggregation".to_string(),
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+/// Schema lints plus extent-aware checks against an instance store.
+pub fn analyze_schema_with_store(schema: &Schema, store: &InstanceStore) -> Report {
+    let mut report = analyze_schema(schema);
+    report.merge(analyze_agg_population(schema, store));
+    report
+}
+
+/// FD0303 only — exposed separately so federation can aggregate stores
+/// across components before deciding a target is unpopulated.
+pub fn analyze_agg_population(schema: &Schema, store: &InstanceStore) -> Report {
+    let mut report = Report::new();
+    let sname = schema.name.as_str();
+    for class in schema.classes() {
+        for agg in &class.ty.aggregations {
+            let range = ClassName::new(agg.range.as_str());
+            if !schema.contains(&range) {
+                continue; // missing range class is a schema validation error
+            }
+            if store.extent(schema, &range).is_empty() {
+                report.push(
+                    Diagnostic::new(
+                        Code::EmptyAggTarget,
+                        format!(
+                            "aggregation `{}.{}` targets class `{}` whose extent is empty",
+                            class.name.as_str(),
+                            agg.name,
+                            agg.range.as_str()
+                        ),
+                    )
+                    .with_subject(format!("{sname}•{}", class.name.as_str()))
+                    .with_note("every application of this function yields ∅".to_string()),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::{
+        parse_schema_lenient, AggDef, AttrDef, AttrType, Cardinality, Class, ClassType,
+    };
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.sorted().iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn healthy_schema_is_clean() {
+        let mut s = Schema::new("S");
+        let mut person = ClassType::new();
+        person
+            .push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        s.add_class(Class::new("person", person)).unwrap();
+        s.add_class(Class::new("student", ClassType::new()))
+            .unwrap();
+        s.add_isa("student", "person").unwrap();
+        let r = analyze_schema(&s);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn isa_cycle_detected_once() {
+        let s = parse_schema_lenient(
+            "schema S { class a <> class b <> class c <> is_a(a, b) is_a(b, c) is_a(c, a) }",
+        )
+        .unwrap();
+        let r = analyze_schema(&s);
+        assert_eq!(codes(&r), vec!["FD0301"]);
+        let d = r.iter().next().unwrap();
+        assert!(d.message.contains("is_a"), "{}", d.message);
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn dead_class_warned() {
+        let mut s = Schema::new("S");
+        let mut person = ClassType::new();
+        person
+            .push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        s.add_class(Class::new("person", person)).unwrap();
+        s.add_class(Class::new("limbo", ClassType::new())).unwrap();
+        let r = analyze_schema(&s);
+        assert_eq!(codes(&r), vec!["FD0302"]);
+        assert!(r.iter().next().unwrap().message.contains("`limbo`"));
+        assert!(!r.has_deny());
+    }
+
+    #[test]
+    fn agg_target_membership_keeps_class_alive() {
+        let mut s = Schema::new("S");
+        s.add_class(Class::new("dept", ClassType::new())).unwrap();
+        let mut empl = ClassType::new();
+        empl.push_aggregation(AggDef::new("works_in", "dept", Cardinality::M_ONE))
+            .unwrap();
+        s.add_class(Class::new("empl", empl)).unwrap();
+        // `dept` has no members/links of its own but is an agg range.
+        let r = analyze_schema(&s);
+        assert!(r.is_empty(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn empty_agg_target_flagged_against_store() {
+        let mut s = Schema::new("S");
+        s.add_class(Class::new("dept", ClassType::new())).unwrap();
+        let mut empl = ClassType::new();
+        empl.push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        empl.push_aggregation(AggDef::new("works_in", "dept", Cardinality::M_ONE))
+            .unwrap();
+        s.add_class(Class::new("empl", empl)).unwrap();
+
+        let mut store = InstanceStore::new();
+        store
+            .create(&s, "empl", |o| o.with_attr("name", "ada"))
+            .unwrap();
+        let r = analyze_schema_with_store(&s, &store);
+        assert_eq!(codes(&r), vec!["FD0303"]);
+        let d = r.iter().next().unwrap();
+        assert!(d.message.contains("works_in") && d.message.contains("`dept`"));
+
+        // Populating the target clears the lint.
+        let mut store2 = store.clone();
+        store2.create(&s, "dept", |o| o).unwrap();
+        let r2 = analyze_schema_with_store(&s, &store2);
+        assert!(r2.is_empty(), "{}", r2.render_human());
+    }
+}

@@ -10,6 +10,7 @@
 //! * aggregation-function correspondences between S₁ and S₂.
 
 use crate::ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
+use crate::span::Span;
 use crate::spath::SPath;
 use oo_model::Value;
 use std::fmt;
@@ -107,7 +108,7 @@ impl fmt::Display for ValueCorr {
 }
 
 /// A complete class correspondence assertion (Fig. 3).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ClassAssertion {
     pub left_schema: String,
     /// Multiple classes only for derivation assertions
@@ -122,6 +123,25 @@ pub struct ClassAssertion {
     pub value_corrs_right: Vec<ValueCorr>,
     pub attr_corrs: Vec<AttrCorr>,
     pub agg_corrs: Vec<AggCorr>,
+    /// Source bytes this assertion was parsed from; `None` when built
+    /// programmatically (diagnostics then fall back to the display form).
+    pub span: Option<Span>,
+}
+
+/// Equality ignores `span`: it is provenance metadata, so a parsed
+/// assertion compares equal to its programmatically built counterpart.
+impl PartialEq for ClassAssertion {
+    fn eq(&self, o: &Self) -> bool {
+        self.left_schema == o.left_schema
+            && self.left_classes == o.left_classes
+            && self.op == o.op
+            && self.right_schema == o.right_schema
+            && self.right_class == o.right_class
+            && self.value_corrs_left == o.value_corrs_left
+            && self.value_corrs_right == o.value_corrs_right
+            && self.attr_corrs == o.attr_corrs
+            && self.agg_corrs == o.agg_corrs
+    }
 }
 
 impl ClassAssertion {
@@ -143,6 +163,7 @@ impl ClassAssertion {
             value_corrs_right: Vec::new(),
             attr_corrs: Vec::new(),
             agg_corrs: Vec::new(),
+            span: None,
         }
     }
 
@@ -167,6 +188,7 @@ impl ClassAssertion {
             value_corrs_right: Vec::new(),
             attr_corrs: Vec::new(),
             agg_corrs: Vec::new(),
+            span: None,
         }
     }
 
@@ -189,6 +211,22 @@ impl ClassAssertion {
     pub fn value_corr_right(mut self, corr: ValueCorr) -> Self {
         self.value_corrs_right.push(corr);
         self
+    }
+
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// How diagnostics should name this assertion: the spanned source text
+    /// when available, otherwise the (first line of the) display form.
+    pub fn source_ref(&self, src: Option<&str>) -> String {
+        if let (Some(span), Some(src)) = (self.span, src) {
+            if let Some(text) = span.slice(src) {
+                return text.to_string();
+            }
+        }
+        self.to_string()
     }
 
     /// The single left class of a non-derivation assertion.

@@ -27,6 +27,7 @@ pub mod decompose;
 pub mod ops;
 pub mod parser;
 pub mod set;
+pub mod span;
 pub mod spath;
 pub mod validate;
 
@@ -35,5 +36,6 @@ pub use decompose::decompose_derivation;
 pub use ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
 pub use parser::{parse_assertions, ParseError};
 pub use set::{AssertionSet, PairRelation};
+pub use span::Span;
 pub use spath::SPath;
-pub use validate::validate_assertions;
+pub use validate::{validate_assertions, ValidationError};

@@ -25,6 +25,7 @@
 
 use crate::assertion::{AggCorr, AttrCorr, ClassAssertion, ValueCorr, WithPred};
 use crate::ops::{AggOp, AttrOp, ClassOp, Tau, ValueOp};
+use crate::span::Span;
 use crate::spath::SPath;
 use oo_model::{Path, Value};
 use std::fmt;
@@ -131,12 +132,14 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Tokenize the whole input into (token, line) pairs.
-    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+    /// Tokenize the whole input into (token, span) pairs; each span covers
+    /// the token's bytes in the source.
+    fn tokenize(mut self) -> Result<Vec<(Tok, Span)>, ParseError> {
         let mut out = Vec::new();
         loop {
             self.skip_trivia();
             let line = self.line;
+            let tok_start = self.pos;
             let c = match self.peek() {
                 Some(c) => c,
                 None => break,
@@ -255,14 +258,14 @@ impl<'a> Lexer<'a> {
                 };
                 Tok::Sym(sym)
             };
-            out.push((tok, line));
+            out.push((tok, Span::new(tok_start, self.pos, line)));
         }
         Ok(out)
     }
 }
 
 struct Parser {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
 }
 
@@ -271,8 +274,26 @@ impl Parser {
         self.toks
             .get(self.pos)
             .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
+            .map(|(_, s)| s.line)
             .unwrap_or(1)
+    }
+
+    /// Span of the next unconsumed token (or the last one at end of input).
+    fn peek_span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.toks.get(i))
+            .map(|(_, s)| s.end)
+            .unwrap_or(0)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -494,8 +515,10 @@ impl Parser {
         }
     }
 
-    /// One `assert …` item.
+    /// One `assert …` item. The returned assertion's span covers the
+    /// source bytes from the `assert` keyword through the final `;` or `}`.
     fn assertion(&mut self) -> Result<ClassAssertion, ParseError> {
+        let start = self.peek_span();
         match self.bump() {
             Some(Tok::Ident(kw)) if kw == "assert" => {}
             other => {
@@ -532,6 +555,7 @@ impl Parser {
             }
         };
         if self.try_sym(";") {
+            assertion.span = Some(Span::new(start.start, self.prev_end(), start.line));
             return Ok(assertion);
         }
         self.eat_sym("{")?;
@@ -592,6 +616,7 @@ impl Parser {
                 }
             }
         }
+        assertion.span = Some(Span::new(start.start, self.prev_end(), start.line));
         Ok(assertion)
     }
 }
@@ -772,6 +797,29 @@ mod tests {
             Value::Real(1.5)
         );
         assert_eq!(a.attr_corrs[1].with_pred.as_ref().unwrap().tau, Tau::Lt);
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let src =
+            "// header\nassert S1.a == S2.b;\nassert S1.c <= S2.d {\n  attr S1.c.x == S2.d.y;\n}";
+        let asserts = parse_assertions(src).unwrap();
+        let s0 = asserts[0].span.unwrap();
+        assert_eq!(s0.slice(src), Some("assert S1.a == S2.b;"));
+        assert_eq!(s0.line, 2);
+        let s1 = asserts[1].span.unwrap();
+        assert!(s1.slice(src).unwrap().starts_with("assert S1.c <= S2.d {"));
+        assert!(s1.slice(src).unwrap().ends_with('}'));
+        assert_eq!(s1.line, 3);
+    }
+
+    #[test]
+    fn programmatic_assertions_have_no_span() {
+        let a = ClassAssertion::simple("S1", "a", ClassOp::Equiv, "S2", "b");
+        assert!(a.span.is_none());
+        // Span is metadata: parsed and programmatic forms still compare equal.
+        let parsed = parse_assertions("assert S1.a == S2.b;").unwrap();
+        assert_eq!(parsed[0], a);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Byte-offset source spans.
+//!
+//! The assertion parser records, for every parsed [`crate::ClassAssertion`],
+//! the half-open byte range of the source text it came from, so diagnostics
+//! (see the `fedoo-analysis` crate) can point at the offending assertion in
+//! the original file. Assertions built programmatically carry no span and
+//! diagnostics fall back to the assertion's display form.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into a source string, with the
+/// 1-based line number of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: usize) -> Self {
+        Span { start, end, line }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The spanned source text, if the span lies inside `src` on char
+    /// boundaries.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {} (bytes {}..{})", self.line, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_len() {
+        let src = "assert S1.a == S2.b;";
+        let sp = Span::new(7, 11, 1);
+        assert_eq!(sp.len(), 4);
+        assert_eq!(sp.slice(src), Some("S1.a"));
+        assert!(Span::new(0, 999, 1).slice(src).is_none());
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Span::new(3, 9, 2).to_string(), "line 2 (bytes 3..9)");
+    }
+}

@@ -8,15 +8,34 @@ use oo_model::Schema;
 use std::fmt;
 
 /// A validation problem, with the offending assertion's display form.
+///
+/// When several assertions reference the same unresolvable path, the
+/// problem is reported **once**: `assertion` names the first owner and
+/// `also` lists the other assertions sharing the problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationError {
     pub assertion: String,
     pub problem: String,
+    /// Further assertions with the identical problem (deduplicated).
+    pub also: Vec<String>,
+}
+
+impl ValidationError {
+    /// Every assertion affected by this problem: `assertion` plus `also`.
+    pub fn owners(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.assertion.as_str()).chain(self.also.iter().map(String::as_str))
+    }
 }
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "in `{}`: {}", self.assertion, self.problem)
+        // Multi-line display forms are compressed to their head line.
+        let head = self.assertion.lines().next().unwrap_or_default();
+        write!(f, "in `{head}`: {}", self.problem)?;
+        if !self.also.is_empty() {
+            write!(f, " (also in {} other assertion(s))", self.also.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -45,6 +64,7 @@ fn check_spath(
             errors.push(ValidationError {
                 assertion: owner.to_string(),
                 problem: format!("unknown schema `{}` in path `{p}`", p.schema),
+                also: Vec::new(),
             });
             return;
         }
@@ -54,6 +74,7 @@ fn check_spath(
             errors.push(ValidationError {
                 assertion: owner.to_string(),
                 problem: format!("unknown class `{}` in `{p}`", p.class_name()),
+                also: Vec::new(),
             });
         }
         return;
@@ -62,6 +83,7 @@ fn check_spath(
         errors.push(ValidationError {
             assertion: owner.to_string(),
             problem: e.to_string(),
+            also: Vec::new(),
         });
     }
 }
@@ -80,6 +102,7 @@ pub fn validate_assertions(
             errors.push(ValidationError {
                 assertion: owner.clone(),
                 problem,
+                also: Vec::new(),
             })
         };
         // Class sides exist in their schemas.
@@ -134,6 +157,7 @@ pub fn validate_assertions(
                             errors.push(ValidationError {
                                 assertion: owner.clone(),
                                 problem: e.to_string(),
+                                also: Vec::new(),
                             });
                         }
                     }
@@ -141,7 +165,31 @@ pub fn validate_assertions(
             }
         }
     }
-    errors
+    dedup_errors(errors)
+}
+
+/// Collapse repeated reports of the identical problem (e.g. several
+/// assertions referencing the same unresolvable path) into one error that
+/// lists every owning assertion. First-occurrence order is preserved.
+fn dedup_errors(errors: Vec<ValidationError>) -> Vec<ValidationError> {
+    let mut merged: Vec<ValidationError> = Vec::new();
+    let mut by_problem: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for e in errors {
+        match by_problem.get(&e.problem) {
+            Some(&i) => {
+                let m = &mut merged[i];
+                if m.assertion != e.assertion && !m.also.contains(&e.assertion) {
+                    m.also.push(e.assertion);
+                }
+            }
+            None => {
+                by_problem.insert(e.problem.clone(), merged.len());
+                merged.push(e);
+            }
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -221,6 +269,32 @@ mod tests {
         let errs = validate_assertions(&[a], &s1, &s2);
         assert_eq!(errs.len(), 1);
         assert!(errs[0].problem.contains("nope"));
+    }
+
+    #[test]
+    fn shared_problem_reported_once_with_owners() {
+        let (s1, s2) = schemas();
+        // Two distinct assertions both reference the unknown class `ghost`
+        // of S1: one merged report naming both owners.
+        let a = ClassAssertion::simple("S1", "ghost", ClassOp::Equiv, "S2", "uncle");
+        let b = ClassAssertion::simple("S1", "ghost", ClassOp::Disjoint, "S2", "uncle");
+        let errs = validate_assertions(&[a.clone(), b.clone()], &s1, &s2);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].problem.contains("ghost"));
+        assert_eq!(errs[0].assertion, a.to_string());
+        assert_eq!(errs[0].also, vec![b.to_string()]);
+        assert_eq!(errs[0].owners().count(), 2);
+        assert!(errs[0].to_string().contains("also in 1 other assertion"));
+    }
+
+    #[test]
+    fn distinct_problems_stay_separate() {
+        let (s1, s2) = schemas();
+        let a = ClassAssertion::simple("S1", "ghost", ClassOp::Equiv, "S2", "uncle");
+        let b = ClassAssertion::simple("S1", "phantom", ClassOp::Disjoint, "S2", "uncle");
+        let errs = validate_assertions(&[a, b], &s1, &s2);
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().all(|e| e.also.is_empty()));
     }
 
     #[test]

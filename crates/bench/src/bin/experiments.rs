@@ -624,6 +624,7 @@ fn e13_ablation() {
                 labels: false,
                 sibling_removal: false,
                 skip_disjoint_expansion: false,
+                ..Default::default()
             },
         ),
     ];

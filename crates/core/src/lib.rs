@@ -31,10 +31,11 @@ pub mod principles;
 pub mod stats;
 pub mod trace;
 
+pub use analysis::{AnalysisStats, Report as AnalysisReport};
 pub use context::Integrator;
 pub use graph::{Node, SchemaGraph};
 pub use integrated::{AifKind, AttrOrigin, ISAgg, ISClass, IntegratedSchema, SourceRef};
-pub use naive::naive_schema_integration;
+pub use naive::{naive_schema_integration, naive_schema_integration_unchecked};
 pub use optimized::{schema_integration, schema_integration_with_options, IntegrationOptions};
 pub use stats::{EvalStats, EvalStrategy, IntegrationStats, PipelineStats};
 pub use trace::TraceEvent;
@@ -46,6 +47,11 @@ use std::fmt;
 pub enum IntegrationError {
     /// An assertion references something the schemas do not define.
     BadAssertion(String),
+    /// The pre-integration analysis gate found `Deny` diagnostics. The
+    /// payload is the rendered report; disable the gate via
+    /// [`IntegrationOptions::analysis_gate`] or
+    /// [`naive::naive_schema_integration_unchecked`] to integrate anyway.
+    AnalysisRejected(String),
     /// Internal invariant violation (a bug if it ever surfaces).
     Internal(String),
 }
@@ -54,6 +60,9 @@ impl fmt::Display for IntegrationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IntegrationError::BadAssertion(s) => write!(f, "bad assertion: {s}"),
+            IntegrationError::AnalysisRejected(s) => {
+                write!(f, "rejected by pre-integration analysis:\n{s}")
+            }
             IntegrationError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }

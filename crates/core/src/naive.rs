@@ -24,8 +24,36 @@ pub struct IntegrationRun {
     pub stats: IntegrationStats,
     pub trace: Vec<TraceEvent>,
     /// Declared assertions the traversal ignored (optimized algorithm
-    /// only); the paper surfaces these to the user for confirmation.
+    /// only) and non-blocking diagnostics from the pre-integration
+    /// analysis gate; the paper surfaces these to the user.
     pub warnings: Vec<String>,
+    /// Timing/severity counts of the pre-integration analysis gate;
+    /// `None` when the gate was disabled.
+    pub analysis: Option<analysis::AnalysisStats>,
+}
+
+/// Run the pre-integration analysis gate: `Deny` diagnostics abort with
+/// [`crate::IntegrationError::AnalysisRejected`]; anything milder is
+/// returned as warning lines alongside the gate's stats.
+pub(crate) fn run_gate(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+) -> Result<(analysis::AnalysisStats, Vec<String>)> {
+    let t0 = std::time::Instant::now();
+    let list: Vec<_> = assertions.iter().cloned().collect();
+    let report = analysis::pre_integration_gate(s1, s2, &list);
+    let stats = report.stats(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    if report.has_deny() {
+        return Err(crate::IntegrationError::AnalysisRejected(
+            report.render_human(),
+        ));
+    }
+    let warnings = report
+        .iter()
+        .map(|d| format!("{}[{}]: {}", d.severity, d.code, d.message))
+        .collect();
+    Ok((stats, warnings))
 }
 
 /// Handle one checked pair according to its assertion (shared between the
@@ -100,6 +128,17 @@ pub fn naive_schema_integration(
     naive_with_trace(s1, s2, assertions, true)
 }
 
+/// Escape hatch: naive integration **without** the pre-integration
+/// analysis gate, for inputs known to trip a `Deny` diagnostic on
+/// purpose (or for measuring the gate's cost).
+pub fn naive_schema_integration_unchecked(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+) -> Result<IntegrationRun> {
+    naive_inner(s1, s2, assertions, true, false)
+}
+
 /// Naive integration with optional trace collection (benchmarks disable
 /// it).
 pub fn naive_with_trace(
@@ -108,6 +147,23 @@ pub fn naive_with_trace(
     assertions: &AssertionSet,
     collect_trace: bool,
 ) -> Result<IntegrationRun> {
+    naive_inner(s1, s2, assertions, collect_trace, true)
+}
+
+fn naive_inner(
+    s1: &Schema,
+    s2: &Schema,
+    assertions: &AssertionSet,
+    collect_trace: bool,
+    gate: bool,
+) -> Result<IntegrationRun> {
+    let (analysis, mut gate_warnings) = match gate {
+        true => {
+            let (stats, warnings) = run_gate(s1, s2, assertions)?;
+            (Some(stats), warnings)
+        }
+        false => (None, Vec::new()),
+    };
     let mut ctx = Integrator::new(s1, s2, assertions);
     ctx.collect_trace = collect_trace;
     let g1 = SchemaGraph::new(s1);
@@ -165,11 +221,13 @@ pub fn naive_with_trace(
         }
     }
     ctx.finalize()?;
+    gate_warnings.extend(ctx.warnings);
     Ok(IntegrationRun {
         output: ctx.output,
         stats: ctx.stats,
         trace: ctx.trace,
-        warnings: ctx.warnings,
+        warnings: gate_warnings,
+        analysis,
     })
 }
 

@@ -71,6 +71,10 @@ pub struct IntegrationOptions {
     pub sibling_removal: bool,
     /// Skip one-sided expansions for ∅ / → pairs (observation 3).
     pub skip_disjoint_expansion: bool,
+    /// Run the pre-integration analysis gate (`fedoo-analysis`); `Deny`
+    /// diagnostics abort with [`crate::IntegrationError::AnalysisRejected`].
+    /// Disable as an escape hatch for inputs known to trip a lint.
+    pub analysis_gate: bool,
 }
 
 impl Default for IntegrationOptions {
@@ -80,6 +84,7 @@ impl Default for IntegrationOptions {
             labels: true,
             sibling_removal: true,
             skip_disjoint_expansion: true,
+            analysis_gate: true,
         }
     }
 }
@@ -118,6 +123,13 @@ pub fn schema_integration_with_options(
     assertions: &AssertionSet,
     options: IntegrationOptions,
 ) -> Result<IntegrationRun> {
+    let (analysis, mut gate_warnings) = match options.analysis_gate {
+        true => {
+            let (stats, warnings) = crate::naive::run_gate(s1, s2, assertions)?;
+            (Some(stats), warnings)
+        }
+        false => (None, Vec::new()),
+    };
     let mut ctx = Integrator::new(s1, s2, assertions);
     ctx.collect_trace = options.collect_trace;
     let g1 = SchemaGraph::new(s1);
@@ -342,11 +354,13 @@ pub fn schema_integration_with_options(
         }
     }
     ctx.finalize()?;
+    gate_warnings.extend(ctx.warnings);
     Ok(IntegrationRun {
         output: ctx.output,
         stats: ctx.stats,
         trace: ctx.trace,
-        warnings: ctx.warnings,
+        warnings: gate_warnings,
+        analysis,
     })
 }
 
@@ -897,6 +911,7 @@ mod ablation_tests {
                 labels: false,
                 sibling_removal: false,
                 skip_disjoint_expansion: false,
+                ..Default::default()
             },
         ];
         let mut base_names: Vec<&str> =
@@ -942,6 +957,7 @@ mod ablation_tests {
                 labels: false,
                 sibling_removal: false,
                 skip_disjoint_expansion: false,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -107,6 +107,8 @@ impl fmt::Display for IntegrationStats {
 /// saturating the integrated fact base.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
+    /// Present when the pre-integration analysis gate ran.
+    pub analysis: Option<analysis::AnalysisStats>,
     pub integration: IntegrationStats,
     /// Present once the fact base has been saturated.
     pub evaluation: Option<EvalStats>,
@@ -114,6 +116,10 @@ pub struct PipelineStats {
 
 impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.analysis {
+            Some(a) => writeln!(f, "analysis:                 {a}")?,
+            None => writeln!(f, "analysis:                 not run")?,
+        }
         writeln!(f, "{}", self.integration)?;
         match &self.evaluation {
             Some(e) => write!(f, "evaluation:               {e}"),

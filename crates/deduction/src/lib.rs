@@ -37,7 +37,7 @@ pub mod unify;
 
 pub use eval::{EvalError, EvalStats, EvalStrategy, FactDb, Program};
 pub use federated::{AnnotatedProgram, ExtentProvider};
-pub use safety::{check_rule, SafetyError};
+pub use safety::{check_rule, check_rule_all, check_rules, SafetyError};
 pub use strata::stratify;
 pub use subst::{ReverseSubst, Subst};
 pub use term::{CmpOp, Literal, OTermPat, Pred, Rule, Term};

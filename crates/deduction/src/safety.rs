@@ -12,6 +12,12 @@
 //!   or in a built-in comparison also occurs in a positive body literal;
 //! * **well-definedness** — literal shapes are sane (e.g. a comparison's
 //!   operands are not both unbindable).
+//!
+//! [`check_rule`] keeps the original fail-fast contract (first violation
+//! only); [`check_rule_all`] and [`check_rules`] collect **every**
+//! violation, which is what the `fedoo-analysis` diagnostics framework
+//! builds on (it wraps these errors in stable `FD010x` diagnostic codes —
+//! this module is the safety kernel that analyzer delegates to).
 
 use crate::term::{Literal, Rule};
 use std::collections::BTreeSet;
@@ -64,17 +70,29 @@ fn positive_vars(rule: &Rule) -> BTreeSet<String> {
         .collect()
 }
 
-/// Check one rule for safety, allowedness and groundness of facts.
+/// Check one rule for safety, allowedness and groundness of facts,
+/// reporting only the **first** violation. Delegates to [`check_rule_all`].
 pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
+    match check_rule_all(rule).into_iter().next() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}
+
+/// Check one rule and collect **all** violations (deterministic order:
+/// unsafe head variables first, then per-literal allowedness/built-in
+/// problems in body order).
+pub fn check_rule_all(rule: &Rule) -> Vec<SafetyError> {
     let rule_str = rule.to_string();
+    let mut errors = Vec::new();
     if rule.is_fact() {
-        if let Some(var) = rule.head_vars().into_iter().next() {
-            return Err(SafetyError::NonGroundFact {
+        for var in rule.head_vars() {
+            errors.push(SafetyError::NonGroundFact {
                 var,
-                rule: rule_str,
+                rule: rule_str.clone(),
             });
         }
-        return Ok(());
+        return errors;
     }
     let pos = positive_vars(rule);
     // Equality built-ins with one side positive-bound can bind the other:
@@ -116,9 +134,9 @@ pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
     }
     for var in rule.head_vars() {
         if !bound.contains(&var) {
-            return Err(SafetyError::UnsafeHeadVar {
+            errors.push(SafetyError::UnsafeHeadVar {
                 var,
-                rule: rule_str,
+                rule: rule_str.clone(),
             });
         }
     }
@@ -127,9 +145,9 @@ pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
             Literal::Neg(inner) => {
                 for var in inner.vars() {
                     if !bound.contains(&var) {
-                        return Err(SafetyError::NotAllowed {
+                        errors.push(SafetyError::NotAllowed {
                             var,
-                            rule: rule_str,
+                            rule: rule_str.clone(),
                         });
                     }
                 }
@@ -138,9 +156,9 @@ pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
                 for t in [left, right] {
                     if let Some(v) = t.as_var() {
                         if !bound.contains(v) {
-                            return Err(SafetyError::UnboundBuiltin {
+                            errors.push(SafetyError::UnboundBuiltin {
                                 var: v.to_string(),
-                                rule: rule_str,
+                                rule: rule_str.clone(),
                             });
                         }
                     }
@@ -149,7 +167,15 @@ pub fn check_rule(rule: &Rule) -> Result<(), SafetyError> {
             _ => {}
         }
     }
-    Ok(())
+    errors
+}
+
+/// Check a whole rule set, collecting every violation of every rule
+/// (rule order preserved). Callers that previously looped with
+/// [`check_rule`] and stopped at the first error can switch to this to
+/// surface all problems in one run.
+pub fn check_rules(rules: &[Rule]) -> Vec<SafetyError> {
+    rules.iter().flat_map(check_rule_all).collect()
 }
 
 #[cfg(test)]
@@ -240,6 +266,39 @@ mod tests {
             ],
         );
         assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn all_violations_collected() {
+        // Two unsafe head vars, one negation-only var, one unbound builtin:
+        // h(x, w) ⇐ p(y), ¬q(z), y < u
+        let r = Rule::new(
+            Literal::pred("h", [Term::var("x"), Term::var("w")]),
+            vec![
+                Literal::pred("p", [Term::var("y")]),
+                Literal::neg(Literal::pred("q", [Term::var("z")])),
+                Literal::cmp(Term::var("y"), CmpOp::Lt, Term::var("u")),
+            ],
+        );
+        let errs = check_rule_all(&r);
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        assert!(matches!(errs[0], SafetyError::UnsafeHeadVar { ref var, .. } if var == "w"));
+        assert!(matches!(errs[1], SafetyError::UnsafeHeadVar { ref var, .. } if var == "x"));
+        assert!(matches!(errs[2], SafetyError::NotAllowed { ref var, .. } if var == "z"));
+        assert!(matches!(errs[3], SafetyError::UnboundBuiltin { ref var, .. } if var == "u"));
+        // check_rule still surfaces exactly the first.
+        assert_eq!(check_rule(&r).unwrap_err(), errs[0]);
+    }
+
+    #[test]
+    fn rule_set_collects_across_rules() {
+        let bad1 = Rule::new(ot("x", "H"), vec![ot("y", "B")]);
+        let good = Rule::new(ot("x", "G"), vec![ot("x", "B")]);
+        let bad2 = Rule::new(Literal::pred("p", [Term::var("v")]), vec![]);
+        let errs = check_rules(&[bad1, good, bad2]);
+        assert_eq!(errs.len(), 2);
+        assert!(matches!(errs[0], SafetyError::UnsafeHeadVar { .. }));
+        assert!(matches!(errs[1], SafetyError::NonGroundFact { .. }));
     }
 
     #[test]

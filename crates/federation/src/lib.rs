@@ -21,6 +21,7 @@ pub mod agent;
 pub mod audit;
 pub mod client;
 pub mod fsm;
+pub mod lint;
 pub mod mapping;
 pub mod query;
 
@@ -28,6 +29,7 @@ pub use agent::{Agent, ComponentSource};
 pub use audit::{audit, audit_assertion, Finding, Severity};
 pub use client::FsmClient;
 pub use fsm::{Algorithm, Fsm, GlobalSchema, IntegrationStrategy};
+pub use lint::lint_federation;
 pub use mapping::{DataMapping, MetaRegistry, ObjectPairing};
 pub use query::{AgentProvider, FederationDb};
 

@@ -1,0 +1,116 @@
+//! Federation-wide linting: one [`analysis::Report`] covering the global
+//! schema's rule program and every component's schema + extents.
+//!
+//! This is where FD0303 (aggregation target never populated) becomes a
+//! real check rather than a unit-test curiosity: the FSM knows each
+//! component's [`InstanceStore`], so an aggregation link whose range class
+//! is empty in its component is surfaced before queries silently return ∅.
+
+use crate::fsm::GlobalSchema;
+use crate::Result;
+use analysis::Report;
+use oo_model::{InstanceStore, Schema};
+
+/// Lint a federation: program analysis of the accumulated global rules
+/// (against the component schemas *and* the integrated global schema, so
+/// merged/virtual class names resolve), then schema lints + extent checks
+/// per component.
+pub fn lint_federation(
+    global: &GlobalSchema,
+    components: &[(Schema, InstanceStore)],
+) -> Result<Report> {
+    let global_schema = global.integrated.to_schema("GLOBAL")?;
+    let mut schemas: Vec<&Schema> = components.iter().map(|(s, _)| s).collect();
+    schemas.push(&global_schema);
+
+    let mut report = analysis::analyze_program(&global.rules, &schemas);
+    for (schema, store) in components {
+        report.merge(analysis::analyze_schema_with_store(schema, store));
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::fsm::{Fsm, IntegrationStrategy};
+    use assertions::ops::ClassOp;
+    use assertions::ClassAssertion;
+    use oo_model::{AttrDef, AttrType, Class, ClassType};
+
+    fn component(name: &str, class: &str) -> (Schema, InstanceStore) {
+        let mut s = Schema::new(name);
+        let mut ty = ClassType::new();
+        ty.push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        s.add_class(Class::new(class, ty)).unwrap();
+        let mut store = InstanceStore::new();
+        store
+            .create(&s, class, |o| o.with_attr("name", "x"))
+            .unwrap();
+        (s, store)
+    }
+
+    #[test]
+    fn clean_federation_lints_clean() {
+        let (s1, st1) = component("S1", "person");
+        let (s2, st2) = component("S2", "human");
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1.clone(), st1.clone()), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2.clone(), st2.clone()), "S2")
+            .unwrap();
+        fsm.add_assertion(ClassAssertion::simple(
+            "S1",
+            "person",
+            ClassOp::Equiv,
+            "S2",
+            "human",
+        ));
+        let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        let report = lint_federation(&global, &[(s1, st1), (s2, st2)]).unwrap();
+        assert!(!report.has_deny(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn empty_component_extent_flags_agg_targets() {
+        use oo_model::{AggDef, Cardinality};
+        let mut s1 = Schema::new("S1");
+        s1.add_class(Class::new("dept", ClassType::new())).unwrap();
+        let mut empl = ClassType::new();
+        empl.push_attribute(AttrDef::new("name", AttrType::Str))
+            .unwrap();
+        empl.push_aggregation(AggDef::new("works_in", "dept", Cardinality::M_ONE))
+            .unwrap();
+        s1.add_class(Class::new("empl", empl)).unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "empl", |o| o.with_attr("name", "ada"))
+            .unwrap();
+
+        let (s2, st2) = component("S2", "human");
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1.clone(), st1.clone()), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2.clone(), st2.clone()), "S2")
+            .unwrap();
+        fsm.add_assertion(ClassAssertion::simple(
+            "S1",
+            "empl",
+            ClassOp::Equiv,
+            "S2",
+            "human",
+        ));
+        let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        let report = lint_federation(&global, &[(s1, st1), (s2, st2)]).unwrap();
+        assert!(
+            report
+                .iter()
+                .any(|d| d.code == analysis::Code::EmptyAggTarget
+                    && d.message.contains("works_in")),
+            "{}",
+            report.render_human()
+        );
+    }
+}

@@ -4,8 +4,14 @@
 //! ```text
 //! fedoo integrate <s1.schema> <s2.schema> <assertions.fca> [--naive] [--trace] [--quiet]
 //! fedoo check     <s1.schema> <s2.schema> <assertions.fca>
+//! fedoo lint      <s1> <s2> <asserts> [--rules FILE] [--format human|json]
+//! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
 //! fedoo show      <schema-file>
 //! ```
+//!
+//! `lint` runs the full `fedoo-analysis` sweep (FD01xx program analysis,
+//! FD02xx assertion consistency, FD03xx schema lints) and exits with
+//! status 1 when any `deny`-level diagnostic fires.
 //!
 //! Schema files use the `oo_model::parse` syntax; assertion files use the
 //! `assertions::parser` syntax (see the module docs / README).
@@ -16,7 +22,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -26,22 +32,36 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  fedoo integrate <s1> <s2> <assertions> [--naive] [--trace] [--quiet]\n  \
-     fedoo check <s1> <s2> <assertions>\n  fedoo show <schema>"
+     fedoo check <s1> <s2> <assertions>\n  \
+     fedoo lint [<s1> <s2> <assertions>] [--schema FILE]... [--asserts FILE] \
+     [--rules FILE] [--format human|json]\n  \
+     fedoo show <schema>"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or_else(usage)?;
     match cmd.as_str() {
-        "integrate" => integrate(&args[1..]),
-        "check" => check(&args[1..]),
-        "show" => show(&args[1..]),
+        "integrate" => integrate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "check" => check(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "lint" => lint(&args[1..]),
+        "show" => show(&args[1..]).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let outcome = fedoo::lint::run_lint(args, None)?;
+    print!("{}", outcome.rendered);
+    Ok(if outcome.deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn read(path: &str) -> Result<String, String> {

@@ -46,9 +46,11 @@
 //! | [`transform`] | `fedoo-transform` | §3 schema translation |
 //! | [`assertions`] | `fedoo-assertions` | §4 assertion language |
 //! | [`deduction`] | `fedoo-deduction` | §2 rules, Appendix B evaluation |
+//! | [`analysis`] | `fedoo-analysis` | static analysis & diagnostics |
 //! | [`core`] | `fedoo-core` | §5 principles, §6 algorithms |
 //! | [`federation`] | `fedoo-federation` | §3 FSM architecture |
 
+pub use analysis;
 pub use assertions;
 pub use deduction;
 pub use federation;
@@ -57,8 +59,11 @@ pub use oo_model as model;
 pub use relational;
 pub use transform;
 
+pub mod lint;
+
 /// The common imports for applications.
 pub mod prelude {
+    pub use analysis::{AnalysisStats, Code, Diagnostic, Report, Severity};
     pub use assertions::{
         parse_assertions, AggCorr, AggOp, AssertionSet, AttrCorr, AttrOp, ClassAssertion, ClassOp,
         SPath, Tau, ValueCorr, ValueOp, WithPred,

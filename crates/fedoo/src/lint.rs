@@ -1,0 +1,151 @@
+//! The `fedoo lint` driver: parse schema / assertion / rule files, run
+//! every `fedoo-analysis` pass that applies, and render one combined
+//! report.
+//!
+//! This lives in the library (rather than the binary) so the golden-file
+//! tests replay the exact CLI argument lists against the exact rendering
+//! the binary produces.
+//!
+//! ```text
+//! fedoo lint <s1> <s2> <assertions> [--rules FILE] [--format human|json]
+//! fedoo lint [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
+//! ```
+//!
+//! Passes run:
+//! * every `--schema` / positional schema → schema lints (FD03xx);
+//! * the assertion file → consistency (FD02xx), including cardinality and
+//!   path resolution when at least two schemas are given;
+//! * the `--rules` file → program analysis (FD01xx) against all schemas.
+//!
+//! Unlike the pre-integration gate, the full sweep includes FD0205
+//! (unresolved paths): a lint run is explicitly about the files at hand.
+
+use std::path::Path;
+
+/// Output format of the lint report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    Human,
+    Json,
+}
+
+/// A finished lint run: the rendered report plus whether any `Deny`
+/// diagnostic fired (the binary exits non-zero in that case).
+#[derive(Debug)]
+pub struct LintOutcome {
+    pub rendered: String,
+    pub deny: bool,
+}
+
+fn read(base: Option<&Path>, path: &str) -> Result<String, String> {
+    let resolved = match base {
+        Some(b) if !Path::new(path).is_absolute() => b.join(path),
+        _ => Path::new(path).to_path_buf(),
+    };
+    std::fs::read_to_string(&resolved).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Parse the `lint` argument list and run the sweep. Relative paths are
+/// resolved against `base` when given (the golden tests pass the repo
+/// root; the binary passes `None` to use the working directory).
+pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, String> {
+    let mut schema_paths: Vec<String> = Vec::new();
+    let mut asserts_path: Option<String> = None;
+    let mut rules_path: Option<String> = None;
+    let mut format = LintFormat::Human;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => {
+                schema_paths.push(it.next().ok_or("--schema needs a file argument")?.clone())
+            }
+            "--asserts" => {
+                asserts_path = Some(it.next().ok_or("--asserts needs a file argument")?.clone())
+            }
+            "--rules" => {
+                rules_path = Some(it.next().ok_or("--rules needs a file argument")?.clone())
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("human") => LintFormat::Human,
+                    Some("json") => LintFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be `human` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    // Positional trio mirrors `fedoo integrate`: two schemas + assertions.
+    match positional.len() {
+        0 => {}
+        3 => {
+            schema_paths.insert(0, positional[0].clone());
+            schema_paths.insert(1, positional[1].clone());
+            asserts_path = Some(positional[2].clone());
+        }
+        _ => {
+            return Err(
+                "lint takes either no positional arguments or exactly three \
+                 (<s1> <s2> <assertions>)"
+                    .to_string(),
+            )
+        }
+    }
+    if schema_paths.is_empty() && asserts_path.is_none() && rules_path.is_none() {
+        return Err("nothing to lint: give schemas, --asserts, or --rules".to_string());
+    }
+
+    // Lenient parsing so fixtures demonstrating schema-level defects
+    // (is-a cycles) still load; the analyzer is the judge, not the parser.
+    let mut schemas = Vec::new();
+    for p in &schema_paths {
+        let src = read(base, p)?;
+        let s = crate::model::parse_schema_lenient(&src).map_err(|e| format!("{p}: {e}"))?;
+        schemas.push(s);
+    }
+
+    let mut report = analysis::Report::new();
+    for s in &schemas {
+        report.merge(analysis::analyze_schema(s));
+    }
+
+    if let Some(pa) = &asserts_path {
+        let src = read(base, pa)?;
+        let parsed = crate::assertions::parse_assertions(&src).map_err(|e| format!("{pa}: {e}"))?;
+        if schemas.len() >= 2 {
+            report.merge(analysis::analyze_assertions_with_schemas(
+                &parsed,
+                &schemas[0],
+                &schemas[1],
+                Some(&src),
+            ));
+        } else {
+            report.merge(analysis::analyze_assertions(&parsed, Some(&src)));
+        }
+    }
+
+    if let Some(pr) = &rules_path {
+        let src = read(base, pr)?;
+        let rules = analysis::parse_rules(&src).map_err(|e| format!("{pr}: {e}"))?;
+        let refs: Vec<&crate::model::Schema> = schemas.iter().collect();
+        report.merge(analysis::analyze_program(&rules, &refs));
+    }
+
+    report.sort();
+    let rendered = match format {
+        LintFormat::Human => report.render_human(),
+        LintFormat::Json => report.render_json(),
+    };
+    Ok(LintOutcome {
+        rendered,
+        deny: report.has_deny(),
+    })
+}

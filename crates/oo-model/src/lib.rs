@@ -43,7 +43,7 @@ pub use datetime::Date;
 pub use error::ModelError;
 pub use object::Object;
 pub use oid::Oid;
-pub use parse::parse_schema;
+pub use parse::{parse_schema, parse_schema_lenient};
 pub use path::Path;
 pub use schema::{Schema, SchemaName};
 pub use store::InstanceStore;

@@ -262,6 +262,19 @@ fn primitive_of(word: &str) -> Option<AttrType> {
 
 /// Parse one `schema NAME { … }` block.
 pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
+    parse_schema_mode(src, true)
+}
+
+/// Parse a schema **leniently**: syntax errors are still rejected, but the
+/// semantic well-formedness checks (is-a acyclicity, is-a endpoints and
+/// aggregation ranges existing) are skipped, so analysis tooling can load
+/// an ill-formed schema and diagnose it (`fedoo lint`) instead of failing
+/// at parse time.
+pub fn parse_schema_lenient(src: &str) -> Result<Schema, SchemaParseError> {
+    parse_schema_mode(src, false)
+}
+
+fn parse_schema_mode(src: &str, strict: bool) -> Result<Schema, SchemaParseError> {
     let mut p = P::new(src);
     p.keyword("schema")?;
     let name = p.ident()?;
@@ -303,23 +316,38 @@ pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
         }
     }
     for (sub, sup) in isa {
-        schema
-            .add_isa(sub.as_str(), sup.as_str())
-            .map_err(|e: ModelError| SchemaParseError {
-                line: 0,
-                message: e.to_string(),
-            })?;
+        if strict {
+            schema
+                .add_isa(sub.as_str(), sup.as_str())
+                .map_err(|e: ModelError| SchemaParseError {
+                    line: 0,
+                    message: e.to_string(),
+                })?;
+        } else {
+            schema.add_isa_unchecked(sub.as_str(), sup.as_str());
+        }
     }
-    schema.validate().map_err(|e| SchemaParseError {
-        line: 0,
-        message: e.to_string(),
-    })?;
+    if strict {
+        schema.validate().map_err(|e| SchemaParseError {
+            line: 0,
+            message: e.to_string(),
+        })?;
+    }
     Ok(schema)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lenient_parse_accepts_isa_cycle_strict_rejects() {
+        let src = "schema S { class a <> class b <> is_a(a, b) is_a(b, a) }";
+        assert!(parse_schema(src).is_err());
+        let schema = parse_schema_lenient(src).unwrap();
+        assert_eq!(schema.isa_links().count(), 2);
+        assert!(schema.validate().is_err());
+    }
 
     const UNIVERSITY: &str = r#"
         // Fig. 18(a), S2 side

@@ -85,6 +85,15 @@ impl Schema {
         Ok(())
     }
 
+    /// Insert an is-a link **without** the existence and acyclicity checks
+    /// of [`Schema::add_isa`]. This exists for analysis tooling (the
+    /// `fedoo-analysis` schema lints) which must be able to represent an
+    /// ill-formed schema in order to diagnose it; [`Schema::validate`]
+    /// still reports the problems afterwards. Not for integration inputs.
+    pub fn add_isa_unchecked(&mut self, sub: impl Into<ClassName>, sup: impl Into<ClassName>) {
+        self.isa.insert((sub.into(), sup.into()));
+    }
+
     pub fn class(&self, name: &ClassName) -> Option<&Class> {
         self.classes.get(name)
     }

@@ -1,0 +1,120 @@
+//! Property test: the rule programs emitted by `core::principles::*`
+//! (intersection membership rules, derivation rules, equivalence
+//! bookkeeping) pass the static analyzer clean.
+//!
+//! The executable subset is selected with the same criterion the
+//! federation query layer uses (`federation::query`): single head and
+//! `deduction::check_rule` accepts it. Whatever the integration pipeline
+//! would actually evaluate must not trip a `deny`-level diagnostic.
+
+use fedoo::prelude::*;
+use proptest::prelude::*;
+
+/// A random tree-shaped schema of `n` classes named `{prefix}0..` where
+/// each class i ≥ 1 has a parent chosen among earlier classes.
+fn tree_schema(name: &str, prefix: &str, parents: &[usize]) -> Schema {
+    let n = parents.len() + 1;
+    let mut b = SchemaBuilder::new(name);
+    for i in 0..n {
+        b = b.class(format!("{prefix}{i}"), |c| c.attr("v", AttrType::Str));
+    }
+    for (i, p) in parents.iter().enumerate() {
+        let child = i + 1;
+        b = b.isa(format!("{prefix}{child}"), format!("{prefix}{}", p % child));
+    }
+    b.build().expect("tree schemas are valid")
+}
+
+fn parents_strategy(max_n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..max_n, 0..max_n)
+}
+
+/// Assertion mix biased toward the rule-generating operators
+/// (0 = none, 1 = equiv, 2 = incl, 3 = intersect, 4 = derivation).
+fn ops_strategy(max_n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, max_n)
+}
+
+fn build_assertions(n1: usize, n2: usize, ops: &[u8]) -> AssertionSet {
+    let mut set = AssertionSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        if i >= n1 || i >= n2 {
+            break;
+        }
+        let a = format!("a{i}");
+        let b = format!("b{i}");
+        let assertion = match op {
+            1 => ClassAssertion::simple("S1", &a, ClassOp::Equiv, "S2", &b),
+            2 => ClassAssertion::simple("S1", &a, ClassOp::Incl, "S2", &b),
+            3 => ClassAssertion::simple("S1", &a, ClassOp::Intersect, "S2", &b),
+            4 => ClassAssertion::derivation("S1", [a.clone()], "S2", &b),
+            _ => continue,
+        };
+        let _ = set.add(assertion);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_programs_pass_the_analyzer(
+        p1 in parents_strategy(7),
+        p2 in parents_strategy(7),
+        ops in ops_strategy(7),
+    ) {
+        let s1 = tree_schema("S1", "a", &p1);
+        let s2 = tree_schema("S2", "b", &p2);
+        let set = build_assertions(s1.len(), s2.len(), &ops);
+        let run = schema_integration(&s1, &s2, &set).unwrap();
+        let global = run.output.to_schema("G").unwrap();
+        // The federation query layer's executability criterion.
+        let executable: Vec<Rule> = run
+            .output
+            .rules
+            .iter()
+            .filter(|r| r.heads.len() == 1 && fedoo::deduction::check_rule(r).is_ok())
+            .cloned()
+            .collect();
+        let report = fedoo::analysis::analyze_program(&executable, &[&s1, &s2, &global]);
+        prop_assert!(
+            !report.has_deny(),
+            "analyzer denied a generated program:\n{}",
+            report.render_human()
+        );
+        // Stronger: principles never emit duplicate or arity-confused rules.
+        for d in report.iter() {
+            prop_assert!(
+                !matches!(d.code, Code::DuplicateRule | Code::ArityMismatch),
+                "unexpected {}: {}", d.code, d.message
+            );
+        }
+    }
+
+    /// The representational remainder (multi-head rules, Principle 4) is
+    /// exempt from safety but still participates in the dependency graph:
+    /// analyzing the *full* program must not produce safety denials for
+    /// multi-head rules either.
+    #[test]
+    fn full_programs_have_no_safety_denials_outside_single_head_rules(
+        p1 in parents_strategy(6),
+        ops in ops_strategy(6),
+    ) {
+        let s1 = tree_schema("S1", "a", &p1);
+        let s2 = tree_schema("S2", "b", &p1);
+        let set = build_assertions(s1.len(), s2.len(), &ops);
+        let run = schema_integration(&s1, &s2, &set).unwrap();
+        let global = run.output.to_schema("G").unwrap();
+        let report = fedoo::analysis::analyze_program(&run.output.rules, &[&s1, &s2, &global]);
+        for d in report.iter() {
+            prop_assert!(
+                !matches!(
+                    d.code,
+                    Code::ArityMismatch | Code::UnknownMember | Code::DuplicateRule
+                ),
+                "unexpected {} on full program: {}", d.code, d.message
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-file tests for `fedoo lint --format json`.
+//!
+//! Each `testdata/golden/<case>.args` file holds the CLI argument list
+//! (minus `--format json`) and `<case>.json` the expected rendering.
+//! The test replays the arguments through the same `fedoo::lint::run_lint`
+//! entry point the binary uses, so the goldens pin the exact bytes the
+//! CLI emits — the CI job runs the built binary over the same pairs.
+//!
+//! To regenerate after an intentional diagnostics change:
+//! `fedoo lint $(cat testdata/golden/<case>.args) --format json > testdata/golden/<case>.json`
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn replay(case: &str) -> (String, String) {
+    let root = repo_root();
+    let args_path = root.join("testdata/golden").join(format!("{case}.args"));
+    let golden_path = root.join("testdata/golden").join(format!("{case}.json"));
+    let mut args: Vec<String> = std::fs::read_to_string(&args_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", args_path.display()))
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    args.push("--format".into());
+    args.push("json".into());
+    let outcome = fedoo::lint::run_lint(&args, Some(&root)).expect(case);
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    (outcome.rendered, golden)
+}
+
+#[test]
+fn every_args_file_has_a_golden_and_matches() {
+    let dir = repo_root().join("testdata/golden");
+    let mut cases: Vec<String> = std::fs::read_dir(&dir)
+        .expect("testdata/golden exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "args").then(|| p.file_stem().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 18,
+        "expected one golden per FD-code fixture, found {}",
+        cases.len()
+    );
+    for case in &cases {
+        let (got, want) = replay(case);
+        assert_eq!(got, want, "golden mismatch for `{case}`");
+    }
+}
+
+/// The directed fixtures really exercise *distinct* stable codes: collect
+/// the primary (most severe, first-sorted) code of each defect fixture and
+/// check the advertised coverage.
+#[test]
+fn fixtures_cover_the_advertised_codes() {
+    let expect = [
+        ("unsafe_rule", "FD0101"),
+        ("negation_only", "FD0102"),
+        ("unbound_builtin", "FD0103"),
+        ("nonground_fact", "FD0104"),
+        ("unreachable", "FD0105"),
+        ("unused", "FD0106"),
+        ("duplicate_rule", "FD0107"),
+        ("subsumed", "FD0108"),
+        ("arity_mismatch", "FD0109"),
+        ("unknown_member", "FD0110"),
+        ("contradiction", "FD0201"),
+        ("derivation_cycle", "FD0202"),
+        ("cardinality_conflict", "FD0203"),
+        ("conflicting_pair", "FD0204"),
+        ("unresolved_path", "FD0205"),
+        ("isa_cycle", "FD0301"),
+        ("dead_class", "FD0302"),
+    ];
+    for (case, code) in expect {
+        let (got, _) = replay(case);
+        assert!(
+            got.contains(&format!("\"code\": \"{code}\"")),
+            "fixture `{case}` does not report {code}:\n{got}"
+        );
+    }
+}
+
+#[test]
+fn clean_inputs_render_the_empty_report() {
+    let (got, _) = replay("clean_university");
+    assert!(got.contains("\"deny\": 0"), "{got}");
+    assert!(got.contains("\"diagnostics\": []"), "{got}");
+}
