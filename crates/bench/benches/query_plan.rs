@@ -1,0 +1,209 @@
+//! Planned vs saturate-everything query answering as component extents
+//! grow, snapshotted to `BENCH_query_plan.json` for the perf trajectory.
+//!
+//! The federation is the working-set shape the planner is built for: a
+//! merged class (`person == human`, n objects a side), an intersection
+//! (`course & staff`, n/2 objects a side, half of them paired) whose
+//! virtual classes are rule-derived, and three query profiles:
+//!
+//! * `selective_point` — constant-equality lookup; the planner pushes the
+//!   predicate into the component scans and never touches the rules;
+//! * `non_selective_scan` — reads a whole merged extent; planning saves
+//!   only the rule saturation;
+//! * `derived_goal` — a virtual-class query; the planner restricts
+//!   saturation to the relevance closure instead of the whole federation.
+//!
+//! Every repetition builds a fresh engine (cold cache, cold saturation)
+//! so the comparison measures the strategies, not the result cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedoo::federation::agent::Agent;
+use fedoo::prelude::*;
+use fedoo::qp::QueryEngine;
+use std::time::{Duration, Instant};
+
+struct Fixture {
+    global: fedoo::federation::fsm::GlobalSchema,
+    components: Vec<(Schema, InstanceStore)>,
+    meta: MetaRegistry,
+}
+
+fn build_fixture(n: usize) -> Fixture {
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| {
+            c.attr("ssn", AttrType::Str).attr("age", AttrType::Int)
+        })
+        .class("course", |c| {
+            c.attr("code", AttrType::Str).attr("credits", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| {
+            c.attr("hssn", AttrType::Str).attr("weight", AttrType::Int)
+        })
+        .class("staff", |c| {
+            c.attr("sssn", AttrType::Str).attr("salary", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    for i in 0..n {
+        st1.create(&s1, "person", |o| {
+            o.with_attr("ssn", format!("p{i}"))
+                .with_attr("age", (i % 80) as i64)
+        })
+        .unwrap();
+    }
+    for i in 0..n / 2 {
+        st1.create(&s1, "course", |o| {
+            o.with_attr("code", format!("c{i}"))
+                .with_attr("credits", (i % 10) as i64)
+        })
+        .unwrap();
+    }
+    let mut st2 = InstanceStore::new();
+    for i in 0..n {
+        st2.create(&s2, "human", |o| {
+            o.with_attr("hssn", format!("p{i}"))
+                .with_attr("weight", (50 + i % 60) as i64)
+        })
+        .unwrap();
+    }
+    for i in 0..n / 2 {
+        // Every second staff key matches a course: half the extents pair.
+        st2.create(&s2, "staff", |o| {
+            o.with_attr("sssn", format!("c{}", 2 * i))
+                .with_attr("salary", (1000 + i) as i64)
+        })
+        .unwrap();
+    }
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+        .unwrap();
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "person", "ssn"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "hssn"),
+            ),
+        ),
+    );
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "course", ClassOp::Intersect, "S2", "staff").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "course", "code"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "staff", "sssn"),
+            ),
+        ),
+    );
+    // Key-equality object pairing for the intersection.
+    let pairs: Vec<(Oid, Oid)> = {
+        let comps = fsm.components();
+        let by_key = |ci: usize, class: &str, key: &str| {
+            let (schema, store) = (&comps[ci].schema, &comps[ci].store);
+            store
+                .extent(schema, &fedoo::model::ClassName::new(class))
+                .into_iter()
+                .map(|o| (o.attr(key).clone(), o.oid.clone()))
+                .collect::<Vec<_>>()
+        };
+        let left = by_key(0, "course", "code");
+        let right = by_key(1, "staff", "sssn");
+        left.iter()
+            .flat_map(|(lv, lo)| {
+                right
+                    .iter()
+                    .filter(move |(rv, _)| rv == lv)
+                    .map(move |(_, ro)| (lo.clone(), ro.clone()))
+            })
+            .collect()
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+    let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+    let components: Vec<(Schema, InstanceStore)> = fsm
+        .components()
+        .iter()
+        .map(|c| (c.schema.clone(), c.store.clone()))
+        .collect();
+    Fixture {
+        global,
+        components,
+        meta: fsm.meta.clone(),
+    }
+}
+
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_nanos()
+}
+
+fn ask_cold(fx: &Fixture, query: &str, strategy: fedoo::qp::QueryStrategy) -> usize {
+    let mut engine =
+        QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
+    engine.ask_text(query, strategy).unwrap().rows.len()
+}
+
+fn bench_planned_vs_saturate(_c: &mut Criterion) {
+    use fedoo::qp::QueryStrategy::{Planned, Saturate};
+    let queries = [
+        (
+            "selective_point",
+            "?- <X: person | ssn: S>, S = \"p7\".".to_string(),
+        ),
+        (
+            "non_selective_scan",
+            "?- <X: person | age: A>, A >= 0.".to_string(),
+        ),
+        ("derived_goal", "?- <X: course_staff>.".to_string()),
+    ];
+    let mut rows = Vec::new();
+    for &n in &[100usize, 400, 1600] {
+        let fx = build_fixture(n);
+        let reps = if n >= 1600 { 3 } else { 5 };
+        for (name, q) in &queries {
+            let planned_rows = ask_cold(&fx, q, Planned);
+            let saturate_rows = ask_cold(&fx, q, Saturate);
+            assert_eq!(planned_rows, saturate_rows, "{name} n={n}");
+            let sat_ns = median_ns(reps, || {
+                ask_cold(&fx, q, Saturate);
+            });
+            let plan_ns = median_ns(reps, || {
+                ask_cold(&fx, q, Planned);
+            });
+            let speedup = sat_ns as f64 / plan_ns.max(1) as f64;
+            println!(
+                "query_plan/{name}/n={n}: saturate {sat_ns} ns, planned {plan_ns} ns, \
+                 speedup {speedup:.1}x ({planned_rows} rows)"
+            );
+            rows.push(format!(
+                "    {{\"extent\": {n}, \"query\": \"{name}\", \"rows\": {planned_rows}, \
+                 \"saturate_ns\": {sat_ns}, \"planned_ns\": {plan_ns}, \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"query_plan\",\n  \"workload\": \"merged_and_intersected_federation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_plan.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_planned_vs_saturate);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ pub use graph::{Node, SchemaGraph};
 pub use integrated::{AifKind, AttrOrigin, ISAgg, ISClass, IntegratedSchema, SourceRef};
 pub use naive::{naive_schema_integration, naive_schema_integration_unchecked};
 pub use optimized::{schema_integration, schema_integration_with_options, IntegrationOptions};
-pub use stats::{EvalStats, EvalStrategy, IntegrationStats, PipelineStats};
+pub use stats::{EvalStats, EvalStrategy, IntegrationStats, PipelineStats, QpStats};
 pub use trace::TraceEvent;
 
 use std::fmt;

@@ -102,6 +102,76 @@ impl fmt::Display for IntegrationStats {
     }
 }
 
+/// Work counters from one planned federated query (filled in by the
+/// `fedoo-qp` executor, which sits above this crate — the struct lives
+/// here so `PipelineStats` can carry it without a dependency cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpStats {
+    /// Facts examined by base scans across all components.
+    pub rows_scanned: u64,
+    /// Substitutions emitted by the final pipeline stage.
+    pub rows_emitted: u64,
+    /// Selection predicates pushed down into component scans.
+    pub pushdown_preds: u64,
+    /// Rows rejected during scans by pushed-down predicates (work the
+    /// join pipeline never saw).
+    pub pushdown_pruned: u64,
+    /// Base scan stages executed.
+    pub scans: u64,
+    /// Hash-join stages executed.
+    pub joins: u64,
+    /// Queries answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Queries that had to be executed.
+    pub cache_misses: u64,
+    /// Facts derived by the goal-directed semi-naive fallback, if it ran.
+    pub derived_facts: u64,
+    /// Wall-clock time of planning + execution, in microseconds.
+    pub micros: u64,
+}
+
+impl QpStats {
+    pub fn new() -> Self {
+        QpStats::default()
+    }
+}
+
+impl AddAssign for QpStats {
+    fn add_assign(&mut self, o: Self) {
+        self.rows_scanned += o.rows_scanned;
+        self.rows_emitted += o.rows_emitted;
+        self.pushdown_preds += o.pushdown_preds;
+        self.pushdown_pruned += o.pushdown_pruned;
+        self.scans += o.scans;
+        self.joins += o.joins;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.derived_facts += o.derived_facts;
+        self.micros += o.micros;
+    }
+}
+
+impl fmt::Display for QpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scanned {} rows in {} scans ({} pushdown preds pruned {} rows), \
+             {} joins, emitted {} rows, {} derived facts, \
+             cache {} hit / {} miss, {} µs",
+            self.rows_scanned,
+            self.scans,
+            self.pushdown_preds,
+            self.pushdown_pruned,
+            self.joins,
+            self.rows_emitted,
+            self.derived_facts,
+            self.cache_hits,
+            self.cache_misses,
+            self.micros
+        )
+    }
+}
+
 /// Combined accounting for an integrate-then-saturate pipeline run:
 /// schema-integration pair checks (§6.3) plus rule-evaluation work from
 /// saturating the integrated fact base.
@@ -112,6 +182,8 @@ pub struct PipelineStats {
     pub integration: IntegrationStats,
     /// Present once the fact base has been saturated.
     pub evaluation: Option<EvalStats>,
+    /// Present once a planned federated query has executed.
+    pub query: Option<QpStats>,
 }
 
 impl fmt::Display for PipelineStats {
@@ -122,8 +194,12 @@ impl fmt::Display for PipelineStats {
         }
         writeln!(f, "{}", self.integration)?;
         match &self.evaluation {
-            Some(e) => write!(f, "evaluation:               {e}"),
-            None => write!(f, "evaluation:               not run"),
+            Some(e) => writeln!(f, "evaluation:               {e}")?,
+            None => writeln!(f, "evaluation:               not run")?,
+        }
+        match &self.query {
+            Some(q) => write!(f, "query:                    {q}"),
+            None => write!(f, "query:                    not run"),
         }
     }
 }

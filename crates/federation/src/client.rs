@@ -6,6 +6,7 @@
 //! preserved.
 
 use crate::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use crate::mapping::MetaRegistry;
 use crate::query::FederationDb;
 use crate::Result;
 use deduction::{Literal, OTermPat, Subst, Term};
@@ -15,6 +16,9 @@ use oo_model::{InstanceStore, Oid, Schema, Value};
 pub struct FsmClient {
     pub global: GlobalSchema,
     pub db: FederationDb,
+    /// The FSM's meta registry (data mappings, pairing, AIFs), carried so
+    /// query processors above this layer can re-materialise facts.
+    pub meta: MetaRegistry,
     components: Vec<(Schema, InstanceStore)>,
 }
 
@@ -32,6 +36,7 @@ impl FsmClient {
         Ok(FsmClient {
             global,
             db,
+            meta: fsm.meta.clone(),
             components,
         })
     }

@@ -31,7 +31,7 @@ pub use client::FsmClient;
 pub use fsm::{Algorithm, Fsm, GlobalSchema, IntegrationStrategy};
 pub use lint::lint_federation;
 pub use mapping::{DataMapping, MetaRegistry, ObjectPairing};
-pub use query::{AgentProvider, FederationDb};
+pub use query::{AgentProvider, FactMaterializer, FederationDb};
 
 use std::fmt;
 

@@ -20,16 +20,364 @@ use deduction::{
 use fedoo_core::{AifKind, AttrOrigin};
 use oo_model::{InstanceStore, Object, Oid, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+
+/// Computes ground O-term facts of **global** classes from component
+/// objects, applying each integrated attribute's `AttrOrigin` recipe
+/// through the meta registry's data mappings and object pairing.
+///
+/// The pairing index (`by_oid`) and per-attribute value sets are built
+/// lazily on first use: only the concatenation/intersection origins need
+/// them, so a scan over plain copied/union attributes stays O(extent)
+/// regardless of federation size. The lazy caches are `OnceLock`s, so a
+/// shared `&FactMaterializer` can materialise different components from
+/// different threads (the qp executor's scatter phase).
+pub struct FactMaterializer<'a> {
+    global: &'a GlobalSchema,
+    components: &'a [(Schema, InstanceStore)],
+    meta: &'a MetaRegistry,
+    by_oid: OnceLock<BTreeMap<Oid, (&'a Schema, &'a Object)>>,
+    value_sets: OnceLock<BTreeMap<(String, String, String), BTreeSet<Value>>>,
+}
+
+impl<'a> FactMaterializer<'a> {
+    pub fn new(
+        global: &'a GlobalSchema,
+        components: &'a [(Schema, InstanceStore)],
+        meta: &'a MetaRegistry,
+    ) -> Self {
+        FactMaterializer {
+            global,
+            components,
+            meta,
+            by_oid: OnceLock::new(),
+            value_sets: OnceLock::new(),
+        }
+    }
+
+    pub fn components(&self) -> &'a [(Schema, InstanceStore)] {
+        self.components
+    }
+
+    /// Every object of every component, indexed by OID (pairing lookups).
+    fn by_oid(&self) -> &BTreeMap<Oid, (&'a Schema, &'a Object)> {
+        self.by_oid.get_or_init(|| {
+            let mut map: BTreeMap<Oid, (&Schema, &Object)> = BTreeMap::new();
+            for (schema, store) in self.components {
+                for obj in store.iter() {
+                    map.insert(obj.oid.clone(), (schema, obj));
+                }
+            }
+            map
+        })
+    }
+
+    /// Non-null values of `(schema, class, attr)` across the federation
+    /// (the intersection-difference origins compare against these).
+    fn value_set(&self, schema: &str, class: &str, attr: &str) -> BTreeSet<Value> {
+        self.value_sets
+            .get_or_init(|| {
+                let mut sets: BTreeMap<(String, String, String), BTreeSet<Value>> = BTreeMap::new();
+                for (schema, store) in self.components {
+                    for obj in store.iter() {
+                        for (attr, v) in obj.attrs() {
+                            if !v.is_null() {
+                                sets.entry((
+                                    schema.name.as_str().to_string(),
+                                    obj.class.as_str().to_string(),
+                                    attr.clone(),
+                                ))
+                                .or_default()
+                                .insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                sets
+            })
+            .get(&(schema.to_string(), class.to_string(), attr.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The integrated O-term fact for one component object, restricted to
+    /// the attribute/aggregation names in `attrs` when given (projection
+    /// pushdown: a scan that binds two attributes never computes the rest).
+    pub fn fact_for_object(
+        &self,
+        schema: &Schema,
+        obj: &Object,
+        global_class: &str,
+        attrs: Option<&BTreeSet<String>>,
+    ) -> Result<OTermPat> {
+        let is_class = self
+            .global
+            .integrated
+            .class(global_class)
+            .ok_or_else(|| FedError::Unknown(format!("class {global_class}")))?;
+        let wanted = |name: &str| attrs.is_none_or(|set| set.contains(name));
+        let mut fact = OTermPat::new(Term::Val(Value::Oid(obj.oid.clone())), global_class);
+        for attr in &is_class.attrs {
+            if !wanted(&attr.name) {
+                continue;
+            }
+            let origin = match is_class.attr_origins.get(&attr.name) {
+                Some(o) => o,
+                None => continue,
+            };
+            let value =
+                self.integrated_value(origin, schema.name.as_str(), obj, global_class, &attr.name);
+            if let Some(v) = value {
+                if !v.is_null() {
+                    fact = fact.bind(&attr.name, Term::Val(v));
+                }
+            }
+        }
+        // Aggregation instances: bind single-target functions.
+        for agg in &is_class.aggs {
+            if !wanted(&agg.name) {
+                continue;
+            }
+            let targets = obj.agg(&agg.name);
+            if targets.len() == 1 {
+                fact = fact.bind(&agg.name, Term::Val(Value::Oid(targets[0].clone())));
+            }
+        }
+        Ok(fact)
+    }
+
+    /// Facts of one global class sourced from one component, restricted to
+    /// `attrs` when given. This is the qp executor's scan primitive.
+    pub fn facts_for(
+        &self,
+        comp_idx: usize,
+        global_class: &str,
+        attrs: Option<&BTreeSet<String>>,
+    ) -> Result<Vec<OTermPat>> {
+        let (schema, store) = match self.components.get(comp_idx) {
+            Some(c) => c,
+            None => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        for obj in store.iter() {
+            match self
+                .global
+                .global_class(schema.name.as_str(), obj.class.as_str())
+            {
+                Some(g) if g == global_class => {
+                    out.push(self.fact_for_object(schema, obj, global_class, attrs)?)
+                }
+                _ => continue,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialise a fact base: every component object becomes a fact of
+    /// its global class. With `filter` given, only classes in the set are
+    /// materialised (goal-directed evaluation over the relevant slice).
+    pub fn materialize(&self, filter: Option<&BTreeSet<String>>) -> Result<FactDb> {
+        let mut facts = FactDb::new();
+        for (schema, store) in self.components {
+            for obj in store.iter() {
+                let global_class = match self
+                    .global
+                    .global_class(schema.name.as_str(), obj.class.as_str())
+                {
+                    Some(g) => g.to_string(),
+                    None => continue,
+                };
+                if let Some(keep) = filter {
+                    if !keep.contains(&global_class) {
+                        continue;
+                    }
+                }
+                facts.insert_oterm(self.fact_for_object(schema, obj, &global_class, None)?);
+            }
+        }
+        for fact in self.bridge_facts(None, filter) {
+            facts.insert_oterm(fact);
+        }
+        Ok(facts)
+    }
+
+    /// Identity-bridge facts from the object pairing: a paired object is
+    /// the *same real-world entity* as its partner, so the canonical
+    /// representative (the one in the earlier component) also belongs to
+    /// the partner's global class. Rules generated for intersections join
+    /// on object identity (`y = x`), and these membership facts are what
+    /// lets them fire. Bridges are membership-only — they bind no
+    /// attributes, so attribute patterns still resolve through the
+    /// partner-aware `AttrOrigin` recipes of the canonical fact.
+    pub fn bridge_facts(
+        &self,
+        global_class: Option<&str>,
+        filter: Option<&BTreeSet<String>>,
+    ) -> Vec<OTermPat> {
+        if self.meta.pairing.is_empty() {
+            return Vec::new();
+        }
+        let comp_of: BTreeMap<&str, usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, (s, _))| (s.name.as_str(), i))
+            .collect();
+        let mut out = Vec::new();
+        for (i, (_, store)) in self.components.iter().enumerate() {
+            for obj in store.iter() {
+                for partner in self.meta.pairing.partners(&obj.oid) {
+                    let Some((pschema, pobj)) = self.by_oid().get(partner) else {
+                        continue;
+                    };
+                    let Some(&j) = comp_of.get(pschema.name.as_str()) else {
+                        continue;
+                    };
+                    if j <= i {
+                        continue;
+                    }
+                    let Some(g) = self
+                        .global
+                        .global_class(pschema.name.as_str(), pobj.class.as_str())
+                    else {
+                        continue;
+                    };
+                    if global_class.is_some_and(|want| want != g) {
+                        continue;
+                    }
+                    if filter.is_some_and(|keep| !keep.contains(g)) {
+                        continue;
+                    }
+                    out.push(OTermPat::new(Term::Val(Value::Oid(obj.oid.clone())), g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compute the integrated value of one attribute for one source object.
+    fn integrated_value(
+        &self,
+        origin: &AttrOrigin,
+        schema_name: &str,
+        obj: &Object,
+        global_class: &str,
+        attr_name: &str,
+    ) -> Option<Value> {
+        let meta = self.meta;
+        // Which side of the origin does this object match?
+        let matches = |src: &fedoo_core::integrated::SourceAttr| {
+            src.schema == schema_name && src.class == obj.class.as_str()
+        };
+        // Partner object's value for the other side's source attribute.
+        let partner_value = |other: &fedoo_core::integrated::SourceAttr| -> Value {
+            for partner_oid in meta.pairing.partners(&obj.oid) {
+                if let Some((pschema, pobj)) = self.by_oid().get(partner_oid) {
+                    if pschema.name.as_str() == other.schema && pobj.class.as_str() == other.class {
+                        return pobj.attr(&other.attr).clone();
+                    }
+                }
+            }
+            Value::Null
+        };
+        let mapped = |src: &fedoo_core::integrated::SourceAttr, v: &Value| -> Value {
+            if v.is_null() {
+                return Value::Null;
+            }
+            meta.mapping(global_class, attr_name, &src.schema)
+                .to_integrated(v)
+                .map(|(v, _)| v)
+                .unwrap_or(Value::Null)
+        };
+        match origin {
+            AttrOrigin::Copied(src) | AttrOrigin::MoreSpecific(src) => {
+                if matches(src) {
+                    Some(mapped(src, obj.attr(&src.attr)))
+                } else {
+                    None
+                }
+            }
+            AttrOrigin::Union(list) => list
+                .iter()
+                .find(|src| matches(src))
+                .map(|src| mapped(src, obj.attr(&src.attr))),
+            AttrOrigin::Concat(a, b) => {
+                if matches(a) {
+                    Some(concatenation(obj.attr(&a.attr), &partner_value(b)))
+                } else if matches(b) {
+                    Some(concatenation(&partner_value(a), obj.attr(&b.attr)))
+                } else {
+                    None
+                }
+            }
+            AttrOrigin::IntersectionCommon(a, b, kind) => {
+                let (mine, other) = if matches(a) {
+                    (a, b)
+                } else if matches(b) {
+                    (b, a)
+                } else {
+                    return None;
+                };
+                let x = obj.attr(&mine.attr);
+                let y = partner_value(other);
+                if x.is_null() || y.is_null() {
+                    return Some(Value::Null);
+                }
+                // Keep the declared orientation for the AIF arguments.
+                let (left, right) = if matches(a) {
+                    (x.clone(), y)
+                } else {
+                    (y, x.clone())
+                };
+                let combined = match kind {
+                    AifKind::Average => aif_average(&left, &right),
+                    AifKind::LeftWins => left,
+                    AifKind::Custom(name) => match meta.aif(name) {
+                        Some(f) => f(&left, &right),
+                        None => Value::Null,
+                    },
+                };
+                Some(combined)
+            }
+            AttrOrigin::IntersectionLeftOnly(a, b) => {
+                if matches(a) {
+                    let v = obj.attr(&a.attr);
+                    if !v.is_null() && !self.value_set(&b.schema, &b.class, &b.attr).contains(v) {
+                        Some(v.clone())
+                    } else {
+                        Some(Value::Null)
+                    }
+                } else {
+                    None
+                }
+            }
+            AttrOrigin::IntersectionRightOnly(a, b) => {
+                if matches(b) {
+                    let v = obj.attr(&b.attr);
+                    if !v.is_null() && !self.value_set(&a.schema, &a.class, &a.attr).contains(v) {
+                        Some(v.clone())
+                    } else {
+                        Some(Value::Null)
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
 
 /// The materialised federation state.
 #[derive(Debug, Clone)]
 pub struct FederationDb {
-    pub facts: FactDb,
+    facts: FactDb,
     /// Rules the evaluator executes.
-    pub program: Program,
+    program: Program,
     /// Rules kept for documentation only (disjunctive or unsafe).
     pub representational_rules: Vec<Rule>,
     saturated: bool,
+    /// Bumped on every mutation; caches key on it.
+    revision: u64,
     /// Work counters from the saturation run, if one has happened.
     last_eval_stats: Option<EvalStats>,
 }
@@ -42,93 +390,35 @@ impl FederationDb {
         components: &[(Schema, InstanceStore)],
         meta: &MetaRegistry,
     ) -> Result<Self> {
-        // Index every object by OID for pairing lookups.
-        let mut by_oid: BTreeMap<Oid, (&Schema, &Object)> = BTreeMap::new();
-        for (schema, store) in components {
-            for obj in store.iter() {
-                by_oid.insert(obj.oid.clone(), (schema, obj));
-            }
-        }
-        // Precompute value sets per source attribute (for the intersection
-        // difference origins).
-        let mut value_sets: BTreeMap<(String, String, String), BTreeSet<Value>> = BTreeMap::new();
-        for (schema, store) in components {
-            for obj in store.iter() {
-                for (attr, v) in obj.attrs() {
-                    if !v.is_null() {
-                        value_sets
-                            .entry((
-                                schema.name.as_str().to_string(),
-                                obj.class.as_str().to_string(),
-                                attr.clone(),
-                            ))
-                            .or_default()
-                            .insert(v.clone());
-                    }
-                }
-            }
-        }
-        let value_set = |schema: &str, class: &str, attr: &str| -> BTreeSet<Value> {
-            value_sets
-                .get(&(schema.to_string(), class.to_string(), attr.to_string()))
-                .cloned()
-                .unwrap_or_default()
-        };
+        Self::build_filtered(global, components, meta, None)
+    }
 
-        let mut facts = FactDb::new();
-        for (schema, store) in components {
-            for obj in store.iter() {
-                let global_class =
-                    match global.global_class(schema.name.as_str(), obj.class.as_str()) {
-                        Some(g) => g.to_string(),
-                        None => continue,
-                    };
-                let is_class = global
-                    .integrated
-                    .class(&global_class)
-                    .ok_or_else(|| FedError::Unknown(format!("class {global_class}")))?;
-                let mut fact = OTermPat::new(
-                    Term::Val(Value::Oid(obj.oid.clone())),
-                    global_class.as_str(),
-                );
-                for attr in &is_class.attrs {
-                    let origin = match is_class.attr_origins.get(&attr.name) {
-                        Some(o) => o,
-                        None => continue,
-                    };
-                    let value = integrated_value(
-                        origin,
-                        schema.name.as_str(),
-                        obj,
-                        &by_oid,
-                        meta,
-                        &global_class,
-                        &attr.name,
-                        &value_set,
-                    );
-                    if let Some(v) = value {
-                        if !v.is_null() {
-                            fact = fact.bind(&attr.name, Term::Val(v));
-                        }
-                    }
-                }
-                // Aggregation instances: bind single-target functions.
-                for agg in &is_class.aggs {
-                    let targets = obj.agg(&agg.name);
-                    if targets.len() == 1 {
-                        fact = fact.bind(&agg.name, Term::Val(Value::Oid(targets[0].clone())));
-                    }
-                }
-                facts.insert_oterm(fact);
-            }
-        }
+    /// Build a fact base restricted to the global classes in `filter`
+    /// (rules are kept only when their head relation is in the set). The
+    /// caller is responsible for passing a set closed under rule-body
+    /// dependencies — the qp planner computes that closure — otherwise
+    /// derived relations may be incomplete.
+    pub fn build_filtered(
+        global: &GlobalSchema,
+        components: &[(Schema, InstanceStore)],
+        meta: &MetaRegistry,
+        filter: Option<&BTreeSet<String>>,
+    ) -> Result<Self> {
+        let materializer = FactMaterializer::new(global, components, meta);
+        let facts = materializer.materialize(filter)?;
         // Split rules into executable and representational.
         let mut program = Program::default();
         let mut representational = Vec::new();
         for rule in &global.rules {
             let executable = rule.heads.len() == 1 && deduction::check_rule(rule).is_ok();
             if executable {
-                program.push(rule.clone());
+                let relevant = match (filter, rule.head().and_then(|h| h.relation())) {
+                    (Some(keep), Some(rel)) => keep.contains(rel),
+                    _ => true,
+                };
+                if relevant {
+                    program.push(rule.clone());
+                }
             } else {
                 representational.push(rule.clone());
             }
@@ -138,22 +428,87 @@ impl FederationDb {
             program,
             representational_rules: representational,
             saturated: false,
+            revision: 0,
             last_eval_stats: None,
         })
     }
 
+    /// The fact base (read-only — mutate through [`Self::insert_oterm`] /
+    /// [`Self::insert_pred`] so saturation is re-triggered).
+    pub fn facts(&self) -> &FactDb {
+        &self.facts
+    }
+
+    /// The executable rules.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutation counter: bumped whenever facts or rules change. Query
+    /// caches compare this to detect staleness.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Whether the fact base currently contains every derivable fact.
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    fn mark_dirty(&mut self) {
+        self.saturated = false;
+        self.revision += 1;
+    }
+
+    /// Add a ground O-term fact; clears the saturation flag so the next
+    /// `saturate`/`query` call re-derives.
+    pub fn insert_oterm(&mut self, fact: OTermPat) -> bool {
+        let fresh = self.facts.insert_oterm(fact);
+        if fresh {
+            self.mark_dirty();
+        }
+        fresh
+    }
+
+    /// Add a ground predicate fact; clears the saturation flag.
+    pub fn insert_pred(&mut self, name: impl Into<String>, tuple: Vec<Value>) -> bool {
+        let fresh = self.facts.insert_pred(name, tuple);
+        if fresh {
+            self.mark_dirty();
+        }
+        fresh
+    }
+
+    /// Add a rule. Safe single-head rules join the executable program;
+    /// anything else is kept as representational. Clears the saturation
+    /// flag in the executable case.
+    pub fn add_rule(&mut self, rule: Rule) {
+        let executable = rule.heads.len() == 1 && deduction::check_rule(&rule).is_ok();
+        if executable {
+            self.program.push(rule);
+            self.mark_dirty();
+        } else {
+            self.representational_rules.push(rule);
+        }
+    }
+
     /// Saturate the fact base with all derivable facts under the default
-    /// strategy (idempotent).
-    pub fn saturate(&mut self) -> Result<()> {
+    /// strategy. Returns the run's work counters — all zero when the base
+    /// was already saturated and the call was a no-op.
+    pub fn saturate(&mut self) -> Result<EvalStats> {
         self.saturate_with(EvalStrategy::default())
     }
 
-    /// Saturate under an explicit evaluation strategy (idempotent — a
-    /// later call with a different strategy is a no-op, since the fact
-    /// base is already complete).
-    pub fn saturate_with(&mut self, strategy: EvalStrategy) -> Result<()> {
+    /// Saturate under an explicit evaluation strategy. Idempotent: when
+    /// nothing changed since the last saturation the call does no work
+    /// and reports zero firings (a later call with a different strategy
+    /// is also a no-op, since the fact base is already complete).
+    pub fn saturate_with(&mut self, strategy: EvalStrategy) -> Result<EvalStats> {
         if self.saturated {
-            return Ok(());
+            return Ok(EvalStats {
+                strategy,
+                ..EvalStats::default()
+            });
         }
         let stats = self
             .program
@@ -161,10 +516,10 @@ impl FederationDb {
             .map_err(|e| FedError::Eval(e.to_string()))?;
         self.last_eval_stats = Some(stats);
         self.saturated = true;
-        Ok(())
+        Ok(stats)
     }
 
-    /// Work counters from the saturation run, if one has happened.
+    /// Work counters from the last real saturation run, if one happened.
     pub fn eval_stats(&self) -> Option<&EvalStats> {
         self.last_eval_stats.as_ref()
     }
@@ -188,119 +543,6 @@ impl FederationDb {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect())
-    }
-}
-
-/// Compute the integrated value of one attribute for one source object.
-#[allow(clippy::too_many_arguments)]
-fn integrated_value(
-    origin: &AttrOrigin,
-    schema_name: &str,
-    obj: &Object,
-    by_oid: &BTreeMap<Oid, (&Schema, &Object)>,
-    meta: &MetaRegistry,
-    global_class: &str,
-    attr_name: &str,
-    value_set: &dyn Fn(&str, &str, &str) -> BTreeSet<Value>,
-) -> Option<Value> {
-    // Which side of the origin does this object match?
-    let matches = |src: &fedoo_core::integrated::SourceAttr| {
-        src.schema == schema_name && src.class == obj.class.as_str()
-    };
-    // Partner object's value for the other side's source attribute.
-    let partner_value = |other: &fedoo_core::integrated::SourceAttr| -> Value {
-        for partner_oid in meta.pairing.partners(&obj.oid) {
-            if let Some((pschema, pobj)) = by_oid.get(partner_oid) {
-                if pschema.name.as_str() == other.schema && pobj.class.as_str() == other.class {
-                    return pobj.attr(&other.attr).clone();
-                }
-            }
-        }
-        Value::Null
-    };
-    let mapped = |src: &fedoo_core::integrated::SourceAttr, v: &Value| -> Value {
-        if v.is_null() {
-            return Value::Null;
-        }
-        meta.mapping(global_class, attr_name, &src.schema)
-            .to_integrated(v)
-            .map(|(v, _)| v)
-            .unwrap_or(Value::Null)
-    };
-    match origin {
-        AttrOrigin::Copied(src) | AttrOrigin::MoreSpecific(src) => {
-            if matches(src) {
-                Some(mapped(src, obj.attr(&src.attr)))
-            } else {
-                None
-            }
-        }
-        AttrOrigin::Union(list) => list
-            .iter()
-            .find(|src| matches(src))
-            .map(|src| mapped(src, obj.attr(&src.attr))),
-        AttrOrigin::Concat(a, b) => {
-            if matches(a) {
-                Some(concatenation(obj.attr(&a.attr), &partner_value(b)))
-            } else if matches(b) {
-                Some(concatenation(&partner_value(a), obj.attr(&b.attr)))
-            } else {
-                None
-            }
-        }
-        AttrOrigin::IntersectionCommon(a, b, kind) => {
-            let (mine, other) = if matches(a) {
-                (a, b)
-            } else if matches(b) {
-                (b, a)
-            } else {
-                return None;
-            };
-            let x = obj.attr(&mine.attr);
-            let y = partner_value(other);
-            if x.is_null() || y.is_null() {
-                return Some(Value::Null);
-            }
-            // Keep the declared orientation for the AIF arguments.
-            let (left, right) = if matches(a) {
-                (x.clone(), y)
-            } else {
-                (y, x.clone())
-            };
-            let combined = match kind {
-                AifKind::Average => aif_average(&left, &right),
-                AifKind::LeftWins => left,
-                AifKind::Custom(name) => match meta.aif(name) {
-                    Some(f) => f(&left, &right),
-                    None => Value::Null,
-                },
-            };
-            Some(combined)
-        }
-        AttrOrigin::IntersectionLeftOnly(a, b) => {
-            if matches(a) {
-                let v = obj.attr(&a.attr);
-                if !v.is_null() && !value_set(&b.schema, &b.class, &b.attr).contains(v) {
-                    Some(v.clone())
-                } else {
-                    Some(Value::Null)
-                }
-            } else {
-                None
-            }
-        }
-        AttrOrigin::IntersectionRightOnly(a, b) => {
-            if matches(b) {
-                let v = obj.attr(&b.attr);
-                if !v.is_null() && !value_set(&a.schema, &a.class, &a.attr).contains(v) {
-                    Some(v.clone())
-                } else {
-                    Some(Value::Null)
-                }
-            } else {
-                None
-            }
-        }
     }
 }
 
@@ -444,7 +686,7 @@ mod tests {
         let mut db = FederationDb::build(&global, &components, &fsm.meta).unwrap();
         // Manually add the identity bridge the data mapping establishes.
         let student_class = global.global_class("S2", "student").unwrap().to_string();
-        db.facts.insert_oterm(OTermPat::new(
+        db.insert_oterm(OTermPat::new(
             Term::Val(Value::Oid(f_oid.clone())),
             student_class.as_str(),
         ));
@@ -467,7 +709,7 @@ mod tests {
         fsm.meta.pairing.pair(f_oid.clone(), s_oid);
         let mut db = FederationDb::build(&global, &components, &fsm.meta).unwrap();
         let student_class = global.global_class("S2", "student").unwrap().to_string();
-        db.facts.insert_oterm(OTermPat::new(
+        db.insert_oterm(OTermPat::new(
             Term::Val(Value::Oid(f_oid.clone())),
             student_class.as_str(),
         ));
@@ -528,6 +770,53 @@ mod tests {
             .collect();
         assert!(names.contains(&Value::str("Ann")));
         assert!(names.contains(&Value::str("Bob")));
+    }
+
+    /// A second `saturate` on an unchanged base is a no-op (zero firings);
+    /// any mutation re-arms it and bumps the revision.
+    #[test]
+    fn repeated_saturation_is_a_no_op_until_dirty() {
+        let (fsm, global, components) = build_federation();
+        let mut db = FederationDb::build(&global, &components, &fsm.meta).unwrap();
+        let first = db.saturate().unwrap();
+        assert!(first.iterations > 0, "first run does real work");
+        let second = db.saturate().unwrap();
+        assert_eq!(second.rules_fired, 0);
+        assert_eq!(second.iterations, 0);
+        assert_eq!(second.facts_derived, 0);
+        // Mutating the fact base re-arms saturation and bumps the revision.
+        let rev = db.revision();
+        db.insert_oterm(OTermPat::new(
+            Term::Val(Value::Oid(Oid::local("faculty", 99))),
+            "faculty",
+        ));
+        assert!(!db.is_saturated());
+        assert!(db.revision() > rev);
+        let third = db.saturate().unwrap();
+        assert!(third.iterations > 0, "dirty base re-evaluates");
+        // Inserting an already-present fact leaves the base saturated.
+        let rev = db.revision();
+        db.insert_oterm(OTermPat::new(
+            Term::Val(Value::Oid(Oid::local("faculty", 99))),
+            "faculty",
+        ));
+        assert!(db.is_saturated());
+        assert_eq!(db.revision(), rev);
+    }
+
+    /// `build_filtered` materialises only the requested classes and keeps
+    /// only the rules deriving them.
+    #[test]
+    fn filtered_build_restricts_classes_and_rules() {
+        let (fsm, global, components) = build_federation();
+        let full = FederationDb::build(&global, &components, &fsm.meta).unwrap();
+        let keep: BTreeSet<String> = ["faculty".to_string()].into_iter().collect();
+        let slim =
+            FederationDb::build_filtered(&global, &components, &fsm.meta, Some(&keep)).unwrap();
+        assert!(slim.facts().len() < full.facts().len());
+        assert!(slim.program().rules.len() <= full.program().rules.len());
+        assert_eq!(slim.facts().oterms_of("faculty").count(), 2);
+        assert_eq!(slim.facts().oterms_of("student").count(), 0);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! fedoo check     <s1.schema> <s2.schema> <assertions.fca>
 //! fedoo lint      <s1> <s2> <asserts> [--rules FILE] [--format human|json]
 //! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
+//! fedoo query     <s1> <s2> <asserts> <query|@file> [--data1 FILE] [--data2 FILE] [--pair ...]
+//!                 [--plan|--explain] [--strategy planned|saturate] [--format human|json]
 //! fedoo show      <schema-file>
 //! ```
 //!
@@ -35,6 +37,9 @@ fn usage() -> String {
      fedoo check <s1> <s2> <assertions>\n  \
      fedoo lint [<s1> <s2> <assertions>] [--schema FILE]... [--asserts FILE] \
      [--rules FILE] [--format human|json]\n  \
+     fedoo query <s1> <s2> <assertions> <query|@file> [--data1 FILE] [--data2 FILE] \
+     [--pair S1.cls.key=S2.cls.key]... \
+     [--plan|--explain] [--strategy planned|saturate] [--format human|json]\n  \
      fedoo show <schema>"
         .to_string()
 }
@@ -45,6 +50,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "integrate" => integrate(&args[1..]).map(|()| ExitCode::SUCCESS),
         "check" => check(&args[1..]).map(|()| ExitCode::SUCCESS),
         "lint" => lint(&args[1..]),
+        "query" => query(&args[1..]),
         "show" => show(&args[1..]).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -58,6 +64,16 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
     let outcome = fedoo::lint::run_lint(args, None)?;
     print!("{}", outcome.rendered);
     Ok(if outcome.deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn query(args: &[String]) -> Result<ExitCode, String> {
+    let outcome = fedoo::query::run_query(args, None)?;
+    print!("{}", outcome.rendered);
+    Ok(if outcome.rejected {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

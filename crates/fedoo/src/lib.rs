@@ -49,6 +49,7 @@
 //! | [`analysis`] | `fedoo-analysis` | static analysis & diagnostics |
 //! | [`core`] | `fedoo-core` | §5 principles, §6 algorithms |
 //! | [`federation`] | `fedoo-federation` | §3 FSM architecture |
+//! | [`qp`] | `fedoo-qp` | §3 global query processing |
 
 pub use analysis;
 pub use assertions;
@@ -56,10 +57,12 @@ pub use deduction;
 pub use federation;
 pub use fedoo_core as core;
 pub use oo_model as model;
+pub use qp;
 pub use relational;
 pub use transform;
 
 pub mod lint;
+pub mod query;
 
 /// The common imports for applications.
 pub mod prelude {
@@ -75,12 +78,13 @@ pub mod prelude {
         Agent, DataMapping, FederationDb, Fsm, FsmClient, IntegrationStrategy, MetaRegistry,
     };
     pub use fedoo_core::{
-        naive_schema_integration, schema_integration, IntegratedSchema, IntegrationStats,
+        naive_schema_integration, schema_integration, IntegratedSchema, IntegrationStats, QpStats,
     };
     pub use oo_model::{
         AttrType, Cardinality, Class, ClassType, Date, InstanceStore, Object, Oid, Path, Schema,
         SchemaBuilder, Value,
     };
+    pub use qp::{parse_query, GlobalQuery, QueryAnswer, QueryEngine, QueryPlan, QueryStrategy};
 }
 
 #[cfg(test)]

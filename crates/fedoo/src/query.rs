@@ -1,0 +1,436 @@
+//! The `fedoo query` driver: load two schema files, their instance data,
+//! and an assertion file; integrate; then answer a conjunctive global
+//! query through `fedoo-qp`.
+//!
+//! This lives in the library (rather than the binary) so the golden-file
+//! tests replay the exact CLI argument lists against the exact rendering
+//! the binary produces.
+//!
+//! ```text
+//! fedoo query <s1> <s2> <assertions> <query|@file>
+//!             [--data1 FILE] [--data2 FILE]
+//!             [--pair S1.class.key=S2.class.key]...
+//!             [--plan|--explain] [--strategy planned|saturate]
+//!             [--format human|json]
+//! ```
+//!
+//! The query is either inline text (`'?- <X: person | age: A>, A > 30.'`)
+//! or `@path` to read it from a file. `--plan` (synonym `--explain`)
+//! prints the optimizer's plan instead of executing it. `--pair`
+//! establishes cross-component object identity by key equality (the
+//! paper's matching-SSNs idiom) — without it, virtual classes derived
+//! from intersections stay empty.
+//!
+//! ## Data files
+//!
+//! `--data1` / `--data2` populate the component instance stores, one
+//! object per `{}` group, attributes checked against the schema on
+//! insert:
+//!
+//! ```text
+//! // comments run to end of line
+//! book { title: "Logic", year: 1987 }
+//! book { title: "Sets",  year: 1960 }
+//! ```
+//!
+//! Values are strings, integers, reals, `true`/`false`, or `null`.
+
+use crate::model::ClassName;
+use crate::prelude::*;
+use qp::{QpError, QueryEngine, QueryStrategy};
+use std::path::Path;
+
+/// Output format of the answer / plan rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryFormat {
+    Human,
+    Json,
+}
+
+/// A finished query run: the rendered answer (or plan, or rejection
+/// report) plus whether the query was rejected by static analysis (the
+/// binary exits non-zero in that case).
+#[derive(Debug)]
+pub struct QueryOutcome {
+    pub rendered: String,
+    pub rejected: bool,
+}
+
+fn read(base: Option<&Path>, path: &str) -> Result<String, String> {
+    let resolved = match base {
+        Some(b) if !Path::new(path).is_absolute() => b.join(path),
+        _ => Path::new(path).to_path_buf(),
+    };
+    std::fs::read_to_string(&resolved).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Parse the `query` argument list and run it. Relative paths are
+/// resolved against `base` when given (the golden tests pass the repo
+/// root; the binary passes `None` to use the working directory).
+pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, String> {
+    let mut data_paths: [Option<String>; 2] = [None, None];
+    let mut pair_specs: Vec<String> = Vec::new();
+    let mut plan_only = false;
+    let mut strategy = QueryStrategy::Planned;
+    let mut format = QueryFormat::Human;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data1" => {
+                data_paths[0] = Some(it.next().ok_or("--data1 needs a file argument")?.clone())
+            }
+            "--data2" => {
+                data_paths[1] = Some(it.next().ok_or("--data2 needs a file argument")?.clone())
+            }
+            "--pair" => pair_specs.push(
+                it.next()
+                    .ok_or("--pair needs a key correspondence")?
+                    .clone(),
+            ),
+            "--plan" | "--explain" => plan_only = true,
+            "--strategy" => {
+                strategy = it
+                    .next()
+                    .ok_or("--strategy needs `planned` or `saturate`")?
+                    .parse()?
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("human") => QueryFormat::Human,
+                    Some("json") => QueryFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "--format must be `human` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [p1, p2, pa, pq] = positional.as_slice() else {
+        return Err("query takes exactly four positional arguments \
+             (<s1> <s2> <assertions> <query|@file>)"
+            .to_string());
+    };
+
+    let s1 = crate::model::parse_schema(&read(base, p1)?).map_err(|e| format!("{p1}: {e}"))?;
+    let s2 = crate::model::parse_schema(&read(base, p2)?).map_err(|e| format!("{p2}: {e}"))?;
+    let mut stores = [InstanceStore::new(), InstanceStore::new()];
+    for (i, schema) in [&s1, &s2].into_iter().enumerate() {
+        if let Some(p) = &data_paths[i] {
+            let src = read(base, p)?;
+            parse_data(&src, schema, &mut stores[i]).map_err(|e| format!("{p}: {e}"))?;
+        }
+    }
+    let query_text = match pq.strip_prefix('@') {
+        Some(path) => read(base, path)?,
+        None => pq.clone(),
+    };
+
+    let mut fsm = Fsm::new();
+    let [store1, store2] = stores;
+    let name1 = s1.name.to_string();
+    let name2 = s2.name.to_string();
+    fsm.register(Agent::object_oriented("a1", s1, store1), &name1)
+        .map_err(|e| e.to_string())?;
+    fsm.register(Agent::object_oriented("a2", s2, store2), &name2)
+        .map_err(|e| e.to_string())?;
+    fsm.add_assertions_text(&read(base, pa)?)
+        .map_err(|e| format!("{pa}: {e}"))?;
+    for spec in &pair_specs {
+        apply_pairing(&mut fsm, spec)?;
+    }
+
+    let mut engine =
+        QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).map_err(|e| e.to_string())?;
+
+    if plan_only {
+        let rendered = match engine.explain(&query_text) {
+            Ok(plan) => match format {
+                QueryFormat::Human => plan.render_human(),
+                QueryFormat::Json => format!("{}\n", plan.render_json()),
+            },
+            Err(QpError::Rejected(report)) => {
+                return Ok(QueryOutcome {
+                    rendered: format!("query rejected by analysis:\n{report}"),
+                    rejected: true,
+                })
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        return Ok(QueryOutcome {
+            rendered,
+            rejected: false,
+        });
+    }
+
+    match engine.ask_text(&query_text, strategy) {
+        Ok(answer) => Ok(QueryOutcome {
+            rendered: match format {
+                QueryFormat::Human => answer.render_human(),
+                QueryFormat::Json => format!("{}\n", answer.render_json()),
+            },
+            rejected: false,
+        }),
+        Err(QpError::Rejected(report)) => Ok(QueryOutcome {
+            rendered: format!("query rejected by analysis:\n{report}"),
+            rejected: true,
+        }),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Apply one `--pair S1.class.key=S2.class.key` spec: pair every pair of
+/// objects from the two extents whose key attributes hold equal non-null
+/// values.
+fn apply_pairing(fsm: &mut Fsm, spec: &str) -> Result<(), String> {
+    let bad = || {
+        format!("--pair expects `<schema>.<class>.<attr>=<schema>.<class>.<attr>`, got `{spec}`")
+    };
+    let (l, r) = spec.split_once('=').ok_or_else(bad)?;
+    let side = |s: &str| -> Result<(String, String, String), String> {
+        match s.split('.').collect::<Vec<_>>()[..] {
+            [schema, class, attr] => Ok((schema.into(), class.into(), attr.into())),
+            _ => Err(bad()),
+        }
+    };
+    let (ls, lclass, lkey) = side(l)?;
+    let (rs, rclass, rkey) = side(r)?;
+    let pairs: Vec<(Oid, Oid)> = {
+        let find = |name: &str| {
+            fsm.components()
+                .iter()
+                .find(|c| c.schema.name.as_str() == name)
+                .ok_or_else(|| format!("--pair: schema `{name}` is not registered"))
+        };
+        let lc = find(&ls)?;
+        let rc = find(&rs)?;
+        let lext = lc
+            .store
+            .extent(&lc.schema, &ClassName::new(lclass.as_str()));
+        let rext = rc
+            .store
+            .extent(&rc.schema, &ClassName::new(rclass.as_str()));
+        let mut out = Vec::new();
+        for lo in &lext {
+            let lv = lo.attr(&lkey);
+            if lv.is_null() {
+                continue;
+            }
+            for ro in &rext {
+                if ro.attr(&rkey) == lv {
+                    out.push((lo.oid.clone(), ro.oid.clone()));
+                }
+            }
+        }
+        out
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+    Ok(())
+}
+
+/// Parse a data file into `store`, creating objects against `schema`.
+/// Returns the number of objects created.
+pub fn parse_data(src: &str, schema: &Schema, store: &mut InstanceStore) -> Result<usize, String> {
+    let toks = tokenize(src)?;
+    let mut i = 0;
+    let mut created = 0;
+    while i < toks.len() {
+        let Tok::Ident(class) = &toks[i] else {
+            return Err(format!("expected class name, got {:?}", toks[i]));
+        };
+        i += 1;
+        expect(&toks, &mut i, &Tok::LBrace, "`{` after class name")?;
+        let mut attrs: Vec<(String, Value)> = Vec::new();
+        if toks.get(i) != Some(&Tok::RBrace) {
+            loop {
+                let Some(Tok::Ident(name)) = toks.get(i) else {
+                    return Err(format!(
+                        "expected attribute name in `{class}`, got {:?}",
+                        toks.get(i)
+                    ));
+                };
+                i += 1;
+                expect(&toks, &mut i, &Tok::Colon, "`:` after attribute name")?;
+                let value = match toks.get(i) {
+                    Some(Tok::Str(s)) => Value::Str(s.clone()),
+                    Some(Tok::Int(n)) => Value::Int(*n),
+                    Some(Tok::Real(r)) => Value::Real(*r),
+                    Some(Tok::Ident(w)) if w == "true" => Value::Bool(true),
+                    Some(Tok::Ident(w)) if w == "false" => Value::Bool(false),
+                    Some(Tok::Ident(w)) if w == "null" => Value::Null,
+                    other => return Err(format!("expected value, got {other:?}")),
+                };
+                i += 1;
+                attrs.push((name.clone(), value));
+                if toks.get(i) == Some(&Tok::Comma) {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(&toks, &mut i, &Tok::RBrace, "`}` closing the object")?;
+        store
+            .create(schema, class, |mut o| {
+                for (name, value) in attrs {
+                    o = o.with_attr(name, value);
+                }
+                o
+            })
+            .map_err(|e| format!("object #{} ({class}): {e}", created + 1))?;
+        created += 1;
+    }
+    Ok(created)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Real(f64),
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+}
+
+fn expect(toks: &[Tok], i: &mut usize, want: &Tok, what: &str) -> Result<(), String> {
+    if toks.get(*i) == Some(want) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {what}, got {:?}", toks.get(*i)))
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err("unterminated string literal".to_string());
+                }
+                toks.push(Tok::Str(src[start..i].to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text.contains('.') {
+                    toks.push(Tok::Real(
+                        text.parse()
+                            .map_err(|e| format!("bad real literal `{text}`: {e}"))?,
+                    ));
+                } else {
+                    toks.push(Tok::Int(
+                        text.parse()
+                            .map_err(|e| format!("bad integer literal `{text}`: {e}"))?,
+                    ));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' || c == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(src[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character `{other}` in data file")),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S1")
+            .class("book", |c| {
+                c.attr("title", AttrType::Str).attr("year", AttrType::Int)
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn data_files_parse_into_stores() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let n = parse_data(
+            "// two books\nbook { title: \"Logic\", year: 1987 }\nbook { title: \"Sets\" }\n",
+            &s,
+            &mut store,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn bad_attribute_is_rejected_with_context() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let err = parse_data("book { pages: 10 }", &s, &mut store).unwrap_err();
+        assert!(err.contains("object #1 (book)"), "{err}");
+    }
+
+    #[test]
+    fn tokenizer_rejects_garbage() {
+        assert!(tokenize("book { title: \"unterminated }").is_err());
+        assert!(tokenize("book ? {}").is_err());
+        let s = schema();
+        let mut store = InstanceStore::new();
+        assert!(parse_data("{ title: \"x\" }", &s, &mut store).is_err());
+    }
+}

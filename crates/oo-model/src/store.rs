@@ -20,6 +20,9 @@ pub struct InstanceStore {
     objects: BTreeMap<Oid, Object>,
     by_class: BTreeMap<ClassName, BTreeSet<Oid>>,
     next_local: BTreeMap<ClassName, u64>,
+    /// Monotone mutation counter. Query-result caches key on this to
+    /// detect that a previously planned extent has changed.
+    version: u64,
 }
 
 impl InstanceStore {
@@ -78,7 +81,13 @@ impl InstanceStore {
             .or_default()
             .insert(obj.oid.clone());
         self.objects.insert(obj.oid.clone(), obj);
+        self.version += 1;
         Ok(())
+    }
+
+    /// The extent version: incremented on every successful mutation.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Allocate a fresh local OID for `class` and insert the object built by

@@ -1,0 +1,175 @@
+//! Bounded LRU result cache.
+//!
+//! Keys are canonical plan fingerprints (the deterministic JSON rendering
+//! of the plan, prefixed by the strategy), so semantically identical
+//! queries share an entry regardless of whitespace or literal order in
+//! the source text — the planner normalises both. Each entry remembers
+//! the component [`oo_model::InstanceStore`] version counters it was
+//! computed against; a lookup with different versions invalidates the
+//! entry instead of serving stale rows.
+
+use oo_model::Value;
+use std::collections::BTreeMap;
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries dropped because a component store changed underneath them.
+    pub invalidations: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    versions: Vec<u64>,
+    vars: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    last_used: u64,
+}
+
+/// A bounded result cache with least-recently-used eviction.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<String, Entry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` answers (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            ..ResultCache::default()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a fingerprint against the current component versions.
+    /// A version mismatch drops the entry and reports a miss.
+    pub fn get(&mut self, key: &str, versions: &[u64]) -> Option<(Vec<String>, Vec<Vec<Value>>)> {
+        match self.entries.get_mut(key) {
+            Some(e) if e.versions == versions => {
+                self.tick += 1;
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some((e.vars.clone(), e.rows.clone()))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store an answer, evicting the least-recently-used entry if full.
+    pub fn put(
+        &mut self,
+        key: String,
+        versions: Vec<u64>,
+        vars: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                versions,
+                vars,
+                rows,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: i64) -> Vec<Vec<Value>> {
+        vec![vec![Value::Int(n)]]
+    }
+
+    #[test]
+    fn hit_miss_and_version_invalidation() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get("q1", &[1, 1]).is_none());
+        c.put("q1".into(), vec![1, 1], vec!["X".into()], row(7));
+        let (vars, rows) = c.get("q1", &[1, 1]).unwrap();
+        assert_eq!(vars, vec!["X"]);
+        assert_eq!(rows, row(7));
+        // A component mutated: same key, new versions → invalidated.
+        assert!(c.get("q1", &[2, 1]).is_none());
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.put("a".into(), vec![0], vec![], row(1));
+        c.put("b".into(), vec![0], vec![], row(2));
+        // Touch `a` so `b` becomes the eviction candidate.
+        assert!(c.get("a", &[0]).is_some());
+        c.put("c".into(), vec![0], vec![], row(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a", &[0]).is_some());
+        assert!(c.get("b", &[0]).is_none());
+        assert!(c.get("c", &[0]).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = ResultCache::new(0);
+        c.put("a".into(), vec![0], vec![], row(1));
+        assert!(c.get("a", &[0]).is_none());
+    }
+
+    #[test]
+    fn overwrite_same_key_does_not_evict() {
+        let mut c = ResultCache::new(1);
+        c.put("a".into(), vec![0], vec![], row(1));
+        c.put("a".into(), vec![0], vec![], row(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a", &[0]).unwrap().1, row(2));
+    }
+}

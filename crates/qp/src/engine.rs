@@ -1,0 +1,615 @@
+//! The query-engine façade.
+//!
+//! [`QueryEngine`] owns one built federation (global schema + exported
+//! component states + meta registry) and answers conjunctive queries
+//! under either [`QueryStrategy`]:
+//!
+//! * `Planned` — parse → validate → plan → scatter-gather execute, with
+//!   the answer cached under the plan fingerprint;
+//! * `Saturate` — the reference path: materialise the whole federation,
+//!   saturate, query the fact base.
+//!
+//! Both paths return the same sorted, deduplicated answer rows (the
+//! differential suite enforces this), so `Saturate` is the oracle and
+//! `Planned` is the optimisation.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::exec;
+use crate::parser::{parse_query, GlobalQuery};
+use crate::plan::{PlanNode, QueryPlan, QueryStrategy};
+use crate::planner::Planner;
+use crate::Result;
+use deduction::{EvalStats, Subst, Term};
+use federation::client::FsmClient;
+use federation::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use federation::mapping::MetaRegistry;
+use federation::FederationDb;
+use fedoo_core::{PipelineStats, QpStats};
+use oo_model::{InstanceStore, Schema, Value};
+use std::time::Instant;
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Answer columns, in query order.
+    pub vars: Vec<String>,
+    /// Sorted, deduplicated value rows (unbound positions are `Null`).
+    pub rows: Vec<Vec<Value>>,
+    pub stats: QpStats,
+    pub strategy: QueryStrategy,
+    pub from_cache: bool,
+}
+
+impl QueryAnswer {
+    /// Aligned-column table rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if !self.vars.is_empty() {
+            let cells: Vec<Vec<String>> = self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_string()).collect())
+                .collect();
+            let widths: Vec<usize> = self
+                .vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    cells
+                        .iter()
+                        .map(|r| r[i].len())
+                        .chain([v.len()])
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect();
+            let mut line = String::new();
+            for (i, v) in self.vars.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", v, w = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+            for row in &cells {
+                let mut line = String::new();
+                for (i, c) in row.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str("  ");
+                    }
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                }
+                out.push_str(line.trim_end());
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "({} row{}{})\n",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" },
+            if self.from_cache { ", cached" } else { "" }
+        ));
+        out
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"vars\":[");
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::plan::json_string(v));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&value_json(v));
+            }
+            out.push(']');
+        }
+        out.push_str(&format!(
+            "],\"count\":{},\"strategy\":{},\"from_cache\":{}}}",
+            self.rows.len(),
+            crate::plan::json_string(self.strategy.as_str()),
+            self.from_cache
+        ));
+        out
+    }
+}
+
+/// JSON rendering of one value.
+fn value_json(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Real(r) if r.is_finite() => r.to_string(),
+        Value::Real(_) => "null".to_string(),
+        Value::Char(c) => crate::plan::json_string(&c.to_string()),
+        Value::Str(s) => crate::plan::json_string(s),
+        Value::Date(d) => crate::plan::json_string(&d.to_string()),
+        Value::Oid(o) => crate::plan::json_string(&o.to_string()),
+        Value::Set(items) => {
+            let inner: Vec<String> = items.iter().map(value_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Null => "null".to_string(),
+    }
+}
+
+/// Default result-cache capacity.
+const CACHE_CAPACITY: usize = 64;
+
+/// A query processor bound to one built federation.
+pub struct QueryEngine {
+    global: GlobalSchema,
+    components: Vec<(Schema, InstanceStore)>,
+    meta: MetaRegistry,
+    cache: ResultCache,
+    /// Reference evaluator state, keyed by the component versions it was
+    /// built against.
+    saturate_db: Option<(Vec<u64>, FederationDb)>,
+    /// Work counters from the last full saturation, if one ran.
+    sat_eval: Option<EvalStats>,
+    /// Work counters from the last `ask`.
+    last_stats: Option<QpStats>,
+}
+
+impl QueryEngine {
+    /// Integrate the FSM's registered components and take a snapshot of
+    /// their exported states.
+    pub fn connect(fsm: &Fsm, strategy: IntegrationStrategy) -> Result<Self> {
+        let global = fsm.integrate(strategy)?;
+        let components: Vec<(Schema, InstanceStore)> = fsm
+            .components()
+            .iter()
+            .map(|c| (c.schema.clone(), c.store.clone()))
+            .collect();
+        Ok(Self::from_parts(global, components, fsm.meta.clone()))
+    }
+
+    /// Share an already-connected client's federation state.
+    pub fn from_client(client: &FsmClient) -> Self {
+        Self::from_parts(
+            client.global.clone(),
+            client.components().to_vec(),
+            client.meta.clone(),
+        )
+    }
+
+    pub fn from_parts(
+        global: GlobalSchema,
+        components: Vec<(Schema, InstanceStore)>,
+        meta: MetaRegistry,
+    ) -> Self {
+        QueryEngine {
+            global,
+            components,
+            meta,
+            cache: ResultCache::new(CACHE_CAPACITY),
+            saturate_db: None,
+            sat_eval: None,
+            last_stats: None,
+        }
+    }
+
+    pub fn global(&self) -> &GlobalSchema {
+        &self.global
+    }
+
+    pub fn components(&self) -> &[(Schema, InstanceStore)] {
+        &self.components
+    }
+
+    /// Mutable access to one component store. Mutations bump the store's
+    /// version counter, which invalidates affected cache entries and the
+    /// reference evaluator state on the next query.
+    pub fn component_store_mut(&mut self, idx: usize) -> Option<&mut InstanceStore> {
+        self.components.get_mut(idx).map(|(_, store)| store)
+    }
+
+    /// Current component store version vector (the cache key epoch).
+    pub fn versions(&self) -> Vec<u64> {
+        self.components.iter().map(|(_, s)| s.version()).collect()
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn last_stats(&self) -> Option<QpStats> {
+        self.last_stats
+    }
+
+    /// Combined pipeline accounting: integration checks, reference
+    /// saturation (if it ran) and the last query's counters.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            analysis: None,
+            integration: self.global.total_stats,
+            evaluation: self.sat_eval,
+            query: self.last_stats,
+        }
+    }
+
+    /// Parse query text (no validation).
+    pub fn parse(&self, text: &str) -> Result<GlobalQuery> {
+        Ok(parse_query(text)?)
+    }
+
+    /// Validate and plan, without executing.
+    pub fn plan_for(&self, query: &GlobalQuery) -> Result<QueryPlan> {
+        Planner::new(&self.global, &self.components).plan(query)
+    }
+
+    /// Parse, validate and plan query text — the `--explain` entry point.
+    pub fn explain(&self, text: &str) -> Result<QueryPlan> {
+        let q = parse_query(text)?;
+        self.plan_for(&q)
+    }
+
+    /// Parse and answer query text.
+    pub fn ask_text(&mut self, text: &str, strategy: QueryStrategy) -> Result<QueryAnswer> {
+        let q = parse_query(text)?;
+        self.ask(&q, strategy)
+    }
+
+    /// Answer a parsed query.
+    pub fn ask(&mut self, query: &GlobalQuery, strategy: QueryStrategy) -> Result<QueryAnswer> {
+        let start = Instant::now();
+        // Both strategies validate and plan identically, so they reject
+        // the same queries and share cache fingerprints per strategy.
+        let plan = self.plan_for(query)?;
+        let versions = self.versions();
+        let key = format!("{}|{}", strategy.as_str(), plan.fingerprint());
+
+        if let Some((vars, rows)) = self.cache.get(&key, &versions) {
+            let stats = QpStats {
+                cache_hits: 1,
+                rows_emitted: rows.len() as u64,
+                micros: start.elapsed().as_micros() as u64,
+                ..QpStats::new()
+            };
+            self.last_stats = Some(stats);
+            return Ok(QueryAnswer {
+                vars,
+                rows,
+                stats,
+                strategy,
+                from_cache: true,
+            });
+        }
+
+        let (rows, mut stats) = match strategy {
+            QueryStrategy::Planned => {
+                if matches!(plan.root, PlanNode::FullSaturate { .. }) {
+                    (self.saturate_rows(query)?, QpStats::new())
+                } else {
+                    let out = exec::execute(&plan, &self.global, &self.components, &self.meta)?;
+                    (out.rows, out.stats)
+                }
+            }
+            QueryStrategy::Saturate => (self.saturate_rows(query)?, QpStats::new()),
+        };
+        stats.cache_misses = 1;
+        stats.rows_emitted = rows.len() as u64;
+        stats.micros = start.elapsed().as_micros() as u64;
+        self.cache
+            .put(key, versions, plan.vars.clone(), rows.clone());
+        self.last_stats = Some(stats);
+        Ok(QueryAnswer {
+            vars: plan.vars,
+            rows,
+            stats,
+            strategy,
+            from_cache: false,
+        })
+    }
+
+    /// The reference path: full materialisation + saturation (reusing the
+    /// state while component versions are unchanged), then a fact-base
+    /// query, normalised to sorted unique rows.
+    fn saturate_rows(&mut self, query: &GlobalQuery) -> Result<Vec<Vec<Value>>> {
+        let versions = self.versions();
+        let fresh = !matches!(&self.saturate_db, Some((v, _)) if *v == versions);
+        if fresh {
+            let mut db = FederationDb::build(&self.global, &self.components, &self.meta)?;
+            let eval = db.saturate()?;
+            self.sat_eval = Some(eval);
+            self.saturate_db = Some((versions, db));
+        }
+        let (_, db) = self.saturate_db.as_mut().expect("just ensured");
+        let substs = db.query(&query.body())?;
+        Ok(normalize_rows(&substs, &query.vars()))
+    }
+}
+
+/// Project substitutions onto the answer variables, sort, deduplicate.
+pub fn normalize_rows(substs: &[Subst], vars: &[String]) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = substs
+        .iter()
+        .map(|s| {
+            vars.iter()
+                .map(|v| s.value_of(&Term::var(v.clone())).unwrap_or(Value::Null))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScanKind;
+    use crate::QpError;
+    use assertions::{AttrCorr, AttrOp, ClassAssertion, ClassOp, SPath};
+    use federation::agent::Agent;
+    use oo_model::{AttrType, SchemaBuilder};
+
+    /// Two libraries with equivalent book classes and integer years.
+    fn library_fsm() -> Fsm {
+        let s1 = SchemaBuilder::new("x")
+            .class("book", |c| {
+                c.attr("title", AttrType::Str).attr("year", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "book", |o| {
+            o.with_attr("title", "Logic").with_attr("year", 1987i64)
+        })
+        .unwrap();
+        st1.create(&s1, "book", |o| {
+            o.with_attr("title", "Sets").with_attr("year", 1960i64)
+        })
+        .unwrap();
+        let s2 = SchemaBuilder::new("x")
+            .class("publication", |c| {
+                c.attr("ptitle", AttrType::Str).attr("pyear", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st2 = InstanceStore::new();
+        st2.create(&s2, "publication", |o| {
+            o.with_attr("ptitle", "Databases")
+                .with_attr("pyear", 1999i64)
+        })
+        .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
+        fsm.add_assertion(
+            ClassAssertion::simple("S1", "book", ClassOp::Equiv, "S2", "publication")
+                .attr_corr(AttrCorr::new(
+                    SPath::attr("S1", "book", "title"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "publication", "ptitle"),
+                ))
+                .attr_corr(AttrCorr::new(
+                    SPath::attr("S1", "book", "year"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "publication", "pyear"),
+                )),
+        );
+        fsm
+    }
+
+    /// Faculty ∩ student — integration generates virtual classes with
+    /// rules, so queries over them exercise the derived fallback.
+    fn campus_fsm() -> Fsm {
+        let s1 = SchemaBuilder::new("x")
+            .class("faculty", |c| {
+                c.attr("fssn", AttrType::Str).attr("income", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "faculty", |o| {
+            o.with_attr("fssn", "123").with_attr("income", 3000i64)
+        })
+        .unwrap();
+        st1.create(&s1, "faculty", |o| {
+            o.with_attr("fssn", "999").with_attr("income", 4000i64)
+        })
+        .unwrap();
+        let s2 = SchemaBuilder::new("x")
+            .class("student", |c| {
+                c.attr("ssn", AttrType::Str)
+                    .attr("study_support", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st2 = InstanceStore::new();
+        st2.create(&s2, "student", |o| {
+            o.with_attr("ssn", "123")
+                .with_attr("study_support", 1000i64)
+        })
+        .unwrap();
+        st2.create(&s2, "student", |o| {
+            o.with_attr("ssn", "555").with_attr("study_support", 800i64)
+        })
+        .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
+        fsm.add_assertion(
+            ClassAssertion::simple("S1", "faculty", ClassOp::Intersect, "S2", "student").attr_corr(
+                AttrCorr::new(
+                    SPath::attr("S1", "faculty", "fssn"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "student", "ssn"),
+                ),
+            ),
+        );
+        fsm
+    }
+
+    fn merged_class(engine: &QueryEngine) -> String {
+        engine
+            .global()
+            .global_class("S1", "book")
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn planned_equals_saturate_on_merged_class() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(planned.rows.len(), 3, "{}", planned.render_human());
+        assert_eq!(planned.rows, saturate.rows);
+        assert_eq!(planned.vars, vec!["X", "T"]);
+    }
+
+    #[test]
+    fn pushdown_prunes_rows_and_shows_in_plan() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | year: Y>, Y >= 1987.");
+        let plan = engine.explain(&text).unwrap();
+        assert!(
+            plan.render_human().contains("pushdown[year"),
+            "{}",
+            plan.render_human()
+        );
+        let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(planned.rows, saturate.rows);
+        assert_eq!(planned.rows.len(), 2);
+        assert!(planned.stats.pushdown_preds >= 1);
+        assert_eq!(planned.stats.pushdown_pruned, 1, "the 1960 book");
+    }
+
+    #[test]
+    fn derived_class_goes_goal_directed() {
+        let fsm = campus_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        // Find a rule-derived relation in the global program.
+        let derived = engine
+            .global()
+            .rules
+            .iter()
+            .filter(|r| r.heads.len() == 1)
+            .filter_map(|r| r.head().and_then(|h| h.relation()))
+            .next()
+            .expect("intersection generates rules")
+            .to_string();
+        let text = format!("?- <X: {derived}>.");
+        let plan = engine.explain(&text).unwrap();
+        let is_derived = match &plan.root {
+            crate::plan::PlanNode::Seed(s) => matches!(s.kind, ScanKind::Derived { .. }),
+            other => panic!("expected seed scan, got {other:?}"),
+        };
+        assert!(is_derived, "{}", plan.render_human());
+        let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(planned.rows, saturate.rows);
+    }
+
+    #[test]
+    fn cache_hits_until_a_store_mutation() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let first = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        assert!(!first.from_cache);
+        let second = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(second.rows, first.rows);
+        assert_eq!(engine.cache_stats().hits, 1);
+
+        // Mutate component 0 — its version bumps, the entry invalidates.
+        let schema = engine.components()[0].0.clone();
+        engine
+            .component_store_mut(0)
+            .unwrap()
+            .create(&schema, "book", |o| {
+                o.with_attr("title", "Proofs").with_attr("year", 2001i64)
+            })
+            .unwrap();
+        let third = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        assert!(!third.from_cache);
+        assert_eq!(third.rows.len(), first.rows.len() + 1);
+        assert_eq!(engine.cache_stats().invalidations, 1);
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(third.rows, saturate.rows);
+    }
+
+    #[test]
+    fn validation_rejects_bad_queries() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        // Unknown attribute on a known class.
+        let err = engine
+            .ask_text(&format!("?- <X: {g} | pages: P>."), QueryStrategy::Planned)
+            .unwrap_err();
+        assert!(matches!(err, QpError::Rejected(_)), "{err}");
+        // Unsafe: comparison over an unbound variable.
+        let err = engine
+            .ask_text("?- X > 5.", QueryStrategy::Saturate)
+            .unwrap_err();
+        assert!(matches!(err, QpError::Rejected(_)), "{err}");
+    }
+
+    #[test]
+    fn higher_order_patterns_fall_back_to_saturation() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let text = "?- <X: C>.";
+        let plan = engine.explain(text).unwrap();
+        assert!(
+            matches!(plan.root, PlanNode::FullSaturate { .. }),
+            "{}",
+            plan.render_human()
+        );
+        let planned = engine.ask_text(text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(planned.rows, saturate.rows);
+        assert!(!planned.rows.is_empty());
+    }
+
+    #[test]
+    fn answer_renderings_are_deterministic() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let a = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let human = a.render_human();
+        assert!(human.contains("X"), "{human}");
+        assert!(human.contains("(3 rows)"), "{human}");
+        let json = a.render_json();
+        assert!(json.starts_with("{\"vars\":[\"X\",\"T\"],\"rows\":[["));
+        assert!(json.ends_with("\"strategy\":\"planned\",\"from_cache\":false}"));
+        assert_eq!(json.matches("\"Logic\"").count(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Parallel scatter-gather plan execution.
+//!
+//! Base scans fan out across their component targets with `rayon` — each
+//! component's extent is materialised, filtered by the pushed-down
+//! predicates, and unified into substitution batches concurrently — then
+//! the batches stream into the hash-join pipeline. Derived scans are
+//! answered by a single goal-directed [`FederationDb`] restricted to the
+//! plan's relevance closure and saturated once per execution. Every stage
+//! feeds counters into [`QpStats`].
+//!
+//! Answers are normalised to rows of values over the plan's answer
+//! variables, sorted and deduplicated — identical, by construction and by
+//! the differential test suite, to what the saturate-everything reference
+//! evaluator produces.
+
+use crate::plan::{PlanNode, QueryPlan, ScanKind, ScanNode};
+use crate::{QpError, Result};
+use deduction::term::{Literal, Term};
+use deduction::unify::unify_oterm_pattern;
+use deduction::Subst;
+use federation::fsm::GlobalSchema;
+use federation::mapping::MetaRegistry;
+use federation::{FactMaterializer, FederationDb};
+use fedoo_core::QpStats;
+use oo_model::{InstanceStore, Schema, Value};
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The result of executing one plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Answer rows over the plan's `vars`, sorted and deduplicated.
+    pub rows: Vec<Vec<Value>>,
+    pub stats: QpStats,
+}
+
+/// Execute a pipeline plan. [`PlanNode::FullSaturate`] roots are the
+/// engine's job (they need the full reference evaluator) and are rejected
+/// here.
+pub fn execute(
+    plan: &QueryPlan,
+    global: &GlobalSchema,
+    components: &[(Schema, InstanceStore)],
+    meta: &MetaRegistry,
+) -> Result<ExecOutcome> {
+    let mut stats = QpStats::new();
+
+    // One restricted deduction state serves every derived scan.
+    let relevant = collect_relevant(&plan.root);
+    let derived = if relevant.is_empty() {
+        None
+    } else {
+        let mut db = FederationDb::build_filtered(global, components, meta, Some(&relevant))?;
+        let eval = db.saturate()?;
+        stats.derived_facts += eval.facts_derived;
+        Some(db)
+    };
+
+    let mat = FactMaterializer::new(global, components, meta);
+    let mut ctx = Ctx {
+        mat,
+        derived,
+        stats,
+    };
+    let substs = eval_node(&mut ctx, &plan.root)?;
+    let mut stats = ctx.stats;
+
+    let mut rows: Vec<Vec<Value>> = substs
+        .iter()
+        .map(|s| {
+            plan.vars
+                .iter()
+                .map(|v| s.value_of(&Term::var(v.clone())).unwrap_or(Value::Null))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    stats.rows_emitted = rows.len() as u64;
+    Ok(ExecOutcome { rows, stats })
+}
+
+/// Union of the relevance closures of every derived scan in the plan.
+fn collect_relevant(node: &PlanNode) -> BTreeSet<String> {
+    fn add(scan: &ScanNode, out: &mut BTreeSet<String>) {
+        if let ScanKind::Derived { relevant, .. } = &scan.kind {
+            out.extend(relevant.iter().cloned());
+        }
+    }
+    fn walk(node: &PlanNode, out: &mut BTreeSet<String>) {
+        match node {
+            PlanNode::Seed(scan) => add(scan, out),
+            PlanNode::Join { input, scan, .. } | PlanNode::AntiJoin { input, scan, .. } => {
+                add(scan, out);
+                walk(input, out);
+            }
+            PlanNode::Filter { input, .. } => walk(input, out),
+            PlanNode::FullSaturate { .. } => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk(node, &mut out);
+    out
+}
+
+struct Ctx<'a> {
+    mat: FactMaterializer<'a>,
+    derived: Option<FederationDb>,
+    stats: QpStats,
+}
+
+fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<Vec<Subst>> {
+    match node {
+        PlanNode::Seed(scan) => scan_exec(ctx, scan),
+        PlanNode::Join {
+            input, scan, on, ..
+        } => {
+            let left = eval_node(ctx, input)?;
+            let right = scan_exec(ctx, scan)?;
+            ctx.stats.joins += 1;
+            Ok(hash_join(&left, &right, on, &scan.literal))
+        }
+        PlanNode::Filter { input, cmp } => {
+            let mut rows = eval_node(ctx, input)?;
+            let Literal::Cmp { left, op, right } = cmp else {
+                return Err(QpError::Plan(format!("filter node holds non-cmp `{cmp}`")));
+            };
+            rows.retain(|s| match (s.value_of(left), s.value_of(right)) {
+                (Some(l), Some(r)) => op.eval(&l, &r),
+                _ => false,
+            });
+            Ok(rows)
+        }
+        PlanNode::AntiJoin { input, scan, on } => {
+            let mut rows = eval_node(ctx, input)?;
+            let right = scan_exec(ctx, scan)?;
+            let keys: HashSet<Vec<Value>> = right.iter().filter_map(|s| key_of(s, on)).collect();
+            rows.retain(|s| match key_of(s, on) {
+                Some(k) => !keys.contains(&k),
+                None => true,
+            });
+            Ok(rows)
+        }
+        PlanNode::FullSaturate { reason } => Err(QpError::Plan(format!(
+            "full-saturate fallback reached the executor ({reason})"
+        ))),
+    }
+}
+
+/// Join-key projection: the values of `on` under one substitution.
+fn key_of(s: &Subst, on: &[String]) -> Option<Vec<Value>> {
+    on.iter()
+        .map(|v| s.value_of(&Term::var(v.clone())))
+        .collect()
+}
+
+/// Hash join: bucket the scan side on the shared variables, probe with
+/// the pipeline side, merge the scan's bindings into each match.
+fn hash_join(left: &[Subst], right: &[Subst], on: &[String], scan_lit: &Literal) -> Vec<Subst> {
+    let scan_vars: Vec<String> = scan_lit.vars().into_iter().collect();
+    let mut buckets: HashMap<Vec<Value>, Vec<&Subst>> = HashMap::new();
+    for s in right {
+        if let Some(key) = key_of(s, on) {
+            buckets.entry(key).or_default().push(s);
+        }
+    }
+    let mut out = Vec::new();
+    for l in left {
+        let Some(key) = key_of(l, on) else { continue };
+        let Some(matches) = buckets.get(&key) else {
+            continue;
+        };
+        for r in matches {
+            let mut merged = l.clone();
+            for v in &scan_vars {
+                if merged.get(v).is_none() {
+                    if let Some(t) = r.get(v) {
+                        merged.bind(v.clone(), t.clone());
+                    }
+                }
+            }
+            out.push(merged);
+        }
+    }
+    out
+}
+
+/// Run one scan: scatter base scans across component targets in
+/// parallel, or probe the restricted deduction state for derived ones.
+fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
+    ctx.stats.scans += 1;
+    ctx.stats.pushdown_preds += scan.pushdown.len() as u64;
+    match &scan.kind {
+        ScanKind::Base { targets } => {
+            let proj: BTreeSet<String> = scan.projection.iter().cloned().collect();
+            let pat = match &scan.literal {
+                Literal::OTerm(o) => o,
+                // Predicate literals have no extensional source: engine
+                // fact bases hold only materialised O-terms.
+                _ => return Ok(Vec::new()),
+            };
+            let mat = &ctx.mat;
+            let per: Vec<Result<(Vec<Subst>, u64, u64)>> = targets
+                .par_iter()
+                .map(|t| {
+                    let facts = mat
+                        .facts_for(t.comp_idx, &scan.relation, Some(&proj))
+                        .map_err(QpError::Fed)?;
+                    let mut scanned = 0u64;
+                    let mut pruned = 0u64;
+                    let mut out = Vec::new();
+                    'facts: for fact in &facts {
+                        scanned += 1;
+                        for p in &scan.pushdown {
+                            if let Some(Term::Val(v)) = fact.binding(&p.column) {
+                                if !p.cmp.eval(v, &p.constant) {
+                                    pruned += 1;
+                                    continue 'facts;
+                                }
+                            }
+                        }
+                        let mut s = Subst::new();
+                        if unify_oterm_pattern(pat, fact, &mut s) {
+                            out.push(s);
+                        }
+                    }
+                    Ok((out, scanned, pruned))
+                })
+                .collect();
+            let mut rows = Vec::new();
+            for r in per {
+                let (batch, scanned, pruned) = r?;
+                ctx.stats.rows_scanned += scanned;
+                ctx.stats.pushdown_pruned += pruned;
+                rows.extend(batch);
+            }
+            // Identity bridges: paired objects belong to their partner's
+            // global class too, regardless of which component owns them —
+            // the saturate path sees these via `materialize`, so base
+            // scans must as well.
+            for fact in ctx.mat.bridge_facts(Some(&scan.relation), None) {
+                ctx.stats.rows_scanned += 1;
+                let mut s = Subst::new();
+                if unify_oterm_pattern(pat, &fact, &mut s) {
+                    rows.push(s);
+                }
+            }
+            Ok(rows)
+        }
+        ScanKind::Derived { .. } => {
+            let db = ctx
+                .derived
+                .as_ref()
+                .ok_or_else(|| QpError::Plan("derived scan without deduction state".into()))?;
+            let rows = db.facts().query(std::slice::from_ref(&scan.literal));
+            ctx.stats.rows_scanned += rows.len() as u64;
+            Ok(rows)
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Concrete syntax for conjunctive global queries.
+//!
+//! ```text
+//! ?- <X: person | age: A, name: N>, A >= 30, not retired(X).
+//! ```
+//!
+//! The grammar is the body-literal grammar of `analysis::rules_parser`
+//! (same Prolog conventions: leading uppercase or `_` is a variable,
+//! lowercase identifiers are string constants, `not` negates, O-terms are
+//! `<obj: class | attr: term, …>`), with an optional leading `?-` and a
+//! terminating `.`. Unlike the rules parser, the lexer here records the
+//! **byte offset** of every token, so each parsed literal carries an
+//! [`assertions::Span`] into the query text and plan/validation
+//! diagnostics can point at the offending literal.
+
+use assertions::Span;
+use deduction::term::{AttrBinding, CmpOp, Literal, NameRef, OTermPat, Pred, Term};
+use oo_model::Value;
+use std::fmt;
+
+/// A parse failure with the byte span of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One body literal together with the byte range it was parsed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedLiteral {
+    pub literal: Literal,
+    pub span: Span,
+}
+
+/// A parsed conjunctive query over the integrated (global) schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalQuery {
+    /// The source text, kept so spans can be sliced back out.
+    pub text: String,
+    pub literals: Vec<SpannedLiteral>,
+}
+
+impl GlobalQuery {
+    /// The body as plain literals (what `FactDb::query` consumes).
+    pub fn body(&self) -> Vec<Literal> {
+        self.literals.iter().map(|l| l.literal.clone()).collect()
+    }
+
+    /// Distinct variables in first-appearance order — the answer columns.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for lit in &self.literals {
+            collect_vars_ordered(&lit.literal, &mut out);
+        }
+        out
+    }
+
+    /// Canonical one-line rendering (used for cache fingerprints of the
+    /// saturate path, where no plan tree exists).
+    pub fn canonical(&self) -> String {
+        let lits: Vec<String> = self
+            .literals
+            .iter()
+            .map(|l| l.literal.to_string())
+            .collect();
+        lits.join(", ")
+    }
+}
+
+impl fmt::Display for GlobalQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?- {}.", self.canonical())
+    }
+}
+
+/// Walk a literal in written order, appending unseen variables.
+fn collect_vars_ordered(lit: &Literal, out: &mut Vec<String>) {
+    let mut push = |v: &str| {
+        if !out.iter().any(|x| x == v) {
+            out.push(v.to_string());
+        }
+    };
+    match lit {
+        Literal::OTerm(o) => {
+            if let Term::Var(v) = &o.object {
+                push(v);
+            }
+            if let NameRef::Var(v) = &o.class {
+                push(v);
+            }
+            for b in &o.bindings {
+                if let NameRef::Var(v) = &b.name {
+                    push(v);
+                }
+                if let Term::Var(v) = &b.term {
+                    push(v);
+                }
+            }
+        }
+        Literal::Pred(p) => {
+            for a in &p.args {
+                if let Term::Var(v) = a {
+                    push(v);
+                }
+            }
+        }
+        Literal::Cmp { left, right, .. } => {
+            for t in [left, right] {
+                if let Term::Var(v) = t {
+                    push(v);
+                }
+            }
+        }
+        Literal::Neg(inner) => collect_vars_ordered(inner, out),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(&'static str),
+}
+
+/// A token with its half-open byte range and 1-based line.
+type Spanned = (Tok, usize, usize, usize);
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error_at(&self, start: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: Span::new(start, self.pos.max(start + 1), self.line),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            let start = self.pos;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    let text_start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                        if self.src[self.pos] == b'\n' {
+                            return Err(self.error_at(start, "unterminated string"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.error_at(start, "unterminated string"));
+                    }
+                    let s = std::str::from_utf8(&self.src[text_start..self.pos])
+                        .map_err(|_| self.error_at(start, "invalid utf-8 in string"))?;
+                    self.pos += 1;
+                    out.push((Tok::Str(s.to_string()), start, self.pos, self.line));
+                }
+                c if c.is_ascii_digit() || (c == '-' && self.digit_at(self.pos + 1)) => {
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.error_at(start, format!("bad integer `{text}`")))?;
+                    out.push((Tok::Int(n), start, self.pos, self.line));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    while self.pos < self.src.len() {
+                        let b = self.src[self.pos] as char;
+                        if b.is_alphanumeric() || b == '_' || b == '-' || b == '\'' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    out.push((Tok::Ident(text.to_string()), start, self.pos, self.line));
+                }
+                _ => {
+                    let rest = &self.src[self.pos..];
+                    let sym = ["?-", ":-", "<=", ">=", "!="]
+                        .into_iter()
+                        .find(|s| rest.starts_with(s.as_bytes()));
+                    if let Some(s) = sym {
+                        self.pos += s.len();
+                        out.push((Tok::Sym(s), start, self.pos, self.line));
+                    } else {
+                        let single = match c {
+                            '(' => "(",
+                            ')' => ")",
+                            ',' => ",",
+                            '.' => ".",
+                            ':' => ":",
+                            '<' => "<",
+                            '>' => ">",
+                            '|' => "|",
+                            '=' => "=",
+                            _ => {
+                                self.pos += 1;
+                                return Err(
+                                    self.error_at(start, format!("unexpected character `{c}`"))
+                                );
+                            }
+                        };
+                        self.pos += 1;
+                        out.push((Tok::Sym(single), start, self.pos, self.line));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn digit_at(&self, i: usize) -> bool {
+        self.src.get(i).is_some_and(|b| b.is_ascii_digit())
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    /// End-of-input span, for errors past the last token.
+    eof: Span,
+}
+
+impl Parser {
+    fn cur_span(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some((_, s, e, l)) => Span::new(*s, *e, *l),
+            None => self.eof,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: self.cur_span(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, ..)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, ..)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Byte end of the most recently consumed token.
+    fn last_end(&self) -> usize {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map(|(_, _, e, _)| *e)
+            .unwrap_or(0)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if let Some(Tok::Sym(t)) = self.peek() {
+            if *t == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(t)) if *t == s => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{s}`, found {}", describe(other)))),
+        }
+    }
+
+    fn is_var(name: &str) -> bool {
+        name.chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase() || c == '_')
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) if Self::is_var(&s) => {
+                self.pos += 1;
+                Ok(Term::var(s))
+            }
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(Term::val(Value::str(s)))
+            }
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Term::val(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Term::val(Value::str(s)))
+            }
+            other => Err(self.error(format!("expected term, found {}", describe(other.as_ref())))),
+        }
+    }
+
+    fn name_ref(&mut self) -> Result<NameRef, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if Self::is_var(&s) => Ok(NameRef::Var(s)),
+            Some(Tok::Ident(s)) => Ok(NameRef::Name(s)),
+            other => Err(self.error(format!(
+                "expected identifier, found {}",
+                describe(other.as_ref())
+            ))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("!=") => CmpOp::Ne,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            Tok::Ident(s) if s == "in" => CmpOp::In,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// `<obj: class | attr: term, …>` — the `|` part optional.
+    fn oterm(&mut self) -> Result<Literal, ParseError> {
+        self.expect_sym("<")?;
+        let object = self.term()?;
+        self.expect_sym(":")?;
+        let class = self.name_ref()?;
+        let mut pat = OTermPat {
+            object,
+            class,
+            bindings: Vec::new(),
+        };
+        if self.eat_sym("|") {
+            loop {
+                let name = self.name_ref()?;
+                self.expect_sym(":")?;
+                let term = self.term()?;
+                pat.bindings.push(AttrBinding { name, term });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(">")?;
+        Ok(Literal::OTerm(pat))
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "not" {
+                self.pos += 1;
+                return Ok(Literal::neg(self.literal()?));
+            }
+        }
+        if self.peek() == Some(&Tok::Sym("<")) {
+            return self.oterm();
+        }
+        // Either a predicate `p(t, …)` or a bare comparison `t op t`.
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if self.toks.get(self.pos + 1).map(|(t, ..)| t) == Some(&Tok::Sym("(")) {
+                self.pos += 2;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::Sym(")")) {
+                    loop {
+                        args.push(self.term()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym(")")?;
+                return Ok(Literal::Pred(Pred { name, args }));
+            }
+        }
+        let left = self.term()?;
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| self.error("expected comparison operator"))?;
+        let right = self.term()?;
+        Ok(Literal::Cmp { left, op, right })
+    }
+}
+
+fn describe(t: Option<&Tok>) -> String {
+    match t {
+        Some(Tok::Ident(s)) => format!("`{s}`"),
+        Some(Tok::Int(n)) => format!("`{n}`"),
+        Some(Tok::Str(s)) => format!("\"{s}\""),
+        Some(Tok::Sym(s)) => format!("`{s}`"),
+        None => "end of input".to_string(),
+    }
+}
+
+/// Parse one conjunctive query: `[?-] lit₁, …, litₙ [.]`.
+pub fn parse_query(src: &str) -> Result<GlobalQuery, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let last_line = toks.last().map(|(.., l)| *l).unwrap_or(1);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        eof: Span::new(src.len(), src.len(), last_line),
+    };
+    p.eat_sym("?-");
+    if p.peek().is_none() {
+        return Err(p.error("empty query"));
+    }
+    let mut literals = Vec::new();
+    loop {
+        let span_start = p.cur_span();
+        let literal = p.literal()?;
+        let span = Span::new(span_start.start, p.last_end(), span_start.line);
+        literals.push(SpannedLiteral { literal, span });
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    p.eat_sym(".");
+    if p.peek().is_some() {
+        return Err(p.error(format!(
+            "trailing input after query, found {}",
+            describe(p.peek())
+        )));
+    }
+    Ok(GlobalQuery {
+        text: src.to_string(),
+        literals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_oterm_cmp_and_negation() {
+        let q = parse_query("?- <X: person | age: A, name: N>, A >= 30, not retired(X).").unwrap();
+        assert_eq!(q.literals.len(), 3);
+        assert_eq!(q.vars(), vec!["X", "A", "N"]);
+        assert_eq!(
+            q.canonical(),
+            "<X: person | age: A, name: N>, A ≥ 30, ¬retired(X)"
+        );
+    }
+
+    #[test]
+    fn prefix_and_terminator_are_optional() {
+        let a = parse_query("?- p(X).").unwrap();
+        let b = parse_query("p(X)").unwrap();
+        assert_eq!(a.body(), b.body());
+    }
+
+    #[test]
+    fn spans_slice_back_to_source() {
+        let src = "?- <X: person | age: A>, A > 30.";
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.literals[0].span.slice(src), Some("<X: person | age: A>"));
+        assert_eq!(q.literals[1].span.slice(src), Some("A > 30"));
+        assert_eq!(q.literals[1].span.line, 1);
+    }
+
+    #[test]
+    fn lowercase_is_constant_uppercase_is_var() {
+        let q = parse_query("<X: book | title: logic>.").unwrap();
+        let Literal::OTerm(o) = &q.literals[0].literal else {
+            panic!("expected oterm");
+        };
+        assert_eq!(o.binding("title"), Some(&Term::val(Value::str("logic"))));
+        assert_eq!(q.vars(), vec!["X"]);
+    }
+
+    #[test]
+    fn membership_operator() {
+        let q = parse_query("<X: crew | members: M>, s1 in M.").unwrap();
+        assert!(matches!(
+            q.literals[1].literal,
+            Literal::Cmp { op: CmpOp::In, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse_query("?- p(X), .").unwrap_err();
+        assert_eq!(err.span.slice("?- p(X), ."), Some("."));
+        let err = parse_query("").unwrap_err();
+        assert!(err.message.contains("empty"));
+        let err = parse_query("p(X) :- q(X).").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn class_and_attr_variables_parse() {
+        let q = parse_query("<X: C | A: V>.").unwrap();
+        let Literal::OTerm(o) = &q.literals[0].literal else {
+            panic!()
+        };
+        assert_eq!(o.class, NameRef::Var("C".into()));
+        assert_eq!(q.vars(), vec!["X", "C", "A", "V"]);
+    }
+}

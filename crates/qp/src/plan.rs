@@ -1,0 +1,560 @@
+//! Inspectable query plans.
+//!
+//! A plan is a left-deep pipeline: a seed scan feeding a chain of hash
+//! joins, with residual comparison filters and anti-joins (negated
+//! literals) interleaved where their variables first become bound. Scans
+//! come in two kinds: **base** scans materialise one global class's
+//! extent straight from the component databases (with selection
+//! predicates pushed down into the scan), and **derived** scans answer an
+//! intensional relation by goal-directed semi-naive evaluation over the
+//! relevance-closed rule slice. Queries the planner cannot pipeline fall
+//! back to a single [`PlanNode::FullSaturate`] node — full saturation
+//! followed by a fact-base query, always correct, never fast.
+//!
+//! Plans render two ways: an indented human tree ([`QueryPlan::render_human`])
+//! and a deterministic JSON document ([`QueryPlan::render_json`]). A
+//! statistics-free variant of the JSON ([`QueryPlan::fingerprint`]) keys
+//! the result cache.
+
+use deduction::Literal;
+use relational::query::Predicate;
+use std::fmt;
+
+/// How `ask` answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryStrategy {
+    /// Materialise everything, saturate, query the fact base — the
+    /// reference evaluator.
+    Saturate,
+    /// Plan: rewrite through the origin map, push selections into
+    /// component scans, hash-join in estimated-cardinality order.
+    #[default]
+    Planned,
+}
+
+impl QueryStrategy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryStrategy::Saturate => "saturate",
+            QueryStrategy::Planned => "planned",
+        }
+    }
+}
+
+impl fmt::Display for QueryStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for QueryStrategy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "saturate" => Ok(QueryStrategy::Saturate),
+            "planned" => Ok(QueryStrategy::Planned),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected `planned` or `saturate`)"
+            )),
+        }
+    }
+}
+
+/// One component extent feeding a base scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanTarget {
+    /// Registered component schema name (e.g. `S1`).
+    pub component: String,
+    /// Index into the engine's component list.
+    pub comp_idx: usize,
+    /// Local classes of this component that map to the scanned global
+    /// class through the origin map.
+    pub classes: Vec<String>,
+    /// Objects in those local extents (the per-extent statistic).
+    pub rows: u64,
+}
+
+/// What a scan reads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanKind {
+    /// Extensional: integrated facts materialised from component extents.
+    Base { targets: Vec<ScanTarget> },
+    /// Intensional: the relation is a rule head; answered by restricted
+    /// semi-naive deduction over the relevance closure.
+    Derived {
+        /// Dependency-closed set of relations the restricted evaluation
+        /// must materialise.
+        relevant: Vec<String>,
+        /// Executable rules in the restricted program.
+        rules: usize,
+        /// Stratum of the scanned relation (0-based).
+        stratum: usize,
+    },
+}
+
+/// A scan of one body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    pub literal: Literal,
+    /// Global class (O-term literal) or predicate name.
+    pub relation: String,
+    pub kind: ScanKind,
+    /// Selections evaluated inside the scan, before unification.
+    pub pushdown: Vec<Predicate>,
+    /// Attributes the scan materialises (projection pushdown); empty for
+    /// predicate literals and derived scans.
+    pub projection: Vec<String>,
+    /// Estimated result cardinality after pushdown.
+    pub est_rows: u64,
+}
+
+/// A node of the left-deep pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// The pipeline's first scan.
+    Seed(ScanNode),
+    /// Hash join of the pipeline so far with one more scan on the shared
+    /// variables `on` (empty `on` = cross product).
+    Join {
+        input: Box<PlanNode>,
+        scan: ScanNode,
+        on: Vec<String>,
+        est_rows: u64,
+    },
+    /// Residual comparison applied to pipeline rows.
+    Filter { input: Box<PlanNode>, cmp: Literal },
+    /// Negated literal: drop pipeline rows with a matching fact.
+    AntiJoin {
+        input: Box<PlanNode>,
+        scan: ScanNode,
+        on: Vec<String>,
+    },
+    /// Fallback for queries outside the planner's fragment.
+    FullSaturate { reason: String },
+}
+
+/// A complete plan: answer columns plus the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Answer columns, in query order.
+    pub vars: Vec<String>,
+    pub root: PlanNode,
+}
+
+impl QueryPlan {
+    /// Does any node require the goal-directed deduction fallback state?
+    pub fn has_derived_scan(&self) -> bool {
+        fn walk(n: &PlanNode) -> bool {
+            match n {
+                PlanNode::Seed(s) => matches!(s.kind, ScanKind::Derived { .. }),
+                PlanNode::Join { input, scan, .. } | PlanNode::AntiJoin { input, scan, .. } => {
+                    matches!(scan.kind, ScanKind::Derived { .. }) || walk(input)
+                }
+                PlanNode::Filter { input, .. } => walk(input),
+                PlanNode::FullSaturate { .. } => false,
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Indented plan tree, root (last pipeline stage) first.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("answer vars: [{}]\n", self.vars.join(", ")));
+        render_node(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Deterministic JSON rendering, cardinality estimates included.
+    pub fn render_json(&self) -> String {
+        self.json(true)
+    }
+
+    /// The result-cache fingerprint: the JSON rendering *without*
+    /// cardinality statistics. Estimates track extent sizes, so including
+    /// them would silently change the key whenever data changes — stale
+    /// entries must instead stay under the same key and be invalidated by
+    /// the version vector.
+    pub fn fingerprint(&self) -> String {
+        self.json(false)
+    }
+
+    fn json(&self, stats: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\"vars\":[");
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(v));
+        }
+        out.push_str("],\"root\":");
+        node_json(&self.root, stats, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_scan(scan: &ScanNode, out: &mut String) {
+    out.push_str(&format!("scan {} ", scan.literal));
+    match &scan.kind {
+        ScanKind::Base { targets } => {
+            out.push_str("[base:");
+            if targets.is_empty() {
+                out.push_str(" no sources");
+            }
+            for (i, t) in targets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    " {}/{} {} rows",
+                    t.component,
+                    t.classes.join("+"),
+                    t.rows
+                ));
+            }
+            out.push(']');
+        }
+        ScanKind::Derived {
+            relevant,
+            rules,
+            stratum,
+        } => {
+            out.push_str(&format!(
+                "[derived: {} rules over {{{}}}, stratum {}]",
+                rules,
+                relevant.join(", "),
+                stratum
+            ));
+        }
+    }
+    if !scan.pushdown.is_empty() {
+        let preds: Vec<String> = scan
+            .pushdown
+            .iter()
+            .map(|p| format!("{} {} {}", p.column, p.cmp.symbol(), p.constant))
+            .collect();
+        out.push_str(&format!(" pushdown[{}]", preds.join(", ")));
+    }
+    out.push_str(&format!(" (est {} rows)", scan.est_rows));
+}
+
+fn render_node(node: &PlanNode, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match node {
+        PlanNode::Seed(scan) => {
+            out.push_str("seed ");
+            render_scan(scan, out);
+            out.push('\n');
+        }
+        PlanNode::Join {
+            input,
+            scan,
+            on,
+            est_rows,
+        } => {
+            out.push_str(&format!(
+                "join on [{}] (est {} rows)\n",
+                on.join(", "),
+                est_rows
+            ));
+            render_node(input, depth + 1, out);
+            indent(out, depth + 1);
+            render_scan(scan, out);
+            out.push('\n');
+        }
+        PlanNode::Filter { input, cmp } => {
+            out.push_str(&format!("filter {cmp}\n"));
+            render_node(input, depth + 1, out);
+        }
+        PlanNode::AntiJoin { input, scan, on } => {
+            out.push_str(&format!("anti-join on [{}]\n", on.join(", ")));
+            render_node(input, depth + 1, out);
+            indent(out, depth + 1);
+            render_scan(scan, out);
+            out.push('\n');
+        }
+        PlanNode::FullSaturate { reason } => {
+            out.push_str(&format!("full-saturate fallback ({reason})\n"));
+        }
+    }
+}
+
+fn scan_json(scan: &ScanNode, stats: bool, out: &mut String) {
+    out.push_str("{\"literal\":");
+    out.push_str(&json_string(&scan.literal.to_string()));
+    out.push_str(",\"relation\":");
+    out.push_str(&json_string(&scan.relation));
+    match &scan.kind {
+        ScanKind::Base { targets } => {
+            out.push_str(",\"kind\":\"base\",\"targets\":[");
+            for (i, t) in targets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"component\":{},\"classes\":[{}]",
+                    json_string(&t.component),
+                    t.classes
+                        .iter()
+                        .map(|c| json_string(c))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ));
+                if stats {
+                    out.push_str(&format!(",\"rows\":{}", t.rows));
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        ScanKind::Derived {
+            relevant,
+            rules,
+            stratum,
+        } => {
+            out.push_str(&format!(
+                ",\"kind\":\"derived\",\"relevant\":[{}],\"rules\":{},\"stratum\":{}",
+                relevant
+                    .iter()
+                    .map(|r| json_string(r))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                rules,
+                stratum
+            ));
+        }
+    }
+    out.push_str(",\"pushdown\":[");
+    for (i, p) in scan.pushdown.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(&format!(
+            "{} {} {}",
+            p.column,
+            p.cmp.symbol(),
+            p.constant
+        )));
+    }
+    out.push_str("],\"projection\":[");
+    for (i, a) in scan.projection.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(a));
+    }
+    out.push(']');
+    if stats {
+        out.push_str(&format!(",\"est_rows\":{}", scan.est_rows));
+    }
+    out.push('}');
+}
+
+fn node_json(node: &PlanNode, stats: bool, out: &mut String) {
+    match node {
+        PlanNode::Seed(scan) => {
+            out.push_str("{\"op\":\"seed\",\"scan\":");
+            scan_json(scan, stats, out);
+            out.push('}');
+        }
+        PlanNode::Join {
+            input,
+            scan,
+            on,
+            est_rows,
+        } => {
+            out.push_str("{\"op\":\"join\",\"on\":[");
+            for (i, v) in on.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(v));
+            }
+            out.push(']');
+            if stats {
+                out.push_str(&format!(",\"est_rows\":{est_rows}"));
+            }
+            out.push_str(",\"input\":");
+            node_json(input, stats, out);
+            out.push_str(",\"scan\":");
+            scan_json(scan, stats, out);
+            out.push('}');
+        }
+        PlanNode::Filter { input, cmp } => {
+            out.push_str("{\"op\":\"filter\",\"cmp\":");
+            out.push_str(&json_string(&cmp.to_string()));
+            out.push_str(",\"input\":");
+            node_json(input, stats, out);
+            out.push('}');
+        }
+        PlanNode::AntiJoin { input, scan, on } => {
+            out.push_str("{\"op\":\"anti_join\",\"on\":[");
+            for (i, v) in on.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(v));
+            }
+            out.push_str("],\"input\":");
+            node_json(input, stats, out);
+            out.push_str(",\"scan\":");
+            scan_json(scan, stats, out);
+            out.push('}');
+        }
+        PlanNode::FullSaturate { reason } => {
+            out.push_str("{\"op\":\"full_saturate\",\"reason\":");
+            out.push_str(&json_string(reason));
+            out.push('}');
+        }
+    }
+}
+
+/// JSON string escaping (same rules as `analysis::diag`).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deduction::{OTermPat, Term};
+    use relational::query::Cmp;
+
+    fn sample_plan() -> QueryPlan {
+        let seed = ScanNode {
+            literal: Literal::oterm(
+                OTermPat::new(Term::var("X"), "person").bind("age", Term::var("A")),
+            ),
+            relation: "person".into(),
+            kind: ScanKind::Base {
+                targets: vec![ScanTarget {
+                    component: "S1".into(),
+                    comp_idx: 0,
+                    classes: vec!["person".into()],
+                    rows: 40,
+                }],
+            },
+            pushdown: vec![Predicate::new("age", Cmp::Gt, 30i64)],
+            projection: vec!["age".into()],
+            est_rows: 13,
+        };
+        let probe = ScanNode {
+            literal: Literal::oterm(
+                OTermPat::new(Term::var("D"), "dept").bind("head", Term::var("X")),
+            ),
+            relation: "dept".into(),
+            kind: ScanKind::Derived {
+                relevant: vec!["dept".into(), "person".into()],
+                rules: 2,
+                stratum: 1,
+            },
+            pushdown: vec![],
+            projection: vec![],
+            est_rows: 5,
+        };
+        QueryPlan {
+            vars: vec!["X".into(), "A".into(), "D".into()],
+            root: PlanNode::Join {
+                input: Box::new(PlanNode::Seed(seed)),
+                scan: probe,
+                on: vec!["X".into()],
+                est_rows: 13,
+            },
+        }
+    }
+
+    #[test]
+    fn human_rendering_shows_pipeline() {
+        let h = sample_plan().render_human();
+        assert!(h.contains("answer vars: [X, A, D]"));
+        assert!(h.contains("join on [X]"));
+        assert!(h.contains("seed scan"));
+        assert!(h.contains("pushdown[age > 30]"));
+        assert!(h.contains("derived: 2 rules"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_balanced() {
+        let a = sample_plan().render_json();
+        let b = sample_plan().render_json();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced JSON: {a}"
+        );
+        assert!(a.starts_with("{\"vars\":[\"X\",\"A\",\"D\"],\"root\":"));
+        assert!(a.contains("\"op\":\"join\""));
+        assert!(a.contains("\"kind\":\"derived\""));
+    }
+
+    #[test]
+    fn fingerprint_omits_cardinality_statistics() {
+        let mut plan = sample_plan();
+        let fp = plan.fingerprint();
+        assert!(!fp.contains("est_rows"), "{fp}");
+        assert!(!fp.contains("\"rows\""), "{fp}");
+        // Changing only the statistics must not change the fingerprint —
+        // stale cache entries are invalidated by version, not re-keyed.
+        if let PlanNode::Join { est_rows, scan, .. } = &mut plan.root {
+            *est_rows = 999;
+            scan.est_rows = 999;
+        }
+        assert_eq!(plan.fingerprint(), fp);
+        assert_ne!(plan.render_json(), fp);
+    }
+
+    #[test]
+    fn strategy_round_trips() {
+        assert_eq!(
+            "planned".parse::<QueryStrategy>().unwrap().as_str(),
+            "planned"
+        );
+        assert_eq!(
+            "saturate".parse::<QueryStrategy>().unwrap(),
+            QueryStrategy::Saturate
+        );
+        assert!("magic".parse::<QueryStrategy>().is_err());
+    }
+
+    #[test]
+    fn fallback_plan_renders() {
+        let p = QueryPlan {
+            vars: vec!["X".into()],
+            root: PlanNode::FullSaturate {
+                reason: "class variable in O-term".into(),
+            },
+        };
+        assert!(p.render_human().contains("full-saturate fallback"));
+        assert!(p.render_json().contains("\"op\":\"full_saturate\""));
+        assert!(!p.has_derived_scan());
+    }
+}

@@ -1,0 +1,596 @@
+//! The global query planner.
+//!
+//! Planning proceeds in four steps:
+//!
+//! 1. **Validate** — the query body is wrapped into a synthetic rule
+//!    `query(vars) :- body` and run through `analysis::analyze_program`
+//!    against the integrated schema (safety kernel + schema conformance);
+//!    any `Deny` diagnostic rejects the query before any component is
+//!    touched.
+//! 2. **Rewrite** — each positive O-term literal over a global class is
+//!    rewritten through the origin map into per-component scan targets
+//!    (the local classes whose extents feed that global class). Relations
+//!    that are heads of executable derivation rules become **derived**
+//!    scans instead: the planner computes the relevance closure (the
+//!    rule-body reachable set, magic-set style) so execution saturates
+//!    only the slice of the federation the query can actually touch.
+//! 3. **Push down** — comparison literals `X τ c` whose variable is
+//!    attribute-bound by a base scan become `relational` selection
+//!    predicates evaluated inside every such scan (and the residual
+//!    filter is dropped — join unification propagates variable equality,
+//!    so one enforcing scan suffices); constant attribute bindings
+//!    likewise prune facts before unification. Only the attributes a
+//!    literal mentions are materialised (projection pushdown).
+//! 4. **Order** — scans are arranged into a left-deep hash-join chain by
+//!    a greedy cardinality heuristic over per-extent row counts
+//!    (equality pushdown ÷ 8, range ÷ 3); filters and anti-joins attach
+//!    at the first point their variables are bound.
+//!
+//! Queries outside the pipeline fragment — higher-order patterns (class
+//! or attribute variables), nested or non-relational negation, bodies
+//! with no positive literal — degrade to a [`PlanNode::FullSaturate`]
+//! fallback: always answerable, never fast.
+
+use crate::parser::GlobalQuery;
+use crate::plan::{PlanNode, QueryPlan, ScanKind, ScanNode, ScanTarget};
+use crate::{QpError, Result};
+use deduction::term::{CmpOp, Literal, NameRef, Pred, Rule, Term};
+use deduction::{check_rule, check_rule_all, stratify};
+use federation::fsm::GlobalSchema;
+use oo_model::{InstanceStore, Schema};
+use relational::query::{Cmp, Predicate};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Plans queries against one built federation.
+pub struct Planner<'a> {
+    global: &'a GlobalSchema,
+    /// Executable derivation rules (single-head, safe).
+    exec_rules: Vec<&'a Rule>,
+    /// Relations derived by executable rules.
+    derived: BTreeSet<&'a str>,
+    /// Strata of the executable program (lowest first).
+    strata: Vec<BTreeSet<String>>,
+    /// Direct extent sizes: (component index, local class) → objects.
+    extent_rows: BTreeMap<(usize, String), u64>,
+    /// Component schema name → index.
+    comp_idx: BTreeMap<&'a str, usize>,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(global: &'a GlobalSchema, components: &'a [(Schema, InstanceStore)]) -> Self {
+        let exec_rules: Vec<&Rule> = global
+            .rules
+            .iter()
+            .filter(|r| r.heads.len() == 1 && check_rule(r).is_ok())
+            .collect();
+        let derived: BTreeSet<&str> = exec_rules
+            .iter()
+            .filter_map(|r| r.head().and_then(|h| h.relation()))
+            .collect();
+        let owned: Vec<Rule> = exec_rules.iter().map(|r| (*r).clone()).collect();
+        let strata = stratify(&owned).unwrap_or_default();
+        let mut extent_rows = BTreeMap::new();
+        let mut comp_idx = BTreeMap::new();
+        for (i, (schema, store)) in components.iter().enumerate() {
+            comp_idx.insert(schema.name.as_str(), i);
+            for obj in store.iter() {
+                *extent_rows
+                    .entry((i, obj.class.as_str().to_string()))
+                    .or_insert(0u64) += 1;
+            }
+        }
+        Planner {
+            global,
+            exec_rules,
+            derived,
+            strata,
+            extent_rows,
+            comp_idx,
+        }
+    }
+
+    /// Static checks: safety kernel + conformance against the integrated
+    /// schema. Rejects on any `Deny` diagnostic.
+    pub fn validate(&self, query: &GlobalQuery) -> Result<()> {
+        let head = Literal::Pred(Pred::new("query", query.vars().into_iter().map(Term::var)));
+        let rule = Rule::new(head, query.body());
+        match self.global.integrated.to_schema("global") {
+            Ok(schema) => {
+                let mut report = analysis::analyze_program(&[rule], &[&schema]);
+                if report.has_deny() {
+                    report.sort();
+                    return Err(QpError::Rejected(report.render_human()));
+                }
+            }
+            Err(_) => {
+                // No materialisable schema view — fall back to the safety
+                // kernel alone.
+                let errors = check_rule_all(&rule);
+                if !errors.is_empty() {
+                    let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                    return Err(QpError::Rejected(msgs.join("\n")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and plan.
+    pub fn plan(&self, query: &GlobalQuery) -> Result<QueryPlan> {
+        self.validate(query)?;
+        let vars = query.vars();
+        let body = query.body();
+
+        if let Some(reason) = unsupported_reason(&body) {
+            return Ok(QueryPlan {
+                vars,
+                root: PlanNode::FullSaturate { reason },
+            });
+        }
+
+        // Partition the body. Indices keep attachment order deterministic.
+        let mut positives: Vec<(usize, Literal)> = Vec::new();
+        let mut cmps: Vec<(usize, Literal)> = Vec::new();
+        let mut negs: Vec<(usize, Literal)> = Vec::new();
+        for (i, lit) in body.iter().enumerate() {
+            match lit {
+                Literal::Cmp { .. } => cmps.push((i, lit.clone())),
+                Literal::Neg(inner) => negs.push((i, (**inner).clone())),
+                _ => positives.push((i, lit.clone())),
+            }
+        }
+        if positives.is_empty() {
+            return Ok(QueryPlan {
+                vars,
+                root: PlanNode::FullSaturate {
+                    reason: "no positive literals to seed a pipeline".into(),
+                },
+            });
+        }
+
+        // Which comparisons can be pushed into which positive scans?
+        // `pushable[k]` = (var, predicate) for comparison literal k.
+        let pushable: Vec<Option<(String, Predicate)>> =
+            cmps.iter().map(|(_, lit)| as_pushable(lit)).collect();
+        // A comparison may only be absorbed by *base* scans — a derived
+        // scan is answered by the deduction engine, which never sees scan
+        // predicates, so pushing there would silently drop the filter.
+        let attr_binders: Vec<BTreeSet<String>> = positives
+            .iter()
+            .map(|(_, lit)| {
+                if self.is_base_scan(lit) {
+                    attr_bound_vars(lit)
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .collect();
+        let mut consumed = vec![false; cmps.len()];
+        let mut extra_pushdown: Vec<Vec<Predicate>> = vec![Vec::new(); positives.len()];
+        for (k, p) in pushable.iter().enumerate() {
+            let Some((var, pred)) = p else { continue };
+            let binders: Vec<usize> = (0..positives.len())
+                .filter(|&s| attr_binders[s].contains(var))
+                .collect();
+            if binders.is_empty() {
+                continue;
+            }
+            // Pushing into every binding scan maximises pruning; join
+            // unification keeps the variable's value consistent across
+            // scans, so the residual filter is redundant.
+            for s in binders {
+                let columns: Vec<&str> = attr_columns_for(&positives[s].1, var);
+                for col in columns {
+                    extra_pushdown[s].push(Predicate::new(col, pred.cmp, pred.constant.clone()));
+                }
+            }
+            consumed[k] = true;
+        }
+
+        // Build scan nodes for positive literals and negated inners.
+        let mut scans: Vec<ScanNode> = Vec::new();
+        for (s, (_, lit)) in positives.iter().enumerate() {
+            scans.push(self.scan_node(lit, std::mem::take(&mut extra_pushdown[s])));
+        }
+        let neg_scans: Vec<ScanNode> = negs
+            .iter()
+            .map(|(_, inner)| self.scan_node(inner, Vec::new()))
+            .collect();
+
+        // Greedy left-deep ordering by estimated cardinality.
+        let mut remaining: Vec<usize> = (0..scans.len()).collect();
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        let mut attached_cmp = vec![false; cmps.len()];
+        let mut attached_neg = vec![false; negs.len()];
+
+        let first = *remaining
+            .iter()
+            .min_by_key(|&&i| (scans[i].est_rows, i))
+            .expect("non-empty positives");
+        remaining.retain(|&i| i != first);
+        bound.extend(scans[first].literal.vars());
+        let mut est = scans[first].est_rows;
+        let mut root = PlanNode::Seed(scans[first].clone());
+        root = self.attach_residuals(
+            root,
+            &bound,
+            &cmps,
+            &consumed,
+            &mut attached_cmp,
+            &negs,
+            &neg_scans,
+            &mut attached_neg,
+        );
+
+        while !remaining.is_empty() {
+            // Prefer scans sharing a variable with the pipeline (equi
+            // join); among those, smallest estimate. Cross products only
+            // when forced.
+            let shares = |i: usize| scans[i].literal.vars().iter().any(|v| bound.contains(v));
+            let next = remaining
+                .iter()
+                .copied()
+                .filter(|&i| shares(i))
+                .min_by_key(|&i| (scans[i].est_rows, i))
+                .or_else(|| {
+                    remaining
+                        .iter()
+                        .copied()
+                        .min_by_key(|&i| (scans[i].est_rows, i))
+                })
+                .expect("remaining non-empty");
+            remaining.retain(|&i| i != next);
+            let scan = scans[next].clone();
+            let on: Vec<String> = scan
+                .literal
+                .vars()
+                .into_iter()
+                .filter(|v| bound.contains(v))
+                .collect();
+            bound.extend(scan.literal.vars());
+            est = if on.is_empty() {
+                est.saturating_mul(scan.est_rows.max(1))
+            } else {
+                est.max(scan.est_rows)
+            };
+            root = PlanNode::Join {
+                input: Box::new(root),
+                scan,
+                on,
+                est_rows: est,
+            };
+            root = self.attach_residuals(
+                root,
+                &bound,
+                &cmps,
+                &consumed,
+                &mut attached_cmp,
+                &negs,
+                &neg_scans,
+                &mut attached_neg,
+            );
+        }
+
+        // Validation guarantees every comparison / negation variable is
+        // positively bound, so nothing should be left dangling.
+        for (k, done) in attached_cmp.iter().enumerate() {
+            if !done && !consumed[k] {
+                return Err(QpError::Plan(format!(
+                    "comparison `{}` never became bound",
+                    cmps[k].1
+                )));
+            }
+        }
+        for (k, done) in attached_neg.iter().enumerate() {
+            if !done {
+                return Err(QpError::Plan(format!(
+                    "negation `¬{}` never became bound",
+                    negs[k].1
+                )));
+            }
+        }
+
+        Ok(QueryPlan { vars, root })
+    }
+
+    /// Attach residual filters and anti-joins whose variables are bound.
+    #[allow(clippy::too_many_arguments)]
+    fn attach_residuals(
+        &self,
+        mut node: PlanNode,
+        bound: &BTreeSet<String>,
+        cmps: &[(usize, Literal)],
+        consumed: &[bool],
+        attached_cmp: &mut [bool],
+        negs: &[(usize, Literal)],
+        neg_scans: &[ScanNode],
+        attached_neg: &mut [bool],
+    ) -> PlanNode {
+        for (k, (_, cmp)) in cmps.iter().enumerate() {
+            if attached_cmp[k] || consumed[k] {
+                continue;
+            }
+            if cmp.vars().iter().all(|v| bound.contains(v)) {
+                attached_cmp[k] = true;
+                node = PlanNode::Filter {
+                    input: Box::new(node),
+                    cmp: cmp.clone(),
+                };
+            }
+        }
+        for (k, (_, inner)) in negs.iter().enumerate() {
+            if attached_neg[k] {
+                continue;
+            }
+            let inner_vars = inner.vars();
+            if inner_vars.iter().all(|v| bound.contains(v)) {
+                attached_neg[k] = true;
+                node = PlanNode::AntiJoin {
+                    input: Box::new(node),
+                    scan: neg_scans[k].clone(),
+                    on: inner_vars.into_iter().collect(),
+                };
+            }
+        }
+        // Mark pushed-down comparisons as attached once their variable is
+        // bound (they need no node of their own).
+        for (k, (_, cmp)) in cmps.iter().enumerate() {
+            if consumed[k] && !attached_cmp[k] && cmp.vars().iter().all(|v| bound.contains(v)) {
+                attached_cmp[k] = true;
+            }
+        }
+        node
+    }
+
+    /// Will this literal scan component extents directly (as opposed to
+    /// the derived-relation deduction fallback)?
+    fn is_base_scan(&self, lit: &Literal) -> bool {
+        match lit.relation() {
+            Some(rel) => !self.derived.contains(rel),
+            None => false,
+        }
+    }
+
+    /// Build the scan node for one positive (or negated-inner) literal.
+    fn scan_node(&self, lit: &Literal, mut pushdown: Vec<Predicate>) -> ScanNode {
+        let relation = lit.relation().unwrap_or_default().to_string();
+        let projection: Vec<String> = match lit {
+            Literal::OTerm(o) => o
+                .bindings
+                .iter()
+                .filter_map(|b| b.name.as_name().map(str::to_string))
+                .collect(),
+            _ => Vec::new(),
+        };
+
+        if self.derived.contains(relation.as_str()) {
+            let relevant = self.relevance_closure([relation.clone()]);
+            let rules = self
+                .exec_rules
+                .iter()
+                .filter(|r| {
+                    r.head()
+                        .and_then(|h| h.relation())
+                        .is_some_and(|h| relevant.contains(h))
+                })
+                .count();
+            let stratum = self
+                .strata
+                .iter()
+                .position(|s| s.contains(relation.as_str()))
+                .unwrap_or(0);
+            let est_rows = self.derived_estimate(&relevant);
+            return ScanNode {
+                literal: lit.clone(),
+                relation,
+                kind: ScanKind::Derived {
+                    relevant: relevant.into_iter().collect(),
+                    rules,
+                    stratum,
+                },
+                pushdown: Vec::new(),
+                projection,
+                est_rows,
+            };
+        }
+
+        // Base scan: constant attribute bindings prune before unification.
+        if let Literal::OTerm(o) = lit {
+            for b in &o.bindings {
+                if let (Some(name), Term::Val(v)) = (b.name.as_name(), &b.term) {
+                    pushdown.push(Predicate::new(name, Cmp::Eq, v.clone()));
+                }
+            }
+        }
+        let targets = self.base_targets(&relation);
+        let raw: u64 = targets.iter().map(|t| t.rows).sum();
+        let mut est = raw;
+        for p in &pushdown {
+            est = match p.cmp {
+                Cmp::Eq => est / 8,
+                Cmp::Lt | Cmp::Le | Cmp::Gt | Cmp::Ge => est / 3,
+                Cmp::Ne => est,
+            };
+        }
+        if raw > 0 {
+            est = est.max(1);
+        }
+        ScanNode {
+            literal: lit.clone(),
+            relation,
+            kind: ScanKind::Base { targets },
+            pushdown,
+            projection,
+            est_rows: est,
+        }
+    }
+
+    /// Component extents whose origin is the given global class.
+    fn base_targets(&self, global_class: &str) -> Vec<ScanTarget> {
+        let mut by_comp: BTreeMap<usize, (String, Vec<String>, u64)> = BTreeMap::new();
+        for ((schema, class), g) in &self.global.origin {
+            if g != global_class {
+                continue;
+            }
+            let Some(&idx) = self.comp_idx.get(schema.as_str()) else {
+                continue;
+            };
+            let rows = self
+                .extent_rows
+                .get(&(idx, class.clone()))
+                .copied()
+                .unwrap_or(0);
+            let entry = by_comp
+                .entry(idx)
+                .or_insert_with(|| (schema.clone(), Vec::new(), 0));
+            entry.1.push(class.clone());
+            entry.2 += rows;
+        }
+        by_comp
+            .into_iter()
+            .map(|(comp_idx, (component, classes, rows))| ScanTarget {
+                component,
+                comp_idx,
+                classes,
+                rows,
+            })
+            .collect()
+    }
+
+    /// Transitive rule-body reachability from the root relations: the
+    /// slice of the federation a goal-directed evaluation must build.
+    fn relevance_closure(&self, roots: impl IntoIterator<Item = String>) -> BTreeSet<String> {
+        let mut need: BTreeSet<String> = roots.into_iter().collect();
+        loop {
+            let mut added = false;
+            for r in &self.exec_rules {
+                let Some(h) = r.head().and_then(|h| h.relation()) else {
+                    continue;
+                };
+                if !need.contains(h) {
+                    continue;
+                }
+                for l in &r.body {
+                    if let Some(b) = l.relation() {
+                        if !need.contains(b) {
+                            need.insert(b.to_string());
+                            added = true;
+                        }
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        need
+    }
+
+    /// Crude upper-bound estimate for a derived relation: the base rows
+    /// of every relation in its relevance closure.
+    fn derived_estimate(&self, relevant: &BTreeSet<String>) -> u64 {
+        let base: u64 = relevant
+            .iter()
+            .flat_map(|rel| self.base_targets(rel))
+            .map(|t| t.rows)
+            .sum();
+        base.max(1)
+    }
+}
+
+/// Reasons a query leaves the pipeline fragment.
+fn unsupported_reason(body: &[Literal]) -> Option<String> {
+    fn check(lit: &Literal, negated: bool) -> Option<String> {
+        match lit {
+            Literal::OTerm(o) => {
+                if matches!(o.class, NameRef::Var(_)) {
+                    return Some("class variable in O-term".into());
+                }
+                if o.bindings.iter().any(|b| matches!(b.name, NameRef::Var(_))) {
+                    return Some("attribute-name variable in O-term".into());
+                }
+                None
+            }
+            Literal::Pred(_) => None,
+            Literal::Cmp { .. } => {
+                if negated {
+                    Some("negated comparison".into())
+                } else {
+                    None
+                }
+            }
+            Literal::Neg(inner) => {
+                if negated {
+                    Some("nested negation".into())
+                } else {
+                    check(inner, true)
+                }
+            }
+        }
+    }
+    body.iter().find_map(|l| check(l, false))
+}
+
+/// A comparison usable as a scan predicate: `Var τ const` or `const τ Var`
+/// with τ ∈ {=, ≠, <, ≤, >, ≥}.
+fn as_pushable(lit: &Literal) -> Option<(String, Predicate)> {
+    let Literal::Cmp { left, op, right } = lit else {
+        return None;
+    };
+    let cmp = map_op(*op)?;
+    match (left, right) {
+        (Term::Var(v), Term::Val(c)) => Some((v.clone(), Predicate::new("", cmp, c.clone()))),
+        (Term::Val(c), Term::Var(v)) => Some((v.clone(), Predicate::new("", flip(cmp), c.clone()))),
+        _ => None,
+    }
+}
+
+fn map_op(op: CmpOp) -> Option<Cmp> {
+    match op {
+        CmpOp::Eq => Some(Cmp::Eq),
+        CmpOp::Ne => Some(Cmp::Ne),
+        CmpOp::Lt => Some(Cmp::Lt),
+        CmpOp::Le => Some(Cmp::Le),
+        CmpOp::Gt => Some(Cmp::Gt),
+        CmpOp::Ge => Some(Cmp::Ge),
+        CmpOp::In => None,
+    }
+}
+
+/// Mirror a comparison so the variable sits on the left.
+fn flip(cmp: Cmp) -> Cmp {
+    match cmp {
+        Cmp::Lt => Cmp::Gt,
+        Cmp::Le => Cmp::Ge,
+        Cmp::Gt => Cmp::Lt,
+        Cmp::Ge => Cmp::Le,
+        eq => eq,
+    }
+}
+
+/// Variables bound by concrete attribute positions of a positive literal
+/// (eligible to receive comparison pushdown).
+fn attr_bound_vars(lit: &Literal) -> BTreeSet<String> {
+    match lit {
+        Literal::OTerm(o) => o
+            .bindings
+            .iter()
+            .filter(|b| b.name.as_name().is_some())
+            .filter_map(|b| b.term.as_var().map(str::to_string))
+            .collect(),
+        _ => BTreeSet::new(),
+    }
+}
+
+/// Attribute columns of `lit` whose bound term is `var`.
+fn attr_columns_for<'l>(lit: &'l Literal, var: &str) -> Vec<&'l str> {
+    match lit {
+        Literal::OTerm(o) => o
+            .bindings
+            .iter()
+            .filter(|b| b.term.as_var() == Some(var))
+            .filter_map(|b| b.name.as_name())
+            .collect(),
+        _ => Vec::new(),
+    }
+}

@@ -6,6 +6,7 @@ use crate::table::{Row, Table};
 use crate::RelError;
 use oo_model::Value;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 
 /// Comparison operator `τ ∈ {=, ≠, <, ≤, >, ≥}` (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +61,7 @@ impl std::str::FromStr for Cmp {
 }
 
 /// A selection predicate: `column τ constant`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
     pub column: String,
     pub cmp: Cmp,
@@ -120,40 +121,77 @@ pub fn project(table: &Table, columns: &[&str]) -> Result<Vec<Row>, RelError> {
 
 /// ⋈: natural join on the columns the two schemas share. Returns the
 /// combined schema column names and the joined rows (shared columns once).
+///
+/// Implemented as a hash join: the right side is bucketed once by its
+/// shared-column values and each left row probes the table, so the cost is
+/// O(n + m + output) instead of the nested-loop O(n·m). With no shared
+/// columns every row lands in the same bucket and the result degenerates
+/// to the cross product, as before.
 pub fn natural_join(left: &Table, right: &Table) -> (Vec<String>, Vec<Row>) {
-    let shared: Vec<(usize, usize, String)> = left
+    let on: Vec<(String, String)> = left
         .schema
         .columns
         .iter()
-        .enumerate()
-        .filter_map(|(li, lc)| {
-            right
-                .schema
-                .column_index(&lc.name)
-                .map(|ri| (li, ri, lc.name.clone()))
-        })
+        .filter(|lc| right.schema.column_index(&lc.name).is_some())
+        .map(|lc| (lc.name.clone(), lc.name.clone()))
         .collect();
-    let mut out_cols: Vec<String> = left.schema.columns.iter().map(|c| c.name.clone()).collect();
-    for c in &right.schema.columns {
-        if !out_cols.contains(&c.name) {
-            out_cols.push(c.name.clone());
-        }
+    let pairs: Vec<(&str, &str)> = on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+    // The join columns were taken from both schemas, so this cannot fail.
+    equi_join(left, right, &pairs).expect("shared columns exist in both schemas")
+}
+
+/// ⋈ₑ: hash equi-join of two tables on explicit `(left column, right
+/// column)` pairs. Returns the combined column names (all left columns,
+/// then the right columns that are not join columns) and the joined rows.
+/// Row order is left-scan order, with each probe's matches in right-scan
+/// order, so the output is deterministic.
+pub fn equi_join(
+    left: &Table,
+    right: &Table,
+    on: &[(&str, &str)],
+) -> Result<(Vec<String>, Vec<Row>), RelError> {
+    let resolve = |table: &Table, column: &str| {
+        table
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelError::UnknownColumn {
+                relation: table.schema.name.clone(),
+                column: column.to_string(),
+            })
+    };
+    let mut pairs = Vec::with_capacity(on.len());
+    for (lc, rc) in on {
+        pairs.push((resolve(left, lc)?, resolve(right, rc)?));
     }
+    let right_joined: Vec<usize> = pairs.iter().map(|(_, ri)| *ri).collect();
+    let kept_right: Vec<usize> = (0..right.schema.columns.len())
+        .filter(|i| !right_joined.contains(i))
+        .collect();
+
+    let mut out_cols: Vec<String> = left.schema.columns.iter().map(|c| c.name.clone()).collect();
+    for &i in &kept_right {
+        out_cols.push(right.schema.columns[i].name.clone());
+    }
+
+    // Build side: bucket the right rows by their join-key values.
+    let mut buckets: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for (_, rrow) in right.scan() {
+        let key: Vec<Value> = pairs.iter().map(|(_, ri)| rrow[*ri].clone()).collect();
+        buckets.entry(key).or_default().push(rrow);
+    }
+    // Probe side: left rows in scan order.
     let mut rows = Vec::new();
     for (_, lrow) in left.scan() {
-        for (_, rrow) in right.scan() {
-            if shared.iter().all(|(li, ri, _)| lrow[*li] == rrow[*ri]) {
+        let key: Vec<Value> = pairs.iter().map(|(li, _)| lrow[*li].clone()).collect();
+        if let Some(matches) = buckets.get(&key) {
+            for rrow in matches {
                 let mut combined = lrow.clone();
-                for (ri, c) in right.schema.columns.iter().enumerate() {
-                    if !left.schema.columns.iter().any(|lc| lc.name == c.name) {
-                        combined.push(rrow[ri].clone());
-                    }
-                }
+                combined.extend(kept_right.iter().map(|&i| rrow[i].clone()));
                 rows.push(combined);
             }
         }
     }
-    (out_cols, rows)
+    Ok((out_cols, rows))
 }
 
 #[cfg(test)]
@@ -257,6 +295,111 @@ mod tests {
         assert_eq!(cols, vec!["time", "stock-name", "price", "hq"]);
         assert_eq!(rows.len(), 2); // IBM appears in March and April
         assert!(rows.iter().all(|r| r[1] == Value::str("IBM")));
+    }
+
+    /// The pre-hash-join implementation, kept as the reference oracle for
+    /// the differential test below.
+    fn natural_join_nested(left: &Table, right: &Table) -> (Vec<String>, Vec<Row>) {
+        let shared: Vec<(usize, usize)> = left
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(li, lc)| right.schema.column_index(&lc.name).map(|ri| (li, ri)))
+            .collect();
+        let mut out_cols: Vec<String> =
+            left.schema.columns.iter().map(|c| c.name.clone()).collect();
+        for c in &right.schema.columns {
+            if !out_cols.contains(&c.name) {
+                out_cols.push(c.name.clone());
+            }
+        }
+        let mut rows = Vec::new();
+        for (_, lrow) in left.scan() {
+            for (_, rrow) in right.scan() {
+                if shared.iter().all(|(li, ri)| lrow[*li] == rrow[*ri]) {
+                    let mut combined = lrow.clone();
+                    for (ri, c) in right.schema.columns.iter().enumerate() {
+                        if !left.schema.columns.iter().any(|lc| lc.name == c.name) {
+                            combined.push(rrow[ri].clone());
+                        }
+                    }
+                    rows.push(combined);
+                }
+            }
+        }
+        (out_cols, rows)
+    }
+
+    /// Hash join and the old nested-loop scan must agree — columns, rows,
+    /// and row order — on shared-column joins, partial overlaps, and the
+    /// no-shared-column cross product.
+    #[test]
+    fn hash_join_matches_nested_loop_reference() {
+        let mut rng_vals = [3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3].iter().cycle();
+        let mut next = || Value::Int(*rng_vals.next().unwrap());
+        let mut a = Table::new(
+            RelSchema::new(
+                "a",
+                vec![
+                    ColumnDef::new("k", ColumnType::Int),
+                    ColumnDef::new("x", ColumnType::Int),
+                ],
+                ["k", "x"],
+            )
+            .unwrap(),
+        );
+        let mut b = Table::new(
+            RelSchema::new(
+                "b",
+                vec![
+                    ColumnDef::new("k", ColumnType::Int),
+                    ColumnDef::new("y", ColumnType::Int),
+                ],
+                ["k", "y"],
+            )
+            .unwrap(),
+        );
+        for _ in 0..8 {
+            let _ = a.insert(vec![next(), next()]);
+            let _ = b.insert(vec![next(), next()]);
+        }
+        let (hc, hr) = natural_join(&a, &b);
+        let (nc, nr) = natural_join_nested(&a, &b);
+        assert_eq!(hc, nc);
+        assert_eq!(hr, nr);
+        // Disjoint column names: cross product must also agree.
+        let mut c = Table::new(
+            RelSchema::new("c", vec![ColumnDef::new("z", ColumnType::Int)], ["z"]).unwrap(),
+        );
+        c.insert(vec![Value::Int(7)]).unwrap();
+        c.insert(vec![Value::Int(8)]).unwrap();
+        let (hc, hr) = natural_join(&a, &c);
+        let (nc, nr) = natural_join_nested(&a, &c);
+        assert_eq!(hc, nc);
+        assert_eq!(hr, nr);
+    }
+
+    #[test]
+    fn equi_join_on_differently_named_columns() {
+        let mut owners = Table::new(
+            RelSchema::new(
+                "owners",
+                vec![
+                    ColumnDef::new("company", ColumnType::Str),
+                    ColumnDef::new("owner", ColumnType::Str),
+                ],
+                ["company"],
+            )
+            .unwrap(),
+        );
+        owners.insert(vec!["IBM".into(), "public".into()]).unwrap();
+        let t = stock_table();
+        let (cols, rows) = equi_join(&t, &owners, &[("stock-name", "company")]).unwrap();
+        assert_eq!(cols, vec!["time", "stock-name", "price", "owner"]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[3] == Value::str("public")));
+        assert!(equi_join(&t, &owners, &[("ghost", "company")]).is_err());
     }
 
     #[test]

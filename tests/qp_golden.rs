@@ -1,0 +1,83 @@
+//! Golden-file tests for `fedoo query`.
+//!
+//! Each `testdata/qp/<case>.args` file holds the CLI argument list and
+//! `<case>.golden` the expected rendering (answer table, plan tree, or
+//! rejection report). The test replays the arguments through the same
+//! `fedoo::query::run_query` entry point the binary uses, so the goldens
+//! pin the exact bytes the CLI emits — the CI job runs the built binary
+//! over the same pairs.
+//!
+//! To regenerate after an intentional change:
+//! `fedoo query $(cat testdata/qp/<case>.args) > testdata/qp/<case>.golden`
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn replay(case: &str) -> (fedoo::query::QueryOutcome, String) {
+    let root = repo_root();
+    let args_path = root.join("testdata/qp").join(format!("{case}.args"));
+    let golden_path = root.join("testdata/qp").join(format!("{case}.golden"));
+    let args: Vec<String> = std::fs::read_to_string(&args_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", args_path.display()))
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let outcome = fedoo::query::run_query(&args, Some(&root)).expect(case);
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden_path.display()));
+    (outcome, golden)
+}
+
+#[test]
+fn every_args_file_has_a_golden_and_matches() {
+    let dir = repo_root().join("testdata/qp");
+    let mut cases: Vec<String> = std::fs::read_dir(&dir)
+        .expect("testdata/qp exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "args").then(|| p.file_stem().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 9,
+        "expected the full query-golden fixture set, found {}",
+        cases.len()
+    );
+    for case in &cases {
+        let (outcome, want) = replay(case);
+        assert_eq!(outcome.rendered, want, "golden mismatch for `{case}`");
+        // Rejection status is part of the contract: the binary exits 1
+        // exactly when the rendering is a rejection report.
+        assert_eq!(
+            outcome.rejected,
+            want.starts_with("query rejected"),
+            "rejection status mismatch for `{case}`"
+        );
+    }
+}
+
+/// The planned strategy and the saturate-everything reference must render
+/// byte-identical answers for the same query.
+#[test]
+fn planned_and_saturate_goldens_agree() {
+    let (planned, _) = replay("base_scan");
+    let (saturate, _) = replay("base_scan_saturate");
+    assert_eq!(planned.rendered, saturate.rendered);
+}
+
+/// `--plan` and `--explain` are synonyms and deterministic across runs.
+#[test]
+fn explain_is_deterministic() {
+    let (a, _) = replay("explain_plan");
+    let (b, _) = replay("explain_plan");
+    assert_eq!(a.rendered, b.rendered);
+    assert!(
+        a.rendered.contains("pushdown[year >= 1987]"),
+        "{}",
+        a.rendered
+    );
+}
