@@ -3,7 +3,10 @@
 //! Keys are canonical plan fingerprints (the deterministic JSON rendering
 //! of the plan, prefixed by the strategy), so semantically identical
 //! queries share an entry regardless of whitespace or literal order in
-//! the source text — the planner normalises both. Each entry remembers
+//! the source text — the planner normalises both. Fallback
+//! (`FullSaturate`) plans additionally mix the canonical query body into
+//! the key, because their fingerprint alone carries only the fallback
+//! reason and answer vars. Each entry remembers
 //! the component [`oo_model::InstanceStore`] version counters it was
 //! computed against; a lookup with different versions invalidates the
 //! entry instead of serving stale rows.

@@ -26,6 +26,7 @@ use federation::mapping::MetaRegistry;
 use federation::FederationDb;
 use fedoo_core::{PipelineStats, QpStats};
 use oo_model::{InstanceStore, Schema, Value};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// One answered query.
@@ -156,6 +157,10 @@ fn value_json(v: &Value) -> String {
 /// Default result-cache capacity.
 const CACHE_CAPACITY: usize = 64;
 
+/// Extent statistics — (component index, local class) → object count —
+/// keyed by the component version vector they were gathered against.
+type ExtentStats = (Vec<u64>, BTreeMap<(usize, String), u64>);
+
 /// A query processor bound to one built federation.
 pub struct QueryEngine {
     global: GlobalSchema,
@@ -165,6 +170,10 @@ pub struct QueryEngine {
     /// Reference evaluator state, keyed by the component versions it was
     /// built against.
     saturate_db: Option<(Vec<u64>, FederationDb)>,
+    /// Per-extent row counts for the planner's cardinality heuristic.
+    /// Gathering is O(total federation objects), so it only reruns when
+    /// a store mutates.
+    extent_stats: Option<ExtentStats>,
     /// Work counters from the last full saturation, if one ran.
     sat_eval: Option<EvalStats>,
     /// Work counters from the last `ask`.
@@ -204,6 +213,7 @@ impl QueryEngine {
             meta,
             cache: ResultCache::new(CACHE_CAPACITY),
             saturate_db: None,
+            extent_stats: None,
             sat_eval: None,
             last_stats: None,
         }
@@ -253,9 +263,28 @@ impl QueryEngine {
         Ok(parse_query(text)?)
     }
 
-    /// Validate and plan, without executing.
+    /// Validate and plan, without executing. Reuses the cached extent
+    /// statistics when they match the current component versions.
     pub fn plan_for(&self, query: &GlobalQuery) -> Result<QueryPlan> {
-        Planner::new(&self.global, &self.components).plan(query)
+        match &self.extent_stats {
+            Some((v, stats)) if *v == self.versions() => {
+                Planner::with_extent_rows(&self.global, &self.components, stats.clone()).plan(query)
+            }
+            _ => Planner::new(&self.global, &self.components).plan(query),
+        }
+    }
+
+    /// Ensure the extent statistics match the current store versions,
+    /// returning the version vector (the cache-key epoch).
+    fn refresh_extent_stats(&mut self) -> Vec<u64> {
+        let versions = self.versions();
+        if !matches!(&self.extent_stats, Some((v, _)) if *v == versions) {
+            self.extent_stats = Some((
+                versions.clone(),
+                Planner::collect_extent_rows(&self.components),
+            ));
+        }
+        versions
     }
 
     /// Parse, validate and plan query text — the `--explain` entry point.
@@ -273,11 +302,23 @@ impl QueryEngine {
     /// Answer a parsed query.
     pub fn ask(&mut self, query: &GlobalQuery, strategy: QueryStrategy) -> Result<QueryAnswer> {
         let start = Instant::now();
+        let versions = self.refresh_extent_stats();
         // Both strategies validate and plan identically, so they reject
         // the same queries and share cache fingerprints per strategy.
         let plan = self.plan_for(query)?;
-        let versions = self.versions();
-        let key = format!("{}|{}", strategy.as_str(), plan.fingerprint());
+        // A FullSaturate fingerprint carries only the fallback reason and
+        // answer vars, not the body — two different queries can share it.
+        // Mix in the canonical body so each caches under its own key.
+        let key = if matches!(plan.root, PlanNode::FullSaturate { .. }) {
+            format!(
+                "{}|{}|{}",
+                strategy.as_str(),
+                plan.fingerprint(),
+                query.canonical()
+            )
+        } else {
+            format!("{}|{}", strategy.as_str(), plan.fingerprint())
+        };
 
         if let Some((vars, rows)) = self.cache.get(&key, &versions) {
             let stats = QpStats {
@@ -595,6 +636,61 @@ mod tests {
         let saturate = engine.ask_text(text, QueryStrategy::Saturate).unwrap();
         assert_eq!(planned.rows, saturate.rows);
         assert!(!planned.rows.is_empty());
+    }
+
+    /// Two fallback queries sharing variable names and fallback reason
+    /// must not collide in the result cache (their plan fingerprints are
+    /// identical; only the body differs).
+    #[test]
+    fn fallback_cache_distinguishes_query_bodies() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        // A class variable pushes both queries into the FullSaturate
+        // fallback with the same reason and the same vars [X, C, A].
+        let q_title = format!("?- <X: C>, <X: {g} | title: A>.");
+        let q_year = format!("?- <X: C>, <X: {g} | year: A>.");
+        assert!(matches!(
+            engine.explain(&q_title).unwrap().root,
+            PlanNode::FullSaturate { .. }
+        ));
+        let titles = engine.ask_text(&q_title, QueryStrategy::Planned).unwrap();
+        let years = engine.ask_text(&q_year, QueryStrategy::Planned).unwrap();
+        assert!(!years.from_cache, "second query served the first's rows");
+        assert_ne!(titles.rows, years.rows);
+        let years_sat = engine.ask_text(&q_year, QueryStrategy::Saturate).unwrap();
+        assert!(!years_sat.from_cache, "strategies must not collide either");
+        assert_eq!(years.rows, years_sat.rows);
+        // Same body again → now it may (and should) hit.
+        let again = engine.ask_text(&q_year, QueryStrategy::Planned).unwrap();
+        assert!(again.from_cache);
+        assert_eq!(again.rows, years.rows);
+    }
+
+    /// The planner's extent statistics are cached per version epoch and
+    /// refreshed when a store mutates, so cardinality estimates track the
+    /// data without rescanning every object on every ask.
+    #[test]
+    fn extent_stats_refresh_on_mutation() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let before = engine.explain(&text).unwrap().render_json();
+        let schema = engine.components()[0].0.clone();
+        engine
+            .component_store_mut(0)
+            .unwrap()
+            .create(&schema, "book", |o| {
+                o.with_attr("title", "Proofs").with_attr("year", 2001i64)
+            })
+            .unwrap();
+        engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let after = engine.explain(&text).unwrap().render_json();
+        assert_ne!(before, after, "estimates should track the new extent");
+        assert!(before.contains("\"rows\":2"), "{before}");
+        assert!(after.contains("\"rows\":3"), "{after}");
     }
 
     #[test]

@@ -237,9 +237,20 @@ fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
             // Identity bridges: paired objects belong to their partner's
             // global class too, regardless of which component owns them —
             // the saturate path sees these via `materialize`, so base
-            // scans must as well.
-            for fact in ctx.mat.bridge_facts(Some(&scan.relation), None) {
+            // scans must as well, and the scan's pushdown predicates must
+            // filter them exactly like materialised facts (today bridge
+            // facts bind no attributes, so the loop is a no-op, but any
+            // future binding would otherwise bypass consumed comparisons).
+            'bridges: for fact in ctx.mat.bridge_facts(Some(&scan.relation), None) {
                 ctx.stats.rows_scanned += 1;
+                for p in &scan.pushdown {
+                    if let Some(Term::Val(v)) = fact.binding(&p.column) {
+                        if !p.cmp.eval(v, &p.constant) {
+                            ctx.stats.pushdown_pruned += 1;
+                            continue 'bridges;
+                        }
+                    }
+                }
                 let mut s = Subst::new();
                 if unify_oterm_pattern(pat, &fact, &mut s) {
                     rows.push(s);

@@ -58,6 +58,34 @@ pub struct Planner<'a> {
 
 impl<'a> Planner<'a> {
     pub fn new(global: &'a GlobalSchema, components: &'a [(Schema, InstanceStore)]) -> Self {
+        Self::with_extent_rows(global, components, Self::collect_extent_rows(components))
+    }
+
+    /// Direct extent sizes, (component index, local class) → objects.
+    /// This walk is O(total federation objects) — the dominant cost of
+    /// planner construction — so callers answering repeated queries
+    /// should collect once per store-version epoch and hand the map to
+    /// [`Planner::with_extent_rows`].
+    pub fn collect_extent_rows(
+        components: &[(Schema, InstanceStore)],
+    ) -> BTreeMap<(usize, String), u64> {
+        let mut extent_rows = BTreeMap::new();
+        for (i, (_, store)) in components.iter().enumerate() {
+            for obj in store.iter() {
+                *extent_rows
+                    .entry((i, obj.class.as_str().to_string()))
+                    .or_insert(0u64) += 1;
+            }
+        }
+        extent_rows
+    }
+
+    /// Build a planner around pre-collected extent statistics.
+    pub fn with_extent_rows(
+        global: &'a GlobalSchema,
+        components: &'a [(Schema, InstanceStore)],
+        extent_rows: BTreeMap<(usize, String), u64>,
+    ) -> Self {
         let exec_rules: Vec<&Rule> = global
             .rules
             .iter()
@@ -69,16 +97,11 @@ impl<'a> Planner<'a> {
             .collect();
         let owned: Vec<Rule> = exec_rules.iter().map(|r| (*r).clone()).collect();
         let strata = stratify(&owned).unwrap_or_default();
-        let mut extent_rows = BTreeMap::new();
-        let mut comp_idx = BTreeMap::new();
-        for (i, (schema, store)) in components.iter().enumerate() {
-            comp_idx.insert(schema.name.as_str(), i);
-            for obj in store.iter() {
-                *extent_rows
-                    .entry((i, obj.class.as_str().to_string()))
-                    .or_insert(0u64) += 1;
-            }
-        }
+        let comp_idx: BTreeMap<&str, usize> = components
+            .iter()
+            .enumerate()
+            .map(|(i, (schema, _))| (schema.name.as_str(), i))
+            .collect();
         Planner {
             global,
             exec_rules,
