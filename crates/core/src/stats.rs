@@ -126,6 +126,13 @@ pub struct QpStats {
     pub cache_misses: u64,
     /// Facts derived by the goal-directed semi-naive fallback, if it ran.
     pub derived_facts: u64,
+    /// Component fetches re-attempted after a failure (retry policy).
+    pub retries: u64,
+    /// Circuit-breaker trips observed while fetching components.
+    pub breaker_trips: u64,
+    /// Queries answered partially because components were unavailable
+    /// past policy (1 per degraded answer).
+    pub degraded: u64,
     /// Wall-clock time of planning + execution, in microseconds.
     pub micros: u64,
 }
@@ -147,6 +154,9 @@ impl AddAssign for QpStats {
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
         self.derived_facts += o.derived_facts;
+        self.retries += o.retries;
+        self.breaker_trips += o.breaker_trips;
+        self.degraded += o.degraded;
         self.micros += o.micros;
     }
 }
@@ -168,7 +178,17 @@ impl fmt::Display for QpStats {
             self.cache_hits,
             self.cache_misses,
             self.micros
-        )
+        )?;
+        // Fault-tolerance counters only appear once faults happened, so
+        // the healthy-path line stays unchanged.
+        if self.retries + self.breaker_trips + self.degraded > 0 {
+            write!(
+                f,
+                ", {} retries / {} breaker trips / {} degraded",
+                self.retries, self.breaker_trips, self.degraded
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -233,6 +253,17 @@ mod tests {
         ] {
             assert!(s.contains(key), "{key} missing");
         }
+    }
+
+    #[test]
+    fn qp_stats_display_mentions_faults_only_when_present() {
+        let mut q = QpStats::new();
+        assert!(!q.to_string().contains("degraded"));
+        q.retries = 2;
+        q.degraded = 1;
+        let s = q.to_string();
+        assert!(s.contains("2 retries"));
+        assert!(s.contains("1 degraded"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `fedoo-transform`), or a natively object-oriented store — and serves its
 //! exported schema and extents to the FSM.
 
+use crate::connector::InProcessConnector;
 use crate::Result;
 use oo_model::{InstanceStore, Schema};
 use relational::Database;
@@ -45,20 +46,29 @@ impl Agent {
         }
     }
 
-    /// Export the component as an OO schema named `schema_name`, with its
-    /// instance store (relational components are transformed per §3).
-    pub fn export(&self, schema_name: &str) -> Result<(Schema, InstanceStore)> {
-        match &self.source {
+    /// The connector mediating access to this agent's component,
+    /// exported as `schema_name` (relational components are transformed
+    /// per §3). Every consumer — FSM registration included — reaches the
+    /// component's extents through this.
+    pub fn connector(&self, schema_name: &str) -> Result<InProcessConnector> {
+        let (schema, store) = match &self.source {
             ComponentSource::Relational(db) => {
                 let t = transform::transform(&self.name, db, schema_name)?;
-                Ok((t.schema, t.store))
+                (t.schema, t.store)
             }
             ComponentSource::ObjectOriented { schema, store } => {
                 let mut renamed = schema.clone();
                 renamed.name = oo_model::SchemaName::new(schema_name);
-                Ok((renamed, store.clone()))
+                (renamed, store.clone())
             }
-        }
+        };
+        Ok(InProcessConnector::new(schema, store))
+    }
+
+    /// Export the component as an OO schema named `schema_name`, with its
+    /// instance store — a one-shot fetch through [`Agent::connector`].
+    pub fn export(&self, schema_name: &str) -> Result<(Schema, InstanceStore)> {
+        Ok(self.connector(schema_name)?.into_parts())
     }
 }
 

@@ -1,0 +1,216 @@
+//! Deterministic chaos-testing support.
+//!
+//! Everything here is a pure function of a `u64` seed: [`ChaosRng`] is a
+//! splitmix64 stream, [`seeded_plan`] derives a random [`FaultPlan`] from
+//! it, and [`expected_missing`] predicts — from the plan, the
+//! [`RetryPolicy`], and the component extent sizes alone — exactly which
+//! components a policy-guarded fetch will lose. The chaos harness
+//! (`tests/chaos_federation.rs`) checks that prediction against the query
+//! engine's reported `missing_components` and accumulates a
+//! [`ChaosSummary`] per seed for CI artifacts.
+
+use crate::connector::{FaultKind, FaultPlan, TIMEOUT_FAULT_MS};
+use crate::policy::RetryPolicy;
+
+/// Minimal deterministic RNG (splitmix64) for chaos-case generation —
+/// the same generator the proptest shim uses, so seeds behave alike.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (0 when `bound` is 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Derive a random fault plan over `components` from the RNG stream:
+/// each component independently stays healthy or draws one of the five
+/// fault kinds with seed-determined parameters.
+pub fn seeded_plan(rng: &mut ChaosRng, components: &[&str]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for c in components {
+        // Half the components stay healthy so zero- and partial-fault
+        // plans both occur often.
+        if rng.below(2) == 0 {
+            continue;
+        }
+        let kind = match rng.below(5) {
+            0 => FaultKind::Error,
+            1 => FaultKind::Timeout,
+            // Straddle the default timeout budget so some slow
+            // components survive and some are lost.
+            2 => FaultKind::Slow(rng.below(2_000)),
+            // Straddle the default retry budget (3 attempts).
+            3 => FaultKind::Transient(rng.below(5) as u32),
+            _ => FaultKind::Truncate(rng.below(4) as usize),
+        };
+        plan = plan.with(*c, kind);
+    }
+    plan
+}
+
+/// Predict which components a [`crate::policy::GuardedConnector`] stack
+/// will report missing or incomplete under `plan`, given each
+/// component's extent size. Sorted by component name.
+pub fn expected_missing(
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    extents: &[(&str, usize)],
+) -> Vec<String> {
+    debug_assert!(
+        policy.timeout_ms < TIMEOUT_FAULT_MS,
+        "timeout faults must overrun the policy budget"
+    );
+    let mut out = Vec::new();
+    for (component, size) in extents {
+        let victim = match plan.fault_for(component) {
+            None => false,
+            Some(FaultKind::Error) | Some(FaultKind::Timeout) => true,
+            Some(FaultKind::Slow(ms)) => ms > policy.timeout_ms,
+            Some(FaultKind::Transient(n)) => n >= policy.max_attempts.max(1),
+            Some(FaultKind::Truncate(keep)) => keep < *size,
+        };
+        if victim {
+            out.push(component.to_string());
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Per-seed chaos-run tally, rendered as deterministic JSON for the CI
+/// artifact.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSummary {
+    pub seed_label: String,
+    pub cases: u64,
+    pub queries: u64,
+    /// Queries answered identically to the fault-free baseline.
+    pub identical: u64,
+    /// Queries answered partially (a strict subset situation).
+    pub degraded: u64,
+    /// Queries refused because degradation would have been unsound.
+    pub refused: u64,
+    pub retries: u64,
+    pub breaker_trips: u64,
+}
+
+impl ChaosSummary {
+    pub fn new(seed_label: impl Into<String>) -> Self {
+        ChaosSummary {
+            seed_label: seed_label.into(),
+            ..ChaosSummary::default()
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":\"{}\",\"cases\":{},\"queries\":{},",
+                "\"identical\":{},\"degraded\":{},\"refused\":{},",
+                "\"retries\":{},\"breaker_trips\":{}}}"
+            ),
+            self.seed_label.replace('"', "'"),
+            self.cases,
+            self.queries,
+            self.identical,
+            self.degraded,
+            self.refused,
+            self.retries,
+            self.breaker_trips,
+        )
+    }
+
+    /// Write `chaos-summary-<label>.json` into `$CHAOS_SUMMARY_DIR` when
+    /// that variable is set (the CI chaos job sets it; local runs skip).
+    pub fn write_if_configured(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Ok(dir) = std::env::var("CHAOS_SUMMARY_DIR") else {
+            return Ok(None);
+        };
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let safe: String = self
+            .seed_label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("chaos-summary-{safe}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        let comps = ["S1", "S2", "S3"];
+        for _ in 0..16 {
+            assert_eq!(seeded_plan(&mut a, &comps), seeded_plan(&mut b, &comps));
+        }
+        // Different seeds diverge somewhere in the first few draws.
+        let mut c = ChaosRng::new(43);
+        let differs = (0..16)
+            .any(|_| seeded_plan(&mut ChaosRng::new(42), &comps) != seeded_plan(&mut c, &comps));
+        assert!(differs);
+    }
+
+    #[test]
+    fn expected_missing_tracks_policy_budgets() {
+        let policy = RetryPolicy::default(); // 3 attempts, 1000ms budget
+        let plan = FaultPlan::none()
+            .with("A", FaultKind::Error)
+            .with("B", FaultKind::Slow(500))
+            .with("C", FaultKind::Slow(1_500))
+            .with("D", FaultKind::Transient(2))
+            .with("E", FaultKind::Transient(3))
+            .with("F", FaultKind::Truncate(5))
+            .with("G", FaultKind::Truncate(1));
+        let extents: Vec<(&str, usize)> = ["A", "B", "C", "D", "E", "F", "G", "H"]
+            .iter()
+            .map(|c| (*c, 3))
+            .collect();
+        assert_eq!(
+            expected_missing(&plan, &policy, &extents),
+            vec!["A", "C", "E", "G"]
+        );
+    }
+
+    #[test]
+    fn summary_json_is_deterministic() {
+        let mut s = ChaosSummary::new("20260806");
+        s.cases = 2;
+        s.queries = 9;
+        s.identical = 5;
+        s.degraded = 3;
+        s.refused = 1;
+        s.retries = 4;
+        assert_eq!(
+            s.to_json(),
+            "{\"seed\":\"20260806\",\"cases\":2,\"queries\":9,\
+             \"identical\":5,\"degraded\":3,\"refused\":1,\
+             \"retries\":4,\"breaker_trips\":0}"
+        );
+    }
+}

@@ -5,12 +5,14 @@
 //! never touches component databases directly, which is how autonomy is
 //! preserved.
 
-use crate::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use crate::fsm::{ComponentHealth, Fsm, GlobalSchema, IntegrationStrategy};
 use crate::mapping::MetaRegistry;
+use crate::policy::{GuardedConnector, RetryPolicy};
 use crate::query::FederationDb;
-use crate::Result;
+use crate::{connector::VirtualClock, Result};
 use deduction::{Literal, OTermPat, Subst, Term};
 use oo_model::{InstanceStore, Oid, Schema, Value};
+use std::sync::Arc;
 
 /// An FSM client bound to one built federation.
 pub struct FsmClient {
@@ -20,25 +22,51 @@ pub struct FsmClient {
     /// query processors above this layer can re-materialise facts.
     pub meta: MetaRegistry,
     components: Vec<(Schema, InstanceStore)>,
+    connectors: Vec<GuardedConnector>,
 }
 
 impl FsmClient {
     /// Build the global schema with `strategy` and materialise the
-    /// federation state.
+    /// federation state through default-policy guarded connectors.
     pub fn connect(fsm: &Fsm, strategy: IntegrationStrategy) -> Result<Self> {
-        let global = fsm.integrate(strategy)?;
-        let components: Vec<(Schema, InstanceStore)> = fsm
-            .components()
-            .iter()
-            .map(|c| (c.schema.clone(), c.store.clone()))
+        let clock = VirtualClock::new();
+        let connectors = fsm
+            .connectors()
+            .into_iter()
+            .map(|c| GuardedConnector::new(Arc::new(c), RetryPolicy::default(), clock.clone()))
             .collect();
+        FsmClient::connect_via(fsm, strategy, connectors)
+    }
+
+    /// Build the global schema with `strategy`, fetching every component
+    /// through the caller's connector stack (fault injectors, custom
+    /// retry policies). Connection fails if any component is
+    /// unavailable past policy — degradation is the query processor's
+    /// concern, not the client's.
+    pub fn connect_via(
+        fsm: &Fsm,
+        strategy: IntegrationStrategy,
+        connectors: Vec<GuardedConnector>,
+    ) -> Result<Self> {
+        let global = fsm.integrate(strategy)?;
+        let mut components = Vec::with_capacity(connectors.len());
+        for conn in &connectors {
+            let snap = conn.fetch()?;
+            components.push((snap.schema, snap.store));
+        }
         let db = FederationDb::build(&global, &components, &fsm.meta)?;
         Ok(FsmClient {
             global,
             db,
             meta: fsm.meta.clone(),
             components,
+            connectors,
         })
+    }
+
+    /// Per-component circuit-breaker health, in registration order.
+    pub fn health(&self) -> Vec<ComponentHealth> {
+        self.connectors.iter().map(|c| c.health()).collect()
     }
 
     /// The exported components (schema, store) pairs.

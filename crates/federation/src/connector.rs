@@ -1,0 +1,430 @@
+//! Component connectors: the single gateway for extent/instance access.
+//!
+//! Every consumer of component state — the FSM-client, the query
+//! processor, experiment drivers — obtains a component's exported
+//! `(Schema, InstanceStore)` snapshot through a [`ComponentConnector`]
+//! instead of touching the store directly. In-process federations use
+//! [`InProcessConnector`]; fault-tolerance tests wrap any connector in a
+//! [`FaultyConnector`] that injects deterministic faults from a
+//! [`FaultPlan`] against a [`VirtualClock`] (no wall-clock anywhere, so
+//! timeout/backoff behaviour is exactly reproducible).
+
+use oo_model::{InstanceStore, Schema};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A failed component access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectorError {
+    /// The component refused or failed the request.
+    Unavailable { component: String, reason: String },
+    /// The component did not answer within the policy's budget.
+    Timeout { component: String, waited_ms: u64 },
+}
+
+impl ConnectorError {
+    /// The component the failure originated from.
+    pub fn component(&self) -> &str {
+        match self {
+            ConnectorError::Unavailable { component, .. }
+            | ConnectorError::Timeout { component, .. } => component,
+        }
+    }
+}
+
+impl fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectorError::Unavailable { component, reason } => {
+                write!(f, "component `{component}` unavailable: {reason}")
+            }
+            ConnectorError::Timeout {
+                component,
+                waited_ms,
+            } => write!(f, "component `{component}` timed out after {waited_ms}ms"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
+/// One fetched component state. `complete` is false when the connector
+/// knows the extent was cut short (e.g. a truncation fault): callers must
+/// treat the component as degraded even though objects were returned.
+#[derive(Debug, Clone)]
+pub struct ComponentSnapshot {
+    pub schema: Schema,
+    pub store: InstanceStore,
+    pub complete: bool,
+}
+
+/// Mediates every extent/instance access to one component database.
+pub trait ComponentConnector: Send + Sync {
+    /// The component's registered schema name.
+    fn component(&self) -> &str;
+
+    /// Fetch the component's exported state.
+    fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError>;
+}
+
+/// The trivial connector over an in-process exported component.
+#[derive(Debug, Clone)]
+pub struct InProcessConnector {
+    name: String,
+    schema: Schema,
+    store: InstanceStore,
+}
+
+impl InProcessConnector {
+    pub fn new(schema: Schema, store: InstanceStore) -> Self {
+        InProcessConnector {
+            name: schema.name.as_str().to_string(),
+            schema,
+            store,
+        }
+    }
+
+    /// Unwrap back into the exported `(Schema, InstanceStore)` pair.
+    pub fn into_parts(self) -> (Schema, InstanceStore) {
+        (self.schema, self.store)
+    }
+}
+
+impl ComponentConnector for InProcessConnector {
+    fn component(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError> {
+        Ok(ComponentSnapshot {
+            schema: self.schema.clone(),
+            store: self.store.clone(),
+            complete: true,
+        })
+    }
+}
+
+/// A deterministic millisecond clock shared by fault injectors, retry
+/// backoff, and circuit breakers. Advancing it is the *only* way time
+/// passes — tests never sleep.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    pub fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    pub fn advance_ms(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// How far a [`FaultKind::Timeout`] fault advances the clock — far past
+/// any sane [`crate::policy::RetryPolicy::timeout_ms`] budget.
+pub const TIMEOUT_FAULT_MS: u64 = 600_000;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every fetch fails outright.
+    Error,
+    /// Every fetch hangs past any timeout budget ([`TIMEOUT_FAULT_MS`]).
+    Timeout,
+    /// Every fetch takes this many virtual milliseconds (a fault only
+    /// when it exceeds the caller's timeout budget).
+    Slow(u64),
+    /// The first `n` fetches fail, then the component recovers.
+    Transient(u32),
+    /// Fetches succeed but return only the first `n` objects, flagged
+    /// incomplete.
+    Truncate(usize),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Error => write!(f, "error"),
+            FaultKind::Timeout => write!(f, "timeout"),
+            FaultKind::Slow(ms) => write!(f, "slow {ms}"),
+            FaultKind::Transient(n) => write!(f, "transient {n}"),
+            FaultKind::Truncate(n) => write!(f, "truncate {n}"),
+        }
+    }
+}
+
+/// A deterministic fault assignment: at most one [`FaultKind`] per
+/// component. Parsed from a simple text format (see [`FaultPlan::parse`])
+/// or generated from a seed by `chaos::seeded_plan`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: std::collections::BTreeMap<String, FaultKind>,
+}
+
+impl FaultPlan {
+    /// The empty (zero-fault) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Assign a fault to one component (replacing any previous one).
+    pub fn with(mut self, component: impl Into<String>, kind: FaultKind) -> Self {
+        self.faults.insert(component.into(), kind);
+        self
+    }
+
+    pub fn fault_for(&self, component: &str) -> Option<FaultKind> {
+        self.faults.get(component).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, FaultKind)> {
+        self.faults.iter().map(|(c, k)| (c.as_str(), *k))
+    }
+
+    /// Parse the fault-plan file format: one `<component> <kind> [arg]`
+    /// per line, `#`/`//` comments, blank lines ignored.
+    ///
+    /// ```text
+    /// # take S2 down, make S1 flaky
+    /// S2 error
+    /// S1 transient 2
+    /// // also supported: timeout | slow <ms> | truncate <objects>
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let component = parts.next().expect("non-empty line has a first token");
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing fault kind", lineno + 1))?;
+            let arg = parts.next();
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing input", lineno + 1));
+            }
+            let num = |what: &str| -> Result<u64, String> {
+                arg.ok_or_else(|| format!("line {}: `{kind}` needs {what}", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+            };
+            let kind = match kind {
+                "error" => FaultKind::Error,
+                "timeout" => FaultKind::Timeout,
+                "slow" => FaultKind::Slow(num("a millisecond count")?),
+                "transient" => FaultKind::Transient(num("a failure count")? as u32),
+                "truncate" => FaultKind::Truncate(num("an object count")? as usize),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown fault kind `{other}` \
+                         (expected error|timeout|slow|transient|truncate)",
+                        lineno + 1
+                    ))
+                }
+            };
+            if arg.is_some() && matches!(kind, FaultKind::Error | FaultKind::Timeout) {
+                return Err(format!("line {}: `{kind}` takes no argument", lineno + 1));
+            }
+            plan.faults.insert(component.to_string(), kind);
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (c, k)) in self.faults.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{c} {k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Decorator injecting one component's [`FaultPlan`] entry into an inner
+/// connector. All state transitions (transient countdown, virtual-clock
+/// advances) are deterministic functions of the plan.
+pub struct FaultyConnector {
+    inner: Arc<dyn ComponentConnector>,
+    kind: Option<FaultKind>,
+    clock: VirtualClock,
+    /// Failures still owed by a `Transient` fault.
+    remaining_failures: AtomicU32,
+}
+
+impl FaultyConnector {
+    pub fn new(inner: Arc<dyn ComponentConnector>, plan: &FaultPlan, clock: VirtualClock) -> Self {
+        let kind = plan.fault_for(inner.component());
+        let remaining = match kind {
+            Some(FaultKind::Transient(n)) => n,
+            _ => 0,
+        };
+        FaultyConnector {
+            inner,
+            kind,
+            clock,
+            remaining_failures: AtomicU32::new(remaining),
+        }
+    }
+
+    fn fail(&self, reason: &str) -> ConnectorError {
+        ConnectorError::Unavailable {
+            component: self.inner.component().to_string(),
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl ComponentConnector for FaultyConnector {
+    fn component(&self) -> &str {
+        self.inner.component()
+    }
+
+    fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError> {
+        match self.kind {
+            None => self.inner.fetch(),
+            Some(FaultKind::Error) => Err(self.fail("injected error")),
+            Some(FaultKind::Timeout) => {
+                self.clock.advance_ms(TIMEOUT_FAULT_MS);
+                // The caller's policy classifies the elapsed time; the
+                // data never arrives either way.
+                Err(ConnectorError::Timeout {
+                    component: self.inner.component().to_string(),
+                    waited_ms: TIMEOUT_FAULT_MS,
+                })
+            }
+            Some(FaultKind::Slow(ms)) => {
+                self.clock.advance_ms(ms);
+                self.inner.fetch()
+            }
+            Some(FaultKind::Transient(_)) => {
+                let owed = self.remaining_failures.load(Ordering::SeqCst);
+                if owed > 0 {
+                    self.remaining_failures.store(owed - 1, Ordering::SeqCst);
+                    Err(self.fail("injected transient error"))
+                } else {
+                    self.inner.fetch()
+                }
+            }
+            Some(FaultKind::Truncate(keep)) => {
+                let snap = self.inner.fetch()?;
+                if snap.store.len() <= keep {
+                    return Ok(snap);
+                }
+                let mut truncated = InstanceStore::new();
+                for obj in snap.store.iter().take(keep) {
+                    truncated
+                        .insert(&snap.schema, obj.clone())
+                        .map_err(|e| self.fail(&format!("truncation re-insert: {e}")))?;
+                }
+                Ok(ComponentSnapshot {
+                    schema: snap.schema,
+                    store: truncated,
+                    complete: false,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::{AttrType, SchemaBuilder};
+
+    fn connector(objects: usize) -> InProcessConnector {
+        let schema = SchemaBuilder::new("S1")
+            .class("book", |c| c.attr("title", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut store = InstanceStore::new();
+        for i in 0..objects {
+            store
+                .create(&schema, "book", |o| o.with_attr("title", format!("b{i}")))
+                .unwrap();
+        }
+        InProcessConnector::new(schema, store)
+    }
+
+    #[test]
+    fn in_process_fetch_is_complete() {
+        let snap = connector(3).fetch().unwrap();
+        assert!(snap.complete);
+        assert_eq!(snap.store.len(), 3);
+    }
+
+    #[test]
+    fn fault_plan_parses_and_round_trips() {
+        let text = "# outage drill\nS2 error\nS1 transient 2\n\n// slow lane\nS3 slow 40\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.fault_for("S2"), Some(FaultKind::Error));
+        assert_eq!(plan.fault_for("S1"), Some(FaultKind::Transient(2)));
+        assert_eq!(plan.fault_for("S3"), Some(FaultKind::Slow(40)));
+        assert_eq!(plan.fault_for("S4"), None);
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn fault_plan_rejects_garbage() {
+        assert!(FaultPlan::parse("S1").is_err());
+        assert!(FaultPlan::parse("S1 explode").is_err());
+        assert!(FaultPlan::parse("S1 slow").is_err());
+        assert!(FaultPlan::parse("S1 slow ten").is_err());
+        assert!(FaultPlan::parse("S1 error 3").is_err());
+        assert!(FaultPlan::parse("S1 slow 3 4").is_err());
+    }
+
+    #[test]
+    fn transient_fault_recovers_after_n_failures() {
+        let plan = FaultPlan::none().with("S1", FaultKind::Transient(2));
+        let faulty = FaultyConnector::new(Arc::new(connector(1)), &plan, VirtualClock::new());
+        assert!(faulty.fetch().is_err());
+        assert!(faulty.fetch().is_err());
+        assert!(faulty.fetch().is_ok());
+        assert!(faulty.fetch().is_ok(), "recovery is permanent");
+    }
+
+    #[test]
+    fn truncate_fault_keeps_a_prefix_and_flags_incomplete() {
+        let plan = FaultPlan::none().with("S1", FaultKind::Truncate(2));
+        let faulty = FaultyConnector::new(Arc::new(connector(4)), &plan, VirtualClock::new());
+        let snap = faulty.fetch().unwrap();
+        assert_eq!(snap.store.len(), 2);
+        assert!(!snap.complete);
+        // A store already below the bound is untouched and complete.
+        let plan = FaultPlan::none().with("S1", FaultKind::Truncate(9));
+        let faulty = FaultyConnector::new(Arc::new(connector(4)), &plan, VirtualClock::new());
+        assert!(faulty.fetch().unwrap().complete);
+    }
+
+    #[test]
+    fn slow_and_timeout_advance_the_virtual_clock_only() {
+        let clock = VirtualClock::new();
+        let plan = FaultPlan::none().with("S1", FaultKind::Slow(25));
+        let faulty = FaultyConnector::new(Arc::new(connector(1)), &plan, clock.clone());
+        assert!(faulty.fetch().is_ok());
+        assert_eq!(clock.now_ms(), 25);
+        let plan = FaultPlan::none().with("S1", FaultKind::Timeout);
+        let faulty = FaultyConnector::new(Arc::new(connector(1)), &plan, clock.clone());
+        assert!(matches!(
+            faulty.fetch(),
+            Err(ConnectorError::Timeout { .. })
+        ));
+        assert_eq!(clock.now_ms(), 25 + TIMEOUT_FAULT_MS);
+    }
+}

@@ -10,8 +10,14 @@
 //! so the final global schema's rules refer to final class names.
 
 use crate::agent::Agent;
+use crate::connector::InProcessConnector;
 use crate::mapping::MetaRegistry;
 use crate::{FedError, Result};
+
+// Per-component availability state lives in [`crate::policy`] but is part
+// of the FSM's operator surface: a federation manager reports the health
+// of the components it federates.
+pub use crate::policy::{CircuitState, ComponentHealth};
 use assertions::{AssertionSet, ClassAssertion};
 use deduction::term::NameRef;
 use deduction::{Literal, Rule};
@@ -97,13 +103,25 @@ impl Fsm {
                 "schema name `{schema_name}` already registered"
             )));
         }
-        let (schema, store) = agent.export(schema_name)?;
+        // All extent access is mediated by a connector, even in-process.
+        let (schema, store) = agent.connector(schema_name)?.into_parts();
         self.components.push(RegisteredComponent {
             agent_name: agent.name,
             schema,
             store,
         });
         Ok(())
+    }
+
+    /// One in-process connector per registered component, in
+    /// registration order — the access path every consumer (FSM-client,
+    /// query engine) goes through, and the place where fault-injecting
+    /// or policy-guarded decorators are layered on.
+    pub fn connectors(&self) -> Vec<InProcessConnector> {
+        self.components
+            .iter()
+            .map(|c| InProcessConnector::new(c.schema.clone(), c.store.clone()))
+            .collect()
     }
 
     pub fn add_assertion(&mut self, assertion: ClassAssertion) {

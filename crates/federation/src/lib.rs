@@ -19,18 +19,28 @@
 
 pub mod agent;
 pub mod audit;
+pub mod chaos;
 pub mod client;
+pub mod connector;
 pub mod fsm;
 pub mod lint;
 pub mod mapping;
+pub mod policy;
 pub mod query;
 
 pub use agent::{Agent, ComponentSource};
 pub use audit::{audit, audit_assertion, Finding, Severity};
 pub use client::FsmClient;
+pub use connector::{
+    ComponentConnector, ComponentSnapshot, ConnectorError, FaultKind, FaultPlan, FaultyConnector,
+    InProcessConnector, VirtualClock,
+};
 pub use fsm::{Algorithm, Fsm, GlobalSchema, IntegrationStrategy};
 pub use lint::lint_federation;
 pub use mapping::{DataMapping, MetaRegistry, ObjectPairing};
+pub use policy::{
+    AccessStats, CircuitBreaker, CircuitState, ComponentHealth, GuardedConnector, RetryPolicy,
+};
 pub use query::{AgentProvider, FactMaterializer, FederationDb};
 
 use std::fmt;
@@ -43,6 +53,8 @@ pub enum FedError {
     Integration(fedoo_core::IntegrationError),
     Assertion(String),
     Eval(String),
+    /// A component connector failed past its retry/timeout policy.
+    Unavailable(connector::ConnectorError),
     /// Registration / lookup problems.
     Unknown(String),
 }
@@ -55,6 +67,7 @@ impl fmt::Display for FedError {
             FedError::Integration(e) => write!(f, "{e}"),
             FedError::Assertion(e) => write!(f, "{e}"),
             FedError::Eval(e) => write!(f, "{e}"),
+            FedError::Unavailable(e) => write!(f, "{e}"),
             FedError::Unknown(e) => write!(f, "{e}"),
         }
     }
@@ -77,6 +90,12 @@ impl From<oo_model::ModelError> for FedError {
 impl From<fedoo_core::IntegrationError> for FedError {
     fn from(e: fedoo_core::IntegrationError) -> Self {
         FedError::Integration(e)
+    }
+}
+
+impl From<connector::ConnectorError> for FedError {
+    fn from(e: connector::ConnectorError) -> Self {
+        FedError::Unavailable(e)
     }
 }
 

@@ -1,0 +1,384 @@
+//! Retry/timeout/backoff policies and per-component circuit breakers.
+//!
+//! [`GuardedConnector`] wraps any [`ComponentConnector`] with a
+//! [`RetryPolicy`]: each fetch is timed against the shared
+//! [`VirtualClock`], classified as a timeout when it overruns the budget,
+//! retried with exponential virtual-clock backoff, and fed into a
+//! [`CircuitBreaker`] that short-circuits a component that keeps failing.
+//! Because all waiting happens on the virtual clock, the whole layer is
+//! deterministic and test-friendly — no wall-clock sleeps anywhere.
+
+use crate::connector::{ComponentConnector, ComponentSnapshot, ConnectorError, VirtualClock};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Knobs for one component's access policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per access (1 = no retries).
+    pub max_attempts: u32,
+    /// Virtual-clock wait before the first retry.
+    pub backoff_ms: u64,
+    /// Each subsequent wait is multiplied by this factor.
+    pub backoff_multiplier: u32,
+    /// A fetch taking longer than this (virtual) budget is a timeout.
+    pub timeout_ms: u64,
+    /// Consecutive failures before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Virtual-clock cooldown before an open breaker half-opens.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+            backoff_multiplier: 2,
+            timeout_ms: 1_000,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 30_000,
+        }
+    }
+}
+
+/// Circuit-breaker lifecycle (Closed → Open → HalfOpen → …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are short-circuited until the cooldown elapses.
+    Open,
+    /// One probe request is allowed; success closes, failure re-opens.
+    HalfOpen,
+}
+
+impl fmt::Display for CircuitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitState::Closed => write!(f, "closed"),
+            CircuitState::Open => write!(f, "open"),
+            CircuitState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Consecutive-failure circuit breaker over the virtual clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_ms: u64,
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(threshold: u32, cooldown_ms: u64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown_ms,
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Times the breaker moved Closed/HalfOpen → Open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// May a request proceed at virtual time `now_ms`? An open breaker
+    /// whose cooldown has elapsed half-opens and admits one probe.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            CircuitState::Closed | CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                if now_ms >= self.opened_at_ms.saturating_add(self.cooldown_ms) {
+                    self.state = CircuitState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = CircuitState::Closed;
+    }
+
+    /// Record a failure; returns true when this failure tripped the
+    /// breaker open.
+    pub fn on_failure(&mut self, now_ms: u64) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let should_open =
+            self.state == CircuitState::HalfOpen || self.consecutive_failures >= self.threshold;
+        if should_open && self.state != CircuitState::Open {
+            self.state = CircuitState::Open;
+            self.opened_at_ms = now_ms;
+            self.trips += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// A point-in-time health report for one guarded component, surfaced
+/// through `federation::fsm` for operators and the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentHealth {
+    pub component: String,
+    pub state: CircuitState,
+    pub consecutive_failures: u32,
+    pub trips: u64,
+    pub retries: u64,
+}
+
+/// Cumulative access counters for one guarded connector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Individual fetch attempts (including retries).
+    pub attempts: u64,
+    /// Attempts that failed (error or timeout).
+    pub failures: u64,
+    /// Re-attempts after a failed attempt.
+    pub retries: u64,
+    /// Breaker trips (Closed/HalfOpen → Open transitions).
+    pub trips: u64,
+    /// Accesses rejected outright by an open breaker.
+    pub short_circuits: u64,
+}
+
+struct Guard {
+    breaker: CircuitBreaker,
+    stats: AccessStats,
+}
+
+/// A connector guarded by retry/timeout/backoff policy and a circuit
+/// breaker. Cloneable handles share breaker state.
+#[derive(Clone)]
+pub struct GuardedConnector {
+    inner: Arc<dyn ComponentConnector>,
+    policy: RetryPolicy,
+    clock: VirtualClock,
+    guard: Arc<Mutex<Guard>>,
+}
+
+impl GuardedConnector {
+    pub fn new(
+        inner: Arc<dyn ComponentConnector>,
+        policy: RetryPolicy,
+        clock: VirtualClock,
+    ) -> Self {
+        GuardedConnector {
+            guard: Arc::new(Mutex::new(Guard {
+                breaker: CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown_ms),
+                stats: AccessStats::default(),
+            })),
+            inner,
+            policy,
+            clock,
+        }
+    }
+
+    pub fn component(&self) -> String {
+        self.inner.component().to_string()
+    }
+
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    pub fn stats(&self) -> AccessStats {
+        self.guard.lock().expect("guard lock").stats
+    }
+
+    pub fn health(&self) -> ComponentHealth {
+        let g = self.guard.lock().expect("guard lock");
+        ComponentHealth {
+            component: self.inner.component().to_string(),
+            state: g.breaker.state(),
+            consecutive_failures: g.breaker.consecutive_failures(),
+            trips: g.breaker.trips(),
+            retries: g.stats.retries,
+        }
+    }
+
+    /// Fetch under policy: short-circuit on an open breaker, otherwise
+    /// attempt up to `max_attempts` fetches with exponential
+    /// virtual-clock backoff, classifying over-budget fetches as
+    /// timeouts and recording every outcome in the breaker.
+    pub fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError> {
+        let mut g = self.guard.lock().expect("guard lock");
+        let component = self.inner.component();
+        let mut delay = self.policy.backoff_ms.max(1);
+        let mut last_err = None;
+        let attempts = self.policy.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            if !g.breaker.allow(self.clock.now_ms()) {
+                g.stats.short_circuits += 1;
+                return Err(last_err.unwrap_or(ConnectorError::Unavailable {
+                    component: component.to_string(),
+                    reason: "circuit breaker open".to_string(),
+                }));
+            }
+            g.stats.attempts += 1;
+            let started = self.clock.now_ms();
+            let result = self.inner.fetch();
+            let elapsed = self.clock.now_ms().saturating_sub(started);
+            let result = match result {
+                Ok(_) if elapsed > self.policy.timeout_ms => Err(ConnectorError::Timeout {
+                    component: component.to_string(),
+                    waited_ms: elapsed,
+                }),
+                other => other,
+            };
+            match result {
+                Ok(snap) => {
+                    g.breaker.on_success();
+                    return Ok(snap);
+                }
+                Err(e) => {
+                    g.stats.failures += 1;
+                    if g.breaker.on_failure(self.clock.now_ms()) {
+                        g.stats.trips += 1;
+                    }
+                    last_err = Some(e);
+                    if attempt < attempts {
+                        g.stats.retries += 1;
+                        self.clock.advance_ms(delay);
+                        delay = delay.saturating_mul(self.policy.backoff_multiplier.max(1) as u64);
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+impl fmt::Debug for GuardedConnector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GuardedConnector")
+            .field("component", &self.inner.component())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{FaultKind, FaultPlan, FaultyConnector, InProcessConnector};
+    use oo_model::{AttrType, InstanceStore, SchemaBuilder};
+
+    fn base() -> InProcessConnector {
+        let schema = SchemaBuilder::new("S1")
+            .class("book", |c| c.attr("title", AttrType::Str))
+            .build()
+            .unwrap();
+        let mut store = InstanceStore::new();
+        store
+            .create(&schema, "book", |o| o.with_attr("title", "dune"))
+            .unwrap();
+        InProcessConnector::new(schema, store)
+    }
+
+    fn guarded(kind: Option<FaultKind>, policy: RetryPolicy) -> (GuardedConnector, VirtualClock) {
+        let clock = VirtualClock::new();
+        let mut plan = FaultPlan::none();
+        if let Some(k) = kind {
+            plan = plan.with("S1", k);
+        }
+        let faulty = FaultyConnector::new(Arc::new(base()), &plan, clock.clone());
+        (
+            GuardedConnector::new(Arc::new(faulty), policy, clock.clone()),
+            clock,
+        )
+    }
+
+    #[test]
+    fn transient_fault_recovers_within_retry_budget() {
+        let (conn, clock) = guarded(Some(FaultKind::Transient(2)), RetryPolicy::default());
+        let snap = conn.fetch().expect("third attempt succeeds");
+        assert_eq!(snap.store.len(), 1);
+        let stats = conn.stats();
+        assert_eq!((stats.attempts, stats.failures, stats.retries), (3, 2, 2));
+        // Exponential backoff on the virtual clock: 10ms + 20ms.
+        assert_eq!(clock.now_ms(), 30);
+        assert_eq!(conn.health().state, CircuitState::Closed);
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_attempts_and_reports_the_cause() {
+        let (conn, _) = guarded(Some(FaultKind::Error), RetryPolicy::default());
+        let err = conn.fetch().unwrap_err();
+        assert!(matches!(err, ConnectorError::Unavailable { .. }));
+        assert_eq!(conn.stats().attempts, 3);
+    }
+
+    #[test]
+    fn slow_fetch_past_budget_is_a_timeout() {
+        let policy = RetryPolicy {
+            timeout_ms: 50,
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let (conn, _) = guarded(Some(FaultKind::Slow(80)), policy);
+        assert!(matches!(
+            conn.fetch().unwrap_err(),
+            ConnectorError::Timeout { .. }
+        ));
+        // Under budget, slow is just slow.
+        let (conn, _) = guarded(Some(FaultKind::Slow(30)), policy);
+        assert!(conn.fetch().is_ok());
+    }
+
+    #[test]
+    fn breaker_opens_then_half_opens_after_cooldown() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 100,
+            ..RetryPolicy::default()
+        };
+        let (conn, clock) = guarded(Some(FaultKind::Transient(2)), policy);
+        assert!(conn.fetch().is_err());
+        assert!(conn.fetch().is_err(), "second failure trips the breaker");
+        let health = conn.health();
+        assert_eq!(health.state, CircuitState::Open);
+        assert_eq!(health.trips, 1);
+        // While open, accesses short-circuit without touching the store.
+        assert!(conn.fetch().is_err());
+        assert_eq!(conn.stats().short_circuits, 1);
+        // After the cooldown the half-open probe succeeds and closes it.
+        clock.advance_ms(100);
+        assert!(conn.fetch().is_ok());
+        assert_eq!(conn.health().state, CircuitState::Closed);
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_half_open_probe() {
+        let mut b = CircuitBreaker::new(1, 50);
+        assert!(b.on_failure(0));
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow(10));
+        assert!(b.allow(60), "cooldown elapsed admits a probe");
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(b.on_failure(60), "failed probe re-opens (a new trip)");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow(70));
+    }
+}

@@ -36,6 +36,12 @@ pub struct FactMaterializer<'a> {
     global: &'a GlobalSchema,
     components: &'a [(Schema, InstanceStore)],
     meta: &'a MetaRegistry,
+    /// Component schema names whose extents are known incomplete (a
+    /// connector fault). Value-set-difference origins compare against an
+    /// *under*-approximated set when their comparison side is degraded —
+    /// which would wrongly EMIT values — so those origins yield `Null`
+    /// for degraded partners instead.
+    degraded: BTreeSet<String>,
     by_oid: OnceLock<BTreeMap<Oid, (&'a Schema, &'a Object)>>,
     value_sets: OnceLock<BTreeMap<(String, String, String), BTreeSet<Value>>>,
 }
@@ -50,9 +56,17 @@ impl<'a> FactMaterializer<'a> {
             global,
             components,
             meta,
+            degraded: BTreeSet::new(),
             by_oid: OnceLock::new(),
             value_sets: OnceLock::new(),
         }
+    }
+
+    /// Mark components (by schema name) whose extents are incomplete, so
+    /// set-difference attribute origins stay subset-sound.
+    pub fn with_degraded(mut self, degraded: BTreeSet<String>) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     pub fn components(&self) -> &'a [(Schema, InstanceStore)] {
@@ -341,6 +355,12 @@ impl<'a> FactMaterializer<'a> {
             }
             AttrOrigin::IntersectionLeftOnly(a, b) => {
                 if matches(a) {
+                    // A degraded comparison side means the value set is a
+                    // subset of the truth: `v ∉ set` proves nothing, so
+                    // stay sound by withholding the value.
+                    if self.degraded.contains(&b.schema) {
+                        return Some(Value::Null);
+                    }
                     let v = obj.attr(&a.attr);
                     if !v.is_null() && !self.value_set(&b.schema, &b.class, &b.attr).contains(v) {
                         Some(v.clone())
@@ -353,6 +373,9 @@ impl<'a> FactMaterializer<'a> {
             }
             AttrOrigin::IntersectionRightOnly(a, b) => {
                 if matches(b) {
+                    if self.degraded.contains(&a.schema) {
+                        return Some(Value::Null);
+                    }
                     let v = obj.attr(&b.attr);
                     if !v.is_null() && !self.value_set(&a.schema, &a.class, &a.attr).contains(v) {
                         Some(v.clone())
@@ -404,7 +427,25 @@ impl FederationDb {
         meta: &MetaRegistry,
         filter: Option<&BTreeSet<String>>,
     ) -> Result<Self> {
-        let materializer = FactMaterializer::new(global, components, meta);
+        Self::build_degraded(global, components, meta, filter, &BTreeSet::new())
+    }
+
+    /// [`Self::build_filtered`] over a federation whose `degraded`
+    /// components (schema names) have incomplete extents: materialisation
+    /// stays subset-sound by withholding set-difference origin values
+    /// that compare against degraded data. The caller must separately
+    /// refuse queries whose answers could *grow* under missing facts
+    /// (negation over affected relations) — the qp degradation analysis
+    /// does that.
+    pub fn build_degraded(
+        global: &GlobalSchema,
+        components: &[(Schema, InstanceStore)],
+        meta: &MetaRegistry,
+        filter: Option<&BTreeSet<String>>,
+        degraded: &BTreeSet<String>,
+    ) -> Result<Self> {
+        let materializer =
+            FactMaterializer::new(global, components, meta).with_degraded(degraded.clone());
         let facts = materializer.materialize(filter)?;
         // Split rules into executable and representational.
         let mut program = Program::default();

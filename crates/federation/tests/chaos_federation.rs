@@ -1,0 +1,307 @@
+//! Deterministic chaos harness: random federations × seed-derived fault
+//! plans, executed entirely on the virtual clock (no wall-clock sleeps).
+//!
+//! For every generated case the harness predicts — via
+//! [`chaos::expected_missing`], from the plan, the retry policy, and the
+//! extent sizes alone — which components the engine will lose, then
+//! checks the engine against a fault-free baseline:
+//!
+//! * a plan with no effective victims answers **identically** to the
+//!   baseline and reports a complete answer;
+//! * a plan with victims yields a **subset** of the baseline rows with
+//!   `missing_components` naming exactly the predicted victims, or a
+//!   clean [`QpError::Unavailable`] refusal where degradation would be
+//!   unsound — never a panic, a hang, or a superset answer;
+//! * the planned and saturate strategies agree under faults exactly as
+//!   they do without them.
+//!
+//! Each run tallies a [`ChaosSummary`]; when `CHAOS_SUMMARY_DIR` is set
+//! (the CI chaos job sets it) the tally lands there as a JSON artifact
+//! named after the active `PROPTEST_SEED`.
+
+use assertions::{AttrCorr, AttrOp, ClassAssertion, ClassOp, SPath};
+use federation::agent::Agent;
+use federation::chaos::{self, ChaosRng, ChaosSummary};
+use federation::policy::RetryPolicy;
+use federation::{Fsm, IntegrationStrategy};
+use oo_model::{AttrType, ClassName, InstanceStore, SchemaBuilder};
+use proptest::prelude::*;
+use qp::{QpError, QueryAnswer, QueryEngine, QueryStrategy};
+use std::sync::Mutex;
+
+/// One random row: (key index into a small shared pool, numeric payload).
+type Row = (u8, i64);
+
+/// The differential-test federation shape: S1 person/course, S2
+/// human/staff, `person == human`, `course & staff` (virtual classes +
+/// rules), key-based object pairing.
+fn build_fsm(persons: &[Row], humans: &[Row], courses: &[Row], staff: &[Row]) -> Fsm {
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| {
+            c.attr("ssn", AttrType::Str).attr("age", AttrType::Int)
+        })
+        .class("course", |c| {
+            c.attr("code", AttrType::Str).attr("credits", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| {
+            c.attr("hssn", AttrType::Str).attr("weight", AttrType::Int)
+        })
+        .class("staff", |c| {
+            c.attr("sssn", AttrType::Str).attr("salary", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    for (k, v) in persons {
+        st1.create(&s1, "person", |o| {
+            o.with_attr("ssn", format!("k{k}")).with_attr("age", *v)
+        })
+        .unwrap();
+    }
+    for (k, v) in courses {
+        st1.create(&s1, "course", |o| {
+            o.with_attr("code", format!("k{k}"))
+                .with_attr("credits", *v)
+        })
+        .unwrap();
+    }
+    let mut st2 = InstanceStore::new();
+    for (k, v) in humans {
+        st2.create(&s2, "human", |o| {
+            o.with_attr("hssn", format!("k{k}")).with_attr("weight", *v)
+        })
+        .unwrap();
+    }
+    for (k, v) in staff {
+        st2.create(&s2, "staff", |o| {
+            o.with_attr("sssn", format!("k{k}")).with_attr("salary", *v)
+        })
+        .unwrap();
+    }
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+        .unwrap();
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "person", "ssn"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "hssn"),
+            ),
+        ),
+    );
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "course", ClassOp::Intersect, "S2", "staff").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "course", "code"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "staff", "sssn"),
+            ),
+        ),
+    );
+    pair_by_key(&mut fsm, "course", "code", "staff", "sssn");
+    fsm
+}
+
+/// Establish object identity between the two components by key equality.
+fn pair_by_key(fsm: &mut Fsm, lclass: &str, lkey: &str, rclass: &str, rkey: &str) {
+    let pairs: Vec<_> = {
+        let comps = fsm.components();
+        let (ls, lst) = (&comps[0].schema, &comps[0].store);
+        let (rs, rst) = (&comps[1].schema, &comps[1].store);
+        let lext = lst.extent(ls, &ClassName::new(lclass));
+        let rext = rst.extent(rs, &ClassName::new(rclass));
+        let mut out = Vec::new();
+        for lo in &lext {
+            let lv = lo.attr(lkey);
+            if lv.is_null() {
+                continue;
+            }
+            for ro in &rext {
+                if ro.attr(rkey) == lv {
+                    out.push((lo.oid.clone(), ro.oid.clone()));
+                }
+            }
+        }
+        out
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+}
+
+fn rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec((0u8..6, -5i64..50), 0..max)
+}
+
+/// Cross-case tally; flushed to `$CHAOS_SUMMARY_DIR` after every case so
+/// the last write holds the full run.
+static SUMMARY: Mutex<Option<ChaosSummary>> = Mutex::new(None);
+
+fn record(update: impl FnOnce(&mut ChaosSummary)) {
+    let mut guard = SUMMARY.lock().unwrap();
+    let summary = guard.get_or_insert_with(|| {
+        ChaosSummary::new(std::env::var("PROPTEST_SEED").unwrap_or_else(|_| "default".into()))
+    });
+    update(summary);
+    summary
+        .write_if_configured()
+        .expect("writing chaos summary artifact");
+}
+
+/// A fresh engine with `plan` applied — fresh per ask so transient
+/// countdowns and breaker state match [`chaos::expected_missing`]'s
+/// first-fetch prediction.
+fn faulted_engine(fsm: &Fsm, plan: &federation::FaultPlan, policy: &RetryPolicy) -> QueryEngine {
+    let mut engine = QueryEngine::connect(fsm, IntegrationStrategy::Accumulation).unwrap();
+    engine.apply_fault_plan(plan.clone(), *policy);
+    engine
+}
+
+/// Check one faulted answer against the baseline and the predicted
+/// victim set; returns the answer for cross-strategy comparison.
+fn check_against_baseline(
+    query: &str,
+    outcome: Result<QueryAnswer, QpError>,
+    baseline: &QueryAnswer,
+    victims: &[String],
+    plan: &federation::FaultPlan,
+) -> Option<QueryAnswer> {
+    match outcome {
+        Ok(answer) => {
+            record(|s| {
+                s.queries += 1;
+                s.retries += answer.stats.retries;
+                s.breaker_trips += answer.stats.breaker_trips;
+            });
+            if victims.is_empty() {
+                assert!(
+                    answer.completeness.is_complete(),
+                    "no victims yet incomplete: `{query}` under [{plan}]"
+                );
+                assert_eq!(
+                    answer.rows, baseline.rows,
+                    "victimless plan changed the answer: `{query}` under [{plan}]"
+                );
+                record(|s| s.identical += 1);
+            } else {
+                assert_eq!(
+                    answer.completeness.missing_components, victims,
+                    "wrong victim report for `{query}` under [{plan}]"
+                );
+                for row in &answer.rows {
+                    assert!(
+                        baseline.rows.contains(row),
+                        "superset answer (unsound): `{query}` under [{plan}] \
+                         produced {row:?} absent from the fault-free baseline"
+                    );
+                }
+                record(|s| s.degraded += 1);
+            }
+            Some(answer)
+        }
+        Err(QpError::Unavailable(m)) => {
+            assert!(
+                !victims.is_empty(),
+                "refused `{query}` with no victims under [{plan}]: {m}"
+            );
+            record(|s| {
+                s.queries += 1;
+                s.refused += 1;
+            });
+            None
+        }
+        Err(e) => panic!("`{query}` under [{plan}] failed unexpectedly: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chaos_answers_are_subset_sound_and_victims_predicted(
+        persons in rows(8),
+        humans in rows(8),
+        courses in rows(6),
+        staff in rows(6),
+        k in -10i64..60,
+        chaos_seed in any::<u64>(),
+    ) {
+        let fsm = build_fsm(&persons, &humans, &courses, &staff);
+        let policy = RetryPolicy::default();
+        let mut crng = ChaosRng::new(chaos_seed);
+        let plan = chaos::seeded_plan(&mut crng, &["S1", "S2"]);
+        let extents: Vec<(&str, usize)> = vec![
+            ("S1", persons.len() + courses.len()),
+            ("S2", humans.len() + staff.len()),
+        ];
+        let victims = chaos::expected_missing(&plan, &policy, &extents);
+        record(|s| s.cases += 1);
+
+        let mut baseline_engine =
+            QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let queries = [
+            // Base scan of the merged class with range pushdown.
+            format!("?- <X: person | age: A>, A > {k}."),
+            // Cross-component join through a shared variable.
+            "?- <X: person | ssn: S>, <Y: course | code: S, credits: K>.".to_string(),
+            // Derived relation (virtual intersection class).
+            "?- <X: course_staff>.".to_string(),
+            // Safe negation — refused whenever the negated relation is
+            // affected by a victim.
+            "?- <X: course | code: C>, not <X: course_staff>.".to_string(),
+            // Class variable → full-saturate fallback path.
+            "?- <X: C>.".to_string(),
+        ];
+        for query in &queries {
+            let baseline = baseline_engine
+                .ask_text(query, QueryStrategy::Planned)
+                .unwrap_or_else(|e| panic!("baseline `{query}`: {e}"));
+
+            let planned = faulted_engine(&fsm, &plan, &policy)
+                .ask_text(query, QueryStrategy::Planned);
+            let saturate = faulted_engine(&fsm, &plan, &policy)
+                .ask_text(query, QueryStrategy::Saturate);
+
+            let p = check_against_baseline(query, planned, &baseline, &victims, &plan);
+            let s = check_against_baseline(query, saturate, &baseline, &victims, &plan);
+            // Differential property survives fault injection: both
+            // strategies see the same degraded federation.
+            assert_eq!(
+                p.is_some(),
+                s.is_some(),
+                "strategies disagree on refusal of `{query}` under [{plan}]"
+            );
+            if let (Some(p), Some(s)) = (p, s) {
+                assert_eq!(
+                    p.rows, s.rows,
+                    "strategies disagree on `{query}` under [{plan}]"
+                );
+            }
+        }
+    }
+}
+
+/// The all-components-down corner: every positive query degrades to the
+/// empty answer (never an error), naming both components.
+#[test]
+fn total_outage_degrades_to_empty_answers() {
+    use federation::connector::{FaultKind, FaultPlan};
+    let fsm = build_fsm(&[(1, 30), (2, 41)], &[(1, 60)], &[(3, 5)], &[(3, 9)]);
+    let plan = FaultPlan::none()
+        .with("S1", FaultKind::Error)
+        .with("S2", FaultKind::Timeout);
+    let policy = RetryPolicy::default();
+    for query in ["?- <X: person | age: A>.", "?- <X: course_staff>."] {
+        let answer = faulted_engine(&fsm, &plan, &policy)
+            .ask_text(query, QueryStrategy::Planned)
+            .unwrap_or_else(|e| panic!("`{query}`: {e}"));
+        assert!(answer.rows.is_empty(), "{query}");
+        assert_eq!(answer.completeness.missing_components, vec!["S1", "S2"]);
+    }
+}

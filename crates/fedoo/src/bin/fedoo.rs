@@ -8,6 +8,7 @@
 //! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
 //! fedoo query     <s1> <s2> <asserts> <query|@file> [--data1 FILE] [--data2 FILE] [--pair ...]
 //!                 [--plan|--explain] [--strategy planned|saturate] [--format human|json]
+//!                 [--fault-plan FILE] [--partial-ok]
 //! fedoo show      <schema-file>
 //! ```
 //!
@@ -39,7 +40,8 @@ fn usage() -> String {
      [--rules FILE] [--format human|json]\n  \
      fedoo query <s1> <s2> <assertions> <query|@file> [--data1 FILE] [--data2 FILE] \
      [--pair S1.cls.key=S2.cls.key]... \
-     [--plan|--explain] [--strategy planned|saturate] [--format human|json]\n  \
+     [--plan|--explain] [--strategy planned|saturate] [--format human|json] \
+     [--fault-plan FILE] [--partial-ok]\n  \
      fedoo show <schema>"
         .to_string()
 }
@@ -73,11 +75,7 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
 fn query(args: &[String]) -> Result<ExitCode, String> {
     let outcome = fedoo::query::run_query(args, None)?;
     print!("{}", outcome.rendered);
-    Ok(if outcome.rejected {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    })
+    Ok(ExitCode::from(outcome.exit))
 }
 
 fn read(path: &str) -> Result<String, String> {

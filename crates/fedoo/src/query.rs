@@ -12,6 +12,7 @@
 //!             [--pair S1.class.key=S2.class.key]...
 //!             [--plan|--explain] [--strategy planned|saturate]
 //!             [--format human|json]
+//!             [--fault-plan FILE] [--partial-ok]
 //! ```
 //!
 //! The query is either inline text (`'?- <X: person | age: A>, A > 30.'`)
@@ -20,6 +21,16 @@
 //! establishes cross-component object identity by key equality (the
 //! paper's matching-SSNs idiom) — without it, virtual classes derived
 //! from intersections stay empty.
+//!
+//! ## Fault injection
+//!
+//! `--fault-plan FILE` loads a deterministic fault plan (see
+//! [`federation::FaultPlan::parse`]: one `<component> <fault> [arg]` per
+//! line) and applies it to the engine's connectors. When faults push a
+//! component past the retry policy the answer is only *partial*:
+//! without `--partial-ok` that is an error (exit code 2), with it the
+//! partial answer is rendered with its completeness annotation and the
+//! process exits 0.
 //!
 //! ## Data files
 //!
@@ -47,13 +58,20 @@ pub enum QueryFormat {
     Json,
 }
 
-/// A finished query run: the rendered answer (or plan, or rejection
-/// report) plus whether the query was rejected by static analysis (the
-/// binary exits non-zero in that case).
+/// A finished query run: the rendered answer (or plan, or failure
+/// report) plus the process exit code the binary should return —
+/// `0` success, `1` rejected by static analysis, `2` degraded past
+/// policy (partial answer without `--partial-ok`, or a refusal).
 #[derive(Debug)]
 pub struct QueryOutcome {
     pub rendered: String,
-    pub rejected: bool,
+    pub exit: u8,
+}
+
+impl QueryOutcome {
+    fn ok(rendered: String) -> Self {
+        QueryOutcome { rendered, exit: 0 }
+    }
 }
 
 fn read(base: Option<&Path>, path: &str) -> Result<String, String> {
@@ -73,6 +91,8 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
     let mut plan_only = false;
     let mut strategy = QueryStrategy::Planned;
     let mut format = QueryFormat::Human;
+    let mut fault_plan_path: Option<String> = None;
+    let mut partial_ok = false;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -108,6 +128,14 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
                     }
                 }
             }
+            "--fault-plan" => {
+                fault_plan_path = Some(
+                    it.next()
+                        .ok_or("--fault-plan needs a file argument")?
+                        .clone(),
+                )
+            }
+            "--partial-ok" => partial_ok = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => positional.push(a.clone()),
         }
@@ -148,6 +176,11 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
 
     let mut engine =
         QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).map_err(|e| e.to_string())?;
+    if let Some(p) = &fault_plan_path {
+        let plan =
+            federation::FaultPlan::parse(&read(base, p)?).map_err(|e| format!("{p}: {e}"))?;
+        engine.apply_fault_plan(plan, federation::RetryPolicy::default());
+    }
 
     if plan_only {
         let rendered = match engine.explain(&query_text) {
@@ -158,28 +191,41 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
             Err(QpError::Rejected(report)) => {
                 return Ok(QueryOutcome {
                     rendered: format!("query rejected by analysis:\n{report}"),
-                    rejected: true,
+                    exit: 1,
                 })
             }
             Err(e) => return Err(e.to_string()),
         };
-        return Ok(QueryOutcome {
-            rendered,
-            rejected: false,
-        });
+        return Ok(QueryOutcome::ok(rendered));
     }
 
     match engine.ask_text(&query_text, strategy) {
-        Ok(answer) => Ok(QueryOutcome {
-            rendered: match format {
+        Ok(answer) => {
+            if !answer.completeness.is_complete() && !partial_ok {
+                return Ok(QueryOutcome {
+                    rendered: format!(
+                        "query degraded: component(s) [{}] unavailable past policy; \
+                         rerun with --partial-ok to accept a partial answer\n",
+                        answer.completeness.missing_components.join(", ")
+                    ),
+                    exit: 2,
+                });
+            }
+            Ok(QueryOutcome::ok(match format {
                 QueryFormat::Human => answer.render_human(),
                 QueryFormat::Json => format!("{}\n", answer.render_json()),
-            },
-            rejected: false,
-        }),
+            }))
+        }
         Err(QpError::Rejected(report)) => Ok(QueryOutcome {
             rendered: format!("query rejected by analysis:\n{report}"),
-            rejected: true,
+            exit: 1,
+        }),
+        // A refusal: the degraded federation could not answer even
+        // partially without risking unsound rows. `--partial-ok` cannot
+        // override soundness.
+        Err(QpError::Unavailable(m)) => Ok(QueryOutcome {
+            rendered: format!("query degraded past policy: {m}\n"),
+            exit: 2,
         }),
         Err(e) => Err(e.to_string()),
     }

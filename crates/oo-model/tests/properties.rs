@@ -72,6 +72,40 @@ proptest! {
             prop_assert!(a.lcs(&c).le(&b.lcs(&c)));
         }
     }
+
+    /// lcs is the *least* common super-node: an upper bound of both
+    /// arguments, below every other common upper bound, and associative
+    /// (so relaxation order cannot change the integrated constraint).
+    #[test]
+    fn lcs_is_the_least_upper_bound(i in 0usize..8, j in 0usize..8, k in 0usize..8) {
+        let all = Cardinality::all();
+        let (a, b, c) = (all[i], all[j], all[k]);
+        let join = a.lcs(&b);
+        prop_assert!(a.le(&join), "{a} not below lcs {join}");
+        prop_assert!(b.le(&join), "{b} not below lcs {join}");
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(join.le(&c), "lcs {join} not least under {c}");
+        }
+        prop_assert_eq!(a.lcs(&b).lcs(&c), a.lcs(&b.lcs(&c)));
+        // Mandatory participation survives only when both sides demand
+        // it, and relaxation never *adds* mandatoriness (Fig. 13(b):
+        // optional [m:n] is the top).
+        prop_assert_eq!(join.mandatory, a.mandatory && b.mandatory);
+        prop_assert!(join.le(&Cardinality::M_N));
+    }
+
+    /// Every lattice node roundtrips through its paper rendering, and
+    /// the order is antisymmetric (distinct nodes never mutually `le`).
+    #[test]
+    fn cardinality_text_roundtrip_and_antisymmetry(i in 0usize..8, j in 0usize..8) {
+        let all = Cardinality::all();
+        let (a, b) = (all[i], all[j]);
+        let reparsed: Cardinality = a.to_string().parse().unwrap();
+        prop_assert_eq!(a, reparsed);
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
 }
 
 // Schema display → parse roundtrip on a generated schema shape.

@@ -1,0 +1,293 @@
+//! Partial-answer soundness analysis.
+//!
+//! When a component is unavailable past policy, the executor runs over
+//! whatever components it *could* fetch. That is subset-sound only for
+//! **monotone** dependencies: a missing extent can make positive answers
+//! disappear, never appear. Two constructs break monotonicity —
+//! negation (`not <X: c>` over a class that lost facts can *admit* rows)
+//! and the value-set-difference attribute origins (handled inside
+//! `federation`'s materializer) — so [`assess`] walks the query body
+//! against an affected/unsafe classification of the global relations and
+//! refuses the query when degradation could inflate its answer.
+//!
+//! * **affected** — relations that may have *lost* facts: classes with an
+//!   origin in a missing component, closed under positive rule
+//!   dependencies. Queries over these degrade gracefully (subset answer).
+//! * **unsafe** — relations that may have *gained* facts: heads of rules
+//!   with a negated body literal over an affected or unsafe relation,
+//!   closed under rule dependencies. Queries touching these are refused.
+
+use crate::{QpError, Result};
+use deduction::term::Literal;
+use federation::fsm::GlobalSchema;
+use std::collections::BTreeSet;
+
+/// How complete a query answer is, derived from the planner's origin
+/// map: which components never answered, and which global classes could
+/// therefore be missing rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnswerCompleteness {
+    /// Components (schema names) whose extents were missing or
+    /// incomplete when the answer was computed. Empty = complete.
+    pub missing_components: Vec<String>,
+    /// Global classes whose extents may be missing facts as a result
+    /// (origin classes of the missing components plus everything
+    /// positively derived from them).
+    pub affected_classes: Vec<String>,
+}
+
+impl AnswerCompleteness {
+    /// The completeness of an answer computed with every component
+    /// available.
+    pub fn complete() -> Self {
+        AnswerCompleteness::default()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.missing_components.is_empty()
+    }
+}
+
+/// The affected/unsafe classification of global relations under a set of
+/// missing components.
+#[derive(Debug, Clone, Default)]
+pub struct DegradeSets {
+    /// May have lost facts (subset-sound to query).
+    pub affected: BTreeSet<String>,
+    /// May have gained facts (unsound to query).
+    pub unsafe_rels: BTreeSet<String>,
+}
+
+/// Classify every global relation under `missing` components: seed the
+/// affected set from the origin map, then propagate through the global
+/// rules to a fixpoint. Rules whose body *negates* an affected or unsafe
+/// relation taint their heads as unsafe.
+pub fn classify(global: &GlobalSchema, missing: &BTreeSet<String>) -> DegradeSets {
+    let mut sets = DegradeSets::default();
+    if missing.is_empty() {
+        return sets;
+    }
+    for ((schema, _class), global_class) in &global.origin {
+        if missing.contains(schema) {
+            sets.affected.insert(global_class.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for rule in &global.rules {
+            let mut body_affected = false;
+            let mut body_unsafe = false;
+            for lit in &rule.body {
+                match lit {
+                    Literal::Cmp { .. } => {}
+                    Literal::Neg(inner) => match inner.relation() {
+                        Some(rel) => {
+                            if sets.affected.contains(rel) || sets.unsafe_rels.contains(rel) {
+                                body_unsafe = true;
+                            }
+                        }
+                        // A negated literal with no fixed relation could
+                        // range over anything; taint conservatively.
+                        None => body_unsafe = true,
+                    },
+                    other => match other.relation() {
+                        Some(rel) => {
+                            if sets.affected.contains(rel) {
+                                body_affected = true;
+                            }
+                            if sets.unsafe_rels.contains(rel) {
+                                body_unsafe = true;
+                            }
+                        }
+                        None => body_affected = true,
+                    },
+                }
+            }
+            for head in &rule.heads {
+                let Some(rel) = head.relation() else { continue };
+                if body_unsafe && sets.unsafe_rels.insert(rel.to_string()) {
+                    changed = true;
+                }
+                if (body_affected || body_unsafe) && sets.affected.insert(rel.to_string()) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sets
+}
+
+/// Decide whether `body` can be answered soundly-but-partially with
+/// `missing` components gone. Returns the completeness annotation for
+/// the partial answer, or [`QpError::Unavailable`] when any literal
+/// could gain rows from the missing data (negation over an affected
+/// relation, or any reading of an unsafe relation).
+pub fn assess(
+    global: &GlobalSchema,
+    body: &[Literal],
+    missing: &BTreeSet<String>,
+) -> Result<AnswerCompleteness> {
+    if missing.is_empty() {
+        return Ok(AnswerCompleteness::complete());
+    }
+    let sets = classify(global, missing);
+    let missing_list = || missing.iter().cloned().collect::<Vec<_>>().join(", ");
+    for lit in body {
+        match lit {
+            Literal::Cmp { .. } => {}
+            Literal::Neg(inner) => {
+                let tainted = match inner.relation() {
+                    Some(rel) => sets.affected.contains(rel) || sets.unsafe_rels.contains(rel),
+                    None => !sets.affected.is_empty() || !sets.unsafe_rels.is_empty(),
+                };
+                if tainted {
+                    return Err(QpError::Unavailable(format!(
+                        "cannot degrade `{lit}`: negation over a relation affected by \
+                         missing component(s) {} could add spurious answers",
+                        missing_list()
+                    )));
+                }
+            }
+            other => {
+                let tainted = match other.relation() {
+                    Some(rel) => sets.unsafe_rels.contains(rel),
+                    None => !sets.unsafe_rels.is_empty(),
+                };
+                if tainted {
+                    return Err(QpError::Unavailable(format!(
+                        "cannot degrade `{lit}`: its relation is derived through negation \
+                         from missing component(s) {} and could gain facts",
+                        missing_list()
+                    )));
+                }
+            }
+        }
+    }
+    let mut affected: BTreeSet<String> = sets.affected;
+    affected.extend(sets.unsafe_rels);
+    Ok(AnswerCompleteness {
+        missing_components: missing.iter().cloned().collect(),
+        affected_classes: affected.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deduction::term::{NameRef, OTermPat, Rule, Term};
+    use federation::fsm::GlobalSchema;
+    use std::collections::BTreeMap;
+
+    fn class_lit(var: &str, class: &str) -> Literal {
+        Literal::OTerm(OTermPat::new(Term::var(var), class))
+    }
+
+    /// A hand-built global schema: S1.person/S2.human → person;
+    /// S1.course → course; S2.staff → staff; rules
+    /// `course_staff :- course, staff` and
+    /// `course_only :- course, not course_staff`.
+    fn global() -> GlobalSchema {
+        let mut origin = BTreeMap::new();
+        origin.insert(("S1".into(), "person".into()), "person".into());
+        origin.insert(("S2".into(), "human".into()), "person".into());
+        origin.insert(("S1".into(), "course".into()), "course".into());
+        origin.insert(("S2".into(), "staff".into()), "staff".into());
+        let rules = vec![
+            Rule {
+                heads: vec![class_lit("X", "course_staff")],
+                body: vec![class_lit("X", "course"), class_lit("X", "staff")],
+            },
+            Rule {
+                heads: vec![class_lit("X", "course_only")],
+                body: vec![
+                    class_lit("X", "course"),
+                    Literal::Neg(Box::new(class_lit("X", "course_staff"))),
+                ],
+            },
+        ];
+        GlobalSchema {
+            integrated: Default::default(),
+            origin,
+            rules,
+            total_stats: Default::default(),
+            steps: 1,
+            warnings: vec![],
+        }
+    }
+
+    #[test]
+    fn no_missing_components_is_complete() {
+        let c = assess(&global(), &[class_lit("X", "person")], &BTreeSet::new()).unwrap();
+        assert!(c.is_complete());
+        assert!(c.affected_classes.is_empty());
+    }
+
+    #[test]
+    fn positive_queries_degrade_with_propagated_affected_set() {
+        let missing: BTreeSet<String> = ["S2".to_string()].into();
+        let c = assess(&global(), &[class_lit("X", "course_staff")], &missing).unwrap();
+        assert_eq!(c.missing_components, vec!["S2"]);
+        // staff lost facts directly; person via origin; course_staff via
+        // the positive rule; course_only is tainted (unsafe ⊆ affected).
+        assert_eq!(
+            c.affected_classes,
+            vec!["course_only", "course_staff", "person", "staff"]
+        );
+    }
+
+    #[test]
+    fn unaffected_query_still_reports_missing_components() {
+        let missing: BTreeSet<String> = ["S2".to_string()].into();
+        let c = assess(&global(), &[class_lit("X", "course")], &missing).unwrap();
+        assert!(!c.is_complete());
+        assert!(!c.affected_classes.contains(&"course".to_string()));
+    }
+
+    #[test]
+    fn negation_over_affected_relation_is_refused() {
+        let missing: BTreeSet<String> = ["S2".to_string()].into();
+        let body = vec![
+            class_lit("X", "course"),
+            Literal::Neg(Box::new(class_lit("X", "course_staff"))),
+        ];
+        assert!(matches!(
+            assess(&global(), &body, &missing),
+            Err(QpError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn reading_an_unsafe_relation_is_refused() {
+        let missing: BTreeSet<String> = ["S2".to_string()].into();
+        let body = vec![class_lit("X", "course_only")];
+        assert!(matches!(
+            assess(&global(), &body, &missing),
+            Err(QpError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn class_variable_literals_are_conservative() {
+        let missing: BTreeSet<String> = ["S2".to_string()].into();
+        // `<X: C>` with a class *variable* could range over unsafe
+        // relations → refused while any exist.
+        let lit = Literal::OTerm(OTermPat {
+            object: Term::var("X"),
+            class: NameRef::Var("C".into()),
+            bindings: vec![],
+        });
+        assert!(matches!(
+            assess(&global(), std::slice::from_ref(&lit), &missing),
+            Err(QpError::Unavailable(_))
+        ));
+        // Negating it is refused as soon as anything is affected.
+        let neg = Literal::Neg(Box::new(lit));
+        assert!(matches!(
+            assess(&global(), &[neg], &missing),
+            Err(QpError::Unavailable(_))
+        ));
+    }
+}

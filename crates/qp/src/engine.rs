@@ -14,6 +14,7 @@
 //! `Planned` is the optimisation.
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::degrade::{self, AnswerCompleteness};
 use crate::exec;
 use crate::parser::{parse_query, GlobalQuery};
 use crate::plan::{PlanNode, QueryPlan, QueryStrategy};
@@ -21,12 +22,15 @@ use crate::planner::Planner;
 use crate::Result;
 use deduction::{EvalStats, Subst, Term};
 use federation::client::FsmClient;
-use federation::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use federation::connector::{FaultPlan, FaultyConnector, InProcessConnector, VirtualClock};
+use federation::fsm::{ComponentHealth, Fsm, GlobalSchema, IntegrationStrategy};
 use federation::mapping::MetaRegistry;
+use federation::policy::{GuardedConnector, RetryPolicy};
 use federation::FederationDb;
 use fedoo_core::{PipelineStats, QpStats};
 use oo_model::{InstanceStore, Schema, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One answered query.
@@ -39,6 +43,9 @@ pub struct QueryAnswer {
     pub stats: QpStats,
     pub strategy: QueryStrategy,
     pub from_cache: bool,
+    /// Whether (and how) the answer was degraded by unavailable
+    /// components. Complete for every answer computed fault-free.
+    pub completeness: AnswerCompleteness,
 }
 
 impl QueryAnswer {
@@ -98,6 +105,13 @@ impl QueryAnswer {
             if self.rows.len() == 1 { "" } else { "s" },
             if self.from_cache { ", cached" } else { "" }
         ));
+        if !self.completeness.is_complete() {
+            out.push_str(&format!(
+                "partial answer: missing components [{}], affected classes [{}]\n",
+                self.completeness.missing_components.join(", "),
+                self.completeness.affected_classes.join(", ")
+            ));
+        }
         out
     }
 
@@ -125,9 +139,25 @@ impl QueryAnswer {
             }
             out.push(']');
         }
+        out.push_str(&format!("],\"count\":{}", self.rows.len()));
+        // The completeness block appears only on degraded answers, so
+        // fault-free renderings are byte-identical to earlier releases.
+        if !self.completeness.is_complete() {
+            let list = |items: &[String]| {
+                items
+                    .iter()
+                    .map(|s| crate::plan::json_string(s))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                ",\"completeness\":{{\"missing_components\":[{}],\"affected_classes\":[{}]}}",
+                list(&self.completeness.missing_components),
+                list(&self.completeness.affected_classes)
+            ));
+        }
         out.push_str(&format!(
-            "],\"count\":{},\"strategy\":{},\"from_cache\":{}}}",
-            self.rows.len(),
+            ",\"strategy\":{},\"from_cache\":{}}}",
             crate::plan::json_string(self.strategy.as_str()),
             self.from_cache
         ));
@@ -161,6 +191,68 @@ const CACHE_CAPACITY: usize = 64;
 /// keyed by the component version vector they were gathered against.
 type ExtentStats = (Vec<u64>, BTreeMap<(usize, String), u64>);
 
+/// An installed fault plan: one guarded fault-injecting connector per
+/// component, sharing a virtual clock. Breaker and transient-fault state
+/// persist across `ask` calls; a component-store mutation rebuilds the
+/// connectors (and resets that state) so they serve current data.
+struct FaultSession {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    clock: VirtualClock,
+    connectors: Vec<GuardedConnector>,
+    versions: Vec<u64>,
+}
+
+impl FaultSession {
+    fn build(plan: FaultPlan, policy: RetryPolicy, components: &[(Schema, InstanceStore)]) -> Self {
+        let clock = VirtualClock::new();
+        let connectors = Self::connectors(&plan, policy, &clock, components);
+        let versions = components.iter().map(|(_, s)| s.version()).collect();
+        FaultSession {
+            plan,
+            policy,
+            clock,
+            connectors,
+            versions,
+        }
+    }
+
+    fn connectors(
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        clock: &VirtualClock,
+        components: &[(Schema, InstanceStore)],
+    ) -> Vec<GuardedConnector> {
+        components
+            .iter()
+            .map(|(schema, store)| {
+                let base = InProcessConnector::new(schema.clone(), store.clone());
+                let faulty = FaultyConnector::new(Arc::new(base), plan, clock.clone());
+                GuardedConnector::new(Arc::new(faulty), policy, clock.clone())
+            })
+            .collect()
+    }
+
+    /// Rebuild the connector stack if any component store has mutated
+    /// since it was built.
+    fn ensure_fresh(&mut self, components: &[(Schema, InstanceStore)]) {
+        let versions: Vec<u64> = components.iter().map(|(_, s)| s.version()).collect();
+        if versions != self.versions {
+            self.connectors = Self::connectors(&self.plan, self.policy, &self.clock, components);
+            self.versions = versions;
+        }
+    }
+}
+
+/// One pass of fetching every component through the fault session.
+struct FetchedFederation {
+    components: Vec<(Schema, InstanceStore)>,
+    /// Components that failed past policy or returned truncated extents.
+    degraded: BTreeSet<String>,
+    retries: u64,
+    trips: u64,
+}
+
 /// A query processor bound to one built federation.
 pub struct QueryEngine {
     global: GlobalSchema,
@@ -178,6 +270,8 @@ pub struct QueryEngine {
     sat_eval: Option<EvalStats>,
     /// Work counters from the last `ask`.
     last_stats: Option<QpStats>,
+    /// Installed fault plan, if chaos/fault testing is active.
+    fault: Option<FaultSession>,
 }
 
 impl QueryEngine {
@@ -216,7 +310,37 @@ impl QueryEngine {
             extent_stats: None,
             sat_eval: None,
             last_stats: None,
+            fault: None,
         }
+    }
+
+    /// Install a fault plan: every subsequent `ask` fetches component
+    /// snapshots through fault-injecting, policy-guarded connectors.
+    /// Components unavailable past policy degrade the answer (or refuse
+    /// the query when a partial answer would be unsound).
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.fault = Some(FaultSession::build(plan, policy, &self.components));
+    }
+
+    /// Remove the installed fault plan; queries go back to direct
+    /// component access.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// Per-component circuit-breaker health for the installed fault
+    /// session (empty without one).
+    pub fn fault_health(&self) -> Vec<ComponentHealth> {
+        match &self.fault {
+            Some(s) => s.connectors.iter().map(|c| c.health()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The fault session's virtual clock, if one is installed — lets
+    /// tests advance time past breaker cooldowns deterministically.
+    pub fn fault_clock(&self) -> Option<VirtualClock> {
+        self.fault.as_ref().map(|s| s.clock.clone())
     }
 
     pub fn global(&self) -> &GlobalSchema {
@@ -321,6 +445,8 @@ impl QueryEngine {
         };
 
         if let Some((vars, rows)) = self.cache.get(&key, &versions) {
+            // Only complete answers are ever stored, so a hit — even
+            // during an outage — serves the fault-free answer.
             let stats = QpStats {
                 cache_hits: 1,
                 rows_emitted: rows.len() as u64,
@@ -334,25 +460,71 @@ impl QueryEngine {
                 stats,
                 strategy,
                 from_cache: true,
+                completeness: AnswerCompleteness::complete(),
             });
         }
 
+        // With a fault plan installed, fetch each component through its
+        // guarded connector; components lost past policy become empty
+        // extents at the same index (plan indexes stay valid) and the
+        // query is vetted for subset-soundness before executing.
+        let fetched = self.fetch_through_faults();
+        let (fault_components, degraded, fault_retries, fault_trips) = match fetched {
+            Some(f) => (Some(f.components), f.degraded, f.retries, f.trips),
+            None => (None, BTreeSet::new(), 0, 0),
+        };
+        let completeness = if degraded.is_empty() {
+            AnswerCompleteness::complete()
+        } else {
+            degrade::assess(&self.global, &query.body(), &degraded)?
+        };
+
         let (rows, mut stats) = match strategy {
-            QueryStrategy::Planned => {
-                if matches!(plan.root, PlanNode::FullSaturate { .. }) {
+            QueryStrategy::Planned if !matches!(plan.root, PlanNode::FullSaturate { .. }) => {
+                let comps = fault_components.as_deref().unwrap_or(&self.components);
+                let out =
+                    exec::execute_degraded(&plan, &self.global, comps, &self.meta, &degraded)?;
+                (out.rows, out.stats)
+            }
+            _ => {
+                if degraded.is_empty() {
+                    // Healthy (or recovered) federation: the cached
+                    // reference state over the live components is
+                    // identical to the fetched snapshot.
                     (self.saturate_rows(query)?, QpStats::new())
                 } else {
-                    let out = exec::execute(&plan, &self.global, &self.components, &self.meta)?;
-                    (out.rows, out.stats)
+                    // Degraded: saturate a throwaway state over the
+                    // partial snapshot — never stored, so it cannot be
+                    // replayed as complete later.
+                    let comps = fault_components
+                        .as_deref()
+                        .expect("degraded implies fetched");
+                    let mut db = FederationDb::build_degraded(
+                        &self.global,
+                        comps,
+                        &self.meta,
+                        None,
+                        &degraded,
+                    )?;
+                    db.saturate()?;
+                    let substs = db.query(&query.body())?;
+                    (normalize_rows(&substs, &plan.vars), QpStats::new())
                 }
             }
-            QueryStrategy::Saturate => (self.saturate_rows(query)?, QpStats::new()),
         };
         stats.cache_misses = 1;
         stats.rows_emitted = rows.len() as u64;
+        stats.retries += fault_retries;
+        stats.breaker_trips += fault_trips;
+        stats.degraded += u64::from(!completeness.is_complete());
         stats.micros = start.elapsed().as_micros() as u64;
-        self.cache
-            .put(key, versions, plan.vars.clone(), rows.clone());
+        // Degraded answers must never be served as complete after the
+        // component recovers (the version vector would still match), so
+        // only complete answers enter the cache.
+        if completeness.is_complete() {
+            self.cache
+                .put(key, versions, plan.vars.clone(), rows.clone());
+        }
         self.last_stats = Some(stats);
         Ok(QueryAnswer {
             vars: plan.vars,
@@ -360,7 +532,44 @@ impl QueryEngine {
             stats,
             strategy,
             from_cache: false,
+            completeness,
         })
+    }
+
+    /// Fetch every component through the installed fault session, if
+    /// any. Components that fail past policy are replaced by an empty
+    /// extent at the same index and recorded as degraded; truncated
+    /// snapshots keep their partial extent but are recorded too.
+    fn fetch_through_faults(&mut self) -> Option<FetchedFederation> {
+        let session = self.fault.as_mut()?;
+        session.ensure_fresh(&self.components);
+        let mut out = FetchedFederation {
+            components: Vec::with_capacity(self.components.len()),
+            degraded: BTreeSet::new(),
+            retries: 0,
+            trips: 0,
+        };
+        for (i, conn) in session.connectors.iter().enumerate() {
+            let name = self.components[i].0.name.as_str().to_string();
+            let before = conn.stats();
+            match conn.fetch() {
+                Ok(snap) => {
+                    if !snap.complete {
+                        out.degraded.insert(name);
+                    }
+                    out.components.push((snap.schema, snap.store));
+                }
+                Err(_) => {
+                    out.degraded.insert(name);
+                    out.components
+                        .push((self.components[i].0.clone(), InstanceStore::new()));
+                }
+            }
+            let after = conn.stats();
+            out.retries += after.retries - before.retries;
+            out.trips += after.trips - before.trips;
+        }
+        Some(out)
     }
 
     /// The reference path: full materialisation + saturation (reusing the

@@ -43,6 +43,21 @@ pub fn execute(
     components: &[(Schema, InstanceStore)],
     meta: &MetaRegistry,
 ) -> Result<ExecOutcome> {
+    execute_degraded(plan, global, components, meta, &BTreeSet::new())
+}
+
+/// [`execute`] over a federation with known-incomplete components
+/// (schema names in `degraded`): materialisation withholds
+/// set-difference origin values that depend on degraded data, keeping
+/// the answer a subset of the fault-free one. The engine's degradation
+/// analysis must already have refused non-monotone queries.
+pub fn execute_degraded(
+    plan: &QueryPlan,
+    global: &GlobalSchema,
+    components: &[(Schema, InstanceStore)],
+    meta: &MetaRegistry,
+    degraded: &BTreeSet<String>,
+) -> Result<ExecOutcome> {
     let mut stats = QpStats::new();
 
     // One restricted deduction state serves every derived scan.
@@ -50,13 +65,14 @@ pub fn execute(
     let derived = if relevant.is_empty() {
         None
     } else {
-        let mut db = FederationDb::build_filtered(global, components, meta, Some(&relevant))?;
+        let mut db =
+            FederationDb::build_degraded(global, components, meta, Some(&relevant), degraded)?;
         let eval = db.saturate()?;
         stats.derived_facts += eval.facts_derived;
         Some(db)
     };
 
-    let mat = FactMaterializer::new(global, components, meta);
+    let mat = FactMaterializer::new(global, components, meta).with_degraded(degraded.clone());
     let mut ctx = Ctx {
         mat,
         derived,

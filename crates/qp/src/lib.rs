@@ -29,6 +29,7 @@
 //! answer sets (`tests/differential.rs`).
 
 pub mod cache;
+pub mod degrade;
 pub mod engine;
 pub mod exec;
 pub mod parser;
@@ -36,8 +37,9 @@ pub mod plan;
 pub mod planner;
 
 pub use cache::{CacheStats, ResultCache};
+pub use degrade::AnswerCompleteness;
 pub use engine::{normalize_rows, QueryAnswer, QueryEngine};
-pub use exec::{execute, ExecOutcome};
+pub use exec::{execute, execute_degraded, ExecOutcome};
 pub use parser::{parse_query, GlobalQuery, ParseError, SpannedLiteral};
 pub use plan::{PlanNode, QueryPlan, QueryStrategy, ScanKind, ScanNode, ScanTarget};
 pub use planner::Planner;
@@ -54,6 +56,10 @@ pub enum QpError {
     Rejected(String),
     /// Planning failed (an internal invariant, not a user error).
     Plan(String),
+    /// Components are unavailable past policy and the query cannot be
+    /// answered even partially without risking unsound (superset)
+    /// answers. The payload explains which literal blocks degradation.
+    Unavailable(String),
     /// The underlying federation machinery failed.
     Fed(federation::FedError),
 }
@@ -64,6 +70,7 @@ impl fmt::Display for QpError {
             QpError::Parse(e) => write!(f, "{e}"),
             QpError::Rejected(r) => write!(f, "query rejected by analysis:\n{r}"),
             QpError::Plan(m) => write!(f, "planning failed: {m}"),
+            QpError::Unavailable(m) => write!(f, "query degraded past policy: {m}"),
             QpError::Fed(e) => write!(f, "{e}"),
         }
     }

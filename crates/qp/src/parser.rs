@@ -135,7 +135,7 @@ enum Tok {
 type Spanned = (Tok, usize, usize, usize);
 
 struct Lexer<'a> {
-    src: &'a [u8],
+    src: &'a str,
     pos: usize,
     line: usize,
 }
@@ -143,7 +143,7 @@ struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
         Lexer {
-            src: src.as_bytes(),
+            src,
             pos: 0,
             line: 1,
         }
@@ -156,91 +156,137 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    /// The character at the current byte position, if any. `pos` always
+    /// sits on a char boundary, so the decode cannot fail.
+    fn cur(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn char_at(&self, i: usize) -> Option<char> {
+        self.src.get(i..).and_then(|s| s.chars().next())
+    }
+
+    /// Consume an identifier starting at `pos` (caller checked the first
+    /// char): letters, digits, `_`, `-`, `'` — full Unicode, advanced by
+    /// whole characters so multi-byte letters never split.
+    fn eat_ident(&mut self) {
+        while let Some(c) = self.cur() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '\'' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
     fn tokens(mut self) -> Result<Vec<Spanned>, ParseError> {
         let mut out = Vec::new();
-        while self.pos < self.src.len() {
-            let c = self.src[self.pos] as char;
+        while let Some(c) = self.cur() {
             let start = self.pos;
             match c {
                 '\n' => {
                     self.line += 1;
                     self.pos += 1;
                 }
-                c if c.is_whitespace() => self.pos += 1,
-                '/' if self.src.get(self.pos + 1) == Some(&b'/') => {
-                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
-                        self.pos += 1;
+                c if c.is_whitespace() => self.pos += c.len_utf8(),
+                '/' if self.char_at(self.pos + 1) == Some('/') => {
+                    while let Some(c) = self.cur() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.pos += c.len_utf8();
                     }
                 }
                 '"' => {
                     self.pos += 1;
                     let text_start = self.pos;
-                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
-                        if self.src[self.pos] == b'\n' {
-                            return Err(self.error_at(start, "unterminated string"));
+                    loop {
+                        match self.cur() {
+                            Some('"') => break,
+                            Some('\n') | None => {
+                                return Err(self.error_at(start, "unterminated string"))
+                            }
+                            Some(c) => self.pos += c.len_utf8(),
                         }
-                        self.pos += 1;
                     }
-                    if self.pos >= self.src.len() {
-                        return Err(self.error_at(start, "unterminated string"));
-                    }
-                    let s = std::str::from_utf8(&self.src[text_start..self.pos])
-                        .map_err(|_| self.error_at(start, "invalid utf-8 in string"))?;
+                    let s = self.src[text_start..self.pos].to_string();
                     self.pos += 1;
-                    out.push((Tok::Str(s.to_string()), start, self.pos, self.line));
+                    out.push((Tok::Str(s), start, self.pos, self.line));
                 }
                 c if c.is_ascii_digit() || (c == '-' && self.digit_at(self.pos + 1)) => {
                     self.pos += 1;
-                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    while self.cur().is_some_and(|c| c.is_ascii_digit()) {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let text = &self.src[start..self.pos];
                     let n: i64 = text
                         .parse()
                         .map_err(|_| self.error_at(start, format!("bad integer `{text}`")))?;
                     out.push((Tok::Int(n), start, self.pos, self.line));
                 }
                 c if c.is_alphabetic() || c == '_' => {
-                    while self.pos < self.src.len() {
-                        let b = self.src[self.pos] as char;
-                        if b.is_alphanumeric() || b == '_' || b == '-' || b == '\'' {
-                            self.pos += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-                    out.push((Tok::Ident(text.to_string()), start, self.pos, self.line));
+                    self.eat_ident();
+                    let text = self.src[start..self.pos].to_string();
+                    out.push((Tok::Ident(text), start, self.pos, self.line));
                 }
                 _ => {
                     let rest = &self.src[self.pos..];
                     let sym = ["?-", ":-", "<=", ">=", "!="]
                         .into_iter()
-                        .find(|s| rest.starts_with(s.as_bytes()));
+                        .find(|s| rest.starts_with(s));
                     if let Some(s) = sym {
                         self.pos += s.len();
                         out.push((Tok::Sym(s), start, self.pos, self.line));
-                    } else {
-                        let single = match c {
-                            '(' => "(",
-                            ')' => ")",
-                            ',' => ",",
-                            '.' => ".",
-                            ':' => ":",
-                            '<' => "<",
-                            '>' => ">",
-                            '|' => "|",
-                            '=' => "=",
-                            _ => {
-                                self.pos += 1;
-                                return Err(
-                                    self.error_at(start, format!("unexpected character `{c}`"))
-                                );
-                            }
-                        };
-                        self.pos += 1;
-                        out.push((Tok::Sym(single), start, self.pos, self.line));
+                        continue;
                     }
+                    // The canonical renderings (`Display`) use the
+                    // paper's symbols; accept them as operator aliases
+                    // so every rendering reparses.
+                    let alias = match c {
+                        '≤' => Some("<="),
+                        '≥' => Some(">="),
+                        '≠' => Some("!="),
+                        '∈' => Some("∈"),
+                        '¬' => Some("¬"),
+                        _ => None,
+                    };
+                    if let Some(s) = alias {
+                        self.pos += c.len_utf8();
+                        out.push((Tok::Sym(s), start, self.pos, self.line));
+                        continue;
+                    }
+                    // `?Var` — the canonical rendering of a name-position
+                    // variable; the `?` is a marker, the token is the
+                    // identifier ("?-" was already handled above).
+                    if c == '?'
+                        && self
+                            .char_at(self.pos + 1)
+                            .is_some_and(|n| n.is_alphabetic() || n == '_')
+                    {
+                        self.pos += 1;
+                        let ident_start = self.pos;
+                        self.eat_ident();
+                        let text = self.src[ident_start..self.pos].to_string();
+                        out.push((Tok::Ident(text), start, self.pos, self.line));
+                        continue;
+                    }
+                    let single = match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        ':' => ":",
+                        '<' => "<",
+                        '>' => ">",
+                        '|' => "|",
+                        '=' => "=",
+                        _ => {
+                            self.pos += c.len_utf8();
+                            return Err(self.error_at(start, format!("unexpected character `{c}`")));
+                        }
+                    };
+                    self.pos += 1;
+                    out.push((Tok::Sym(single), start, self.pos, self.line));
                 }
             }
         }
@@ -248,7 +294,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn digit_at(&self, i: usize) -> bool {
-        self.src.get(i).is_some_and(|b| b.is_ascii_digit())
+        self.char_at(i).is_some_and(|c| c.is_ascii_digit())
     }
 }
 
@@ -361,6 +407,7 @@ impl Parser {
             Tok::Sym("<=") => CmpOp::Le,
             Tok::Sym(">") => CmpOp::Gt,
             Tok::Sym(">=") => CmpOp::Ge,
+            Tok::Sym("∈") => CmpOp::In,
             Tok::Ident(s) if s == "in" => CmpOp::In,
             _ => return None,
         };
@@ -395,6 +442,9 @@ impl Parser {
     }
 
     fn literal(&mut self) -> Result<Literal, ParseError> {
+        if self.eat_sym("¬") {
+            return Ok(Literal::neg(self.literal()?));
+        }
         if let Some(Tok::Ident(s)) = self.peek() {
             if s == "not" {
                 self.pos += 1;

@@ -1,0 +1,174 @@
+//! Property tests for the query parser.
+//!
+//! * **Round-trip**: rendering a random literal AST with the canonical
+//!   `Display` (which uses the paper's symbols `≥ ≤ ≠ ∈ ¬` and `?Var`
+//!   name variables) and reparsing yields the same AST.
+//! * **Totality**: `parse_query` never panics, whatever the input —
+//!   arbitrary Unicode included (the byte-oriented lexer used to split
+//!   multi-byte characters and die in `from_utf8`).
+//! * **Spans**: every parse error carries a span with
+//!   `start <= end <= len` that slices the source on char boundaries.
+
+use deduction::term::{AttrBinding, CmpOp, Literal, NameRef, OTermPat, Pred, Term};
+use oo_model::Value;
+use proptest::prelude::*;
+use qp::parse_query;
+
+fn lower_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| s != "not" && s != "in")
+}
+
+fn upper_var() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9_]{0,5}"
+}
+
+/// Quoted-string payload: printable ASCII minus `"` (the lexer has no
+/// escape sequences).
+fn str_payload() -> impl Strategy<Value = String> {
+    "[ !#-~]{0,8}"
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        upper_var().prop_map(Term::var),
+        (-999i64..999).prop_map(Term::val),
+        str_payload().prop_map(|s| Term::val(Value::str(s))),
+        lower_ident().prop_map(|s| Term::val(Value::str(s))),
+    ]
+}
+
+fn name_ref() -> impl Strategy<Value = NameRef> {
+    prop_oneof![
+        lower_ident().prop_map(NameRef::Name),
+        upper_var().prop_map(NameRef::Var),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    (0usize..7).prop_map(|i| {
+        [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::In,
+        ][i]
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    let oterm = (
+        term(),
+        name_ref(),
+        proptest::collection::vec((name_ref(), term()), 0..3),
+    )
+        .prop_map(|(object, class, binds)| {
+            Literal::OTerm(OTermPat {
+                object,
+                class,
+                bindings: binds
+                    .into_iter()
+                    .map(|(name, term)| AttrBinding { name, term })
+                    .collect(),
+            })
+        });
+    let pred = (lower_ident(), proptest::collection::vec(term(), 0..3))
+        .prop_map(|(name, args)| Literal::Pred(Pred { name, args }));
+    let cmp =
+        (term(), cmp_op(), term()).prop_map(|(left, op, right)| Literal::Cmp { left, op, right });
+    let base = prop_oneof![oterm, pred, cmp];
+    (any::<bool>(), base).prop_map(|(neg, lit)| if neg { Literal::neg(lit) } else { lit })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_rendering_reparses_to_the_same_ast(
+        body in proptest::collection::vec(literal(), 1..5),
+    ) {
+        let rendered: Vec<String> = body.iter().map(|l| l.to_string()).collect();
+        let src = format!("?- {}.", rendered.join(", "));
+        let parsed = parse_query(&src)
+            .unwrap_or_else(|e| panic!("canonical `{src}` failed to reparse: {e}"));
+        prop_assert_eq!(&parsed.body(), &body, "round-trip through `{}`", src);
+        // Display of the parsed query is a fixpoint: parse(display(q))
+        // displays identically.
+        let again = parse_query(&parsed.to_string())
+            .unwrap_or_else(|e| panic!("`{parsed}` failed to reparse: {e}"));
+        prop_assert_eq!(again.to_string(), parsed.to_string());
+        // Literal spans cover valid char-boundary slices of the source.
+        for lit in &parsed.literals {
+            prop_assert!(lit.span.slice(&parsed.text).is_some());
+        }
+    }
+
+    #[test]
+    fn arbitrary_printable_input_never_panics(src in "[ -~\n]{0,60}") {
+        check_total(&src);
+    }
+
+    #[test]
+    fn arbitrary_unicode_input_never_panics(
+        chars in proptest::collection::vec(any::<char>(), 0..40),
+    ) {
+        let src: String = chars.into_iter().collect();
+        check_total(&src);
+    }
+}
+
+/// Parse must return (never panic), and every error span must be a
+/// well-formed byte range of the input.
+fn check_total(src: &str) {
+    match parse_query(src) {
+        Ok(q) => {
+            for lit in &q.literals {
+                assert!(lit.span.slice(&q.text).is_some(), "bad span on `{src}`");
+            }
+        }
+        Err(e) => {
+            assert!(e.span.start <= e.span.end, "inverted span on `{src}`");
+            assert!(
+                e.span.end <= src.len(),
+                "span {}..{} past end of {}-byte input `{src}`",
+                e.span.start,
+                e.span.end,
+                src.len()
+            );
+        }
+    }
+}
+
+/// Regression: the old byte-oriented lexer split multi-byte characters
+/// and panicked in `from_utf8`.
+#[test]
+fn multibyte_identifiers_lex_without_panicking() {
+    // Returns Err (no comparison follows) but must not panic.
+    assert!(parse_query("é").is_err());
+    assert!(parse_query("\u{a0}").is_err());
+    // Unicode identifiers work in every name position.
+    let q = parse_query("?- <X: café | año: N>.").unwrap();
+    let Literal::OTerm(o) = &q.literals[0].literal else {
+        panic!("expected oterm");
+    };
+    assert_eq!(o.class, NameRef::Name("café".into()));
+    assert_eq!(q.vars(), vec!["X", "N"]);
+}
+
+/// The paper-symbol operators accepted by the lexer are exactly the
+/// canonical renderings.
+#[test]
+fn symbol_operators_parse() {
+    let q = parse_query("?- <X: crew | members: M>, A ≥ 1, B ≤ 2, C ≠ 3, s1 ∈ M, ¬p(X).").unwrap();
+    let body = q.body();
+    assert!(matches!(body[1], Literal::Cmp { op: CmpOp::Ge, .. }));
+    assert!(matches!(body[2], Literal::Cmp { op: CmpOp::Le, .. }));
+    assert!(matches!(body[3], Literal::Cmp { op: CmpOp::Ne, .. }));
+    assert!(matches!(body[4], Literal::Cmp { op: CmpOp::In, .. }));
+    assert!(matches!(body[5], Literal::Neg(_)));
+    // And the round trip closes: canonical output reparses identically.
+    let again = parse_query(&q.to_string()).unwrap();
+    assert_eq!(again.body(), body);
+}

@@ -50,13 +50,18 @@ fn every_args_file_has_a_golden_and_matches() {
     for case in &cases {
         let (outcome, want) = replay(case);
         assert_eq!(outcome.rendered, want, "golden mismatch for `{case}`");
-        // Rejection status is part of the contract: the binary exits 1
-        // exactly when the rendering is a rejection report.
-        assert_eq!(
-            outcome.rejected,
-            want.starts_with("query rejected"),
-            "rejection status mismatch for `{case}`"
-        );
+        // The exit code is part of the contract, derivable from the
+        // golden itself: 1 for rejection reports, 2 for degradations
+        // past policy, 0 otherwise. The CI query-golden job asserts the
+        // same codes against the built binary.
+        let want_exit = if want.starts_with("query rejected") {
+            1
+        } else if want.starts_with("query degraded") {
+            2
+        } else {
+            0
+        };
+        assert_eq!(outcome.exit, want_exit, "exit code mismatch for `{case}`");
     }
 }
 
