@@ -52,11 +52,20 @@ use oo_model::Schema;
 /// integration (unless the caller disables the gate), `Warn`s are carried
 /// into the run's warning list.
 pub fn pre_integration_gate(s1: &Schema, s2: &Schema, assertions: &[ClassAssertion]) -> Report {
+    let _span = obs::span!(
+        "analysis.gate",
+        "analysis",
+        "schemas={}/{} assertions={}",
+        s1.name,
+        s2.name,
+        assertions.len()
+    );
     let mut report = analyze_schema(s1);
     report.merge(analyze_schema(s2));
     report.merge(analyze_assertions(assertions, None));
     report.merge(analyze_assertion_cardinalities(assertions, s1, s2, None));
     report.sort();
+    obs::counter!("fedoo_analysis_diagnostics_total", report.iter().count());
     report
 }
 

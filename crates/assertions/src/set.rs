@@ -103,10 +103,12 @@ impl AssertionSet {
     where
         I: IntoIterator<Item = ClassAssertion>,
     {
+        let _span = obs::span!("assertions.closure", "assertions");
         let mut set = AssertionSet::new();
         for a in assertions {
             set.add(a)?;
         }
+        obs::counter!("fedoo_assertions_built_total", set.assertions.len());
         Ok(set)
     }
 

@@ -1,0 +1,145 @@
+//! Observability overhead: the deduction saturation workload (the most
+//! span-dense path — a span per stratum and per rule firing) timed with
+//! the `obs` sink uninstalled vs installed, plus a microbenchmark of the
+//! disabled span fast path itself. Snapshotted to
+//! `BENCH_obs_overhead.json`.
+//!
+//! The disabled-path claim is measured directly: one `span!` call with
+//! no sink installed costs a relaxed atomic load and returns an inert
+//! guard — multiplied by the workload's span count it must stay under 5%
+//! of the workload's own runtime. The enabled path is allowed to cost
+//! real time (it records two events per span under a mutex) but must
+//! stay bounded — within an order of magnitude of the base workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedoo::deduction::FactDb;
+use fedoo::prelude::*;
+use std::time::{Duration, Instant};
+
+fn saturation_program() -> Program {
+    let v = Term::var;
+    Program::new(vec![
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("mother", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("parent", [v("x"), v("y")]),
+            vec![Literal::pred("father", [v("x"), v("y")])],
+        ),
+        Rule::new(
+            Literal::pred("uncle", [v("x"), v("y")]),
+            vec![
+                Literal::pred("parent", [v("x"), v("z")]),
+                Literal::pred("brother", [v("z"), v("y")]),
+            ],
+        ),
+    ])
+}
+
+fn saturation_db(n: usize) -> FactDb {
+    let mut db = FactDb::new();
+    for i in 0..n {
+        db.insert_pred(
+            "mother",
+            vec![format!("c{i}").into(), format!("m{i}").into()],
+        );
+        db.insert_pred(
+            "father",
+            vec![format!("c{i}").into(), format!("f{i}").into()],
+        );
+        db.insert_pred(
+            "brother",
+            vec![format!("m{i}").into(), format!("u{i}").into()],
+        );
+    }
+    db
+}
+
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_nanos()
+}
+
+fn bench_obs_overhead(_c: &mut Criterion) {
+    let _guard = obs::test_guard();
+    let program = saturation_program();
+    let n = 400usize;
+    let base = saturation_db(n);
+    let reps = 7;
+    let run = |db: &FactDb| {
+        let mut db = db.clone();
+        program
+            .evaluate_with(&mut db, EvalStrategy::SemiNaive)
+            .unwrap();
+        assert!(db.tuples_of("parent").count() >= 2 * n);
+    };
+
+    // Workload with the sink absent: every span site takes the
+    // relaxed-load fast path.
+    assert!(obs::uninstall().is_none(), "sink leaked from another bench");
+    let off_ns = median_ns(reps, || run(&base));
+
+    // Workload with the sink installed and recording.
+    obs::install_with_capacity(1 << 20, obs::TimeSource::monotonic());
+    let on_ns = median_ns(reps, || run(&base));
+    let session = obs::uninstall().expect("installed above");
+    // Events from the last reps are still in the ring; begins+ends from
+    // one run ≈ 2 × spans per run.
+    let runs_recorded = reps as u128 + reps as u128 / 2 + 1;
+    let spans_per_run = (session.trace.events.len() as u128 / (2 * runs_recorded)).max(1);
+
+    // Disabled fast path, measured directly: span construction + drop
+    // with no sink installed.
+    let calls = 1_000_000u128;
+    let disabled_total_ns = median_ns(3, || {
+        for _ in 0..calls {
+            let _s = obs::span!("bench.noop", "bench");
+            criterion::black_box(&_s);
+        }
+    });
+    let per_span_ns = disabled_total_ns as f64 / calls as f64;
+
+    let off_overhead_pct = (spans_per_run as f64 * per_span_ns) / off_ns as f64 * 100.0;
+    let on_ratio = on_ns as f64 / off_ns.max(1) as f64;
+    println!(
+        "obs_overhead/n={n}: off {off_ns} ns, on {on_ns} ns (x{on_ratio:.2}), \
+         ~{spans_per_run} spans/run, disabled span {per_span_ns:.1} ns \
+         => disabled overhead {off_overhead_pct:.3}%"
+    );
+
+    // Generous bounds: the disabled path must be invisible (<5% even
+    // with every measured span attributed to it), the enabled path
+    // bounded rather than free. Thresholds leave headroom for noisy
+    // single-core CI runners.
+    assert!(
+        off_overhead_pct < 5.0,
+        "disabled-path overhead {off_overhead_pct:.2}% >= 5%"
+    );
+    assert!(
+        on_ratio < 10.0,
+        "enabled tracing cost unbounded: {on_ratio:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": \"semi_naive_saturation\",\n  \
+         \"extent\": {n},\n  \"off_ns\": {off_ns},\n  \"on_ns\": {on_ns},\n  \
+         \"on_ratio\": {on_ratio:.3},\n  \"spans_per_run\": {spans_per_run},\n  \
+         \"disabled_span_ns\": {per_span_ns:.2},\n  \
+         \"disabled_overhead_pct\": {off_overhead_pct:.4}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs_overhead.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

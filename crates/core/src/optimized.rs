@@ -123,8 +123,17 @@ pub fn schema_integration_with_options(
     assertions: &AssertionSet,
     options: IntegrationOptions,
 ) -> Result<IntegrationRun> {
+    let _span = obs::span!(
+        "core.integrate",
+        "core",
+        "schemas={}/{} assertions={}",
+        s1.name,
+        s2.name,
+        assertions.len()
+    );
     let (analysis, mut gate_warnings) = match options.analysis_gate {
         true => {
+            let _gate = obs::span!("core.analysis_gate", "core");
             let (stats, warnings) = crate::naive::run_gate(s1, s2, assertions)?;
             (Some(stats), warnings)
         }
@@ -145,6 +154,7 @@ pub fn schema_integration_with_options(
     seen.insert(start.clone());
     queue.push_back(start);
 
+    let pair_span = obs::span!("core.pair_checks", "core");
     while let Some((n1, n2)) = queue.pop_front() {
         if cancelled.contains(&(n1.clone(), n2.clone())) {
             ctx.stats.pairs_removed_as_siblings += 1;
@@ -353,7 +363,12 @@ pub fn schema_integration_with_options(
             }
         }
     }
-    ctx.finalize()?;
+    drop(pair_span);
+    {
+        let _finalize = obs::span!("core.finalize", "core");
+        ctx.finalize()?;
+    }
+    ctx.stats.publish();
     gate_warnings.extend(ctx.warnings);
     Ok(IntegrationRun {
         output: ctx.output,
@@ -455,6 +470,7 @@ fn path_labelling(
     state: &mut LabelState,
 ) -> Result<()> {
     let sub = sub_node.class_name().expect("sub is a class").to_string();
+    let _span = obs::span!("core.path_labelling", "core", "sub={sub} label={label}");
     let mut visited: BTreeSet<Node> = BTreeSet::new();
     visit(
         ctx,

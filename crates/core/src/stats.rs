@@ -56,6 +56,32 @@ impl IntegrationStats {
     pub fn total_checks(&self) -> u64 {
         self.pairs_checked + self.dfs_checks
     }
+
+    /// Publish this run's counters onto the global metrics registry
+    /// (`fedoo_core_*`, DESIGN.md §10). Makes the §6.3 O(n)-vs-O(n²)
+    /// pair-check claim a visible counter in Prometheus exports.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("fedoo_core_pairs_checked_total", self.pairs_checked);
+        obs::counter_add(
+            "fedoo_core_pairs_skipped_by_labels_total",
+            self.pairs_skipped_by_labels,
+        );
+        obs::counter_add(
+            "fedoo_core_pairs_removed_as_siblings_total",
+            self.pairs_removed_as_siblings,
+        );
+        obs::counter_add("fedoo_core_pairs_enqueued_total", self.pairs_enqueued);
+        obs::counter_add("fedoo_core_dfs_checks_total", self.dfs_checks);
+        obs::counter_add("fedoo_core_total_checks_total", self.total_checks());
+        obs::counter_add("fedoo_core_labels_created_total", self.labels_created);
+        obs::counter_add("fedoo_core_classes_merged_total", self.classes_merged);
+        obs::counter_add("fedoo_core_virtual_classes_total", self.virtual_classes);
+        obs::counter_add("fedoo_core_rules_generated_total", self.rules_generated);
+        obs::histogram_record("fedoo_core_checks_per_run", self.total_checks());
+    }
 }
 
 impl AddAssign for IntegrationStats {
@@ -140,6 +166,31 @@ pub struct QpStats {
 impl QpStats {
     pub fn new() -> Self {
         QpStats::default()
+    }
+
+    /// Publish this query's counters onto the global metrics registry
+    /// (`fedoo_qp_*`, DESIGN.md §10). The struct itself stays the per-query
+    /// view — the registry accumulates across queries, which is exactly why
+    /// a reused `QueryEngine` can report fresh per-query stats while the
+    /// process-wide totals keep growing.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("fedoo_qp_rows_scanned_total", self.rows_scanned);
+        obs::counter_add("fedoo_qp_rows_emitted_total", self.rows_emitted);
+        obs::counter_add("fedoo_qp_pushdown_preds_total", self.pushdown_preds);
+        obs::counter_add("fedoo_qp_pushdown_pruned_total", self.pushdown_pruned);
+        obs::counter_add("fedoo_qp_scans_total", self.scans);
+        obs::counter_add("fedoo_qp_joins_total", self.joins);
+        obs::counter_add("fedoo_qp_cache_hits_total", self.cache_hits);
+        obs::counter_add("fedoo_qp_cache_misses_total", self.cache_misses);
+        obs::counter_add("fedoo_qp_derived_facts_total", self.derived_facts);
+        obs::counter_add("fedoo_qp_retries_total", self.retries);
+        obs::counter_add("fedoo_qp_breaker_trips_total", self.breaker_trips);
+        obs::counter_add("fedoo_qp_degraded_total", self.degraded);
+        obs::histogram_record("fedoo_qp_query_micros", self.micros);
+        obs::histogram_record("fedoo_qp_rows_emitted", self.rows_emitted);
     }
 }
 

@@ -119,6 +119,25 @@ impl EvalStats {
             ..EvalStats::default()
         }
     }
+
+    /// Publish this run's counters onto the global metrics registry
+    /// (`fedoo_deduction_*`, DESIGN.md §10). The struct stays the per-run
+    /// view; the registry accumulates across runs while a sink is installed.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("fedoo_deduction_iterations_total", self.iterations);
+        obs::counter_add("fedoo_deduction_rules_fired_total", self.rules_fired);
+        obs::counter_add(
+            "fedoo_deduction_rules_skipped_no_delta_total",
+            self.rules_skipped_no_delta,
+        );
+        obs::counter_add("fedoo_deduction_facts_derived_total", self.facts_derived);
+        obs::counter_add("fedoo_deduction_index_probes_total", self.index_probes);
+        obs::counter_add("fedoo_deduction_extent_scans_total", self.extent_scans);
+        obs::histogram_record("fedoo_deduction_facts_per_run", self.facts_derived);
+    }
 }
 
 impl fmt::Display for EvalStats {
@@ -891,6 +910,13 @@ impl Program {
         db: &mut FactDb,
         strategy: EvalStrategy,
     ) -> Result<EvalStats, EvalError> {
+        let _span = obs::span!(
+            "deduction.evaluate",
+            "deduction",
+            "strategy={strategy} rules={} facts={}",
+            self.rules.len(),
+            db.len()
+        );
         let rules = self.executable(true)?;
         for r in &rules {
             check_rule(r).map_err(|e| EvalError::Unsafe(e.to_string()))?;
@@ -924,7 +950,13 @@ impl Program {
         let mut stats = EvalStats::new(strategy);
         let probes0 = db.index_probes();
         let scans0 = db.extent_scans();
-        for stratum in &stratum_rules {
+        for (idx, stratum) in stratum_rules.iter().enumerate() {
+            let _span = obs::span!(
+                "deduction.stratum",
+                "deduction",
+                "stratum={idx} rules={}",
+                stratum.len()
+            );
             match strategy {
                 EvalStrategy::Naive => Self::saturate_naive(db, stratum, &mut stats)?,
                 EvalStrategy::SemiNaive => Self::saturate_semi_naive(db, stratum, &mut stats)?,
@@ -932,6 +964,7 @@ impl Program {
         }
         stats.index_probes = db.index_probes() - probes0;
         stats.extent_scans = db.extent_scans() - scans0;
+        stats.publish();
         Ok(stats)
     }
 
@@ -1047,6 +1080,12 @@ fn fire(
 ) -> Vec<Literal> {
     stats.rules_fired += firings.len() as u64;
     let run = |(rule, delta_pos): &(&CompiledRule<'_>, Option<usize>)| -> Vec<Literal> {
+        let _span = obs::span!(
+            "deduction.fire",
+            "deduction",
+            "head={} delta_pos={delta_pos:?}",
+            rule.head
+        );
         let substs = match delta_pos {
             Some(i) => db.query_delta(rule.body, *i, window),
             None => db.query(rule.body),
@@ -1449,6 +1488,38 @@ mod tests {
         assert!(stats.iterations >= 2); // derive round + empty fixpoint round
         assert!(stats.extent_scans > 0);
         assert_eq!(stats.index_probes, 0); // naive never probes
+    }
+
+    #[test]
+    fn evaluation_emits_spans_and_publishes_metrics() {
+        let _lock = obs::test_guard();
+        obs::install(obs::TimeSource::monotonic());
+        let prog = Program::new(vec![Rule::new(
+            Literal::pred("p", [Term::var("x")]),
+            vec![Literal::pred("e", [Term::var("x")])],
+        )]);
+        let mut db = FactDb::new();
+        db.insert_pred("e", vec![Value::Int(1)]);
+        let stats = prog
+            .evaluate_with(&mut db, EvalStrategy::SemiNaive)
+            .unwrap();
+        let session = obs::uninstall().unwrap();
+        let names: Vec<_> = session
+            .trace
+            .events
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(names.contains(&"deduction.evaluate"));
+        assert!(names.contains(&"deduction.stratum"));
+        assert!(names.contains(&"deduction.fire"));
+        assert!(
+            session
+                .metrics
+                .counter("fedoo_deduction_facts_derived_total")
+                >= stats.facts_derived
+        );
+        assert!(session.metrics.counter("fedoo_deduction_iterations_total") >= stats.iterations);
     }
 
     #[test]

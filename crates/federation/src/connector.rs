@@ -123,6 +123,14 @@ impl VirtualClock {
     pub fn advance_ms(&self, ms: u64) {
         self.0.fetch_add(ms, Ordering::SeqCst);
     }
+
+    /// Bridge this clock into the observability layer: an
+    /// [`obs::TimeSource`] that reads the same shared millisecond cell, so
+    /// deterministic tests get trace timestamps aligned with simulated
+    /// retry/backoff delays (`obs::install(clock.obs_time_source())`).
+    pub fn obs_time_source(&self) -> obs::TimeSource {
+        obs::TimeSource::virtual_ms(self.0.clone())
+    }
 }
 
 /// How far a [`FaultKind::Timeout`] fault advances the clock — far past
@@ -295,6 +303,15 @@ impl ComponentConnector for FaultyConnector {
     }
 
     fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError> {
+        if let Some(kind) = self.kind {
+            obs::instant!(
+                "federation.fault_injected",
+                "federation",
+                "component={} kind={kind}",
+                self.inner.component()
+            );
+            obs::counter!("fedoo_federation_faults_injected_total", 1);
+        }
         match self.kind {
             None => self.inner.fetch(),
             Some(FaultKind::Error) => Err(self.fail("injected error")),

@@ -224,18 +224,26 @@ impl GuardedConnector {
     pub fn fetch(&self) -> Result<ComponentSnapshot, ConnectorError> {
         let mut g = self.guard.lock().expect("guard lock");
         let component = self.inner.component();
+        let _span = obs::span!("federation.fetch", "federation", "component={component}");
         let mut delay = self.policy.backoff_ms.max(1);
         let mut last_err = None;
         let attempts = self.policy.max_attempts.max(1);
         for attempt in 1..=attempts {
             if !g.breaker.allow(self.clock.now_ms()) {
                 g.stats.short_circuits += 1;
+                obs::instant!(
+                    "federation.short_circuit",
+                    "federation",
+                    "component={component} breaker open"
+                );
+                obs::counter!("fedoo_federation_short_circuits_total", 1);
                 return Err(last_err.unwrap_or(ConnectorError::Unavailable {
                     component: component.to_string(),
                     reason: "circuit breaker open".to_string(),
                 }));
             }
             g.stats.attempts += 1;
+            obs::counter!("fedoo_federation_attempts_total", 1);
             let started = self.clock.now_ms();
             let result = self.inner.fetch();
             let elapsed = self.clock.now_ms().saturating_sub(started);
@@ -253,12 +261,31 @@ impl GuardedConnector {
                 }
                 Err(e) => {
                     g.stats.failures += 1;
+                    obs::counter!("fedoo_federation_failures_total", 1);
+                    obs::instant!(
+                        "federation.fault",
+                        "federation",
+                        "component={component} attempt={attempt}: {e}"
+                    );
                     if g.breaker.on_failure(self.clock.now_ms()) {
                         g.stats.trips += 1;
+                        obs::counter!("fedoo_federation_breaker_trips_total", 1);
+                        obs::instant!(
+                            "federation.breaker",
+                            "federation",
+                            "component={component} closed->open (cooldown {}ms)",
+                            self.policy.breaker_cooldown_ms
+                        );
                     }
                     last_err = Some(e);
                     if attempt < attempts {
                         g.stats.retries += 1;
+                        obs::counter!("fedoo_federation_retries_total", 1);
+                        obs::instant!(
+                            "federation.retry",
+                            "federation",
+                            "component={component} attempt={attempt} backoff={delay}ms"
+                        );
                         self.clock.advance_ms(delay);
                         delay = delay.saturating_mul(self.policy.backoff_multiplier.max(1) as u64);
                     }

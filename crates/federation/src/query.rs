@@ -191,6 +191,13 @@ impl<'a> FactMaterializer<'a> {
     /// its global class. With `filter` given, only classes in the set are
     /// materialised (goal-directed evaluation over the relevant slice).
     pub fn materialize(&self, filter: Option<&BTreeSet<String>>) -> Result<FactDb> {
+        let _span = obs::span!(
+            "federation.materialize",
+            "federation",
+            "components={} filtered={}",
+            self.components.len(),
+            filter.is_some()
+        );
         let mut facts = FactDb::new();
         for (schema, store) in self.components {
             for obj in store.iter() {
@@ -551,6 +558,7 @@ impl FederationDb {
                 ..EvalStats::default()
             });
         }
+        let _span = obs::span!("federation.saturate", "federation", "strategy={strategy}");
         let stats = self
             .program
             .evaluate_with(&mut self.facts, strategy)

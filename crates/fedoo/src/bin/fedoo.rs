@@ -7,10 +7,16 @@
 //! fedoo lint      <s1> <s2> <asserts> [--rules FILE] [--format human|json]
 //! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
 //! fedoo query     <s1> <s2> <asserts> <query|@file> [--data1 FILE] [--data2 FILE] [--pair ...]
-//!                 [--plan|--explain] [--strategy planned|saturate] [--format human|json]
-//!                 [--fault-plan FILE] [--partial-ok]
+//!                 [--plan|--explain] [--explain-analyze] [--strategy planned|saturate]
+//!                 [--format human|json] [--fault-plan FILE] [--partial-ok]
 //! fedoo show      <schema-file>
 //! ```
+//!
+//! Every subcommand additionally accepts the global observability
+//! options `--trace FILE [--trace-format jsonl|chrome|prom]`: spans and
+//! metrics recorded across the run are exported to `FILE` on exit
+//! (`chrome` traces load in `chrome://tracing` / Perfetto; `prom` emits
+//! Prometheus text exposition of the metrics registry instead of spans).
 //!
 //! `lint` runs the full `fedoo-analysis` sweep (FD01xx program analysis,
 //! FD02xx assertion consistency, FD03xx schema lints) and exits with
@@ -23,14 +29,85 @@ use fedoo::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match extract_trace_opts(&mut args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace.is_some() {
+        obs::install(obs::TimeSource::monotonic());
+    }
+    let code = match run(&args) {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    };
+    if let Some((path, format)) = trace {
+        if let Err(msg) = export_trace(&path, &format) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
     }
+    code
+}
+
+/// Strip the global `--trace FILE [--trace-format jsonl|chrome|prom]`
+/// options from the argument list, returning `(path, format)` when
+/// tracing was requested.
+///
+/// `fedoo integrate` keeps its historical *boolean* `--trace` flag: a
+/// bare `--trace` (end of args, or followed by another `--flag`) is left
+/// in place for the subcommand, while `--trace FILE` is consumed as the
+/// global option.
+fn extract_trace_opts(args: &mut Vec<String>) -> Result<Option<(String, String)>, String> {
+    let mut path: Option<String> = None;
+    let mut format: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" if args.get(i + 1).is_some_and(|v| !v.starts_with("--")) => {
+                args.remove(i);
+                path = Some(args.remove(i));
+            }
+            "--trace-format" => {
+                args.remove(i);
+                let v = if i < args.len() {
+                    args.remove(i)
+                } else {
+                    return Err("--trace-format needs `jsonl`, `chrome`, or `prom`".to_string());
+                };
+                if !matches!(v.as_str(), "jsonl" | "chrome" | "prom") {
+                    return Err(format!(
+                        "--trace-format must be `jsonl`, `chrome`, or `prom`, got `{v}`"
+                    ));
+                }
+                format = Some(v);
+            }
+            _ => i += 1,
+        }
+    }
+    match (path, format) {
+        (Some(p), f) => Ok(Some((p, f.unwrap_or_else(|| "jsonl".to_string())))),
+        (None, Some(_)) => Err("--trace-format requires --trace FILE".to_string()),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Drain the observability session into `path` in the chosen format.
+fn export_trace(path: &str, format: &str) -> Result<(), String> {
+    let session = obs::uninstall().ok_or("trace session was not installed")?;
+    let text = match format {
+        "jsonl" => obs::export::render_jsonl(&session.trace),
+        "chrome" => obs::export::render_chrome(&session.trace),
+        "prom" => obs::export::render_prometheus(&session.metrics),
+        other => return Err(format!("unknown trace format `{other}`")),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write trace `{path}`: {e}"))
 }
 
 fn usage() -> String {
@@ -40,9 +117,10 @@ fn usage() -> String {
      [--rules FILE] [--format human|json]\n  \
      fedoo query <s1> <s2> <assertions> <query|@file> [--data1 FILE] [--data2 FILE] \
      [--pair S1.cls.key=S2.cls.key]... \
-     [--plan|--explain] [--strategy planned|saturate] [--format human|json] \
-     [--fault-plan FILE] [--partial-ok]\n  \
-     fedoo show <schema>"
+     [--plan|--explain] [--explain-analyze] [--strategy planned|saturate] \
+     [--format human|json] [--fault-plan FILE] [--partial-ok]\n  \
+     fedoo show <schema>\n\
+     global options: --trace FILE [--trace-format jsonl|chrome|prom]"
         .to_string()
 }
 

@@ -10,14 +10,18 @@
 //! fedoo query <s1> <s2> <assertions> <query|@file>
 //!             [--data1 FILE] [--data2 FILE]
 //!             [--pair S1.class.key=S2.class.key]...
-//!             [--plan|--explain] [--strategy planned|saturate]
+//!             [--plan|--explain] [--explain-analyze]
+//!             [--strategy planned|saturate]
 //!             [--format human|json]
 //!             [--fault-plan FILE] [--partial-ok]
 //! ```
 //!
 //! The query is either inline text (`'?- <X: person | age: A>, A > 30.'`)
 //! or `@path` to read it from a file. `--plan` (synonym `--explain`)
-//! prints the optimizer's plan instead of executing it. `--pair`
+//! prints the optimizer's plan instead of executing it;
+//! `--explain-analyze` executes the query and prints the same tree
+//! annotated with each operator's actual row count and elapsed time,
+//! followed by the answer. `--pair`
 //! establishes cross-component object identity by key equality (the
 //! paper's matching-SSNs idiom) — without it, virtual classes derived
 //! from intersections stay empty.
@@ -89,6 +93,7 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
     let mut data_paths: [Option<String>; 2] = [None, None];
     let mut pair_specs: Vec<String> = Vec::new();
     let mut plan_only = false;
+    let mut analyze = false;
     let mut strategy = QueryStrategy::Planned;
     let mut format = QueryFormat::Human;
     let mut fault_plan_path: Option<String> = None;
@@ -110,6 +115,7 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
                     .clone(),
             ),
             "--plan" | "--explain" => plan_only = true,
+            "--explain-analyze" => analyze = true,
             "--strategy" => {
                 strategy = it
                     .next()
@@ -197,6 +203,40 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
             Err(e) => return Err(e.to_string()),
         };
         return Ok(QueryOutcome::ok(rendered));
+    }
+
+    if analyze {
+        if format == QueryFormat::Json {
+            return Err(
+                "--explain-analyze renders the annotated plan in human format only \
+                 (drop --format json)"
+                    .to_string(),
+            );
+        }
+        return match engine.ask_analyze(&query_text, strategy) {
+            Ok(analyzed) => {
+                if !analyzed.answer.completeness.is_complete() && !partial_ok {
+                    return Ok(QueryOutcome {
+                        rendered: format!(
+                            "query degraded: component(s) [{}] unavailable past policy; \
+                             rerun with --partial-ok to accept a partial answer\n",
+                            analyzed.answer.completeness.missing_components.join(", ")
+                        ),
+                        exit: 2,
+                    });
+                }
+                Ok(QueryOutcome::ok(analyzed.render_human()))
+            }
+            Err(QpError::Rejected(report)) => Ok(QueryOutcome {
+                rendered: format!("query rejected by analysis:\n{report}"),
+                exit: 1,
+            }),
+            Err(QpError::Unavailable(m)) => Ok(QueryOutcome {
+                rendered: format!("query degraded past policy: {m}\n"),
+                exit: 2,
+            }),
+            Err(e) => Err(e.to_string()),
+        };
     }
 
     match engine.ask_text(&query_text, strategy) {

@@ -1,0 +1,75 @@
+//! trace-check — validate a Chrome `trace_event` file produced by
+//! `fedoo --trace out.trace --trace-format chrome`.
+//!
+//! Usage: `trace-check FILE [--require-cats cat1,cat2,...]`
+//!
+//! Exits 0 if the file is well-formed JSON with LIFO-matched B/E span pairs
+//! per thread (and contains every required category), 1 otherwise. Used by
+//! the CI `trace-golden` job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<&str> = None;
+    let mut require_cats: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require-cats" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("trace-check: --require-cats needs a value");
+                    return ExitCode::FAILURE;
+                };
+                require_cats.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                println!("usage: trace-check FILE [--require-cats cat1,cat2,...]");
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other),
+            other => {
+                eprintln!("trace-check: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else {
+        eprintln!("usage: trace-check FILE [--require-cats cat1,cat2,...]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match obs::export::validate_chrome(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-check: {path}: INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for cat in &require_cats {
+        if !summary.cats.contains(cat) {
+            eprintln!(
+                "trace-check: {path}: missing required category {cat:?} (saw {:?})",
+                summary.cats
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "trace-check: {path}: OK — {} events ({} spans, {} instants) on {} thread(s), cats: {}",
+        summary.events,
+        summary.begins,
+        summary.instants,
+        summary.tids.len(),
+        summary.cats.iter().cloned().collect::<Vec<_>>().join(",")
+    );
+    ExitCode::SUCCESS
+}

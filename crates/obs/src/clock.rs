@@ -1,0 +1,69 @@
+//! Time sources for span timestamps.
+//!
+//! Production traces use a monotonic wall clock anchored at sink install
+//! time. Deterministic tests bridge the federation `VirtualClock` (a shared
+//! millisecond counter) in via [`TimeSource::virtual_ms`], so trace
+//! timestamps line up with simulated retry/backoff delays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where span timestamps come from. All timestamps are microseconds since
+/// the source's epoch (sink install for monotonic, clock zero for virtual).
+#[derive(Clone, Debug)]
+pub enum TimeSource {
+    /// Monotonic wall clock, anchored when the source was created.
+    Monotonic(Instant),
+    /// Shared millisecond counter (e.g. the federation `VirtualClock`'s
+    /// backing cell). Advancing the owning clock advances trace time.
+    VirtualMs(Arc<AtomicU64>),
+}
+
+impl TimeSource {
+    /// Monotonic source anchored at "now".
+    pub fn monotonic() -> Self {
+        TimeSource::Monotonic(Instant::now())
+    }
+
+    /// Deterministic source driven by a shared millisecond cell.
+    pub fn virtual_ms(cell: Arc<AtomicU64>) -> Self {
+        TimeSource::VirtualMs(cell)
+    }
+
+    /// Current timestamp in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            TimeSource::Monotonic(epoch) => epoch.elapsed().as_micros() as u64,
+            TimeSource::VirtualMs(cell) => cell.load(Ordering::SeqCst).saturating_mul(1000),
+        }
+    }
+}
+
+impl Default for TimeSource {
+    fn default() -> Self {
+        TimeSource::monotonic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_is_nondecreasing() {
+        let t = TimeSource::monotonic();
+        let a = t.now_us();
+        let b = t.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_tracks_cell_in_ms() {
+        let cell = Arc::new(AtomicU64::new(0));
+        let t = TimeSource::virtual_ms(cell.clone());
+        assert_eq!(t.now_us(), 0);
+        cell.store(7, Ordering::SeqCst);
+        assert_eq!(t.now_us(), 7000);
+    }
+}

@@ -1,0 +1,172 @@
+//! Metrics registry: named counters, gauges, and log-bucketed histograms.
+//!
+//! Naming convention (DESIGN.md §10): `fedoo_<crate>_<name>`, with counter
+//! names suffixed `_total`. The registry is cumulative for the lifetime of
+//! an installed sink; per-run structs (`EvalStats`, `QpStats`, ...) remain
+//! the per-run views and *publish* their totals here, which is what keeps
+//! reused engines from leaking one query's counters into the next.
+
+use std::collections::BTreeMap;
+
+/// Number of power-of-two histogram buckets. Bucket `i` counts samples with
+/// upper bound `2^i` (bucket 0 counts 0 and 1); the last bucket is +Inf.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram. Bucket upper bounds are 1, 2, 4, ..., 2^63.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Index of the bucket whose upper bound is the smallest power of two >= v.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        // ceil(log2(v)) for v >= 2; v=2 -> 1, v=3 -> 2, v=4 -> 2, ...
+        (64 - (v - 1).leading_zeros()) as usize
+    }
+    .min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (1u64 << i.min(63), *c))
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state. `buckets` holds `(upper_bound, count)` pairs for
+/// non-empty buckets only; counts are per-bucket (not cumulative) and always
+/// sum to `count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The live registry. One instance lives behind the global sink lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen registry state, sorted by metric name (BTreeMap order) so renders
+/// are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_smallest_covering_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_samples() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 3, 9, 100, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.buckets.iter().map(|(_, c)| c).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add("fedoo_test_hits_total", 2);
+        reg.counter_add("fedoo_test_hits_total", 3);
+        reg.gauge_set("fedoo_test_depth", -4);
+        reg.histogram_record("fedoo_test_rows", 10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fedoo_test_hits_total"), 5);
+        assert_eq!(snap.gauges["fedoo_test_depth"], -4);
+        assert_eq!(snap.histograms["fedoo_test_rows"].count, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Trace events and the ring-buffered sink.
+//!
+//! Spans are recorded as paired `Begin`/`End` events (Chrome `trace_event`
+//! "duration" style) rather than materialized span objects: recording is a
+//! single ring push under a short critical section, and hierarchy is
+//! recovered from nesting order per thread at export time.
+
+use std::collections::VecDeque;
+
+use crate::clock::TimeSource;
+
+/// Event phase, mirroring Chrome `trace_event` `ph` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span start (`ph: "B"`).
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+    /// Point-in-time event (`ph: "i"`), e.g. a retry or breaker transition.
+    Instant,
+}
+
+impl Phase {
+    pub fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Span name from the taxonomy, e.g. `qp.plan` (see DESIGN.md §10).
+    pub name: String,
+    /// Layer category: the originating crate (`core`, `deduction`, `qp`, ...).
+    pub cat: String,
+    pub phase: Phase,
+    /// Microseconds since the sink's time-source epoch.
+    pub ts_us: u64,
+    /// Small dense thread id (1 = first thread to record).
+    pub tid: u64,
+    /// Optional free-form detail (component name, row counts, ...).
+    pub detail: Option<String>,
+}
+
+/// A drained trace: the surviving events plus how many were dropped when the
+/// ring overflowed (oldest-first eviction).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub events: Vec<Event>,
+    pub dropped: u64,
+}
+
+/// Bounded ring buffer of events. Oldest events are evicted on overflow so a
+/// long run keeps its tail (the part being debugged) rather than its head.
+#[derive(Debug)]
+pub struct TraceSink {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    time: TimeSource,
+}
+
+/// Default ring capacity: generous enough for full golden-query traces,
+/// bounded so a saturating workload cannot exhaust memory.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+impl TraceSink {
+    pub fn new(capacity: usize, time: TimeSource) -> Self {
+        TraceSink {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            time,
+        }
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.time.now_us()
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Drain into an owned [`Trace`], leaving the sink empty but installed.
+    pub fn drain(&mut self) -> Trace {
+        Trace {
+            events: self.ring.drain(..).collect(),
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+
+    /// Copy the current contents without draining.
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            events: self.ring.iter().cloned().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, phase: Phase) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "test".to_string(),
+            phase,
+            ts_us: 0,
+            tid: 1,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut sink = TraceSink::new(3, TimeSource::monotonic());
+        for i in 0..5 {
+            sink.push(ev(&format!("e{i}"), Phase::Instant));
+        }
+        let trace = sink.drain();
+        assert_eq!(trace.dropped, 2);
+        let names: Vec<_> = trace.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn snapshot_preserves_contents() {
+        let mut sink = TraceSink::new(8, TimeSource::monotonic());
+        sink.push(ev("a", Phase::Begin));
+        sink.push(ev("a", Phase::End));
+        let snap = sink.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(sink.len(), 2);
+    }
+}

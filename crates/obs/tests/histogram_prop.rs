@@ -1,0 +1,51 @@
+//! Property tests for the metrics registry (ISSUE 5 satellite): histogram
+//! bucket counts must always sum to the recorded sample count, and the
+//! Prometheus exposition's +Inf bucket must equal `_count`.
+
+use obs::metrics::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_counts_sum_to_sample_count(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let bucket_total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        // bucket upper bounds are strictly increasing powers of two
+        for w in snap.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn samples_fall_at_or_below_their_bucket_bound(v in 0u64..=u64::MAX) {
+        let mut h = Histogram::default();
+        h.record(v);
+        let snap = h.snapshot();
+        let (le, count) = snap.buckets[0];
+        prop_assert_eq!(count, 1);
+        // the final bucket (2^63) doubles as +Inf and may undercover
+        if le < (1u64 << 63) {
+            prop_assert!(v <= le, "sample {} exceeds bucket bound {}", v, le);
+            prop_assert!(le == 1 || v > le / 2, "sample {} in too-large bucket {}", v, le);
+        }
+    }
+
+    #[test]
+    fn prometheus_inf_bucket_matches_count(values in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut reg = MetricsRegistry::default();
+        for &v in &values {
+            reg.histogram_record("fedoo_test_prop", v);
+        }
+        let text = obs::export::render_prometheus(&reg.snapshot());
+        let needle = format!("fedoo_test_prop_bucket{{le=\"+Inf\"}} {}", values.len());
+        prop_assert!(text.contains(&needle), "missing {:?} in:\n{}", needle, text);
+    }
+}

@@ -1,0 +1,175 @@
+//! `EXPLAIN ANALYZE` rendering: the plan tree annotated with the
+//! per-operator actuals an execution recorded in [`OpProfile`].
+//!
+//! The layout mirrors [`QueryPlan::render_human`] line for line, so a
+//! plain `--explain` golden stays a prefix-modulo-annotations of the
+//! analyzed one: each operator line gains `(actual N rows, T µs)` after
+//! the planner's estimate, and join/anti-join scan sub-lines are
+//! annotated with the scan side's own actuals. Timings vary run to run;
+//! goldens normalise the `T µs` token and pin everything else.
+
+use crate::exec::OpProfile;
+use crate::plan::{indent, render_scan, PlanNode, QueryPlan};
+
+/// Render `plan` with the actuals from `profile` merged in.
+///
+/// The profile tree mirrors the plan tree by construction (the executor
+/// builds it while walking the plan); if the shapes ever disagree —
+/// e.g. a cache-served or fallback answer profiled as a single node —
+/// the annotation degrades gracefully: nodes without a matching profile
+/// render without actuals.
+pub fn render_analyzed(plan: &QueryPlan, profile: &OpProfile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("answer vars: [{}]\n", plan.vars.join(", ")));
+    render_node(&plan.root, Some(profile), 0, &mut out);
+    out
+}
+
+fn actuals(p: &OpProfile) -> String {
+    format!(" (actual {} rows, {} µs)", p.rows_out, p.elapsed_us)
+}
+
+fn scan_actuals(p: &OpProfile) -> String {
+    format!(" (actual {} rows, {} µs)", p.scan_rows, p.scan_elapsed_us)
+}
+
+fn render_node(node: &PlanNode, profile: Option<&OpProfile>, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match node {
+        PlanNode::Seed(scan) => {
+            out.push_str("seed ");
+            render_scan(scan, out);
+            if let Some(p) = profile.filter(|p| p.op == "seed") {
+                out.push_str(&actuals(p));
+            }
+            out.push('\n');
+        }
+        PlanNode::Join {
+            input,
+            scan,
+            on,
+            est_rows,
+        } => {
+            let p = profile.filter(|p| p.op == "join");
+            out.push_str(&format!(
+                "join on [{}] (est {} rows)",
+                on.join(", "),
+                est_rows
+            ));
+            if let Some(p) = p {
+                out.push_str(&actuals(p));
+            }
+            out.push('\n');
+            render_node(input, p.and_then(|p| p.input.as_deref()), depth + 1, out);
+            indent(out, depth + 1);
+            render_scan(scan, out);
+            if let Some(p) = p {
+                out.push_str(&scan_actuals(p));
+            }
+            out.push('\n');
+        }
+        PlanNode::Filter { input, cmp } => {
+            let p = profile.filter(|p| p.op == "filter");
+            out.push_str(&format!("filter {cmp}"));
+            if let Some(p) = p {
+                out.push_str(&actuals(p));
+            }
+            out.push('\n');
+            render_node(input, p.and_then(|p| p.input.as_deref()), depth + 1, out);
+        }
+        PlanNode::AntiJoin { input, scan, on } => {
+            let p = profile.filter(|p| p.op == "anti-join");
+            out.push_str(&format!("anti-join on [{}]", on.join(", ")));
+            if let Some(p) = p {
+                out.push_str(&actuals(p));
+            }
+            out.push('\n');
+            render_node(input, p.and_then(|p| p.input.as_deref()), depth + 1, out);
+            indent(out, depth + 1);
+            render_scan(scan, out);
+            if let Some(p) = p {
+                out.push_str(&scan_actuals(p));
+            }
+            out.push('\n');
+        }
+        PlanNode::FullSaturate { reason } => {
+            out.push_str(&format!("full-saturate fallback ({reason})"));
+            // A fallback (or cache/saturate strategy) execution profiles
+            // as one leaf regardless of the node's label.
+            if let Some(p) = profile {
+                out.push_str(&actuals(p));
+            }
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ScanKind, ScanNode, ScanTarget};
+    use deduction::term::Literal;
+
+    fn scan(relation: &str, rows: u64) -> ScanNode {
+        ScanNode {
+            literal: Literal::pred("p", vec![]),
+            relation: relation.to_string(),
+            kind: ScanKind::Base {
+                targets: vec![ScanTarget {
+                    component: "C".into(),
+                    comp_idx: 0,
+                    classes: vec![relation.to_string()],
+                    rows,
+                }],
+            },
+            pushdown: vec![],
+            projection: vec![],
+            est_rows: rows,
+        }
+    }
+
+    #[test]
+    fn annotates_every_operator_line() {
+        let plan = QueryPlan {
+            vars: vec!["X".into()],
+            root: PlanNode::Join {
+                input: Box::new(PlanNode::Seed(scan("a", 3))),
+                scan: scan("b", 5),
+                on: vec!["X".into()],
+                est_rows: 4,
+            },
+        };
+        let profile = OpProfile {
+            op: "join",
+            rows_out: 2,
+            elapsed_us: 40,
+            scan_rows: 5,
+            scan_elapsed_us: 7,
+            input: Some(Box::new(OpProfile::leaf("seed", 3, 11))),
+        };
+        let text = render_analyzed(&plan, &profile);
+        assert!(
+            text.contains("join on [X] (est 4 rows) (actual 2 rows, 40 µs)"),
+            "join line missing actuals:\n{text}"
+        );
+        assert!(
+            text.contains("(actual 3 rows, 11 µs)"),
+            "seed line missing actuals:\n{text}"
+        );
+        assert!(
+            text.contains("(actual 5 rows, 7 µs)"),
+            "scan sub-line missing actuals:\n{text}"
+        );
+    }
+
+    #[test]
+    fn mismatched_profile_degrades_to_plain_plan() {
+        let plan = QueryPlan {
+            vars: vec!["X".into()],
+            root: PlanNode::Seed(scan("a", 3)),
+        };
+        let profile = OpProfile::leaf("cache", 3, 5);
+        let text = render_analyzed(&plan, &profile);
+        assert!(!text.contains("actual"), "unexpected actuals:\n{text}");
+    }
+}

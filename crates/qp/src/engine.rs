@@ -165,6 +165,25 @@ impl QueryAnswer {
     }
 }
 
+/// One answered-and-profiled query: the answer, the plan that produced
+/// it, and the per-operator actuals — the `--explain-analyze` payload.
+#[derive(Debug, Clone)]
+pub struct AnalyzedAnswer {
+    pub answer: QueryAnswer,
+    pub plan: QueryPlan,
+    pub profile: exec::OpProfile,
+}
+
+impl AnalyzedAnswer {
+    /// The annotated plan tree followed by the answer table.
+    pub fn render_human(&self) -> String {
+        let mut out = crate::analyze::render_analyzed(&self.plan, &self.profile);
+        out.push('\n');
+        out.push_str(&self.answer.render_human());
+        out
+    }
+}
+
 /// JSON rendering of one value.
 fn value_json(v: &Value) -> String {
     match v {
@@ -425,11 +444,38 @@ impl QueryEngine {
 
     /// Answer a parsed query.
     pub fn ask(&mut self, query: &GlobalQuery, strategy: QueryStrategy) -> Result<QueryAnswer> {
+        self.ask_inner(query, strategy, true)
+            .map(|(answer, ..)| answer)
+    }
+
+    /// Parse, answer, and profile query text — the `--explain-analyze`
+    /// entry point. Bypasses the result cache so the profile reflects a
+    /// real execution (the computed answer still populates the cache).
+    pub fn ask_analyze(&mut self, text: &str, strategy: QueryStrategy) -> Result<AnalyzedAnswer> {
+        let query = parse_query(text)?;
+        let (answer, plan, profile) = self.ask_inner(&query, strategy, false)?;
+        Ok(AnalyzedAnswer {
+            answer,
+            plan,
+            profile,
+        })
+    }
+
+    fn ask_inner(
+        &mut self,
+        query: &GlobalQuery,
+        strategy: QueryStrategy,
+        use_cache: bool,
+    ) -> Result<(QueryAnswer, QueryPlan, exec::OpProfile)> {
         let start = Instant::now();
+        let _ask_span = obs::span!("qp.ask", "qp", "strategy={}", strategy.as_str());
         let versions = self.refresh_extent_stats();
         // Both strategies validate and plan identically, so they reject
         // the same queries and share cache fingerprints per strategy.
-        let plan = self.plan_for(query)?;
+        let plan = {
+            let _span = obs::span!("qp.plan", "qp");
+            self.plan_for(query)?
+        };
         // A FullSaturate fingerprint carries only the fallback reason and
         // answer vars, not the body — two different queries can share it.
         // Mix in the canonical body so each caches under its own key.
@@ -444,24 +490,29 @@ impl QueryEngine {
             format!("{}|{}", strategy.as_str(), plan.fingerprint())
         };
 
-        if let Some((vars, rows)) = self.cache.get(&key, &versions) {
-            // Only complete answers are ever stored, so a hit — even
-            // during an outage — serves the fault-free answer.
-            let stats = QpStats {
-                cache_hits: 1,
-                rows_emitted: rows.len() as u64,
-                micros: start.elapsed().as_micros() as u64,
-                ..QpStats::new()
-            };
-            self.last_stats = Some(stats);
-            return Ok(QueryAnswer {
-                vars,
-                rows,
-                stats,
-                strategy,
-                from_cache: true,
-                completeness: AnswerCompleteness::complete(),
-            });
+        if use_cache {
+            if let Some((vars, rows)) = self.cache.get(&key, &versions) {
+                // Only complete answers are ever stored, so a hit — even
+                // during an outage — serves the fault-free answer.
+                let stats = QpStats {
+                    cache_hits: 1,
+                    rows_emitted: rows.len() as u64,
+                    micros: start.elapsed().as_micros() as u64,
+                    ..QpStats::new()
+                };
+                stats.publish();
+                self.last_stats = Some(stats);
+                let profile = exec::OpProfile::leaf("cache", rows.len() as u64, stats.micros);
+                let answer = QueryAnswer {
+                    vars,
+                    rows,
+                    stats,
+                    strategy,
+                    from_cache: true,
+                    completeness: AnswerCompleteness::complete(),
+                };
+                return Ok((answer, plan, profile));
+            }
         }
 
         // With a fault plan installed, fetch each component through its
@@ -479,19 +530,20 @@ impl QueryEngine {
             degrade::assess(&self.global, &query.body(), &degraded)?
         };
 
-        let (rows, mut stats) = match strategy {
+        let (rows, mut stats, profile) = match strategy {
             QueryStrategy::Planned if !matches!(plan.root, PlanNode::FullSaturate { .. }) => {
                 let comps = fault_components.as_deref().unwrap_or(&self.components);
                 let out =
                     exec::execute_degraded(&plan, &self.global, comps, &self.meta, &degraded)?;
-                (out.rows, out.stats)
+                (out.rows, out.stats, out.profile)
             }
             _ => {
-                if degraded.is_empty() {
+                let sat_start = Instant::now();
+                let rows = if degraded.is_empty() {
                     // Healthy (or recovered) federation: the cached
                     // reference state over the live components is
                     // identical to the fetched snapshot.
-                    (self.saturate_rows(query)?, QpStats::new())
+                    self.saturate_rows(query)?
                 } else {
                     // Degraded: saturate a throwaway state over the
                     // partial snapshot — never stored, so it cannot be
@@ -508,8 +560,19 @@ impl QueryEngine {
                     )?;
                     db.saturate()?;
                     let substs = db.query(&query.body())?;
-                    (normalize_rows(&substs, &plan.vars), QpStats::new())
-                }
+                    normalize_rows(&substs, &plan.vars)
+                };
+                let op = if matches!(plan.root, PlanNode::FullSaturate { .. }) {
+                    "full-saturate"
+                } else {
+                    "saturate"
+                };
+                let profile = exec::OpProfile::leaf(
+                    op,
+                    rows.len() as u64,
+                    sat_start.elapsed().as_micros() as u64,
+                );
+                (rows, QpStats::new(), profile)
             }
         };
         stats.cache_misses = 1;
@@ -525,15 +588,17 @@ impl QueryEngine {
             self.cache
                 .put(key, versions, plan.vars.clone(), rows.clone());
         }
+        stats.publish();
         self.last_stats = Some(stats);
-        Ok(QueryAnswer {
-            vars: plan.vars,
+        let answer = QueryAnswer {
+            vars: plan.vars.clone(),
             rows,
             stats,
             strategy,
             from_cache: false,
             completeness,
-        })
+        };
+        Ok((answer, plan, profile))
     }
 
     /// Fetch every component through the installed fault session, if
@@ -735,6 +800,84 @@ mod tests {
         assert_eq!(planned.rows.len(), 3, "{}", planned.render_human());
         assert_eq!(planned.rows, saturate.rows);
         assert_eq!(planned.vars, vec!["X", "T"]);
+    }
+
+    #[test]
+    fn ask_emits_spans_and_publishes_metrics() {
+        let _guard = obs::test_guard();
+        obs::install(obs::TimeSource::monotonic());
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let answer = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let session = obs::uninstall().expect("installed above");
+        let names: std::collections::BTreeSet<&str> = session
+            .trace
+            .events
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
+        for expected in [
+            "qp.ask",
+            "qp.plan",
+            "qp.execute",
+            "qp.op.seed",
+            "qp.op.scan",
+        ] {
+            assert!(
+                names.contains(expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        // `publish()` pushed this query's view into the cumulative
+        // registry (other tests under the guard cannot interleave).
+        assert!(
+            session.metrics.counter("fedoo_qp_rows_emitted_total") >= answer.rows.len() as u64,
+            "rows_emitted counter not published"
+        );
+        assert!(session.metrics.counter("fedoo_qp_cache_misses_total") >= 1);
+    }
+
+    #[test]
+    fn explain_analyze_profiles_a_real_execution() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let analyzed = engine.ask_analyze(&text, QueryStrategy::Planned).unwrap();
+        assert_eq!(analyzed.answer.rows.len(), 3);
+        assert!(!analyzed.answer.from_cache);
+        assert_eq!(analyzed.profile.op, "seed");
+        assert_eq!(analyzed.profile.rows_out, 3);
+        let rendered = analyzed.render_human();
+        assert!(
+            rendered.contains("(actual 3 rows,"),
+            "missing actuals:\n{rendered}"
+        );
+        // Analyze bypassed the cache on read but still populated it.
+        let again = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        assert!(again.from_cache);
+        // A later analyze still reflects a real execution, not a replay.
+        let re = engine.ask_analyze(&text, QueryStrategy::Planned).unwrap();
+        assert!(!re.answer.from_cache);
+        assert_eq!(re.answer.rows, analyzed.answer.rows);
+    }
+
+    #[test]
+    fn explain_analyze_fallback_profiles_single_node() {
+        let fsm = library_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        // A higher-order class variable forces the fallback plan.
+        let text = "?- <X: C>.";
+        let analyzed = engine.ask_analyze(text, QueryStrategy::Planned).unwrap();
+        assert_eq!(analyzed.profile.op, "full-saturate");
+        assert!(matches!(analyzed.plan.root, PlanNode::FullSaturate { .. }));
+        let rendered = analyzed.render_human();
+        assert!(
+            rendered.contains("full-saturate fallback") && rendered.contains("(actual"),
+            "fallback line missing actuals:\n{rendered}"
+        );
     }
 
     #[test]

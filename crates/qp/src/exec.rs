@@ -25,6 +25,41 @@ use fedoo_core::QpStats;
 use oo_model::{InstanceStore, Schema, Value};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// Per-operator actuals from one execution: output rows and elapsed time
+/// for every plan node, mirroring the plan tree's shape. This is what
+/// `--explain-analyze` renders next to the planner's estimates.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// Operator label: `seed`, `join`, `filter`, `anti-join`,
+    /// `full-saturate`, or `cache`.
+    pub op: &'static str,
+    /// Rows this node emitted (after joining/filtering).
+    pub rows_out: u64,
+    /// Wall-clock time spent in this node *including* its inputs.
+    pub elapsed_us: u64,
+    /// Rows produced by the node's scan side (seed/join/anti-join).
+    pub scan_rows: u64,
+    /// Time spent in the node's scan side alone.
+    pub scan_elapsed_us: u64,
+    /// The pipeline input's profile (absent for seed/full-saturate).
+    pub input: Option<Box<OpProfile>>,
+}
+
+impl OpProfile {
+    /// A single-node profile (fallback/saturate/cache answers).
+    pub fn leaf(op: &'static str, rows_out: u64, elapsed_us: u64) -> Self {
+        OpProfile {
+            op,
+            rows_out,
+            elapsed_us,
+            scan_rows: rows_out,
+            scan_elapsed_us: elapsed_us,
+            input: None,
+        }
+    }
+}
 
 /// The result of executing one plan.
 #[derive(Debug, Clone)]
@@ -32,6 +67,8 @@ pub struct ExecOutcome {
     /// Answer rows over the plan's `vars`, sorted and deduplicated.
     pub rows: Vec<Vec<Value>>,
     pub stats: QpStats,
+    /// Per-operator actuals, mirroring the plan tree.
+    pub profile: OpProfile,
 }
 
 /// Execute a pipeline plan. [`PlanNode::FullSaturate`] roots are the
@@ -78,7 +115,8 @@ pub fn execute_degraded(
         derived,
         stats,
     };
-    let substs = eval_node(&mut ctx, &plan.root)?;
+    let _exec_span = obs::span!("qp.execute", "qp", "degraded={}", degraded.len());
+    let (substs, profile) = eval_node(&mut ctx, &plan.root)?;
     let mut stats = ctx.stats;
 
     let mut rows: Vec<Vec<Value>> = substs
@@ -93,7 +131,11 @@ pub fn execute_degraded(
     rows.sort();
     rows.dedup();
     stats.rows_emitted = rows.len() as u64;
-    Ok(ExecOutcome { rows, stats })
+    Ok(ExecOutcome {
+        rows,
+        stats,
+        profile,
+    })
 }
 
 /// Union of the relevance closures of every derived scan in the plan.
@@ -125,19 +167,39 @@ struct Ctx<'a> {
     stats: QpStats,
 }
 
-fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<Vec<Subst>> {
+fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfile)> {
+    let start = Instant::now();
     match node {
-        PlanNode::Seed(scan) => scan_exec(ctx, scan),
+        PlanNode::Seed(scan) => {
+            let _span = obs::span!("qp.op.seed", "qp", "relation={}", scan.relation);
+            let rows = scan_exec(ctx, scan)?;
+            let elapsed = start.elapsed().as_micros() as u64;
+            let profile = OpProfile::leaf("seed", rows.len() as u64, elapsed);
+            Ok((rows, profile))
+        }
         PlanNode::Join {
             input, scan, on, ..
         } => {
-            let left = eval_node(ctx, input)?;
+            let (left, left_prof) = eval_node(ctx, input)?;
+            let _span = obs::span!("qp.op.join", "qp", "relation={} on={on:?}", scan.relation);
+            let scan_start = Instant::now();
             let right = scan_exec(ctx, scan)?;
+            let scan_elapsed = scan_start.elapsed().as_micros() as u64;
             ctx.stats.joins += 1;
-            Ok(hash_join(&left, &right, on, &scan.literal))
+            let out = hash_join(&left, &right, on, &scan.literal);
+            let profile = OpProfile {
+                op: "join",
+                rows_out: out.len() as u64,
+                elapsed_us: start.elapsed().as_micros() as u64,
+                scan_rows: right.len() as u64,
+                scan_elapsed_us: scan_elapsed,
+                input: Some(Box::new(left_prof)),
+            };
+            Ok((out, profile))
         }
         PlanNode::Filter { input, cmp } => {
-            let mut rows = eval_node(ctx, input)?;
+            let (mut rows, input_prof) = eval_node(ctx, input)?;
+            let _span = obs::span!("qp.op.filter", "qp", "cmp={cmp}");
             let Literal::Cmp { left, op, right } = cmp else {
                 return Err(QpError::Plan(format!("filter node holds non-cmp `{cmp}`")));
             };
@@ -145,17 +207,41 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<Vec<Subst>> {
                 (Some(l), Some(r)) => op.eval(&l, &r),
                 _ => false,
             });
-            Ok(rows)
+            let profile = OpProfile {
+                op: "filter",
+                rows_out: rows.len() as u64,
+                elapsed_us: start.elapsed().as_micros() as u64,
+                scan_rows: 0,
+                scan_elapsed_us: 0,
+                input: Some(Box::new(input_prof)),
+            };
+            Ok((rows, profile))
         }
         PlanNode::AntiJoin { input, scan, on } => {
-            let mut rows = eval_node(ctx, input)?;
+            let (mut rows, input_prof) = eval_node(ctx, input)?;
+            let _span = obs::span!(
+                "qp.op.anti_join",
+                "qp",
+                "relation={} on={on:?}",
+                scan.relation
+            );
+            let scan_start = Instant::now();
             let right = scan_exec(ctx, scan)?;
+            let scan_elapsed = scan_start.elapsed().as_micros() as u64;
             let keys: HashSet<Vec<Value>> = right.iter().filter_map(|s| key_of(s, on)).collect();
             rows.retain(|s| match key_of(s, on) {
                 Some(k) => !keys.contains(&k),
                 None => true,
             });
-            Ok(rows)
+            let profile = OpProfile {
+                op: "anti-join",
+                rows_out: rows.len() as u64,
+                elapsed_us: start.elapsed().as_micros() as u64,
+                scan_rows: right.len() as u64,
+                scan_elapsed_us: scan_elapsed,
+                input: Some(Box::new(input_prof)),
+            };
+            Ok((rows, profile))
         }
         PlanNode::FullSaturate { reason } => Err(QpError::Plan(format!(
             "full-saturate fallback reached the executor ({reason})"
@@ -204,6 +290,13 @@ fn hash_join(left: &[Subst], right: &[Subst], on: &[String], scan_lit: &Literal)
 /// Run one scan: scatter base scans across component targets in
 /// parallel, or probe the restricted deduction state for derived ones.
 fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
+    let _span = obs::span!(
+        "qp.op.scan",
+        "qp",
+        "relation={} pushdown={}",
+        scan.relation,
+        scan.pushdown.len()
+    );
     ctx.stats.scans += 1;
     ctx.stats.pushdown_preds += scan.pushdown.len() as u64;
     match &scan.kind {

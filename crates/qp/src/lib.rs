@@ -28,6 +28,7 @@
 //! The two strategies are differentially tested to return identical
 //! answer sets (`tests/differential.rs`).
 
+pub mod analyze;
 pub mod cache;
 pub mod degrade;
 pub mod engine;
@@ -36,10 +37,11 @@ pub mod parser;
 pub mod plan;
 pub mod planner;
 
+pub use analyze::render_analyzed;
 pub use cache::{CacheStats, ResultCache};
 pub use degrade::AnswerCompleteness;
-pub use engine::{normalize_rows, QueryAnswer, QueryEngine};
-pub use exec::{execute, execute_degraded, ExecOutcome};
+pub use engine::{normalize_rows, AnalyzedAnswer, QueryAnswer, QueryEngine};
+pub use exec::{execute, execute_degraded, ExecOutcome, OpProfile};
 pub use parser::{parse_query, GlobalQuery, ParseError, SpannedLiteral};
 pub use plan::{PlanNode, QueryPlan, QueryStrategy, ScanKind, ScanNode, ScanTarget};
 pub use planner::Planner;

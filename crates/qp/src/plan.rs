@@ -201,13 +201,13 @@ impl fmt::Display for QueryPlan {
     }
 }
 
-fn indent(out: &mut String, depth: usize) {
+pub(crate) fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
     }
 }
 
-fn render_scan(scan: &ScanNode, out: &mut String) {
+pub(crate) fn render_scan(scan: &ScanNode, out: &mut String) {
     out.push_str(&format!("scan {} ", scan.literal));
     match &scan.kind {
         ScanKind::Base { targets } => {

@@ -471,11 +471,17 @@ impl<'a> Planner<'a> {
         }
         by_comp
             .into_iter()
-            .map(|(comp_idx, (component, classes, rows))| ScanTarget {
-                component,
-                comp_idx,
-                classes,
-                rows,
+            .map(|(comp_idx, (component, mut classes, rows))| {
+                // The origin map iterates in hash order; sort so the scan
+                // line (and therefore `--explain` goldens and the plan
+                // fingerprint) renders identically run to run.
+                classes.sort();
+                ScanTarget {
+                    component,
+                    comp_idx,
+                    classes,
+                    rows,
+                }
             })
             .collect()
     }

@@ -313,6 +313,35 @@ fn breaker_trips_are_counted_and_surfaced() {
     assert_eq!(again.stats.retries, 0, "open breaker skips retry storms");
 }
 
+/// Regression: on a reused engine, each answer's per-query stats must
+/// cover only its own execution — the second query's retry/trip/degraded
+/// counters must exclude the first query's fault accounting. (Cumulative
+/// totals live in the `obs` metrics registry, not here.)
+#[test]
+fn reused_engine_resets_fault_counters_between_queries() {
+    let fsm = library_fsm();
+    let mut eng = engine(&fsm);
+    let g = eng.global().global_class("S1", "book").unwrap().to_string();
+    let first = format!("?- <X: {g} | title: T>.");
+    let second = format!("?- <X: {g} | title: T, year: Y>, Y >= 1987.");
+    eng.apply_fault_plan(
+        FaultPlan::none().with("S2", FaultKind::Transient(2)),
+        RetryPolicy::default(),
+    );
+    let a = eng.ask_text(&first, QueryStrategy::Planned).unwrap();
+    assert_eq!(a.stats.retries, 2, "transient fault costs two retries");
+    assert!(a.completeness.is_complete());
+
+    // Different query, so no cache hit: a fresh execution whose stats
+    // must start from zero, not accumulate the earlier retries.
+    let b = eng.ask_text(&second, QueryStrategy::Planned).unwrap();
+    assert!(!b.from_cache);
+    assert_eq!(b.stats.retries, 0, "second query leaked first's retries");
+    assert_eq!(b.stats.breaker_trips, 0);
+    assert_eq!(b.stats.degraded, 0);
+    assert_eq!(eng.last_stats().unwrap().retries, 0);
+}
+
 #[test]
 fn store_mutation_rebuilds_fault_session_connectors() {
     let fsm = library_fsm();

@@ -1,0 +1,96 @@
+//! End-to-end observability: one traced `fedoo query` run must export a
+//! Chrome-loadable trace whose spans cover every pipeline layer —
+//! integration (core), deduction, planning/execution (qp), and the
+//! federation connectors — plus a Prometheus metrics exposition, and the
+//! JSONL export must round-trip through its own parser.
+//!
+//! This is the acceptance criterion for the observability subsystem: the
+//! layers are exercised through the public `run_query` entry point (the
+//! same code path as the binary), not through synthetic span emission.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn args(case: &str) -> Vec<String> {
+    std::fs::read_to_string(repo_root().join("testdata/qp").join(format!("{case}.args")))
+        .expect("args fixture")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Run the derived-join golden case (derived scan → deduction) and the
+/// faulted partial-answer case (connector retries → degradation) under
+/// one installed sink, capturing spans from every layer in one session.
+fn traced_session() -> obs::Session {
+    obs::install(obs::TimeSource::monotonic());
+    let root = repo_root();
+    let derived = fedoo::query::run_query(&args("derived_join"), Some(&root)).expect("derived");
+    assert_eq!(derived.exit, 0);
+    let faulted = fedoo::query::run_query(&args("fault_partial_ok"), Some(&root)).expect("faulted");
+    assert_eq!(faulted.exit, 0, "{}", faulted.rendered);
+    obs::uninstall().expect("installed above")
+}
+
+#[test]
+fn one_trace_covers_every_pipeline_layer() {
+    let _guard = obs::test_guard();
+    let session = traced_session();
+
+    // Chrome export: well-formed, balanced, and layer-complete.
+    let chrome = obs::export::render_chrome(&session.trace);
+    let summary = obs::export::validate_chrome(&chrome).expect("chrome trace validates");
+    assert!(summary.begins > 0 && summary.begins == summary.ends);
+    for cat in ["core", "deduction", "qp", "federation", "assertions"] {
+        assert!(
+            summary.cats.contains(cat),
+            "no `{cat}` spans in trace; got {:?}",
+            summary.cats
+        );
+    }
+    for name in [
+        "core.integrate",
+        "deduction.evaluate",
+        "qp.plan",
+        "qp.execute",
+        "federation.fetch",
+        "federation.retry",
+    ] {
+        assert!(
+            summary.names.contains(name),
+            "span `{name}` missing; got {:?}",
+            summary.names
+        );
+    }
+
+    // JSONL export round-trips through its own parser.
+    let jsonl = obs::export::render_jsonl(&session.trace);
+    let parsed = obs::export::parse_jsonl(&jsonl).expect("jsonl parses");
+    assert_eq!(parsed.events.len(), session.trace.events.len());
+    assert_eq!(parsed.dropped, session.trace.dropped);
+
+    // Metrics registry saw both the deduction and the fault layers.
+    let m = &session.metrics;
+    assert!(m.counter("fedoo_deduction_rules_fired_total") > 0);
+    assert!(m.counter("fedoo_qp_rows_emitted_total") > 0);
+    assert!(
+        m.counter("fedoo_federation_retries_total") > 0,
+        "faulted run should have recorded connector retries"
+    );
+    let prom = obs::export::render_prometheus(m);
+    assert!(prom.contains("fedoo_qp_rows_emitted_total"), "{prom}");
+}
+
+/// The disabled path records nothing: with no sink installed the same
+/// runs leave `obs` inert (guard held so no parallel test installs one).
+#[test]
+fn untraced_runs_record_nothing() {
+    let _guard = obs::test_guard();
+    assert!(!obs::enabled());
+    let root = repo_root();
+    fedoo::query::run_query(&args("derived_join"), Some(&root)).expect("derived");
+    assert!(obs::uninstall().is_none());
+}

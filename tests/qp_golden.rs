@@ -9,8 +9,30 @@
 //!
 //! To regenerate after an intentional change:
 //! `fedoo query $(cat testdata/qp/<case>.args) > testdata/qp/<case>.golden`
+//! (`--explain-analyze` goldens additionally pipe through
+//! `sed -E 's/[0-9]+ µs\)/_ µs)/g'` to blank the wall-clock numbers.)
 
 use std::path::{Path, PathBuf};
+
+/// Replace the digits in every `N µs)` timing token with `_`, so
+/// `--explain-analyze` goldens pin actual row counts and tree shape but
+/// not wall-clock times. Idempotent, and the identity on outputs with no
+/// timing tokens; the CI query-golden job applies the same rewrite with
+/// `sed` before diffing against the built binary.
+fn normalize_timings(s: &str) -> String {
+    let mut parts = s.split(" µs)");
+    let mut out = String::with_capacity(s.len());
+    out.push_str(parts.next().unwrap_or(""));
+    for part in parts {
+        let kept = out
+            .trim_end_matches(|c: char| c.is_ascii_digit() || c == '_')
+            .len();
+        out.truncate(kept);
+        out.push_str("_ µs)");
+        out.push_str(part);
+    }
+    out
+}
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -43,13 +65,17 @@ fn every_args_file_has_a_golden_and_matches() {
         .collect();
     cases.sort();
     assert!(
-        cases.len() >= 9,
+        cases.len() >= 11,
         "expected the full query-golden fixture set, found {}",
         cases.len()
     );
     for case in &cases {
         let (outcome, want) = replay(case);
-        assert_eq!(outcome.rendered, want, "golden mismatch for `{case}`");
+        assert_eq!(
+            normalize_timings(&outcome.rendered),
+            normalize_timings(&want),
+            "golden mismatch for `{case}`"
+        );
         // The exit code is part of the contract, derivable from the
         // golden itself: 1 for rejection reports, 2 for degradations
         // past policy, 0 otherwise. The CI query-golden job asserts the
@@ -72,6 +98,18 @@ fn planned_and_saturate_goldens_agree() {
     let (planned, _) = replay("base_scan");
     let (saturate, _) = replay("base_scan_saturate");
     assert_eq!(planned.rendered, saturate.rendered);
+}
+
+/// `--explain-analyze` output matches its golden modulo timings, carries
+/// per-operator actuals, and the normalizer is idempotent (so goldens —
+/// already normalized — pass through the same rewrite unchanged).
+#[test]
+fn explain_analyze_golden_pins_actuals() {
+    let (outcome, want) = replay("explain_analyze_join");
+    assert!(outcome.rendered.contains("(actual"), "{}", outcome.rendered);
+    assert!(want.contains("_ µs)"), "golden should be pre-normalized");
+    let once = normalize_timings(&outcome.rendered);
+    assert_eq!(once, normalize_timings(&once), "normalizer not idempotent");
 }
 
 /// `--plan` and `--explain` are synonyms and deterministic across runs.
