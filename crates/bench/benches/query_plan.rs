@@ -1,20 +1,34 @@
 //! Planned vs saturate-everything query answering as component extents
 //! grow, snapshotted to `BENCH_query_plan.json` for the perf trajectory.
 //!
-//! The federation is the working-set shape the planner is built for: a
-//! merged class (`person == human`, n objects a side), an intersection
-//! (`course & staff`, n/2 objects a side, half of them paired) whose
-//! virtual classes are rule-derived, and three query profiles:
+//! The federation models the shape the planner is built for: a small
+//! query working set inside a much wider federation. The working set is
+//! a merged class (`person == human`, n objects a side) and an
+//! intersection (`course & staff`, n/2 objects a side, half of them
+//! paired) whose virtual classes are rule-derived; around it sit
+//! `BALLAST_PAIRS` unrelated intersection families (`archive_k` /
+//! `record_k`, n objects a side) that no benchmark query ever touches —
+//! the realistic dead weight a saturate-everything evaluator must
+//! materialise and saturate while a goal-directed planner skips it.
 //!
-//! * `selective_point` — constant-equality lookup; the planner pushes the
-//!   predicate into the component scans and never touches the rules;
-//! * `non_selective_scan` — reads a whole merged extent; planning saves
-//!   only the rule saturation;
-//! * `derived_goal` — a virtual-class query; the planner restricts
-//!   saturation to the relevance closure instead of the whole federation.
+//! On top of the integration rules the fixture injects derivation
+//! chains so goal-directedness is measurable beyond one hop:
 //!
-//! Every repetition builds a fresh engine (cold cache, cold saturation)
-//! so the comparison measures the strategies, not the result cache.
+//! * `tier1 ⇐ course_staff ∧ staff`, `tier2 ⇐ tier1 ∧ staff`,
+//!   `tier3 ⇐ tier2 ∧ staff` — linear 2-hop/4-hop chains;
+//! * `rec ⇐ course_staff`, `rec ⇐ recb`, `recb ⇐ rec ∧ staff` — a
+//!   recursive cycle.
+//!
+//! Six query profiles run under three strategies each:
+//!
+//! * `saturate_ns` — materialise and saturate the whole federation;
+//! * `relevance_ns` — planned with demand seeding disabled: projected
+//!   materialisation + relevance-closure saturation;
+//! * `planned_ns` — the full planner with magic-sets demand seeding.
+//!
+//! Timing covers the *ask only*: every repetition builds a fresh engine
+//! (cold cache, cold saturation) outside the timed region, so the
+//! numbers compare evaluation strategies, not fixture cloning.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedoo::federation::agent::Agent;
@@ -22,31 +36,51 @@ use fedoo::prelude::*;
 use fedoo::qp::QueryEngine;
 use std::time::{Duration, Instant};
 
+/// Unrelated intersection families the queries never touch.
+const BALLAST_PAIRS: usize = 32;
+
 struct Fixture {
     global: fedoo::federation::fsm::GlobalSchema,
     components: Vec<(Schema, InstanceStore)>,
     meta: MetaRegistry,
 }
 
+fn oterm(var: &str, class: &str) -> Literal {
+    Literal::oterm(OTermPat::new(Term::var(var), class))
+}
+
 fn build_fixture(n: usize) -> Fixture {
-    let s1 = SchemaBuilder::new("x")
+    let mut b1 = SchemaBuilder::new("x")
         .class("person", |c| {
             c.attr("ssn", AttrType::Str).attr("age", AttrType::Int)
         })
         .class("course", |c| {
             c.attr("code", AttrType::Str).attr("credits", AttrType::Int)
-        })
-        .build()
-        .unwrap();
-    let s2 = SchemaBuilder::new("x")
+        });
+    let mut b2 = SchemaBuilder::new("x")
         .class("human", |c| {
             c.attr("hssn", AttrType::Str).attr("weight", AttrType::Int)
         })
         .class("staff", |c| {
             c.attr("sssn", AttrType::Str).attr("salary", AttrType::Int)
-        })
-        .build()
-        .unwrap();
+        });
+    for k in 0..BALLAST_PAIRS {
+        b1 = b1.class(format!("archive{k}").as_str(), |c| {
+            c.attr("akey", AttrType::Str)
+                .attr("asize", AttrType::Int)
+                .attr("alabel", AttrType::Str)
+                .attr("ayear", AttrType::Int)
+        });
+        b2 = b2.class(format!("record{k}").as_str(), |c| {
+            c.attr("rkey", AttrType::Str)
+                .attr("rsize", AttrType::Int)
+                .attr("rlabel", AttrType::Str)
+                .attr("ryear", AttrType::Int)
+        });
+    }
+    let s1 = b1.build().unwrap();
+    let s2 = b2.build().unwrap();
+
     let mut st1 = InstanceStore::new();
     for i in 0..n {
         st1.create(&s1, "person", |o| {
@@ -78,6 +112,26 @@ fn build_fixture(n: usize) -> Fixture {
         })
         .unwrap();
     }
+    for k in 0..BALLAST_PAIRS {
+        let (ca, cr) = (format!("archive{k}"), format!("record{k}"));
+        for i in 0..n {
+            st1.create(&s1, &ca, |o| {
+                o.with_attr("akey", format!("a{k}_{i}"))
+                    .with_attr("asize", (i % 512) as i64)
+                    .with_attr("alabel", format!("box{}", i % 17))
+                    .with_attr("ayear", (1990 + i % 30) as i64)
+            })
+            .unwrap();
+            st2.create(&s2, &cr, |o| {
+                o.with_attr("rkey", format!("a{k}_{i}"))
+                    .with_attr("rsize", (i % 512) as i64)
+                    .with_attr("rlabel", format!("box{}", i % 17))
+                    .with_attr("ryear", (1990 + i % 30) as i64)
+            })
+            .unwrap();
+        }
+    }
+
     let mut fsm = Fsm::new();
     fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
         .unwrap();
@@ -101,7 +155,19 @@ fn build_fixture(n: usize) -> Fixture {
             ),
         ),
     );
-    // Key-equality object pairing for the intersection.
+    for k in 0..BALLAST_PAIRS {
+        let (ca, cr) = (format!("archive{k}"), format!("record{k}"));
+        fsm.add_assertion(
+            ClassAssertion::simple("S1", &ca, ClassOp::Intersect, "S2", &cr).attr_corr(
+                AttrCorr::new(
+                    SPath::attr("S1", &ca, "akey"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", &cr, "rkey"),
+                ),
+            ),
+        );
+    }
+    // Key-equality object pairing for the course/staff intersection.
     let pairs: Vec<(Oid, Oid)> = {
         let comps = fsm.components();
         let by_key = |ci: usize, class: &str, key: &str| {
@@ -126,7 +192,32 @@ fn build_fixture(n: usize) -> Fixture {
     for (a, b) in pairs {
         fsm.meta.pairing.pair(a, b);
     }
-    let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+    let mut global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+    // Derivation chains over the integrated program: linear tiers for the
+    // 2-hop and 4-hop goals, and a recursive cycle through `recb`.
+    global.rules.push(Rule::new(
+        oterm("X", "tier1"),
+        vec![oterm("X", "course_staff"), oterm("X", "staff")],
+    ));
+    global.rules.push(Rule::new(
+        oterm("X", "tier2"),
+        vec![oterm("X", "tier1"), oterm("X", "staff")],
+    ));
+    global.rules.push(Rule::new(
+        oterm("X", "tier3"),
+        vec![oterm("X", "tier2"), oterm("X", "staff")],
+    ));
+    global.rules.push(Rule::new(
+        oterm("X", "rec"),
+        vec![oterm("X", "course_staff")],
+    ));
+    global
+        .rules
+        .push(Rule::new(oterm("X", "rec"), vec![oterm("X", "recb")]));
+    global.rules.push(Rule::new(
+        oterm("X", "recb"),
+        vec![oterm("X", "rec"), oterm("X", "staff")],
+    ));
     let components: Vec<(Schema, InstanceStore)> = fsm
         .components()
         .iter()
@@ -139,22 +230,29 @@ fn build_fixture(n: usize) -> Fixture {
     }
 }
 
-fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
-    let mut samples: Vec<Duration> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed()
-        })
-        .collect();
+/// Median ask time over `reps` cold engines; the engine build (component
+/// clone, planner setup) happens *outside* the timed region so the
+/// measurement compares evaluation strategies, not fixture cloning.
+/// Returns the median nanoseconds and the (identical-per-rep) row count.
+fn ask_median(
+    fx: &Fixture,
+    query: &str,
+    strategy: fedoo::qp::QueryStrategy,
+    demand: bool,
+    reps: usize,
+) -> (u128, usize) {
+    let mut samples: Vec<Duration> = Vec::with_capacity(reps);
+    let mut rows = 0usize;
+    for _ in 0..reps.max(1) {
+        let mut engine =
+            QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
+        engine.set_demand_enabled(demand);
+        let t = Instant::now();
+        rows = engine.ask_text(query, strategy).unwrap().rows.len();
+        samples.push(t.elapsed());
+    }
     samples.sort();
-    samples[samples.len() / 2].as_nanos()
-}
-
-fn ask_cold(fx: &Fixture, query: &str, strategy: fedoo::qp::QueryStrategy) -> usize {
-    let mut engine =
-        QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
-    engine.ask_text(query, strategy).unwrap().rows.len()
+    (samples[samples.len() / 2].as_nanos(), rows)
 }
 
 fn bench_planned_vs_saturate(_c: &mut Criterion) {
@@ -169,35 +267,44 @@ fn bench_planned_vs_saturate(_c: &mut Criterion) {
             "?- <X: person | age: A>, A >= 0.".to_string(),
         ),
         ("derived_goal", "?- <X: course_staff>.".to_string()),
+        (
+            "derived_2hop",
+            "?- <X: course | code: C>, C = \"c4\", <X: tier1>.".to_string(),
+        ),
+        (
+            "derived_4hop",
+            "?- <X: course | code: C>, C = \"c4\", <X: tier3>.".to_string(),
+        ),
+        (
+            "derived_recursive",
+            "?- <X: course | code: C>, C = \"c4\", <X: rec>.".to_string(),
+        ),
     ];
-    let mut rows = Vec::new();
+    let mut rows_json = Vec::new();
     for &n in &[100usize, 400, 1600] {
         let fx = build_fixture(n);
         let reps = if n >= 1600 { 3 } else { 5 };
         for (name, q) in &queries {
-            let planned_rows = ask_cold(&fx, q, Planned);
-            let saturate_rows = ask_cold(&fx, q, Saturate);
-            assert_eq!(planned_rows, saturate_rows, "{name} n={n}");
-            let sat_ns = median_ns(reps, || {
-                ask_cold(&fx, q, Saturate);
-            });
-            let plan_ns = median_ns(reps, || {
-                ask_cold(&fx, q, Planned);
-            });
+            let (sat_ns, sat_rows) = ask_median(&fx, q, Saturate, true, reps);
+            let (rel_ns, rel_rows) = ask_median(&fx, q, Planned, false, reps);
+            let (plan_ns, plan_rows) = ask_median(&fx, q, Planned, true, reps);
+            assert_eq!(plan_rows, sat_rows, "{name} n={n}: planned vs saturate");
+            assert_eq!(rel_rows, sat_rows, "{name} n={n}: relevance vs saturate");
             let speedup = sat_ns as f64 / plan_ns.max(1) as f64;
             println!(
-                "query_plan/{name}/n={n}: saturate {sat_ns} ns, planned {plan_ns} ns, \
-                 speedup {speedup:.1}x ({planned_rows} rows)"
+                "query_plan/{name}/n={n}: saturate {sat_ns} ns, relevance {rel_ns} ns, \
+                 planned {plan_ns} ns, speedup {speedup:.1}x ({plan_rows} rows)"
             );
-            rows.push(format!(
-                "    {{\"extent\": {n}, \"query\": \"{name}\", \"rows\": {planned_rows}, \
-                 \"saturate_ns\": {sat_ns}, \"planned_ns\": {plan_ns}, \"speedup\": {speedup:.2}}}"
+            rows_json.push(format!(
+                "    {{\"extent\": {n}, \"query\": \"{name}\", \"rows\": {plan_rows}, \
+                 \"saturate_ns\": {sat_ns}, \"relevance_ns\": {rel_ns}, \
+                 \"planned_ns\": {plan_ns}, \"speedup\": {speedup:.2}}}"
             ));
         }
     }
     let json = format!(
-        "{{\n  \"bench\": \"query_plan\",\n  \"workload\": \"merged_and_intersected_federation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"query_plan\",\n  \"workload\": \"merged_and_intersected_federation_with_ballast\",\n  \"timing\": \"ask_only_cold_engine\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_plan.json");
     if let Err(e) = std::fs::write(path, &json) {

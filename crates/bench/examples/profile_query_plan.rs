@@ -1,0 +1,248 @@
+//! Phase-level timing for the `query_plan` bench fixture — run with
+//! `cargo run --release -p fedoo-bench --example profile_query_plan` to
+//! see where a cold planned/saturate ask spends its time at one extent.
+
+use fedoo::federation::agent::Agent;
+use fedoo::federation::FederationDb;
+use fedoo::prelude::*;
+use fedoo::qp::{QueryEngine, QueryStrategy};
+use std::time::Instant;
+
+struct Fixture {
+    global: fedoo::federation::fsm::GlobalSchema,
+    components: Vec<(Schema, InstanceStore)>,
+    meta: MetaRegistry,
+}
+
+fn build_fixture(n: usize) -> Fixture {
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| {
+            c.attr("ssn", AttrType::Str).attr("age", AttrType::Int)
+        })
+        .class("course", |c| {
+            c.attr("code", AttrType::Str).attr("credits", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| {
+            c.attr("hssn", AttrType::Str).attr("weight", AttrType::Int)
+        })
+        .class("staff", |c| {
+            c.attr("sssn", AttrType::Str).attr("salary", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    for i in 0..n {
+        st1.create(&s1, "person", |o| {
+            o.with_attr("ssn", format!("p{i}"))
+                .with_attr("age", (i % 80) as i64)
+        })
+        .unwrap();
+    }
+    for i in 0..n / 2 {
+        st1.create(&s1, "course", |o| {
+            o.with_attr("code", format!("c{i}"))
+                .with_attr("credits", (i % 10) as i64)
+        })
+        .unwrap();
+    }
+    let mut st2 = InstanceStore::new();
+    for i in 0..n {
+        st2.create(&s2, "human", |o| {
+            o.with_attr("hssn", format!("p{i}"))
+                .with_attr("weight", (50 + i % 60) as i64)
+        })
+        .unwrap();
+    }
+    for i in 0..n / 2 {
+        st2.create(&s2, "staff", |o| {
+            o.with_attr("sssn", format!("c{}", 2 * i))
+                .with_attr("salary", (1000 + i) as i64)
+        })
+        .unwrap();
+    }
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+        .unwrap();
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "person", "ssn"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "hssn"),
+            ),
+        ),
+    );
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "course", ClassOp::Intersect, "S2", "staff").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "course", "code"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "staff", "sssn"),
+            ),
+        ),
+    );
+    let pairs: Vec<(Oid, Oid)> = {
+        let comps = fsm.components();
+        let by_key = |ci: usize, class: &str, key: &str| {
+            let (schema, store) = (&comps[ci].schema, &comps[ci].store);
+            store
+                .extent(schema, &fedoo::model::ClassName::new(class))
+                .into_iter()
+                .map(|o| (o.attr(key).clone(), o.oid.clone()))
+                .collect::<Vec<_>>()
+        };
+        let left = by_key(0, "course", "code");
+        let right = by_key(1, "staff", "sssn");
+        left.iter()
+            .flat_map(|(lv, lo)| {
+                right
+                    .iter()
+                    .filter(move |(rv, _)| rv == lv)
+                    .map(move |(_, ro)| (lo.clone(), ro.clone()))
+            })
+            .collect()
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+    let global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+    let components: Vec<(Schema, InstanceStore)> = fsm
+        .components()
+        .iter()
+        .map(|c| (c.schema.clone(), c.store.clone()))
+        .collect();
+    Fixture {
+        global,
+        components,
+        meta: fsm.meta.clone(),
+    }
+}
+
+fn main() {
+    let n = 1600;
+    let fx = build_fixture(n);
+
+    let t = Instant::now();
+    let cloned = fx.components.clone();
+    println!("clone components: {:?}", t.elapsed());
+    drop(cloned);
+
+    for r in &fx.global.rules {
+        println!("rule: {r}");
+    }
+
+    use std::collections::BTreeSet;
+    let closure: BTreeSet<String> = ["course", "course_staff", "staff"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let empty: BTreeSet<String> = BTreeSet::new();
+    let mat = fedoo::federation::FactMaterializer::new(&fx.global, &fx.components, &fx.meta);
+    let t = Instant::now();
+    let f = mat
+        .materialize_projected(Some(&closure), Some(&empty))
+        .unwrap();
+    println!(
+        "projected membership-only materialize: {:?} ({} facts)",
+        t.elapsed(),
+        f.len()
+    );
+
+    // Bisect: loop+lookup, fact construction, FactDb insertion, bridges.
+    let t = Instant::now();
+    let mut kept = Vec::new();
+    for (schema, store) in &fx.components {
+        for obj in store.iter() {
+            if let Some(g) = fx
+                .global
+                .global_class(schema.name.as_str(), obj.class.as_str())
+            {
+                if closure.contains(g) {
+                    kept.push((schema, obj, g.to_string()));
+                }
+            }
+        }
+    }
+    println!(
+        "  loop+global_class: {:?} ({} kept)",
+        t.elapsed(),
+        kept.len()
+    );
+    let t = Instant::now();
+    let facts: Vec<_> = kept
+        .iter()
+        .map(|(s, o, g)| mat.fact_for_object(s, o, g, Some(&empty)).unwrap())
+        .collect();
+    println!("  fact_for_object x{}: {:?}", facts.len(), t.elapsed());
+    let t = Instant::now();
+    let mut db0 = fedoo::deduction::FactDb::new();
+    for f in facts {
+        db0.insert_oterm(f);
+    }
+    println!("  insert_oterm: {:?}", t.elapsed());
+    let t = Instant::now();
+    let b = mat.bridge_facts(None, Some(&closure));
+    println!("  bridge_facts: {:?} ({} facts)", t.elapsed(), b.len());
+    let t = Instant::now();
+    let f = mat.materialize_projected(Some(&closure), None).unwrap();
+    println!(
+        "filtered full-attr materialize: {:?} ({} facts)",
+        t.elapsed(),
+        f.len()
+    );
+
+    let t = Instant::now();
+    let mut db = FederationDb::build(&fx.global, &fx.components, &fx.meta).unwrap();
+    println!(
+        "full materialize: {:?} ({} facts)",
+        t.elapsed(),
+        db.facts().len()
+    );
+    let t = Instant::now();
+    db.saturate().unwrap();
+    println!(
+        "full saturate: {:?} ({} facts)",
+        t.elapsed(),
+        db.facts().len()
+    );
+
+    for (q, name) in [
+        ("?- <X: course_staff>.", "derived_goal"),
+        ("?- <X: person | ssn: S>, S = \"p7\".", "selective_point"),
+    ] {
+        println!("--- {name}");
+        let t = Instant::now();
+        let mut engine =
+            QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
+        println!("engine build: {:?}", t.elapsed());
+        let t = Instant::now();
+        let plan = engine.explain(q).unwrap();
+        println!("plan: {:?}\n{}", t.elapsed(), plan.render_human());
+        let t = Instant::now();
+        let analyzed = engine.ask_analyze(q, QueryStrategy::Planned).unwrap();
+        println!(
+            "ask planned: {:?} (stats micros={} rows={})",
+            t.elapsed(),
+            analyzed.answer.stats.micros,
+            analyzed.answer.rows.len()
+        );
+        println!(
+            "{}",
+            fedoo::qp::analyze::render_analyzed(&analyzed.plan, &analyzed.profile)
+        );
+        let t = Instant::now();
+        let mut engine2 =
+            QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
+        let sat = engine2.ask_text(q, QueryStrategy::Saturate).unwrap();
+        println!(
+            "ask saturate (cold engine): {:?} rows={}",
+            t.elapsed(),
+            sat.rows.len()
+        );
+    }
+}

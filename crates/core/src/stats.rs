@@ -152,6 +152,9 @@ pub struct QpStats {
     pub cache_misses: u64,
     /// Facts derived by the goal-directed semi-naive fallback, if it ran.
     pub derived_facts: u64,
+    /// Demand facts seeded + propagated by magic-sets-restricted derived
+    /// scans (0 when every derived scan evaluated its full closure).
+    pub demanded_facts: u64,
     /// Component fetches re-attempted after a failure (retry policy).
     pub retries: u64,
     /// Circuit-breaker trips observed while fetching components.
@@ -186,6 +189,7 @@ impl QpStats {
         obs::counter_add("fedoo_qp_cache_hits_total", self.cache_hits);
         obs::counter_add("fedoo_qp_cache_misses_total", self.cache_misses);
         obs::counter_add("fedoo_qp_derived_facts_total", self.derived_facts);
+        obs::counter_add("fedoo_qp_demanded_facts_total", self.demanded_facts);
         obs::counter_add("fedoo_qp_retries_total", self.retries);
         obs::counter_add("fedoo_qp_breaker_trips_total", self.breaker_trips);
         obs::counter_add("fedoo_qp_degraded_total", self.degraded);
@@ -205,6 +209,7 @@ impl AddAssign for QpStats {
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
         self.derived_facts += o.derived_facts;
+        self.demanded_facts += o.demanded_facts;
         self.retries += o.retries;
         self.breaker_trips += o.breaker_trips;
         self.degraded += o.degraded;

@@ -40,10 +40,11 @@
 //! equality ignores insertion order); the `differential` integration test
 //! checks this on random stratified programs.
 
+use crate::intern::{Interner, SymColumn};
 use crate::safety::check_rule;
 use crate::strata::stratify;
 use crate::subst::Subst;
-use crate::term::{Literal, NameRef, OTermPat, Rule, Term};
+use crate::term::{CmpOp, Literal, NameRef, OTermPat, Rule, Term};
 use crate::unify::{unify_oterm_pattern, unify_terms};
 use oo_model::Value;
 use rayon::prelude::*;
@@ -110,6 +111,9 @@ pub struct EvalStats {
     pub index_probes: u64,
     /// Full or windowed extent scans performed by body matching.
     pub extent_scans: u64,
+    /// Demand facts seeded or derived by a magic-sets run (zero outside
+    /// [`crate::demand`] evaluation).
+    pub demanded_facts: u64,
 }
 
 impl EvalStats {
@@ -136,6 +140,9 @@ impl EvalStats {
         obs::counter_add("fedoo_deduction_facts_derived_total", self.facts_derived);
         obs::counter_add("fedoo_deduction_index_probes_total", self.index_probes);
         obs::counter_add("fedoo_deduction_extent_scans_total", self.extent_scans);
+        if self.demanded_facts > 0 {
+            obs::counter_add("fedoo_deduction_demanded_facts_total", self.demanded_facts);
+        }
         obs::histogram_record("fedoo_deduction_facts_per_run", self.facts_derived);
     }
 }
@@ -152,27 +159,31 @@ impl fmt::Display for EvalStats {
             self.facts_derived,
             self.index_probes,
             self.extent_scans
-        )
+        )?;
+        if self.demanded_facts > 0 {
+            write!(f, ", {} demanded", self.demanded_facts)?;
+        }
+        Ok(())
     }
 }
 
 /// Ground tuples of one predicate: insertion-ordered with a set for dedup
-/// and a first-column index for probing.
+/// and an interned columnar first-argument index for probing.
 #[derive(Debug, Default, Clone)]
 struct PredExtent {
     tuples: Vec<Vec<Value>>,
     set: BTreeSet<Vec<Value>>,
-    by_first: BTreeMap<Value, Vec<u32>>,
+    by_first: SymColumn,
 }
 
 impl PredExtent {
-    fn insert(&mut self, tuple: Vec<Value>) -> bool {
+    fn insert(&mut self, tuple: Vec<Value>, interner: &mut Interner) -> bool {
         if !self.set.insert(tuple.clone()) {
             return false;
         }
         let pos = self.tuples.len() as u32;
         if let Some(first) = tuple.first() {
-            self.by_first.entry(first.clone()).or_default().push(pos);
+            self.by_first.push(interner.intern(first), pos);
         }
         self.tuples.push(tuple);
         true
@@ -180,25 +191,25 @@ impl PredExtent {
 }
 
 /// Ground O-terms of one class: insertion-ordered with a set for dedup and
-/// an object-identity index. Facts whose object term is not a plain value
-/// (a degenerate but storable shape) fall into the unindexed bucket and are
-/// checked on every probe.
+/// an interned columnar object-identity index. Facts whose object term is
+/// not a plain value (a degenerate but storable shape) fall into the
+/// unindexed bucket and are checked on every probe.
 #[derive(Debug, Default, Clone)]
 struct ClassExtent {
     facts: Vec<OTermPat>,
     set: BTreeSet<OTermPat>,
-    by_object: BTreeMap<Value, Vec<u32>>,
+    by_object: SymColumn,
     unindexed: Vec<u32>,
 }
 
 impl ClassExtent {
-    fn insert(&mut self, fact: OTermPat) -> bool {
+    fn insert(&mut self, fact: OTermPat, interner: &mut Interner) -> bool {
         if !self.set.insert(fact.clone()) {
             return false;
         }
         let pos = self.facts.len() as u32;
         match fact.object.as_val() {
-            Some(v) => self.by_object.entry(v.clone()).or_default().push(pos),
+            Some(v) => self.by_object.push(interner.intern(v), pos),
             None => self.unindexed.push(pos),
         }
         self.facts.push(fact);
@@ -258,6 +269,9 @@ impl Window<'_> {
 pub struct FactDb {
     oterms: BTreeMap<String, ClassExtent>,
     preds: BTreeMap<String, PredExtent>,
+    /// Shared value interner: every index key (object identity, first
+    /// predicate argument) is a dense symbol into this table.
+    interner: Interner,
     // Work counters, relaxed: they keep `&self` matching cheap and the
     // database `Sync` for parallel rule firing; exact cross-thread ordering
     // of increments is irrelevant.
@@ -270,6 +284,7 @@ impl Clone for FactDb {
         FactDb {
             oterms: self.oterms.clone(),
             preds: self.preds.clone(),
+            interner: self.interner.clone(),
             probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
             scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
         }
@@ -307,12 +322,18 @@ impl FactDb {
             .as_name()
             .expect("O-term facts have concrete classes")
             .to_string();
-        self.oterms.entry(class).or_default().insert(fact)
+        self.oterms
+            .entry(class)
+            .or_default()
+            .insert(fact, &mut self.interner)
     }
 
     /// Insert a ground predicate fact. Returns true if new.
     pub fn insert_pred(&mut self, name: impl Into<String>, tuple: Vec<Value>) -> bool {
-        self.preds.entry(name.into()).or_default().insert(tuple)
+        self.preds
+            .entry(name.into())
+            .or_default()
+            .insert(tuple, &mut self.interner)
     }
 
     /// O-term facts of a class, in sorted (insertion-order-independent)
@@ -418,25 +439,30 @@ impl FactDb {
         };
         if let Some(obj) = base.value_of(&pat.object) {
             self.probes.fetch_add(1, Ordering::Relaxed);
-            let in_window = |positions: &[u32]| {
-                positions
-                    .iter()
-                    .map(|&p| p as usize)
-                    .filter(|&p| p >= start && p < end)
-                    .collect::<Vec<_>>()
-            };
-            for p in ext
-                .by_object
-                .get(&obj)
-                .map(|v| in_window(v))
-                .unwrap_or_default()
-            {
-                Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
+            // A value the interner has never seen cannot be any fact's
+            // indexed object; only the unindexed bucket remains.
+            if let Some(sym) = self.interner.lookup(&obj) {
+                for p in ext.by_object.probe(sym) {
+                    let p = p as usize;
+                    if p >= start && p < end {
+                        Self::unify_oterm_fact(
+                            &concrete,
+                            class,
+                            class_var,
+                            &ext.facts[p],
+                            base,
+                            out,
+                        );
+                    }
+                }
             }
             // Facts with non-value objects are not in the index but may
             // still unify.
-            for p in in_window(&ext.unindexed) {
-                Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
+            for &p in &ext.unindexed {
+                let p = p as usize;
+                if p >= start && p < end {
+                    Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
+                }
             }
         } else {
             self.scans.fetch_add(1, Ordering::Relaxed);
@@ -494,10 +520,12 @@ impl FactDb {
                 let key = p.args.first().and_then(|t| base.value_of(t));
                 if let Some(key) = key {
                     self.probes.fetch_add(1, Ordering::Relaxed);
-                    for &pos in ext.by_first.get(&key).into_iter().flatten() {
-                        let pos = pos as usize;
-                        if pos >= start && pos < end {
-                            unify_tuple(&ext.tuples[pos], out);
+                    if let Some(sym) = self.interner.lookup(&key) {
+                        for pos in ext.by_first.probe(sym) {
+                            let pos = pos as usize;
+                            if pos >= start && pos < end {
+                                unify_tuple(&ext.tuples[pos], out);
+                            }
                         }
                     }
                 } else {
@@ -590,12 +618,18 @@ impl FactDb {
                     };
                     let hit = if let Some(obj) = s.value_of(&pat.object) {
                         self.probes.fetch_add(1, Ordering::Relaxed);
-                        ext.by_object
-                            .get(&obj)
-                            .into_iter()
-                            .flatten()
-                            .chain(&ext.unindexed)
-                            .any(|&p| unifies(&ext.facts[p as usize]))
+                        self.interner
+                            .lookup(&obj)
+                            .map(|sym| {
+                                ext.by_object
+                                    .probe(sym)
+                                    .any(|p| unifies(&ext.facts[p as usize]))
+                            })
+                            .unwrap_or(false)
+                            || ext
+                                .unindexed
+                                .iter()
+                                .any(|&p| unifies(&ext.facts[p as usize]))
                     } else {
                         self.scans.fetch_add(1, Ordering::Relaxed);
                         ext.facts.iter().any(unifies)
@@ -622,11 +656,14 @@ impl FactDb {
                 match p.args.first().and_then(|t| s.value_of(t)) {
                     Some(key) => {
                         self.probes.fetch_add(1, Ordering::Relaxed);
-                        ext.by_first
-                            .get(&key)
-                            .into_iter()
-                            .flatten()
-                            .any(|&pos| unifies(&ext.tuples[pos as usize]))
+                        self.interner
+                            .lookup(&key)
+                            .map(|sym| {
+                                ext.by_first
+                                    .probe(sym)
+                                    .any(|pos| unifies(&ext.tuples[pos as usize]))
+                            })
+                            .unwrap_or(false)
                     }
                     None => {
                         self.scans.fetch_add(1, Ordering::Relaxed);
@@ -653,7 +690,7 @@ impl FactDb {
                 };
                 let n = ext.tuples.len() as u64;
                 match p.args.first() {
-                    Some(t) if probeable(t) => n / (ext.by_first.len().max(1) as u64),
+                    Some(t) if probeable(t) => n / (ext.by_first.distinct_estimate() as u64),
                     _ => n,
                 }
             }
@@ -664,7 +701,7 @@ impl FactDb {
                     };
                     let n = ext.facts.len() as u64;
                     if probeable(&pat.object) {
-                        n / (ext.by_object.len().max(1) as u64) + ext.unindexed.len() as u64
+                        n / (ext.by_object.distinct_estimate() as u64) + ext.unindexed.len() as u64
                     } else {
                         n
                     }
@@ -684,8 +721,32 @@ impl FactDb {
     /// filter's variables can never be bound — callers fall back to the
     /// original left-to-right order, which reproduces the reference
     /// semantics for such degenerate bodies.
+    ///
+    /// Equality comparisons pass bindings sideways: `y = x` with `x` bound
+    /// is placed immediately and *binds* `y`, so a following `<y: B>`
+    /// probes the object index instead of scanning. Without this, the
+    /// intersection rule shape `<x: AB> ⇐ <x: A>, <y: B>, y = x` degrades
+    /// to a quadratic cross product (the equality can only run after both
+    /// extents are enumerated).
     fn plan_order(&self, body: &[Literal], forced_first: Option<usize>) -> Option<Vec<usize>> {
         let is_filter = |l: &Literal| matches!(l, Literal::Cmp { .. } | Literal::Neg(_));
+        // A filter is placeable once its vars are bound; an equality is
+        // already placeable when one side is ground (it then binds the
+        // other side, mirroring the safety checker's `=`-chain closure).
+        let placeable = |l: &Literal, bound: &BTreeSet<String>| {
+            let ground = |t: &Term| match t {
+                Term::Val(_) => true,
+                Term::Var(v) => bound.contains(v),
+            };
+            match l {
+                Literal::Cmp {
+                    left,
+                    op: CmpOp::Eq,
+                    right,
+                } => ground(left) || ground(right),
+                _ => l.vars().is_subset(bound),
+            }
+        };
         let mut order = Vec::with_capacity(body.len());
         let mut bound: BTreeSet<String> = BTreeSet::new();
         let mut remaining: Vec<usize> = (0..body.len()).collect();
@@ -697,9 +758,11 @@ impl FactDb {
         while !remaining.is_empty() {
             if let Some(k) = remaining
                 .iter()
-                .position(|&i| is_filter(&body[i]) && body[i].vars().is_subset(&bound))
+                .position(|&i| is_filter(&body[i]) && placeable(&body[i], &bound))
             {
-                order.push(remaining.remove(k));
+                let i = remaining.remove(k);
+                bound.extend(body[i].vars());
+                order.push(i);
                 continue;
             }
             let best = remaining
@@ -715,6 +778,58 @@ impl FactDb {
         Some(order)
     }
 
+    /// Bulk fast path for the Principle-3 intersection shape
+    /// `<x: A>, <y: B>, y = x` (any order placement, no attribute
+    /// bindings): the answer is exactly the merge-intersection of the two
+    /// classes' object columns, so it is computed with one integer merge
+    /// join instead of per-substitution probes. Returns `None` when the
+    /// body does not match the shape (including when either extent holds
+    /// unindexed, non-value objects).
+    fn try_merge_intersection(&self, body: &[Literal], order: &[usize]) -> Option<Vec<Subst>> {
+        if body.len() != 3 || order.len() != 3 {
+            return None;
+        }
+        fn bare(l: &Literal) -> Option<(&str, &str)> {
+            match l {
+                Literal::OTerm(p) if p.bindings.is_empty() => match (&p.object, &p.class) {
+                    (Term::Var(v), NameRef::Name(c)) => Some((v.as_str(), c.as_str())),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        let (x, ca) = bare(&body[order[0]])?;
+        let (y, cb) = bare(&body[order[2]])?;
+        if x == y {
+            return None;
+        }
+        match &body[order[1]] {
+            Literal::Cmp {
+                left: Term::Var(l),
+                op: CmpOp::Eq,
+                right: Term::Var(r),
+            } if (l == x && r == y) || (l == y && r == x) => {}
+            _ => return None,
+        }
+        let (Some(ea), Some(eb)) = (self.oterms.get(ca), self.oterms.get(cb)) else {
+            return Some(Vec::new());
+        };
+        if !ea.unindexed.is_empty() || !eb.unindexed.is_empty() {
+            return None;
+        }
+        self.scans.fetch_add(2, Ordering::Relaxed);
+        let pairs = ea.by_object.intersect(&eb.by_object);
+        let mut out = Vec::with_capacity(pairs.len());
+        for (pa, _) in pairs {
+            let obj = ea.facts[pa as usize].object.clone();
+            let mut s = Subst::new();
+            s.bind(x, obj.clone());
+            s.bind(y, obj);
+            out.push(s);
+        }
+        Some(out)
+    }
+
     /// Evaluate `body` in the given literal order; the literal at
     /// `delta_pos` (a position in `body`, not in `order`) is restricted to
     /// `window`.
@@ -725,6 +840,13 @@ impl FactDb {
         delta_pos: Option<usize>,
         window: Window<'_>,
     ) -> Vec<Subst> {
+        // Delta-free evaluations of the intersection shape collapse to one
+        // columnar merge join.
+        if delta_pos.is_none() {
+            if let Some(out) = self.try_merge_intersection(body, order) {
+                return out;
+            }
+        }
         let mut states = vec![Subst::new()];
         for &i in order {
             if states.is_empty() {
@@ -736,10 +858,28 @@ impl FactDb {
                 Literal::Cmp { left, op, right } => {
                     for s in states {
                         let (l, r) = (s.value_of(left), s.value_of(right));
-                        if let (Some(l), Some(r)) = (l, r) {
-                            if op.eval(&l, &r) {
-                                next.push(s);
+                        match (l, r) {
+                            (Some(l), Some(r)) if op.eval(&l, &r) => next.push(s),
+                            // Sideways information passing through `=`:
+                            // with one side ground, the equality *binds*
+                            // the other side instead of filtering. Same
+                            // satisfying substitutions as filtering late,
+                            // but downstream literals can now probe.
+                            (Some(v), None) if *op == CmpOp::Eq => {
+                                if let Term::Var(name) = s.resolve(right) {
+                                    let mut s = s;
+                                    s.bind(name, Term::Val(v));
+                                    next.push(s);
+                                }
                             }
+                            (None, Some(v)) if *op == CmpOp::Eq => {
+                                if let Term::Var(name) = s.resolve(left) {
+                                    let mut s = s;
+                                    s.bind(name, Term::Val(v));
+                                    next.push(s);
+                                }
+                            }
+                            _ => {}
                         }
                     }
                 }
@@ -787,7 +927,9 @@ impl FactDb {
 
     /// Reference query: strict left-to-right joins with linear scans (the
     /// seed engine's behaviour). Negations still early-exit via `exists`
-    /// (which degrades to a scan for unbound patterns).
+    /// (which degrades to a scan for unbound patterns). One-sided `=`
+    /// binds its free side, exactly like the ordered engine, so the two
+    /// paths agree on bodies the safety checker accepts through `=`-chains.
     fn query_scan(&self, body: &[Literal]) -> Vec<Subst> {
         let mut states = vec![Subst::new()];
         for lit in body {
@@ -796,10 +938,23 @@ impl FactDb {
                 match lit {
                     Literal::Cmp { left, op, right } => {
                         let (l, r) = (s.value_of(left), s.value_of(right));
-                        if let (Some(l), Some(r)) = (l, r) {
-                            if op.eval(&l, &r) {
-                                next.push(s.clone());
+                        match (l, r) {
+                            (Some(l), Some(r)) if op.eval(&l, &r) => next.push(s.clone()),
+                            (Some(v), None) if *op == CmpOp::Eq => {
+                                if let Term::Var(name) = s.resolve(right) {
+                                    let mut s = s.clone();
+                                    s.bind(name, Term::Val(v));
+                                    next.push(s);
+                                }
                             }
+                            (None, Some(v)) if *op == CmpOp::Eq => {
+                                if let Term::Var(name) = s.resolve(left) {
+                                    let mut s = s.clone();
+                                    s.bind(name, Term::Val(v));
+                                    next.push(s);
+                                }
+                            }
+                            _ => {}
                         }
                     }
                     Literal::Neg(inner) => {

@@ -1,0 +1,261 @@
+//! Value interning and sorted-run columnar indexes.
+//!
+//! The fact database's join indexes used to be `BTreeMap<Value, Vec<u32>>`
+//! — every probe compared (and every insert cloned) full [`Value`]s:
+//! strings, OIDs, sets. This module replaces them with two pieces:
+//!
+//! * [`Interner`] — a bijective map from [`Value`]s to dense `u32` symbol
+//!   ids, shared across every extent of one `FactDb`. Values are interned
+//!   once on insert; probes translate their key through a read-only lookup
+//!   and then work entirely over integers.
+//! * [`SymColumn`] — a columnar postings index: `(symbol, position)` pairs
+//!   kept as one large sorted run plus a small unsorted tail (appends are
+//!   O(1) amortised; the tail is merged into the run when it exceeds a
+//!   fraction of the run's length). Point probes use galloping
+//!   (exponential-then-binary) search; two columns can be intersected with
+//!   a merge join that gallops over the longer run — this is what turns
+//!   the Principle-3 intersection rule `<x: A>, <y: B>, y = x` into a
+//!   single merge over two integer columns.
+//!
+//! The term-level `FactDb` API is unchanged: the interner and columns are
+//! an internal representation, and database equality still compares the
+//! per-extent fact sets.
+
+use oo_model::Value;
+use std::collections::BTreeMap;
+
+/// Dense symbol id for an interned [`Value`].
+pub type Sym = u32;
+
+/// Bijective `Value` ↔ [`Sym`] map. Ids are allocated densely in first-seen
+/// order.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: BTreeMap<Value, Sym>,
+    vals: Vec<Value>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern a value, allocating a fresh symbol on first sight.
+    pub fn intern(&mut self, v: &Value) -> Sym {
+        if let Some(&s) = self.map.get(v) {
+            return s;
+        }
+        let s = self.vals.len() as Sym;
+        self.map.insert(v.clone(), s);
+        self.vals.push(v.clone());
+        s
+    }
+
+    /// Read-only lookup: `None` means the value occurs nowhere in the
+    /// database, so an index probe for it cannot match.
+    pub fn lookup(&self, v: &Value) -> Option<Sym> {
+        self.map.get(v).copied()
+    }
+
+    /// The value a symbol stands for.
+    pub fn resolve(&self, s: Sym) -> &Value {
+        &self.vals[s as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+/// Minimum tail length before a merge is considered.
+const TAIL_MERGE_MIN: usize = 64;
+
+/// Galloping lower bound: first index in `run` (sorted by symbol) whose
+/// symbol is `>= sym`. Exponential probe then binary search on the bracket.
+fn gallop(run: &[(Sym, u32)], sym: Sym) -> usize {
+    if run.first().is_none_or(|e| e.0 >= sym) {
+        return 0;
+    }
+    // run[0].0 < sym from here on.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < run.len() && run[lo + step].0 < sym {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(run.len());
+    lo + run[lo..hi].partition_point(|e| e.0 < sym)
+}
+
+/// Columnar postings index: `(symbol, extent position)` pairs in one
+/// sorted run plus an unsorted append tail.
+#[derive(Debug, Default, Clone)]
+pub struct SymColumn {
+    run: Vec<(Sym, u32)>,
+    tail: Vec<(Sym, u32)>,
+    /// Distinct symbols in `run` (recomputed on merge; the tail adds an
+    /// optimistic +1 per entry to the estimate).
+    distinct: usize,
+}
+
+impl SymColumn {
+    /// Append one posting; merges the tail into the sorted run when it has
+    /// grown past an eighth of the run.
+    pub fn push(&mut self, sym: Sym, pos: u32) {
+        self.tail.push((sym, pos));
+        if self.tail.len() >= TAIL_MERGE_MIN.max(self.run.len() / 8) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.tail.sort_unstable();
+        let mut merged = Vec::with_capacity(self.run.len() + self.tail.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.run.len() && j < self.tail.len() {
+            if self.run[i] <= self.tail[j] {
+                merged.push(self.run[i]);
+                i += 1;
+            } else {
+                merged.push(self.tail[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.run[i..]);
+        merged.extend_from_slice(&self.tail[j..]);
+        self.distinct = merged.chunk_by(|a, b| a.0 == b.0).count();
+        self.run = merged;
+        self.tail.clear();
+    }
+
+    /// Positions of every posting carrying `sym` (gallop into the run,
+    /// linear over the small tail).
+    pub fn probe(&self, sym: Sym) -> impl Iterator<Item = u32> + '_ {
+        let start = gallop(&self.run, sym);
+        self.run[start..]
+            .iter()
+            .take_while(move |e| e.0 == sym)
+            .map(|e| e.1)
+            .chain(self.tail.iter().filter(move |e| e.0 == sym).map(|e| e.1))
+    }
+
+    /// Approximate distinct-symbol count, for join cost estimation.
+    pub fn distinct_estimate(&self) -> usize {
+        (self.distinct + self.tail.len()).max(1)
+    }
+
+    /// Merge-intersect two columns: all `(pos_self, pos_other)` pairs whose
+    /// postings carry the same symbol. The merge gallops over whichever run
+    /// is ahead; tails are handled by point probes.
+    pub fn intersect(&self, other: &SymColumn) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let (a, b) = (&self.run, &other.run);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (sa, sb) = (a[i].0, b[j].0);
+            if sa < sb {
+                i += gallop(&a[i..], sb);
+            } else if sb < sa {
+                j += gallop(&b[j..], sa);
+            } else {
+                let ia = i;
+                while i < a.len() && a[i].0 == sa {
+                    i += 1;
+                }
+                let jb = j;
+                while j < b.len() && b[j].0 == sa {
+                    j += 1;
+                }
+                for &(_, pa) in &a[ia..i] {
+                    for &(_, pb) in &b[jb..j] {
+                        out.push((pa, pb));
+                    }
+                }
+            }
+        }
+        // Postings still in `self`'s tail match against all of `other`…
+        for &(sym, pa) in &self.tail {
+            for pb in other.probe(sym) {
+                out.push((pa, pb));
+            }
+        }
+        // …and `other`'s tail against `self`'s run only (tail×tail pairs
+        // were already produced above).
+        for &(sym, pb) in &other.tail {
+            let start = gallop(&self.run, sym);
+            for e in self.run[start..].iter().take_while(|e| e.0 == sym) {
+                out.push((e.1, pb));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_bijective_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern(&Value::str("a"));
+        let b = it.intern(&Value::Int(7));
+        assert_eq!(it.intern(&Value::str("a")), a);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), &Value::str("a"));
+        assert_eq!(it.lookup(&Value::Int(7)), Some(b));
+        assert_eq!(it.lookup(&Value::Int(8)), None);
+    }
+
+    #[test]
+    fn column_probe_finds_all_positions_across_run_and_tail() {
+        let mut col = SymColumn::default();
+        // Enough postings to force at least one compaction.
+        for i in 0..200u32 {
+            col.push(i % 10, i);
+        }
+        let hits: Vec<u32> = col.probe(3).collect();
+        assert_eq!(hits.len(), 20);
+        assert!(hits.iter().all(|p| p % 10 == 3));
+        assert_eq!(col.probe(99).count(), 0);
+        assert!(col.distinct_estimate() >= 10);
+    }
+
+    #[test]
+    fn intersect_emits_cross_product_per_shared_symbol() {
+        let (mut a, mut b) = (SymColumn::default(), SymColumn::default());
+        for i in 0..100u32 {
+            a.push(i, i); // syms 0..100, one posting each
+        }
+        for i in 0..50u32 {
+            b.push(2 * i, 1000 + i); // even syms only
+            b.push(2 * i, 2000 + i); // …twice
+        }
+        let pairs = a.intersect(&b);
+        assert_eq!(pairs.len(), 100); // 50 shared syms × (1 × 2) postings
+        assert!(pairs.iter().all(|&(pa, _)| pa % 2 == 0));
+        // Symmetric in content (pair order swapped).
+        let mut rev: Vec<(u32, u32)> = b.intersect(&a).iter().map(|&(x, y)| (y, x)).collect();
+        let mut fwd = pairs.clone();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn gallop_matches_linear_lower_bound() {
+        let run: Vec<(Sym, u32)> = [0, 0, 2, 2, 2, 5, 9, 9].iter().map(|&s| (s, 0)).collect();
+        for sym in 0..12 {
+            let linear = run.iter().position(|e| e.0 >= sym).unwrap_or(run.len());
+            assert_eq!(gallop(&run, sym), linear, "sym {sym}");
+        }
+    }
+}

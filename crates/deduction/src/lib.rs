@@ -20,23 +20,31 @@
 //!   see whether they are well-defined, safe, … and allowed in the presence
 //!   of negated body predicates*");
 //! * [`strata`] — predicate-dependency stratification for negation;
-//! * [`eval`] — bottom-up evaluation over an indexed fact database, with
-//!   naive and semi-naive (delta-driven) fixpoint strategies behind
-//!   [`EvalStrategy`];
+//! * [`eval`] — bottom-up evaluation over an interned, columnar fact
+//!   database, with naive and semi-naive (delta-driven) fixpoint
+//!   strategies behind [`EvalStrategy`];
+//! * [`intern`] — the shared value [`Interner`] and sorted-run
+//!   [`intern::SymColumn`] postings indexes the database joins over;
+//! * [`demand`] — the magic-sets demand transformation for goal-directed
+//!   evaluation ([`demand_transform`]), with demand-stratification;
 //! * [`federated`] — the annotated, recursive `evaluation(q, Q)` algorithm
 //!   of Appendix B, which unions local answers from each component schema
 //!   with joins of recursively evaluated body predicates.
 
+pub mod demand;
 pub mod eval;
 pub mod federated;
+pub mod intern;
 pub mod safety;
 pub mod strata;
 pub mod subst;
 pub mod term;
 pub mod unify;
 
+pub use demand::{demand_transform, relevance_closure, DemandProgram, DEMAND_PREFIX};
 pub use eval::{EvalError, EvalStats, EvalStrategy, FactDb, Program};
 pub use federated::{AnnotatedProgram, ExtentProvider};
+pub use intern::Interner;
 pub use safety::{check_rule, check_rule_all, check_rules, SafetyError};
 pub use strata::stratify;
 pub use subst::{ReverseSubst, Subst};

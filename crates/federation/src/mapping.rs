@@ -75,6 +75,11 @@ impl DataMapping {
 #[derive(Debug, Clone, Default)]
 pub struct ObjectPairing {
     pairs: BTreeSet<(Oid, Oid)>,
+    /// Adjacency index over `pairs`, so [`Self::partners`] is a lookup
+    /// instead of a scan — materialisation calls it once per object, and
+    /// an O(pairs) scan there made bridge-fact generation quadratic in
+    /// the federation size.
+    adj: BTreeMap<Oid, Vec<Oid>>,
 }
 
 impl ObjectPairing {
@@ -84,10 +89,16 @@ impl ObjectPairing {
 
     /// Record that `a` and `b` denote the same object (symmetric).
     pub fn pair(&mut self, a: Oid, b: Oid) {
-        if a <= b {
-            self.pairs.insert((a, b));
+        let key = if a <= b {
+            (a.clone(), b.clone())
         } else {
-            self.pairs.insert((b, a));
+            (b.clone(), a.clone())
+        };
+        if self.pairs.insert(key) {
+            self.adj.entry(a.clone()).or_default().push(b.clone());
+            if a != b {
+                self.adj.entry(b).or_default().push(a);
+            }
         }
     }
 
@@ -100,20 +111,17 @@ impl ObjectPairing {
         self.pairs.contains(&key)
     }
 
+    /// All recorded pairs, in canonical (smaller OID first) order.
+    pub fn pairs(&self) -> impl Iterator<Item = &(Oid, Oid)> {
+        self.pairs.iter()
+    }
+
     /// All partners of `o`.
     pub fn partners(&self, o: &Oid) -> Vec<&Oid> {
-        self.pairs
-            .iter()
-            .filter_map(|(a, b)| {
-                if a == o {
-                    Some(b)
-                } else if b == o {
-                    Some(a)
-                } else {
-                    None
-                }
-            })
-            .collect()
+        self.adj
+            .get(o)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default()
     }
 
     pub fn len(&self) -> usize {

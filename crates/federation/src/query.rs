@@ -44,6 +44,9 @@ pub struct FactMaterializer<'a> {
     degraded: BTreeSet<String>,
     by_oid: OnceLock<BTreeMap<Oid, (&'a Schema, &'a Object)>>,
     value_sets: OnceLock<BTreeMap<(String, String, String), BTreeSet<Value>>>,
+    /// Per-component class → global class, so the per-object hot loops
+    /// avoid `GlobalSchema::global_class`'s owned-String key allocation.
+    class_map: OnceLock<Vec<BTreeMap<&'a str, Option<&'a str>>>>,
 }
 
 impl<'a> FactMaterializer<'a> {
@@ -59,7 +62,32 @@ impl<'a> FactMaterializer<'a> {
             degraded: BTreeSet::new(),
             by_oid: OnceLock::new(),
             value_sets: OnceLock::new(),
+            class_map: OnceLock::new(),
         }
+    }
+
+    /// The global class of `(component, class)`, via a lazily-built
+    /// borrowed-key index (the materialise loops call this per object).
+    fn global_class_of(&self, comp_idx: usize, class: &str) -> Option<&'a str> {
+        self.class_map
+            .get_or_init(|| {
+                self.components
+                    .iter()
+                    .map(|(schema, _)| {
+                        schema
+                            .classes()
+                            .map(|c| {
+                                let name = c.name.as_str();
+                                (name, self.global.global_class(schema.name.as_str(), name))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .get(comp_idx)?
+            .get(class)
+            .copied()
+            .flatten()
     }
 
     /// Mark components (by schema name) whose extents are incomplete, so
@@ -172,16 +200,15 @@ impl<'a> FactMaterializer<'a> {
             Some(c) => c,
             None => return Ok(Vec::new()),
         };
+        // Enumerate the component's classes and walk only the matching
+        // direct extents — O(scanned objects), not O(component objects).
         let mut out = Vec::new();
-        for obj in store.iter() {
-            match self
-                .global
-                .global_class(schema.name.as_str(), obj.class.as_str())
-            {
-                Some(g) if g == global_class => {
-                    out.push(self.fact_for_object(schema, obj, global_class, attrs)?)
-                }
-                _ => continue,
+        for class in schema.classes() {
+            if self.global_class_of(comp_idx, class.name.as_str()) != Some(global_class) {
+                continue;
+            }
+            for obj in store.direct_extent(&class.name) {
+                out.push(self.fact_for_object(schema, obj, global_class, attrs)?);
             }
         }
         Ok(out)
@@ -191,29 +218,47 @@ impl<'a> FactMaterializer<'a> {
     /// its global class. With `filter` given, only classes in the set are
     /// materialised (goal-directed evaluation over the relevant slice).
     pub fn materialize(&self, filter: Option<&BTreeSet<String>>) -> Result<FactDb> {
+        self.materialize_projected(filter, None)
+    }
+
+    /// [`Self::materialize`] with attribute projection pushed into the
+    /// per-object origin computation: with `attrs` given, only the named
+    /// attributes/aggregations are computed — an empty set materialises
+    /// membership-only facts, skipping every `AttrOrigin` recipe (pairing
+    /// lookups, value-set builds). Callers must pass a superset of the
+    /// attributes any rule or query literal over the materialised classes
+    /// can mention; the qp executor derives that set from the relevance
+    /// closure's rules plus the scan projections.
+    pub fn materialize_projected(
+        &self,
+        filter: Option<&BTreeSet<String>>,
+        attrs: Option<&BTreeSet<String>>,
+    ) -> Result<FactDb> {
         let _span = obs::span!(
             "federation.materialize",
             "federation",
-            "components={} filtered={}",
+            "components={} filtered={} projected={}",
             self.components.len(),
-            filter.is_some()
+            filter.is_some(),
+            attrs.is_some()
         );
         let mut facts = FactDb::new();
-        for (schema, store) in self.components {
-            for obj in store.iter() {
-                let global_class = match self
-                    .global
-                    .global_class(schema.name.as_str(), obj.class.as_str())
-                {
-                    Some(g) => g.to_string(),
+        for (ci, (schema, store)) in self.components.iter().enumerate() {
+            // Walk per-class direct extents so a filtered materialisation
+            // is O(kept objects), not O(federation objects).
+            for class in schema.classes() {
+                let global_class = match self.global_class_of(ci, class.name.as_str()) {
+                    Some(g) => g,
                     None => continue,
                 };
                 if let Some(keep) = filter {
-                    if !keep.contains(&global_class) {
+                    if !keep.contains(global_class) {
                         continue;
                     }
                 }
-                facts.insert_oterm(self.fact_for_object(schema, obj, &global_class, None)?);
+                for obj in store.direct_extent(&class.name) {
+                    facts.insert_oterm(self.fact_for_object(schema, obj, global_class, attrs)?);
+                }
             }
         }
         for fact in self.bridge_facts(None, filter) {
@@ -238,40 +283,34 @@ impl<'a> FactMaterializer<'a> {
         if self.meta.pairing.is_empty() {
             return Vec::new();
         }
-        let comp_of: BTreeMap<&str, usize> = self
-            .components
-            .iter()
-            .enumerate()
-            .map(|(i, (s, _))| (s.name.as_str(), i))
-            .collect();
+        // Walk the pairing itself — O(pairs) with per-store OID lookups —
+        // rather than probing every federation object for partners.
+        let locate = |oid: &Oid| -> Option<(usize, &Object)> {
+            self.components
+                .iter()
+                .enumerate()
+                .find_map(|(i, (_, store))| store.get(oid).map(|o| (i, o)))
+        };
         let mut out = Vec::new();
-        for (i, (_, store)) in self.components.iter().enumerate() {
-            for obj in store.iter() {
-                for partner in self.meta.pairing.partners(&obj.oid) {
-                    let Some((pschema, pobj)) = self.by_oid().get(partner) else {
-                        continue;
-                    };
-                    let Some(&j) = comp_of.get(pschema.name.as_str()) else {
-                        continue;
-                    };
-                    if j <= i {
-                        continue;
-                    }
-                    let Some(g) = self
-                        .global
-                        .global_class(pschema.name.as_str(), pobj.class.as_str())
-                    else {
-                        continue;
-                    };
-                    if global_class.is_some_and(|want| want != g) {
-                        continue;
-                    }
-                    if filter.is_some_and(|keep| !keep.contains(g)) {
-                        continue;
-                    }
-                    out.push(OTermPat::new(Term::Val(Value::Oid(obj.oid.clone())), g));
-                }
+        for (a, b) in self.meta.pairing.pairs() {
+            let Some((ia, oa)) = locate(a) else { continue };
+            let Some((ib, ob)) = locate(b) else { continue };
+            if ia == ib {
+                continue;
             }
+            // The canonical representative (earlier component) also
+            // belongs to its partner's global class.
+            let (early, late_idx, late) = if ia < ib { (oa, ib, ob) } else { (ob, ia, oa) };
+            let Some(g) = self.global_class_of(late_idx, late.class.as_str()) else {
+                continue;
+            };
+            if global_class.is_some_and(|want| want != g) {
+                continue;
+            }
+            if filter.is_some_and(|keep| !keep.contains(g)) {
+                continue;
+            }
+            out.push(OTermPat::new(Term::Val(Value::Oid(early.oid.clone())), g));
         }
         out
     }
@@ -451,9 +490,24 @@ impl FederationDb {
         filter: Option<&BTreeSet<String>>,
         degraded: &BTreeSet<String>,
     ) -> Result<Self> {
+        Self::build_projected(global, components, meta, filter, degraded, None)
+    }
+
+    /// [`Self::build_degraded`] with attribute projection pushed into
+    /// materialisation (see [`FactMaterializer::materialize_projected`]).
+    /// `attrs` must cover every attribute the kept rules or subsequent
+    /// queries can mention; `None` materialises everything.
+    pub fn build_projected(
+        global: &GlobalSchema,
+        components: &[(Schema, InstanceStore)],
+        meta: &MetaRegistry,
+        filter: Option<&BTreeSet<String>>,
+        degraded: &BTreeSet<String>,
+        attrs: Option<&BTreeSet<String>>,
+    ) -> Result<Self> {
         let materializer =
             FactMaterializer::new(global, components, meta).with_degraded(degraded.clone());
-        let facts = materializer.materialize(filter)?;
+        let facts = materializer.materialize_projected(filter, attrs)?;
         // Split rules into executable and representational.
         let mut program = Program::default();
         let mut representational = Vec::new();
@@ -566,6 +620,37 @@ impl FederationDb {
         self.last_eval_stats = Some(stats);
         self.saturated = true;
         Ok(stats)
+    }
+
+    /// Goal-directed saturation: demand-transform the executable program
+    /// for `goal` and evaluate only what the seed keys (the goal O-terms'
+    /// object values) can reach. Returns `Ok(None)` when the program
+    /// cannot be demand-transformed (no rules for the goal, unguardable
+    /// key shapes, demand-stratification failure) — the caller should
+    /// fall back to [`Self::saturate`]. On success the fact base holds
+    /// every `goal` fact whose key is in `seeds` (plus whatever the
+    /// propagation reached), but is **not** marked saturated: other
+    /// relations stay incomplete, and a later [`Self::saturate`] call
+    /// completes them.
+    pub fn saturate_demand(&mut self, goal: &str, seeds: &[Value]) -> Result<Option<EvalStats>> {
+        if self.saturated {
+            return Ok(Some(EvalStats::default()));
+        }
+        let dp = match deduction::demand_transform(&self.program.rules, goal) {
+            Ok(dp) => dp,
+            Err(_) => return Ok(None),
+        };
+        let _span = obs::span!(
+            "federation.saturate_demand",
+            "federation",
+            "goal={goal} seeds={}",
+            seeds.len()
+        );
+        let stats = dp
+            .evaluate(&mut self.facts, seeds, EvalStrategy::default())
+            .map_err(|e| FedError::Eval(e.to_string()))?;
+        self.last_eval_stats = Some(stats);
+        Ok(Some(stats))
     }
 
     /// Work counters from the last real saturation run, if one happened.

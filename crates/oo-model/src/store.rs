@@ -121,6 +121,12 @@ impl InstanceStore {
         self.objects.values()
     }
 
+    /// Direct-extent sizes per declared class, without walking objects —
+    /// O(classes), for cardinality statistics.
+    pub fn class_counts(&self) -> impl Iterator<Item = (&ClassName, usize)> {
+        self.by_class.iter().map(|(c, oids)| (c, oids.len()))
+    }
+
     /// Objects whose *declared* class is exactly `class`.
     pub fn direct_extent(&self, class: &ClassName) -> Vec<&Object> {
         self.by_class

@@ -26,11 +26,32 @@ pub fn render_analyzed(plan: &QueryPlan, profile: &OpProfile) -> String {
 }
 
 fn actuals(p: &OpProfile) -> String {
-    format!(" (actual {} rows, {} µs)", p.rows_out, p.elapsed_us)
+    format!(
+        " (actual {} rows,{} {} µs)",
+        p.rows_out,
+        demanded(p),
+        p.elapsed_us
+    )
 }
 
 fn scan_actuals(p: &OpProfile) -> String {
-    format!(" (actual {} rows, {} µs)", p.scan_rows, p.scan_elapsed_us)
+    format!(
+        " (actual {} rows,{} {} µs)",
+        p.scan_rows,
+        demanded(p),
+        p.scan_elapsed_us
+    )
+}
+
+/// ` N demanded,` when the node's scan ran a magic-sets-restricted
+/// evaluation; empty otherwise. Rendered before the timing token so the
+/// goldens' `µs` normalisation leaves it pinned.
+fn demanded(p: &OpProfile) -> String {
+    if p.demanded > 0 {
+        format!(" {} demanded,", p.demanded)
+    } else {
+        String::new()
+    }
 }
 
 fn render_node(node: &PlanNode, profile: Option<&OpProfile>, depth: usize, out: &mut String) {
@@ -145,6 +166,7 @@ mod tests {
             elapsed_us: 40,
             scan_rows: 5,
             scan_elapsed_us: 7,
+            demanded: 0,
             input: Some(Box::new(OpProfile::leaf("seed", 3, 11))),
         };
         let text = render_analyzed(&plan, &profile);

@@ -18,7 +18,7 @@ use crate::degrade::{self, AnswerCompleteness};
 use crate::exec;
 use crate::parser::{parse_query, GlobalQuery};
 use crate::plan::{PlanNode, QueryPlan, QueryStrategy};
-use crate::planner::Planner;
+use crate::planner::{ClosureCache, Planner};
 use crate::Result;
 use deduction::{EvalStats, Subst, Term};
 use federation::client::FsmClient;
@@ -30,7 +30,7 @@ use federation::FederationDb;
 use fedoo_core::{PipelineStats, QpStats};
 use oo_model::{InstanceStore, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One answered query.
@@ -291,6 +291,13 @@ pub struct QueryEngine {
     last_stats: Option<QpStats>,
     /// Installed fault plan, if chaos/fault testing is active.
     fault: Option<FaultSession>,
+    /// Per-goal relevance closures and demand feasibility, shared by
+    /// every planner this engine builds. The global program is fixed for
+    /// the engine's lifetime, so entries never invalidate.
+    closure_cache: ClosureCache,
+    /// Whether planners annotate demand-seeded derived scans (on by
+    /// default; benches switch it off to isolate the closure-only path).
+    demand_enabled: bool,
 }
 
 impl QueryEngine {
@@ -330,7 +337,16 @@ impl QueryEngine {
             sat_eval: None,
             last_stats: None,
             fault: None,
+            closure_cache: Arc::new(Mutex::new(BTreeMap::new())),
+            demand_enabled: true,
         }
+    }
+
+    /// Toggle demand (magic-sets) annotation of derived scans. With it
+    /// off, planned execution still restricts to the relevance closure
+    /// but saturates it fully — the pre-demand behaviour.
+    pub fn set_demand_enabled(&mut self, on: bool) {
+        self.demand_enabled = on;
     }
 
     /// Install a fault plan: every subsequent `ask` fetches component
@@ -409,12 +425,15 @@ impl QueryEngine {
     /// Validate and plan, without executing. Reuses the cached extent
     /// statistics when they match the current component versions.
     pub fn plan_for(&self, query: &GlobalQuery) -> Result<QueryPlan> {
-        match &self.extent_stats {
+        let mut planner = match &self.extent_stats {
             Some((v, stats)) if *v == self.versions() => {
-                Planner::with_extent_rows(&self.global, &self.components, stats.clone()).plan(query)
+                Planner::with_extent_rows(&self.global, &self.components, stats.clone())
             }
-            _ => Planner::new(&self.global, &self.components).plan(query),
-        }
+            _ => Planner::new(&self.global, &self.components),
+        };
+        planner.set_closure_cache(Arc::clone(&self.closure_cache));
+        planner.set_demand(self.demand_enabled);
+        planner.plan(query)
     }
 
     /// Ensure the extent statistics match the current store versions,
@@ -924,6 +943,63 @@ mod tests {
         let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
         let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
         assert_eq!(planned.rows, saturate.rows);
+    }
+
+    /// A derived scan joined against a base seed is demand-seeded: the
+    /// plan advertises the demand key, execution runs the magic-sets
+    /// evaluation (visible in the stats and the analyze rendering), and
+    /// the answer still matches the saturate oracle.
+    #[test]
+    fn demand_seeded_join_matches_saturate() {
+        let fsm = campus_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let derived = engine
+            .global()
+            .rules
+            .iter()
+            .filter(|r| r.heads.len() == 1)
+            .filter_map(|r| r.head().and_then(|h| h.relation()))
+            .next()
+            .expect("intersection generates rules")
+            .to_string();
+        let g = engine
+            .global()
+            .global_class("S1", "faculty")
+            .unwrap()
+            .to_string();
+        let text = format!("?- <X: {g} | income: I>, <X: {derived}>.");
+        let plan = engine.explain(&text).unwrap();
+        assert!(
+            plan.render_human().contains("demand on X"),
+            "derived scan not demand-annotated:\n{}",
+            plan.render_human()
+        );
+        let analyzed = engine.ask_analyze(&text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(analyzed.answer.rows, saturate.rows);
+        assert!(
+            analyzed.answer.stats.demanded_facts > 0,
+            "demand evaluation did not run: {:?}",
+            analyzed.answer.stats
+        );
+        let rendered = analyzed.render_human();
+        assert!(
+            rendered.contains("demanded,"),
+            "analyze rendering missing demand actuals:\n{rendered}"
+        );
+        // With demand disabled the same query still answers identically
+        // through full closure saturation.
+        let mut plain = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        plain.set_demand_enabled(false);
+        let no_demand_plan = plain.explain(&text).unwrap();
+        assert!(
+            !no_demand_plan.render_human().contains("demand on"),
+            "{}",
+            no_demand_plan.render_human()
+        );
+        let off = plain.ask_text(&text, QueryStrategy::Planned).unwrap();
+        assert_eq!(off.rows, saturate.rows);
+        assert_eq!(off.stats.demanded_facts, 0);
     }
 
     #[test]

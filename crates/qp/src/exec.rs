@@ -13,7 +13,7 @@
 //! the differential test suite, to what the saturate-everything reference
 //! evaluator produces.
 
-use crate::plan::{PlanNode, QueryPlan, ScanKind, ScanNode};
+use crate::plan::{demand_key, DemandKey, PlanNode, QueryPlan, ScanKind, ScanNode};
 use crate::{QpError, Result};
 use deduction::term::{Literal, Term};
 use deduction::unify::unify_oterm_pattern;
@@ -43,6 +43,9 @@ pub struct OpProfile {
     pub scan_rows: u64,
     /// Time spent in the node's scan side alone.
     pub scan_elapsed_us: u64,
+    /// Demand facts (seeded + propagated) when the node's scan ran a
+    /// magic-sets-restricted evaluation; 0 otherwise.
+    pub demanded: u64,
     /// The pipeline input's profile (absent for seed/full-saturate).
     pub input: Option<Box<OpProfile>>,
 }
@@ -56,6 +59,7 @@ impl OpProfile {
             elapsed_us,
             scan_rows: rows_out,
             scan_elapsed_us: elapsed_us,
+            demanded: 0,
             input: None,
         }
     }
@@ -95,18 +99,29 @@ pub fn execute_degraded(
     meta: &MetaRegistry,
     degraded: &BTreeSet<String>,
 ) -> Result<ExecOutcome> {
-    let mut stats = QpStats::new();
+    let stats = QpStats::new();
 
-    // One restricted deduction state serves every derived scan.
+    // One restricted deduction state serves every derived scan. It is
+    // built over the union of the plan's relevance closures with only the
+    // attributes the closure's rules (or the scans themselves) mention —
+    // membership-only queries skip every origin recipe — and saturated
+    // *lazily*: demand-seeded scans run a magic-sets-restricted
+    // evaluation when they execute (their seeds are pipeline rows), and
+    // only a scan without demand seeding pays for full closure
+    // saturation.
     let relevant = collect_relevant(&plan.root);
     let derived = if relevant.is_empty() {
         None
     } else {
-        let mut db =
-            FederationDb::build_degraded(global, components, meta, Some(&relevant), degraded)?;
-        let eval = db.saturate()?;
-        stats.derived_facts += eval.facts_derived;
-        Some(db)
+        let attrs = derived_attr_projection(plan, global, &relevant);
+        Some(FederationDb::build_projected(
+            global,
+            components,
+            meta,
+            Some(&relevant),
+            degraded,
+            Some(&attrs),
+        )?)
     };
 
     let mat = FactMaterializer::new(global, components, meta).with_degraded(degraded.clone());
@@ -161,6 +176,90 @@ fn collect_relevant(node: &PlanNode) -> BTreeSet<String> {
     out
 }
 
+/// Attributes the derived deduction state must materialise: every
+/// attribute (or aggregation) name a relevance-closure rule mentions in
+/// any literal, plus the attributes each derived scan's own pattern
+/// binds. Everything else is skipped during materialisation — the
+/// intersection membership rules, for instance, bind no attributes, so a
+/// bare `<X: virtual_class>` goal materialises membership-only facts and
+/// never computes an origin recipe.
+fn derived_attr_projection(
+    plan: &QueryPlan,
+    global: &GlobalSchema,
+    relevant: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    fn from_literal(lit: &Literal, out: &mut BTreeSet<String>) {
+        match lit {
+            Literal::OTerm(o) => out.extend(
+                o.bindings
+                    .iter()
+                    .filter_map(|b| b.name.as_name().map(str::to_string)),
+            ),
+            Literal::Neg(inner) => from_literal(inner, out),
+            _ => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    for rule in &global.rules {
+        let heads_relevant = rule
+            .heads
+            .iter()
+            .filter_map(|h| h.relation())
+            .any(|h| relevant.contains(h));
+        if !heads_relevant {
+            continue;
+        }
+        for h in &rule.heads {
+            from_literal(h, &mut out);
+        }
+        for l in &rule.body {
+            from_literal(l, &mut out);
+        }
+    }
+    fn from_scans(node: &PlanNode, out: &mut BTreeSet<String>) {
+        let add = |scan: &ScanNode, out: &mut BTreeSet<String>| {
+            if matches!(scan.kind, ScanKind::Derived { .. }) {
+                out.extend(scan.projection.iter().cloned());
+            }
+        };
+        match node {
+            PlanNode::Seed(scan) => add(scan, out),
+            PlanNode::Join { input, scan, .. } | PlanNode::AntiJoin { input, scan, .. } => {
+                add(scan, out);
+                from_scans(input, out);
+            }
+            PlanNode::Filter { input, .. } => from_scans(input, out),
+            PlanNode::FullSaturate { .. } => {}
+        }
+    }
+    from_scans(&plan.root, &mut out);
+    out
+}
+
+/// Seed keys for a demand-annotated derived scan: the distinct values of
+/// the demand variable among the pipeline rows computed before the scan
+/// runs, or the constant object itself. `None` for scans without demand
+/// annotation (they evaluate the whole closure).
+fn demand_seeds(scan: &ScanNode, on: &[String], rows: &[Subst]) -> Option<Vec<Value>> {
+    if !matches!(
+        &scan.kind,
+        ScanKind::Derived {
+            demand: Some(_),
+            ..
+        }
+    ) {
+        return None;
+    }
+    match demand_key(&scan.literal, on)? {
+        DemandKey::Const(v) => Some(vec![v]),
+        DemandKey::Var(v) => {
+            let t = Term::var(v);
+            let keys: BTreeSet<Value> = rows.iter().filter_map(|s| s.value_of(&t)).collect();
+            Some(keys.into_iter().collect())
+        }
+    }
+}
+
 struct Ctx<'a> {
     mat: FactMaterializer<'a>,
     derived: Option<FederationDb>,
@@ -172,9 +271,11 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
     match node {
         PlanNode::Seed(scan) => {
             let _span = obs::span!("qp.op.seed", "qp", "relation={}", scan.relation);
-            let rows = scan_exec(ctx, scan)?;
+            let seeds = demand_seeds(scan, &[], &[]);
+            let (rows, demanded) = scan_exec(ctx, scan, seeds)?;
             let elapsed = start.elapsed().as_micros() as u64;
-            let profile = OpProfile::leaf("seed", rows.len() as u64, elapsed);
+            let mut profile = OpProfile::leaf("seed", rows.len() as u64, elapsed);
+            profile.demanded = demanded;
             Ok((rows, profile))
         }
         PlanNode::Join {
@@ -183,7 +284,8 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
             let (left, left_prof) = eval_node(ctx, input)?;
             let _span = obs::span!("qp.op.join", "qp", "relation={} on={on:?}", scan.relation);
             let scan_start = Instant::now();
-            let right = scan_exec(ctx, scan)?;
+            let seeds = demand_seeds(scan, on, &left);
+            let (right, demanded) = scan_exec(ctx, scan, seeds)?;
             let scan_elapsed = scan_start.elapsed().as_micros() as u64;
             ctx.stats.joins += 1;
             let out = hash_join(&left, &right, on, &scan.literal);
@@ -193,6 +295,7 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
                 elapsed_us: start.elapsed().as_micros() as u64,
                 scan_rows: right.len() as u64,
                 scan_elapsed_us: scan_elapsed,
+                demanded,
                 input: Some(Box::new(left_prof)),
             };
             Ok((out, profile))
@@ -213,6 +316,7 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
                 elapsed_us: start.elapsed().as_micros() as u64,
                 scan_rows: 0,
                 scan_elapsed_us: 0,
+                demanded: 0,
                 input: Some(Box::new(input_prof)),
             };
             Ok((rows, profile))
@@ -226,7 +330,12 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
                 scan.relation
             );
             let scan_start = Instant::now();
-            let right = scan_exec(ctx, scan)?;
+            // Demand-seeding an anti-join with the pipeline's keys is
+            // sound: scan keys outside the pipeline never remove a row,
+            // and the demand evaluation is complete for every seeded key,
+            // so the membership test below is exact.
+            let seeds = demand_seeds(scan, on, &rows);
+            let (right, demanded) = scan_exec(ctx, scan, seeds)?;
             let scan_elapsed = scan_start.elapsed().as_micros() as u64;
             let keys: HashSet<Vec<Value>> = right.iter().filter_map(|s| key_of(s, on)).collect();
             rows.retain(|s| match key_of(s, on) {
@@ -239,6 +348,7 @@ fn eval_node(ctx: &mut Ctx<'_>, node: &PlanNode) -> Result<(Vec<Subst>, OpProfil
                 elapsed_us: start.elapsed().as_micros() as u64,
                 scan_rows: right.len() as u64,
                 scan_elapsed_us: scan_elapsed,
+                demanded,
                 input: Some(Box::new(input_prof)),
             };
             Ok((rows, profile))
@@ -289,7 +399,18 @@ fn hash_join(left: &[Subst], right: &[Subst], on: &[String], scan_lit: &Literal)
 
 /// Run one scan: scatter base scans across component targets in
 /// parallel, or probe the restricted deduction state for derived ones.
-fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
+///
+/// Derived scans saturate lazily. A demand-annotated scan with seed keys
+/// runs a magic-sets-restricted evaluation over exactly those keys
+/// (falling back to full saturation when the program cannot be
+/// demand-transformed); any other derived scan saturates the whole
+/// relevance closure once. Returns the rows plus the demand-fact count
+/// for `--explain-analyze`.
+fn scan_exec(
+    ctx: &mut Ctx<'_>,
+    scan: &ScanNode,
+    seeds: Option<Vec<Value>>,
+) -> Result<(Vec<Subst>, u64)> {
     let _span = obs::span!(
         "qp.op.scan",
         "qp",
@@ -306,7 +427,7 @@ fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
                 Literal::OTerm(o) => o,
                 // Predicate literals have no extensional source: engine
                 // fact bases hold only materialised O-terms.
-                _ => return Ok(Vec::new()),
+                _ => return Ok((Vec::new(), 0)),
             };
             let mat = &ctx.mat;
             let per: Vec<Result<(Vec<Subst>, u64, u64)>> = targets
@@ -365,16 +486,35 @@ fn scan_exec(ctx: &mut Ctx<'_>, scan: &ScanNode) -> Result<Vec<Subst>> {
                     rows.push(s);
                 }
             }
-            Ok(rows)
+            Ok((rows, 0))
         }
-        ScanKind::Derived { .. } => {
+        ScanKind::Derived { demand, .. } => {
             let db = ctx
                 .derived
-                .as_ref()
+                .as_mut()
                 .ok_or_else(|| QpError::Plan("derived scan without deduction state".into()))?;
+            let mut demanded = 0u64;
+            let mut seeded = false;
+            if demand.is_some() && !db.is_saturated() {
+                if let Some(seed_keys) = &seeds {
+                    if let Some(eval) = db
+                        .saturate_demand(&scan.relation, seed_keys)
+                        .map_err(QpError::Fed)?
+                    {
+                        ctx.stats.derived_facts += eval.facts_derived;
+                        ctx.stats.demanded_facts += eval.demanded_facts;
+                        demanded = eval.demanded_facts;
+                        seeded = true;
+                    }
+                }
+            }
+            if !seeded && !db.is_saturated() {
+                let eval = db.saturate().map_err(QpError::Fed)?;
+                ctx.stats.derived_facts += eval.facts_derived;
+            }
             let rows = db.facts().query(std::slice::from_ref(&scan.literal));
             ctx.stats.rows_scanned += rows.len() as u64;
-            Ok(rows)
+            Ok((rows, demanded))
         }
     }
 }

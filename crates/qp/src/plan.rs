@@ -16,7 +16,9 @@
 //! statistics-free variant of the JSON ([`QueryPlan::fingerprint`]) keys
 //! the result cache.
 
+use deduction::term::Term;
 use deduction::Literal;
+use oo_model::Value;
 use relational::query::Predicate;
 use std::fmt;
 
@@ -89,6 +91,11 @@ pub enum ScanKind {
         rules: usize,
         /// Stratum of the scanned relation (0-based).
         stratum: usize,
+        /// Demand seeding: `Some(key)` when the evaluation is magic-sets
+        /// restricted to the goal keys flowing in through `key` — the
+        /// scan's object variable (seeded from the pipeline's join keys)
+        /// or a constant object term. `None` evaluates the whole closure.
+        demand: Option<String>,
     },
 }
 
@@ -106,6 +113,43 @@ pub struct ScanNode {
     pub projection: Vec<String>,
     /// Estimated result cardinality after pushdown.
     pub est_rows: u64,
+}
+
+/// How a demand-seeded derived scan obtains its goal keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandKey {
+    /// Seeds are the distinct values of this variable among the pipeline
+    /// rows already computed when the scan runs.
+    Var(String),
+    /// The scan's object term is a constant: a single static seed.
+    Const(Value),
+}
+
+impl fmt::Display for DemandKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandKey::Var(v) => f.write_str(v),
+            DemandKey::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The demand key a derived scan could be seeded on, given the variables
+/// (`on`) the pipeline binds before the scan runs: the literal's object
+/// (O-term) or first argument (predicate) when it is a constant or one of
+/// the `on` variables. `None` means every goal key may be needed — the
+/// scan must evaluate its whole relevance closure.
+pub fn demand_key(literal: &Literal, on: &[String]) -> Option<DemandKey> {
+    let key = match literal {
+        Literal::OTerm(o) => &o.object,
+        Literal::Pred(p) => p.args.first()?,
+        _ => return None,
+    };
+    match key {
+        Term::Val(v) => Some(DemandKey::Const(v.clone())),
+        Term::Var(v) if on.iter().any(|o| o == v) => Some(DemandKey::Var(v.clone())),
+        Term::Var(_) => None,
+    }
 }
 
 /// A node of the left-deep pipeline.
@@ -232,13 +276,18 @@ pub(crate) fn render_scan(scan: &ScanNode, out: &mut String) {
             relevant,
             rules,
             stratum,
+            demand,
         } => {
             out.push_str(&format!(
-                "[derived: {} rules over {{{}}}, stratum {}]",
+                "[derived: {} rules over {{{}}}, stratum {}",
                 rules,
                 relevant.join(", "),
                 stratum
             ));
+            if let Some(key) = demand {
+                out.push_str(&format!(", demand on {key}"));
+            }
+            out.push(']');
         }
     }
     if !scan.pushdown.is_empty() {
@@ -325,6 +374,7 @@ fn scan_json(scan: &ScanNode, stats: bool, out: &mut String) {
             relevant,
             rules,
             stratum,
+            demand,
         } => {
             out.push_str(&format!(
                 ",\"kind\":\"derived\",\"relevant\":[{}],\"rules\":{},\"stratum\":{}",
@@ -336,6 +386,9 @@ fn scan_json(scan: &ScanNode, stats: bool, out: &mut String) {
                 rules,
                 stratum
             ));
+            if let Some(key) = demand {
+                out.push_str(&format!(",\"demand\":{}", json_string(key)));
+            }
         }
     }
     out.push_str(",\"pushdown\":[");
@@ -475,6 +528,7 @@ mod tests {
                 relevant: vec!["dept".into(), "person".into()],
                 rules: 2,
                 stratum: 1,
+                demand: Some("D".into()),
             },
             pushdown: vec![],
             projection: vec![],
@@ -499,6 +553,25 @@ mod tests {
         assert!(h.contains("seed scan"));
         assert!(h.contains("pushdown[age > 30]"));
         assert!(h.contains("derived: 2 rules"));
+        assert!(h.contains(", demand on D]"), "{h}");
+    }
+
+    #[test]
+    fn demand_key_classifies_object_terms() {
+        use deduction::OTermPat;
+        let on = vec!["X".to_string()];
+        let var_obj = Literal::oterm(OTermPat::new(Term::var("X"), "c"));
+        assert_eq!(demand_key(&var_obj, &on), Some(DemandKey::Var("X".into())));
+        assert_eq!(demand_key(&var_obj, &[]), None);
+        let const_obj = Literal::oterm(OTermPat::new(Term::val("o1"), "c"));
+        assert!(matches!(
+            demand_key(&const_obj, &[]),
+            Some(DemandKey::Const(_))
+        ));
+        let pred = Literal::pred("p", [Term::var("Y")]);
+        assert_eq!(demand_key(&pred, &on), None);
+        let cmp = Literal::cmp(Term::var("X"), deduction::CmpOp::Eq, Term::val(1i64));
+        assert_eq!(demand_key(&cmp, &on), None);
     }
 
     #[test]

@@ -32,20 +32,41 @@
 //! fallback: always answerable, never fast.
 
 use crate::parser::GlobalQuery;
-use crate::plan::{PlanNode, QueryPlan, ScanKind, ScanNode, ScanTarget};
+use crate::plan::{demand_key, PlanNode, QueryPlan, ScanKind, ScanNode, ScanTarget};
 use crate::{QpError, Result};
 use deduction::term::{CmpOp, Literal, NameRef, Pred, Rule, Term};
-use deduction::{check_rule, check_rule_all, stratify};
+use deduction::{check_rule, check_rule_all, demand_transform, relevance_closure, stratify};
 use federation::fsm::GlobalSchema;
 use oo_model::{InstanceStore, Schema};
 use relational::query::{Cmp, Predicate};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Per-goal planning facts derived from the executable program alone:
+/// the relevance closure and whether the goal admits a demand rewrite.
+/// Both depend only on the rules — fixed for an engine's federation — so
+/// the engine shares one cache across every `Planner` it constructs and
+/// never invalidates entries (a store-epoch change alters extents, not
+/// the program).
+pub type ClosureCache = Arc<Mutex<BTreeMap<String, Arc<GoalInfo>>>>;
+
+/// One [`ClosureCache`] entry.
+#[derive(Debug)]
+pub struct GoalInfo {
+    /// Rule-body reachable relations from the goal (materialisation set).
+    pub relevant: BTreeSet<String>,
+    /// Whether `demand_transform` succeeds for the goal.
+    pub demandable: bool,
+}
 
 /// Plans queries against one built federation.
 pub struct Planner<'a> {
     global: &'a GlobalSchema,
     /// Executable derivation rules (single-head, safe).
     exec_rules: Vec<&'a Rule>,
+    /// Owned copies of `exec_rules` (stratification and the interned
+    /// closure/demand analyses work over a contiguous slice).
+    owned_rules: Vec<Rule>,
     /// Relations derived by executable rules.
     derived: BTreeSet<&'a str>,
     /// Strata of the executable program (lowest first).
@@ -54,6 +75,10 @@ pub struct Planner<'a> {
     extent_rows: BTreeMap<(usize, String), u64>,
     /// Component schema name → index.
     comp_idx: BTreeMap<&'a str, usize>,
+    /// Shared per-goal closure/demand cache, if the caller keeps one.
+    closure_cache: Option<ClosureCache>,
+    /// Whether derived scans may be annotated for demand seeding.
+    demand_enabled: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -61,20 +86,18 @@ impl<'a> Planner<'a> {
         Self::with_extent_rows(global, components, Self::collect_extent_rows(components))
     }
 
-    /// Direct extent sizes, (component index, local class) → objects.
-    /// This walk is O(total federation objects) — the dominant cost of
-    /// planner construction — so callers answering repeated queries
-    /// should collect once per store-version epoch and hand the map to
+    /// Direct extent sizes, (component index, local class) → objects —
+    /// read off the stores' class indexes in O(classes), not O(objects).
+    /// Callers answering repeated queries should still collect once per
+    /// store-version epoch and hand the map to
     /// [`Planner::with_extent_rows`].
     pub fn collect_extent_rows(
         components: &[(Schema, InstanceStore)],
     ) -> BTreeMap<(usize, String), u64> {
         let mut extent_rows = BTreeMap::new();
         for (i, (_, store)) in components.iter().enumerate() {
-            for obj in store.iter() {
-                *extent_rows
-                    .entry((i, obj.class.as_str().to_string()))
-                    .or_insert(0u64) += 1;
+            for (class, count) in store.class_counts() {
+                extent_rows.insert((i, class.as_str().to_string()), count as u64);
             }
         }
         extent_rows
@@ -105,11 +128,48 @@ impl<'a> Planner<'a> {
         Planner {
             global,
             exec_rules,
+            owned_rules: owned,
             derived,
             strata,
             extent_rows,
             comp_idx,
+            closure_cache: None,
+            demand_enabled: true,
         }
+    }
+
+    /// Share a per-goal closure/demand cache across planner instances
+    /// (the engine keeps one per federation).
+    pub fn set_closure_cache(&mut self, cache: ClosureCache) {
+        self.closure_cache = Some(cache);
+    }
+
+    /// Enable or disable demand annotation of derived scans (on by
+    /// default). Disabled, derived scans evaluate their whole relevance
+    /// closure — the pre-demand behaviour, kept for benchmarking.
+    pub fn set_demand(&mut self, on: bool) {
+        self.demand_enabled = on;
+    }
+
+    /// The goal's relevance closure and demand feasibility, computed via
+    /// the interned walk in `deduction` and memoised in the shared cache.
+    fn goal_info(&self, goal: &str) -> Arc<GoalInfo> {
+        if let Some(cache) = &self.closure_cache {
+            if let Some(hit) = cache.lock().unwrap().get(goal) {
+                return Arc::clone(hit);
+            }
+        }
+        let info = Arc::new(GoalInfo {
+            relevant: relevance_closure(&self.owned_rules, &[goal.to_string()]),
+            demandable: demand_transform(&self.owned_rules, goal).is_ok(),
+        });
+        if let Some(cache) = &self.closure_cache {
+            cache
+                .lock()
+                .unwrap()
+                .insert(goal.to_string(), Arc::clone(&info));
+        }
+        info
     }
 
     /// Static checks: safety kernel + conformance against the integrated
@@ -313,6 +373,7 @@ impl<'a> Planner<'a> {
             }
         }
 
+        self.annotate_demand(&mut root);
         Ok(QueryPlan { vars, root })
     }
 
@@ -387,14 +448,14 @@ impl<'a> Planner<'a> {
         };
 
         if self.derived.contains(relation.as_str()) {
-            let relevant = self.relevance_closure([relation.clone()]);
+            let info = self.goal_info(&relation);
             let rules = self
                 .exec_rules
                 .iter()
                 .filter(|r| {
                     r.head()
                         .and_then(|h| h.relation())
-                        .is_some_and(|h| relevant.contains(h))
+                        .is_some_and(|h| info.relevant.contains(h))
                 })
                 .count();
             let stratum = self
@@ -402,14 +463,15 @@ impl<'a> Planner<'a> {
                 .iter()
                 .position(|s| s.contains(relation.as_str()))
                 .unwrap_or(0);
-            let est_rows = self.derived_estimate(&relevant);
+            let est_rows = self.derived_estimate(&info.relevant);
             return ScanNode {
                 literal: lit.clone(),
                 relation,
                 kind: ScanKind::Derived {
-                    relevant: relevant.into_iter().collect(),
+                    relevant: info.relevant.iter().cloned().collect(),
                     rules,
                     stratum,
+                    demand: None,
                 },
                 pushdown: Vec::new(),
                 projection,
@@ -486,33 +548,33 @@ impl<'a> Planner<'a> {
             .collect()
     }
 
-    /// Transitive rule-body reachability from the root relations: the
-    /// slice of the federation a goal-directed evaluation must build.
-    fn relevance_closure(&self, roots: impl IntoIterator<Item = String>) -> BTreeSet<String> {
-        let mut need: BTreeSet<String> = roots.into_iter().collect();
-        loop {
-            let mut added = false;
-            for r in &self.exec_rules {
-                let Some(h) = r.head().and_then(|h| h.relation()) else {
-                    continue;
-                };
-                if !need.contains(h) {
-                    continue;
-                }
-                for l in &r.body {
-                    if let Some(b) = l.relation() {
-                        if !need.contains(b) {
-                            need.insert(b.to_string());
-                            added = true;
-                        }
-                    }
-                }
+    /// Annotate derived scans that can be demand-seeded: the scan's
+    /// object is a constant, or a variable the pipeline has already
+    /// bound when the scan runs (a join/anti-join key), and the goal
+    /// admits the magic-sets rewrite. The executor re-derives the same
+    /// key via [`demand_key`] to build the seed set at run time.
+    fn annotate_demand(&self, node: &mut PlanNode) {
+        let mark = |scan: &mut ScanNode, on: &[String]| {
+            let ScanKind::Derived { demand, .. } = &mut scan.kind else {
+                return;
+            };
+            if !self.demand_enabled || !self.goal_info(&scan.relation).demandable {
+                return;
             }
-            if !added {
-                break;
+            *demand = demand_key(&scan.literal, on).map(|k| k.to_string());
+        };
+        match node {
+            PlanNode::Seed(scan) => mark(scan, &[]),
+            PlanNode::Join {
+                input, scan, on, ..
             }
+            | PlanNode::AntiJoin { input, scan, on } => {
+                self.annotate_demand(input);
+                mark(scan, on);
+            }
+            PlanNode::Filter { input, .. } => self.annotate_demand(input),
+            PlanNode::FullSaturate { .. } => {}
         }
-        need
     }
 
     /// Crude upper-bound estimate for a derived relation: the base rows

@@ -168,9 +168,22 @@ proptest! {
             format!("?- <X: course_staff>, <X: course | credits: K>, K <= {k}."),
             // Safe negation over a derived relation (anti-join).
             "?- <X: course | code: C>, not <X: course_staff>.".to_string(),
+            // Base scan feeding a derived join: the planner annotates the
+            // derived scan with `demand on X` and seeds saturation from
+            // the pipeline rows (magic-sets path).
+            format!("?- <X: course | credits: K>, K > {k}, <X: course_staff>."),
+            // Constant-keyed demand: a single seed value.
+            "?- <X: course | code: C>, C = \"k2\", <X: course_staff>.".to_string(),
             // Outside the planned fragment: class variable → fallback.
             "?- <X: C>.".to_string(),
         ];
+        for q in &queries {
+            assert_agreement(&mut engine, q);
+        }
+        // The same queries with demand seeding disabled (pure relevance-
+        // closure saturation) must also agree — the planner's two derived
+        // evaluation modes are answer-equivalent.
+        engine.set_demand_enabled(false);
         for q in &queries {
             assert_agreement(&mut engine, q);
         }
@@ -229,6 +242,34 @@ fn derived_intersection_contains_exactly_the_paired_objects() {
         .unwrap();
     assert_eq!(neg.rows.len(), 1);
     assert_eq!(neg.rows[0][1], Value::str("k5"));
+}
+
+#[test]
+fn demand_seeding_fires_and_agrees_on_derived_join() {
+    // Six courses, two of them paired with staff: the base scan binds X,
+    // the derived scan is demand-seeded from those bindings.
+    let fsm = build_fsm(
+        &[],
+        &[],
+        &[(1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (0, 60)],
+        &[(1, 900), (3, 901)],
+    );
+    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let q = "?- <X: course | credits: K>, K > 15, <X: course_staff>.";
+    let analyzed = engine.ask_analyze(q, QueryStrategy::Planned).unwrap();
+    assert!(
+        analyzed.plan.render_human().contains("demand on X"),
+        "plan lacks demand annotation:\n{}",
+        analyzed.plan.render_human()
+    );
+    assert!(
+        analyzed.answer.stats.demanded_facts > 0,
+        "demand seeding did not fire"
+    );
+    let saturate = engine.ask_text(q, QueryStrategy::Saturate).unwrap();
+    assert_eq!(analyzed.answer.rows, saturate.rows);
+    // course k3 (credits 30) is the only paired course above the cutoff.
+    assert_eq!(analyzed.answer.rows.len(), 1);
 }
 
 #[test]
