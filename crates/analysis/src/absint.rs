@@ -1,0 +1,1131 @@
+//! Abstract interpretation over stratified rule programs (FD04xx).
+//!
+//! A bottom-up abstract interpreter computing, per predicate and per
+//! argument position, four families of facts the concrete evaluator never
+//! states explicitly:
+//!
+//! * **Type signatures** in the is-a class lattice: the set of classes
+//!   every derived fact's value at a position *provably* belongs to
+//!   (model-level semantics — a subclass extent is contained in every
+//!   ancestor's real-world state, §2). `⊤` is the empty set: no
+//!   guarantee. Within a rule constraints conjoin (set union of "must"
+//!   classes); across rules they join (set intersection). Signatures are
+//!   a greatest fixpoint iterated to convergence — intermediate iterates
+//!   over-claim and are never exposed; any fixpoint of the equations is
+//!   sound by induction on concrete derivation order.
+//! * **Binding facts**: a position always equals one constant
+//!   ([`Binding::Const`]), always draws from a small interned symbol set
+//!   ([`Binding::Symbols`], capped at [`SYMBOL_SET_LIMIT`]), or is
+//!   unconstrained ([`Binding::Any`]). Least fixpoint from
+//!   [`Binding::Never`].
+//! * **Provable emptiness & dead rules**: a relation with no extent, no
+//!   facts and no live rule derives nothing *under any extension of the
+//!   base extents*; a rule is dead when its body reads such a relation
+//!   positively, or when one variable is constrained to classes the
+//!   assertions declare extent-disjoint. Only *declared* disjointness
+//!   licenses deadness — lattice-unrelated classes can still share
+//!   objects through federated pairing.
+//! * **Recursion classification** per SCC of the predicate dependency
+//!   graph (non-recursive / linear / non-linear), plus static demand
+//!   feasibility per predicate via `deduction::demand_feasible` — computed
+//!   once per program so the planner's closure cache answers feasibility
+//!   without re-running the restriction fixpoint per goal.
+//!
+//! The results surface three ways: FD0401–FD0404 diagnostics through
+//! [`analyze_rules_absint`] (wired into `fedoo lint`), the
+//! [`ProgramSummary`] table the `fedoo-qp` planner consumes (scan pruning,
+//! type-restricted cardinality estimates, static demand feasibility), and
+//! `--explain` plan annotations rendered by `fedoo-qp`.
+
+use crate::diag::{Code, Diagnostic, Report};
+use deduction::{demand_feasible, sccs, CmpOp, Literal, Rule, Term};
+use oo_model::{Schema, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Above this many distinct constants a position's binding widens to
+/// [`Binding::Any`].
+pub const SYMBOL_SET_LIMIT: usize = 8;
+
+/// Abstract binding of one argument position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Binding {
+    /// ⊥ — the relation provably holds no fact, so the position has no
+    /// value at all.
+    Never,
+    /// Every fact carries exactly this constant here.
+    Const(Value),
+    /// Every fact draws this position from a set of at most
+    /// [`SYMBOL_SET_LIMIT`] constants.
+    Symbols(BTreeSet<Value>),
+    /// Unconstrained.
+    Any,
+}
+
+impl Binding {
+    /// Lattice join (least upper bound): `Never ⊑ Const ⊑ Symbols ⊑ Any`.
+    pub fn join(&self, other: &Binding) -> Binding {
+        let syms = |b: &Binding| -> Option<BTreeSet<Value>> {
+            match b {
+                Binding::Never => Some(BTreeSet::new()),
+                Binding::Const(v) => Some(BTreeSet::from([v.clone()])),
+                Binding::Symbols(s) => Some(s.clone()),
+                Binding::Any => None,
+            }
+        };
+        match (syms(self), syms(other)) {
+            (Some(mut a), Some(b)) => {
+                a.extend(b);
+                match a.len() {
+                    0 => Binding::Never,
+                    1 => Binding::Const(a.into_iter().next().expect("len checked")),
+                    n if n <= SYMBOL_SET_LIMIT => Binding::Symbols(a),
+                    _ => Binding::Any,
+                }
+            }
+            _ => Binding::Any,
+        }
+    }
+
+    /// Precision order used to pick the tightest body occurrence; any
+    /// single satisfied constraint over-approximates their conjunction,
+    /// so the most precise one is kept. Smaller is tighter.
+    fn precision(&self) -> (u8, usize) {
+        match self {
+            Binding::Never => (0, 0),
+            Binding::Const(_) => (1, 1),
+            Binding::Symbols(s) => (2, s.len()),
+            Binding::Any => (3, 0),
+        }
+    }
+}
+
+/// How a predicate participates in recursion, per SCC of the dependency
+/// graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecursionClass {
+    NonRecursive,
+    /// Every rule of the SCC holds at most one body literal from the SCC.
+    Linear,
+    /// Some rule holds two or more body literals from its own SCC.
+    NonLinear,
+}
+
+/// Abstract facts about one argument position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgSummary {
+    /// Classes every fact's value here provably belongs to (model-level
+    /// is-a semantics). Empty = ⊤, no guarantee.
+    pub classes: BTreeSet<String>,
+    /// Constant/symbol-set facts for this position.
+    pub binding: Binding,
+}
+
+/// Everything the abstract interpreter proved about one predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateSummary {
+    pub name: String,
+    /// Per argument position: O-term relations expose one position (the
+    /// object), first-order predicates one per argument.
+    pub args: Vec<ArgSummary>,
+    /// Head of at least one executable non-fact rule.
+    pub derived: bool,
+    /// Provably derives nothing under any extension of the base extents.
+    pub empty: bool,
+    pub recursion: RecursionClass,
+    /// Would `deduction::demand_transform` succeed with this predicate as
+    /// the goal? Exactly mirrors the transform (fact-only relations
+    /// restrict trivially); `false` when the relation heads no rule.
+    pub demandable: bool,
+}
+
+impl PredicateSummary {
+    /// The inferred type signature of the demand-key position (an O-term's
+    /// object, a predicate's first argument). Empty set = ⊤.
+    pub fn key_classes(&self) -> &BTreeSet<String> {
+        static EMPTY: BTreeSet<String> = BTreeSet::new();
+        self.args.first().map(|a| &a.classes).unwrap_or(&EMPTY)
+    }
+}
+
+/// Why a rule is dead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadReason {
+    /// A positive body literal reads this provably-empty relation.
+    EmptyLiteral(String),
+    /// This variable is constrained to two declared-disjoint classes.
+    Contradiction {
+        var: String,
+        left: String,
+        right: String,
+    },
+}
+
+/// The per-program result table: predicate summaries plus the dead rules
+/// (by index into the analyzed slice) with their reasons.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramSummary {
+    preds: BTreeMap<String, PredicateSummary>,
+    /// `(rule index, reason)`, ascending by index.
+    pub dead_rules: Vec<(usize, DeadReason)>,
+}
+
+impl ProgramSummary {
+    pub fn get(&self, name: &str) -> Option<&PredicateSummary> {
+        self.preds.get(name)
+    }
+
+    pub fn predicates(&self) -> impl Iterator<Item = &PredicateSummary> {
+        self.preds.values()
+    }
+
+    /// `true` only when the analyzer *proved* emptiness; unknown relations
+    /// answer `false`.
+    pub fn is_provably_empty(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|p| p.empty)
+    }
+
+    /// Static demand feasibility; `None` when the predicate is unknown.
+    pub fn demandable(&self, name: &str) -> Option<bool> {
+        self.get(name).map(|p| p.demandable)
+    }
+}
+
+/// Must-class sets with an explicit universe: `None` is "every class"
+/// (sound only for relations that cannot hold a fact), `Some(s)` is the
+/// finite guarantee set.
+type MustSet = Option<BTreeSet<String>>;
+
+/// `a ∪ b` where `None` is the universe.
+fn must_union(a: MustSet, b: MustSet) -> MustSet {
+    match (a, b) {
+        (Some(mut a), Some(b)) => {
+            a.extend(b);
+            Some(a)
+        }
+        _ => None,
+    }
+}
+
+/// `a ∩ b` where `None` is the universe.
+fn must_intersect(a: MustSet, b: MustSet) -> MustSet {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.intersection(&b).cloned().collect()),
+        (Some(a), None) | (None, Some(a)) => Some(a),
+        (None, None) => None,
+    }
+}
+
+/// Expand declared disjoint class pairs downward through the is-a
+/// lattice: `a ⊥ b` implies `a' ⊥ b'` for all subclasses `a' ⊑ a`,
+/// `b' ⊑ b`. Pairs are stored name-normalized (lexicographically).
+fn close_disjoint(
+    declared: &[(String, String)],
+    schemas: &[&Schema],
+) -> BTreeSet<(String, String)> {
+    let cone = |c: &str| -> BTreeSet<String> {
+        let mut set = BTreeSet::from([c.to_string()]);
+        for s in schemas {
+            let name = c.into();
+            if s.contains(&name) {
+                set.extend(s.descendants(&name).into_iter().map(|d| d.0));
+            }
+        }
+        set
+    };
+    let mut out: BTreeSet<(String, String)> = BTreeSet::new();
+    for (a, b) in declared {
+        for a2 in cone(a) {
+            for b2 in cone(b) {
+                let pair = if a2 <= b2 {
+                    (a2.clone(), b2)
+                } else {
+                    (b2, a2.clone())
+                };
+                out.insert(pair);
+            }
+        }
+    }
+    out
+}
+
+/// `{c}` plus every ancestor of `c` in any schema that knows it — the
+/// "must" classes a satisfied `<X: c>` literal guarantees for `X`.
+fn must_of_class(c: &str, schemas: &[&Schema]) -> BTreeSet<String> {
+    let mut out = BTreeSet::from([c.to_string()]);
+    for s in schemas {
+        let name = c.into();
+        if s.contains(&name) {
+            out.extend(s.ancestors(&name).into_iter().map(|a| a.0));
+        }
+    }
+    out
+}
+
+/// The head positions of an executable rule: `(relation, [terms])`.
+/// O-term heads expose the object position only; attribute positions are
+/// untyped (`⊤`) by construction.
+fn head_positions(rule: &Rule) -> Option<(&str, Vec<&Term>)> {
+    match rule.head()? {
+        Literal::OTerm(o) => o.class.as_name().map(|c| (c, vec![&o.object])),
+        Literal::Pred(p) => Some((p.name.as_str(), p.args.iter().collect())),
+        _ => None,
+    }
+}
+
+/// Positive body occurrences of variable `v`: `(relation, position)`.
+/// Negated and comparison literals never guarantee anything and are
+/// skipped.
+fn positive_occurrences<'a>(rule: &'a Rule, v: &str) -> Vec<(&'a str, usize)> {
+    let mut out = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::OTerm(o) => {
+                if let (Term::Var(x), Some(c)) = (&o.object, o.class.as_name()) {
+                    if x == v {
+                        out.push((c, 0));
+                    }
+                }
+            }
+            Literal::Pred(p) => {
+                for (k, t) in p.args.iter().enumerate() {
+                    if t.as_var() == Some(v) {
+                        out.push((p.name.as_str(), k));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Run the abstract interpreter.
+///
+/// * `rules` — the program. Disjunctive rules are representational
+///   (Principle 4): the evaluator skips them, but their head relations are
+///   conservatively kept possibly-nonempty so no emptiness conclusion
+///   rests on a rule that was merely skipped.
+/// * `base` — relation names with extensional extents (schema classes,
+///   origin-mapped global classes): assumed possibly-nonempty and
+///   unconstrained.
+/// * `schemas` — is-a lattices for must-class expansion.
+/// * `disjoint` — declared extent-disjoint class pairs (from exclusion
+///   assertions); closed downward through the lattice here.
+pub fn summarize(
+    rules: &[Rule],
+    base: &BTreeSet<String>,
+    schemas: &[&Schema],
+    disjoint: &[(String, String)],
+) -> ProgramSummary {
+    let _span = obs::span!(
+        "analysis.absint",
+        "analysis",
+        "rules={} base={}",
+        rules.len(),
+        base.len()
+    );
+    let disjoint = close_disjoint(disjoint, schemas);
+
+    // Executable slice, keeping original indices for dead-rule reporting.
+    let exec: Vec<(usize, &Rule)> = rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.head().and_then(|h| h.relation()).is_some())
+        .collect();
+
+    // Every relation mentioned anywhere, with the widest arity seen.
+    let mut arity: BTreeMap<String, usize> = BTreeMap::new();
+    {
+        let mut note = |lit: &Literal| {
+            let mut l = lit;
+            while let Literal::Neg(inner) = l {
+                l = inner;
+            }
+            let (name, n) = match l {
+                Literal::OTerm(o) => match o.class.as_name() {
+                    Some(c) => (c, 1),
+                    None => return,
+                },
+                Literal::Pred(p) => (p.name.as_str(), p.args.len()),
+                _ => return,
+            };
+            let e = arity.entry(name.to_string()).or_insert(n);
+            *e = (*e).max(n);
+        };
+        for r in rules {
+            for h in &r.heads {
+                note(h);
+            }
+            for l in &r.body {
+                note(l);
+            }
+        }
+        for b in base {
+            arity.entry(b.clone()).or_insert(1);
+        }
+    }
+
+    let derived: BTreeSet<&str> = exec
+        .iter()
+        .filter(|(_, r)| !r.is_fact())
+        .filter_map(|(_, r)| r.head().and_then(|h| h.relation()))
+        .collect();
+    let has_facts: BTreeSet<&str> = exec
+        .iter()
+        .filter(|(_, r)| r.is_fact())
+        .filter_map(|(_, r)| r.head().and_then(|h| h.relation()))
+        .collect();
+
+    // ---- Per-rule type contradictions (declared disjointness only). ----
+    let mut contradictions: BTreeMap<usize, DeadReason> = BTreeMap::new();
+    for (idx, rule) in &exec {
+        let mut per_var: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for lit in &rule.body {
+            if let Literal::OTerm(o) = lit {
+                if let (Term::Var(x), Some(c)) = (&o.object, o.class.as_name()) {
+                    per_var
+                        .entry(x.as_str())
+                        .or_default()
+                        .extend(must_of_class(c, schemas));
+                }
+            }
+        }
+        'vars: for (v, classes) in per_var {
+            let list: Vec<&String> = classes.iter().collect();
+            for (i, a) in list.iter().enumerate() {
+                for b in &list[i + 1..] {
+                    let pair = ((*a).clone(), (*b).clone());
+                    if disjoint.contains(&pair) {
+                        contradictions.insert(
+                            *idx,
+                            DeadReason::Contradiction {
+                                var: v.to_string(),
+                                left: pair.0,
+                                right: pair.1,
+                            },
+                        );
+                        break 'vars;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Emptiness: least fixpoint of "can possibly hold a fact". ----
+    let mut nonempty: BTreeSet<&str> = BTreeSet::new();
+    for b in base {
+        nonempty.insert(b.as_str());
+    }
+    nonempty.extend(has_facts.iter().copied());
+    for rule in rules {
+        if rule.heads.len() > 1 {
+            for h in &rule.heads {
+                if let Some(name) = h.relation() {
+                    nonempty.insert(name);
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (idx, rule) in &exec {
+            if rule.is_fact() || contradictions.contains_key(idx) {
+                continue;
+            }
+            let head_rel = rule
+                .head()
+                .and_then(|h| h.relation())
+                .expect("exec slice has definite heads");
+            if nonempty.contains(head_rel) {
+                continue;
+            }
+            let live = rule.body.iter().all(|lit| {
+                if lit.is_negative() {
+                    return true; // ¬empty is trivially satisfiable
+                }
+                match lit.relation() {
+                    Some(q) => nonempty.contains(q),
+                    None => true, // comparisons
+                }
+            });
+            if live {
+                nonempty.insert(head_rel);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Dead rules: contradictions plus provably-empty positive reads. ----
+    let mut dead_rules: Vec<(usize, DeadReason)> = Vec::new();
+    for (idx, rule) in &exec {
+        if rule.is_fact() {
+            continue;
+        }
+        if let Some(reason) = contradictions.get(idx) {
+            dead_rules.push((*idx, reason.clone()));
+            continue;
+        }
+        let empty_read = rule.body.iter().find_map(|lit| {
+            if lit.is_negative() {
+                return None;
+            }
+            lit.relation().filter(|q| !nonempty.contains(*q))
+        });
+        if let Some(q) = empty_read {
+            dead_rules.push((*idx, DeadReason::EmptyLiteral(q.to_string())));
+        }
+    }
+
+    // ---- Type signatures: greatest fixpoint of must-class sets. ----
+    // Every non-extensional position starts at the universe (`None`) and
+    // is recomputed as the intersection over its rules of per-rule unions
+    // of body guarantees, until stable. The transformer is monotone over a
+    // finite lattice, so this terminates; only the converged fixpoint is
+    // exposed. A position still at the universe then belongs to a relation
+    // that can hold no fact; it is reported as ⊤.
+    let mut sig: BTreeMap<(String, usize), MustSet> = BTreeMap::new();
+    for (name, &n) in &arity {
+        let is_base = base.contains(name);
+        for j in 0..n {
+            let init: MustSet = if is_base && j == 0 {
+                Some(must_of_class(name, schemas))
+            } else if is_base {
+                Some(BTreeSet::new())
+            } else {
+                None
+            };
+            sig.insert((name.clone(), j), init);
+        }
+    }
+    loop {
+        let mut changed = false;
+        let mut next: BTreeMap<(String, usize), Option<MustSet>> = BTreeMap::new();
+        for (_, rule) in &exec {
+            let Some((rel, terms)) = head_positions(rule) else {
+                continue;
+            };
+            if base.contains(rel) {
+                continue; // extensional: the fixed initialization wins
+            }
+            for (j, term) in terms.iter().enumerate() {
+                let must: MustSet = match term {
+                    // A constant head value carries no class guarantee.
+                    Term::Val(_) => Some(BTreeSet::new()),
+                    Term::Var(v) => {
+                        let mut acc: MustSet = Some(BTreeSet::new());
+                        for (q, k) in positive_occurrences(rule, v) {
+                            let occ = sig.get(&(q.to_string(), k)).cloned().flatten();
+                            acc = must_union(acc, occ);
+                        }
+                        acc
+                    }
+                };
+                let slot = next.entry((rel.to_string(), j)).or_insert(None);
+                *slot = Some(match slot.take() {
+                    None => must,
+                    Some(prev) => must_intersect(prev, must),
+                });
+            }
+        }
+        for (key, val) in next {
+            let val = val.expect("every visited slot was set");
+            let entry = sig.get_mut(&key).expect("arity pass covered all heads");
+            if *entry != val {
+                *entry = val;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Binding facts: least fixpoint from Never. ----
+    let mut bind: BTreeMap<(String, usize), Binding> = BTreeMap::new();
+    for (name, &n) in &arity {
+        let init = if base.contains(name) {
+            Binding::Any
+        } else {
+            Binding::Never
+        };
+        for j in 0..n {
+            bind.insert((name.clone(), j), init.clone());
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (_, rule) in &exec {
+            let Some((rel, terms)) = head_positions(rule) else {
+                continue;
+            };
+            if base.contains(rel) {
+                continue;
+            }
+            for (j, term) in terms.iter().enumerate() {
+                let contribution = match term {
+                    Term::Val(v) => Binding::Const(v.clone()),
+                    Term::Var(v) => {
+                        let mut best = Binding::Any;
+                        for (q, k) in positive_occurrences(rule, v) {
+                            if let Some(b) = bind.get(&(q.to_string(), k)) {
+                                if b.precision() < best.precision() {
+                                    best = b.clone();
+                                }
+                            }
+                        }
+                        for lit in &rule.body {
+                            if let Literal::Cmp {
+                                left,
+                                op: CmpOp::Eq,
+                                right,
+                            } = lit
+                            {
+                                let c = match (left, right) {
+                                    (Term::Var(x), Term::Val(c)) if x == v => Some(c),
+                                    (Term::Val(c), Term::Var(x)) if x == v => Some(c),
+                                    _ => None,
+                                };
+                                if let Some(c) = c {
+                                    let b = Binding::Const(c.clone());
+                                    if b.precision() < best.precision() {
+                                        best = b;
+                                    }
+                                }
+                            }
+                        }
+                        best
+                    }
+                };
+                if contribution == Binding::Never {
+                    continue; // some body position is ⊥: the rule cannot fire yet
+                }
+                let slot = bind
+                    .get_mut(&(rel.to_string(), j))
+                    .expect("arity pass covered all heads");
+                let joined = slot.join(&contribution);
+                if *slot != joined {
+                    *slot = joined;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Recursion classification per SCC. ----
+    let comps = sccs(rules);
+    let mut comp_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, comp) in comps.iter().enumerate() {
+        for p in comp {
+            comp_of.insert(p.as_str(), i);
+        }
+    }
+    let mut comp_class: Vec<RecursionClass> = comps
+        .iter()
+        .map(|c| {
+            if c.len() > 1 {
+                RecursionClass::Linear // upgraded below if some rule doubles up
+            } else {
+                RecursionClass::NonRecursive
+            }
+        })
+        .collect();
+    for (_, rule) in &exec {
+        let Some(head_rel) = rule.head().and_then(|h| h.relation()) else {
+            continue;
+        };
+        let Some(&ci) = comp_of.get(head_rel) else {
+            continue;
+        };
+        let in_comp = rule
+            .body
+            .iter()
+            .filter(|l| l.relation().and_then(|q| comp_of.get(q)) == Some(&ci))
+            .count();
+        if in_comp >= 1 && comp_class[ci] == RecursionClass::NonRecursive {
+            comp_class[ci] = RecursionClass::Linear;
+        }
+        if in_comp >= 2 {
+            comp_class[ci] = RecursionClass::NonLinear;
+        }
+    }
+
+    // ---- Assemble. ----
+    let exec_rules: Vec<Rule> = exec.iter().map(|(_, r)| (*r).clone()).collect();
+    let mut preds: BTreeMap<String, PredicateSummary> = BTreeMap::new();
+    for (name, &n) in &arity {
+        let is_derived = derived.contains(name.as_str());
+        let empty = !nonempty.contains(name.as_str());
+        let args: Vec<ArgSummary> = (0..n)
+            .map(|j| ArgSummary {
+                classes: if empty {
+                    BTreeSet::new()
+                } else {
+                    sig.get(&(name.clone(), j))
+                        .cloned()
+                        .flatten()
+                        .unwrap_or_default()
+                },
+                binding: if empty {
+                    Binding::Never
+                } else {
+                    bind.get(&(name.clone(), j))
+                        .cloned()
+                        .unwrap_or(Binding::Any)
+                },
+            })
+            .collect();
+        let recursion = comp_of
+            .get(name.as_str())
+            .map(|&ci| comp_class[ci])
+            .unwrap_or(RecursionClass::NonRecursive);
+        let demandable = demand_feasible(&exec_rules, name).is_ok();
+        preds.insert(
+            name.clone(),
+            PredicateSummary {
+                name: name.clone(),
+                args,
+                derived: is_derived,
+                empty,
+                recursion,
+                demandable,
+            },
+        );
+    }
+    ProgramSummary { preds, dead_rules }
+}
+
+/// The lint-facing pass: run [`summarize`] over the schemas' class extents
+/// and report FD0401 (dead rule), FD0402 (provably-empty derived
+/// predicate), FD0403 (contradictory type constraint) and FD0404
+/// (non-linear recursion).
+pub fn analyze_rules_absint(
+    rules: &[Rule],
+    schemas: &[&Schema],
+    disjoint: &[(String, String)],
+) -> Report {
+    let base: BTreeSet<String> = schemas
+        .iter()
+        .flat_map(|s| s.class_names().map(|c| c.0.clone()))
+        .collect();
+    let summary = summarize(rules, &base, schemas, disjoint);
+    let mut report = Report::new();
+
+    for (idx, reason) in &summary.dead_rules {
+        let subject = rules[*idx].to_string();
+        match reason {
+            DeadReason::EmptyLiteral(q) => {
+                report.push(
+                    Diagnostic::new(
+                        Code::DeadRule,
+                        format!("rule can never fire: relation `{q}` is provably empty"),
+                    )
+                    .with_subject(subject)
+                    .with_note("no rule, fact or schema extent can ever populate the relation"),
+                );
+            }
+            DeadReason::Contradiction { var, left, right } => {
+                report.push(
+                    Diagnostic::new(
+                        Code::ContradictoryTypeConstraint,
+                        format!(
+                            "variable `{var}` is constrained to classes `{left}` and `{right}`, \
+                             declared disjoint — the rule can never fire"
+                        ),
+                    )
+                    .with_subject(subject)
+                    .with_note("an exclusion assertion keeps the two extents disjoint"),
+                );
+            }
+        }
+    }
+
+    for p in summary.predicates() {
+        if p.derived && p.empty {
+            report.push(
+                Diagnostic::new(
+                    Code::ProvablyEmptyPredicate,
+                    format!(
+                        "derived predicate `{}` is provably empty: every rule is dead",
+                        p.name
+                    ),
+                )
+                .with_subject(p.name.clone()),
+            );
+        }
+    }
+
+    // One FD0404 per non-linear SCC, anchored at its name-least member.
+    for comp in sccs(rules) {
+        let nonlinear = comp
+            .first()
+            .and_then(|p| summary.get(p))
+            .is_some_and(|p| p.recursion == RecursionClass::NonLinear);
+        if !nonlinear {
+            continue;
+        }
+        let names = comp
+            .iter()
+            .map(|m| format!("`{m}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let plural = comp.len() > 1;
+        report.push(
+            Diagnostic::new(
+                Code::NonLinearRecursion,
+                format!(
+                    "predicate{} {} recurse{} non-linearly (a rule joins its own SCC twice)",
+                    if plural { "s" } else { "" },
+                    names,
+                    if plural { "" } else { "s" },
+                ),
+            )
+            .with_subject(comp[0].clone())
+            .with_note("non-linear recursion multiplies demand seeds and derivation work"),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oo_model::{Class, ClassType};
+
+    fn ot(obj: &str, class: &str) -> Literal {
+        Literal::oterm(deduction::OTermPat::new(Term::var(obj), class))
+    }
+
+    fn pred(name: &str, args: &[Term]) -> Literal {
+        Literal::pred(name, args.to_vec())
+    }
+
+    fn university() -> Schema {
+        let mut s = Schema::new("U");
+        for c in ["human", "employee", "faculty", "professor", "student"] {
+            s.add_class(Class::new(c, ClassType::new())).unwrap();
+        }
+        s.add_isa("employee", "human").unwrap();
+        s.add_isa("faculty", "employee").unwrap();
+        s.add_isa("professor", "faculty").unwrap();
+        s.add_isa("student", "human").unwrap();
+        s
+    }
+
+    fn codes(report: &Report) -> Vec<&'static str> {
+        report.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn empty_relation_kills_dependent_rules() {
+        // q has a fact; p reads ghost (never populated); r reads p.
+        let rules = vec![
+            Rule::new(pred("q", &[Term::val(1i64)]), vec![]),
+            Rule::new(
+                pred("p", &[Term::var("X")]),
+                vec![
+                    pred("q", &[Term::var("X")]),
+                    pred("ghost", &[Term::var("X")]),
+                ],
+            ),
+            Rule::new(
+                pred("r", &[Term::var("X")]),
+                vec![pred("p", &[Term::var("X")])],
+            ),
+        ];
+        let summary = summarize(&rules, &BTreeSet::new(), &[], &[]);
+        assert!(summary.is_provably_empty("ghost"));
+        assert!(summary.is_provably_empty("p"));
+        assert!(summary.is_provably_empty("r"));
+        assert!(!summary.is_provably_empty("q"));
+        assert_eq!(summary.dead_rules.len(), 2);
+        assert_eq!(
+            summary.dead_rules[0].1,
+            DeadReason::EmptyLiteral("ghost".to_string())
+        );
+        assert_eq!(
+            summary.dead_rules[1].1,
+            DeadReason::EmptyLiteral("p".to_string())
+        );
+    }
+
+    #[test]
+    fn base_relations_are_never_empty() {
+        let base: BTreeSet<String> = ["student".to_string()].into();
+        let rules = vec![Rule::new(ot("x", "grad"), vec![ot("x", "student")])];
+        let summary = summarize(&rules, &base, &[], &[]);
+        assert!(!summary.is_provably_empty("student"));
+        assert!(!summary.is_provably_empty("grad"));
+        assert!(summary.dead_rules.is_empty());
+    }
+
+    #[test]
+    fn type_signatures_join_across_rules_and_union_within() {
+        let schema = university();
+        let base: BTreeSet<String> = schema.class_names().map(|c| c.0.clone()).collect();
+        // Every grad is a student (hence human); every aide is a student
+        // AND an employee. union within the aide rule, intersection across
+        // the two `helper` rules keeps only the common guarantees.
+        let rules = vec![
+            Rule::new(ot("x", "grad"), vec![ot("x", "student")]),
+            Rule::new(
+                ot("x", "aide"),
+                vec![ot("x", "student"), ot("x", "employee")],
+            ),
+            Rule::new(ot("x", "helper"), vec![ot("x", "grad")]),
+            Rule::new(ot("x", "helper"), vec![ot("x", "aide")]),
+        ];
+        let summary = summarize(&rules, &base, &[&schema], &[]);
+        let classes = |p: &str| summary.get(p).unwrap().key_classes().clone();
+        assert_eq!(
+            classes("grad"),
+            ["student", "human"].map(String::from).into()
+        );
+        assert_eq!(
+            classes("aide"),
+            ["student", "employee", "human"].map(String::from).into()
+        );
+        // helper = sig(grad) ∩ sig(aide) = {student, human}
+        assert_eq!(
+            classes("helper"),
+            ["student", "human"].map(String::from).into()
+        );
+    }
+
+    #[test]
+    fn recursive_signature_converges_soundly() {
+        // reach is recursive through edge (untyped): its signature must
+        // not claim any class.
+        let schema = university();
+        let base: BTreeSet<String> = schema.class_names().map(|c| c.0.clone()).collect();
+        let rules = vec![
+            Rule::new(pred("reach", &[Term::var("X")]), vec![ot("X", "student")]),
+            Rule::new(
+                pred("reach", &[Term::var("Y")]),
+                vec![
+                    pred("reach", &[Term::var("X")]),
+                    pred("edge", &[Term::var("X"), Term::var("Y")]),
+                ],
+            ),
+            Rule::new(pred("edge", &[Term::val(1i64), Term::val(2i64)]), vec![]),
+        ];
+        let summary = summarize(&rules, &base, &[&schema], &[]);
+        assert_eq!(summary.get("reach").unwrap().key_classes().len(), 0);
+    }
+
+    #[test]
+    fn contradiction_needs_declared_disjointness() {
+        let schema = university();
+        let base: BTreeSet<String> = schema.class_names().map(|c| c.0.clone()).collect();
+        let rules = vec![Rule::new(
+            ot("x", "both"),
+            vec![ot("x", "student"), ot("x", "employee")],
+        )];
+        // Lattice-disjoint alone is NOT enough (federated pairing can
+        // place one object in both classes)...
+        let s1 = summarize(&rules, &base, &[&schema], &[]);
+        assert!(s1.dead_rules.is_empty());
+        assert!(!s1.is_provably_empty("both"));
+        // ...but a declared exclusion assertion is.
+        let disjoint = vec![("student".to_string(), "employee".to_string())];
+        let s2 = summarize(&rules, &base, &[&schema], &disjoint);
+        assert_eq!(s2.dead_rules.len(), 1);
+        assert!(matches!(
+            s2.dead_rules[0].1,
+            DeadReason::Contradiction { .. }
+        ));
+        assert!(s2.is_provably_empty("both"));
+    }
+
+    #[test]
+    fn declared_disjointness_closes_over_descendants() {
+        let schema = university();
+        let base: BTreeSet<String> = schema.class_names().map(|c| c.0.clone()).collect();
+        // professor ⊑ employee, so student ⊥ employee implies
+        // student ⊥ professor.
+        let rules = vec![Rule::new(
+            ot("x", "ta"),
+            vec![ot("x", "student"), ot("x", "professor")],
+        )];
+        let disjoint = vec![("employee".to_string(), "student".to_string())];
+        let summary = summarize(&rules, &base, &[&schema], &disjoint);
+        assert_eq!(summary.dead_rules.len(), 1);
+    }
+
+    #[test]
+    fn bindings_track_constants_and_widen() {
+        let rules = vec![
+            Rule::new(pred("mode", &[Term::val("fast")]), vec![]),
+            Rule::new(
+                pred("pick", &[Term::var("M")]),
+                vec![pred("mode", &[Term::var("M")])],
+            ),
+            Rule::new(pred("many", &[Term::val(1i64)]), vec![]),
+            Rule::new(pred("many", &[Term::val(2i64)]), vec![]),
+        ];
+        let summary = summarize(&rules, &BTreeSet::new(), &[], &[]);
+        let bind = |p: &str| summary.get(p).unwrap().args[0].binding.clone();
+        assert_eq!(bind("mode"), Binding::Const("fast".into()));
+        assert_eq!(bind("pick"), Binding::Const("fast".into()));
+        assert_eq!(
+            bind("many"),
+            Binding::Symbols([1i64.into(), 2i64.into()].into())
+        );
+    }
+
+    #[test]
+    fn equality_comparison_binds_a_constant() {
+        let base: BTreeSet<String> = ["course".to_string()].into();
+        let rules = vec![Rule::new(
+            pred("picked", &[Term::var("C")]),
+            vec![
+                pred("course", &[Term::var("C")]),
+                Literal::cmp(Term::var("C"), CmpOp::Eq, Term::val("cs101")),
+            ],
+        )];
+        let summary = summarize(&rules, &base, &[], &[]);
+        assert_eq!(
+            summary.get("picked").unwrap().args[0].binding,
+            Binding::Const("cs101".into())
+        );
+    }
+
+    #[test]
+    fn recursion_classes_per_scc() {
+        let rules = vec![
+            Rule::new(pred("e", &[Term::val(1i64), Term::val(2i64)]), vec![]),
+            // anc: linear recursion.
+            Rule::new(
+                pred("anc", &[Term::var("X"), Term::var("Y")]),
+                vec![pred("e", &[Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                pred("anc", &[Term::var("X"), Term::var("Z")]),
+                vec![
+                    pred("e", &[Term::var("X"), Term::var("Y")]),
+                    pred("anc", &[Term::var("Y"), Term::var("Z")]),
+                ],
+            ),
+            // t: non-linear (joins itself twice).
+            Rule::new(
+                pred("t", &[Term::var("X"), Term::var("Y")]),
+                vec![pred("e", &[Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                pred("t", &[Term::var("X"), Term::var("Z")]),
+                vec![
+                    pred("t", &[Term::var("X"), Term::var("Y")]),
+                    pred("t", &[Term::var("Y"), Term::var("Z")]),
+                ],
+            ),
+        ];
+        let summary = summarize(&rules, &BTreeSet::new(), &[], &[]);
+        let rec = |p: &str| summary.get(p).unwrap().recursion;
+        assert_eq!(rec("e"), RecursionClass::NonRecursive);
+        assert_eq!(rec("anc"), RecursionClass::Linear);
+        assert_eq!(rec("t"), RecursionClass::NonLinear);
+    }
+
+    #[test]
+    fn demandability_matches_the_transform() {
+        let rules = vec![
+            Rule::new(pred("par", &[Term::val(1i64), Term::val(2i64)]), vec![]),
+            Rule::new(
+                pred("anc", &[Term::var("X"), Term::var("Y")]),
+                vec![pred("par", &[Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                pred("anc", &[Term::var("X"), Term::var("Z")]),
+                vec![
+                    pred("anc", &[Term::var("X"), Term::var("Y")]),
+                    pred("par", &[Term::var("Y"), Term::var("Z")]),
+                ],
+            ),
+            // flag: zero-arg goal, demand cannot key it.
+            Rule::new(
+                pred("flag", &[]),
+                vec![pred("par", &[Term::var("X"), Term::var("Y")])],
+            ),
+        ];
+        let summary = summarize(&rules, &BTreeSet::new(), &[], &[]);
+        assert_eq!(summary.demandable("anc"), Some(true));
+        assert_eq!(summary.demandable("flag"), Some(false));
+        assert_eq!(summary.demandable("missing"), None);
+        // The summary's verdict must mirror the transform exactly — the
+        // planner debug-asserts this equivalence per goal.
+        for goal in ["anc", "flag", "par"] {
+            assert_eq!(
+                summary.demandable(goal),
+                Some(deduction::demand_transform(&rules, goal).is_ok()),
+                "{goal}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjunctive_heads_stay_possibly_nonempty() {
+        let rules = vec![
+            Rule::disjunctive(vec![ot("x", "B1"), ot("x", "B2")], vec![ot("x", "B12")]),
+            Rule::new(ot("x", "use1"), vec![ot("x", "B1")]),
+        ];
+        let base: BTreeSet<String> = ["B12".to_string()].into();
+        let summary = summarize(&rules, &base, &[], &[]);
+        assert!(!summary.is_provably_empty("B1"));
+        assert!(!summary.is_provably_empty("use1"));
+        assert!(summary.dead_rules.is_empty());
+    }
+
+    #[test]
+    fn lint_pass_reports_all_four_codes() {
+        let schema = university();
+        let disjoint = vec![("student".to_string(), "employee".to_string())];
+        let rules = vec![
+            // FD0401 + FD0402: all rules for doomed are dead.
+            Rule::new(ot("x", "doomed"), vec![ot("x", "phantom")]),
+            // FD0403 (+ makes `clash` empty, reported too).
+            Rule::new(
+                ot("x", "clash"),
+                vec![ot("x", "student"), ot("x", "employee")],
+            ),
+            // FD0404.
+            Rule::new(
+                pred("t", &[Term::var("X"), Term::var("Y")]),
+                vec![pred("e", &[Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                pred("t", &[Term::var("X"), Term::var("Z")]),
+                vec![
+                    pred("t", &[Term::var("X"), Term::var("Y")]),
+                    pred("t", &[Term::var("Y"), Term::var("Z")]),
+                ],
+            ),
+            Rule::new(pred("e", &[Term::val(1i64), Term::val(2i64)]), vec![]),
+        ];
+        let report = analyze_rules_absint(&rules, &[&schema], &disjoint);
+        let cs = codes(&report);
+        assert!(cs.contains(&"FD0401"), "{cs:?}");
+        assert!(cs.contains(&"FD0402"), "{cs:?}");
+        assert!(cs.contains(&"FD0403"), "{cs:?}");
+        assert!(cs.contains(&"FD0404"), "{cs:?}");
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let schema = university();
+        let base_rules = vec![
+            Rule::new(ot("x", "grad"), vec![ot("x", "student")]),
+            Rule::new(
+                pred("pair", &[Term::var("X"), Term::var("Y")]),
+                vec![ot("X", "student"), ot("Y", "professor")],
+            ),
+        ];
+        let report = analyze_rules_absint(&base_rules, &[&schema], &[]);
+        assert_eq!(report.iter().count(), 0);
+    }
+}

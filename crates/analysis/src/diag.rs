@@ -86,6 +86,20 @@ pub enum Code {
     /// FD0303 — an aggregation function whose target class has an empty
     /// extent in every component.
     EmptyAggTarget,
+    /// FD0401 — a rule that can never fire: its body reads a provably-empty
+    /// relation, or places lattice/assertion-contradictory class
+    /// constraints on one variable.
+    DeadRule,
+    /// FD0402 — a derived predicate every rule of which is dead: it derives
+    /// nothing under any extension of the base extents.
+    ProvablyEmptyPredicate,
+    /// FD0403 — one rule constrains a variable to two classes that the
+    /// disjointness assertions declare extent-disjoint.
+    ContradictoryTypeConstraint,
+    /// FD0404 — a predicate recurses non-linearly (a rule holds two or more
+    /// body literals from its own SCC): quadratic-ish derivation blow-up
+    /// and the demand rewrite propagates much wider seeds.
+    NonLinearRecursion,
 }
 
 impl Code {
@@ -109,6 +123,10 @@ impl Code {
             Code::IsaCycle => "FD0301",
             Code::DeadClass => "FD0302",
             Code::EmptyAggTarget => "FD0303",
+            Code::DeadRule => "FD0401",
+            Code::ProvablyEmptyPredicate => "FD0402",
+            Code::ContradictoryTypeConstraint => "FD0403",
+            Code::NonLinearRecursion => "FD0404",
         }
     }
 
@@ -127,12 +145,16 @@ impl Code {
             | Code::CardinalityConflict
             | Code::ConflictingPair
             | Code::UnresolvedPath
-            | Code::IsaCycle => Severity::Deny,
+            | Code::IsaCycle
+            | Code::ContradictoryTypeConstraint => Severity::Deny,
             Code::UnreachablePredicate
             | Code::DuplicateRule
             | Code::DerivationCycle
             | Code::DeadClass
-            | Code::EmptyAggTarget => Severity::Warn,
+            | Code::EmptyAggTarget
+            | Code::DeadRule
+            | Code::ProvablyEmptyPredicate
+            | Code::NonLinearRecursion => Severity::Warn,
             Code::UnusedPredicate | Code::SubsumedRule => Severity::Info,
         }
     }
@@ -158,11 +180,15 @@ impl Code {
             Code::IsaCycle => "is-a cycle",
             Code::DeadClass => "dead class",
             Code::EmptyAggTarget => "aggregation target never populated",
+            Code::DeadRule => "dead rule (can never fire)",
+            Code::ProvablyEmptyPredicate => "provably empty predicate",
+            Code::ContradictoryTypeConstraint => "contradictory type constraint",
+            Code::NonLinearRecursion => "non-linear recursion",
         }
     }
 
     /// Every code, in numeric order.
-    pub fn all() -> [Code; 18] {
+    pub fn all() -> [Code; 22] {
         [
             Code::UnsafeHeadVar,
             Code::NegationOnlyVar,
@@ -182,6 +208,10 @@ impl Code {
             Code::IsaCycle,
             Code::DeadClass,
             Code::EmptyAggTarget,
+            Code::DeadRule,
+            Code::ProvablyEmptyPredicate,
+            Code::ContradictoryTypeConstraint,
+            Code::NonLinearRecursion,
         ]
     }
 }
@@ -351,6 +381,23 @@ impl Report {
         }
     }
 
+    /// Promote every `Warn` diagnostic to `Deny` (the `--deny-warnings`
+    /// contract). Acting on the report itself keeps the summary counts,
+    /// the per-diagnostic severities in both renderers, and the exit code
+    /// in agreement — they are all derived from the same mutated state.
+    pub fn promote_warnings(&mut self) {
+        for d in &mut self.diagnostics {
+            if d.severity == Severity::Warn {
+                d.severity = Severity::Deny;
+            }
+        }
+    }
+
+    /// The highest severity present, if any diagnostic was reported.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.iter().map(|d| d.severity).max()
+    }
+
     /// Deterministic order: most severe first, then by code, subject,
     /// message and span position.
     pub fn sort(&mut self) {
@@ -392,8 +439,15 @@ impl Report {
         let (deny, warn, info) = self.counts();
         let mut out = String::new();
         out.push_str("{\n");
+        // `max_severity` pins the same verdict the human summary line and
+        // the CLI exit code convey, so JSON consumers never have to
+        // re-derive it from the counts (and can never drift from them).
+        let max = match self.max_severity() {
+            Some(s) => format!("\"{s}\""),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "  \"summary\": {{ \"deny\": {deny}, \"warn\": {warn}, \"info\": {info} }},\n"
+            "  \"summary\": {{ \"deny\": {deny}, \"warn\": {warn}, \"info\": {info}, \"max_severity\": {max} }},\n"
         ));
         out.push_str("  \"diagnostics\": [");
         let sorted = self.sorted();
@@ -515,7 +569,9 @@ mod tests {
         );
         r.push(Diagnostic::new(Code::UnknownMember, "no member `a\"b`"));
         let json = r.render_json();
-        assert!(json.contains("\"summary\": { \"deny\": 1, \"warn\": 1, \"info\": 0 }"));
+        assert!(json.contains(
+            "\"summary\": { \"deny\": 1, \"warn\": 1, \"info\": 0, \"max_severity\": \"deny\" }"
+        ));
         // Deny sorts before warn regardless of push order.
         let deny_pos = json.find("FD0110").unwrap();
         let warn_pos = json.find("FD0107").unwrap();
@@ -531,7 +587,7 @@ mod tests {
         let r = Report::new();
         assert_eq!(
             r.render_json(),
-            "{\n  \"summary\": { \"deny\": 0, \"warn\": 0, \"info\": 0 },\n  \"diagnostics\": []\n}\n"
+            "{\n  \"summary\": { \"deny\": 0, \"warn\": 0, \"info\": 0, \"max_severity\": null },\n  \"diagnostics\": []\n}\n"
         );
         assert!(!r.has_deny());
     }
@@ -553,6 +609,30 @@ mod tests {
         );
         assert_eq!(s.total(), 2);
         assert_eq!(s.to_string(), "1 deny / 1 warn / 0 info in 42 µs");
+    }
+
+    #[test]
+    fn promote_warnings_lifts_warn_to_deny_everywhere() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::DeadRule, "never fires"));
+        r.push(Diagnostic::new(Code::UnusedPredicate, "unused"));
+        assert_eq!(r.max_severity(), Some(Severity::Warn));
+        assert!(!r.has_deny());
+        r.promote_warnings();
+        assert!(r.has_deny());
+        assert_eq!(r.counts(), (1, 0, 1));
+        assert!(r.render_human().contains("deny[FD0401]"));
+        assert!(r.render_json().contains("\"deny\": 1"));
+    }
+
+    #[test]
+    fn fd04xx_codes_are_appended() {
+        assert_eq!(Code::DeadRule.as_str(), "FD0401");
+        assert_eq!(Code::ProvablyEmptyPredicate.as_str(), "FD0402");
+        assert_eq!(Code::ContradictoryTypeConstraint.as_str(), "FD0403");
+        assert_eq!(Code::NonLinearRecursion.as_str(), "FD0404");
+        assert_eq!(Code::ContradictoryTypeConstraint.severity(), Severity::Deny);
+        assert_eq!(Code::NonLinearRecursion.severity(), Severity::Warn);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Unified static analysis & diagnostics for the federation pipeline: a
 //! rustc-style framework ([`Diagnostic`] with stable `FD0xxx` [`Code`]s,
 //! [`Severity`] levels, byte-offset source spans, human and JSON
-//! renderers) hosting three passes:
+//! renderers) hosting four passes:
 //!
 //! 1. **Program analysis** ([`analyze_program`]) — safety/allowedness via
 //!    the `deduction::safety` kernel plus a predicate-dependency pass:
@@ -19,6 +19,11 @@
 //! 3. **Schema lints** ([`analyze_schema`], [`analyze_schema_with_store`])
 //!    — is-a cycles, dead classes, aggregation functions whose target
 //!    class is never populated.
+//! 4. **Abstract interpretation** ([`analyze_rules_absint`], [`summarize`])
+//!    — type signatures in the is-a lattice, constant/symbol bindings,
+//!    provable emptiness & dead rules, and recursion classification over
+//!    rule programs; the [`ProgramSummary`] table also feeds the
+//!    `fedoo-qp` planner.
 //!
 //! [`pre_integration_gate`] bundles the checks the integration pipelines
 //! (`fedoo-core`) run before integrating: both schemas' lints plus
@@ -28,12 +33,17 @@
 //! pipelines already resolve paths on their own terms — but it is part of
 //! the full `fedoo lint` sweep.
 
+pub mod absint;
 pub mod consistency;
 pub mod diag;
 pub mod program;
 pub mod rules_parser;
 pub mod schema_lints;
 
+pub use absint::{
+    analyze_rules_absint, summarize, ArgSummary, Binding, PredicateSummary, ProgramSummary,
+    RecursionClass,
+};
 pub use consistency::{
     analyze_assertion_cardinalities, analyze_assertion_paths, analyze_assertions,
     analyze_assertions_with_schemas,

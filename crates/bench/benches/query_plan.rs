@@ -19,7 +19,11 @@
 //! * `rec ⇐ course_staff`, `rec ⇐ recb`, `recb ⇐ rec ∧ staff` — a
 //!   recursive cycle.
 //!
-//! Six query profiles run under three strategies each:
+//! On top of those sits `phantom ⇐ ghost ∧ course_staff` — a rule over a
+//! relation nothing populates, which the abstract interpreter proves
+//! empty and the planner answers without any deduction at all.
+//!
+//! Seven query profiles run under three strategies each:
 //!
 //! * `saturate_ns` — materialise and saturate the whole federation;
 //! * `relevance_ns` — planned with demand seeding disabled: projected
@@ -218,6 +222,14 @@ fn build_fixture(n: usize) -> Fixture {
         oterm("X", "recb"),
         vec![oterm("X", "rec"), oterm("X", "staff")],
     ));
+    // A provably-empty chain: nothing populates `ghost`, so the abstract
+    // interpreter proves `phantom` empty and the planner prunes its scan
+    // outright — the `empty_derived` profile measures that short-circuit
+    // against the saturate oracle (which must also answer zero rows).
+    global.rules.push(Rule::new(
+        oterm("X", "phantom"),
+        vec![oterm("X", "ghost"), oterm("X", "course_staff")],
+    ));
     let components: Vec<(Schema, InstanceStore)> = fsm
         .components()
         .iter()
@@ -279,6 +291,7 @@ fn bench_planned_vs_saturate(_c: &mut Criterion) {
             "derived_recursive",
             "?- <X: course | code: C>, C = \"c4\", <X: rec>.".to_string(),
         ),
+        ("empty_derived", "?- <X: phantom>.".to_string()),
     ];
     let mut rows_json = Vec::new();
     for &n in &[100usize, 400, 1600] {

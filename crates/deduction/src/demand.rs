@@ -175,8 +175,10 @@ pub fn relevance_closure(rules: &[Rule], roots: &[String]) -> BTreeSet<String> {
 /// The demand key term of a literal: an O-term's object, an ordinary
 /// predicate's first argument; negation looks through to its inner
 /// literal. `None` for shapes that cannot carry demand (zero-argument
-/// predicates, comparisons).
-fn key_term(lit: &Literal) -> Option<&Term> {
+/// predicates, comparisons). Public so static analysis (`fedoo-analysis`
+/// absint) and the planner can reason about demand-key positions without
+/// re-deriving the convention.
+pub fn key_term(lit: &Literal) -> Option<&Term> {
     match lit {
         Literal::OTerm(o) => Some(&o.object),
         Literal::Pred(p) => p.args.first(),
@@ -253,47 +255,15 @@ fn magic_rule(
     check_rule(&magic).ok().map(|_| magic)
 }
 
-/// Demand-transform `rules` for queries against `goal`.
-///
-/// Returns the transformed program, or an error when the goal cannot be
-/// restricted (no safe demand propagation reaches it, its head key shape
-/// is unsupported, or the rewritten program is no longer stratifiable).
-/// On error the caller should fall back to relevance-closure saturation.
-pub fn demand_transform(rules: &[Rule], goal: &str) -> Result<DemandProgram, String> {
-    // Only single-head executable rules participate; disjunctive rules are
-    // representational and skipped, mirroring `Program::evaluate`.
-    let executable: Vec<&Rule> = rules
-        .iter()
-        .filter(|r| r.heads.len() == 1 && r.heads[0].relation().is_some())
-        .collect();
-    for r in &executable {
-        if let Some(rel) = r.heads[0].relation() {
-            if rel.starts_with(DEMAND_PREFIX) {
-                return Err(format!("relation `{rel}` collides with the demand prefix"));
-            }
-        }
-    }
-    let closure = relevance_closure(rules, &[goal.to_string()]);
-    let slice: Vec<&Rule> = executable
-        .iter()
-        .copied()
-        .filter(|r| {
-            r.heads[0]
-                .relation()
-                .is_some_and(|rel| closure.contains(rel))
-        })
-        .collect();
-    let derived: BTreeSet<&str> = slice.iter().filter_map(|r| r.heads[0].relation()).collect();
-    if !derived.contains(goal) {
-        return Err(format!("goal `{goal}` has no rules to restrict"));
-    }
-
-    // Fixpoint: start with every derived relation restricted; demote a
-    // relation when demand cannot be propagated into one of its uses.
+/// The restriction fixpoint shared by [`demand_transform`] and
+/// [`demand_feasible`]: start with every derived relation restricted and
+/// demote a relation whenever demand cannot be propagated into one of its
+/// uses (unkeyed head, no safe magic rule, or a fully-evaluated reader).
+fn restriction_fixpoint<'a>(slice: &[&'a Rule], derived: &BTreeSet<&'a str>) -> BTreeSet<&'a str> {
     let mut restricted: BTreeSet<&str> = derived.clone();
     loop {
         let mut demote: BTreeSet<&str> = BTreeSet::new();
-        for rule in &slice {
+        for rule in slice {
             let head = &rule.heads[0];
             let head_rel = head.relation().expect("sliced on head relation");
             let head_key = key_term(head);
@@ -324,6 +294,77 @@ pub fn demand_transform(rules: &[Rule], goal: &str) -> Result<DemandProgram, Str
             break;
         }
     }
+    restricted
+}
+
+/// Everything `demand_transform` computes short of wrapping the rewritten
+/// rules into a [`Program`].
+struct TransformParts {
+    out: Vec<Rule>,
+    demand_preds: BTreeSet<String>,
+    restricted: BTreeSet<String>,
+}
+
+/// Static demand feasibility: would [`demand_transform`] succeed for
+/// `goal`, and if so which relations end up demand-restricted?
+///
+/// This runs the exact same pipeline (closure slice, restriction
+/// fixpoint, magic-rule emission, demand-stratification gate) so a cached
+/// answer can never drift from the runtime transform. It exists so the
+/// absint `PredicateSummary` can answer feasibility once per *program*
+/// instead of the planner re-running the fixpoint per *goal* at query
+/// time.
+pub fn demand_feasible(rules: &[Rule], goal: &str) -> Result<BTreeSet<String>, String> {
+    transform_parts(rules, goal).map(|p| p.restricted)
+}
+
+/// Demand-transform `rules` for queries against `goal`.
+///
+/// Returns the transformed program, or an error when the goal cannot be
+/// restricted (no safe demand propagation reaches it, its head key shape
+/// is unsupported, or the rewritten program is no longer stratifiable).
+/// On error the caller should fall back to relevance-closure saturation.
+pub fn demand_transform(rules: &[Rule], goal: &str) -> Result<DemandProgram, String> {
+    let parts = transform_parts(rules, goal)?;
+    Ok(DemandProgram {
+        program: Program::new(parts.out),
+        goal: goal.to_string(),
+        demand_pred: demand_pred_of(goal),
+        demand_preds: parts.demand_preds,
+        restricted: parts.restricted,
+    })
+}
+
+fn transform_parts(rules: &[Rule], goal: &str) -> Result<TransformParts, String> {
+    // Only single-head executable rules participate; disjunctive rules are
+    // representational and skipped, mirroring `Program::evaluate`.
+    let executable: Vec<&Rule> = rules
+        .iter()
+        .filter(|r| r.heads.len() == 1 && r.heads[0].relation().is_some())
+        .collect();
+    for r in &executable {
+        if let Some(rel) = r.heads[0].relation() {
+            if rel.starts_with(DEMAND_PREFIX) {
+                return Err(format!("relation `{rel}` collides with the demand prefix"));
+            }
+        }
+    }
+    let closure = relevance_closure(rules, &[goal.to_string()]);
+    let slice: Vec<&Rule> = executable
+        .iter()
+        .copied()
+        .filter(|r| {
+            r.heads[0]
+                .relation()
+                .is_some_and(|rel| closure.contains(rel))
+        })
+        .collect();
+    let derived: BTreeSet<&str> = slice.iter().filter_map(|r| r.heads[0].relation()).collect();
+    if !derived.contains(goal) {
+        return Err(format!("goal `{goal}` has no rules to restrict"));
+    }
+
+    let restricted = restriction_fixpoint(&slice, &derived);
     if !restricted.contains(goal) {
         return Err(format!("demand cannot restrict goal `{goal}` safely"));
     }
@@ -366,10 +407,8 @@ pub fn demand_transform(rules: &[Rule], goal: &str) -> Result<DemandProgram, Str
     // negative cycle.
     stratify(&out).map_err(|e| format!("demand rewrite breaks stratification: {e}"))?;
 
-    Ok(DemandProgram {
-        program: Program::new(out),
-        goal: goal.to_string(),
-        demand_pred: demand_pred_of(goal),
+    Ok(TransformParts {
+        out,
         demand_preds,
         restricted: restricted.iter().map(|s| s.to_string()).collect(),
     })
@@ -493,6 +532,21 @@ mod tests {
         )];
         assert!(demand_transform(&rules, "flag").is_err());
         assert!(demand_transform(&rules, "nosuch").is_err());
+    }
+
+    #[test]
+    fn feasibility_matches_the_transform() {
+        // Feasible goal: same restricted set out of both entry points.
+        let restricted = demand_feasible(&anc_program(), "anc").unwrap();
+        let dp = demand_transform(&anc_program(), "anc").unwrap();
+        assert_eq!(&restricted, dp.restricted());
+        // Infeasible goal: both reject.
+        let rules = vec![Rule::new(
+            Literal::pred("flag", [] as [Term; 0]),
+            vec![pred("e", &["x"])],
+        )];
+        assert!(demand_feasible(&rules, "flag").is_err());
+        assert!(demand_transform(&rules, "flag").is_err());
     }
 
     #[test]

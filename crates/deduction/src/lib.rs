@@ -41,11 +41,13 @@ pub mod subst;
 pub mod term;
 pub mod unify;
 
-pub use demand::{demand_transform, relevance_closure, DemandProgram, DEMAND_PREFIX};
+pub use demand::{
+    demand_feasible, demand_transform, key_term, relevance_closure, DemandProgram, DEMAND_PREFIX,
+};
 pub use eval::{EvalError, EvalStats, EvalStrategy, FactDb, Program};
 pub use federated::{AnnotatedProgram, ExtentProvider};
 pub use intern::Interner;
 pub use safety::{check_rule, check_rule_all, check_rules, SafetyError};
-pub use strata::stratify;
+pub use strata::{sccs, stratify};
 pub use subst::{ReverseSubst, Subst};
 pub use term::{CmpOp, Literal, OTermPat, Pred, Rule, Term};

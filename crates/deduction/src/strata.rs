@@ -88,6 +88,99 @@ pub fn stratify(rules: &[Rule]) -> Result<Vec<BTreeSet<String>>, String> {
     Ok(out)
 }
 
+/// Strongly connected components of the predicate dependency graph
+/// (edges head → body relation, either polarity), computed with an
+/// iterative Tarjan walk over name-sorted nodes so the output is
+/// deterministic.
+///
+/// Components are returned in reverse-topological (bottom-up evaluation)
+/// order: a component appears only after every component it depends on.
+/// Each component's predicate names are sorted. Recursion classification
+/// in `fedoo-analysis` and demand planning both key off this shape.
+pub fn sccs(rules: &[Rule]) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut raw_edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for rule in rules {
+        for head in &rule.heads {
+            let Some(h) = head.relation() else { continue };
+            nodes.insert(h.to_string());
+            for lit in &rule.body {
+                if let Some(b) = lit.relation() {
+                    nodes.insert(b.to_string());
+                    raw_edges.insert((h.to_string(), b.to_string()));
+                }
+            }
+        }
+    }
+    let names: Vec<&String> = nodes.iter().collect();
+    let idx_of: BTreeMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (h, b) in &raw_edges {
+        adj[idx_of[h.as_str()]].push(idx_of[b.as_str()]);
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let n = names.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut next_child = vec![0usize; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut call: Vec<usize> = vec![start];
+        index[start] = counter;
+        lowlink[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&v) = call.last() {
+            if next_child[v] < adj[v].len() {
+                let w = adj[v][next_child[v]];
+                next_child[v] += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    lowlink[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(w);
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&p) = call.last() {
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp: Vec<String> = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w] = false;
+                        comp.push(names[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +282,62 @@ mod tests {
     #[test]
     fn empty_program() {
         assert_eq!(stratify(&[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sccs_group_recursive_predicates_bottom_up() {
+        // anc is recursive over par; derived `top` reads anc.
+        let rules = vec![
+            Rule::new(
+                Literal::pred("anc", [Term::var("x"), Term::var("y")]),
+                vec![Literal::pred("par", [Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Literal::pred("anc", [Term::var("x"), Term::var("z")]),
+                vec![
+                    Literal::pred("par", [Term::var("x"), Term::var("y")]),
+                    Literal::pred("anc", [Term::var("y"), Term::var("z")]),
+                ],
+            ),
+            Rule::new(
+                Literal::pred("top", [Term::var("x")]),
+                vec![Literal::pred("anc", [Term::var("x"), Term::var("y")])],
+            ),
+        ];
+        let comps = sccs(&rules);
+        assert_eq!(
+            comps,
+            vec![
+                vec!["par".to_string()],
+                vec!["anc".to_string()],
+                vec!["top".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn sccs_merge_mutual_recursion() {
+        // p and q derive each other: one component, emitted after d.
+        let rules = vec![
+            Rule::new(
+                Literal::pred("p", [Term::var("x")]),
+                vec![Literal::pred("q", [Term::var("x")])],
+            ),
+            Rule::new(
+                Literal::pred("q", [Term::var("x")]),
+                vec![
+                    Literal::pred("d", [Term::var("x")]),
+                    Literal::pred("p", [Term::var("x")]),
+                ],
+            ),
+        ];
+        let comps = sccs(&rules);
+        assert_eq!(
+            comps,
+            vec![
+                vec!["d".to_string()],
+                vec!["p".to_string(), "q".to_string()],
+            ]
+        );
     }
 }

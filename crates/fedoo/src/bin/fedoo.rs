@@ -4,8 +4,8 @@
 //! ```text
 //! fedoo integrate <s1.schema> <s2.schema> <assertions.fca> [--naive] [--trace] [--quiet]
 //! fedoo check     <s1.schema> <s2.schema> <assertions.fca>
-//! fedoo lint      <s1> <s2> <asserts> [--rules FILE] [--format human|json]
-//! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
+//! fedoo lint      <s1> <s2> <asserts> [--rules FILE] [--format human|json] [--deny-warnings]
+//! fedoo lint      [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F] [--deny-warnings]
 //! fedoo query     <s1> <s2> <asserts> <query|@file> [--data1 FILE] [--data2 FILE] [--pair ...]
 //!                 [--plan|--explain] [--explain-analyze] [--strategy planned|saturate]
 //!                 [--format human|json] [--fault-plan FILE] [--partial-ok]
@@ -19,8 +19,10 @@
 //! Prometheus text exposition of the metrics registry instead of spans).
 //!
 //! `lint` runs the full `fedoo-analysis` sweep (FD01xx program analysis,
-//! FD02xx assertion consistency, FD03xx schema lints) and exits with
-//! status 1 when any `deny`-level diagnostic fires.
+//! FD02xx assertion consistency, FD03xx schema lints, FD04xx abstract
+//! interpretation over `--rules` programs) and exits with status 1 when
+//! any `deny`-level diagnostic fires; `--deny-warnings` promotes every
+//! warning to `deny` first.
 //!
 //! Schema files use the `oo_model::parse` syntax; assertion files use the
 //! `assertions::parser` syntax (see the module docs / README).
@@ -114,7 +116,7 @@ fn usage() -> String {
     "usage:\n  fedoo integrate <s1> <s2> <assertions> [--naive] [--trace] [--quiet]\n  \
      fedoo check <s1> <s2> <assertions>\n  \
      fedoo lint [<s1> <s2> <assertions>] [--schema FILE]... [--asserts FILE] \
-     [--rules FILE] [--format human|json]\n  \
+     [--rules FILE] [--format human|json] [--deny-warnings]\n  \
      fedoo query <s1> <s2> <assertions> <query|@file> [--data1 FILE] [--data2 FILE] \
      [--pair S1.cls.key=S2.cls.key]... \
      [--plan|--explain] [--explain-analyze] [--strategy planned|saturate] \

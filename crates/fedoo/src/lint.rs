@@ -9,13 +9,21 @@
 //! ```text
 //! fedoo lint <s1> <s2> <assertions> [--rules FILE] [--format human|json]
 //! fedoo lint [--schema FILE]... [--asserts FILE] [--rules FILE] [--format F]
+//!            [--deny-warnings]
 //! ```
 //!
 //! Passes run:
 //! * every `--schema` / positional schema → schema lints (FD03xx);
 //! * the assertion file → consistency (FD02xx), including cardinality and
 //!   path resolution when at least two schemas are given;
-//! * the `--rules` file → program analysis (FD01xx) against all schemas.
+//! * the `--rules` file → program analysis (FD01xx) against all schemas,
+//!   plus abstract interpretation (FD04xx): dead rules, provably-empty
+//!   predicates, disjointness contradictions (fed by the assertion file's
+//!   exclusion assertions), non-linear recursion.
+//!
+//! `--deny-warnings` promotes every `Warn` diagnostic to `Deny` before
+//! rendering, so the summary counts, the per-diagnostic severities in
+//! both formats, and the process exit code all move together.
 //!
 //! Unlike the pre-integration gate, the full sweep includes FD0205
 //! (unresolved paths): a lint run is explicitly about the files at hand.
@@ -53,6 +61,7 @@ pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, Str
     let mut asserts_path: Option<String> = None;
     let mut rules_path: Option<String> = None;
     let mut format = LintFormat::Human;
+    let mut deny_warnings = false;
     let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -79,6 +88,7 @@ pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, Str
                     }
                 }
             }
+            "--deny-warnings" => deny_warnings = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => positional.push(a.clone()),
         }
@@ -117,6 +127,7 @@ pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, Str
         report.merge(analysis::analyze_schema(s));
     }
 
+    let mut assertions: Vec<crate::assertions::ClassAssertion> = Vec::new();
     if let Some(pa) = &asserts_path {
         let src = read(base, pa)?;
         let parsed = crate::assertions::parse_assertions(&src).map_err(|e| format!("{pa}: {e}"))?;
@@ -130,6 +141,7 @@ pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, Str
         } else {
             report.merge(analysis::analyze_assertions(&parsed, Some(&src)));
         }
+        assertions = parsed;
     }
 
     if let Some(pr) = &rules_path {
@@ -137,8 +149,23 @@ pub fn run_lint(args: &[String], base: Option<&Path>) -> Result<LintOutcome, Str
         let rules = analysis::parse_rules(&src).map_err(|e| format!("{pr}: {e}"))?;
         let refs: Vec<&crate::model::Schema> = schemas.iter().collect();
         report.merge(analysis::analyze_program(&rules, &refs));
+        // Abstract interpretation over the same program. Exclusion
+        // assertions are the only licence for contradiction-based
+        // deadness — lattice disjointness alone proves nothing in a
+        // federation.
+        let disjoint: Vec<(String, String)> = assertions
+            .iter()
+            .filter(|a| {
+                a.op == crate::assertions::ops::ClassOp::Disjoint && a.left_classes.len() == 1
+            })
+            .map(|a| (a.left_classes[0].clone(), a.right_class.clone()))
+            .collect();
+        report.merge(analysis::analyze_rules_absint(&rules, &refs, &disjoint));
     }
 
+    if deny_warnings {
+        report.promote_warnings();
+    }
     report.sort();
     let rendered = match format {
         LintFormat::Human => report.render_human(),

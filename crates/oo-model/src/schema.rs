@@ -216,6 +216,64 @@ impl Schema {
         None
     }
 
+    /// Upper bounds of `{a, b}` in the is-a lattice: every class `c` with
+    /// `a ⊑ c` and `b ⊑ c` (reflexive, so `join(a, a) = a`).
+    pub fn upper_bounds(&self, a: &ClassName, b: &ClassName) -> BTreeSet<ClassName> {
+        let mut ua = self.ancestors(a);
+        ua.insert(a.clone());
+        let mut ub = self.ancestors(b);
+        ub.insert(b.clone());
+        ua.intersection(&ub).cloned().collect()
+    }
+
+    /// Lower bounds of `{a, b}`: every class `c` with `c ⊑ a` and `c ⊑ b`.
+    pub fn lower_bounds(&self, a: &ClassName, b: &ClassName) -> BTreeSet<ClassName> {
+        let mut da = self.descendants(a);
+        da.insert(a.clone());
+        let mut db = self.descendants(b);
+        db.insert(b.clone());
+        da.intersection(&db).cloned().collect()
+    }
+
+    /// Least upper bound of `a` and `b` in the is-a lattice, if one exists.
+    /// An is-a DAG is not necessarily a lattice: with multiple minimal
+    /// common ancestors (or none at all) there is no join and this returns
+    /// `None` — callers fall back to ⊤.
+    pub fn lattice_join(&self, a: &ClassName, b: &ClassName) -> Option<ClassName> {
+        let ubs = self.upper_bounds(a, b);
+        let mut minimal = ubs
+            .iter()
+            .filter(|c| !ubs.iter().any(|o| o != *c && self.is_subclass_of(o, c)));
+        let first = minimal.next()?.clone();
+        if minimal.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// Greatest lower bound of `a` and `b`, if one exists (see
+    /// [`Schema::lattice_join`] for the non-lattice caveat).
+    pub fn lattice_meet(&self, a: &ClassName, b: &ClassName) -> Option<ClassName> {
+        let lbs = self.lower_bounds(a, b);
+        let mut maximal = lbs
+            .iter()
+            .filter(|c| !lbs.iter().any(|o| o != *c && self.is_subclass_of(c, o)));
+        let first = maximal.next()?.clone();
+        if maximal.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// `a ⊓ b = ⊥` in the is-a lattice: no class is a (reflexive)
+    /// subclass of both. Note this only speaks about the *local* lattice —
+    /// federated object pairing can still place one object in two
+    /// lattice-disjoint classes, so emptiness conclusions must additionally
+    /// be licensed by explicit disjointness assertions.
+    pub fn meet_is_empty(&self, a: &ClassName, b: &ClassName) -> bool {
+        self.lower_bounds(a, b).is_empty()
+    }
+
     /// Classes with no superclass — the roots the §6 virtual start node
     /// connects to.
     pub fn roots(&self) -> Vec<ClassName> {
@@ -396,6 +454,37 @@ mod tests {
         assert!(s.is_subclass_of(&"human".into(), &"human".into()));
         assert!(!s.has_isa_path(&"human".into(), &"human".into()));
         assert!(!s.is_subclass_of(&"human".into(), &"professor".into()));
+    }
+
+    #[test]
+    fn lattice_join_and_meet() {
+        let s = university();
+        assert_eq!(
+            s.lattice_join(&"professor".into(), &"student".into()),
+            Some(ClassName::new("human"))
+        );
+        assert_eq!(
+            s.lattice_join(&"faculty".into(), &"employee".into()),
+            Some(ClassName::new("employee"))
+        );
+        assert_eq!(
+            s.lattice_meet(&"human".into(), &"student".into()),
+            Some(ClassName::new("student"))
+        );
+        // employee and student share no common subclass.
+        assert_eq!(s.lattice_meet(&"employee".into(), &"student".into()), None);
+        assert!(s.meet_is_empty(&"employee".into(), &"student".into()));
+        assert!(!s.meet_is_empty(&"faculty".into(), &"employee".into()));
+    }
+
+    #[test]
+    fn join_absent_without_common_ancestor() {
+        let mut s = Schema::new("S");
+        for n in ["a", "b"] {
+            s.add_class(Class::new(n, ClassType::new())).unwrap();
+        }
+        assert_eq!(s.lattice_join(&"a".into(), &"b".into()), None);
+        assert!(s.upper_bounds(&"a".into(), &"b".into()).is_empty());
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::degrade::{self, AnswerCompleteness};
 use crate::exec;
 use crate::parser::{parse_query, GlobalQuery};
 use crate::plan::{PlanNode, QueryPlan, QueryStrategy};
-use crate::planner::{ClosureCache, Planner};
+use crate::planner::{program_summary, ClosureCache, Planner};
 use crate::Result;
+use analysis::ProgramSummary;
 use deduction::{EvalStats, Subst, Term};
 use federation::client::FsmClient;
 use federation::connector::{FaultPlan, FaultyConnector, InProcessConnector, VirtualClock};
@@ -30,7 +31,7 @@ use federation::FederationDb;
 use fedoo_core::{PipelineStats, QpStats};
 use oo_model::{InstanceStore, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One answered query.
@@ -295,6 +296,12 @@ pub struct QueryEngine {
     /// every planner this engine builds. The global program is fixed for
     /// the engine's lifetime, so entries never invalidate.
     closure_cache: ClosureCache,
+    /// The abstract-interpretation summary of the global rule program,
+    /// computed once per engine and shared by every planner it builds
+    /// (type signatures, provable emptiness, static demand feasibility).
+    /// Purely program-derived, so — like the closure cache — it never
+    /// invalidates over the engine's lifetime.
+    summary: OnceLock<Arc<ProgramSummary>>,
     /// Whether planners annotate demand-seeded derived scans (on by
     /// default; benches switch it off to isolate the closure-only path).
     demand_enabled: bool,
@@ -338,6 +345,7 @@ impl QueryEngine {
             last_stats: None,
             fault: None,
             closure_cache: Arc::new(Mutex::new(BTreeMap::new())),
+            summary: OnceLock::new(),
             demand_enabled: true,
         }
     }
@@ -432,6 +440,10 @@ impl QueryEngine {
             _ => Planner::new(&self.global, &self.components),
         };
         planner.set_closure_cache(Arc::clone(&self.closure_cache));
+        let summary = self
+            .summary
+            .get_or_init(|| Arc::new(program_summary(&self.global)));
+        planner.set_summary(Arc::clone(summary));
         planner.set_demand(self.demand_enabled);
         planner.plan(query)
     }
@@ -1000,6 +1012,78 @@ mod tests {
         let off = plain.ask_text(&text, QueryStrategy::Planned).unwrap();
         assert_eq!(off.rows, saturate.rows);
         assert_eq!(off.stats.demanded_facts, 0);
+    }
+
+    /// A derived relation whose only rule reads a relation that can never
+    /// hold a fact is provably empty: the planner prunes its scan (no
+    /// deduction state is even built), the explain output says so, and
+    /// the answer still matches the saturate oracle (zero rows).
+    #[test]
+    fn provably_empty_derived_scan_is_pruned() {
+        let fsm = campus_fsm();
+        let mut global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+        // `ghost` has no origin extent and heads no rule, so the abstract
+        // interpreter proves `phantom` empty.
+        global
+            .rules
+            .extend(analysis::parse_rules("<X: phantom> :- <X: ghost>.").unwrap());
+        let components: Vec<(Schema, InstanceStore)> = fsm
+            .components()
+            .iter()
+            .map(|c| (c.schema.clone(), c.store.clone()))
+            .collect();
+        let mut engine = QueryEngine::from_parts(global, components, fsm.meta.clone());
+        let text = "?- <X: phantom>.";
+        let plan = engine.explain(text).unwrap();
+        let rendered = plan.render_human();
+        assert!(
+            rendered.contains("pruned: provably empty"),
+            "scan not pruned:\n{rendered}"
+        );
+        assert!(
+            plan.fingerprint().contains("\"pruned\":true"),
+            "pruning must be part of the fingerprint"
+        );
+        let planned = engine.ask_text(text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(text, QueryStrategy::Saturate).unwrap();
+        assert!(planned.rows.is_empty(), "{}", planned.render_human());
+        assert_eq!(planned.rows, saturate.rows);
+    }
+
+    /// The abstract type signature annotates live derived scans: the
+    /// campus intersection class is provably a subset of its base
+    /// operands, so its scan line carries `est via type σ{…}` and the
+    /// estimate is capped by the smallest origin-mapped extent.
+    #[test]
+    fn derived_scan_estimate_tightened_by_type_signature() {
+        let fsm = campus_fsm();
+        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let derived = engine
+            .global()
+            .rules
+            .iter()
+            .filter(|r| r.heads.len() == 1)
+            .filter_map(|r| r.head().and_then(|h| h.relation()))
+            .next()
+            .expect("intersection generates rules")
+            .to_string();
+        let text = format!("?- <X: {derived}>.");
+        let plan = engine.explain(&text).unwrap();
+        let rendered = plan.render_human();
+        assert!(
+            rendered.contains("est via type σ{"),
+            "derived scan missing σ annotation:\n{rendered}"
+        );
+        let est = match &plan.root {
+            PlanNode::Seed(s) => s.est_rows,
+            other => panic!("expected seed scan, got {other:?}"),
+        };
+        // Each campus component exports two objects; the signature caps
+        // the estimate at one operand extent instead of their sum.
+        assert!(est <= 2, "estimate not tightened: {est}\n{rendered}");
+        let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+        assert_eq!(planned.rows, saturate.rows);
     }
 
     #[test]

@@ -488,7 +488,13 @@ fn scan_exec(
             }
             Ok((rows, 0))
         }
-        ScanKind::Derived { demand, .. } => {
+        ScanKind::Derived { demand, pruned, .. } => {
+            // Provably-empty relation: the planner already proved no fact
+            // can ever reach it, and a fully-pruned plan may not even carry
+            // deduction state — answer before touching `ctx.derived`.
+            if *pruned {
+                return Ok((Vec::new(), 0));
+            }
             let db = ctx
                 .derived
                 .as_mut()

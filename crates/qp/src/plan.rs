@@ -96,6 +96,15 @@ pub enum ScanKind {
         /// scan's object variable (seeded from the pipeline's join keys)
         /// or a constant object term. `None` evaluates the whole closure.
         demand: Option<String>,
+        /// Abstract interpretation proved the relation empty: the scan is
+        /// answered with zero rows and no deduction state. Derived from
+        /// the program and origin map alone (never from extent data), so
+        /// it is part of the plan fingerprint.
+        pruned: bool,
+        /// Inferred type signature classes (with origin-mapped extents)
+        /// used to tighten the cardinality estimate — `est via type σ`.
+        /// Also program-derived, hence fingerprint-safe.
+        sigma: Vec<String>,
     },
 }
 
@@ -277,17 +286,26 @@ pub(crate) fn render_scan(scan: &ScanNode, out: &mut String) {
             rules,
             stratum,
             demand,
+            pruned,
+            sigma,
         } => {
-            out.push_str(&format!(
-                "[derived: {} rules over {{{}}}, stratum {}",
-                rules,
-                relevant.join(", "),
-                stratum
-            ));
-            if let Some(key) = demand {
-                out.push_str(&format!(", demand on {key}"));
+            if *pruned {
+                out.push_str("[derived: pruned: provably empty]");
+            } else {
+                out.push_str(&format!(
+                    "[derived: {} rules over {{{}}}, stratum {}",
+                    rules,
+                    relevant.join(", "),
+                    stratum
+                ));
+                if let Some(key) = demand {
+                    out.push_str(&format!(", demand on {key}"));
+                }
+                if !sigma.is_empty() {
+                    out.push_str(&format!(", est via type σ{{{}}}", sigma.join(", ")));
+                }
+                out.push(']');
             }
-            out.push(']');
         }
     }
     if !scan.pushdown.is_empty() {
@@ -375,6 +393,8 @@ fn scan_json(scan: &ScanNode, stats: bool, out: &mut String) {
             rules,
             stratum,
             demand,
+            pruned,
+            sigma,
         } => {
             out.push_str(&format!(
                 ",\"kind\":\"derived\",\"relevant\":[{}],\"rules\":{},\"stratum\":{}",
@@ -388,6 +408,21 @@ fn scan_json(scan: &ScanNode, stats: bool, out: &mut String) {
             ));
             if let Some(key) = demand {
                 out.push_str(&format!(",\"demand\":{}", json_string(key)));
+            }
+            // Both program-derived: always rendered, part of the
+            // fingerprint.
+            if *pruned {
+                out.push_str(",\"pruned\":true");
+            }
+            if !sigma.is_empty() {
+                out.push_str(&format!(
+                    ",\"sigma\":[{}]",
+                    sigma
+                        .iter()
+                        .map(|c| json_string(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
             }
         }
     }
@@ -529,6 +564,8 @@ mod tests {
                 rules: 2,
                 stratum: 1,
                 demand: Some("D".into()),
+                pruned: false,
+                sigma: vec!["person".into()],
             },
             pushdown: vec![],
             projection: vec![],
@@ -553,7 +590,29 @@ mod tests {
         assert!(h.contains("seed scan"));
         assert!(h.contains("pushdown[age > 30]"));
         assert!(h.contains("derived: 2 rules"));
-        assert!(h.contains(", demand on D]"), "{h}");
+        assert!(h.contains(", demand on D"), "{h}");
+        assert!(h.contains(", est via type σ{person}]"), "{h}");
+    }
+
+    #[test]
+    fn pruned_scan_renders_and_fingerprints() {
+        let mut plan = sample_plan();
+        if let PlanNode::Join { scan, .. } = &mut plan.root {
+            scan.kind = ScanKind::Derived {
+                relevant: Vec::new(),
+                rules: 0,
+                stratum: 0,
+                demand: None,
+                pruned: true,
+                sigma: Vec::new(),
+            };
+            scan.est_rows = 0;
+        }
+        let h = plan.render_human();
+        assert!(h.contains("pruned: provably empty"), "{h}");
+        // Pruning is program-derived: it must key the result cache.
+        assert!(plan.fingerprint().contains("\"pruned\":true"));
+        assert_ne!(plan.fingerprint(), sample_plan().fingerprint());
     }
 
     #[test]

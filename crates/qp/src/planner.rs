@@ -34,13 +34,14 @@
 use crate::parser::GlobalQuery;
 use crate::plan::{demand_key, PlanNode, QueryPlan, ScanKind, ScanNode, ScanTarget};
 use crate::{QpError, Result};
+use analysis::ProgramSummary;
 use deduction::term::{CmpOp, Literal, NameRef, Pred, Rule, Term};
-use deduction::{check_rule, check_rule_all, demand_transform, relevance_closure, stratify};
+use deduction::{check_rule, check_rule_all, relevance_closure, stratify};
 use federation::fsm::GlobalSchema;
 use oo_model::{InstanceStore, Schema};
 use relational::query::{Cmp, Predicate};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Per-goal planning facts derived from the executable program alone:
 /// the relevance closure and whether the goal admits a demand rewrite.
@@ -79,6 +80,29 @@ pub struct Planner<'a> {
     closure_cache: Option<ClosureCache>,
     /// Whether derived scans may be annotated for demand seeding.
     demand_enabled: bool,
+    /// Abstract-interpretation summary of the executable program
+    /// (emptiness, type signatures, static demand feasibility). Injected
+    /// by the engine (computed once per federation) or built lazily.
+    summary: OnceLock<Arc<ProgramSummary>>,
+}
+
+/// The abstract-interpretation summary the planner consumes: the
+/// executable rules interpreted over the origin map's global classes as
+/// the extensional base, with the integrated schema (when materialisable)
+/// as the is-a lattice. Program-derived only — safe to cache for an
+/// engine's lifetime and to embed in plan fingerprints.
+pub fn program_summary(global: &GlobalSchema) -> ProgramSummary {
+    let exec: Vec<Rule> = global
+        .rules
+        .iter()
+        .filter(|r| r.heads.len() == 1 && check_rule(r).is_ok())
+        .cloned()
+        .collect();
+    let base: BTreeSet<String> = global.origin.values().cloned().collect();
+    match global.integrated.to_schema("global") {
+        Ok(schema) => analysis::summarize(&exec, &base, &[&schema], &[]),
+        Err(_) => analysis::summarize(&exec, &base, &[], &[]),
+    }
 }
 
 impl<'a> Planner<'a> {
@@ -135,6 +159,7 @@ impl<'a> Planner<'a> {
             comp_idx,
             closure_cache: None,
             demand_enabled: true,
+            summary: OnceLock::new(),
         }
     }
 
@@ -142,6 +167,18 @@ impl<'a> Planner<'a> {
     /// (the engine keeps one per federation).
     pub fn set_closure_cache(&mut self, cache: ClosureCache) {
         self.closure_cache = Some(cache);
+    }
+
+    /// Inject a pre-computed abstract-interpretation summary (the engine
+    /// computes one per federation). Without injection the planner builds
+    /// its own on first use.
+    pub fn set_summary(&mut self, summary: Arc<ProgramSummary>) {
+        let _ = self.summary.set(summary);
+    }
+
+    fn summary(&self) -> &ProgramSummary {
+        self.summary
+            .get_or_init(|| Arc::new(program_summary(self.global)))
     }
 
     /// Enable or disable demand annotation of derived scans (on by
@@ -159,9 +196,19 @@ impl<'a> Planner<'a> {
                 return Arc::clone(hit);
             }
         }
+        // Demand feasibility comes from the static summary (one
+        // restriction fixpoint per program instead of one per goal); the
+        // runtime fixpoint survives as a debug-build cross-check so a
+        // summary/transform drift can never ship silently.
+        let demandable = self.summary().demandable(goal).unwrap_or(false);
+        debug_assert_eq!(
+            demandable,
+            deduction::demand_transform(&self.owned_rules, goal).is_ok(),
+            "absint demand feasibility diverged from demand_transform for `{goal}`"
+        );
         let info = Arc::new(GoalInfo {
             relevant: relevance_closure(&self.owned_rules, &[goal.to_string()]),
-            demandable: demand_transform(&self.owned_rules, goal).is_ok(),
+            demandable,
         });
         if let Some(cache) = &self.closure_cache {
             cache
@@ -286,9 +333,20 @@ impl<'a> Planner<'a> {
         let mut attached_cmp = vec![false; cmps.len()];
         let mut attached_neg = vec![false; negs.len()];
 
+        // On estimate ties prefer a base seed: seeding from a base extent
+        // leaves derived scans downstream where they can be demand-seeded
+        // by the pipeline's bindings, while a derived seed forecloses the
+        // magic-sets path for itself.
+        let seed_key = |i: usize| {
+            (
+                scans[i].est_rows,
+                matches!(scans[i].kind, ScanKind::Derived { .. }),
+                i,
+            )
+        };
         let first = *remaining
             .iter()
-            .min_by_key(|&&i| (scans[i].est_rows, i))
+            .min_by_key(|&&i| seed_key(i))
             .expect("non-empty positives");
         remaining.retain(|&i| i != first);
         bound.extend(scans[first].literal.vars());
@@ -448,6 +506,26 @@ impl<'a> Planner<'a> {
         };
 
         if self.derived.contains(relation.as_str()) {
+            // Provably-empty relations (absint reachability) never yield a
+            // row under either strategy: skip deduction for them outright.
+            // The verdict is program-derived, so it is fingerprint-safe.
+            if self.summary().is_provably_empty(&relation) {
+                return ScanNode {
+                    literal: lit.clone(),
+                    relation,
+                    kind: ScanKind::Derived {
+                        relevant: Vec::new(),
+                        rules: 0,
+                        stratum: 0,
+                        demand: None,
+                        pruned: true,
+                        sigma: Vec::new(),
+                    },
+                    pushdown: Vec::new(),
+                    projection,
+                    est_rows: 0,
+                };
+            }
             let info = self.goal_info(&relation);
             let rules = self
                 .exec_rules
@@ -463,7 +541,22 @@ impl<'a> Planner<'a> {
                 .iter()
                 .position(|s| s.contains(relation.as_str()))
                 .unwrap_or(0);
-            let est_rows = self.derived_estimate(&info.relevant);
+            let mut est_rows = self.derived_estimate(&info.relevant);
+            // Type signature from the abstract interpreter: every fact of
+            // this relation provably lies in each σ class's extent, so the
+            // smallest such extent caps the estimate. Only classes with
+            // origin-mapped component rows count — an unmapped class has
+            // no measurable extent to bound by.
+            let mut sigma: Vec<String> = Vec::new();
+            if let Some(pred) = self.summary().get(&relation) {
+                for class in pred.key_classes() {
+                    let rows: u64 = self.base_targets(class).iter().map(|t| t.rows).sum();
+                    if rows > 0 {
+                        est_rows = est_rows.min(rows);
+                        sigma.push(class.clone());
+                    }
+                }
+            }
             return ScanNode {
                 literal: lit.clone(),
                 relation,
@@ -472,6 +565,8 @@ impl<'a> Planner<'a> {
                     rules,
                     stratum,
                     demand: None,
+                    pruned: false,
+                    sigma,
                 },
                 pushdown: Vec::new(),
                 projection,

@@ -1,0 +1,233 @@
+//! Differential soundness tests for the abstract interpreter: over
+//! randomly generated federations, every verdict the static summary
+//! commits to must hold of the *actual* saturated fact base.
+//!
+//! * A predicate marked provably empty derives zero facts under the
+//!   saturate-everything oracle (and under the planned strategy, which
+//!   prunes its scan — the two must still agree).
+//! * An inferred type signature over-approximates reality: every object
+//!   the oracle derives for a predicate is also a member of each σ
+//!   class the summary claims for its key argument.
+//!
+//! The federation generator mirrors `differential.rs` (merged class +
+//! intersection with rules); a phantom rule chain over a relation
+//! nothing populates guarantees at least one provably-empty predicate
+//! per run, so the emptiness property is never vacuous.
+
+use federation::agent::Agent;
+use federation::{Fsm, IntegrationStrategy};
+use oo_model::{AttrType, ClassName, InstanceStore, SchemaBuilder};
+use proptest::prelude::*;
+use qp::planner::program_summary;
+use qp::{QueryEngine, QueryStrategy};
+use std::collections::BTreeSet;
+
+use assertions::{AttrCorr, AttrOp, ClassAssertion, ClassOp, SPath};
+
+type Row = (u8, i64);
+
+fn build_fsm(persons: &[Row], humans: &[Row], courses: &[Row], staff: &[Row]) -> Fsm {
+    let s1 = SchemaBuilder::new("x")
+        .class("person", |c| {
+            c.attr("ssn", AttrType::Str).attr("age", AttrType::Int)
+        })
+        .class("course", |c| {
+            c.attr("code", AttrType::Str).attr("credits", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("x")
+        .class("human", |c| {
+            c.attr("hssn", AttrType::Str).attr("weight", AttrType::Int)
+        })
+        .class("staff", |c| {
+            c.attr("sssn", AttrType::Str).attr("salary", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    for (k, v) in persons {
+        st1.create(&s1, "person", |o| {
+            o.with_attr("ssn", format!("k{k}")).with_attr("age", *v)
+        })
+        .unwrap();
+    }
+    for (k, v) in courses {
+        st1.create(&s1, "course", |o| {
+            o.with_attr("code", format!("k{k}"))
+                .with_attr("credits", *v)
+        })
+        .unwrap();
+    }
+    let mut st2 = InstanceStore::new();
+    for (k, v) in humans {
+        st2.create(&s2, "human", |o| {
+            o.with_attr("hssn", format!("k{k}")).with_attr("weight", *v)
+        })
+        .unwrap();
+    }
+    for (k, v) in staff {
+        st2.create(&s2, "staff", |o| {
+            o.with_attr("sssn", format!("k{k}")).with_attr("salary", *v)
+        })
+        .unwrap();
+    }
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+        .unwrap();
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "person", ClassOp::Equiv, "S2", "human").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "person", "ssn"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "human", "hssn"),
+            ),
+        ),
+    );
+    fsm.add_assertion(
+        ClassAssertion::simple("S1", "course", ClassOp::Intersect, "S2", "staff").attr_corr(
+            AttrCorr::new(
+                SPath::attr("S1", "course", "code"),
+                AttrOp::Equiv,
+                SPath::attr("S2", "staff", "sssn"),
+            ),
+        ),
+    );
+    pair_by_key(&mut fsm, "course", "code", "staff", "sssn");
+    fsm
+}
+
+fn pair_by_key(fsm: &mut Fsm, lclass: &str, lkey: &str, rclass: &str, rkey: &str) {
+    let pairs: Vec<_> = {
+        let comps = fsm.components();
+        let (ls, lst) = (&comps[0].schema, &comps[0].store);
+        let (rs, rst) = (&comps[1].schema, &comps[1].store);
+        let lext = lst.extent(ls, &ClassName::new(lclass));
+        let rext = rst.extent(rs, &ClassName::new(rclass));
+        let mut out = Vec::new();
+        for lo in &lext {
+            let lv = lo.attr(lkey);
+            if lv.is_null() {
+                continue;
+            }
+            for ro in &rext {
+                if ro.attr(rkey) == lv {
+                    out.push((lo.oid.clone(), ro.oid.clone()));
+                }
+            }
+        }
+        out
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+}
+
+fn rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec((0u8..6, -5i64..50), 0..max)
+}
+
+/// Connect an engine whose global program additionally carries a phantom
+/// rule chain over an unpopulated relation, plus the summary of that
+/// exact program.
+fn engine_and_summary(fsm: &Fsm) -> (QueryEngine, analysis::ProgramSummary) {
+    let mut global = fsm.integrate(IntegrationStrategy::Accumulation).unwrap();
+    global.rules.extend(
+        analysis::parse_rules(
+            "<X: phantom> :- <X: ghost>.\n\
+             <X: wraith> :- <X: phantom>, <X: person>.",
+        )
+        .unwrap(),
+    );
+    let summary = program_summary(&global);
+    let components: Vec<_> = fsm
+        .components()
+        .iter()
+        .map(|c| (c.schema.clone(), c.store.clone()))
+        .collect();
+    let engine = QueryEngine::from_parts(global, components, fsm.meta.clone());
+    (engine, summary)
+}
+
+/// The sorted object column of `?- <X: rel>.` under the given strategy.
+fn members(engine: &mut QueryEngine, rel: &str, strategy: QueryStrategy) -> BTreeSet<String> {
+    engine
+        .ask_text(&format!("?- <X: {rel}>."), strategy)
+        .unwrap_or_else(|e| panic!("`{rel}`: {e}"))
+        .rows
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Provable emptiness is sound: the saturate oracle derives nothing
+    /// for any predicate the summary marks empty, and the planned
+    /// strategy (which prunes those scans) agrees.
+    #[test]
+    fn provably_empty_predicates_derive_no_facts(
+        persons in rows(8),
+        humans in rows(8),
+        courses in rows(6),
+        staff in rows(6),
+    ) {
+        let fsm = build_fsm(&persons, &humans, &courses, &staff);
+        let (mut engine, summary) = engine_and_summary(&fsm);
+        let empties: Vec<String> = summary
+            .predicates()
+            .filter(|p| p.empty)
+            .map(|p| p.name.clone())
+            .collect();
+        // The phantom chain guarantees the property is never vacuous.
+        prop_assert!(
+            empties.iter().any(|n| n == "phantom") && empties.iter().any(|n| n == "wraith"),
+            "phantom chain not proven empty: {empties:?}"
+        );
+        for name in &empties {
+            let oracle = members(&mut engine, name, QueryStrategy::Saturate);
+            prop_assert!(
+                oracle.is_empty(),
+                "summary marks `{name}` empty but saturation derived {oracle:?}"
+            );
+            let planned = members(&mut engine, name, QueryStrategy::Planned);
+            prop_assert_eq!(&planned, &oracle, "strategies disagree on `{}`", name);
+        }
+    }
+
+    /// Inferred type signatures over-approximate the facts: every object
+    /// derived for a predicate is a member of each σ class claimed for
+    /// its key argument.
+    #[test]
+    fn type_signatures_over_approximate_derived_facts(
+        persons in rows(8),
+        humans in rows(8),
+        courses in rows(6),
+        staff in rows(6),
+    ) {
+        let fsm = build_fsm(&persons, &humans, &courses, &staff);
+        let (mut engine, summary) = engine_and_summary(&fsm);
+        let claims: Vec<(String, Vec<String>)> = summary
+            .predicates()
+            .filter(|p| p.derived && !p.empty && !p.key_classes().is_empty())
+            .map(|p| (p.name.clone(), p.key_classes().iter().cloned().collect()))
+            .collect();
+        for (name, classes) in &claims {
+            let derived = members(&mut engine, name, QueryStrategy::Saturate);
+            for class in classes {
+                // A σ class may itself be derived; the oracle answers
+                // both sides, so the subset check is strategy-uniform.
+                let extent = members(&mut engine, class, QueryStrategy::Saturate);
+                prop_assert!(
+                    derived.is_subset(&extent),
+                    "σ claims `{name}` ⊆ `{class}` but {:?} ⊄ {:?}",
+                    derived,
+                    extent
+                );
+            }
+        }
+    }
+}

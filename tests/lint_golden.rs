@@ -44,7 +44,7 @@ fn every_args_file_has_a_golden_and_matches() {
         .collect();
     cases.sort();
     assert!(
-        cases.len() >= 18,
+        cases.len() >= 22,
         "expected one golden per FD-code fixture, found {}",
         cases.len()
     );
@@ -77,6 +77,10 @@ fn fixtures_cover_the_advertised_codes() {
         ("unresolved_path", "FD0205"),
         ("isa_cycle", "FD0301"),
         ("dead_class", "FD0302"),
+        ("dead_rule", "FD0401"),
+        ("provably_empty", "FD0402"),
+        ("contradictory_type", "FD0403"),
+        ("nonlinear_recursion", "FD0404"),
     ];
     for (case, code) in expect {
         let (got, _) = replay(case);
@@ -91,5 +95,40 @@ fn fixtures_cover_the_advertised_codes() {
 fn clean_inputs_render_the_empty_report() {
     let (got, _) = replay("clean_university");
     assert!(got.contains("\"deny\": 0"), "{got}");
+    assert!(got.contains("\"max_severity\": null"), "{got}");
     assert!(got.contains("\"diagnostics\": []"), "{got}");
+}
+
+/// `--deny-warnings` promotes warn-level findings (here the FD04xx
+/// absint warnings) to deny in *both* the rendered severities and the
+/// outcome's exit verdict — the summary, diagnostics, and exit code can
+/// never disagree because all derive from the same promoted report.
+#[test]
+fn deny_warnings_promotes_in_json_and_exit_verdict() {
+    let root = repo_root();
+    let base_args: Vec<String> =
+        std::fs::read_to_string(root.join("testdata/golden/dead_rule.args"))
+            .unwrap()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+    let plain = fedoo::lint::run_lint(
+        &[base_args.clone(), vec!["--format".into(), "json".into()]].concat(),
+        Some(&root),
+    )
+    .unwrap();
+    assert!(!plain.deny, "FD0401/FD0402 are warnings by default");
+    assert!(plain.rendered.contains("\"max_severity\": \"warn\""));
+    let promoted = fedoo::lint::run_lint(
+        &[
+            base_args,
+            vec!["--deny-warnings".into(), "--format".into(), "json".into()],
+        ]
+        .concat(),
+        Some(&root),
+    )
+    .unwrap();
+    assert!(promoted.deny, "promotion must flip the exit verdict");
+    assert!(promoted.rendered.contains("\"max_severity\": \"deny\""));
+    assert!(!promoted.rendered.contains("\"severity\": \"warn\""));
 }
