@@ -256,7 +256,7 @@ fn ask_median(
     let mut samples: Vec<Duration> = Vec::with_capacity(reps);
     let mut rows = 0usize;
     for _ in 0..reps.max(1) {
-        let mut engine =
+        let engine =
             QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
         engine.set_demand_enabled(demand);
         let t = Instant::now();

@@ -1,0 +1,116 @@
+//! Closed-loop serving throughput under zipfian multi-tenant traffic.
+//!
+//! Sweeps three read/write mixes (90/10, 70/30, 50/50) over the scaled
+//! library federation with four concurrent tenants, plus a single-caller
+//! baseline at the 90/10 mix, and snapshots p50/p95/p99 latency and qps
+//! to `BENCH_serve.json`. The sweep asserts the serving layer's two
+//! throughput contracts directly:
+//!
+//! * no request is shed or errors under the default admission config
+//!   (closed-loop load cannot outrun a bounded in-flight budget), and
+//! * concurrent multi-tenant throughput stays at or above the
+//!   single-caller baseline (generation snapshots make reads lock-free;
+//!   a small tolerance absorbs scheduler noise on starved CI runners).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedoo::prelude::IntegrationStrategy;
+use fedoo_bench::{run_traffic, TenantSpec, TrafficConfig, TrafficReport, Workload};
+use std::sync::Arc;
+
+const REQUESTS_PER_TENANT: usize = 150;
+const TENANTS: usize = 4;
+
+fn server() -> Arc<serve::Server> {
+    let fsm = fedoo_bench::traffic_fsm(240, 60);
+    Arc::new(
+        serve::Server::connect(
+            &fsm,
+            IntegrationStrategy::Accumulation,
+            serve::ServeConfig::default(),
+        )
+        .unwrap(),
+    )
+}
+
+fn mix(write_pct: u32, tenants: usize, requests: usize) -> TrafficConfig {
+    TrafficConfig {
+        tenants: (0..tenants)
+            .map(|i| TenantSpec {
+                name: format!("t{i}"),
+                workload: Workload::Books,
+                requests,
+                write_pct,
+            })
+            .collect(),
+        zipf_s: 1.1,
+        seed: 42,
+    }
+}
+
+fn row(label: &str, read_pct: u32, tenants: usize, r: &TrafficReport) -> String {
+    format!(
+        "    {{\"mix\": \"{label}\", \"read_pct\": {read_pct}, \"tenants\": {tenants}, \
+         \"ops\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"sheds\": {}, \"errors\": {}}}",
+        r.ops, r.qps, r.merged.p50_us, r.merged.p95_us, r.merged.p99_us, r.sheds, r.errors
+    )
+}
+
+fn bench_traffic(_c: &mut Criterion) {
+    // Single-caller baseline: one tenant, the same total request count.
+    let baseline = run_traffic(&server(), &mix(10, 1, REQUESTS_PER_TENANT * TENANTS));
+    println!(
+        "baseline r90/w10 x1: {:.0} qps, p50 {} µs, p99 {} µs",
+        baseline.qps, baseline.merged.p50_us, baseline.merged.p99_us
+    );
+
+    let mut rows = vec![row("r90w10_x1_baseline", 90, 1, &baseline)];
+    let mut concurrent_90 = None;
+    for (label, write_pct) in [("r90w10", 10u32), ("r70w30", 30), ("r50w50", 50)] {
+        let report = run_traffic(&server(), &mix(write_pct, TENANTS, REQUESTS_PER_TENANT));
+        println!(
+            "{label} x{TENANTS}: {:.0} qps, p50 {} µs, p95 {} µs, p99 {} µs, degraded {}",
+            report.qps,
+            report.merged.p50_us,
+            report.merged.p95_us,
+            report.merged.p99_us,
+            report.degraded
+        );
+        assert_eq!(report.errors, 0, "{label}: no request may fail");
+        assert_eq!(report.sheds, 0, "{label}: closed loop must not shed");
+        assert_eq!(
+            report.degraded, 0,
+            "{label}: no faults are injected, every answer is complete"
+        );
+        rows.push(row(label, 100 - write_pct, TENANTS, &report));
+        if write_pct == 10 {
+            concurrent_90 = Some(report);
+        }
+    }
+
+    // The headline contract: four closed-loop tenants through shared
+    // generation snapshots must not serve slower than one caller doing
+    // the same work alone. 0.9 tolerance: the assert targets real
+    // collapses (a serializing lock on the read path), not timer noise.
+    let concurrent = concurrent_90.unwrap();
+    assert!(
+        concurrent.qps >= 0.9 * baseline.qps,
+        "concurrent throughput collapsed below the single-caller baseline: \
+         {:.0} qps vs {:.0} qps",
+        concurrent.qps,
+        baseline.qps
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_traffic\",\n  \"workload\": \
+         \"closed_loop_zipfian_library\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -217,7 +217,7 @@ fn main() {
     ] {
         println!("--- {name}");
         let t = Instant::now();
-        let mut engine =
+        let engine =
             QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
         println!("engine build: {:?}", t.elapsed());
         let t = Instant::now();
@@ -236,7 +236,7 @@ fn main() {
             fedoo::qp::analyze::render_analyzed(&analyzed.plan, &analyzed.profile)
         );
         let t = Instant::now();
-        let mut engine2 =
+        let engine2 =
             QueryEngine::from_parts(fx.global.clone(), fx.components.clone(), fx.meta.clone());
         let sat = engine2.ask_text(q, QueryStrategy::Saturate).unwrap();
         println!(

@@ -1,0 +1,415 @@
+//! Closed-loop multi-tenant traffic driver for the serving layer.
+//!
+//! Each tenant is one worker thread issuing protocol lines against a
+//! shared [`serve::Server`] and waiting for every response before
+//! sending the next request — a *closed loop*, so offered load adapts
+//! to service time instead of overrunning it. Request parameters are
+//! drawn from a Zipf distribution (rank 1 is hottest), which is what
+//! makes the per-generation result cache matter: a handful of hot
+//! templates dominate, interleaved with writes that install new
+//! generations and start the cache cold again.
+//!
+//! The driver reports per-tenant and merged latency percentiles plus
+//! overall qps; `benches/serve_traffic.rs` sweeps read/write mixes with
+//! it and snapshots `BENCH_serve.json`, and the chaos-compose test uses
+//! the per-tenant split to show a faulted component degrades only the
+//! tenants that touch it.
+
+use fedoo::model::ClassName;
+use fedoo::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Zipf(s) over ranks `0..n` via inverse-CDF lookup (the table is tiny —
+/// one `f64` per rank — and sampling is a binary search).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// What a tenant's requests look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The full template mix over `book` (point / scan / derived reads,
+    /// plus writes per `write_pct`). `book` spans both components, so
+    /// this workload feels a fault in either.
+    Books,
+    /// Point/scan reads over `member`, whose base extent lives entirely
+    /// in component L1 — the control group in fault experiments.
+    Members,
+}
+
+/// One closed-loop client.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: String,
+    pub workload: Workload,
+    pub requests: usize,
+    /// Percentage of requests that are mutations (0–100).
+    pub write_pct: u32,
+}
+
+/// A whole traffic run.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    pub tenants: Vec<TenantSpec>,
+    /// Zipf skew over template parameters; 0.0 is uniform, ~1.1 is the
+    /// classic hot-key regime.
+    pub zipf_s: f64,
+    pub seed: u64,
+}
+
+/// Latency percentiles over one set of requests, microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Summarize a latency sample (consumes and sorts it).
+pub fn summarize(mut micros: Vec<u64>) -> LatencySummary {
+    if micros.is_empty() {
+        return LatencySummary::default();
+    }
+    micros.sort_unstable();
+    let at = |p: f64| micros[((micros.len() - 1) as f64 * p) as usize];
+    LatencySummary {
+        count: micros.len() as u64,
+        p50_us: at(0.50),
+        p95_us: at(0.95),
+        p99_us: at(0.99),
+        max_us: *micros.last().unwrap(),
+    }
+}
+
+/// What a finished run measured.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    pub ops: u64,
+    pub sheds: u64,
+    pub errors: u64,
+    /// Answers that came back `complete:false`.
+    pub degraded: u64,
+    pub elapsed_us: u64,
+    pub qps: f64,
+    pub merged: LatencySummary,
+    pub per_tenant: BTreeMap<String, LatencySummary>,
+}
+
+struct TenantOutcome {
+    name: String,
+    latencies: Vec<u64>,
+    sheds: u64,
+    errors: u64,
+    degraded: u64,
+}
+
+fn request_line(spec: &TenantSpec, zipf: &Zipf, rng: &mut StdRng, seq: usize) -> String {
+    let tenant = &spec.name;
+    let is_write = rng.gen_range(0u32..100) < spec.write_pct;
+    let rank = zipf.sample(rng);
+    match spec.workload {
+        Workload::Books if is_write => {
+            // Unique title per (tenant, seq): every mutation really
+            // inserts and really installs a new generation.
+            format!(
+                "{{\"op\":\"mutate\",\"tenant\":\"{tenant}\",\"component\":0,\
+                 \"class\":\"book\",\"set\":{{\"title\":\"w_{tenant}_{seq}\",\
+                 \"year\":{}}}}}",
+                1900 + (rank % 120)
+            )
+        }
+        Workload::Books => {
+            let q = match seq % 10 {
+                // 60% point lookups on a zipf-hot year…
+                0..=5 => format!(
+                    "?- <X: book | title: T, year: Y>, Y = {}.",
+                    1900 + rank % 120
+                ),
+                // …30% range scans from a zipf-hot threshold…
+                6..=8 => format!(
+                    "?- <X: book | title: T, year: Y>, Y >= {}.",
+                    1990 - (rank % 60) as i64
+                ),
+                // …10% derived-class scans (the paired intersection).
+                _ => "?- <X: member_author>.".to_string(),
+            };
+            format!("{{\"op\":\"query\",\"tenant\":\"{tenant}\",\"q\":\"{q}\"}}")
+        }
+        Workload::Members => {
+            let q = match seq % 10 {
+                0..=5 => format!("?- <X: member | mssn: M, fines: F>, F = {}.", rank % 50),
+                _ => format!("?- <X: member | mssn: M, fines: F>, F >= {}.", rank % 50),
+            };
+            format!("{{\"op\":\"query\",\"tenant\":\"{tenant}\",\"q\":\"{q}\"}}")
+        }
+    }
+}
+
+fn drive_tenant(
+    server: &::serve::Server,
+    spec: &TenantSpec,
+    zipf: &Zipf,
+    seed: u64,
+) -> TenantOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = TenantOutcome {
+        name: spec.name.clone(),
+        latencies: Vec::with_capacity(spec.requests),
+        sheds: 0,
+        errors: 0,
+        degraded: 0,
+    };
+    for seq in 0..spec.requests {
+        let line = request_line(spec, zipf, &mut rng, seq);
+        let t = Instant::now();
+        let handled = server.handle_line(&line);
+        out.latencies.push(t.elapsed().as_micros() as u64);
+        if handled.shed {
+            out.sheds += 1;
+        } else if handled.response.starts_with("{\"ok\":false") {
+            out.errors += 1;
+        } else if handled.response.contains("\"complete\":false") {
+            out.degraded += 1;
+        }
+    }
+    out
+}
+
+/// Run the closed loop: one thread per tenant, every thread issuing its
+/// whole request budget back-to-back against the shared server.
+pub fn run_traffic(server: &Arc<::serve::Server>, cfg: &TrafficConfig) -> TrafficReport {
+    let max_rank = 120;
+    let zipf = Arc::new(Zipf::new(max_rank, cfg.zipf_s.max(0.0)));
+    let start = Instant::now();
+    let outcomes: Vec<TenantOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let server = Arc::clone(server);
+                let zipf = Arc::clone(&zipf);
+                let seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+                scope.spawn(move || drive_tenant(&server, spec, &zipf, seed))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_us = start.elapsed().as_micros().max(1) as u64;
+    let mut merged = Vec::new();
+    let mut per_tenant = BTreeMap::new();
+    let (mut sheds, mut errors, mut degraded) = (0, 0, 0);
+    for o in outcomes {
+        merged.extend_from_slice(&o.latencies);
+        sheds += o.sheds;
+        errors += o.errors;
+        degraded += o.degraded;
+        per_tenant.insert(o.name, summarize(o.latencies));
+    }
+    let ops = merged.len() as u64;
+    TrafficReport {
+        ops,
+        sheds,
+        errors,
+        degraded,
+        elapsed_us,
+        qps: ops as f64 / (elapsed_us as f64 / 1_000_000.0),
+        merged: summarize(merged),
+        per_tenant,
+    }
+}
+
+/// The benchmark federation: the library schema pair scaled to `books`
+/// objects split across both components and `members` member/author
+/// pairs with overlapping keys (so the derived intersection class is
+/// populated). Mirrors `testdata/qp/library.*`, just bigger.
+pub fn traffic_fsm(books: usize, members: usize) -> Fsm {
+    let s1 = SchemaBuilder::new("L1")
+        .class("book", |c| {
+            c.attr("title", AttrType::Str).attr("year", AttrType::Int)
+        })
+        .class("member", |c| {
+            c.attr("mssn", AttrType::Str).attr("fines", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let s2 = SchemaBuilder::new("L2")
+        .class("publication", |c| {
+            c.attr("ptitle", AttrType::Str).attr("pyear", AttrType::Int)
+        })
+        .class("author", |c| {
+            c.attr("assn", AttrType::Str)
+                .attr("royalties", AttrType::Int)
+        })
+        .build()
+        .unwrap();
+    let mut st1 = InstanceStore::new();
+    let mut st2 = InstanceStore::new();
+    for i in 0..books {
+        let year = 1900 + (i % 120) as i64;
+        if i % 2 == 0 {
+            st1.create(&s1, "book", |o| {
+                o.with_attr("title", format!("b{i}"))
+                    .with_attr("year", year)
+            })
+            .unwrap();
+        } else {
+            st2.create(&s2, "publication", |o| {
+                o.with_attr("ptitle", format!("b{i}"))
+                    .with_attr("pyear", year)
+            })
+            .unwrap();
+        }
+    }
+    for i in 0..members {
+        st1.create(&s1, "member", |o| {
+            o.with_attr("mssn", format!("ssn{i}"))
+                .with_attr("fines", (i % 50) as i64)
+        })
+        .unwrap();
+        // Every other member is also a registered author — the paired
+        // overlap that populates `member_author`.
+        if i % 2 == 0 {
+            st2.create(&s2, "author", |o| {
+                o.with_attr("assn", format!("ssn{i}"))
+                    .with_attr("royalties", (i * 10) as i64)
+            })
+            .unwrap();
+        }
+    }
+    let mut fsm = Fsm::new();
+    fsm.register(Agent::object_oriented("a1", s1, st1), "L1")
+        .unwrap();
+    fsm.register(Agent::object_oriented("a2", s2, st2), "L2")
+        .unwrap();
+    fsm.add_assertions_text(
+        "assert L1.book == L2.publication {\n\
+             attr L1.book.title == L2.publication.ptitle;\n\
+             attr L1.book.year == L2.publication.pyear;\n\
+         }\n\
+         assert L1.member & L2.author {\n\
+             attr L1.member.mssn == L2.author.assn;\n\
+         }",
+    )
+    .unwrap();
+    let pairs: Vec<(Oid, Oid)> = {
+        let find = |name: &str| {
+            fsm.components()
+                .iter()
+                .find(|c| c.schema.name.as_str() == name)
+                .unwrap()
+        };
+        let (lc, rc) = (find("L1"), find("L2"));
+        let mut pairing = fedoo::federation::ObjectPairing::new();
+        pairing.pair_by_key(
+            lc.store
+                .extent(&lc.schema, &ClassName::new("member"))
+                .iter()
+                .copied(),
+            "mssn",
+            rc.store
+                .extent(&rc.schema, &ClassName::new("author"))
+                .iter()
+                .copied(),
+            "assn",
+        );
+        pairing.pairs().cloned().collect()
+    };
+    for (a, b) in pairs {
+        fsm.meta.pairing.pair(a, b);
+    }
+    fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..2000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 2000);
+    }
+
+    #[test]
+    fn summarize_orders_percentiles() {
+        let s = summarize((1..=1000).rev().collect());
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 1000);
+    }
+
+    #[test]
+    fn traffic_round_trips_reads_and_writes() {
+        let fsm = traffic_fsm(60, 20);
+        let server = Arc::new(
+            ::serve::Server::connect(
+                &fsm,
+                IntegrationStrategy::Accumulation,
+                ::serve::ServeConfig::default(),
+            )
+            .unwrap(),
+        );
+        let cfg = TrafficConfig {
+            tenants: vec![
+                TenantSpec {
+                    name: "t1".into(),
+                    workload: Workload::Books,
+                    requests: 40,
+                    write_pct: 20,
+                },
+                TenantSpec {
+                    name: "t2".into(),
+                    workload: Workload::Members,
+                    requests: 40,
+                    write_pct: 0,
+                },
+            ],
+            zipf_s: 1.1,
+            seed: 42,
+        };
+        let report = run_traffic(&server, &cfg);
+        assert_eq!(report.ops, 80);
+        assert_eq!(report.errors, 0, "no request should fail: {report:?}");
+        assert_eq!(report.sheds, 0);
+        assert!(server.generation() > 0, "writes installed generations");
+        assert!(report.per_tenant.contains_key("t1") && report.per_tenant.contains_key("t2"));
+        assert!(report.qps > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The chaos-compose headline: a degraded component under concurrent
+//! multi-tenant load.
+//!
+//! Component L2 is put on a deterministic fault plan (every contact
+//! errors, the PR-4 machinery: retries, then the breaker trips and the
+//! answer is marked partial). Four closed-loop tenants then hammer the
+//! server concurrently — two on `book`, whose extent spans L1 ∪ L2, and
+//! two on `member`, whose base extent lives entirely in L1. The
+//! composition contract:
+//!
+//! * affected tenants get **subset-sound partial answers** — every
+//!   answer marked `complete:false`, rows a subset of the fault-free
+//!   rows, never an error;
+//! * unaffected tenants are untouched — every answer complete, and
+//!   their latency holds relative to the fault-free baseline.
+
+use fedoo::federation::{FaultPlan, RetryPolicy};
+use fedoo::prelude::*;
+use fedoo_bench::{run_traffic, TenantSpec, TrafficConfig, Workload};
+use std::sync::Arc;
+
+fn server() -> Arc<serve::Server> {
+    Arc::new(
+        serve::Server::connect(
+            &fedoo_bench::traffic_fsm(120, 40),
+            IntegrationStrategy::Accumulation,
+            serve::ServeConfig::default(),
+        )
+        .unwrap(),
+    )
+}
+
+fn mixed_tenants(requests: usize) -> TrafficConfig {
+    let spec = |name: &str, workload| TenantSpec {
+        name: name.into(),
+        workload,
+        requests,
+        write_pct: 0,
+    };
+    TrafficConfig {
+        tenants: vec![
+            spec("aff1", Workload::Books),
+            spec("aff2", Workload::Books),
+            spec("ctl1", Workload::Members),
+            spec("ctl2", Workload::Members),
+        ],
+        zipf_s: 1.1,
+        seed: 7,
+    }
+}
+
+#[test]
+fn degraded_component_under_concurrent_load_stays_subset_sound() {
+    let requests = 60;
+
+    // Fault-free baseline: same four tenants, same request streams.
+    let clean_server = server();
+    let clean = run_traffic(&clean_server, &mixed_tenants(requests));
+    assert_eq!(clean.errors, 0, "{clean:?}");
+    assert_eq!(clean.degraded, 0, "{clean:?}");
+    let (_, clean_engine) = clean_server.pinned_engine();
+    let book_query = {
+        let class = clean_engine.global().global_class("L1", "book").unwrap();
+        format!("?- <X: {class} | title: T, year: Y>.")
+    };
+    let clean_rows = clean_engine
+        .ask_text(&book_query, QueryStrategy::Planned)
+        .unwrap()
+        .rows;
+
+    // The same federation with L2 erroring on every contact.
+    let faulted_server = server();
+    faulted_server.set_fault_plan(
+        FaultPlan::parse("L2 error").unwrap(),
+        RetryPolicy::default(),
+    );
+    let faulted = run_traffic(&faulted_server, &mixed_tenants(requests));
+    assert_eq!(faulted.errors, 0, "degradation is not failure: {faulted:?}");
+    assert_eq!(faulted.sheds, 0, "{faulted:?}");
+
+    // Affected tenants: every single read came back a partial answer…
+    let totals = faulted_server.tenants().snapshot();
+    for aff in ["aff1", "aff2"] {
+        let t = &totals[aff];
+        assert_eq!(t.queries, requests as u64, "{aff}: {t:?}");
+        assert_eq!(t.degraded, t.queries, "{aff} reads all span L2: {t:?}");
+        assert_eq!(t.errors, 0, "{aff}: {t:?}");
+    }
+    // …and the partial rows are a subset of the fault-free answer.
+    let (_, faulted_engine) = faulted_server.pinned_engine();
+    let partial = faulted_engine
+        .ask_text(&book_query, QueryStrategy::Planned)
+        .unwrap();
+    assert!(!partial.completeness.is_complete());
+    assert!(
+        !partial.rows.is_empty() && partial.rows.len() < clean_rows.len(),
+        "a strict, non-empty subset: {} of {}",
+        partial.rows.len(),
+        clean_rows.len()
+    );
+    assert!(
+        partial.rows.iter().all(|r| clean_rows.contains(r)),
+        "no fabricated rows under faults"
+    );
+
+    // Control tenants: complete answers throughout, zero degradations.
+    for ctl in ["ctl1", "ctl2"] {
+        let t = &totals[ctl];
+        assert_eq!(t.queries, requests as u64, "{ctl}: {t:?}");
+        assert_eq!(t.degraded, 0, "{ctl} never touches L2: {t:?}");
+        assert_eq!(t.errors, 0, "{ctl}: {t:?}");
+    }
+
+    // Control latency holds: the L1-only tenants must not inherit L2's
+    // retry stalls. Affected tenants pay the retry/breaker cost; the
+    // control group's median stays within a generous envelope of its
+    // fault-free self (generous because this asserts isolation, not
+    // absolute speed, on a possibly starved single-core CI runner).
+    let p50 =
+        |report: &fedoo_bench::TrafficReport, tenant: &str| report.per_tenant[tenant].p50_us.max(1);
+    for ctl in ["ctl1", "ctl2"] {
+        let clean_p50 = p50(&clean, ctl);
+        let faulted_p50 = p50(&faulted, ctl);
+        assert!(
+            faulted_p50 <= (clean_p50 * 10).max(5_000),
+            "{ctl} latency collapsed under another tenant's fault: \
+             {faulted_p50} µs vs {clean_p50} µs fault-free"
+        );
+    }
+    // And relatively: the faulted tenants' median reflects the retry
+    // cost, the control group's does not.
+    let aff_p50 = p50(&faulted, "aff1").min(p50(&faulted, "aff2"));
+    let ctl_p50 = p50(&faulted, "ctl1").max(p50(&faulted, "ctl2"));
+    assert!(
+        ctl_p50 < aff_p50,
+        "control tenants ({ctl_p50} µs) should be faster than faulted \
+         tenants ({aff_p50} µs) under the fault plan"
+    );
+}

@@ -23,6 +23,7 @@ pub mod chaos;
 pub mod client;
 pub mod connector;
 pub mod fsm;
+pub mod generation;
 pub mod lint;
 pub mod mapping;
 pub mod policy;
@@ -36,6 +37,7 @@ pub use connector::{
     InProcessConnector, VirtualClock,
 };
 pub use fsm::{Algorithm, Fsm, GlobalSchema, IntegrationStrategy};
+pub use generation::{Generation, GenerationStore};
 pub use lint::lint_federation;
 pub use mapping::{DataMapping, MetaRegistry, ObjectPairing};
 pub use policy::{

@@ -158,7 +158,7 @@ fn record(update: impl FnOnce(&mut ChaosSummary)) {
 /// countdowns and breaker state match [`chaos::expected_missing`]'s
 /// first-fetch prediction.
 fn faulted_engine(fsm: &Fsm, plan: &federation::FaultPlan, policy: &RetryPolicy) -> QueryEngine {
-    let mut engine = QueryEngine::connect(fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(fsm, IntegrationStrategy::Accumulation).unwrap();
     engine.apply_fault_plan(plan.clone(), *policy);
     engine
 }
@@ -243,7 +243,7 @@ proptest! {
         let victims = chaos::expected_missing(&plan, &policy, &extents);
         record(|s| s.cases += 1);
 
-        let mut baseline_engine =
+        let baseline_engine =
             QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let queries = [
             // Base scan of the merged class with range pushdown.

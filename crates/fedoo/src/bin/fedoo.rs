@@ -9,8 +9,17 @@
 //! fedoo query     <s1> <s2> <asserts> <query|@file> [--data1 FILE] [--data2 FILE] [--pair ...]
 //!                 [--plan|--explain] [--explain-analyze] [--strategy planned|saturate]
 //!                 [--format human|json] [--fault-plan FILE] [--partial-ok]
+//! fedoo serve     <s1> <s2> <asserts> [--data1 FILE] [--data2 FILE] [--pair ...]
+//!                 [--fault-plan FILE] [--max-inflight N] [--max-queue N]
+//!                 [--fail-on-shed] [--session FILE]
 //! fedoo show      <schema-file>
 //! ```
+//!
+//! `serve` holds the integrated federation open as a multi-tenant JSONL
+//! request/response session on stdin/stdout (one request object per
+//! line; see `fedoo-serve`); `--session FILE` replays a recorded request
+//! file instead, and `--fail-on-shed` turns any load-shed into exit
+//! code 3.
 //!
 //! Every subcommand additionally accepts the global observability
 //! options `--trace FILE [--trace-format jsonl|chrome|prom]`: spans and
@@ -121,6 +130,9 @@ fn usage() -> String {
      [--pair S1.cls.key=S2.cls.key]... \
      [--plan|--explain] [--explain-analyze] [--strategy planned|saturate] \
      [--format human|json] [--fault-plan FILE] [--partial-ok]\n  \
+     fedoo serve <s1> <s2> <assertions> [--data1 FILE] [--data2 FILE] \
+     [--pair S1.cls.key=S2.cls.key]... [--fault-plan FILE] \
+     [--max-inflight N] [--max-queue N] [--fail-on-shed] [--session FILE]\n  \
      fedoo show <schema>\n\
      global options: --trace FILE [--trace-format jsonl|chrome|prom]"
         .to_string()
@@ -133,6 +145,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => check(&args[1..]).map(|()| ExitCode::SUCCESS),
         "lint" => lint(&args[1..]),
         "query" => query(&args[1..]),
+        "serve" => serve(&args[1..]),
         "show" => show(&args[1..]).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -156,6 +169,13 @@ fn query(args: &[String]) -> Result<ExitCode, String> {
     let outcome = fedoo::query::run_query(args, None)?;
     print!("{}", outcome.rendered);
     Ok(ExitCode::from(outcome.exit))
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let exit = fedoo::serve::run_serve(args, None, stdin.lock(), stdout.lock())?;
+    Ok(ExitCode::from(exit))
 }
 
 fn read(path: &str) -> Result<String, String> {

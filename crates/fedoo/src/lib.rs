@@ -63,6 +63,7 @@ pub use transform;
 
 pub mod lint;
 pub mod query;
+pub mod serve;
 
 /// The common imports for applications.
 pub mod prelude {

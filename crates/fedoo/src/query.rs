@@ -152,35 +152,13 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
             .to_string());
     };
 
-    let s1 = crate::model::parse_schema(&read(base, p1)?).map_err(|e| format!("{p1}: {e}"))?;
-    let s2 = crate::model::parse_schema(&read(base, p2)?).map_err(|e| format!("{p2}: {e}"))?;
-    let mut stores = [InstanceStore::new(), InstanceStore::new()];
-    for (i, schema) in [&s1, &s2].into_iter().enumerate() {
-        if let Some(p) = &data_paths[i] {
-            let src = read(base, p)?;
-            parse_data(&src, schema, &mut stores[i]).map_err(|e| format!("{p}: {e}"))?;
-        }
-    }
     let query_text = match pq.strip_prefix('@') {
         Some(path) => read(base, path)?,
         None => pq.clone(),
     };
+    let fsm = build_fsm(base, [p1.as_str(), p2, pa], &data_paths, &pair_specs)?;
 
-    let mut fsm = Fsm::new();
-    let [store1, store2] = stores;
-    let name1 = s1.name.to_string();
-    let name2 = s2.name.to_string();
-    fsm.register(Agent::object_oriented("a1", s1, store1), &name1)
-        .map_err(|e| e.to_string())?;
-    fsm.register(Agent::object_oriented("a2", s2, store2), &name2)
-        .map_err(|e| e.to_string())?;
-    fsm.add_assertions_text(&read(base, pa)?)
-        .map_err(|e| format!("{pa}: {e}"))?;
-    for spec in &pair_specs {
-        apply_pairing(&mut fsm, spec)?;
-    }
-
-    let mut engine =
+    let engine =
         QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).map_err(|e| e.to_string())?;
     if let Some(p) = &fault_plan_path {
         let plan =
@@ -269,6 +247,41 @@ pub fn run_query(args: &[String], base: Option<&Path>) -> Result<QueryOutcome, S
         }),
         Err(e) => Err(e.to_string()),
     }
+}
+
+/// Load a two-component federation from CLI paths: parse both schemas,
+/// populate their stores from optional data files, register them under
+/// their schema names, add the assertion file, and apply `--pair`
+/// specs. Shared by `fedoo query` and `fedoo serve`.
+pub fn build_fsm(
+    base: Option<&Path>,
+    [p1, p2, pa]: [&str; 3],
+    data_paths: &[Option<String>; 2],
+    pair_specs: &[String],
+) -> Result<Fsm, String> {
+    let s1 = crate::model::parse_schema(&read(base, p1)?).map_err(|e| format!("{p1}: {e}"))?;
+    let s2 = crate::model::parse_schema(&read(base, p2)?).map_err(|e| format!("{p2}: {e}"))?;
+    let mut stores = [InstanceStore::new(), InstanceStore::new()];
+    for (i, schema) in [&s1, &s2].into_iter().enumerate() {
+        if let Some(p) = &data_paths[i] {
+            let src = read(base, p)?;
+            parse_data(&src, schema, &mut stores[i]).map_err(|e| format!("{p}: {e}"))?;
+        }
+    }
+    let mut fsm = Fsm::new();
+    let [store1, store2] = stores;
+    let name1 = s1.name.to_string();
+    let name2 = s2.name.to_string();
+    fsm.register(Agent::object_oriented("a1", s1, store1), &name1)
+        .map_err(|e| e.to_string())?;
+    fsm.register(Agent::object_oriented("a2", s2, store2), &name2)
+        .map_err(|e| e.to_string())?;
+    fsm.add_assertions_text(&read(base, pa)?)
+        .map_err(|e| format!("{pa}: {e}"))?;
+    for spec in pair_specs {
+        apply_pairing(&mut fsm, spec)?;
+    }
+    Ok(fsm)
 }
 
 /// Apply one `--pair S1.class.key=S2.class.key` spec: pair every pair of

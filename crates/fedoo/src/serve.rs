@@ -1,0 +1,135 @@
+//! The `fedoo serve` driver: load a two-component federation the same
+//! way `fedoo query` does, then serve it as a long-lived multi-tenant
+//! session over stdin/stdout (see `fedoo-serve` and DESIGN.md §13).
+//!
+//! ```text
+//! fedoo serve <s1> <s2> <assertions>
+//!             [--data1 FILE] [--data2 FILE]
+//!             [--pair S1.class.key=S2.class.key]...
+//!             [--fault-plan FILE]
+//!             [--max-inflight N] [--max-queue N]
+//!             [--fail-on-shed] [--session FILE]
+//! ```
+//!
+//! Requests arrive one JSONL object per line (`query`, `explain`,
+//! `mutate`, `stats`, `health`, `hold`/`release`, `shutdown`); each
+//! produces exactly one JSONL response line. `--session FILE` replays a
+//! recorded request file instead of stdin — that is how the CI
+//! serve-smoke job and the golden tests drive the binary. `--max-inflight`
+//! and `--max-queue` size admission control; with `--fail-on-shed` a
+//! session that shed any request exits 3 (distinct from `fedoo query`'s
+//! 1 = rejected and 2 = degraded past policy).
+//!
+//! This lives in the library (rather than the binary) so the golden
+//! tests replay the exact CLI argument lists through the exact session
+//! loop the binary runs.
+
+use crate::prelude::*;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+fn read(base: Option<&Path>, path: &str) -> Result<String, String> {
+    let resolved = match base {
+        Some(b) if !Path::new(path).is_absolute() => b.join(path),
+        _ => Path::new(path).to_path_buf(),
+    };
+    std::fs::read_to_string(&resolved).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Parse the `serve` argument list, build the federation and the server,
+/// and run one session over the given input/output. Returns the process
+/// exit code (`0` clean, `3` when `--fail-on-shed` saw sheds). Relative
+/// paths resolve against `base` when given (the golden tests pass the
+/// repo root; the binary passes `None`).
+pub fn run_serve(
+    args: &[String],
+    base: Option<&Path>,
+    input: impl BufRead,
+    output: impl Write,
+) -> Result<u8, String> {
+    let mut data_paths: [Option<String>; 2] = [None, None];
+    let mut pair_specs: Vec<String> = Vec::new();
+    let mut fault_plan_path: Option<String> = None;
+    let mut session_path: Option<String> = None;
+    let mut admission = ::serve::AdmissionConfig::default();
+    let mut fail_on_shed = false;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data1" => {
+                data_paths[0] = Some(it.next().ok_or("--data1 needs a file argument")?.clone())
+            }
+            "--data2" => {
+                data_paths[1] = Some(it.next().ok_or("--data2 needs a file argument")?.clone())
+            }
+            "--pair" => pair_specs.push(
+                it.next()
+                    .ok_or("--pair needs a key correspondence")?
+                    .clone(),
+            ),
+            "--fault-plan" => {
+                fault_plan_path = Some(
+                    it.next()
+                        .ok_or("--fault-plan needs a file argument")?
+                        .clone(),
+                )
+            }
+            "--session" => {
+                session_path = Some(it.next().ok_or("--session needs a file argument")?.clone())
+            }
+            "--max-inflight" => {
+                admission.max_inflight_per_tenant = it
+                    .next()
+                    .ok_or("--max-inflight needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--max-queue" => {
+                admission.max_queue = it
+                    .next()
+                    .ok_or("--max-queue needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--fail-on-shed" => fail_on_shed = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [p1, p2, pa] = positional.as_slice() else {
+        return Err(
+            "serve takes exactly three positional arguments (<s1> <s2> <assertions>)".to_string(),
+        );
+    };
+
+    let fsm = crate::query::build_fsm(base, [p1.as_str(), p2, pa], &data_paths, &pair_specs)?;
+    let cfg = ::serve::ServeConfig {
+        admission,
+        ..::serve::ServeConfig::default()
+    };
+    let server = ::serve::Server::connect(&fsm, IntegrationStrategy::Accumulation, cfg)
+        .map_err(|e| e.to_string())?;
+    if let Some(p) = &fault_plan_path {
+        let plan =
+            federation::FaultPlan::parse(&read(base, p)?).map_err(|e| format!("{p}: {e}"))?;
+        server.set_fault_plan(plan, federation::RetryPolicy::default());
+    }
+
+    let opts = ::serve::SessionOpts { fail_on_shed };
+    let summary = match &session_path {
+        Some(p) => {
+            let recorded = read(base, p)?;
+            ::serve::run_session(
+                &server,
+                std::io::BufReader::new(recorded.as_bytes()),
+                output,
+                opts,
+            )
+        }
+        None => ::serve::run_session(&server, input, output, opts),
+    }
+    .map_err(|e| format!("session I/O failed: {e}"))?;
+    Ok(summary.exit)
+}

@@ -453,31 +453,88 @@ fn prom_sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Sanitize a metric name while preserving a well-formed trailing
+/// `{key="value",...}` label block (the shape `obs::metrics::labeled`
+/// produces). Returns the sanitized family base plus the label block
+/// body, if any — a name whose brace block doesn't parse as label pairs
+/// is folded to underscores wholesale, like any other illegal character.
+fn prom_name(name: &str) -> (String, Option<String>) {
+    let (base, labels) = crate::metrics::split_labels(name);
+    if let Some(body) = labels {
+        if let Some(clean) = prom_label_block(body) {
+            return (prom_sanitize(base), Some(clean));
+        }
+    }
+    (prom_sanitize(name), None)
+}
+
+fn prom_label_block(body: &str) -> Option<String> {
+    let mut pairs = Vec::new();
+    for pair in body.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        let v = v.strip_prefix('"')?.strip_suffix('"')?;
+        if k.is_empty() || v.contains(['"', '\\', '\n', ',']) {
+            return None;
+        }
+        pairs.push(format!("{}=\"{v}\"", prom_sanitize(k)));
+    }
+    (!pairs.is_empty()).then(|| pairs.join(","))
+}
+
 /// Render a metrics snapshot in Prometheus text exposition format.
 /// Histograms are exposed with cumulative `le` buckets plus `_sum`/`_count`.
+/// Labeled series (`name{tenant="t"}`) keep their label block and share
+/// one `# TYPE` line per family — BTreeMap order keeps a family's series
+/// adjacent, so the family header is emitted when the base name changes.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut last_family = String::new();
+    let mut series = |out: &mut String, name: &str, kind: &str, value: String| {
+        let (base, labels) = prom_name(name);
+        if base != last_family {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_family = base.clone();
+        }
+        match labels {
+            Some(l) => {
+                let _ = writeln!(out, "{base}{{{l}}} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{base} {value}");
+            }
+        }
+    };
     for (name, value) in &snapshot.counters {
-        let name = prom_sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
+        series(&mut out, name, "counter", value.to_string());
     }
     for (name, value) in &snapshot.gauges {
-        let name = prom_sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name} {value}");
+        series(&mut out, name, "gauge", value.to_string());
     }
     for (name, hist) in &snapshot.histograms {
-        let name = prom_sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} histogram");
+        let (base, labels) = prom_name(name);
+        // A label block merges with the bucket's `le` label.
+        let with = |extra: &str| match &labels {
+            Some(l) if extra.is_empty() => format!("{{{l}}}"),
+            Some(l) => format!("{{{l},{extra}}}"),
+            None if extra.is_empty() => String::new(),
+            None => format!("{{{extra}}}"),
+        };
+        if base != last_family {
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            last_family = base.clone();
+        }
         let mut cumulative = 0u64;
         for (le, count) in &hist.buckets {
             cumulative += count;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {cumulative}",
+                with(&format!("le=\"{le}\""))
+            );
         }
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
-        let _ = writeln!(out, "{name}_sum {}", hist.sum);
-        let _ = writeln!(out, "{name}_count {}", hist.count);
+        let _ = writeln!(out, "{base}_bucket{} {}", with("le=\"+Inf\""), hist.count);
+        let _ = writeln!(out, "{base}_sum{} {}", with(""), hist.sum);
+        let _ = writeln!(out, "{base}_count{} {}", with(""), hist.count);
     }
     out
 }
@@ -568,6 +625,48 @@ mod tests {
         assert!(text.contains("fedoo_qp_op_rows_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("fedoo_qp_op_rows_sum 103"));
         assert!(text.contains("fedoo_qp_op_rows_count 2"));
+    }
+
+    #[test]
+    fn prometheus_preserves_tenant_label_blocks() {
+        use crate::metrics::labeled;
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add(&labeled("fedoo_serve_queries_total", "tenant", "t1"), 3);
+        reg.counter_add(&labeled("fedoo_serve_queries_total", "tenant", "t2"), 5);
+        reg.histogram_record(&labeled("fedoo_serve_latency_us", "tenant", "t1"), 64);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(
+            text.contains("fedoo_serve_queries_total{tenant=\"t1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fedoo_serve_queries_total{tenant=\"t2\"} 5"),
+            "{text}"
+        );
+        // One TYPE header per family, not per series.
+        assert_eq!(
+            text.matches("# TYPE fedoo_serve_queries_total counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        // The le label merges into the tenant block.
+        assert!(
+            text.contains("fedoo_serve_latency_us_bucket{tenant=\"t1\",le=\"64\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fedoo_serve_latency_us_sum{tenant=\"t1\"} 64"),
+            "{text}"
+        );
+        // A hostile label value cannot break the exposition grammar.
+        let spiky = labeled("fedoo_serve_queries_total", "tenant", "a\"b,c\nd");
+        assert_eq!(spiky, "fedoo_serve_queries_total{tenant=\"a_b_c_d\"}");
+        // A brace block that is not a label list is folded to underscores.
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add("weird{not labels}", 1);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("weird_not_labels_ 1"), "{text}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use clock::TimeSource;
-pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{labeled, split_labels, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use trace::{Event, Phase, Trace, TraceSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

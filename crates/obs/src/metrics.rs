@@ -74,6 +74,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// Build a labeled metric name: `name{label="value"}`. Labeled series are
+/// ordinary registry entries — the label block is part of the key, so
+/// per-tenant counters accumulate independently and render adjacently
+/// (BTreeMap order groups a family's series together). The value is
+/// sanitized to the exposition-safe charset (alphanumerics, `_`, `-`,
+/// `.`); anything else becomes `_`, so a hostile tenant id can't smuggle
+/// quotes, commas, or newlines into the exposition text.
+pub fn labeled(name: &str, label: &str, value: &str) -> String {
+    let clean: String = value
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{name}{{{label}=\"{clean}\"}}")
+}
+
+/// Split a metric name into its family base and the optional `{...}`
+/// label block produced by [`labeled`]. Names without a block return the
+/// whole name and `None`.
+pub fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) if rest.ends_with('}') => (base, Some(&rest[..rest.len() - 1])),
+        _ => (name, None),
+    }
+}
+
 /// The live registry. One instance lives behind the global sink lock.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {

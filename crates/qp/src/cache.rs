@@ -12,7 +12,11 @@
 //! entry instead of serving stale rows.
 
 use oo_model::Value;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::ops::AddAssign;
+use std::sync::Mutex;
 
 /// Cache effectiveness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -121,6 +125,82 @@ impl ResultCache {
     }
 }
 
+/// Default shard count for [`SharedResultCache`]: enough that concurrent
+/// readers on a handful of tenant threads rarely contend on the same
+/// mutex, small enough that the per-shard LRU bound stays meaningful.
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, o: Self) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.invalidations += o.invalidations;
+        self.evictions += o.evictions;
+    }
+}
+
+/// A sharded, mutex-per-shard [`ResultCache`] usable from `&self` by any
+/// number of concurrent readers. Keys are hashed to a shard, so two
+/// queries with different fingerprints almost never serialize on the
+/// same lock; the total capacity is split evenly across shards (each
+/// shard runs its own LRU clock).
+#[derive(Debug)]
+pub struct SharedResultCache {
+    shards: Vec<Mutex<ResultCache>>,
+}
+
+impl SharedResultCache {
+    /// A cache holding at most `capacity` answers across `shards` shards
+    /// (each shard gets the ceiling of the per-shard split, so the real
+    /// bound rounds up by at most `shards - 1`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        SharedResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<ResultCache> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// [`ResultCache::get`] on the key's shard.
+    pub fn get(&self, key: &str, versions: &[u64]) -> Option<(Vec<String>, Vec<Vec<Value>>)> {
+        self.shard(key).lock().unwrap().get(key, versions)
+    }
+
+    /// [`ResultCache::put`] on the key's shard.
+    pub fn put(&self, key: String, versions: Vec<u64>, vars: Vec<String>, rows: Vec<Vec<Value>>) {
+        self.shard(&key)
+            .lock()
+            .unwrap()
+            .put(key, versions, vars, rows)
+    }
+
+    /// Aggregate counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total += s.lock().unwrap().stats();
+        }
+        total
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +244,41 @@ mod tests {
         let mut c = ResultCache::new(0);
         c.put("a".into(), vec![0], vec![], row(1));
         assert!(c.get("a", &[0]).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_behaves_like_one_cache() {
+        let c = SharedResultCache::new(16, 4);
+        assert!(c.get("q1", &[1]).is_none());
+        c.put("q1".into(), vec![1], vec!["X".into()], row(7));
+        assert_eq!(c.get("q1", &[1]).unwrap().1, row(7));
+        // Version bump invalidates within the owning shard.
+        assert!(c.get("q1", &[2]).is_none());
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn sharded_cache_is_usable_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(SharedResultCache::new(64, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("q{t}-{i}");
+                        c.put(key.clone(), vec![0], vec!["X".into()], row(i));
+                        assert_eq!(c.get(&key, &[0]).unwrap().1, row(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.stats().hits >= 200 - 64, "each thread saw its own rows");
     }
 
     #[test]

@@ -166,8 +166,24 @@ pub fn assess(
             }
         }
     }
+    // Completeness is *query-scoped*: a query none of whose relations
+    // could have lost facts has a genuinely complete answer even while
+    // components are missing — serving layers must not report (or
+    // refuse to cache) it as partial. Literals with no statically known
+    // relation (class-variable patterns) stay conservative: they range
+    // over everything, including the affected relations.
     let mut affected: BTreeSet<String> = sets.affected;
     affected.extend(sets.unsafe_rels);
+    let touches_affected = body.iter().any(|lit| match lit {
+        Literal::Cmp { .. } | Literal::Neg(_) => false,
+        other => match other.relation() {
+            Some(rel) => affected.contains(rel),
+            None => !affected.is_empty(),
+        },
+    });
+    if !touches_affected {
+        return Ok(AnswerCompleteness::complete());
+    }
     Ok(AnswerCompleteness {
         missing_components: missing.iter().cloned().collect(),
         affected_classes: affected.into_iter().collect(),
@@ -238,12 +254,15 @@ mod tests {
         );
     }
 
+    /// Completeness is query-scoped: `course` lives wholly in S1, so
+    /// losing S2 cannot cost it rows and the answer is complete — no
+    /// missing-component annotation, no cache refusal downstream.
     #[test]
-    fn unaffected_query_still_reports_missing_components() {
+    fn unaffected_query_is_complete_despite_missing_components() {
         let missing: BTreeSet<String> = ["S2".to_string()].into();
         let c = assess(&global(), &[class_lit("X", "course")], &missing).unwrap();
-        assert!(!c.is_complete());
-        assert!(!c.affected_classes.contains(&"course".to_string()));
+        assert!(c.is_complete());
+        assert!(c.affected_classes.is_empty());
     }
 
     #[test]

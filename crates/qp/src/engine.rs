@@ -13,7 +13,7 @@
 //! differential suite enforces this), so `Saturate` is the oracle and
 //! `Planned` is the optimisation.
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CacheStats, SharedResultCache, DEFAULT_SHARDS};
 use crate::degrade::{self, AnswerCompleteness};
 use crate::exec;
 use crate::parser::{parse_query, GlobalQuery};
@@ -31,7 +31,8 @@ use federation::FederationDb;
 use fedoo_core::{PipelineStats, QpStats};
 use oo_model::{InstanceStore, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 /// One answered query.
@@ -186,7 +187,7 @@ impl AnalyzedAnswer {
 }
 
 /// JSON rendering of one value.
-fn value_json(v: &Value) -> String {
+pub fn value_json(v: &Value) -> String {
     match v {
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),
@@ -274,24 +275,40 @@ struct FetchedFederation {
 }
 
 /// A query processor bound to one built federation.
+///
+/// Every query entry point takes `&self`, and the engine is `Send +
+/// Sync` (pinned by a compile-time assertion in the tests): wrap it in
+/// an [`Arc`] and any number of threads can `ask` concurrently. Planned
+/// execution against an unchanged federation is lock-free apart from
+/// one sharded-cache lock and one `RwLock` read of the extent
+/// statistics; the reference saturate path serializes on its own state
+/// mutex (it mutates the shared [`FederationDb`]), as does an installed
+/// fault session.
 pub struct QueryEngine {
     global: GlobalSchema,
-    components: Vec<(Schema, InstanceStore)>,
+    /// The component snapshot this engine answers against. Arc'd so a
+    /// serving layer can share one immutable generation between the
+    /// engine and its own bookkeeping without cloning stores.
+    components: Arc<Vec<(Schema, InstanceStore)>>,
     meta: MetaRegistry,
-    cache: ResultCache,
+    cache: SharedResultCache,
     /// Reference evaluator state, keyed by the component versions it was
-    /// built against.
-    saturate_db: Option<(Vec<u64>, FederationDb)>,
+    /// built against. One mutex for the whole saturate path: the
+    /// reference evaluator mutates the fact base, so concurrent
+    /// `Saturate` asks serialize here by design.
+    saturate_db: Mutex<Option<(Vec<u64>, FederationDb)>>,
     /// Per-extent row counts for the planner's cardinality heuristic.
     /// Gathering is O(total federation objects), so it only reruns when
-    /// a store mutates.
-    extent_stats: Option<ExtentStats>,
+    /// a store mutates; reads share the lock.
+    extent_stats: RwLock<Option<ExtentStats>>,
     /// Work counters from the last full saturation, if one ran.
-    sat_eval: Option<EvalStats>,
+    sat_eval: Mutex<Option<EvalStats>>,
     /// Work counters from the last `ask`.
-    last_stats: Option<QpStats>,
-    /// Installed fault plan, if chaos/fault testing is active.
-    fault: Option<FaultSession>,
+    last_stats: Mutex<Option<QpStats>>,
+    /// Installed fault plan, if chaos/fault testing is active. Fetching
+    /// through the fault session serializes on this mutex (breaker and
+    /// transient-fault state is inherently shared).
+    fault: Mutex<Option<FaultSession>>,
     /// Per-goal relevance closures and demand feasibility, shared by
     /// every planner this engine builds. The global program is fixed for
     /// the engine's lifetime, so entries never invalidate.
@@ -304,7 +321,7 @@ pub struct QueryEngine {
     summary: OnceLock<Arc<ProgramSummary>>,
     /// Whether planners annotate demand-seeded derived scans (on by
     /// default; benches switch it off to isolate the closure-only path).
-    demand_enabled: bool,
+    demand_enabled: AtomicBool,
 }
 
 impl QueryEngine {
@@ -334,47 +351,89 @@ impl QueryEngine {
         components: Vec<(Schema, InstanceStore)>,
         meta: MetaRegistry,
     ) -> Self {
+        Self::from_parts_arc(global, Arc::new(components), meta)
+    }
+
+    /// [`Self::from_parts`] over an already-Arc'd component snapshot —
+    /// the serving layer's constructor: one immutable generation is
+    /// shared between the engine and the generation store without
+    /// cloning a single `InstanceStore`.
+    pub fn from_parts_arc(
+        global: GlobalSchema,
+        components: Arc<Vec<(Schema, InstanceStore)>>,
+        meta: MetaRegistry,
+    ) -> Self {
         QueryEngine {
             global,
             components,
             meta,
-            cache: ResultCache::new(CACHE_CAPACITY),
-            saturate_db: None,
-            extent_stats: None,
-            sat_eval: None,
-            last_stats: None,
-            fault: None,
+            cache: SharedResultCache::new(CACHE_CAPACITY, DEFAULT_SHARDS),
+            saturate_db: Mutex::new(None),
+            extent_stats: RwLock::new(None),
+            sat_eval: Mutex::new(None),
+            last_stats: Mutex::new(None),
+            fault: Mutex::new(None),
             closure_cache: Arc::new(Mutex::new(BTreeMap::new())),
             summary: OnceLock::new(),
-            demand_enabled: true,
+            demand_enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Replace the engine's goal-closure cache with a shared one. The
+    /// cache is purely program-derived, so a serving layer reuses one
+    /// instance across the per-generation engines it builds (the global
+    /// program never changes between generations).
+    pub fn set_shared_closure_cache(&mut self, cache: ClosureCache) {
+        self.closure_cache = cache;
+    }
+
+    /// Seed the engine's program summary from a shared one (same
+    /// reasoning as [`Self::set_shared_closure_cache`]). A no-op if this
+    /// engine already computed its own.
+    pub fn set_shared_summary(&mut self, summary: Arc<ProgramSummary>) {
+        let _ = self.summary.set(summary);
+    }
+
+    /// The engine's goal-closure cache, for sharing with sibling engines
+    /// over the same global program.
+    pub fn closure_cache(&self) -> ClosureCache {
+        Arc::clone(&self.closure_cache)
+    }
+
+    /// The engine's program summary (computing it on first call), for
+    /// sharing with sibling engines over the same global program.
+    pub fn summary(&self) -> Arc<ProgramSummary> {
+        Arc::clone(
+            self.summary
+                .get_or_init(|| Arc::new(program_summary(&self.global))),
+        )
     }
 
     /// Toggle demand (magic-sets) annotation of derived scans. With it
     /// off, planned execution still restricts to the relevance closure
     /// but saturates it fully — the pre-demand behaviour.
-    pub fn set_demand_enabled(&mut self, on: bool) {
-        self.demand_enabled = on;
+    pub fn set_demand_enabled(&self, on: bool) {
+        self.demand_enabled.store(on, Ordering::Relaxed);
     }
 
     /// Install a fault plan: every subsequent `ask` fetches component
     /// snapshots through fault-injecting, policy-guarded connectors.
     /// Components unavailable past policy degrade the answer (or refuse
     /// the query when a partial answer would be unsound).
-    pub fn apply_fault_plan(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault = Some(FaultSession::build(plan, policy, &self.components));
+    pub fn apply_fault_plan(&self, plan: FaultPlan, policy: RetryPolicy) {
+        *self.fault.lock().unwrap() = Some(FaultSession::build(plan, policy, &self.components));
     }
 
     /// Remove the installed fault plan; queries go back to direct
     /// component access.
-    pub fn clear_fault_plan(&mut self) {
-        self.fault = None;
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock().unwrap() = None;
     }
 
     /// Per-component circuit-breaker health for the installed fault
     /// session (empty without one).
     pub fn fault_health(&self) -> Vec<ComponentHealth> {
-        match &self.fault {
+        match &*self.fault.lock().unwrap() {
             Some(s) => s.connectors.iter().map(|c| c.health()).collect(),
             None => Vec::new(),
         }
@@ -383,7 +442,7 @@ impl QueryEngine {
     /// The fault session's virtual clock, if one is installed — lets
     /// tests advance time past breaker cooldowns deterministically.
     pub fn fault_clock(&self) -> Option<VirtualClock> {
-        self.fault.as_ref().map(|s| s.clock.clone())
+        self.fault.lock().unwrap().as_ref().map(|s| s.clock.clone())
     }
 
     pub fn global(&self) -> &GlobalSchema {
@@ -394,11 +453,21 @@ impl QueryEngine {
         &self.components
     }
 
+    /// The Arc'd component snapshot (generation sharing).
+    pub fn components_arc(&self) -> Arc<Vec<(Schema, InstanceStore)>> {
+        Arc::clone(&self.components)
+    }
+
     /// Mutable access to one component store. Mutations bump the store's
     /// version counter, which invalidates affected cache entries and the
-    /// reference evaluator state on the next query.
+    /// reference evaluator state on the next query. When the snapshot is
+    /// shared with other holders (a pinned generation), this
+    /// copy-on-writes the whole component vector — sharers keep the old
+    /// snapshot, exactly the generation semantics.
     pub fn component_store_mut(&mut self, idx: usize) -> Option<&mut InstanceStore> {
-        self.components.get_mut(idx).map(|(_, store)| store)
+        Arc::make_mut(&mut self.components)
+            .get_mut(idx)
+            .map(|(_, store)| store)
     }
 
     /// Current component store version vector (the cache key epoch).
@@ -411,7 +480,7 @@ impl QueryEngine {
     }
 
     pub fn last_stats(&self) -> Option<QpStats> {
-        self.last_stats
+        *self.last_stats.lock().unwrap()
     }
 
     /// Combined pipeline accounting: integration checks, reference
@@ -420,8 +489,8 @@ impl QueryEngine {
         PipelineStats {
             analysis: None,
             integration: self.global.total_stats,
-            evaluation: self.sat_eval,
-            query: self.last_stats,
+            evaluation: *self.sat_eval.lock().unwrap(),
+            query: *self.last_stats.lock().unwrap(),
         }
     }
 
@@ -433,30 +502,32 @@ impl QueryEngine {
     /// Validate and plan, without executing. Reuses the cached extent
     /// statistics when they match the current component versions.
     pub fn plan_for(&self, query: &GlobalQuery) -> Result<QueryPlan> {
-        let mut planner = match &self.extent_stats {
-            Some((v, stats)) if *v == self.versions() => {
-                Planner::with_extent_rows(&self.global, &self.components, stats.clone())
-            }
-            _ => Planner::new(&self.global, &self.components),
+        let stats = match &*self.extent_stats.read().unwrap() {
+            Some((v, stats)) if *v == self.versions() => Some(stats.clone()),
+            _ => None,
+        };
+        let mut planner = match stats {
+            Some(stats) => Planner::with_extent_rows(&self.global, &self.components, stats),
+            None => Planner::new(&self.global, &self.components),
         };
         planner.set_closure_cache(Arc::clone(&self.closure_cache));
         let summary = self
             .summary
             .get_or_init(|| Arc::new(program_summary(&self.global)));
         planner.set_summary(Arc::clone(summary));
-        planner.set_demand(self.demand_enabled);
+        planner.set_demand(self.demand_enabled.load(Ordering::Relaxed));
         planner.plan(query)
     }
 
     /// Ensure the extent statistics match the current store versions,
     /// returning the version vector (the cache-key epoch).
-    fn refresh_extent_stats(&mut self) -> Vec<u64> {
+    fn refresh_extent_stats(&self) -> Vec<u64> {
         let versions = self.versions();
-        if !matches!(&self.extent_stats, Some((v, _)) if *v == versions) {
-            self.extent_stats = Some((
-                versions.clone(),
-                Planner::collect_extent_rows(&self.components),
-            ));
+        let fresh = matches!(&*self.extent_stats.read().unwrap(),
+            Some((v, _)) if *v == versions);
+        if !fresh {
+            let stats = Planner::collect_extent_rows(&self.components);
+            *self.extent_stats.write().unwrap() = Some((versions.clone(), stats));
         }
         versions
     }
@@ -468,13 +539,13 @@ impl QueryEngine {
     }
 
     /// Parse and answer query text.
-    pub fn ask_text(&mut self, text: &str, strategy: QueryStrategy) -> Result<QueryAnswer> {
+    pub fn ask_text(&self, text: &str, strategy: QueryStrategy) -> Result<QueryAnswer> {
         let q = parse_query(text)?;
         self.ask(&q, strategy)
     }
 
     /// Answer a parsed query.
-    pub fn ask(&mut self, query: &GlobalQuery, strategy: QueryStrategy) -> Result<QueryAnswer> {
+    pub fn ask(&self, query: &GlobalQuery, strategy: QueryStrategy) -> Result<QueryAnswer> {
         self.ask_inner(query, strategy, true)
             .map(|(answer, ..)| answer)
     }
@@ -482,7 +553,7 @@ impl QueryEngine {
     /// Parse, answer, and profile query text — the `--explain-analyze`
     /// entry point. Bypasses the result cache so the profile reflects a
     /// real execution (the computed answer still populates the cache).
-    pub fn ask_analyze(&mut self, text: &str, strategy: QueryStrategy) -> Result<AnalyzedAnswer> {
+    pub fn ask_analyze(&self, text: &str, strategy: QueryStrategy) -> Result<AnalyzedAnswer> {
         let query = parse_query(text)?;
         let (answer, plan, profile) = self.ask_inner(&query, strategy, false)?;
         Ok(AnalyzedAnswer {
@@ -493,7 +564,7 @@ impl QueryEngine {
     }
 
     fn ask_inner(
-        &mut self,
+        &self,
         query: &GlobalQuery,
         strategy: QueryStrategy,
         use_cache: bool,
@@ -532,7 +603,7 @@ impl QueryEngine {
                     ..QpStats::new()
                 };
                 stats.publish();
-                self.last_stats = Some(stats);
+                *self.last_stats.lock().unwrap() = Some(stats);
                 let profile = exec::OpProfile::leaf("cache", rows.len() as u64, stats.micros);
                 let answer = QueryAnswer {
                     vars,
@@ -620,7 +691,7 @@ impl QueryEngine {
                 .put(key, versions, plan.vars.clone(), rows.clone());
         }
         stats.publish();
-        self.last_stats = Some(stats);
+        *self.last_stats.lock().unwrap() = Some(stats);
         let answer = QueryAnswer {
             vars: plan.vars.clone(),
             rows,
@@ -636,8 +707,9 @@ impl QueryEngine {
     /// any. Components that fail past policy are replaced by an empty
     /// extent at the same index and recorded as degraded; truncated
     /// snapshots keep their partial extent but are recorded too.
-    fn fetch_through_faults(&mut self) -> Option<FetchedFederation> {
-        let session = self.fault.as_mut()?;
+    fn fetch_through_faults(&self) -> Option<FetchedFederation> {
+        let mut guard = self.fault.lock().unwrap();
+        let session = guard.as_mut()?;
         session.ensure_fresh(&self.components);
         let mut out = FetchedFederation {
             components: Vec::with_capacity(self.components.len()),
@@ -670,17 +742,19 @@ impl QueryEngine {
 
     /// The reference path: full materialisation + saturation (reusing the
     /// state while component versions are unchanged), then a fact-base
-    /// query, normalised to sorted unique rows.
-    fn saturate_rows(&mut self, query: &GlobalQuery) -> Result<Vec<Vec<Value>>> {
+    /// query, normalised to sorted unique rows. Serializes concurrent
+    /// callers on the saturate-state mutex.
+    fn saturate_rows(&self, query: &GlobalQuery) -> Result<Vec<Vec<Value>>> {
         let versions = self.versions();
-        let fresh = !matches!(&self.saturate_db, Some((v, _)) if *v == versions);
+        let mut guard = self.saturate_db.lock().unwrap();
+        let fresh = !matches!(&*guard, Some((v, _)) if *v == versions);
         if fresh {
             let mut db = FederationDb::build(&self.global, &self.components, &self.meta)?;
             let eval = db.saturate()?;
-            self.sat_eval = Some(eval);
-            self.saturate_db = Some((versions, db));
+            *self.sat_eval.lock().unwrap() = Some(eval);
+            *guard = Some((versions, db));
         }
-        let (_, db) = self.saturate_db.as_mut().expect("just ensured");
+        let (_, db) = guard.as_mut().expect("just ensured");
         let substs = db.query(&query.body())?;
         Ok(normalize_rows(&substs, &query.vars()))
     }
@@ -823,7 +897,7 @@ mod tests {
     #[test]
     fn planned_equals_saturate_on_merged_class() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         let text = format!("?- <X: {g} | title: T>.");
         let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
@@ -838,7 +912,7 @@ mod tests {
         let _guard = obs::test_guard();
         obs::install(obs::TimeSource::monotonic());
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         let text = format!("?- <X: {g} | title: T>.");
         let answer = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
@@ -873,7 +947,7 @@ mod tests {
     #[test]
     fn explain_analyze_profiles_a_real_execution() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         let text = format!("?- <X: {g} | title: T>.");
         let analyzed = engine.ask_analyze(&text, QueryStrategy::Planned).unwrap();
@@ -898,7 +972,7 @@ mod tests {
     #[test]
     fn explain_analyze_fallback_profiles_single_node() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         // A higher-order class variable forces the fallback plan.
         let text = "?- <X: C>.";
         let analyzed = engine.ask_analyze(text, QueryStrategy::Planned).unwrap();
@@ -914,7 +988,7 @@ mod tests {
     #[test]
     fn pushdown_prunes_rows_and_shows_in_plan() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         let text = format!("?- <X: {g} | year: Y>, Y >= 1987.");
         let plan = engine.explain(&text).unwrap();
@@ -934,7 +1008,7 @@ mod tests {
     #[test]
     fn derived_class_goes_goal_directed() {
         let fsm = campus_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         // Find a rule-derived relation in the global program.
         let derived = engine
             .global()
@@ -964,7 +1038,7 @@ mod tests {
     #[test]
     fn demand_seeded_join_matches_saturate() {
         let fsm = campus_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let derived = engine
             .global()
             .rules
@@ -1001,7 +1075,7 @@ mod tests {
         );
         // With demand disabled the same query still answers identically
         // through full closure saturation.
-        let mut plain = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let plain = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         plain.set_demand_enabled(false);
         let no_demand_plan = plain.explain(&text).unwrap();
         assert!(
@@ -1032,7 +1106,7 @@ mod tests {
             .iter()
             .map(|c| (c.schema.clone(), c.store.clone()))
             .collect();
-        let mut engine = QueryEngine::from_parts(global, components, fsm.meta.clone());
+        let engine = QueryEngine::from_parts(global, components, fsm.meta.clone());
         let text = "?- <X: phantom>.";
         let plan = engine.explain(text).unwrap();
         let rendered = plan.render_human();
@@ -1057,7 +1131,7 @@ mod tests {
     #[test]
     fn derived_scan_estimate_tightened_by_type_signature() {
         let fsm = campus_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let derived = engine
             .global()
             .rules
@@ -1119,7 +1193,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_queries() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         // Unknown attribute on a known class.
         let err = engine
@@ -1136,7 +1210,7 @@ mod tests {
     #[test]
     fn higher_order_patterns_fall_back_to_saturation() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let text = "?- <X: C>.";
         let plan = engine.explain(text).unwrap();
         assert!(
@@ -1156,7 +1230,7 @@ mod tests {
     #[test]
     fn fallback_cache_distinguishes_query_bodies() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         // A class variable pushes both queries into the FullSaturate
         // fallback with the same reason and the same vars [X, C, A].
@@ -1208,7 +1282,7 @@ mod tests {
     #[test]
     fn answer_renderings_are_deterministic() {
         let fsm = library_fsm();
-        let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+        let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
         let g = merged_class(&engine);
         let text = format!("?- <X: {g} | title: T>.");
         let a = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
@@ -1219,5 +1293,47 @@ mod tests {
         assert!(json.starts_with("{\"vars\":[\"X\",\"T\"],\"rows\":[["));
         assert!(json.ends_with("\"strategy\":\"planned\",\"from_cache\":false}"));
         assert_eq!(json.matches("\"Logic\"").count(), 1);
+    }
+
+    /// Compile-time pin: the serving layer hands `Arc<QueryEngine>` to
+    /// worker threads, so losing either bound is an API break even if no
+    /// test happens to exercise it.
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+        assert_send_sync::<std::sync::Arc<QueryEngine>>();
+    }
+
+    #[test]
+    fn concurrent_asks_through_arc_agree_with_single_caller() {
+        let fsm = library_fsm();
+        let engine = std::sync::Arc::new(
+            QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap(),
+        );
+        let g = merged_class(&engine);
+        let text = format!("?- <X: {g} | title: T>.");
+        let expect = engine.ask_text(&text, QueryStrategy::Planned).unwrap().rows;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let text = text.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let planned = engine.ask_text(&text, QueryStrategy::Planned).unwrap();
+                        let saturate = engine.ask_text(&text, QueryStrategy::Saturate).unwrap();
+                        assert_eq!(planned.rows, saturate.rows);
+                        assert_eq!(planned.rows.len(), 3);
+                    }
+                    engine.ask_text(&text, QueryStrategy::Planned).unwrap().rows
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+        // The shared cache absorbed most of the repeats without tearing.
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "{stats:?}");
     }
 }

@@ -40,10 +40,10 @@ pub mod planner;
 pub use analyze::render_analyzed;
 pub use cache::{CacheStats, ResultCache};
 pub use degrade::AnswerCompleteness;
-pub use engine::{normalize_rows, AnalyzedAnswer, QueryAnswer, QueryEngine};
+pub use engine::{normalize_rows, value_json, AnalyzedAnswer, QueryAnswer, QueryEngine};
 pub use exec::{execute, execute_degraded, ExecOutcome, OpProfile};
 pub use parser::{parse_query, GlobalQuery, ParseError, SpannedLiteral};
-pub use plan::{PlanNode, QueryPlan, QueryStrategy, ScanKind, ScanNode, ScanTarget};
+pub use plan::{json_string, PlanNode, QueryPlan, QueryStrategy, ScanKind, ScanNode, ScanTarget};
 pub use planner::Planner;
 
 use std::fmt;

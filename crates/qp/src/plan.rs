@@ -512,7 +512,7 @@ fn node_json(node: &PlanNode, stats: bool, out: &mut String) {
 }
 
 /// JSON string escaping (same rules as `analysis::diag`).
-pub(crate) fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

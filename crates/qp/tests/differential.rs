@@ -193,7 +193,7 @@ proptest! {
 #[test]
 fn empty_extents_answer_empty_everywhere() {
     let fsm = build_fsm(&[], &[], &[], &[]);
-    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     for q in [
         "?- <X: person | age: A>.",
         "?- <X: course_staff>.",
@@ -210,7 +210,7 @@ fn empty_extents_answer_empty_everywhere() {
 fn cross_component_join_matches_by_shared_key() {
     // person k1 and course k1 share a key; person k2 has no course.
     let fsm = build_fsm(&[(1, 30), (2, 40)], &[], &[(1, 10)], &[]);
-    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     let q = "?- <X: person | ssn: S>, <Y: course | code: S, credits: K>.";
     let planned = engine.ask_text(q, QueryStrategy::Planned).unwrap();
     assert_eq!(planned.rows.len(), 1);
@@ -224,7 +224,7 @@ fn cross_component_join_matches_by_shared_key() {
 fn derived_intersection_contains_exactly_the_paired_objects() {
     // course k1 pairs with staff k1; course k5 has no staff partner.
     let fsm = build_fsm(&[], &[], &[(1, 10), (5, 20)], &[(1, 900)]);
-    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     let planned = engine
         .ask_text("?- <X: course_staff>.", QueryStrategy::Planned)
         .unwrap();
@@ -254,7 +254,7 @@ fn demand_seeding_fires_and_agrees_on_derived_join() {
         &[(1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (0, 60)],
         &[(1, 900), (3, 901)],
     );
-    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     let q = "?- <X: course | credits: K>, K > 15, <X: course_staff>.";
     let analyzed = engine.ask_analyze(q, QueryStrategy::Planned).unwrap();
     assert!(
@@ -275,7 +275,7 @@ fn demand_seeding_fires_and_agrees_on_derived_join() {
 #[test]
 fn fallback_queries_agree_with_reference() {
     let fsm = build_fsm(&[(1, 30)], &[(2, 70)], &[(3, 10)], &[]);
-    let mut engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
+    let engine = QueryEngine::connect(&fsm, IntegrationStrategy::Accumulation).unwrap();
     // A class variable is outside the planner's fragment: both strategies
     // must still agree (the planned path falls back to full saturation).
     let planned = engine

@@ -122,12 +122,12 @@ fn merged_book_query(engine: &QueryEngine) -> String {
 #[test]
 fn component_error_degrades_to_partial_answer() {
     let fsm = library_fsm();
-    let mut baseline = engine(&fsm);
+    let baseline = engine(&fsm);
     let text = merged_book_query(&baseline);
     let full = baseline.ask_text(&text, QueryStrategy::Planned).unwrap();
     assert_eq!(full.rows.len(), 3);
 
-    let mut faulted = engine(&fsm);
+    let faulted = engine(&fsm);
     faulted.apply_fault_plan(
         FaultPlan::none().with("S2", FaultKind::Error),
         RetryPolicy::default(),
@@ -158,7 +158,7 @@ fn component_error_degrades_to_partial_answer() {
 #[test]
 fn degraded_answers_are_not_cached_as_complete() {
     let fsm = library_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     let text = merged_book_query(&eng);
     eng.apply_fault_plan(
         FaultPlan::none().with("S2", FaultKind::Error),
@@ -184,7 +184,7 @@ fn degraded_answers_are_not_cached_as_complete() {
 #[test]
 fn transient_fault_recovers_within_policy_and_stays_complete() {
     let fsm = library_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     let text = merged_book_query(&eng);
     eng.apply_fault_plan(
         FaultPlan::none().with("S2", FaultKind::Transient(2)),
@@ -203,8 +203,8 @@ fn transient_fault_recovers_within_policy_and_stays_complete() {
 #[test]
 fn saturate_strategy_degrades_identically() {
     let fsm = library_fsm();
-    let mut planned = engine(&fsm);
-    let mut saturate = engine(&fsm);
+    let planned = engine(&fsm);
+    let saturate = engine(&fsm);
     let text = merged_book_query(&planned);
     let plan = FaultPlan::none().with("S2", FaultKind::Error);
     planned.apply_fault_plan(plan.clone(), RetryPolicy::default());
@@ -221,7 +221,7 @@ fn saturate_strategy_degrades_identically() {
 #[test]
 fn truncated_extent_counts_as_degraded() {
     let fsm = library_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     let text = merged_book_query(&eng);
     eng.apply_fault_plan(
         FaultPlan::none().with("S1", FaultKind::Truncate(1)),
@@ -237,7 +237,7 @@ fn truncated_extent_counts_as_degraded() {
 #[test]
 fn negation_over_affected_relation_is_refused() {
     let fsm = campus_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     // The intersection's derived relation (single-head rule head).
     let derived = eng
         .global()
@@ -289,7 +289,7 @@ fn negation_over_affected_relation_is_refused() {
 #[test]
 fn breaker_trips_are_counted_and_surfaced() {
     let fsm = library_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     let text = merged_book_query(&eng);
     let policy = RetryPolicy {
         breaker_threshold: 2,
@@ -320,7 +320,7 @@ fn breaker_trips_are_counted_and_surfaced() {
 #[test]
 fn reused_engine_resets_fault_counters_between_queries() {
     let fsm = library_fsm();
-    let mut eng = engine(&fsm);
+    let eng = engine(&fsm);
     let g = eng.global().global_class("S1", "book").unwrap().to_string();
     let first = format!("?- <X: {g} | title: T>.");
     let second = format!("?- <X: {g} | title: T, year: Y>, Y >= 1987.");

@@ -1,0 +1,114 @@
+//! # fedoo-serve — multi-tenant snapshot-isolated query serving
+//!
+//! The serving layer over the federation pipeline (DESIGN.md §13): an
+//! integrated schema is a long-lived shared service, so this crate turns
+//! the single-caller `QueryEngine` into a multi-tenant [`Server`]:
+//!
+//! * **Generations** ([`federation::GenerationStore`]) — component state
+//!   is an Arc'd immutable snapshot; readers pin generation N while
+//!   writers install N+1, so reads are lock-free and snapshot-isolated.
+//! * **Protocol** ([`protocol`]) — a line/JSONL request-response grammar
+//!   (`query`, `explain`, `mutate`, `stats`, `health`, admission drills,
+//!   `shutdown`) with machine-readable error codes; no network deps.
+//! * **Admission control** ([`admission`]) — bounded in-flight per
+//!   tenant, a bounded global wait queue, and load shedding past both
+//!   (protocol code `"shed"`, exit code 3 under `--fail-on-shed`).
+//! * **Tenant accounting** ([`tenant`]) — per-tenant totals plus
+//!   tenant-labeled obs series (`fedoo_serve_*_total{tenant="…"}`).
+//! * **Sessions** ([`session`]) — one loop drives stdin/stdout in the
+//!   binary and the in-process [`session::Loopback`] harness in tests
+//!   and the traffic bench.
+
+pub mod admission;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod tenant;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
+pub use protocol::{parse_request, ErrorCode, Request, DEFAULT_TENANT};
+pub use server::{Handled, ServeConfig, Server};
+pub use session::{run_session, Loopback, SessionOpts, SessionSummary};
+pub use tenant::{TenantRegistry, TenantTotals};
+
+/// The server is handed to worker threads as `Arc<Server>`; losing
+/// either bound is a compile error here before it is a runtime surprise
+/// anywhere else.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+};
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use crate::server::{ServeConfig, Server};
+    use assertions::{AttrCorr, AttrOp, ClassAssertion, ClassOp, SPath};
+    use federation::{Agent, Fsm, IntegrationStrategy};
+    use oo_model::{AttrType, InstanceStore, SchemaBuilder};
+
+    /// The two-component library federation every golden fixture uses:
+    /// `S1.book ≡ S2.publication` with title/year correspondences, three
+    /// distinct titles across the union.
+    pub fn library_fsm() -> Fsm {
+        let s1 = SchemaBuilder::new("S1")
+            .class("book", |c| {
+                c.attr("title", AttrType::Str).attr("year", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st1 = InstanceStore::new();
+        st1.create(&s1, "book", |o| {
+            o.with_attr("title", "Logic").with_attr("year", 1979i64)
+        })
+        .unwrap();
+        st1.create(&s1, "book", |o| {
+            o.with_attr("title", "Sets").with_attr("year", 1985i64)
+        })
+        .unwrap();
+        let s2 = SchemaBuilder::new("S2")
+            .class("publication", |c| {
+                c.attr("ptitle", AttrType::Str).attr("pyear", AttrType::Int)
+            })
+            .build()
+            .unwrap();
+        let mut st2 = InstanceStore::new();
+        st2.create(&s2, "publication", |o| {
+            o.with_attr("ptitle", "Models").with_attr("pyear", 1990i64)
+        })
+        .unwrap();
+        let mut fsm = Fsm::new();
+        fsm.register(Agent::object_oriented("a1", s1, st1), "S1")
+            .unwrap();
+        fsm.register(Agent::object_oriented("a2", s2, st2), "S2")
+            .unwrap();
+        fsm.add_assertion(
+            ClassAssertion::simple("S1", "book", ClassOp::Equiv, "S2", "publication")
+                .attr_corr(AttrCorr::new(
+                    SPath::attr("S1", "book", "title"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "publication", "ptitle"),
+                ))
+                .attr_corr(AttrCorr::new(
+                    SPath::attr("S1", "book", "year"),
+                    AttrOp::Equiv,
+                    SPath::attr("S2", "publication", "pyear"),
+                )),
+        );
+        fsm
+    }
+
+    pub fn library_server(cfg: ServeConfig) -> Server {
+        Server::connect(&library_fsm(), IntegrationStrategy::Accumulation, cfg).unwrap()
+    }
+
+    /// The merged global class name for `S1.book` (integration decides
+    /// the spelling, so fixtures ask rather than hard-code).
+    pub fn merged_class(server: &Server) -> String {
+        let (_, engine) = server.pinned_engine();
+        engine
+            .global()
+            .global_class("S1", "book")
+            .unwrap()
+            .to_string()
+    }
+}

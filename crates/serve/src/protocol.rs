@@ -1,0 +1,266 @@
+//! The JSONL serving protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests (all fields beyond `op` optional unless noted):
+//!
+//! ```text
+//! {"op":"query","tenant":"t1","q":"?- <X: book' | title: T>.","strategy":"planned"}
+//! {"op":"explain","tenant":"t1","q":"..."}
+//! {"op":"mutate","tenant":"t1","component":0,"class":"book","set":{"title":"T","year":1999}}
+//! {"op":"stats"}            // or {"op":"stats","tenant":"t1"}
+//! {"op":"health"}
+//! {"op":"ping"}
+//! {"op":"hold","tenant":"t1","slots":2}   // admission drill: occupy slots
+//! {"op":"release","tenant":"t1"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; failures add `"code"` (one of
+//! [`ErrorCode`]) and `"error"`. Successful query responses carry the
+//! pinned `"generation"`, so a client can observe snapshot isolation
+//! directly. Requests missing a tenant run as tenant `"default"`.
+
+use obs::export::{parse_json, Json};
+use oo_model::Value;
+use qp::QueryStrategy;
+
+/// Tenant assumed when a request doesn't name one.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Query {
+        tenant: String,
+        text: String,
+        strategy: QueryStrategy,
+    },
+    Explain {
+        tenant: String,
+        text: String,
+    },
+    Mutate {
+        tenant: String,
+        component: usize,
+        class: String,
+        /// Attribute name → value, in request order.
+        set: Vec<(String, Value)>,
+    },
+    Stats {
+        tenant: Option<String>,
+    },
+    Health,
+    Ping,
+    Hold {
+        tenant: String,
+        slots: usize,
+    },
+    Release {
+        tenant: String,
+    },
+    Shutdown,
+}
+
+impl Request {
+    /// The tenant a request runs as, if the operation is tenant-scoped.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::Query { tenant, .. }
+            | Request::Explain { tenant, .. }
+            | Request::Mutate { tenant, .. }
+            | Request::Hold { tenant, .. }
+            | Request::Release { tenant } => Some(tenant),
+            Request::Stats { tenant } => tenant.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+/// Machine-readable failure classes. `Shed` is load shedding — the
+/// request was valid but admission refused it; clients retry later,
+/// and `fedoo serve --fail-on-shed` turns any shed into exit code 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid protocol object.
+    Parse,
+    /// The query was rejected by static analysis.
+    Rejected,
+    /// Admission control refused the request (queue full).
+    Shed,
+    /// Components unavailable past policy; not even a partial answer.
+    Unavailable,
+    /// Anything else (an internal invariant, a bad component index, …).
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::Shed => "shed",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Render an error response line (no trailing newline).
+pub fn error_response(op: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut out = String::from("{\"ok\":false");
+    if let Some(op) = op {
+        out.push_str(&format!(",\"op\":{}", qp::json_string(op)));
+    }
+    out.push_str(&format!(
+        ",\"code\":{},\"error\":{}}}",
+        qp::json_string(code.as_str()),
+        qp::json_string(message)
+    ));
+    out
+}
+
+fn json_value(v: &Json) -> Result<Value, String> {
+    Ok(match v {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => Value::Int(*n as i64),
+        Json::Num(n) => Value::Real(*n),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Arr(_) | Json::Obj(_) => {
+            return Err("mutate values must be scalars".to_string());
+        }
+    })
+}
+
+fn str_field(obj: &Json, key: &str) -> Option<String> {
+    obj.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+/// Parse one request line. `Err` carries a human-readable reason; the
+/// caller wraps it in an [`ErrorCode::Parse`] response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse_json(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\" field")?
+        .to_string();
+    let tenant = str_field(&doc, "tenant").unwrap_or_else(|| DEFAULT_TENANT.to_string());
+    match op.as_str() {
+        "query" => {
+            let text = str_field(&doc, "q").ok_or("query needs a \"q\" field")?;
+            let strategy = match str_field(&doc, "strategy").as_deref() {
+                None | Some("planned") => QueryStrategy::Planned,
+                Some("saturate") => QueryStrategy::Saturate,
+                Some(other) => return Err(format!("unknown strategy `{other}`")),
+            };
+            Ok(Request::Query {
+                tenant,
+                text,
+                strategy,
+            })
+        }
+        "explain" => {
+            let text = str_field(&doc, "q").ok_or("explain needs a \"q\" field")?;
+            Ok(Request::Explain { tenant, text })
+        }
+        "mutate" => {
+            let component =
+                doc.get("component")
+                    .and_then(Json::as_u64)
+                    .ok_or("mutate needs a numeric \"component\" index")? as usize;
+            let class = str_field(&doc, "class").ok_or("mutate needs a \"class\" field")?;
+            let set = match doc.get("set") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), json_value(v)?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                Some(_) => return Err("\"set\" must be an object".to_string()),
+                None => Vec::new(),
+            };
+            Ok(Request::Mutate {
+                tenant,
+                component,
+                class,
+                set,
+            })
+        }
+        "stats" => Ok(Request::Stats {
+            tenant: str_field(&doc, "tenant"),
+        }),
+        "health" => Ok(Request::Health),
+        "ping" => Ok(Request::Ping),
+        "hold" => {
+            let slots = doc.get("slots").and_then(Json::as_u64).unwrap_or(1) as usize;
+            Ok(Request::Hold { tenant, slots })
+        }
+        "release" => Ok(Request::Release { tenant }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        let q = parse_request(r#"{"op":"query","tenant":"t1","q":"?- <X: c | a: V>."}"#).unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                tenant: "t1".into(),
+                text: "?- <X: c | a: V>.".into(),
+                strategy: QueryStrategy::Planned,
+            }
+        );
+        let m = parse_request(
+            r#"{"op":"mutate","component":1,"class":"book","set":{"title":"T","year":1999}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            m,
+            Request::Mutate {
+                tenant: DEFAULT_TENANT.into(),
+                component: 1,
+                class: "book".into(),
+                set: vec![
+                    ("title".into(), Value::Str("T".into())),
+                    ("year".into(), Value::Int(1999)),
+                ],
+            }
+        );
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"hold","tenant":"t2","slots":3}"#).unwrap(),
+            Request::Hold {
+                tenant: "t2".into(),
+                slots: 3
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { tenant: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"tenant":"t"}"#).is_err());
+        assert!(parse_request(r#"{"op":"query"}"#).is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"op":"mutate","class":"c"}"#).is_err());
+        assert!(parse_request(r#"{"op":"query","q":"x","strategy":"magic"}"#).is_err());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = error_response(Some("query"), ErrorCode::Shed, "queue full for t1");
+        assert_eq!(
+            r,
+            r#"{"ok":false,"op":"query","code":"shed","error":"queue full for t1"}"#
+        );
+    }
+}

@@ -1,0 +1,586 @@
+//! The multi-tenant query server: generations + engines + admission.
+//!
+//! A [`Server`] owns the federation's [`GenerationStore`] and builds one
+//! `Arc<QueryEngine>` per generation on demand. Readers pin the current
+//! generation and run against its engine — lock-free with respect to
+//! writers, which clone-and-install the next generation through
+//! [`GenerationStore::mutate`]. The last few generations' engines stay
+//! cached so readers that pinned just before an install still hit a
+//! warm engine; the generation-invariant [`ClosureCache`] and
+//! `ProgramSummary` are shared across every engine the server builds,
+//! so an install never re-derives program analysis.
+//!
+//! All request handling goes through [`Server::handle`] (or
+//! [`Server::handle_line`] for raw JSONL), which is `&self` — the
+//! serving loop and the bench driver call it from many threads on one
+//! `Arc<Server>`.
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::protocol::{error_response, parse_request, ErrorCode, Request};
+use crate::tenant::{TenantRegistry, TenantTotals};
+use federation::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
+use federation::mapping::MetaRegistry;
+use federation::{FaultPlan, Generation, GenerationStore, RetryPolicy};
+use oo_model::{InstanceStore, Schema};
+use qp::planner::ClosureCache;
+use qp::{json_string, value_json, QpError, QueryAnswer, QueryEngine};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    pub admission: AdmissionConfig,
+    /// Generations whose engines stay cached (≥ 1). Readers pinned to an
+    /// evicted generation transparently rebuild its engine.
+    pub engine_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            admission: AdmissionConfig::default(),
+            engine_cache: 2,
+        }
+    }
+}
+
+/// One handled request: the response line plus what the session loop
+/// needs to know about it.
+#[derive(Debug, Clone)]
+pub struct Handled {
+    pub response: String,
+    pub shed: bool,
+    pub shutdown: bool,
+}
+
+impl Handled {
+    fn reply(response: String) -> Self {
+        Handled {
+            response,
+            shed: false,
+            shutdown: false,
+        }
+    }
+}
+
+pub struct Server {
+    global: GlobalSchema,
+    meta: MetaRegistry,
+    gens: GenerationStore,
+    /// `(generation number, engine)`, most recent last.
+    engines: Mutex<Vec<(u64, Arc<QueryEngine>)>>,
+    closure_cache: ClosureCache,
+    summary: OnceLock<Arc<analysis::ProgramSummary>>,
+    fault: Mutex<Option<(FaultPlan, RetryPolicy)>>,
+    admission: AdmissionController,
+    tenants: TenantRegistry,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Build a server over explicit federation parts (the CLI path).
+    pub fn new(
+        global: GlobalSchema,
+        components: Vec<(Schema, InstanceStore)>,
+        meta: MetaRegistry,
+        cfg: ServeConfig,
+    ) -> Self {
+        Server {
+            global,
+            meta,
+            gens: GenerationStore::new(components),
+            engines: Mutex::new(Vec::new()),
+            closure_cache: Arc::new(Mutex::new(BTreeMap::new())),
+            summary: OnceLock::new(),
+            fault: Mutex::new(None),
+            admission: AdmissionController::new(cfg.admission),
+            tenants: TenantRegistry::new(),
+            cfg,
+        }
+    }
+
+    /// Integrate an FSM's components and serve the result — the
+    /// serving-layer analogue of `QueryEngine::connect`.
+    pub fn connect(fsm: &Fsm, strategy: IntegrationStrategy, cfg: ServeConfig) -> qp::Result<Self> {
+        let global = fsm.integrate(strategy)?;
+        let components: Vec<(Schema, InstanceStore)> = fsm
+            .components()
+            .iter()
+            .map(|c| (c.schema.clone(), c.store.clone()))
+            .collect();
+        Ok(Server::new(global, components, fsm.meta.clone(), cfg))
+    }
+
+    /// Install a fault plan on every engine — cached ones immediately,
+    /// future generations' as they are built.
+    pub fn set_fault_plan(&self, plan: FaultPlan, policy: RetryPolicy) {
+        for (_, engine) in self.engines.lock().unwrap().iter() {
+            engine.apply_fault_plan(plan.clone(), policy);
+        }
+        *self.fault.lock().unwrap() = Some((plan, policy));
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// The current generation number (mutations advance it).
+    pub fn generation(&self) -> u64 {
+        self.gens.current_number()
+    }
+
+    /// Pin the current generation and return its engine. The pair stays
+    /// coherent even if a writer installs meanwhile — the engine answers
+    /// for exactly the pinned snapshot.
+    pub fn pinned_engine(&self) -> (Arc<Generation>, Arc<QueryEngine>) {
+        let gen = self.gens.pin();
+        let engine = self.engine_for(&gen);
+        (gen, engine)
+    }
+
+    fn engine_for(&self, gen: &Generation) -> Arc<QueryEngine> {
+        let mut engines = self.engines.lock().unwrap();
+        if let Some((_, e)) = engines.iter().find(|(n, _)| *n == gen.number()) {
+            return Arc::clone(e);
+        }
+        let mut engine =
+            QueryEngine::from_parts_arc(self.global.clone(), gen.components(), self.meta.clone());
+        engine.set_shared_closure_cache(Arc::clone(&self.closure_cache));
+        if let Some(s) = self.summary.get() {
+            engine.set_shared_summary(Arc::clone(s));
+        }
+        if let Some((plan, policy)) = self.fault.lock().unwrap().as_ref() {
+            engine.apply_fault_plan(plan.clone(), *policy);
+        }
+        let engine = Arc::new(engine);
+        // First build donates its summary; later builds received it above.
+        let _ = self.summary.set(engine.summary());
+        engines.push((gen.number(), Arc::clone(&engine)));
+        let cap = self.cfg.engine_cache.max(1);
+        while engines.len() > cap {
+            engines.remove(0);
+        }
+        engine
+    }
+
+    /// Handle one raw JSONL line.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        match parse_request(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => Handled::reply(error_response(None, ErrorCode::Parse, &e)),
+        }
+    }
+
+    /// Handle one parsed request.
+    pub fn handle(&self, req: Request) -> Handled {
+        match req {
+            Request::Query {
+                tenant,
+                text,
+                strategy,
+            } => self.handle_query(&tenant, &text, strategy),
+            Request::Explain { tenant, text } => self.handle_explain(&tenant, &text),
+            Request::Mutate {
+                tenant,
+                component,
+                class,
+                set,
+            } => self.handle_mutate(&tenant, component, &class, set),
+            Request::Stats { tenant } => Handled::reply(self.render_stats(tenant.as_deref())),
+            Request::Health => Handled::reply(self.render_health()),
+            Request::Ping => Handled::reply(format!(
+                "{{\"ok\":true,\"op\":\"ping\",\"generation\":{}}}",
+                self.generation()
+            )),
+            Request::Hold { tenant, slots } => {
+                let held = self.admission.hold(&tenant, slots);
+                Handled::reply(format!(
+                    "{{\"ok\":true,\"op\":\"hold\",\"tenant\":{},\"held\":{held}}}",
+                    json_string(&tenant)
+                ))
+            }
+            Request::Release { tenant } => {
+                let released = self.admission.release(&tenant);
+                Handled::reply(format!(
+                    "{{\"ok\":true,\"op\":\"release\",\"tenant\":{},\"released\":{released}}}",
+                    json_string(&tenant)
+                ))
+            }
+            Request::Shutdown => Handled {
+                response: "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+                shed: false,
+                shutdown: true,
+            },
+        }
+    }
+
+    fn handle_query(&self, tenant: &str, text: &str, strategy: qp::QueryStrategy) -> Handled {
+        let Some(_slot) = self.admission.admit(tenant) else {
+            self.tenants.record_shed(tenant);
+            return Handled {
+                response: error_response(
+                    Some("query"),
+                    ErrorCode::Shed,
+                    &format!("tenant `{tenant}` is at its in-flight bound and the queue is full"),
+                ),
+                shed: true,
+                shutdown: false,
+            };
+        };
+        let (gen, engine) = self.pinned_engine();
+        match engine.ask_text(text, strategy) {
+            Ok(answer) => {
+                self.tenants.record_query(
+                    tenant,
+                    &answer.stats,
+                    answer.rows.len() as u64,
+                    !answer.completeness.is_complete(),
+                );
+                Handled::reply(render_answer(&answer, gen.number()))
+            }
+            Err(e) => {
+                self.tenants.record_error(tenant);
+                let (code, msg) = classify(&e);
+                Handled::reply(error_response(Some("query"), code, &msg))
+            }
+        }
+    }
+
+    fn handle_explain(&self, tenant: &str, text: &str) -> Handled {
+        let (gen, engine) = self.pinned_engine();
+        match engine.explain(text) {
+            Ok(plan) => Handled::reply(format!(
+                "{{\"ok\":true,\"op\":\"explain\",\"generation\":{},\"plan\":{}}}",
+                gen.number(),
+                plan.render_json()
+            )),
+            Err(e) => {
+                self.tenants.record_error(tenant);
+                let (code, msg) = classify(&e);
+                Handled::reply(error_response(Some("explain"), code, &msg))
+            }
+        }
+    }
+
+    fn handle_mutate(
+        &self,
+        tenant: &str,
+        component: usize,
+        class: &str,
+        set: Vec<(String, oo_model::Value)>,
+    ) -> Handled {
+        let result = self
+            .gens
+            .mutate(|components| match components.get_mut(component) {
+                None => Err(format!(
+                    "component index {component} out of range (federation has {})",
+                    components.len()
+                )),
+                Some((schema, store)) => store
+                    .create(schema, class, |mut o| {
+                        for (k, v) in &set {
+                            o = o.with_attr(k.clone(), v.clone());
+                        }
+                        o
+                    })
+                    .map_err(|e| e.to_string()),
+            });
+        match result {
+            (Ok(oid), generation) => {
+                self.tenants.record_mutation(tenant);
+                if obs::enabled() {
+                    obs::gauge_set("fedoo_serve_generation", generation as i64);
+                }
+                Handled::reply(format!(
+                    "{{\"ok\":true,\"op\":\"mutate\",\"generation\":{generation},\"oid\":{}}}",
+                    json_string(&oid.to_string())
+                ))
+            }
+            (Err(msg), _) => {
+                self.tenants.record_error(tenant);
+                Handled::reply(error_response(Some("mutate"), ErrorCode::Internal, &msg))
+            }
+        }
+    }
+
+    fn render_stats(&self, tenant: Option<&str>) -> String {
+        let adm = self.admission.snapshot();
+        let totals: BTreeMap<String, TenantTotals> = match tenant {
+            Some(t) => [(t.to_string(), self.tenants.tenant(t))].into(),
+            None => self.tenants.snapshot(),
+        };
+        let mut out = format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"generation\":{},\"admission\":{{\"admitted\":{},\"sheds\":{},\"queued\":{}}},\"tenants\":{{",
+            self.generation(),
+            adm.admitted,
+            adm.sheds,
+            adm.queued,
+        );
+        for (i, (name, t)) in totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"queries\":{},\"rows\":{},\"cache_hits\":{},\"degraded\":{},\"shed\":{},\"errors\":{},\"mutations\":{},\"micros\":{}}}",
+                json_string(name),
+                t.queries,
+                t.rows,
+                t.cache_hits,
+                t.degraded,
+                t.shed,
+                t.errors,
+                t.mutations,
+                t.micros,
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    fn render_health(&self) -> String {
+        let (gen, engine) = self.pinned_engine();
+        let mut out = format!(
+            "{{\"ok\":true,\"op\":\"health\",\"generation\":{},\"components\":[",
+            gen.number()
+        );
+        let health = engine.fault_health();
+        if health.is_empty() {
+            // No fault session: every component is trivially healthy.
+            for (i, (schema, _)) in gen.components().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"component\":{},\"state\":\"closed\"}}",
+                    json_string(&schema.name.0)
+                ));
+            }
+        } else {
+            for (i, h) in health.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"component\":{},\"state\":{},\"trips\":{},\"retries\":{}}}",
+                    json_string(&h.component),
+                    json_string(&h.state.to_string()),
+                    h.trips,
+                    h.retries,
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn classify(e: &QpError) -> (ErrorCode, String) {
+    match e {
+        QpError::Parse(p) => (ErrorCode::Parse, p.to_string()),
+        QpError::Rejected(r) => (ErrorCode::Rejected, r.to_string()),
+        QpError::Unavailable(m) => (ErrorCode::Unavailable, m.to_string()),
+        QpError::Plan(m) => (ErrorCode::Internal, m.to_string()),
+        QpError::Fed(f) => (ErrorCode::Internal, f.to_string()),
+    }
+}
+
+fn render_answer(answer: &QueryAnswer, generation: u64) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"op\":\"query\",\"generation\":{generation},\"vars\":[{}],\"rows\":[",
+        answer
+            .vars
+            .iter()
+            .map(|v| json_string(v))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for (i, row) in answer.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&value_json(v));
+        }
+        out.push(']');
+    }
+    out.push_str(&format!(
+        "],\"count\":{},\"from_cache\":{},\"complete\":{}",
+        answer.rows.len(),
+        answer.from_cache,
+        answer.completeness.is_complete(),
+    ));
+    if !answer.completeness.is_complete() {
+        out.push_str(&format!(
+            ",\"missing_components\":[{}],\"affected_classes\":[{}]",
+            answer
+                .completeness
+                .missing_components
+                .iter()
+                .map(|s| json_string(s))
+                .collect::<Vec<_>>()
+                .join(","),
+            answer
+                .completeness
+                .affected_classes
+                .iter()
+                .map(|s| json_string(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{library_server, merged_class};
+
+    fn query_line(tenant: &str, class: &str) -> String {
+        format!(
+            "{{\"op\":\"query\",\"tenant\":{},\"q\":\"?- <X: {class} | title: T>.\"}}",
+            json_string(tenant)
+        )
+    }
+
+    #[test]
+    fn query_mutate_query_sees_new_generation() {
+        let server = library_server(ServeConfig::default());
+        let g = merged_class(&server);
+        let before = server.handle_line(&query_line("t1", &g));
+        assert!(
+            before.response.contains("\"generation\":0"),
+            "{}",
+            before.response
+        );
+        assert!(
+            before.response.contains("\"count\":3"),
+            "{}",
+            before.response
+        );
+        let m = server.handle_line(
+            "{\"op\":\"mutate\",\"tenant\":\"t1\",\"component\":0,\"class\":\"book\",\
+             \"set\":{\"title\":\"Proofs\",\"year\":2001}}",
+        );
+        assert!(m.response.contains("\"ok\":true"), "{}", m.response);
+        assert!(m.response.contains("\"generation\":1"), "{}", m.response);
+        let after = server.handle_line(&query_line("t1", &g));
+        assert!(
+            after.response.contains("\"generation\":1"),
+            "{}",
+            after.response
+        );
+        assert!(after.response.contains("\"count\":4"), "{}", after.response);
+        assert!(after.response.contains("Proofs"), "{}", after.response);
+    }
+
+    #[test]
+    fn pinned_engine_is_isolated_from_later_installs() {
+        let server = library_server(ServeConfig::default());
+        let g = merged_class(&server);
+        let text = format!("?- <X: {g} | title: T>.");
+        let (gen0, engine0) = server.pinned_engine();
+        server.handle_line(
+            "{\"op\":\"mutate\",\"component\":0,\"class\":\"book\",\"set\":{\"title\":\"New\"}}",
+        );
+        // The old pin answers with the old extent; the new one sees the write.
+        let old = engine0.ask_text(&text, qp::QueryStrategy::Planned).unwrap();
+        assert_eq!(old.rows.len(), 3);
+        assert_eq!(gen0.number(), 0);
+        let (gen1, engine1) = server.pinned_engine();
+        assert_eq!(gen1.number(), 1);
+        let new = engine1.ask_text(&text, qp::QueryStrategy::Planned).unwrap();
+        assert_eq!(new.rows.len(), 4);
+    }
+
+    #[test]
+    fn engines_share_closure_cache_and_summary_across_generations() {
+        let server = library_server(ServeConfig::default());
+        let (_, e0) = server.pinned_engine();
+        server.handle_line(
+            "{\"op\":\"mutate\",\"component\":0,\"class\":\"book\",\"set\":{\"title\":\"New\"}}",
+        );
+        let (_, e1) = server.pinned_engine();
+        assert!(
+            Arc::ptr_eq(&e0.summary(), &e1.summary()),
+            "summary is shared"
+        );
+        assert!(Arc::ptr_eq(&e0.closure_cache(), &e1.closure_cache()));
+    }
+
+    #[test]
+    fn bad_requests_map_to_protocol_codes() {
+        let server = library_server(ServeConfig::default());
+        let r = server.handle_line("nonsense").response;
+        assert!(r.contains("\"code\":\"parse\""), "{r}");
+        // An unknown attribute on a real class is a deny diagnostic.
+        let g = merged_class(&server);
+        let r = server
+            .handle_line(&format!(
+                "{{\"op\":\"query\",\"q\":\"?- <X: {g} | pages: P>.\"}}"
+            ))
+            .response;
+        assert!(r.contains("\"code\":\"rejected\""), "{r}");
+        let r = server
+            .handle_line("{\"op\":\"mutate\",\"component\":9,\"class\":\"c\"}")
+            .response;
+        assert!(r.contains("\"code\":\"internal\""), "{r}");
+        assert!(r.contains("out of range"), "{r}");
+        // The unparseable line has no attributable tenant; the other two
+        // failures land on the default tenant.
+        assert_eq!(server.tenants().tenant("default").errors, 2);
+    }
+
+    #[test]
+    fn stats_and_health_render_state() {
+        // Zero queue depth: a saturated tenant sheds instead of queueing
+        // (queueing would block this single-threaded test forever).
+        let server = library_server(ServeConfig {
+            admission: AdmissionConfig {
+                max_inflight_per_tenant: 4,
+                max_queue: 0,
+            },
+            ..ServeConfig::default()
+        });
+        let g = merged_class(&server);
+        server.handle_line(&query_line("t1", &g));
+        server.handle_line("{\"op\":\"hold\",\"tenant\":\"t2\",\"slots\":4}");
+        let shed = server.handle_line(&query_line("t2", &g));
+        assert!(shed.shed);
+        let stats = server.handle_line("{\"op\":\"stats\"}").response;
+        assert!(stats.contains("\"t1\":{\"queries\":1"), "{stats}");
+        assert!(stats.contains("\"sheds\":1"), "{stats}");
+        let t2 = server
+            .handle_line("{\"op\":\"stats\",\"tenant\":\"t2\"}")
+            .response;
+        assert!(t2.contains("\"shed\":1"), "{t2}");
+        assert!(!t2.contains("\"t1\""), "{t2}");
+        let health = server.handle_line("{\"op\":\"health\"}").response;
+        assert!(health.contains("\"component\":\"S1\""), "{health}");
+        assert!(health.contains("\"state\":\"closed\""), "{health}");
+    }
+
+    #[test]
+    fn fault_plan_degrades_answers_subset_soundly() {
+        let server = library_server(ServeConfig::default());
+        let g = merged_class(&server);
+        let plan = FaultPlan::parse("S2 error").unwrap();
+        server.set_fault_plan(plan, RetryPolicy::default());
+        let r = server.handle_line(&query_line("t1", &g)).response;
+        assert!(r.contains("\"complete\":false"), "{r}");
+        assert!(r.contains("\"missing_components\":[\"S2\"]"), "{r}");
+        // S1's two books still answer — a subset of the full three rows.
+        assert!(r.contains("\"count\":2"), "{r}");
+        assert_eq!(server.tenants().tenant("t1").degraded, 1);
+    }
+}

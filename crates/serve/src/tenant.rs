@@ -1,0 +1,204 @@
+//! Per-tenant serving totals and their obs publication.
+//!
+//! `QpStats::publish()` feeds the process-wide `fedoo_qp_*` families;
+//! the serving layer additionally accumulates **per-tenant** totals
+//! here and publishes them as labeled series
+//! (`fedoo_serve_queries_total{tenant="t1"}`, …). All accumulation
+//! happens under one mutex per registry, so totals from concurrent
+//! queries can never tear: a tenant's `queries`/`rows`/`micros` move
+//! together or not at all — the regression test hammers the registry
+//! from racing tenants and checks exact per-tenant sums.
+
+use fedoo_core::QpStats;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Cumulative serving totals for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantTotals {
+    /// Queries answered (including degraded partials, excluding sheds).
+    pub queries: u64,
+    /// Answer rows returned across those queries.
+    pub rows: u64,
+    /// Queries served from the result cache.
+    pub cache_hits: u64,
+    /// Queries answered partially under a fault plan.
+    pub degraded: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests that failed (parse, rejection, unavailable, internal).
+    pub errors: u64,
+    /// Mutations installed (each creates one generation).
+    pub mutations: u64,
+    /// Summed query wall-clock, microseconds.
+    pub micros: u64,
+}
+
+/// Tenant → totals, updated atomically per event.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    totals: Mutex<BTreeMap<String, TenantTotals>>,
+}
+
+fn publish(tenant: &str, name: &str, delta: u64) {
+    if delta > 0 {
+        obs::counter_add(&obs::labeled(name, "tenant", tenant), delta);
+    }
+}
+
+impl TenantRegistry {
+    pub fn new() -> Self {
+        TenantRegistry::default()
+    }
+
+    fn update(&self, tenant: &str, f: impl FnOnce(&mut TenantTotals)) {
+        let mut totals = self.totals.lock().unwrap();
+        f(totals.entry(tenant.to_string()).or_default());
+    }
+
+    /// Record one answered query: the per-tenant aggregate moves as a
+    /// unit under the registry lock, then the labeled obs counters get
+    /// the same deltas (each `counter_add` is atomic under the sink
+    /// lock, and every delta is attributed to exactly one tenant).
+    pub fn record_query(&self, tenant: &str, stats: &QpStats, rows: u64, degraded: bool) {
+        let from_cache = stats.cache_hits > 0;
+        self.update(tenant, |t| {
+            t.queries += 1;
+            t.rows += rows;
+            t.cache_hits += u64::from(from_cache);
+            t.degraded += u64::from(degraded);
+            t.micros += stats.micros;
+        });
+        if obs::enabled() {
+            publish(tenant, "fedoo_serve_queries_total", 1);
+            publish(tenant, "fedoo_serve_rows_total", rows);
+            publish(
+                tenant,
+                "fedoo_serve_cache_hits_total",
+                u64::from(from_cache),
+            );
+            publish(tenant, "fedoo_serve_degraded_total", u64::from(degraded));
+            obs::histogram_record(
+                &obs::labeled("fedoo_serve_query_micros", "tenant", tenant),
+                stats.micros,
+            );
+        }
+    }
+
+    pub fn record_shed(&self, tenant: &str) {
+        self.update(tenant, |t| t.shed += 1);
+        if obs::enabled() {
+            publish(tenant, "fedoo_serve_shed_total", 1);
+        }
+    }
+
+    pub fn record_error(&self, tenant: &str) {
+        self.update(tenant, |t| t.errors += 1);
+        if obs::enabled() {
+            publish(tenant, "fedoo_serve_errors_total", 1);
+        }
+    }
+
+    pub fn record_mutation(&self, tenant: &str) {
+        self.update(tenant, |t| t.mutations += 1);
+        if obs::enabled() {
+            publish(tenant, "fedoo_serve_mutations_total", 1);
+        }
+    }
+
+    /// Totals for one tenant (zeroes if it never appeared).
+    pub fn tenant(&self, tenant: &str) -> TenantTotals {
+        self.totals
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All tenants' totals, sorted by tenant name.
+    pub fn snapshot(&self) -> BTreeMap<String, TenantTotals> {
+        self.totals.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn stats(micros: u64) -> QpStats {
+        QpStats {
+            micros,
+            ..QpStats::default()
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_per_tenant() {
+        let reg = TenantRegistry::new();
+        reg.record_query("t1", &stats(10), 3, false);
+        reg.record_query("t1", &stats(5), 2, true);
+        reg.record_shed("t1");
+        reg.record_query("t2", &stats(7), 1, false);
+        let t1 = reg.tenant("t1");
+        assert_eq!((t1.queries, t1.rows, t1.degraded, t1.shed), (2, 5, 1, 1));
+        assert_eq!(t1.micros, 15);
+        let t2 = reg.tenant("t2");
+        assert_eq!((t2.queries, t2.rows, t2.shed), (1, 1, 0));
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    /// The counter-hygiene regression: totals recorded from racing
+    /// tenant threads must neither tear nor cross tenants — in the
+    /// registry *and* in the labeled obs counters it publishes.
+    #[test]
+    fn concurrent_publishes_do_not_tear_per_tenant_aggregates() {
+        let _guard = obs::test_guard();
+        obs::install(obs::TimeSource::monotonic());
+        let reg = Arc::new(TenantRegistry::new());
+        let tenants = ["alpha", "beta", "gamma"];
+        let per_thread = 200u64;
+        let handles: Vec<_> = tenants
+            .into_iter()
+            .flat_map(|tenant| {
+                let reg = &reg;
+                (0..2).map(move |_| {
+                    let reg = Arc::clone(reg);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            reg.record_query(tenant, &stats(1), 2, false);
+                            if i % 10 == 0 {
+                                reg.record_shed(tenant);
+                            }
+                        }
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = obs::metrics_snapshot().unwrap();
+        for tenant in tenants {
+            let t = reg.tenant(tenant);
+            assert_eq!(t.queries, 2 * per_thread, "{tenant}: {t:?}");
+            assert_eq!(t.rows, 4 * per_thread, "{tenant}: {t:?}");
+            assert_eq!(t.micros, 2 * per_thread, "{tenant}: {t:?}");
+            assert_eq!(t.shed, 2 * per_thread / 10, "{tenant}: {t:?}");
+            // The labeled obs series agree exactly with the registry.
+            assert_eq!(
+                snap.counter(&obs::labeled("fedoo_serve_queries_total", "tenant", tenant)),
+                t.queries
+            );
+            assert_eq!(
+                snap.counter(&obs::labeled("fedoo_serve_rows_total", "tenant", tenant)),
+                t.rows
+            );
+            assert_eq!(
+                snap.counter(&obs::labeled("fedoo_serve_shed_total", "tenant", tenant)),
+                t.shed
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Golden-file tests for `fedoo serve`.
+//!
+//! Each `testdata/serve/<case>.args` file holds the CLI argument list
+//! (including `--session <case>.session`, the recorded JSONL request
+//! stream) and `<case>.golden` the expected JSONL response stream. The
+//! test replays the arguments through the same `fedoo::serve::run_serve`
+//! entry point the binary uses, so the goldens pin the exact protocol
+//! bytes — the CI serve-smoke job runs the built binary over the same
+//! pairs.
+//!
+//! To regenerate after an intentional change:
+//! `fedoo serve $(cat testdata/serve/<case>.args) \
+//!    | sed -E 's/"micros":[0-9]+/"micros":_/g' > testdata/serve/<case>.golden`
+//! (the rewrite blanks the one nondeterministic field, summed query
+//! wall-clock in `stats` responses).
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Blank the digits of every `"micros":N` field, the only wall-clock
+/// value in the protocol. Idempotent; the CI serve-smoke job applies the
+/// same rewrite with `sed` before diffing against the built binary.
+fn normalize_micros(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find("\"micros\":") {
+        let (head, tail) = rest.split_at(at + "\"micros\":".len());
+        out.push_str(head);
+        out.push('_');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit() || c == '_');
+    }
+    out.push_str(rest);
+    out
+}
+
+fn replay(case: &str) -> (u8, String, String, String) {
+    let root = repo_root();
+    let dir = root.join("testdata/serve");
+    let args_text = std::fs::read_to_string(dir.join(format!("{case}.args")))
+        .unwrap_or_else(|e| panic!("read {case}.args: {e}"));
+    let args: Vec<String> = args_text.split_whitespace().map(str::to_string).collect();
+    let mut out = Vec::new();
+    let exit = fedoo::serve::run_serve(
+        &args,
+        Some(&root),
+        std::io::BufReader::new(&b""[..]),
+        &mut out,
+    )
+    .expect(case);
+    let golden = std::fs::read_to_string(dir.join(format!("{case}.golden")))
+        .unwrap_or_else(|e| panic!("read {case}.golden: {e}"));
+    (exit, String::from_utf8(out).unwrap(), golden, args_text)
+}
+
+#[test]
+fn every_session_has_a_golden_and_matches() {
+    let dir = repo_root().join("testdata/serve");
+    let mut cases: Vec<String> = std::fs::read_dir(&dir)
+        .expect("testdata/serve exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "args").then(|| p.file_stem().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 3,
+        "expected the serve golden fixture set, found {}",
+        cases.len()
+    );
+    for case in &cases {
+        let (exit, got, want, args) = replay(case);
+        assert_eq!(
+            normalize_micros(&got),
+            normalize_micros(&want),
+            "golden mismatch for `{case}`"
+        );
+        // The exit code is part of the contract, derivable from the
+        // fixtures themselves: a session run with --fail-on-shed whose
+        // golden contains a shed response must exit 3, anything else 0.
+        let want_exit = if args.contains("--fail-on-shed") && want.contains("\"code\":\"shed\"") {
+            3
+        } else {
+            0
+        };
+        assert_eq!(exit, want_exit, "exit code mismatch for `{case}`");
+    }
+}
+
+/// The degraded-session golden pins the serving-layer completeness
+/// contract: a faulted component yields `complete:false` plus the
+/// missing component's name, never silently-partial rows.
+#[test]
+fn degraded_golden_is_subset_sound() {
+    let (exit, got, _, _) = replay("degraded");
+    assert_eq!(exit, 0, "degraded is not shed: exit stays 0");
+    assert!(got.contains("\"complete\":false"), "{got}");
+    assert!(got.contains("\"missing_components\":[\"L2\"]"), "{got}");
+    assert!(
+        !got.contains("\"complete\":true"),
+        "every answer in this session is partial: {got}"
+    );
+}
+
+/// Replaying a session is deterministic (modulo the normalized micros).
+#[test]
+fn session_replay_is_deterministic() {
+    let (_, a, _, _) = replay("basic");
+    let (_, b, _, _) = replay("basic");
+    assert_eq!(normalize_micros(&a), normalize_micros(&b));
+}
