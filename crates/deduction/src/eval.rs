@@ -168,12 +168,18 @@ impl fmt::Display for EvalStats {
 }
 
 /// Ground tuples of one predicate: insertion-ordered with a set for dedup
-/// and an interned columnar first-argument index for probing.
+/// and interned columnar first- and last-argument indexes for probing
+/// (the last-argument posting list is only kept for arity ≥ 2, where it
+/// differs from the first). Removal tombstones the position (`dead`)
+/// instead of shifting the vector, so index postings and semi-naive
+/// watermarks stay valid; the `set` always holds exactly the live tuples.
 #[derive(Debug, Default, Clone)]
 struct PredExtent {
     tuples: Vec<Vec<Value>>,
     set: BTreeSet<Vec<Value>>,
     by_first: SymColumn,
+    by_last: SymColumn,
+    dead: BTreeSet<u32>,
 }
 
 impl PredExtent {
@@ -185,7 +191,41 @@ impl PredExtent {
         if let Some(first) = tuple.first() {
             self.by_first.push(interner.intern(first), pos);
         }
+        if tuple.len() >= 2 {
+            if let Some(last) = tuple.last() {
+                self.by_last.push(interner.intern(last), pos);
+            }
+        }
         self.tuples.push(tuple);
+        true
+    }
+
+    fn live(&self, pos: usize) -> bool {
+        !self.dead.contains(&(pos as u32))
+    }
+
+    /// Tombstone one live occurrence of `tuple`. The position is located
+    /// through the first-argument index when possible.
+    fn remove(&mut self, tuple: &[Value], interner: &Interner) -> bool {
+        if !self.set.remove(tuple) {
+            return false;
+        }
+        let pos = match tuple.first().and_then(|v| interner.lookup(v)) {
+            Some(sym) => self
+                .by_first
+                .probe(sym)
+                .map(|p| p as usize)
+                .find(|&p| self.live(p) && self.tuples[p] == tuple),
+            None => self
+                .tuples
+                .iter()
+                .enumerate()
+                .find(|(p, t)| self.live(*p) && t.as_slice() == tuple)
+                .map(|(p, _)| p),
+        };
+        if let Some(p) = pos {
+            self.dead.insert(p as u32);
+        }
         true
     }
 }
@@ -193,13 +233,15 @@ impl PredExtent {
 /// Ground O-terms of one class: insertion-ordered with a set for dedup and
 /// an interned columnar object-identity index. Facts whose object term is
 /// not a plain value (a degenerate but storable shape) fall into the
-/// unindexed bucket and are checked on every probe.
+/// unindexed bucket and are checked on every probe. Removal tombstones the
+/// position (`dead`) like [`PredExtent`].
 #[derive(Debug, Default, Clone)]
 struct ClassExtent {
     facts: Vec<OTermPat>,
     set: BTreeSet<OTermPat>,
     by_object: SymColumn,
     unindexed: Vec<u32>,
+    dead: BTreeSet<u32>,
 }
 
 impl ClassExtent {
@@ -213,6 +255,34 @@ impl ClassExtent {
             None => self.unindexed.push(pos),
         }
         self.facts.push(fact);
+        true
+    }
+
+    fn live(&self, pos: usize) -> bool {
+        !self.dead.contains(&(pos as u32))
+    }
+
+    /// Tombstone one live occurrence of `fact`, locating the position via
+    /// the object index when the object is a plain value.
+    fn remove(&mut self, fact: &OTermPat, interner: &Interner) -> bool {
+        if !self.set.remove(fact) {
+            return false;
+        }
+        let pos = match fact.object.as_val().and_then(|v| interner.lookup(v)) {
+            Some(sym) => self
+                .by_object
+                .probe(sym)
+                .map(|p| p as usize)
+                .find(|&p| self.live(p) && self.facts[p] == *fact),
+            None => self
+                .unindexed
+                .iter()
+                .map(|&p| p as usize)
+                .find(|&p| self.live(p) && self.facts[p] == *fact),
+        };
+        if let Some(p) = pos {
+            self.dead.insert(p as u32);
+        }
         true
     }
 }
@@ -351,9 +421,121 @@ impl FactDb {
         self.preds.get(pred).into_iter().flat_map(|e| e.set.iter())
     }
 
+    /// Every class name with a (possibly empty) extent.
+    pub fn class_names(&self) -> impl Iterator<Item = &str> {
+        self.oterms.keys().map(|s| s.as_str())
+    }
+
+    /// Every predicate name with a (possibly empty) extent.
+    pub fn pred_names(&self) -> impl Iterator<Item = &str> {
+        self.preds.keys().map(|s| s.as_str())
+    }
+
+    /// Is this exact O-term fact currently live?
+    pub fn contains_oterm(&self, fact: &OTermPat) -> bool {
+        fact.class
+            .as_name()
+            .and_then(|c| self.oterms.get(c))
+            .is_some_and(|e| e.set.contains(fact))
+    }
+
+    /// Is this exact predicate tuple currently live?
+    pub fn contains_pred(&self, name: &str, tuple: &[Value]) -> bool {
+        self.preds.get(name).is_some_and(|e| e.set.contains(tuple))
+    }
+
+    /// Remove a ground O-term fact (exact match, including bindings).
+    /// Returns true if it was present. The storage position is tombstoned,
+    /// so indexes and watermarks over the insertion-order vector stay valid.
+    pub fn remove_oterm(&mut self, fact: &OTermPat) -> bool {
+        let Some(class) = fact.class.as_name() else {
+            return false;
+        };
+        match self.oterms.get_mut(class) {
+            Some(ext) => ext.remove(fact, &self.interner),
+            None => false,
+        }
+    }
+
+    /// Remove a ground predicate tuple. Returns true if it was present.
+    pub fn remove_pred(&mut self, name: &str, tuple: &[Value]) -> bool {
+        match self.preds.get_mut(name) {
+            Some(ext) => ext.remove(tuple, &self.interner),
+            None => false,
+        }
+    }
+
+    /// Live O-term facts of `class` whose object is exactly `obj`, via the
+    /// object index (plus the unindexed bucket).
+    pub fn probe_class<'a>(&'a self, class: &str, obj: &Value) -> Vec<&'a OTermPat> {
+        let Some(ext) = self.oterms.get(class) else {
+            return Vec::new();
+        };
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        if let Some(sym) = self.interner.lookup(obj) {
+            for p in ext.by_object.probe(sym) {
+                let p = p as usize;
+                if ext.live(p) {
+                    out.push(&ext.facts[p]);
+                }
+            }
+        }
+        for &p in &ext.unindexed {
+            let p = p as usize;
+            if ext.live(p) && ext.facts[p].object.as_val() == Some(obj) {
+                out.push(&ext.facts[p]);
+            }
+        }
+        out
+    }
+
+    /// Live tuples of `pred` whose first argument is exactly `first`, via
+    /// the first-argument index.
+    pub fn probe_pred<'a>(&'a self, pred: &str, first: &Value) -> Vec<&'a Vec<Value>> {
+        let Some(ext) = self.preds.get(pred) else {
+            return Vec::new();
+        };
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        if let Some(sym) = self.interner.lookup(first) {
+            for p in ext.by_first.probe(sym) {
+                let p = p as usize;
+                if ext.live(p) {
+                    out.push(&ext.tuples[p]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Live tuples of `pred` whose last argument is exactly `last`, via
+    /// the last-argument index. Only populated for arity ≥ 2 (unary
+    /// predicates answer through [`FactDb::probe_pred`], where first and
+    /// last coincide); the delta maintainer uses this when a join binds
+    /// the tail of a tuple before its head — e.g. Δedge(y,z) joined back
+    /// against reach(x,y) in a left-linear closure.
+    pub fn probe_pred_last<'a>(&'a self, pred: &str, last: &Value) -> Vec<&'a Vec<Value>> {
+        let Some(ext) = self.preds.get(pred) else {
+            return Vec::new();
+        };
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        if let Some(sym) = self.interner.lookup(last) {
+            for p in ext.by_last.probe(sym) {
+                let p = p as usize;
+                if ext.live(p) {
+                    out.push(&ext.tuples[p]);
+                }
+            }
+        }
+        out
+    }
+
     pub fn len(&self) -> usize {
-        self.oterms.values().map(|e| e.facts.len()).sum::<usize>()
-            + self.preds.values().map(|e| e.tuples.len()).sum::<usize>()
+        // Live counts: the sets hold exactly the non-tombstoned facts.
+        self.oterms.values().map(|e| e.set.len()).sum::<usize>()
+            + self.preds.values().map(|e| e.set.len()).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -444,7 +626,7 @@ impl FactDb {
             if let Some(sym) = self.interner.lookup(&obj) {
                 for p in ext.by_object.probe(sym) {
                     let p = p as usize;
-                    if p >= start && p < end {
+                    if p >= start && p < end && ext.live(p) {
                         Self::unify_oterm_fact(
                             &concrete,
                             class,
@@ -460,14 +642,16 @@ impl FactDb {
             // still unify.
             for &p in &ext.unindexed {
                 let p = p as usize;
-                if p >= start && p < end {
+                if p >= start && p < end && ext.live(p) {
                     Self::unify_oterm_fact(&concrete, class, class_var, &ext.facts[p], base, out);
                 }
             }
         } else {
             self.scans.fetch_add(1, Ordering::Relaxed);
-            for fact in &ext.facts[start..end] {
-                Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
+            for (off, fact) in ext.facts[start..end].iter().enumerate() {
+                if ext.live(start + off) {
+                    Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
+                }
             }
         }
     }
@@ -523,15 +707,17 @@ impl FactDb {
                     if let Some(sym) = self.interner.lookup(&key) {
                         for pos in ext.by_first.probe(sym) {
                             let pos = pos as usize;
-                            if pos >= start && pos < end {
+                            if pos >= start && pos < end && ext.live(pos) {
                                 unify_tuple(&ext.tuples[pos], out);
                             }
                         }
                     }
                 } else {
                     self.scans.fetch_add(1, Ordering::Relaxed);
-                    for tuple in &ext.tuples[start..end] {
-                        unify_tuple(tuple, out);
+                    for (off, tuple) in ext.tuples[start..end].iter().enumerate() {
+                        if ext.live(start + off) {
+                            unify_tuple(tuple, out);
+                        }
                     }
                 }
             }
@@ -560,15 +746,23 @@ impl FactDb {
                         bindings: pat.bindings.clone(),
                     };
                     self.scans.fetch_add(1, Ordering::Relaxed);
-                    for fact in self.oterms.get(class).into_iter().flat_map(|e| &e.facts) {
-                        Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
+                    if let Some(ext) = self.oterms.get(class) {
+                        for (pos, fact) in ext.facts.iter().enumerate() {
+                            if !ext.live(pos) {
+                                continue;
+                            }
+                            Self::unify_oterm_fact(&concrete, class, class_var, fact, base, out);
+                        }
                     }
                 }
             }
             Literal::Pred(p) => {
                 self.scans.fetch_add(1, Ordering::Relaxed);
-                for tuple in self.preds.get(&p.name).into_iter().flat_map(|e| &e.tuples) {
-                    if tuple.len() != p.args.len() {
+                let Some(ext) = self.preds.get(&p.name) else {
+                    return;
+                };
+                for (pos, tuple) in ext.tuples.iter().enumerate() {
+                    if !ext.live(pos) || tuple.len() != p.args.len() {
                         continue;
                     }
                     let mut s = base.clone();
@@ -621,18 +815,21 @@ impl FactDb {
                         self.interner
                             .lookup(&obj)
                             .map(|sym| {
-                                ext.by_object
-                                    .probe(sym)
-                                    .any(|p| unifies(&ext.facts[p as usize]))
+                                ext.by_object.probe(sym).any(|p| {
+                                    ext.live(p as usize) && unifies(&ext.facts[p as usize])
+                                })
                             })
                             .unwrap_or(false)
                             || ext
                                 .unindexed
                                 .iter()
-                                .any(|&p| unifies(&ext.facts[p as usize]))
+                                .any(|&p| ext.live(p as usize) && unifies(&ext.facts[p as usize]))
                     } else {
                         self.scans.fetch_add(1, Ordering::Relaxed);
-                        ext.facts.iter().any(unifies)
+                        ext.facts
+                            .iter()
+                            .enumerate()
+                            .any(|(p, f)| ext.live(p) && unifies(f))
                     };
                     if hit {
                         return true;
@@ -659,15 +856,18 @@ impl FactDb {
                         self.interner
                             .lookup(&key)
                             .map(|sym| {
-                                ext.by_first
-                                    .probe(sym)
-                                    .any(|pos| unifies(&ext.tuples[pos as usize]))
+                                ext.by_first.probe(sym).any(|pos| {
+                                    ext.live(pos as usize) && unifies(&ext.tuples[pos as usize])
+                                })
                             })
                             .unwrap_or(false)
                     }
                     None => {
                         self.scans.fetch_add(1, Ordering::Relaxed);
-                        ext.tuples.iter().any(unifies)
+                        ext.tuples
+                            .iter()
+                            .enumerate()
+                            .any(|(p, t)| ext.live(p) && unifies(t))
                     }
                 }
             }
@@ -820,7 +1020,10 @@ impl FactDb {
         self.scans.fetch_add(2, Ordering::Relaxed);
         let pairs = ea.by_object.intersect(&eb.by_object);
         let mut out = Vec::with_capacity(pairs.len());
-        for (pa, _) in pairs {
+        for (pa, pb) in pairs {
+            if !ea.live(pa as usize) || !eb.live(pb as usize) {
+                continue;
+            }
             let obj = ea.facts[pa as usize].object.clone();
             let mut s = Subst::new();
             s.bind(x, obj.clone());
@@ -1675,6 +1878,69 @@ mod tests {
                 >= stats.facts_derived
         );
         assert!(session.metrics.counter("fedoo_deduction_iterations_total") >= stats.iterations);
+    }
+
+    #[test]
+    fn removal_tombstones_and_reinsert_round_trips() {
+        let mut db = FactDb::new();
+        db.insert_pred("edge", vec![Value::Int(1), Value::Int(2)]);
+        db.insert_pred("edge", vec![Value::Int(1), Value::Int(3)]);
+        db.insert_oterm(ot(Term::val("o1"), "A"));
+        db.insert_oterm(ot(Term::val("o2"), "A"));
+        assert_eq!(db.len(), 4);
+
+        // Remove one tuple: probes, scans, exists and equality all forget it.
+        assert!(db.remove_pred("edge", &[Value::Int(1), Value::Int(2)]));
+        assert!(!db.remove_pred("edge", &[Value::Int(1), Value::Int(2)]));
+        assert_eq!(db.len(), 3);
+        assert!(!db.contains_pred("edge", &[Value::Int(1), Value::Int(2)]));
+        let subs = db.query(&[Literal::pred("edge", [Term::val(1i64), Term::var("y")])]);
+        assert_eq!(subs.len(), 1);
+        let subs = db.query(&[Literal::pred("edge", [Term::var("x"), Term::var("y")])]);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(db.probe_pred("edge", &Value::Int(1)).len(), 1);
+
+        // Remove an O-term: indexed probe and negation agree.
+        assert!(db.remove_oterm(&ot(Term::val("o1"), "A")));
+        assert!(!db.contains_oterm(&ot(Term::val("o1"), "A")));
+        assert_eq!(db.oterms_of("A").count(), 1);
+        let subs = db.query(&[Literal::oterm(ot(Term::val("o1"), "A"))]);
+        assert!(subs.is_empty());
+        assert!(db.probe_class("A", &Value::str("o1")).is_empty());
+        let neg_hits = db.query(&[
+            Literal::oterm(ot(Term::var("x"), "A")),
+            Literal::neg(Literal::pred("edge", [Term::var("x")])),
+        ]);
+        assert_eq!(neg_hits.len(), 1);
+
+        // Re-insert after removal: the fact is back and visible everywhere.
+        assert!(db.insert_oterm(ot(Term::val("o1"), "A")));
+        assert_eq!(db.oterms_of("A").count(), 2);
+        assert_eq!(db.probe_class("A", &Value::str("o1")).len(), 1);
+
+        // A db built fresh with the surviving facts compares equal.
+        let mut fresh = FactDb::new();
+        fresh.insert_pred("edge", vec![Value::Int(1), Value::Int(3)]);
+        fresh.insert_oterm(ot(Term::val("o2"), "A"));
+        fresh.insert_oterm(ot(Term::val("o1"), "A"));
+        assert_eq!(db, fresh);
+    }
+
+    #[test]
+    fn merge_intersection_skips_tombstoned_pairs() {
+        let prog_body = vec![
+            Literal::oterm(ot(Term::var("x"), "A")),
+            Literal::oterm(ot(Term::var("y"), "B")),
+            Literal::cmp(Term::var("y"), CmpOp::Eq, Term::var("x")),
+        ];
+        let mut db = FactDb::new();
+        for o in ["o1", "o2", "o3"] {
+            db.insert_oterm(ot(Term::val(o), "A"));
+            db.insert_oterm(ot(Term::val(o), "B"));
+        }
+        assert_eq!(db.query(&prog_body).len(), 3);
+        db.remove_oterm(&ot(Term::val("o2"), "B"));
+        assert_eq!(db.query(&prog_body).len(), 2);
     }
 
     #[test]

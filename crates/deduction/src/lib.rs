@@ -35,6 +35,7 @@ pub mod demand;
 pub mod eval;
 pub mod federated;
 pub mod intern;
+pub mod materialize;
 pub mod safety;
 pub mod strata;
 pub mod subst;
@@ -47,6 +48,7 @@ pub use demand::{
 pub use eval::{EvalError, EvalStats, EvalStrategy, FactDb, Program};
 pub use federated::{AnnotatedProgram, ExtentProvider};
 pub use intern::Interner;
+pub use materialize::{DeltaStats, Fact, FactDelta, MaterializedProgram};
 pub use safety::{check_rule, check_rule_all, check_rules, SafetyError};
 pub use strata::{sccs, stratify};
 pub use subst::{ReverseSubst, Subst};

@@ -105,6 +105,53 @@ impl InstanceStore {
         Ok(oid)
     }
 
+    /// Remove the object `oid`, returning it. Maintains the class index
+    /// and bumps the version. `None` (and no version bump) if absent.
+    pub fn delete(&mut self, oid: &Oid) -> Option<Object> {
+        let obj = self.objects.remove(oid)?;
+        if let Some(set) = self.by_class.get_mut(&obj.class) {
+            set.remove(oid);
+            if set.is_empty() {
+                self.by_class.remove(&obj.class);
+            }
+        }
+        self.version += 1;
+        Some(obj)
+    }
+
+    /// Rebuild the object `oid` through `f` and re-validate the result
+    /// against `schema` (same checks as [`InstanceStore::insert`]). The
+    /// OID and class are pinned: `f` may change attributes and
+    /// aggregation targets only. On any error the store is unchanged.
+    pub fn update<F>(&mut self, schema: &Schema, oid: &Oid, f: F) -> Result<(), ModelError>
+    where
+        F: FnOnce(Object) -> Object,
+    {
+        let old = self
+            .objects
+            .get(oid)
+            .cloned()
+            .ok_or_else(|| ModelError::Invalid(format!("no object `{oid}`")))?;
+        let class = old.class.clone();
+        let new = f(old.clone());
+        if new.oid != *oid || new.class != class {
+            return Err(ModelError::Invalid(format!(
+                "update may not change the OID or class of `{oid}`"
+            )));
+        }
+        self.delete(oid);
+        match self.insert(schema, new) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll back: the old object was valid when first inserted.
+                self.insert(schema, old)
+                    .expect("reinserting a previously valid object");
+                self.version -= 2; // net: unchanged store, unchanged version
+                Err(e)
+            }
+        }
+    }
+
     pub fn get(&self, oid: &Oid) -> Option<&Object> {
         self.objects.get(oid)
     }
@@ -295,6 +342,59 @@ mod tests {
         store.create(&s, "person", |o| o).unwrap(); // name unset → Null
         let vs = store.value_set(&s, &"person".into(), "name");
         assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn delete_maintains_extents_and_version() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let a = store
+            .create(&s, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
+        let b = store
+            .create(&s, "student", |o| o.with_attr("name", "Bob"))
+            .unwrap();
+        let v = store.version();
+        let gone = store.delete(&b).unwrap();
+        assert_eq!(gone.attr("name"), &Value::str("Bob"));
+        assert_eq!(store.version(), v + 1);
+        assert_eq!(store.extent(&s, &"person".into()).len(), 1);
+        assert!(store.get(&b).is_none());
+        assert!(store.get(&a).is_some());
+        // Deleting a missing object is a no-op, version included.
+        assert!(store.delete(&b).is_none());
+        assert_eq!(store.version(), v + 1);
+    }
+
+    #[test]
+    fn update_revalidates_and_rolls_back() {
+        let s = schema();
+        let mut store = InstanceStore::new();
+        let a = store
+            .create(&s, "person", |o| o.with_attr("name", "Ann"))
+            .unwrap();
+        let v = store.version();
+        store
+            .update(&s, &a, |o| o.with_attr("name", "Anna"))
+            .unwrap();
+        assert_eq!(store.get(&a).unwrap().attr("name"), &Value::str("Anna"));
+        assert!(store.version() > v);
+
+        // A type-invalid update leaves the store (and version) untouched.
+        let v = store.version();
+        let err = store
+            .update(&s, &a, |o| o.with_attr("name", 7i64))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        assert_eq!(store.get(&a).unwrap().attr("name"), &Value::str("Anna"));
+        assert_eq!(store.version(), v);
+
+        // The OID and class are pinned.
+        let err = store
+            .update(&s, &a, |o| Object::new(Oid::local("person", 99), o.class))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Invalid(_)));
+        assert!(store.update(&s, &Oid::local("person", 42), |o| o).is_err());
     }
 
     #[test]

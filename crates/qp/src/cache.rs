@@ -8,8 +8,12 @@
 //! the key, because their fingerprint alone carries only the fallback
 //! reason and answer vars. Each entry remembers
 //! the component [`oo_model::InstanceStore`] version counters it was
-//! computed against; a lookup with different versions invalidates the
-//! entry instead of serving stale rows.
+//! computed against **and the component footprint its plan reads**: a
+//! lookup invalidates the entry only when a *footprint* component's
+//! version changed — mutations to components the plan never scans leave
+//! the entry hit-able (selective invalidation). Entries without a
+//! footprint (fallback plans that may read anything) validate every
+//! component.
 
 use oo_model::Value;
 use std::collections::hash_map::DefaultHasher;
@@ -23,18 +27,41 @@ use std::sync::Mutex;
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
-    /// Entries dropped because a component store changed underneath them.
+    /// Entries dropped because a footprint component changed underneath
+    /// them.
     pub invalidations: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Hits served although *some* component changed — the change was
+    /// outside the entry's footprint (the payoff of selective
+    /// invalidation).
+    pub footprint_saves: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
     versions: Vec<u64>,
+    /// Component indices the producing plan reads; `None` = all.
+    footprint: Option<Vec<usize>>,
     vars: Vec<String>,
     rows: Vec<Vec<Value>>,
     last_used: u64,
+}
+
+impl Entry {
+    /// Is the entry still valid against the current `versions`? Only
+    /// footprint components are compared.
+    fn valid_for(&self, versions: &[u64]) -> bool {
+        if self.versions.len() != versions.len() {
+            return false;
+        }
+        match &self.footprint {
+            None => self.versions == versions,
+            Some(idxs) => idxs
+                .iter()
+                .all(|&i| self.versions.get(i) == versions.get(i)),
+        }
+    }
 }
 
 /// A bounded result cache with least-recently-used eviction.
@@ -68,13 +95,17 @@ impl ResultCache {
     }
 
     /// Look up a fingerprint against the current component versions.
-    /// A version mismatch drops the entry and reports a miss.
+    /// A version mismatch *within the entry's footprint* drops the entry
+    /// and reports a miss; changes outside the footprint are invisible.
     pub fn get(&mut self, key: &str, versions: &[u64]) -> Option<(Vec<String>, Vec<Vec<Value>>)> {
         match self.entries.get_mut(key) {
-            Some(e) if e.versions == versions => {
+            Some(e) if e.valid_for(versions) => {
                 self.tick += 1;
                 e.last_used = self.tick;
                 self.stats.hits += 1;
+                if e.versions != versions {
+                    self.stats.footprint_saves += 1;
+                }
                 Some((e.vars.clone(), e.rows.clone()))
             }
             Some(_) => {
@@ -91,10 +122,13 @@ impl ResultCache {
     }
 
     /// Store an answer, evicting the least-recently-used entry if full.
+    /// `footprint` is the set of component indices the producing plan
+    /// reads (`None` when it must be assumed to read everything).
     pub fn put(
         &mut self,
         key: String,
         versions: Vec<u64>,
+        footprint: Option<Vec<usize>>,
         vars: Vec<String>,
         rows: Vec<Vec<Value>>,
     ) {
@@ -117,6 +151,7 @@ impl ResultCache {
             key,
             Entry {
                 versions,
+                footprint,
                 vars,
                 rows,
                 last_used: self.tick,
@@ -136,6 +171,7 @@ impl AddAssign for CacheStats {
         self.misses += o.misses;
         self.invalidations += o.invalidations;
         self.evictions += o.evictions;
+        self.footprint_saves += o.footprint_saves;
     }
 }
 
@@ -175,11 +211,18 @@ impl SharedResultCache {
     }
 
     /// [`ResultCache::put`] on the key's shard.
-    pub fn put(&self, key: String, versions: Vec<u64>, vars: Vec<String>, rows: Vec<Vec<Value>>) {
+    pub fn put(
+        &self,
+        key: String,
+        versions: Vec<u64>,
+        footprint: Option<Vec<usize>>,
+        vars: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    ) {
         self.shard(&key)
             .lock()
             .unwrap()
-            .put(key, versions, vars, rows)
+            .put(key, versions, footprint, vars, rows)
     }
 
     /// Aggregate counters across all shards.
@@ -213,7 +256,7 @@ mod tests {
     fn hit_miss_and_version_invalidation() {
         let mut c = ResultCache::new(4);
         assert!(c.get("q1", &[1, 1]).is_none());
-        c.put("q1".into(), vec![1, 1], vec!["X".into()], row(7));
+        c.put("q1".into(), vec![1, 1], None, vec!["X".into()], row(7));
         let (vars, rows) = c.get("q1", &[1, 1]).unwrap();
         assert_eq!(vars, vec!["X"]);
         assert_eq!(rows, row(7));
@@ -225,13 +268,38 @@ mod tests {
     }
 
     #[test]
+    fn footprint_scopes_invalidation_to_touched_components() {
+        let mut c = ResultCache::new(4);
+        // The plan only reads component 0.
+        c.put("q0".into(), vec![5, 5], Some(vec![0]), vec![], row(1));
+        // Component 1 mutates: the entry must stay hit-able.
+        let hit = c.get("q0", &[5, 9]);
+        assert_eq!(hit.unwrap().1, row(1));
+        assert_eq!(c.stats().footprint_saves, 1);
+        assert_eq!(c.stats().invalidations, 0);
+        // Component 0 mutates: now it invalidates.
+        assert!(c.get("q0", &[6, 9]).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn footprintless_entries_validate_every_component() {
+        let mut c = ResultCache::new(4);
+        c.put("q".into(), vec![1, 1], None, vec![], row(1));
+        assert!(c.get("q", &[1, 2]).is_none(), "fallback plans read all");
+        // A mismatched vector length never validates.
+        c.put("q2".into(), vec![1], Some(vec![0]), vec![], row(2));
+        assert!(c.get("q2", &[1, 1]).is_none());
+    }
+
+    #[test]
     fn lru_eviction_keeps_recently_used() {
         let mut c = ResultCache::new(2);
-        c.put("a".into(), vec![0], vec![], row(1));
-        c.put("b".into(), vec![0], vec![], row(2));
+        c.put("a".into(), vec![0], None, vec![], row(1));
+        c.put("b".into(), vec![0], None, vec![], row(2));
         // Touch `a` so `b` becomes the eviction candidate.
         assert!(c.get("a", &[0]).is_some());
-        c.put("c".into(), vec![0], vec![], row(3));
+        c.put("c".into(), vec![0], None, vec![], row(3));
         assert_eq!(c.len(), 2);
         assert!(c.get("a", &[0]).is_some());
         assert!(c.get("b", &[0]).is_none());
@@ -242,7 +310,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_storage() {
         let mut c = ResultCache::new(0);
-        c.put("a".into(), vec![0], vec![], row(1));
+        c.put("a".into(), vec![0], None, vec![], row(1));
         assert!(c.get("a", &[0]).is_none());
     }
 
@@ -250,7 +318,7 @@ mod tests {
     fn sharded_cache_behaves_like_one_cache() {
         let c = SharedResultCache::new(16, 4);
         assert!(c.get("q1", &[1]).is_none());
-        c.put("q1".into(), vec![1], vec!["X".into()], row(7));
+        c.put("q1".into(), vec![1], None, vec!["X".into()], row(7));
         assert_eq!(c.get("q1", &[1]).unwrap().1, row(7));
         // Version bump invalidates within the owning shard.
         assert!(c.get("q1", &[2]).is_none());
@@ -269,7 +337,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..50 {
                         let key = format!("q{t}-{i}");
-                        c.put(key.clone(), vec![0], vec!["X".into()], row(i));
+                        c.put(key.clone(), vec![0], None, vec!["X".into()], row(i));
                         assert_eq!(c.get(&key, &[0]).unwrap().1, row(i));
                     }
                 })
@@ -284,8 +352,8 @@ mod tests {
     #[test]
     fn overwrite_same_key_does_not_evict() {
         let mut c = ResultCache::new(1);
-        c.put("a".into(), vec![0], vec![], row(1));
-        c.put("a".into(), vec![0], vec![], row(2));
+        c.put("a".into(), vec![0], None, vec![], row(1));
+        c.put("a".into(), vec![0], None, vec![], row(2));
         assert_eq!(c.len(), 1);
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get("a", &[0]).unwrap().1, row(2));

@@ -17,10 +17,11 @@ use crate::cache::{CacheStats, SharedResultCache, DEFAULT_SHARDS};
 use crate::degrade::{self, AnswerCompleteness};
 use crate::exec;
 use crate::parser::{parse_query, GlobalQuery};
-use crate::plan::{PlanNode, QueryPlan, QueryStrategy};
+use crate::plan::{PlanNode, QueryPlan, QueryStrategy, ScanKind, ScanNode};
 use crate::planner::{program_summary, ClosureCache, Planner};
 use crate::Result;
 use analysis::ProgramSummary;
+use deduction::materialize::{all_facts, Fact as DFact, FactDelta, MaterializedProgram};
 use deduction::{EvalStats, Subst, Term};
 use federation::client::FsmClient;
 use federation::connector::{FaultPlan, FaultyConnector, InProcessConnector, VirtualClock};
@@ -265,6 +266,36 @@ impl FaultSession {
     }
 }
 
+/// Reference-evaluator state behind the `Saturate` strategy.
+///
+/// The preferred shape is `Incremental`: a delta-maintained
+/// [`MaterializedProgram`] plus the base-fact set it was last synced to.
+/// A store mutation then costs one unsaturated rebuild of the base facts
+/// (O(federation objects)) and one delta application (O(changed
+/// derivations)) instead of a from-scratch saturation. Programs the
+/// maintainer rejects (non-stratifiable, unsafe, class-variable rules)
+/// fall back to `Full`, the historical rebuild-and-saturate path.
+enum SatState {
+    Incremental {
+        versions: Vec<u64>,
+        /// Base facts the materialization was last synced against; the
+        /// next refresh diffs the freshly built base against this set to
+        /// produce the typed delta.
+        base: BTreeSet<DFact>,
+        mat: MaterializedProgram,
+    },
+    Full(Vec<u64>, FederationDb),
+}
+
+impl SatState {
+    fn versions(&self) -> &[u64] {
+        match self {
+            SatState::Incremental { versions, .. } => versions,
+            SatState::Full(versions, _) => versions,
+        }
+    }
+}
+
 /// One pass of fetching every component through the fault session.
 struct FetchedFederation {
     components: Vec<(Schema, InstanceStore)>,
@@ -291,12 +322,16 @@ pub struct QueryEngine {
     /// engine and its own bookkeeping without cloning stores.
     components: Arc<Vec<(Schema, InstanceStore)>>,
     meta: MetaRegistry,
-    cache: SharedResultCache,
+    /// Arc'd so a serving layer can share one result cache across the
+    /// per-generation engines it builds: entries carry their component
+    /// footprint and version vector, so a sibling generation hits only
+    /// when every component the plan reads is unchanged.
+    cache: Arc<SharedResultCache>,
     /// Reference evaluator state, keyed by the component versions it was
     /// built against. One mutex for the whole saturate path: the
     /// reference evaluator mutates the fact base, so concurrent
     /// `Saturate` asks serialize here by design.
-    saturate_db: Mutex<Option<(Vec<u64>, FederationDb)>>,
+    saturate_db: Mutex<Option<SatState>>,
     /// Per-extent row counts for the planner's cardinality heuristic.
     /// Gathering is O(total federation objects), so it only reruns when
     /// a store mutates; reads share the lock.
@@ -367,7 +402,7 @@ impl QueryEngine {
             global,
             components,
             meta,
-            cache: SharedResultCache::new(CACHE_CAPACITY, DEFAULT_SHARDS),
+            cache: Arc::new(SharedResultCache::new(CACHE_CAPACITY, DEFAULT_SHARDS)),
             saturate_db: Mutex::new(None),
             extent_stats: RwLock::new(None),
             sat_eval: Mutex::new(None),
@@ -392,6 +427,48 @@ impl QueryEngine {
     /// engine already computed its own.
     pub fn set_shared_summary(&mut self, summary: Arc<ProgramSummary>) {
         let _ = self.summary.set(summary);
+    }
+
+    /// Replace the engine's result cache with a shared one. Sound across
+    /// engines over *the same store lineage* (e.g. the generations of one
+    /// serving store): entries validate per footprint component against
+    /// the asking engine's version vector, and within a lineage a version
+    /// number uniquely identifies a component state.
+    pub fn set_shared_result_cache(&mut self, cache: Arc<SharedResultCache>) {
+        self.cache = cache;
+    }
+
+    /// The engine's result cache, for sharing with sibling engines over
+    /// the same store lineage.
+    pub fn result_cache(&self) -> Arc<SharedResultCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Seed this engine's reference-evaluator state from a previous
+    /// engine over the same federation (an earlier generation). The
+    /// donor's incrementally maintained materialization is *cloned* — the
+    /// donor keeps serving its own pinned snapshot — and the first
+    /// `Saturate` ask on this engine folds the base-fact diff into the
+    /// adopted materialization instead of re-saturating from scratch.
+    /// A no-op when the donor has no incremental state yet or this engine
+    /// already built its own.
+    pub fn adopt_saturate_state(&self, prev: &QueryEngine) {
+        let donor = prev.saturate_db.lock().unwrap();
+        if let Some(SatState::Incremental {
+            versions,
+            base,
+            mat,
+        }) = &*donor
+        {
+            let mut mine = self.saturate_db.lock().unwrap();
+            if mine.is_none() {
+                *mine = Some(SatState::Incremental {
+                    versions: versions.clone(),
+                    base: base.clone(),
+                    mat: mat.clone(),
+                });
+            }
+        }
     }
 
     /// The engine's goal-closure cache, for sharing with sibling engines
@@ -687,8 +764,9 @@ impl QueryEngine {
         // component recovers (the version vector would still match), so
         // only complete answers enter the cache.
         if completeness.is_complete() {
+            let footprint = self.plan_footprint(&plan);
             self.cache
-                .put(key, versions, plan.vars.clone(), rows.clone());
+                .put(key, versions, footprint, plan.vars.clone(), rows.clone());
         }
         stats.publish();
         *self.last_stats.lock().unwrap() = Some(stats);
@@ -740,23 +818,187 @@ impl QueryEngine {
         Some(out)
     }
 
-    /// The reference path: full materialisation + saturation (reusing the
-    /// state while component versions are unchanged), then a fact-base
-    /// query, normalised to sorted unique rows. Serializes concurrent
-    /// callers on the saturate-state mutex.
+    /// The reference path: a delta-maintained materialization (falling
+    /// back to full rebuild + saturation for programs the maintainer
+    /// rejects), then a fact-base query, normalised to sorted unique
+    /// rows. Serializes concurrent callers on the saturate-state mutex.
     fn saturate_rows(&self, query: &GlobalQuery) -> Result<Vec<Vec<Value>>> {
         let versions = self.versions();
         let mut guard = self.saturate_db.lock().unwrap();
-        let fresh = !matches!(&*guard, Some((v, _)) if *v == versions);
-        if fresh {
-            let mut db = FederationDb::build(&self.global, &self.components, &self.meta)?;
-            let eval = db.saturate()?;
-            *self.sat_eval.lock().unwrap() = Some(eval);
-            *guard = Some((versions, db));
-        }
-        let (_, db) = guard.as_mut().expect("just ensured");
-        let substs = db.query(&query.body())?;
+        self.refresh_saturate_state(&mut guard, versions)?;
+        let substs = match guard.as_mut().expect("just ensured") {
+            SatState::Incremental { mat, .. } => mat.query(&query.body()),
+            SatState::Full(_, db) => db.query(&query.body())?,
+        };
         Ok(normalize_rows(&substs, &query.vars()))
+    }
+
+    /// Bring the reference-evaluator state up to `versions`.
+    ///
+    /// Stale incremental state refreshes by *delta*: rebuild the base
+    /// facts (unsaturated — no rule evaluation), diff against the base
+    /// the materialization was last synced to, and apply the typed
+    /// insert/remove batch. Derived facts are repaired by counting/DRed
+    /// maintenance instead of being recomputed. Cold starts attempt the
+    /// incremental shape and fall back to the full rebuild-and-saturate
+    /// path when the maintainer rejects the program.
+    fn refresh_saturate_state(
+        &self,
+        guard: &mut Option<SatState>,
+        versions: Vec<u64>,
+    ) -> Result<()> {
+        if matches!(&*guard, Some(s) if s.versions() == versions.as_slice()) {
+            return Ok(());
+        }
+        if let Some(SatState::Incremental {
+            versions: v,
+            base,
+            mat,
+        }) = guard.as_mut()
+        {
+            let next = FederationDb::build(&self.global, &self.components, &self.meta)?;
+            let new_base: BTreeSet<DFact> = all_facts(next.facts()).into_iter().collect();
+            let mut delta = FactDelta::new();
+            for gone in base.difference(&new_base) {
+                delta.remove(gone.clone());
+            }
+            for added in new_base.difference(base) {
+                delta.insert(added.clone());
+            }
+            let stats = mat.apply(&delta);
+            obs::instant!(
+                "qp.saturate.delta",
+                "qp",
+                "+{} -{} rederived {}",
+                stats.physical_inserts,
+                stats.physical_removes,
+                stats.rederived
+            );
+            *base = new_base;
+            *v = versions;
+            return Ok(());
+        }
+        let mut db = FederationDb::build(&self.global, &self.components, &self.meta)?;
+        let base: BTreeSet<DFact> = all_facts(db.facts()).into_iter().collect();
+        match MaterializedProgram::new(db.program().clone(), db.facts()) {
+            Ok(mat) => {
+                *self.sat_eval.lock().unwrap() = Some(mat.initial_stats());
+                *guard = Some(SatState::Incremental {
+                    versions,
+                    base,
+                    mat,
+                });
+            }
+            Err(_) => {
+                // Program shapes the maintainer rejects (class-variable
+                // rules, non-stratifiable negation) keep the historical
+                // rebuild-per-epoch behaviour.
+                let eval = db.saturate()?;
+                *self.sat_eval.lock().unwrap() = Some(eval);
+                *guard = Some(SatState::Full(versions, db));
+            }
+        }
+        Ok(())
+    }
+
+    /// The component indices a plan can read, or `None` when it must be
+    /// assumed to read everything (the `FullSaturate` fallback).
+    ///
+    /// Scan targets alone are *not* a sound footprint: materializing a
+    /// global class evaluates its attribute-origin recipes, and
+    /// intersection/difference/concat recipes compare value sets from the
+    /// *other* source component even when no target row comes from it. So
+    /// every global class a plan touches contributes all of its source
+    /// components and all components feeding its attribute origins;
+    /// derived scans contribute the same for every class in their
+    /// relevance closure (the facts the closure can derive from).
+    fn plan_footprint(&self, plan: &QueryPlan) -> Option<Vec<usize>> {
+        let comp_idx: BTreeMap<&str, usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, (schema, _))| (schema.name.as_str(), i))
+            .collect();
+        let mut out = BTreeSet::new();
+        if !self.node_footprint(&plan.root, &comp_idx, &mut out) {
+            return None;
+        }
+        Some(out.into_iter().collect())
+    }
+
+    /// Accumulate `node`'s readable components into `out`; `false` means
+    /// the plan reads arbitrarily (no footprint can be claimed).
+    fn node_footprint(
+        &self,
+        node: &PlanNode,
+        comp_idx: &BTreeMap<&str, usize>,
+        out: &mut BTreeSet<usize>,
+    ) -> bool {
+        match node {
+            PlanNode::FullSaturate { .. } => false,
+            PlanNode::Seed(scan) => self.scan_footprint(scan, comp_idx, out),
+            PlanNode::Filter { input, .. } => self.node_footprint(input, comp_idx, out),
+            PlanNode::Join { input, scan, .. } | PlanNode::AntiJoin { input, scan, .. } => {
+                self.node_footprint(input, comp_idx, out)
+                    && self.scan_footprint(scan, comp_idx, out)
+            }
+        }
+    }
+
+    fn scan_footprint(
+        &self,
+        scan: &ScanNode,
+        comp_idx: &BTreeMap<&str, usize>,
+        out: &mut BTreeSet<usize>,
+    ) -> bool {
+        match &scan.kind {
+            ScanKind::Base { targets } => {
+                for t in targets {
+                    out.insert(t.comp_idx);
+                }
+                self.class_footprint(&scan.relation, comp_idx, out);
+                true
+            }
+            ScanKind::Derived {
+                relevant, pruned, ..
+            } => {
+                if *pruned {
+                    return true; // reads nothing by construction
+                }
+                for class in relevant {
+                    self.class_footprint(class, comp_idx, out);
+                }
+                true
+            }
+        }
+    }
+
+    /// All components that materializing global class `name` can read:
+    /// its source extents plus every component feeding an attribute
+    /// origin recipe. Unknown names (derived predicates without an
+    /// integrated class) contribute nothing — their facts come from
+    /// rules over other relations, which the relevance closure lists
+    /// separately.
+    fn class_footprint(
+        &self,
+        name: &str,
+        comp_idx: &BTreeMap<&str, usize>,
+        out: &mut BTreeSet<usize>,
+    ) {
+        if let Some(class) = self.global.integrated.class(name) {
+            for src in &class.sources {
+                if let Some(&i) = comp_idx.get(src.schema.as_str()) {
+                    out.insert(i);
+                }
+            }
+            for origin in class.attr_origins.values() {
+                for src in origin.sources() {
+                    if let Some(&i) = comp_idx.get(src.schema.as_str()) {
+                        out.insert(i);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub mod plan;
 pub mod planner;
 
 pub use analyze::render_analyzed;
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, ResultCache, SharedResultCache, DEFAULT_SHARDS};
 pub use degrade::AnswerCompleteness;
 pub use engine::{normalize_rows, value_json, AnalyzedAnswer, QueryAnswer, QueryEngine};
 pub use exec::{execute, execute_degraded, ExecOutcome, OpProfile};

@@ -71,6 +71,11 @@ pub struct Server {
     /// `(generation number, engine)`, most recent last.
     engines: Mutex<Vec<(u64, Arc<QueryEngine>)>>,
     closure_cache: ClosureCache,
+    /// One result cache shared by every generation's engine. Entries
+    /// carry their component footprint + version vector, so answers
+    /// survive generation installs that never touch the components a
+    /// plan reads; anything inside the footprint still invalidates.
+    result_cache: Arc<qp::SharedResultCache>,
     summary: OnceLock<Arc<analysis::ProgramSummary>>,
     fault: Mutex<Option<(FaultPlan, RetryPolicy)>>,
     admission: AdmissionController,
@@ -92,6 +97,7 @@ impl Server {
             gens: GenerationStore::new(components),
             engines: Mutex::new(Vec::new()),
             closure_cache: Arc::new(Mutex::new(BTreeMap::new())),
+            result_cache: Arc::new(qp::SharedResultCache::new(256, qp::DEFAULT_SHARDS)),
             summary: OnceLock::new(),
             fault: Mutex::new(None),
             admission: AdmissionController::new(cfg.admission),
@@ -151,11 +157,25 @@ impl Server {
         let mut engine =
             QueryEngine::from_parts_arc(self.global.clone(), gen.components(), self.meta.clone());
         engine.set_shared_closure_cache(Arc::clone(&self.closure_cache));
+        engine.set_shared_result_cache(Arc::clone(&self.result_cache));
         if let Some(s) = self.summary.get() {
             engine.set_shared_summary(Arc::clone(s));
         }
         if let Some((plan, policy)) = self.fault.lock().unwrap().as_ref() {
             engine.apply_fault_plan(plan.clone(), *policy);
+        }
+        // A generation install applies a *delta* to the previous
+        // generation's maintained materialization instead of discarding
+        // the reference-evaluator state: clone the newest predecessor's
+        // incremental state (the donor keeps serving its pinned
+        // snapshot) and let the first Saturate ask fold in the base
+        // diff.
+        if let Some((_, prev)) = engines
+            .iter()
+            .filter(|(n, _)| *n < gen.number())
+            .max_by_key(|(n, _)| *n)
+        {
+            engine.adopt_saturate_state(prev);
         }
         let engine = Arc::new(engine);
         // First build donates its summary; later builds received it above.

@@ -89,6 +89,82 @@ fn steps() -> impl Strategy<Value = Vec<Step>> {
     )
 }
 
+/// The mutation soak: k generations install by *delta* — each new
+/// engine adopts the previous generation's maintained materialization
+/// and folds in the base diff — while a reader stays pinned at every
+/// intermediate generation. Afterwards every pinned reader must be
+/// byte-stable (both strategies), no install may have triggered a full
+/// re-saturation, and the delta work must be visible on the
+/// `fedoo_deduction_delta_facts_total` counter.
+#[test]
+fn delta_installed_generations_keep_pinned_readers_byte_stable() {
+    let _guard = obs::test_guard();
+    let server = Server::connect(
+        &library_fsm(),
+        IntegrationStrategy::Accumulation,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let query = query_for(&server);
+
+    // Phase 1 (counted separately): the first Saturate ask pays the one
+    // full saturation that seeds the materialization.
+    obs::install(obs::TimeSource::monotonic());
+    let (gen0, engine0) = server.pinned_engine();
+    let rows0 = rows_at(&engine0, &query, QueryStrategy::Saturate);
+    let warmup = obs::uninstall().expect("installed above");
+    let full_derived = warmup
+        .metrics
+        .counter("fedoo_deduction_facts_derived_total");
+    assert_eq!(gen0.number(), 0);
+
+    // Phase 2: k delta installs, pinning (and saturating) every
+    // intermediate generation so each engine hands its state forward.
+    const K: usize = 6;
+    obs::install(obs::TimeSource::monotonic());
+    let mut pins = vec![(engine0, rows0.clone())];
+    for step in 0..K {
+        let line = format!(
+            "{{\"op\":\"mutate\",\"component\":0,\"class\":\"book\",\
+             \"set\":{{\"title\":\"soak_{step}\",\"year\":{}}}}}",
+            2000 + step
+        );
+        let handled = server.handle_line(&line);
+        assert!(
+            handled.response.starts_with("{\"ok\":true"),
+            "{}",
+            handled.response
+        );
+        let (generation, engine) = server.pinned_engine();
+        assert_eq!(generation.number() as usize, step + 1);
+        let rows = rows_at(&engine, &query, QueryStrategy::Saturate);
+        assert_eq!(rows.len(), rows0.len() + step + 1, "each write lands once");
+        pins.push((engine, rows));
+    }
+    let session = obs::uninstall().expect("installed above");
+    let deltas = session.metrics.counter("fedoo_deduction_delta_facts_total");
+    let rederived = session
+        .metrics
+        .counter("fedoo_deduction_facts_derived_total");
+    assert!(
+        deltas >= K as u64,
+        "every install must flow through the delta maintainer: {deltas}"
+    );
+    assert_eq!(
+        rederived, 0,
+        "no install may pay a full re-saturation (seed cost was {full_derived})"
+    );
+
+    // Phase 3: every pinned reader is byte-stable under both strategies,
+    // in spite of the shared result cache and the adopted state.
+    for (engine, rows) in &pins {
+        let planned = rows_at(engine, &query, QueryStrategy::Planned);
+        assert_eq!(&planned, rows, "pinned planned view drifted");
+        let saturate = rows_at(engine, &query, QueryStrategy::Saturate);
+        assert_eq!(&saturate, rows, "pinned saturate view drifted");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -112,3 +112,41 @@ fn session_replay_is_deterministic() {
     let (_, b, _, _) = replay("basic");
     assert_eq!(normalize_micros(&a), normalize_micros(&b));
 }
+
+/// The live-updates golden pins the incremental-maintenance contract:
+/// generation installs repair the reference materialization by typed
+/// deltas. Replayed under the metrics sink, the delta counter must move
+/// for both installs while staying below the cost of even one full
+/// recompute — and the facts-derived counter must record exactly the
+/// single seed saturation, never a per-install rebuild.
+#[test]
+fn live_updates_installs_by_delta_not_recompute() {
+    let _guard = obs::test_guard();
+    obs::install(obs::TimeSource::monotonic());
+    let (exit, got, _, _) = replay("live_updates");
+    let session = obs::uninstall().expect("installed above");
+    assert_eq!(exit, 0);
+    assert!(got.contains("\"generation\":2"), "{got}");
+
+    let deltas = session.metrics.counter("fedoo_deduction_delta_facts_total");
+    let derived = session
+        .metrics
+        .counter("fedoo_deduction_facts_derived_total");
+    assert!(
+        deltas >= 2,
+        "both installs must flow through the delta maintainer: {deltas}"
+    );
+    assert!(
+        derived >= 1,
+        "the seed saturation publishes its derivation count"
+    );
+    assert!(
+        deltas < derived,
+        "per-install delta work ({deltas} physical changes) must stay below \
+         one full recompute ({derived} derived facts)"
+    );
+    assert!(
+        session.metrics.counter("fedoo_deduction_iterations_total") >= 1,
+        "seed saturation publishes iterations"
+    );
+}
