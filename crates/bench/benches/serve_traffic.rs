@@ -51,8 +51,18 @@ fn row(label: &str, read_pct: u32, tenants: usize, r: &TrafficReport) -> String 
     format!(
         "    {{\"mix\": \"{label}\", \"read_pct\": {read_pct}, \"tenants\": {tenants}, \
          \"ops\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"queue_p99_us\": {}, \"plan_p99_us\": {}, \"exec_p99_us\": {}, \
          \"sheds\": {}, \"errors\": {}}}",
-        r.ops, r.qps, r.merged.p50_us, r.merged.p95_us, r.merged.p99_us, r.sheds, r.errors
+        r.ops,
+        r.qps,
+        r.merged.p50_us,
+        r.merged.p95_us,
+        r.merged.p99_us,
+        r.phases.queue_p99_us,
+        r.phases.plan_p99_us,
+        r.phases.exec_p99_us,
+        r.sheds,
+        r.errors
     )
 }
 

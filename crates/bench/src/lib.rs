@@ -17,6 +17,6 @@ pub mod traffic;
 pub use genschema::{mirrored_trees, random_tree, AssertionMix, GeneratedPair};
 pub use parallel::{integrate_pairs, PairOutcome};
 pub use traffic::{
-    run_traffic, summarize, traffic_fsm, LatencySummary, TenantSpec, TrafficConfig, TrafficReport,
-    Workload, Zipf,
+    run_traffic, summarize, traffic_fsm, LatencySummary, PhaseSummary, TenantSpec, TrafficConfig,
+    TrafficReport, Workload, Zipf,
 };

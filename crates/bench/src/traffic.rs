@@ -108,6 +108,18 @@ pub fn summarize(mut micros: Vec<u64>) -> LatencySummary {
     }
 }
 
+/// Cross-tenant per-phase tail latency, read back from the server's SLO
+/// histograms after the run (log₂ bucket resolution — upper bounds).
+/// Shows *where* the merged p99 went: queueing on admission, planning,
+/// or execution. Cumulative over the server's lifetime, so benches that
+/// compare runs use a fresh server per run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSummary {
+    pub queue_p99_us: u64,
+    pub plan_p99_us: u64,
+    pub exec_p99_us: u64,
+}
+
 /// What a finished run measured.
 #[derive(Debug, Clone)]
 pub struct TrafficReport {
@@ -120,6 +132,7 @@ pub struct TrafficReport {
     pub qps: f64,
     pub merged: LatencySummary,
     pub per_tenant: BTreeMap<String, LatencySummary>,
+    pub phases: PhaseSummary,
 }
 
 struct TenantOutcome {
@@ -234,6 +247,14 @@ pub fn run_traffic(server: &Arc<::serve::Server>, cfg: &TrafficConfig) -> Traffi
         per_tenant.insert(o.name, summarize(o.latencies));
     }
     let ops = merged.len() as u64;
+    let mut queue = obs::HistogramSnapshot::default();
+    let mut plan = obs::HistogramSnapshot::default();
+    let mut exec = obs::HistogramSnapshot::default();
+    for slo in server.tenants().slo_snapshot().values() {
+        queue.merge(&slo.queue);
+        plan.merge(&slo.plan);
+        exec.merge(&slo.execute);
+    }
     TrafficReport {
         ops,
         sheds,
@@ -243,6 +264,11 @@ pub fn run_traffic(server: &Arc<::serve::Server>, cfg: &TrafficConfig) -> Traffi
         qps: ops as f64 / (elapsed_us as f64 / 1_000_000.0),
         merged: summarize(merged),
         per_tenant,
+        phases: PhaseSummary {
+            queue_p99_us: queue.quantile(0.99),
+            plan_p99_us: plan.quantile(0.99),
+            exec_p99_us: exec.quantile(0.99),
+        },
     }
 }
 

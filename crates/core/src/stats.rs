@@ -164,6 +164,18 @@ pub struct QpStats {
     pub degraded: u64,
     /// Wall-clock time of planning + execution, in microseconds.
     pub micros: u64,
+    /// Wall-clock spent planning (validation + rewrite + join ordering).
+    pub plan_micros: u64,
+    /// Wall-clock spent probing (and on a miss, populating) the result
+    /// cache.
+    pub cache_micros: u64,
+    /// Wall-clock spent executing the plan (or saturating, on the
+    /// reference path). Zero for cache hits.
+    pub exec_micros: u64,
+    /// Cache entries that survived a generation install because the
+    /// changed components were outside the entry's plan footprint
+    /// (surfaced per query so the serving layer can flag the save).
+    pub footprint_saves: u64,
 }
 
 impl QpStats {
@@ -193,7 +205,10 @@ impl QpStats {
         obs::counter_add("fedoo_qp_retries_total", self.retries);
         obs::counter_add("fedoo_qp_breaker_trips_total", self.breaker_trips);
         obs::counter_add("fedoo_qp_degraded_total", self.degraded);
+        obs::counter_add("fedoo_qp_footprint_saves_total", self.footprint_saves);
         obs::histogram_record("fedoo_qp_query_micros", self.micros);
+        obs::histogram_record("fedoo_qp_plan_micros", self.plan_micros);
+        obs::histogram_record("fedoo_qp_exec_micros", self.exec_micros);
         obs::histogram_record("fedoo_qp_rows_emitted", self.rows_emitted);
     }
 }
@@ -214,6 +229,10 @@ impl AddAssign for QpStats {
         self.breaker_trips += o.breaker_trips;
         self.degraded += o.degraded;
         self.micros += o.micros;
+        self.plan_micros += o.plan_micros;
+        self.cache_micros += o.cache_micros;
+        self.exec_micros += o.exec_micros;
+        self.footprint_saves += o.footprint_saves;
     }
 }
 

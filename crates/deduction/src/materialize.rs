@@ -468,7 +468,21 @@ impl MaterializedProgram {
             if !touched {
                 continue;
             }
-            if self.units[u].recursive {
+            let recursive = self.units[u].recursive;
+            let _unit_span = obs::span!(
+                "deduction.apply_unit",
+                "deduction",
+                "mode={} negation={} rels={}",
+                if recursive { "dred" } else { "counting" },
+                u8::from(self.unit_uses_negation(u)),
+                self.units[u]
+                    .relations
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join("+")
+            );
+            if recursive {
                 self.apply_recursive(u, &mut plus, &mut minus, &mut stats);
             } else {
                 self.apply_counting(u, &mut plus, &mut minus, &mut stats);
@@ -477,8 +491,19 @@ impl MaterializedProgram {
 
         if obs::enabled() {
             obs::counter_add("fedoo_deduction_delta_facts_total", stats.physical_total());
+            obs::counter_add("fedoo_deduction_rederived_total", stats.rederived);
+            obs::counter_add("fedoo_deduction_maintained_deltas_total", 1);
         }
         stats
+    }
+
+    /// Does any rule of unit `u` read through negation? (Tagged on the
+    /// unit's apply span: negation forces the conservative delta paths.)
+    fn unit_uses_negation(&self, u: usize) -> bool {
+        self.units[u]
+            .rule_idxs
+            .iter()
+            .any(|&ri| self.rules[ri].body.iter().any(Literal::is_negative))
     }
 
     /// Counting maintenance for a non-recursive unit: net the derivation
@@ -1366,6 +1391,48 @@ mod tests {
         mat.apply(&d);
         assert!(!mat.db().contains_pred("anc", &["a".into(), "c".into()]));
         assert_consistent(&mat);
+    }
+
+    /// The maintainer's observability contract: each apply publishes one
+    /// `fedoo_deduction_maintained_deltas_total` tick plus the rederive
+    /// count, and every unit that runs does so inside a
+    /// `deduction.apply_unit` span tagged with its maintenance mode.
+    #[test]
+    fn apply_emits_unit_spans_and_maintenance_counters() {
+        let _guard = obs::test_guard();
+        let mut base = FactDb::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("a", "c")] {
+            base.insert_pred("par", vec![x.into(), y.into()]);
+        }
+        let mut mat = MaterializedProgram::new(ancestor_program(), &base).unwrap();
+
+        obs::install(obs::TimeSource::monotonic());
+        let mut d = FactDelta::new();
+        d.remove(pred2("par", "a", "c"));
+        let stats = mat.apply(&d);
+        let session = obs::uninstall().unwrap();
+        assert_consistent(&mat);
+
+        assert_eq!(
+            session
+                .metrics
+                .counter("fedoo_deduction_maintained_deltas_total"),
+            1
+        );
+        assert_eq!(
+            session.metrics.counter("fedoo_deduction_rederived_total"),
+            stats.rederived
+        );
+        assert!(stats.rederived > 0, "{stats:?}");
+        let unit_details: Vec<&str> = session
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.name == "deduction.apply_unit" && e.phase == obs::Phase::Begin)
+            .map(|e| e.detail.as_deref().unwrap_or(""))
+            .collect();
+        assert_eq!(unit_details.len(), 1, "{unit_details:?}");
+        assert_eq!(unit_details[0], "mode=dred negation=0 rels=anc");
     }
 
     #[test]

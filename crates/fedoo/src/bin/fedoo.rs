@@ -12,6 +12,8 @@
 //! fedoo serve     <s1> <s2> <asserts> [--data1 FILE] [--data2 FILE] [--pair ...]
 //!                 [--fault-plan FILE] [--max-inflight N] [--max-queue N]
 //!                 [--fail-on-shed] [--session FILE]
+//!                 [--slow-log FILE] [--slow-threshold-us N]
+//! fedoo obs       report <trace.jsonl> [--format human|json] [--top N] [--slow-us N]
 //! fedoo show      <schema-file>
 //! ```
 //!
@@ -19,7 +21,15 @@
 //! request/response session on stdin/stdout (one request object per
 //! line; see `fedoo-serve`); `--session FILE` replays a recorded request
 //! file instead, and `--fail-on-shed` turns any load-shed into exit
-//! code 3.
+//! code 3. `--slow-threshold-us`/`--slow-log` arm the slow-query log
+//! (DESIGN.md §15).
+//!
+//! `obs report` analyzes a recorded JSONL trace offline: it groups spans
+//! by request id and plan fingerprint and prints where each slow
+//! request's time went (queue/plan/cache/execute/respond), per-tenant
+//! latency quantiles, and cache hit rates. Record a trace with the
+//! global `--trace` option (e.g. `fedoo serve … --trace t.jsonl`), then
+//! `fedoo obs report t.jsonl --format json`.
 //!
 //! Every subcommand additionally accepts the global observability
 //! options `--trace FILE [--trace-format jsonl|chrome|prom]`: spans and
@@ -132,7 +142,9 @@ fn usage() -> String {
      [--format human|json] [--fault-plan FILE] [--partial-ok]\n  \
      fedoo serve <s1> <s2> <assertions> [--data1 FILE] [--data2 FILE] \
      [--pair S1.cls.key=S2.cls.key]... [--fault-plan FILE] \
-     [--max-inflight N] [--max-queue N] [--fail-on-shed] [--session FILE]\n  \
+     [--max-inflight N] [--max-queue N] [--fail-on-shed] [--session FILE] \
+     [--slow-log FILE] [--slow-threshold-us N]\n  \
+     fedoo obs report <trace.jsonl> [--format human|json] [--top N] [--slow-us N]\n  \
      fedoo show <schema>\n\
      global options: --trace FILE [--trace-format jsonl|chrome|prom]"
         .to_string()
@@ -146,6 +158,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "lint" => lint(&args[1..]),
         "query" => query(&args[1..]),
         "serve" => serve(&args[1..]),
+        "obs" => obs_cmd(&args[1..]).map(|()| ExitCode::SUCCESS),
         "show" => show(&args[1..]).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -176,6 +189,12 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let stdout = std::io::stdout();
     let exit = fedoo::serve::run_serve(args, None, stdin.lock(), stdout.lock())?;
     Ok(ExitCode::from(exit))
+}
+
+fn obs_cmd(args: &[String]) -> Result<(), String> {
+    let rendered = fedoo::obs_cmd::run_obs(args, None)?;
+    print!("{rendered}");
+    Ok(())
 }
 
 fn read(path: &str) -> Result<String, String> {

@@ -62,6 +62,7 @@ pub use relational;
 pub use transform;
 
 pub mod lint;
+pub mod obs_cmd;
 pub mod query;
 pub mod serve;
 

@@ -1,0 +1,95 @@
+//! The `fedoo obs` driver: offline analysis of recorded trace files.
+//!
+//! ```text
+//! fedoo obs report <trace.jsonl> [--format human|json] [--top N] [--slow-us N]
+//! ```
+//!
+//! `report` parses a JSONL trace (the `--trace FILE` export format),
+//! reconstructs each request's span tree, and prints latency
+//! attribution (see `obs::report` and DESIGN.md §15):
+//!
+//! * the top-N plan fingerprints by total time, with per-phase
+//!   breakdown, cache hit rate, and p50/p95/p99;
+//! * per-tenant latency quantiles;
+//! * every request at or above `--slow-us` (default 0 prints none in
+//!   human mode; JSON mode always carries the `slow` array) with its
+//!   phase split and attribution coverage.
+//!
+//! `--format json` is byte-deterministic for a given trace file — the
+//! CI obs-report job runs it twice and diffs — so it can be consumed by
+//! scripts without stabilization tricks.
+//!
+//! This lives in the library so integration tests can drive the exact
+//! code path the binary runs.
+
+use obs::report::{analyze, render_human, render_json, ReportOpts};
+use std::path::Path;
+
+fn read(base: Option<&Path>, path: &str) -> Result<String, String> {
+    let resolved = match base {
+        Some(b) if !Path::new(path).is_absolute() => b.join(path),
+        _ => Path::new(path).to_path_buf(),
+    };
+    std::fs::read_to_string(&resolved).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Parse the `obs` argument list and run the subcommand, returning the
+/// rendered output. Relative paths resolve against `base` when given.
+pub fn run_obs(args: &[String], base: Option<&Path>) -> Result<String, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("obs needs a subcommand: `report <trace.jsonl>`".to_string());
+    };
+    match sub.as_str() {
+        "report" => run_report(rest, base),
+        other => Err(format!(
+            "unknown obs subcommand `{other}` (expected `report`)"
+        )),
+    }
+}
+
+fn run_report(args: &[String], base: Option<&Path>) -> Result<String, String> {
+    let mut opts = ReportOpts::default();
+    let mut format = "human".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs `human` or `json`")?;
+                if !matches!(v.as_str(), "human" | "json") {
+                    return Err(format!("--format must be `human` or `json`, got `{v}`"));
+                }
+                format = v.clone();
+            }
+            "--top" => {
+                opts.top = it
+                    .next()
+                    .ok_or("--top needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
+            "--slow-us" => {
+                opts.slow_us = it
+                    .next()
+                    .ok_or("--slow-us needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--slow-us: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            _ if trace_path.is_none() => trace_path = Some(a.clone()),
+            _ => return Err("obs report takes exactly one trace file".to_string()),
+        }
+    }
+    let path = trace_path.ok_or("obs report needs a trace file (JSONL export)")?;
+    let trace =
+        obs::export::parse_jsonl(&read(base, &path)?).map_err(|e| format!("{path}: {e}"))?;
+    let report = analyze(&trace);
+    let mut out = match format.as_str() {
+        "json" => render_json(&report, &opts),
+        _ => render_human(&report, &opts),
+    };
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    Ok(out)
+}

@@ -9,6 +9,7 @@
 //!             [--fault-plan FILE]
 //!             [--max-inflight N] [--max-queue N]
 //!             [--fail-on-shed] [--session FILE]
+//!             [--slow-log FILE] [--slow-threshold-us N]
 //! ```
 //!
 //! Requests arrive one JSONL object per line (`query`, `explain`,
@@ -19,6 +20,13 @@
 //! and `--max-queue` size admission control; with `--fail-on-shed` a
 //! session that shed any request exits 3 (distinct from `fedoo query`'s
 //! 1 = rejected and 2 = degraded past policy).
+//!
+//! `--slow-threshold-us N` arms the slow-query log: queries whose total
+//! wall-clock reaches N microseconds are buffered as structured JSONL
+//! records (request id, plan fingerprint, per-phase micros — DESIGN.md
+//! §15) and written to `--slow-log FILE` when the session ends (stderr
+//! if no file was given). A threshold of 0 logs every query, which is
+//! how the golden fixture pins the record schema.
 //!
 //! This lives in the library (rather than the binary) so the golden
 //! tests replay the exact CLI argument lists through the exact session
@@ -52,6 +60,8 @@ pub fn run_serve(
     let mut fault_plan_path: Option<String> = None;
     let mut session_path: Option<String> = None;
     let mut admission = ::serve::AdmissionConfig::default();
+    let mut slow_log = ::serve::SlowLogConfig::default();
+    let mut slow_log_path: Option<String> = None;
     let mut fail_on_shed = false;
     let mut positional: Vec<String> = Vec::new();
 
@@ -93,6 +103,17 @@ pub fn run_serve(
                     .parse()
                     .map_err(|e| format!("--max-queue: {e}"))?
             }
+            "--slow-log" => {
+                slow_log_path = Some(it.next().ok_or("--slow-log needs a file argument")?.clone())
+            }
+            "--slow-threshold-us" => {
+                slow_log.threshold_us = Some(
+                    it.next()
+                        .ok_or("--slow-threshold-us needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--slow-threshold-us: {e}"))?,
+                )
+            }
             "--fail-on-shed" => fail_on_shed = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             _ => positional.push(a.clone()),
@@ -104,9 +125,14 @@ pub fn run_serve(
         );
     };
 
+    if slow_log_path.is_some() && slow_log.threshold_us.is_none() {
+        return Err("--slow-log requires --slow-threshold-us N".to_string());
+    }
+
     let fsm = crate::query::build_fsm(base, [p1.as_str(), p2, pa], &data_paths, &pair_specs)?;
     let cfg = ::serve::ServeConfig {
         admission,
+        slow_log,
         ..::serve::ServeConfig::default()
     };
     let server = ::serve::Server::connect(&fsm, IntegrationStrategy::Accumulation, cfg)
@@ -131,5 +157,27 @@ pub fn run_serve(
         None => ::serve::run_session(&server, input, output, opts),
     }
     .map_err(|e| format!("session I/O failed: {e}"))?;
+
+    if slow_log.threshold_us.is_some() {
+        let (lines, dropped) = server.slow_log().drain();
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if dropped > 0 {
+            eprintln!("slow-log: ring dropped {dropped} oldest record(s)");
+        }
+        match &slow_log_path {
+            Some(p) => {
+                let resolved = match base {
+                    Some(b) if !Path::new(p).is_absolute() => b.join(p),
+                    _ => Path::new(p).to_path_buf(),
+                };
+                std::fs::write(&resolved, text)
+                    .map_err(|e| format!("cannot write slow log `{p}`: {e}"))?;
+            }
+            None => eprint!("{text}"),
+        }
+    }
     Ok(summary.exit)
 }

@@ -33,6 +33,7 @@
 pub mod clock;
 pub mod export;
 pub mod metrics;
+pub mod report;
 pub mod trace;
 
 pub use clock::TimeSource;

@@ -74,6 +74,69 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. With power-of-two bounds the true sample is
+    /// within a factor of two below the returned value — "bucket
+    /// resolution" wherever SLO numbers are compared against exact
+    /// per-request measurements. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (bound, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return *bound;
+            }
+        }
+        self.buckets.last().map(|(b, _)| *b).unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise sum). Bounds come
+    /// from the same power-of-two ladder in both operands, so merging is
+    /// a sorted-list union.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some((ab, ac)), Some((bb, bc))) if ab == bb => {
+                    merged.push((*ab, ac + bc));
+                    a.next();
+                    b.next();
+                }
+                (Some((ab, ac)), Some((bb, _))) if ab < bb => {
+                    merged.push((*ab, *ac));
+                    a.next();
+                }
+                (Some(_), Some((bb, bc))) => {
+                    merged.push((*bb, *bc));
+                    b.next();
+                }
+                (Some((ab, ac)), None) => {
+                    merged.push((*ab, *ac));
+                    a.next();
+                }
+                (None, Some((bb, bc))) => {
+                    merged.push((*bb, *bc));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
 /// Build a labeled metric name: `name{label="value"}`. Labeled series are
 /// ordinary registry entries — the label block is part of the key, so
 /// per-tenant counters accumulate independently and render adjacently
@@ -186,6 +249,39 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 8);
         assert_eq!(snap.buckets.iter().map(|(_, c)| c).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 900] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Ranks 1..=5 land in buckets 1, 2, 4, 128, 1024.
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(0.5), 4);
+        assert_eq!(snap.quantile(0.8), 128);
+        assert_eq!(snap.quantile(0.99), 1024);
+        assert_eq!(snap.quantile(1.0), 1024);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_bucketwise() {
+        let (mut a, mut b) = (Histogram::default(), Histogram::default());
+        for v in [1u64, 5, 5] {
+            a.record(v);
+        }
+        for v in [5u64, 900] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 916);
+        assert_eq!(m.buckets, vec![(1, 1), (8, 3), (1024, 1)]);
+        assert_eq!(m.quantile(0.99), 1024);
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! Offline trace analysis: per-request span trees and latency attribution.
+//!
+//! The serving layer (DESIGN.md §15) opens one [`REQUEST_SPAN`] per
+//! protocol request with `id=… tenant=… op=…` in its detail, nests the
+//! named phase spans ([`PHASE_QUEUE`], [`PHASE_PIN`], [`PHASE_PLAN`],
+//! [`PHASE_CACHE`], [`PHASE_EXECUTE`], [`PHASE_RESPOND`]) beneath it on
+//! the same thread,
+//! and emits a [`DONE_INSTANT`] carrying the answer's plan fingerprint,
+//! row count, and cache/degradation flags. This module is the read side:
+//! [`analyze`] rebuilds the span forest from the flat Begin/End event
+//! stream (per-tid nesting order, the same reconstruction the Chrome
+//! exporter validates), extracts one [`RequestReport`] per request span,
+//! and aggregates by plan fingerprint and by tenant. `fedoo obs report`
+//! renders the result; both renderers are pure functions of the trace,
+//! so the same file always produces the same bytes.
+
+use crate::trace::{Event, Phase, Trace};
+use std::collections::BTreeMap;
+
+/// Root span opened around every serve protocol request.
+pub const REQUEST_SPAN: &str = "serve.request";
+/// Instant emitted inside the request span once the answer is known,
+/// carrying `id= fp= rows= cache= degraded=` detail.
+pub const DONE_INSTANT: &str = "serve.request.done";
+/// Admission wait (queueing for an in-flight slot).
+pub const PHASE_QUEUE: &str = "serve.queue";
+/// Generation pinning: snapshot resolution and (first pin only) engine
+/// construction, including its planner-diagnostics pass.
+pub const PHASE_PIN: &str = "serve.pin";
+/// Query planning (`qp.plan`, emitted by the query processor).
+pub const PHASE_PLAN: &str = "qp.plan";
+/// Result-cache probe (`qp.cache`).
+pub const PHASE_CACHE: &str = "qp.cache";
+/// Plan execution / saturation (`qp.execute`).
+pub const PHASE_EXECUTE: &str = "qp.execute";
+/// The query processor's umbrella span around one `ask`. When present,
+/// everything under it that is not planning or cache handling — parse,
+/// operator execution, result assembly — is attributed to `execute`, so
+/// slow-request coverage does not leak into `other` through sub-spans.
+pub const PHASE_ASK: &str = "qp.ask";
+/// Response rendering back to protocol bytes (plus the per-request
+/// bookkeeping: tenant accounting and the slow-log append).
+pub const PHASE_RESPOND: &str = "serve.respond";
+
+/// Wall-time attribution of one request across the named phases, in
+/// microseconds. `other` is the unattributed remainder
+/// (`total - queue - pin - plan - cache - execute - respond`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseMicros {
+    pub queue: u64,
+    pub pin: u64,
+    pub plan: u64,
+    pub cache: u64,
+    pub execute: u64,
+    pub respond: u64,
+    pub other: u64,
+}
+
+impl PhaseMicros {
+    /// Microseconds attributed to a named phase (everything but `other`).
+    pub fn attributed(&self) -> u64 {
+        self.queue + self.pin + self.plan + self.cache + self.execute + self.respond
+    }
+
+    fn add(&mut self, o: &PhaseMicros) {
+        self.queue += o.queue;
+        self.pin += o.pin;
+        self.plan += o.plan;
+        self.cache += o.cache;
+        self.execute += o.execute;
+        self.respond += o.respond;
+        self.other += o.other;
+    }
+}
+
+/// One reconstructed request: identity, timing, and answer attributes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestReport {
+    pub id: String,
+    pub tenant: String,
+    pub op: String,
+    pub start_us: u64,
+    pub total_us: u64,
+    pub phases: PhaseMicros,
+    /// Plan fingerprint hash from the done-instant (query ops only).
+    pub fp: Option<String>,
+    pub rows: u64,
+    pub cache_hit: bool,
+    pub degraded: bool,
+}
+
+impl RequestReport {
+    /// Share of wall time attributed to named phases, in percent
+    /// (100 for a zero-duration request: nothing is unattributed).
+    pub fn coverage_pct(&self) -> u64 {
+        (self.phases.attributed() * 100)
+            .checked_div(self.total_us)
+            .unwrap_or(100)
+    }
+}
+
+/// Aggregate over every request that executed one plan fingerprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FingerprintReport {
+    pub fp: String,
+    pub count: u64,
+    pub cache_hits: u64,
+    pub rows: u64,
+    pub total_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub phases: PhaseMicros,
+}
+
+/// Aggregate over every *query* a tenant issued (exact percentiles, so
+/// the serving layer's bucketed SLO histograms — which record answered
+/// queries only — can be cross-checked).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantReport {
+    pub tenant: String,
+    pub count: u64,
+    pub total_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+/// Everything [`analyze`] extracts from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Requests in trace order (start timestamp, then id).
+    pub requests: Vec<RequestReport>,
+    /// Fingerprint groups, busiest (summed wall time) first.
+    pub fingerprints: Vec<FingerprintReport>,
+    /// Per-tenant aggregates, sorted by tenant name.
+    pub tenants: Vec<TenantReport>,
+    /// Events the sink's ring evicted before export.
+    pub dropped: u64,
+    /// Spans still open when the trace ended (excluded from reports).
+    pub truncated: u64,
+}
+
+/// A reconstructed span with its children, used while walking the forest.
+struct Node {
+    name: String,
+    detail: Option<String>,
+    start_us: u64,
+    end_us: u64,
+    children: Vec<Node>,
+    instants: Vec<(String, Option<String>)>,
+}
+
+/// Exact quantile over an ascending-sorted sample: the `ceil(q·n)`-th
+/// smallest value (nearest-rank definition, matching
+/// `HistogramSnapshot::quantile` up to bucket rounding).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Parse a `k=v k=v …` detail string (the span-detail convention the
+/// serving layer uses) into a key→value map. Tokens without `=` are
+/// ignored.
+fn kv_pairs(detail: &str) -> BTreeMap<&str, &str> {
+    detail
+        .split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+/// Rebuild the span forest of one thread from its Begin/End sequence.
+/// Returns `(roots, truncated)`.
+fn build_forest(events: &[&Event]) -> (Vec<Node>, u64) {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut roots: Vec<Node> = Vec::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Begin => stack.push(Node {
+                name: ev.name.clone(),
+                detail: ev.detail.clone(),
+                start_us: ev.ts_us,
+                end_us: ev.ts_us,
+                children: Vec::new(),
+                instants: Vec::new(),
+            }),
+            Phase::End => {
+                // Ends pair LIFO per thread (the invariant validate_chrome
+                // checks); a mismatched name still closes the top span so
+                // one malformed event cannot skew every later request.
+                if let Some(mut node) = stack.pop() {
+                    node.end_us = ev.ts_us;
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+            }
+            Phase::Instant => {
+                if let Some(top) = stack.last_mut() {
+                    top.instants.push((ev.name.clone(), ev.detail.clone()));
+                }
+            }
+        }
+    }
+    let truncated = stack.len() as u64;
+    (roots, truncated)
+}
+
+/// Sum the duration of every descendant span named `phase`. Phase spans
+/// never nest within themselves, so a plain subtree sum never counts a
+/// microsecond twice.
+fn phase_sum(node: &Node, phase: &str) -> u64 {
+    node.children
+        .iter()
+        .map(|c| {
+            let own = if c.name == phase {
+                c.end_us.saturating_sub(c.start_us)
+            } else {
+                0
+            };
+            own + phase_sum(c, phase)
+        })
+        .sum()
+}
+
+/// Find the done-instant's detail anywhere in the request subtree.
+fn find_done(node: &Node) -> Option<&str> {
+    node.instants
+        .iter()
+        .find(|(name, _)| name == DONE_INSTANT)
+        .and_then(|(_, d)| d.as_deref())
+        .or_else(|| node.children.iter().find_map(find_done))
+}
+
+fn request_from(node: &Node) -> RequestReport {
+    let attrs = node.detail.as_deref().map(kv_pairs).unwrap_or_default();
+    let total_us = node.end_us.saturating_sub(node.start_us);
+    let plan = phase_sum(node, PHASE_PLAN);
+    let cache = phase_sum(node, PHASE_CACHE);
+    // When the query processor's `qp.ask` umbrella is present, its whole
+    // duration minus planning and cache handling counts as execution
+    // (parse, operator tree, result assembly); otherwise fall back to
+    // the bare `qp.execute` sum.
+    let ask = phase_sum(node, PHASE_ASK);
+    let execute = if ask > 0 {
+        ask.saturating_sub(plan + cache)
+    } else {
+        phase_sum(node, PHASE_EXECUTE)
+    };
+    let mut phases = PhaseMicros {
+        queue: phase_sum(node, PHASE_QUEUE),
+        pin: phase_sum(node, PHASE_PIN),
+        plan,
+        cache,
+        execute,
+        respond: phase_sum(node, PHASE_RESPOND),
+        other: 0,
+    };
+    phases.other = total_us.saturating_sub(phases.attributed());
+    let done = find_done(node).map(kv_pairs).unwrap_or_default();
+    RequestReport {
+        id: attrs.get("id").unwrap_or(&"").to_string(),
+        tenant: attrs.get("tenant").unwrap_or(&"").to_string(),
+        op: attrs.get("op").unwrap_or(&"").to_string(),
+        start_us: node.start_us,
+        total_us,
+        phases,
+        fp: done.get("fp").map(|s| s.to_string()),
+        rows: done.get("rows").and_then(|s| s.parse().ok()).unwrap_or(0),
+        cache_hit: done.get("cache").copied() == Some("hit"),
+        degraded: done.get("degraded").copied() == Some("1"),
+    }
+}
+
+/// Collect every request span in the forest (requests never nest, but a
+/// depth-first sweep keeps the analyzer robust to future wrappers).
+fn collect_requests(node: &Node, out: &mut Vec<RequestReport>) {
+    if node.name == REQUEST_SPAN {
+        out.push(request_from(node));
+    }
+    for c in &node.children {
+        collect_requests(c, out);
+    }
+}
+
+/// Analyze a trace: rebuild span trees per thread, extract requests, and
+/// aggregate by fingerprint and tenant.
+pub fn analyze(trace: &Trace) -> Report {
+    let mut by_tid: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for ev in &trace.events {
+        by_tid.entry(ev.tid).or_default().push(ev);
+    }
+    let mut requests = Vec::new();
+    let mut truncated = 0;
+    for events in by_tid.values() {
+        let (roots, t) = build_forest(events);
+        truncated += t;
+        for root in &roots {
+            collect_requests(root, &mut requests);
+        }
+    }
+    requests.sort_by(|a, b| (a.start_us, &a.id).cmp(&(b.start_us, &b.id)));
+
+    let mut by_fp: BTreeMap<&str, Vec<&RequestReport>> = BTreeMap::new();
+    let mut by_tenant: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for r in &requests {
+        if let Some(fp) = &r.fp {
+            by_fp.entry(fp).or_default().push(r);
+        }
+        // Tenant quantiles mirror the serving layer's SLO histograms,
+        // which record answered queries only — mutates and bookkeeping
+        // ops would skew the comparison.
+        if r.op == "query" {
+            by_tenant.entry(&r.tenant).or_default().push(r.total_us);
+        }
+    }
+
+    let mut fingerprints: Vec<FingerprintReport> = by_fp
+        .into_iter()
+        .map(|(fp, rs)| {
+            let mut durations: Vec<u64> = rs.iter().map(|r| r.total_us).collect();
+            durations.sort_unstable();
+            let mut phases = PhaseMicros::default();
+            for r in &rs {
+                phases.add(&r.phases);
+            }
+            FingerprintReport {
+                fp: fp.to_string(),
+                count: rs.len() as u64,
+                cache_hits: rs.iter().filter(|r| r.cache_hit).count() as u64,
+                rows: rs.iter().map(|r| r.rows).sum(),
+                total_us: durations.iter().sum(),
+                p50_us: exact_quantile(&durations, 0.50),
+                p95_us: exact_quantile(&durations, 0.95),
+                p99_us: exact_quantile(&durations, 0.99),
+                phases,
+            }
+        })
+        .collect();
+    // Busiest fingerprints first; fp string breaks ties so the order is
+    // a pure function of the trace.
+    fingerprints.sort_by(|a, b| (b.total_us, &a.fp).cmp(&(a.total_us, &b.fp)));
+
+    let tenants = by_tenant
+        .into_iter()
+        .map(|(tenant, mut durations)| {
+            durations.sort_unstable();
+            TenantReport {
+                tenant: tenant.to_string(),
+                count: durations.len() as u64,
+                total_us: durations.iter().sum(),
+                p50_us: exact_quantile(&durations, 0.50),
+                p95_us: exact_quantile(&durations, 0.95),
+                p99_us: exact_quantile(&durations, 0.99),
+            }
+        })
+        .collect();
+
+    Report {
+        requests,
+        fingerprints,
+        tenants,
+        dropped: trace.dropped,
+        truncated,
+    }
+}
+
+/// Rendering knobs shared by both output formats.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOpts {
+    /// Fingerprint rows to print (busiest first).
+    pub top: usize,
+    /// Only requests at least this slow appear in the per-request
+    /// section (0 lists every request).
+    pub slow_us: u64,
+}
+
+impl Default for ReportOpts {
+    fn default() -> Self {
+        ReportOpts {
+            top: 10,
+            slow_us: 0,
+        }
+    }
+}
+
+fn phases_json(p: &PhaseMicros) -> String {
+    format!(
+        "{{\"queue_us\":{},\"pin_us\":{},\"plan_us\":{},\"cache_us\":{},\"execute_us\":{},\"respond_us\":{},\"other_us\":{}}}",
+        p.queue, p.pin, p.plan, p.cache, p.execute, p.respond, p.other
+    )
+}
+
+/// Deterministic JSON rendering: a pure function of the trace, suitable
+/// for goldens and scripted assertions (same input file ⇒ same bytes).
+pub fn render_json(report: &Report, opts: &ReportOpts) -> String {
+    use crate::export::json_escape;
+    let mut out = format!(
+        "{{\"meta\":\"fedoo-obs-report\",\"version\":1,\"requests\":{},\"dropped\":{},\"truncated\":{},",
+        report.requests.len(),
+        report.dropped,
+        report.truncated
+    );
+    out.push_str("\"fingerprints\":[");
+    for (i, f) in report.fingerprints.iter().take(opts.top).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"fp\":\"{}\",\"count\":{},\"cache_hits\":{},\"rows\":{},\"total_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"phases\":{}}}",
+            json_escape(&f.fp),
+            f.count,
+            f.cache_hits,
+            f.rows,
+            f.total_us,
+            f.p50_us,
+            f.p95_us,
+            f.p99_us,
+            phases_json(&f.phases),
+        ));
+    }
+    out.push_str("],\"tenants\":[");
+    for (i, t) in report.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tenant\":\"{}\",\"count\":{},\"total_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            json_escape(&t.tenant),
+            t.count,
+            t.total_us,
+            t.p50_us,
+            t.p95_us,
+            t.p99_us,
+        ));
+    }
+    out.push_str("],\"slow\":[");
+    let mut first = true;
+    for r in report
+        .requests
+        .iter()
+        .filter(|r| r.total_us >= opts.slow_us)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"request_id\":\"{}\",\"tenant\":\"{}\",\"op\":\"{}\",\"total_us\":{},\"phases\":{},\"coverage_pct\":{}",
+            json_escape(&r.id),
+            json_escape(&r.tenant),
+            json_escape(&r.op),
+            r.total_us,
+            phases_json(&r.phases),
+            r.coverage_pct(),
+        ));
+        if let Some(fp) = &r.fp {
+            out.push_str(&format!(
+                ",\"fp\":\"{}\",\"rows\":{},\"cache\":\"{}\",\"degraded\":{}",
+                json_escape(fp),
+                r.rows,
+                if r.cache_hit { "hit" } else { "miss" },
+                r.degraded,
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Human-readable latency-attribution tables.
+pub fn render_human(report: &Report, opts: &ReportOpts) -> String {
+    let mut out = format!(
+        "trace: {} requests, {} fingerprints, {} tenants",
+        report.requests.len(),
+        report.fingerprints.len(),
+        report.tenants.len()
+    );
+    if report.dropped > 0 || report.truncated > 0 {
+        out.push_str(&format!(
+            " ({} events dropped, {} spans truncated)",
+            report.dropped, report.truncated
+        ));
+    }
+    out.push('\n');
+
+    out.push_str(&format!(
+        "\ntop {} plan fingerprints by total wall time:\n",
+        opts.top.min(report.fingerprints.len())
+    ));
+    out.push_str(
+        "  fingerprint       count  cache   rows   total_us     p50     p95     p99  plan%  exec%\n",
+    );
+    for f in report.fingerprints.iter().take(opts.top) {
+        let pct = |v: u64| (v * 100).checked_div(f.total_us).unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<16} {:>6} {:>6} {:>6} {:>10} {:>7} {:>7} {:>7} {:>5}% {:>5}%\n",
+            f.fp,
+            f.count,
+            f.cache_hits,
+            f.rows,
+            f.total_us,
+            f.p50_us,
+            f.p95_us,
+            f.p99_us,
+            pct(f.phases.plan),
+            pct(f.phases.execute),
+        ));
+    }
+
+    out.push_str("\nper-tenant latency (exact, from request spans):\n");
+    out.push_str("  tenant            count   total_us      p50      p95      p99\n");
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "  {:<16} {:>6} {:>10} {:>8} {:>8} {:>8}\n",
+            t.tenant, t.count, t.total_us, t.p50_us, t.p95_us, t.p99_us
+        ));
+    }
+
+    let slow: Vec<&RequestReport> = report
+        .requests
+        .iter()
+        .filter(|r| r.total_us >= opts.slow_us)
+        .collect();
+    out.push_str(&format!(
+        "\n{} request(s) at or above {} µs:\n",
+        slow.len(),
+        opts.slow_us
+    ));
+    out.push_str(
+        "  request_id        tenant      op       total_us  queue    pin   plan  cache   exec  cover\n",
+    );
+    for r in slow {
+        out.push_str(&format!(
+            "  {:<16} {:<10} {:<8} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5}%\n",
+            r.id,
+            r.tenant,
+            r.op,
+            r.total_us,
+            r.phases.queue,
+            r.phases.pin,
+            r.phases.plan,
+            r.phases.cache,
+            r.phases.execute,
+            r.coverage_pct(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, phase: Phase, ts_us: u64, tid: u64, detail: Option<&str>) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "serve".to_string(),
+            phase,
+            ts_us,
+            tid,
+            detail: detail.map(str::to_string),
+        }
+    }
+
+    /// One request span with queue/plan/execute children plus the done
+    /// instant, hand-laid-out so every attribution number is checkable.
+    fn request_events(tid: u64, base: u64, id: &str, fp: &str) -> Vec<Event> {
+        vec![
+            ev(
+                REQUEST_SPAN,
+                Phase::Begin,
+                base,
+                tid,
+                Some(&format!("id={id} tenant=t1 op=query")),
+            ),
+            ev(PHASE_QUEUE, Phase::Begin, base + 10, tid, None),
+            ev(PHASE_QUEUE, Phase::End, base + 30, tid, None),
+            ev("qp.ask", Phase::Begin, base + 30, tid, None),
+            ev(PHASE_PLAN, Phase::Begin, base + 35, tid, None),
+            ev(PHASE_PLAN, Phase::End, base + 135, tid, None),
+            ev(PHASE_CACHE, Phase::Begin, base + 135, tid, None),
+            ev(PHASE_CACHE, Phase::End, base + 140, tid, None),
+            ev(PHASE_EXECUTE, Phase::Begin, base + 140, tid, None),
+            ev(PHASE_EXECUTE, Phase::End, base + 940, tid, None),
+            ev("qp.ask", Phase::End, base + 945, tid, None),
+            ev(
+                DONE_INSTANT,
+                Phase::Instant,
+                base + 946,
+                tid,
+                Some(&format!("id={id} fp={fp} rows=3 cache=miss degraded=0")),
+            ),
+            ev(PHASE_RESPOND, Phase::Begin, base + 950, tid, None),
+            ev(PHASE_RESPOND, Phase::End, base + 990, tid, None),
+            ev(REQUEST_SPAN, Phase::End, base + 1000, tid, None),
+        ]
+    }
+
+    #[test]
+    fn attributes_phase_time_to_the_request() {
+        let trace = Trace {
+            events: request_events(1, 0, "r1", "abc123"),
+            dropped: 0,
+        };
+        let report = analyze(&trace);
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert_eq!(
+            (r.id.as_str(), r.tenant.as_str(), r.op.as_str()),
+            ("r1", "t1", "query")
+        );
+        assert_eq!(r.total_us, 1000);
+        assert_eq!(r.phases.queue, 20);
+        assert_eq!(r.phases.plan, 100);
+        assert_eq!(r.phases.cache, 5);
+        // qp.ask spans 915 µs; everything in it beyond plan+cache is
+        // execution (parse, operators, assembly), not `other`.
+        assert_eq!(r.phases.execute, 810);
+        assert_eq!(r.phases.respond, 40);
+        assert_eq!(r.phases.other, 25);
+        assert_eq!(r.coverage_pct(), 97, "975/1000 attributed");
+        assert_eq!(r.fp.as_deref(), Some("abc123"));
+        assert_eq!(r.rows, 3);
+        assert!(!r.cache_hit);
+        assert!(!r.degraded);
+    }
+
+    #[test]
+    fn groups_by_fingerprint_and_tenant_across_threads() {
+        let mut events = request_events(1, 0, "r1", "fpA");
+        events.extend(request_events(2, 500, "r2", "fpA"));
+        events.extend(request_events(1, 2000, "r3", "fpB"));
+        let report = analyze(&Trace { events, dropped: 0 });
+        assert_eq!(report.requests.len(), 3);
+        assert_eq!(
+            report
+                .requests
+                .iter()
+                .map(|r| r.id.as_str())
+                .collect::<Vec<_>>(),
+            vec!["r1", "r2", "r3"],
+            "trace order: start timestamp"
+        );
+        assert_eq!(report.fingerprints.len(), 2);
+        // fpA: two requests, 2000 µs total — busiest first.
+        assert_eq!(report.fingerprints[0].fp, "fpA");
+        assert_eq!(report.fingerprints[0].count, 2);
+        assert_eq!(report.fingerprints[0].total_us, 2000);
+        assert_eq!(report.fingerprints[0].p99_us, 1000);
+        assert_eq!(report.fingerprints[0].phases.execute, 1620);
+        assert_eq!(report.tenants.len(), 1);
+        assert_eq!(report.tenants[0].count, 3);
+    }
+
+    /// The generation-pin span is its own phase, and non-query ops stay
+    /// out of the per-tenant SLO cross-check quantiles.
+    #[test]
+    fn pin_phase_counts_and_tenants_are_query_only() {
+        let mut events = vec![
+            ev(
+                REQUEST_SPAN,
+                Phase::Begin,
+                0,
+                1,
+                Some("id=q1 tenant=t1 op=query"),
+            ),
+            ev(PHASE_QUEUE, Phase::Begin, 10, 1, None),
+            ev(PHASE_QUEUE, Phase::End, 30, 1, None),
+            ev(PHASE_PIN, Phase::Begin, 30, 1, None),
+            ev(PHASE_PIN, Phase::End, 530, 1, None),
+            ev("qp.ask", Phase::Begin, 540, 1, None),
+            ev(PHASE_PLAN, Phase::Begin, 545, 1, None),
+            ev(PHASE_PLAN, Phase::End, 645, 1, None),
+            ev(PHASE_EXECUTE, Phase::Begin, 650, 1, None),
+            ev(PHASE_EXECUTE, Phase::End, 900, 1, None),
+            ev("qp.ask", Phase::End, 950, 1, None),
+            ev(PHASE_RESPOND, Phase::Begin, 955, 1, None),
+            ev(PHASE_RESPOND, Phase::End, 995, 1, None),
+            ev(REQUEST_SPAN, Phase::End, 1000, 1, None),
+        ];
+        events.extend(vec![
+            ev(
+                REQUEST_SPAN,
+                Phase::Begin,
+                2000,
+                1,
+                Some("id=w1 tenant=t1 op=mutate"),
+            ),
+            ev(REQUEST_SPAN, Phase::End, 9000, 1, None),
+        ]);
+        let report = analyze(&Trace { events, dropped: 0 });
+        assert_eq!(report.requests.len(), 2);
+        let q = &report.requests[0];
+        assert_eq!(q.phases.pin, 500);
+        assert_eq!(q.phases.plan, 100);
+        assert_eq!(q.phases.execute, 310, "qp.ask(410) - plan(100)");
+        assert_eq!(q.phases.other, 30);
+        assert_eq!(q.coverage_pct(), 97);
+        // The 7000 µs mutate must not drag the tenant's query quantiles.
+        assert_eq!(report.tenants.len(), 1);
+        assert_eq!(report.tenants[0].count, 1);
+        assert_eq!(report.tenants[0].p99_us, 1000);
+    }
+
+    #[test]
+    fn truncated_spans_and_drops_are_surfaced_not_reported() {
+        let mut events = request_events(1, 0, "r1", "fpA");
+        // A request whose End never arrived (ring eviction mid-span).
+        events.push(ev(
+            REQUEST_SPAN,
+            Phase::Begin,
+            5000,
+            1,
+            Some("id=r9 tenant=t1 op=query"),
+        ));
+        let report = analyze(&Trace { events, dropped: 7 });
+        assert_eq!(report.requests.len(), 1, "open span is not a request");
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.dropped, 7);
+    }
+
+    #[test]
+    fn json_render_is_deterministic_and_carries_request_ids() {
+        let mut events = request_events(1, 0, "r1", "fpA");
+        events.extend(request_events(1, 2000, "r2", "fpB"));
+        let report = analyze(&Trace { events, dropped: 0 });
+        let opts = ReportOpts::default();
+        let a = render_json(&report, &opts);
+        let b = render_json(&report, &opts);
+        assert_eq!(a, b);
+        assert!(a.contains("\"request_id\":\"r1\""), "{a}");
+        assert!(a.contains("\"request_id\":\"r2\""), "{a}");
+        assert!(a.contains("\"fp\":\"fpA\""), "{a}");
+        // The slow filter trims the per-request section only.
+        let slow_only = render_json(
+            &report,
+            &ReportOpts {
+                slow_us: 1_000_000,
+                ..opts
+            },
+        );
+        assert!(!slow_only.contains("\"request_id\""), "{slow_only}");
+        assert!(slow_only.contains("\"fp\":\"fpA\""), "{slow_only}");
+    }
+
+    #[test]
+    fn human_render_lists_fingerprints_and_slow_requests() {
+        let events = request_events(1, 0, "r1", "fpA");
+        let report = analyze(&Trace { events, dropped: 0 });
+        let text = render_human(&report, &ReportOpts::default());
+        assert!(text.contains("fpA"), "{text}");
+        assert!(text.contains("r1"), "{text}");
+        assert!(text.contains("per-tenant latency"), "{text}");
+    }
+}

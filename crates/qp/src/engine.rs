@@ -46,6 +46,12 @@ pub struct QueryAnswer {
     pub stats: QpStats,
     pub strategy: QueryStrategy,
     pub from_cache: bool,
+    /// Short (FNV-1a/64, hex) hash of the plan's cache key — the stable
+    /// per-plan-shape identity the serving layer's slow-query log and
+    /// `fedoo obs report` group by. Statistics-free (see
+    /// [`QueryPlan::fingerprint`]), so the same query shape hashes the
+    /// same across generations and runs.
+    pub plan_fp: String,
     /// Whether (and how) the answer was degraded by unavailable
     /// components. Complete for every answer computed fault-free.
     pub completeness: AnswerCompleteness,
@@ -651,10 +657,12 @@ impl QueryEngine {
         let versions = self.refresh_extent_stats();
         // Both strategies validate and plan identically, so they reject
         // the same queries and share cache fingerprints per strategy.
+        let plan_start = Instant::now();
         let plan = {
             let _span = obs::span!("qp.plan", "qp");
             self.plan_for(query)?
         };
+        let plan_micros = plan_start.elapsed().as_micros() as u64;
         // A FullSaturate fingerprint carries only the fallback reason and
         // answer vars, not the body — two different queries can share it.
         // Mix in the canonical body so each caches under its own key.
@@ -669,14 +677,32 @@ impl QueryEngine {
             format!("{}|{}", strategy.as_str(), plan.fingerprint())
         };
 
+        let plan_fp = short_fp(&key);
+        let mut cache_micros = 0u64;
+        let mut footprint_saves = 0u64;
         if use_cache {
-            if let Some((vars, rows)) = self.cache.get(&key, &versions) {
+            let cache_start = Instant::now();
+            let saves_before = self.cache.stats().footprint_saves;
+            let hit = {
+                let _span = obs::span!("qp.cache", "qp", "op=get");
+                self.cache.get(&key, &versions)
+            };
+            cache_micros = cache_start.elapsed().as_micros() as u64;
+            footprint_saves = self
+                .cache
+                .stats()
+                .footprint_saves
+                .saturating_sub(saves_before);
+            if let Some((vars, rows)) = hit {
                 // Only complete answers are ever stored, so a hit — even
                 // during an outage — serves the fault-free answer.
                 let stats = QpStats {
                     cache_hits: 1,
                     rows_emitted: rows.len() as u64,
                     micros: start.elapsed().as_micros() as u64,
+                    plan_micros,
+                    cache_micros,
+                    footprint_saves,
                     ..QpStats::new()
                 };
                 stats.publish();
@@ -688,6 +714,7 @@ impl QueryEngine {
                     stats,
                     strategy,
                     from_cache: true,
+                    plan_fp,
                     completeness: AnswerCompleteness::complete(),
                 };
                 return Ok((answer, plan, profile));
@@ -709,6 +736,7 @@ impl QueryEngine {
             degrade::assess(&self.global, &query.body(), &degraded)?
         };
 
+        let exec_start = Instant::now();
         let (rows, mut stats, profile) = match strategy {
             QueryStrategy::Planned if !matches!(plan.root, PlanNode::FullSaturate { .. }) => {
                 let comps = fault_components.as_deref().unwrap_or(&self.components);
@@ -717,6 +745,7 @@ impl QueryEngine {
                 (out.rows, out.stats, out.profile)
             }
             _ => {
+                let _exec_span = obs::span!("qp.execute", "qp", "op=saturate");
                 let sat_start = Instant::now();
                 let rows = if degraded.is_empty() {
                     // Healthy (or recovered) federation: the cached
@@ -756,18 +785,24 @@ impl QueryEngine {
         };
         stats.cache_misses = 1;
         stats.rows_emitted = rows.len() as u64;
+        stats.exec_micros = exec_start.elapsed().as_micros() as u64;
         stats.retries += fault_retries;
         stats.breaker_trips += fault_trips;
         stats.degraded += u64::from(!completeness.is_complete());
-        stats.micros = start.elapsed().as_micros() as u64;
         // Degraded answers must never be served as complete after the
         // component recovers (the version vector would still match), so
         // only complete answers enter the cache.
         if completeness.is_complete() {
+            let put_start = Instant::now();
             let footprint = self.plan_footprint(&plan);
             self.cache
                 .put(key, versions, footprint, plan.vars.clone(), rows.clone());
+            cache_micros += put_start.elapsed().as_micros() as u64;
         }
+        stats.plan_micros = plan_micros;
+        stats.cache_micros = cache_micros;
+        stats.footprint_saves = footprint_saves;
+        stats.micros = start.elapsed().as_micros() as u64;
         stats.publish();
         *self.last_stats.lock().unwrap() = Some(stats);
         let answer = QueryAnswer {
@@ -776,6 +811,7 @@ impl QueryEngine {
             stats,
             strategy,
             from_cache: false,
+            plan_fp,
             completeness,
         };
         Ok((answer, plan, profile))
@@ -1003,6 +1039,19 @@ impl QueryEngine {
 }
 
 /// Project substitutions onto the answer variables, sort, deduplicate.
+/// FNV-1a/64 of a plan's full cache key, rendered as 16 hex chars —
+/// short enough for slow-log lines and trace details, collision-safe at
+/// any plausible number of distinct plan shapes, and stable across runs
+/// (the key embeds the statistics-free plan fingerprint).
+fn short_fp(key: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 pub fn normalize_rows(substs: &[Subst], vars: &[String]) -> Vec<Vec<Value>> {
     let mut rows: Vec<Vec<Value>> = substs
         .iter()

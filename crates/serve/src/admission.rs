@@ -118,8 +118,14 @@ impl AdmissionController {
                 return None;
             }
             st.queued += 1;
+            if obs::enabled() {
+                obs::gauge_set("fedoo_serve_queue_depth", st.queued as i64);
+            }
             st = self.freed.wait(st).unwrap();
             st.queued -= 1;
+            if obs::enabled() {
+                obs::gauge_set("fedoo_serve_queue_depth", st.queued as i64);
+            }
         }
     }
 

@@ -13,8 +13,14 @@
 //! * **Admission control** ([`admission`]) — bounded in-flight per
 //!   tenant, a bounded global wait queue, and load shedding past both
 //!   (protocol code `"shed"`, exit code 3 under `--fail-on-shed`).
-//! * **Tenant accounting** ([`tenant`]) — per-tenant totals plus
-//!   tenant-labeled obs series (`fedoo_serve_*_total{tenant="…"}`).
+//! * **Tenant accounting** ([`tenant`]) — per-tenant totals and SLO
+//!   latency histograms plus tenant-labeled obs series
+//!   (`fedoo_serve_*_total{tenant="…"}`).
+//! * **Request observability** ([`protocol`], [`slowlog`]) — every
+//!   response echoes a `request_id` that also tags the request's span
+//!   tree, and requests past a latency threshold land in a bounded
+//!   slow-query log with plan-fingerprint and per-phase attribution
+//!   (DESIGN.md §15).
 //! * **Sessions** ([`session`]) — one loop drives stdin/stdout in the
 //!   binary and the in-process [`session::Loopback`] harness in tests
 //!   and the traffic bench.
@@ -23,13 +29,15 @@ pub mod admission;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod slowlog;
 pub mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot};
-pub use protocol::{parse_request, ErrorCode, Request, DEFAULT_TENANT};
+pub use protocol::{parse_envelope, parse_request, Envelope, ErrorCode, Request, DEFAULT_TENANT};
 pub use server::{Handled, ServeConfig, Server};
 pub use session::{run_session, Loopback, SessionOpts, SessionSummary};
-pub use tenant::{TenantRegistry, TenantTotals};
+pub use slowlog::{SlowLog, SlowLogConfig, SlowRecord};
+pub use tenant::{QueryPhases, TenantRegistry, TenantSloSnapshot, TenantTotals};
 
 /// The server is handed to worker threads as `Arc<Server>`; losing
 /// either bound is a compile error here before it is a runtime surprise

@@ -15,10 +15,21 @@
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Responses always carry `"ok"`; failures add `"code"` (one of
-//! [`ErrorCode`]) and `"error"`. Successful query responses carry the
-//! pinned `"generation"`, so a client can observe snapshot isolation
-//! directly. Requests missing a tenant run as tenant `"default"`.
+//! Responses always carry `"ok"` and `"request_id"`; failures add
+//! `"code"` (one of [`ErrorCode`]) and `"error"`. Successful query
+//! responses carry the pinned `"generation"`, so a client can observe
+//! snapshot isolation directly. Requests missing a tenant run as tenant
+//! `"default"`.
+//!
+//! **Request identity** (DESIGN.md §15): every request may carry an
+//! `"id"` field. The server echoes it back as `"request_id"` and tags
+//! the request's whole span tree with it, so a response line can be
+//! joined to its trace. Ids are normalized to the exposition-safe
+//! charset (alphanumerics, `_`, `-`, `.`; at most [`MAX_REQUEST_ID`]
+//! chars) at parse time — what the response echoes is byte-identical to
+//! what the trace carries. Requests without an id get a server-assigned
+//! sequential one (`r1`, `r2`, …), so recorded sessions replay
+//! deterministically.
 
 use obs::export::{parse_json, Json};
 use oo_model::Value;
@@ -26,6 +37,41 @@ use qp::QueryStrategy;
 
 /// Tenant assumed when a request doesn't name one.
 pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest request id kept after normalization. Long enough for UUIDs,
+/// short enough that span details stay cheap.
+pub const MAX_REQUEST_ID: usize = 64;
+
+/// Normalize a client-supplied request id to the exposition-safe charset
+/// shared with metric labels: alphanumerics, `_`, `-`, `.`; anything else
+/// becomes `_`. Truncated to [`MAX_REQUEST_ID`] characters. An id that
+/// normalizes to the empty string is treated as absent.
+pub fn sanitize_request_id(raw: &str) -> Option<String> {
+    let id: String = raw
+        .chars()
+        .take(MAX_REQUEST_ID)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// A parsed request line together with its client-supplied id, if any.
+/// The server assigns a sequential id when `id` is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    pub id: Option<String>,
+    pub req: Request,
+}
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,8 +152,8 @@ impl ErrorCode {
 }
 
 /// Render an error response line (no trailing newline).
-pub fn error_response(op: Option<&str>, code: ErrorCode, message: &str) -> String {
-    let mut out = String::from("{\"ok\":false");
+pub fn error_response(rid: &str, op: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut out = format!("{{\"ok\":false,\"request_id\":{}", qp::json_string(rid));
     if let Some(op) = op {
         out.push_str(&format!(",\"op\":{}", qp::json_string(op)));
     }
@@ -139,17 +185,30 @@ fn str_field(obj: &Json, key: &str) -> Option<String> {
 /// Parse one request line. `Err` carries a human-readable reason; the
 /// caller wraps it in an [`ErrorCode::Parse`] response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_envelope(line).map(|env| env.req)
+}
+
+/// Parse one request line, keeping its (sanitized) client id. `Err`
+/// carries a human-readable reason; the caller wraps it in an
+/// [`ErrorCode::Parse`] response.
+pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
     let doc = parse_json(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = str_field(&doc, "id").and_then(|s| sanitize_request_id(&s));
+    let req = parse_request_doc(&doc)?;
+    Ok(Envelope { id, req })
+}
+
+fn parse_request_doc(doc: &Json) -> Result<Request, String> {
     let op = doc
         .get("op")
         .and_then(Json::as_str)
         .ok_or("missing \"op\" field")?
         .to_string();
-    let tenant = str_field(&doc, "tenant").unwrap_or_else(|| DEFAULT_TENANT.to_string());
+    let tenant = str_field(doc, "tenant").unwrap_or_else(|| DEFAULT_TENANT.to_string());
     match op.as_str() {
         "query" => {
-            let text = str_field(&doc, "q").ok_or("query needs a \"q\" field")?;
-            let strategy = match str_field(&doc, "strategy").as_deref() {
+            let text = str_field(doc, "q").ok_or("query needs a \"q\" field")?;
+            let strategy = match str_field(doc, "strategy").as_deref() {
                 None | Some("planned") => QueryStrategy::Planned,
                 Some("saturate") => QueryStrategy::Saturate,
                 Some(other) => return Err(format!("unknown strategy `{other}`")),
@@ -161,7 +220,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "explain" => {
-            let text = str_field(&doc, "q").ok_or("explain needs a \"q\" field")?;
+            let text = str_field(doc, "q").ok_or("explain needs a \"q\" field")?;
             Ok(Request::Explain { tenant, text })
         }
         "mutate" => {
@@ -169,7 +228,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 doc.get("component")
                     .and_then(Json::as_u64)
                     .ok_or("mutate needs a numeric \"component\" index")? as usize;
-            let class = str_field(&doc, "class").ok_or("mutate needs a \"class\" field")?;
+            let class = str_field(doc, "class").ok_or("mutate needs a \"class\" field")?;
             let set = match doc.get("set") {
                 Some(Json::Obj(pairs)) => pairs
                     .iter()
@@ -186,7 +245,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats {
-            tenant: str_field(&doc, "tenant"),
+            tenant: str_field(doc, "tenant"),
         }),
         "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
@@ -257,10 +316,24 @@ mod tests {
 
     #[test]
     fn error_response_shape() {
-        let r = error_response(Some("query"), ErrorCode::Shed, "queue full for t1");
+        let r = error_response("r7", Some("query"), ErrorCode::Shed, "queue full for t1");
         assert_eq!(
             r,
-            r#"{"ok":false,"op":"query","code":"shed","error":"queue full for t1"}"#
+            r#"{"ok":false,"request_id":"r7","op":"query","code":"shed","error":"queue full for t1"}"#
         );
+    }
+
+    #[test]
+    fn envelope_carries_sanitized_id() {
+        let env = parse_envelope(r#"{"op":"ping","id":"req-1"}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("req-1"));
+        assert_eq!(env.req, Request::Ping);
+        // Absent id → None; the server will assign one.
+        assert_eq!(parse_envelope(r#"{"op":"ping"}"#).unwrap().id, None);
+        // Hostile chars normalize to `_`, long ids truncate.
+        let env = parse_envelope(r#"{"op":"ping","id":"a b\"c"}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("a_b_c"));
+        assert_eq!(sanitize_request_id(&"x".repeat(200)).unwrap().len(), 64);
+        assert_eq!(sanitize_request_id(""), None);
     }
 }

@@ -16,16 +16,20 @@
 //! `Arc<Server>`.
 
 use crate::admission::{AdmissionConfig, AdmissionController};
-use crate::protocol::{error_response, parse_request, ErrorCode, Request};
-use crate::tenant::{TenantRegistry, TenantTotals};
+use crate::protocol::{error_response, parse_envelope, ErrorCode, Request};
+use crate::slowlog::{SlowLog, SlowLogConfig, SlowRecord};
+use crate::tenant::{QueryPhases, TenantRegistry, TenantSloSnapshot, TenantTotals};
 use federation::fsm::{Fsm, GlobalSchema, IntegrationStrategy};
 use federation::mapping::MetaRegistry;
 use federation::{FaultPlan, Generation, GenerationStore, RetryPolicy};
+use obs::report as span_names;
 use oo_model::{InstanceStore, Schema};
 use qp::planner::ClosureCache;
 use qp::{json_string, value_json, QpError, QueryAnswer, QueryEngine};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Server construction knobs.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +38,8 @@ pub struct ServeConfig {
     /// Generations whose engines stay cached (≥ 1). Readers pinned to an
     /// evicted generation transparently rebuild its engine.
     pub engine_cache: usize,
+    /// Slow-query log threshold and buffer bound (off by default).
+    pub slow_log: SlowLogConfig,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +47,7 @@ impl Default for ServeConfig {
         ServeConfig {
             admission: AdmissionConfig::default(),
             engine_cache: 2,
+            slow_log: SlowLogConfig::default(),
         }
     }
 }
@@ -80,6 +87,10 @@ pub struct Server {
     fault: Mutex<Option<(FaultPlan, RetryPolicy)>>,
     admission: AdmissionController,
     tenants: TenantRegistry,
+    slow_log: SlowLog,
+    /// Next server-assigned request id (`r1`, `r2`, …) for requests that
+    /// didn't bring their own.
+    next_id: AtomicU64,
     cfg: ServeConfig,
 }
 
@@ -102,6 +113,8 @@ impl Server {
             fault: Mutex::new(None),
             admission: AdmissionController::new(cfg.admission),
             tenants: TenantRegistry::new(),
+            slow_log: SlowLog::new(cfg.slow_log),
+            next_id: AtomicU64::new(1),
             cfg,
         }
     }
@@ -133,6 +146,10 @@ impl Server {
 
     pub fn tenants(&self) -> &TenantRegistry {
         &self.tenants
+    }
+
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
     }
 
     /// The current generation number (mutations advance it).
@@ -188,62 +205,110 @@ impl Server {
         engine
     }
 
-    /// Handle one raw JSONL line.
+    /// The next server-assigned request id.
+    fn fresh_id(&self) -> String {
+        format!("r{}", self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Handle one raw JSONL line. A client-supplied `"id"` becomes the
+    /// request id; otherwise the server assigns a sequential one. Even
+    /// unparseable lines get an id, so every response carries one.
     pub fn handle_line(&self, line: &str) -> Handled {
-        match parse_request(line) {
-            Ok(req) => self.handle(req),
-            Err(e) => Handled::reply(error_response(None, ErrorCode::Parse, &e)),
+        match parse_envelope(line) {
+            Ok(env) => {
+                let rid = env.id.unwrap_or_else(|| self.fresh_id());
+                self.handle_request(&rid, env.req)
+            }
+            Err(e) => {
+                let rid = self.fresh_id();
+                Handled::reply(error_response(&rid, None, ErrorCode::Parse, &e))
+            }
         }
     }
 
-    /// Handle one parsed request.
+    /// Handle one parsed request under a fresh server-assigned id.
     pub fn handle(&self, req: Request) -> Handled {
+        let rid = self.fresh_id();
+        self.handle_request(&rid, req)
+    }
+
+    /// Handle one parsed request under an explicit request id. The whole
+    /// handling window lives inside a `serve.request` span whose detail
+    /// carries the id — `fedoo obs report` joins response lines to their
+    /// span trees through it.
+    pub fn handle_request(&self, rid: &str, req: Request) -> Handled {
+        let _span = obs::span!(
+            span_names::REQUEST_SPAN,
+            "serve",
+            "id={rid} tenant={} op={}",
+            req.tenant().unwrap_or("-"),
+            op_name(&req)
+        );
         match req {
             Request::Query {
                 tenant,
                 text,
                 strategy,
-            } => self.handle_query(&tenant, &text, strategy),
-            Request::Explain { tenant, text } => self.handle_explain(&tenant, &text),
+            } => self.handle_query(rid, &tenant, &text, strategy),
+            Request::Explain { tenant, text } => self.handle_explain(rid, &tenant, &text),
             Request::Mutate {
                 tenant,
                 component,
                 class,
                 set,
-            } => self.handle_mutate(&tenant, component, &class, set),
-            Request::Stats { tenant } => Handled::reply(self.render_stats(tenant.as_deref())),
-            Request::Health => Handled::reply(self.render_health()),
+            } => self.handle_mutate(rid, &tenant, component, &class, set),
+            Request::Stats { tenant } => Handled::reply(self.render_stats(rid, tenant.as_deref())),
+            Request::Health => Handled::reply(self.render_health(rid)),
             Request::Ping => Handled::reply(format!(
-                "{{\"ok\":true,\"op\":\"ping\",\"generation\":{}}}",
+                "{{\"ok\":true,\"request_id\":{},\"op\":\"ping\",\"generation\":{}}}",
+                json_string(rid),
                 self.generation()
             )),
             Request::Hold { tenant, slots } => {
                 let held = self.admission.hold(&tenant, slots);
                 Handled::reply(format!(
-                    "{{\"ok\":true,\"op\":\"hold\",\"tenant\":{},\"held\":{held}}}",
+                    "{{\"ok\":true,\"request_id\":{},\"op\":\"hold\",\"tenant\":{},\"held\":{held}}}",
+                    json_string(rid),
                     json_string(&tenant)
                 ))
             }
             Request::Release { tenant } => {
                 let released = self.admission.release(&tenant);
                 Handled::reply(format!(
-                    "{{\"ok\":true,\"op\":\"release\",\"tenant\":{},\"released\":{released}}}",
+                    "{{\"ok\":true,\"request_id\":{},\"op\":\"release\",\"tenant\":{},\"released\":{released}}}",
+                    json_string(rid),
                     json_string(&tenant)
                 ))
             }
             Request::Shutdown => Handled {
-                response: "{\"ok\":true,\"op\":\"shutdown\"}".to_string(),
+                response: format!(
+                    "{{\"ok\":true,\"request_id\":{},\"op\":\"shutdown\"}}",
+                    json_string(rid)
+                ),
                 shed: false,
                 shutdown: true,
             },
         }
     }
 
-    fn handle_query(&self, tenant: &str, text: &str, strategy: qp::QueryStrategy) -> Handled {
-        let Some(_slot) = self.admission.admit(tenant) else {
+    fn handle_query(
+        &self,
+        rid: &str,
+        tenant: &str,
+        text: &str,
+        strategy: qp::QueryStrategy,
+    ) -> Handled {
+        let start = Instant::now();
+        let slot = {
+            let _queue = obs::span!(span_names::PHASE_QUEUE, "serve", "tenant={tenant}");
+            self.admission.admit(tenant)
+        };
+        let queue_us = start.elapsed().as_micros() as u64;
+        let Some(_slot) = slot else {
             self.tenants.record_shed(tenant);
             return Handled {
                 response: error_response(
+                    rid,
                     Some("query"),
                     ErrorCode::Shed,
                     &format!("tenant `{tenant}` is at its in-flight bound and the queue is full"),
@@ -252,43 +317,81 @@ impl Server {
                 shutdown: false,
             };
         };
-        let (gen, engine) = self.pinned_engine();
+        let (gen, engine) = {
+            // First pin of a generation builds the engine (including its
+            // planner-diagnostics pass) — a named phase, not `other`.
+            let _pin = obs::span!(span_names::PHASE_PIN, "serve", "tenant={tenant}");
+            self.pinned_engine()
+        };
         match engine.ask_text(text, strategy) {
             Ok(answer) => {
-                self.tenants.record_query(
-                    tenant,
-                    &answer.stats,
-                    answer.rows.len() as u64,
-                    !answer.completeness.is_complete(),
+                let rows = answer.rows.len() as u64;
+                let degraded = !answer.completeness.is_complete();
+                // The respond phase covers rendering plus the per-request
+                // bookkeeping (tenant accounting, done-instant, slow-log
+                // append), so request wall time stays attributed.
+                let _respond = obs::span!(span_names::PHASE_RESPOND, "serve");
+                let response = render_answer(rid, &answer, gen.number());
+                let phases = QueryPhases {
+                    queue_us,
+                    plan_us: answer.stats.plan_micros,
+                    cache_us: answer.stats.cache_micros,
+                    exec_us: answer.stats.exec_micros,
+                    total_us: start.elapsed().as_micros() as u64,
+                };
+                self.tenants
+                    .record_query(tenant, &answer.stats, rows, degraded, phases);
+                obs::instant!(
+                    span_names::DONE_INSTANT,
+                    "serve",
+                    "id={rid} fp={} rows={rows} cache={} degraded={}",
+                    answer.plan_fp,
+                    if answer.from_cache { "hit" } else { "miss" },
+                    u8::from(degraded)
                 );
-                Handled::reply(render_answer(&answer, gen.number()))
+                if self.slow_log.qualifies(phases.total_us) {
+                    self.slow_log.record(&SlowRecord {
+                        request_id: rid.to_string(),
+                        tenant: tenant.to_string(),
+                        generation: gen.number(),
+                        fp: answer.plan_fp.clone(),
+                        rows,
+                        phases,
+                        degraded,
+                        from_cache: answer.from_cache,
+                        footprint_save: answer.stats.footprint_saves > 0,
+                    });
+                }
+                Handled::reply(response)
             }
             Err(e) => {
                 self.tenants.record_error(tenant);
                 let (code, msg) = classify(&e);
-                Handled::reply(error_response(Some("query"), code, &msg))
+                Handled::reply(error_response(rid, Some("query"), code, &msg))
             }
         }
     }
 
-    fn handle_explain(&self, tenant: &str, text: &str) -> Handled {
+    fn handle_explain(&self, rid: &str, tenant: &str, text: &str) -> Handled {
         let (gen, engine) = self.pinned_engine();
         match engine.explain(text) {
             Ok(plan) => Handled::reply(format!(
-                "{{\"ok\":true,\"op\":\"explain\",\"generation\":{},\"plan\":{}}}",
+                "{{\"ok\":true,\"request_id\":{},\"op\":\"explain\",\"generation\":{},\"plan\":{}}}",
+                json_string(rid),
                 gen.number(),
                 plan.render_json()
             )),
             Err(e) => {
                 self.tenants.record_error(tenant);
                 let (code, msg) = classify(&e);
-                Handled::reply(error_response(Some("explain"), code, &msg))
+                Handled::reply(error_response(rid, Some("explain"), code, &msg))
             }
         }
     }
 
     fn handle_mutate(
         &self,
+        rid: &str,
         tenant: &str,
         component: usize,
         class: &str,
@@ -317,36 +420,51 @@ impl Server {
                     obs::gauge_set("fedoo_serve_generation", generation as i64);
                 }
                 Handled::reply(format!(
-                    "{{\"ok\":true,\"op\":\"mutate\",\"generation\":{generation},\"oid\":{}}}",
+                    "{{\"ok\":true,\"request_id\":{},\"op\":\"mutate\",\"generation\":{generation},\"oid\":{}}}",
+                    json_string(rid),
                     json_string(&oid.to_string())
                 ))
             }
             (Err(msg), _) => {
                 self.tenants.record_error(tenant);
-                Handled::reply(error_response(Some("mutate"), ErrorCode::Internal, &msg))
+                Handled::reply(error_response(
+                    rid,
+                    Some("mutate"),
+                    ErrorCode::Internal,
+                    &msg,
+                ))
             }
         }
     }
 
-    fn render_stats(&self, tenant: Option<&str>) -> String {
+    fn render_stats(&self, rid: &str, tenant: Option<&str>) -> String {
         let adm = self.admission.snapshot();
         let totals: BTreeMap<String, TenantTotals> = match tenant {
             Some(t) => [(t.to_string(), self.tenants.tenant(t))].into(),
             None => self.tenants.snapshot(),
         };
         let mut out = format!(
-            "{{\"ok\":true,\"op\":\"stats\",\"generation\":{},\"admission\":{{\"admitted\":{},\"sheds\":{},\"queued\":{}}},\"tenants\":{{",
+            "{{\"ok\":true,\"request_id\":{},\"op\":\"stats\",\"generation\":{},\"admission\":{{\"admitted\":{},\"sheds\":{},\"queued\":{},\"inflight\":{{",
+            json_string(rid),
             self.generation(),
             adm.admitted,
             adm.sheds,
             adm.queued,
         );
+        for (i, (name, n)) in adm.inflight.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{n}", json_string(name)));
+        }
+        out.push_str("}},\"tenants\":{");
         for (i, (name, t)) in totals.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let slo = self.tenants.slo(name);
             out.push_str(&format!(
-                "{}:{{\"queries\":{},\"rows\":{},\"cache_hits\":{},\"degraded\":{},\"shed\":{},\"errors\":{},\"mutations\":{},\"micros\":{}}}",
+                "{}:{{\"queries\":{},\"rows\":{},\"cache_hits\":{},\"degraded\":{},\"shed\":{},\"errors\":{},\"mutations\":{},\"micros\":{},\"slo\":{}}}",
                 json_string(name),
                 t.queries,
                 t.rows,
@@ -356,16 +474,18 @@ impl Server {
                 t.errors,
                 t.mutations,
                 t.micros,
+                render_slo(&slo),
             ));
         }
         out.push_str("}}");
         out
     }
 
-    fn render_health(&self) -> String {
+    fn render_health(&self, rid: &str) -> String {
         let (gen, engine) = self.pinned_engine();
         let mut out = format!(
-            "{{\"ok\":true,\"op\":\"health\",\"generation\":{},\"components\":[",
+            "{{\"ok\":true,\"request_id\":{},\"op\":\"health\",\"generation\":{},\"components\":[",
+            json_string(rid),
             gen.number()
         );
         let health = engine.fault_health();
@@ -399,6 +519,42 @@ impl Server {
     }
 }
 
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Query { .. } => "query",
+        Request::Explain { .. } => "explain",
+        Request::Mutate { .. } => "mutate",
+        Request::Stats { .. } => "stats",
+        Request::Health => "health",
+        Request::Ping => "ping",
+        Request::Hold { .. } => "hold",
+        Request::Release { .. } => "release",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Render one tenant's SLO quantiles: per phase, the p50/p95/p99 bucket
+/// upper bounds in microseconds (log₂ resolution — see
+/// `HistogramSnapshot::quantile`).
+fn render_slo(slo: &TenantSloSnapshot) -> String {
+    let phase = |name: &str, h: &obs::HistogramSnapshot| {
+        format!(
+            "{}:{{\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            json_string(name),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        )
+    };
+    format!(
+        "{{{},{},{},{}}}",
+        phase("queue", &slo.queue),
+        phase("plan", &slo.plan),
+        phase("execute", &slo.execute),
+        phase("total", &slo.total),
+    )
+}
+
 fn classify(e: &QpError) -> (ErrorCode, String) {
     match e {
         QpError::Parse(p) => (ErrorCode::Parse, p.to_string()),
@@ -409,9 +565,10 @@ fn classify(e: &QpError) -> (ErrorCode, String) {
     }
 }
 
-fn render_answer(answer: &QueryAnswer, generation: u64) -> String {
+fn render_answer(rid: &str, answer: &QueryAnswer, generation: u64) -> String {
     let mut out = format!(
-        "{{\"ok\":true,\"op\":\"query\",\"generation\":{generation},\"vars\":[{}],\"rows\":[",
+        "{{\"ok\":true,\"request_id\":{},\"op\":\"query\",\"generation\":{generation},\"vars\":[{}],\"rows\":[",
+        json_string(rid),
         answer
             .vars
             .iter()
@@ -588,6 +745,83 @@ mod tests {
         let health = server.handle_line("{\"op\":\"health\"}").response;
         assert!(health.contains("\"component\":\"S1\""), "{health}");
         assert!(health.contains("\"state\":\"closed\""), "{health}");
+    }
+
+    #[test]
+    fn responses_echo_client_or_server_request_ids() {
+        let server = library_server(ServeConfig::default());
+        let r = server
+            .handle_line("{\"op\":\"ping\",\"id\":\"my-req\"}")
+            .response;
+        assert!(r.contains("\"request_id\":\"my-req\""), "{r}");
+        // No id → server-assigned sequential ids, including for lines
+        // that never parse (the client still needs something to log).
+        let r = server.handle_line("{\"op\":\"ping\"}").response;
+        assert!(r.contains("\"request_id\":\"r1\""), "{r}");
+        let r = server.handle_line("garbage").response;
+        assert!(r.contains("\"request_id\":\"r2\""), "{r}");
+        // Hostile ids are echoed in sanitized form.
+        let r = server
+            .handle_line("{\"op\":\"ping\",\"id\":\"a b\"}")
+            .response;
+        assert!(r.contains("\"request_id\":\"a_b\""), "{r}");
+    }
+
+    #[test]
+    fn slow_log_threshold_zero_records_every_query() {
+        let server = library_server(ServeConfig {
+            slow_log: crate::slowlog::SlowLogConfig {
+                threshold_us: Some(0),
+                capacity: 8,
+            },
+            ..ServeConfig::default()
+        });
+        let g = merged_class(&server);
+        server.handle_line(&format!(
+            "{{\"op\":\"query\",\"tenant\":\"t1\",\"id\":\"q1\",\"q\":\"?- <X: {g} | title: T>.\"}}",
+        ));
+        server.handle_line(&query_line("t1", &g));
+        // Sheds and non-queries never reach the log.
+        server.handle_line("{\"op\":\"ping\"}");
+        let (lines, dropped) = server.slow_log().drain();
+        assert_eq!((lines.len(), dropped), (2, 0));
+        assert!(lines[0].contains("\"request_id\":\"q1\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"from_cache\":false"), "{}", lines[0]);
+        assert!(lines[1].contains("\"from_cache\":true"), "{}", lines[1]);
+        // Same plan ⇒ same fingerprint in both records.
+        let fp = |line: &str| {
+            let at = line.find("\"fp\":\"").unwrap() + 6;
+            line[at..at + 16].to_string()
+        };
+        assert_eq!(fp(&lines[0]), fp(&lines[1]));
+        assert!(lines[0].contains("\"total_us\":"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn request_span_tree_joins_response_by_id() {
+        let _guard = obs::test_guard();
+        obs::install(obs::TimeSource::monotonic());
+        let server = library_server(ServeConfig::default());
+        let g = merged_class(&server);
+        let resp = server
+            .handle_line(&format!(
+                "{{\"op\":\"query\",\"tenant\":\"t1\",\"id\":\"q9\",\"q\":\"?- <X: {g} | title: T>.\"}}",
+            ))
+            .response;
+        assert!(resp.contains("\"request_id\":\"q9\""), "{resp}");
+        let session = obs::uninstall().unwrap();
+        let report = obs::report::analyze(&session.trace);
+        assert_eq!(report.requests.len(), 1, "one serve.request root");
+        let r = &report.requests[0];
+        assert_eq!(
+            (r.id.as_str(), r.tenant.as_str(), r.op.as_str()),
+            ("q9", "t1", "query")
+        );
+        assert_eq!(r.rows, 3);
+        assert!(!r.cache_hit && !r.degraded);
+        assert!(r.fp.is_some(), "done instant carried the fingerprint");
+        // Phase spans nest under the request: plan + execute observed.
+        assert!(r.phases.plan > 0 || r.phases.execute > 0 || r.total_us == 0);
     }
 
     #[test]

@@ -193,7 +193,8 @@ mod tests {
         assert_eq!(summary.exit, 0);
         assert_eq!(
             text,
-            "{\"ok\":true,\"op\":\"ping\",\"generation\":0}\n{\"ok\":true,\"op\":\"shutdown\"}\n"
+            "{\"ok\":true,\"request_id\":\"r1\",\"op\":\"ping\",\"generation\":0}\n\
+             {\"ok\":true,\"request_id\":\"r2\",\"op\":\"shutdown\"}\n"
         );
     }
 

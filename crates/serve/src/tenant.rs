@@ -10,8 +10,62 @@
 //! from racing tenants and checks exact per-tenant sums.
 
 use fedoo_core::QpStats;
+use obs::metrics::Histogram;
+use obs::HistogramSnapshot;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Per-phase wall-clock for one answered query, microseconds. `queue_us`
+/// is measured by the server around admission; `plan_us`/`cache_us`/
+/// `exec_us` come from [`QpStats`]; `total_us` is the whole request
+/// (admission through response rendering), so it bounds the others.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryPhases {
+    pub queue_us: u64,
+    pub plan_us: u64,
+    pub cache_us: u64,
+    pub exec_us: u64,
+    pub total_us: u64,
+}
+
+/// Per-tenant SLO latency histograms, one log₂ histogram per phase.
+/// These answer "what is tenant t's p99, and which phase moved it" from
+/// the `stats` verb without a trace file; `fedoo obs report` gives the
+/// exact per-request attribution when a trace was recorded.
+#[derive(Debug, Clone, Default)]
+pub struct TenantSlo {
+    pub queue: Histogram,
+    pub plan: Histogram,
+    pub execute: Histogram,
+    pub total: Histogram,
+}
+
+/// Frozen per-phase snapshots for one tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantSloSnapshot {
+    pub queue: HistogramSnapshot,
+    pub plan: HistogramSnapshot,
+    pub execute: HistogramSnapshot,
+    pub total: HistogramSnapshot,
+}
+
+impl TenantSlo {
+    fn record(&mut self, p: QueryPhases) {
+        self.queue.record(p.queue_us);
+        self.plan.record(p.plan_us);
+        self.execute.record(p.exec_us);
+        self.total.record(p.total_us);
+    }
+
+    fn snapshot(&self) -> TenantSloSnapshot {
+        TenantSloSnapshot {
+            queue: self.queue.snapshot(),
+            plan: self.plan.snapshot(),
+            execute: self.execute.snapshot(),
+            total: self.total.snapshot(),
+        }
+    }
+}
 
 /// Cumulative serving totals for one tenant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +92,7 @@ pub struct TenantTotals {
 #[derive(Debug, Default)]
 pub struct TenantRegistry {
     totals: Mutex<BTreeMap<String, TenantTotals>>,
+    slo: Mutex<BTreeMap<String, TenantSlo>>,
 }
 
 fn publish(tenant: &str, name: &str, delta: u64) {
@@ -60,7 +115,14 @@ impl TenantRegistry {
     /// unit under the registry lock, then the labeled obs counters get
     /// the same deltas (each `counter_add` is atomic under the sink
     /// lock, and every delta is attributed to exactly one tenant).
-    pub fn record_query(&self, tenant: &str, stats: &QpStats, rows: u64, degraded: bool) {
+    pub fn record_query(
+        &self,
+        tenant: &str,
+        stats: &QpStats,
+        rows: u64,
+        degraded: bool,
+        phases: QueryPhases,
+    ) {
         let from_cache = stats.cache_hits > 0;
         self.update(tenant, |t| {
             t.queries += 1;
@@ -69,6 +131,12 @@ impl TenantRegistry {
             t.degraded += u64::from(degraded);
             t.micros += stats.micros;
         });
+        self.slo
+            .lock()
+            .unwrap()
+            .entry(tenant.to_string())
+            .or_default()
+            .record(phases);
         if obs::enabled() {
             publish(tenant, "fedoo_serve_queries_total", 1);
             publish(tenant, "fedoo_serve_rows_total", rows);
@@ -81,6 +149,22 @@ impl TenantRegistry {
             obs::histogram_record(
                 &obs::labeled("fedoo_serve_query_micros", "tenant", tenant),
                 stats.micros,
+            );
+            obs::histogram_record(
+                &obs::labeled("fedoo_serve_queue_micros", "tenant", tenant),
+                phases.queue_us,
+            );
+            obs::histogram_record(
+                &obs::labeled("fedoo_serve_plan_micros", "tenant", tenant),
+                phases.plan_us,
+            );
+            obs::histogram_record(
+                &obs::labeled("fedoo_serve_exec_micros", "tenant", tenant),
+                phases.exec_us,
+            );
+            obs::histogram_record(
+                &obs::labeled("fedoo_serve_total_micros", "tenant", tenant),
+                phases.total_us,
             );
         }
     }
@@ -120,6 +204,26 @@ impl TenantRegistry {
     pub fn snapshot(&self) -> BTreeMap<String, TenantTotals> {
         self.totals.lock().unwrap().clone()
     }
+
+    /// SLO histograms for one tenant (empty if it never answered).
+    pub fn slo(&self, tenant: &str) -> TenantSloSnapshot {
+        self.slo
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .map(TenantSlo::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// All tenants' SLO histograms, sorted by tenant name.
+    pub fn slo_snapshot(&self) -> BTreeMap<String, TenantSloSnapshot> {
+        self.slo
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -134,19 +238,55 @@ mod tests {
         }
     }
 
+    fn phases(total_us: u64) -> QueryPhases {
+        QueryPhases {
+            total_us,
+            ..QueryPhases::default()
+        }
+    }
+
     #[test]
     fn totals_accumulate_per_tenant() {
         let reg = TenantRegistry::new();
-        reg.record_query("t1", &stats(10), 3, false);
-        reg.record_query("t1", &stats(5), 2, true);
+        reg.record_query("t1", &stats(10), 3, false, phases(10));
+        reg.record_query("t1", &stats(5), 2, true, phases(5));
         reg.record_shed("t1");
-        reg.record_query("t2", &stats(7), 1, false);
+        reg.record_query("t2", &stats(7), 1, false, phases(7));
         let t1 = reg.tenant("t1");
         assert_eq!((t1.queries, t1.rows, t1.degraded, t1.shed), (2, 5, 1, 1));
         assert_eq!(t1.micros, 15);
         let t2 = reg.tenant("t2");
         assert_eq!((t2.queries, t2.rows, t2.shed), (1, 1, 0));
         assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn slo_histograms_track_phases_per_tenant() {
+        let reg = TenantRegistry::new();
+        for total in [100u64, 120, 3000] {
+            reg.record_query(
+                "t1",
+                &stats(total),
+                1,
+                false,
+                QueryPhases {
+                    queue_us: 1,
+                    plan_us: 10,
+                    cache_us: 0,
+                    exec_us: total - 11,
+                    total_us: total,
+                },
+            );
+        }
+        let slo = reg.slo("t1");
+        assert_eq!(slo.total.count, 3);
+        // p50 of {100,120,3000} sits in the 128 bucket; p99 in 4096.
+        assert_eq!(slo.total.quantile(0.5), 128);
+        assert_eq!(slo.total.quantile(0.99), 4096);
+        assert_eq!(slo.plan.quantile(0.5), 16);
+        // Unknown tenants answer with empty histograms, not a panic.
+        assert_eq!(reg.slo("nobody").total.count, 0);
+        assert_eq!(reg.slo_snapshot().len(), 1);
     }
 
     /// The counter-hygiene regression: totals recorded from racing
@@ -167,7 +307,7 @@ mod tests {
                     let reg = Arc::clone(reg);
                     std::thread::spawn(move || {
                         for i in 0..per_thread {
-                            reg.record_query(tenant, &stats(1), 2, false);
+                            reg.record_query(tenant, &stats(1), 2, false, phases(1));
                             if i % 10 == 0 {
                                 reg.record_shed(tenant);
                             }

@@ -154,6 +154,17 @@ fn delta_installed_generations_keep_pinned_readers_byte_stable() {
         rederived, 0,
         "no install may pay a full re-saturation (seed cost was {full_derived})"
     );
+    // Each of the K installs runs the maintainer exactly once. (The
+    // per-unit apply spans are pinned in `deduction::materialize` tests —
+    // this library program derives nothing from `book`, so its installs
+    // touch no unit.)
+    assert_eq!(
+        session
+            .metrics
+            .counter("fedoo_deduction_maintained_deltas_total"),
+        K as u64,
+        "one maintained delta per install"
+    );
 
     // Phase 3: every pinned reader is byte-stable under both strategies,
     // in spite of the shared result cache and the adopted state.

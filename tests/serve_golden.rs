@@ -10,9 +10,10 @@
 //!
 //! To regenerate after an intentional change:
 //! `fedoo serve $(cat testdata/serve/<case>.args) \
-//!    | sed -E 's/"micros":[0-9]+/"micros":_/g' > testdata/serve/<case>.golden`
-//! (the rewrite blanks the one nondeterministic field, summed query
-//! wall-clock in `stats` responses).
+//!    | sed -E 's/"micros":[0-9]+/"micros":_/g; s/_us":[0-9]+/_us":_/g' \
+//!    > testdata/serve/<case>.golden`
+//! (the rewrite blanks the wall-clock fields: summed query micros in
+//! `stats` responses, SLO quantiles, and the slow-log phase timings).
 
 use std::path::{Path, PathBuf};
 
@@ -20,20 +21,28 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-/// Blank the digits of every `"micros":N` field, the only wall-clock
-/// value in the protocol. Idempotent; the CI serve-smoke job applies the
-/// same rewrite with `sed` before diffing against the built binary.
-fn normalize_micros(s: &str) -> String {
+/// Blank the digits following `pat`. Idempotent (a `_` placeholder stays
+/// a `_`), so goldens regenerated through `sed` compare clean.
+fn blank_after(s: &str, pat: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
-    while let Some(at) = rest.find("\"micros\":") {
-        let (head, tail) = rest.split_at(at + "\"micros\":".len());
+    while let Some(at) = rest.find(pat) {
+        let (head, tail) = rest.split_at(at + pat.len());
         out.push_str(head);
         out.push('_');
         rest = tail.trim_start_matches(|c: char| c.is_ascii_digit() || c == '_');
     }
     out.push_str(rest);
     out
+}
+
+/// Blank every wall-clock value in the protocol: the summed `"micros":N`
+/// in `stats` responses plus every `_us`-suffixed field (SLO quantiles in
+/// `stats`, phase timings in slow-log records). The CI serve-smoke job
+/// applies the same rewrite with `sed` before diffing against the built
+/// binary.
+fn normalize_micros(s: &str) -> String {
+    blank_after(&blank_after(s, "\"micros\":"), "_us\":")
 }
 
 fn replay(case: &str) -> (u8, String, String, String) {
@@ -111,6 +120,60 @@ fn session_replay_is_deterministic() {
     let (_, a, _, _) = replay("basic");
     let (_, b, _, _) = replay("basic");
     assert_eq!(normalize_micros(&a), normalize_micros(&b));
+}
+
+/// The slow-log record stream is itself a golden: with
+/// `--slow-threshold-us 0` every answered query emits one JSONL record
+/// carrying its request id, plan fingerprint, and per-phase timings
+/// (blanked by the normalizer — everything else is deterministic).
+#[test]
+fn slowlog_records_match_golden() {
+    let root = repo_root();
+    let dir = root.join("testdata/serve");
+    let args_text = std::fs::read_to_string(dir.join("slowlog.args")).expect("slowlog.args");
+    // Redirect the record file so this test never races the full-scan
+    // test's replay of the same fixture.
+    let out_rel = "target/slowlog_records.test.out";
+    let args: Vec<String> = args_text
+        .split_whitespace()
+        .map(|a| {
+            if a == "target/slowlog_records.out" {
+                out_rel.to_string()
+            } else {
+                a.to_string()
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    let exit = fedoo::serve::run_serve(
+        &args,
+        Some(&root),
+        std::io::BufReader::new(&b""[..]),
+        &mut out,
+    )
+    .expect("slowlog session replays");
+    assert_eq!(exit, 0);
+    let got = std::fs::read_to_string(root.join(out_rel)).expect("slow-log file written");
+    let want = std::fs::read_to_string(dir.join("slowlog_records.golden")).expect("records golden");
+    assert_eq!(
+        normalize_micros(&got),
+        normalize_micros(&want),
+        "slow-log record golden mismatch"
+    );
+    // Identity join: every record's request_id is echoed by a response
+    // line of the same session, so the log attributes to real requests.
+    let responses = String::from_utf8(out).unwrap();
+    for line in got.lines() {
+        let id = line
+            .split("\"request_id\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("record carries request_id");
+        assert!(
+            responses.contains(&format!("\"request_id\":\"{id}\"")),
+            "slow-log id `{id}` missing from the response stream"
+        );
+    }
 }
 
 /// The live-updates golden pins the incremental-maintenance contract:
